@@ -1,0 +1,37 @@
+//! Finite, enumerable value sets — the domain of *exhaustive* property
+//! verification.
+//!
+//! Theorem II.1's conditions are universally quantified over `V`. For a
+//! finite `V` we can decide them outright by enumeration; that is how
+//! this crate's compile-time compliance markers for finite value systems
+//! (booleans, chains, `ℤ/n`, power sets) are validated in tests.
+
+use crate::value::Value;
+
+/// A value set whose elements can be enumerated in full.
+pub trait FiniteValueSet: Value {
+    /// Every element of the set, in some canonical order.
+    fn enumerate_all() -> Vec<Self>;
+
+    /// The cardinality `|V|`.
+    fn cardinality() -> usize {
+        Self::enumerate_all().len()
+    }
+}
+
+impl FiniteValueSet for bool {
+    fn enumerate_all() -> Vec<Self> {
+        vec![false, true]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_enumeration() {
+        assert_eq!(bool::enumerate_all(), vec![false, true]);
+        assert_eq!(bool::cardinality(), 2);
+    }
+}

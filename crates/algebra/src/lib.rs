@@ -1,0 +1,81 @@
+//! # aarray-algebra
+//!
+//! Value sets, binary operations, and the algebraic property machinery of
+//! *Constructing Adjacency Arrays from Incidence Arrays* (Jananthan,
+//! Dibert & Kepner, 2017).
+//!
+//! The paper's central result (Theorem II.1) states that for a value set
+//! `V` with closed binary operations `⊕` (identity `0`) and `⊗`
+//! (identity `1`), the array product `A = Eᵀout Ein` is an adjacency
+//! array of the underlying graph **iff**:
+//!
+//! * (a) `V` is **zero-sum-free**: `a ⊕ b = 0  ⇔  a = b = 0`;
+//! * (b) `V` has **no zero divisors**: `a ⊗ b = 0  ⇔  a = 0 ∨ b = 0`;
+//! * (c) `0` **annihilates** under `⊗`: `a ⊗ 0 = 0 ⊗ a = 0`.
+//!
+//! Crucially, `⊕` and `⊗` are *not* assumed associative, commutative, or
+//! distributive — the theorem isolates exactly the three conditions above.
+//!
+//! This crate provides:
+//!
+//! * [`BinaryOp`] — closed binary operation with identity, implemented by
+//!   zero-sized strategy types ([`ops::Plus`], [`ops::Times`],
+//!   [`ops::Max`], [`ops::Min`], [`ops::Union`], …);
+//! * [`OpPair`] — an `⊕.⊗` pair (what GraphBLAS would call a semiring
+//!   object, though no semiring laws are required here);
+//! * compile-time encodings of the theorem's conditions as marker traits
+//!   ([`ZeroSumFreePair`], [`NoZeroDivisorsPair`],
+//!   [`AnnihilatingZeroPair`], and their conjunction
+//!   [`AdjacencyCompatible`]);
+//! * runtime checkers ([`properties`]) that verify or refute the
+//!   conditions exhaustively on finite value sets and by randomized
+//!   search elsewhere, returning witnesses;
+//! * algebraic law checkers ([`laws`]) for associativity, commutativity,
+//!   distributivity and identity;
+//! * a library of concrete value systems ([`values`]) covering every
+//!   example and non-example mentioned in the paper;
+//! * the counterexample graph gadgets of Lemmas II.2–II.4
+//!   ([`counterexample`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counterexample;
+pub mod finite;
+pub mod laws;
+pub mod op;
+pub mod ops;
+pub mod pairs;
+pub mod properties;
+#[cfg(feature = "serde")]
+mod serde_impls;
+pub mod value;
+pub mod values;
+
+pub use finite::FiniteValueSet;
+pub use op::{
+    AdjacencyCompatible, AnnihilatingZeroPair, AssociativeOp, BinaryOp, CommutativeOp, OpPair,
+    NoZeroDivisorsPair, ZeroSumFreePair,
+};
+pub use value::Value;
+
+/// Commonly used items, for glob import in examples and downstream crates.
+pub mod prelude {
+    pub use crate::finite::FiniteValueSet;
+    pub use crate::op::{
+        AdjacencyCompatible, AnnihilatingZeroPair, AssociativeOp, BinaryOp, CommutativeOp,
+        NoZeroDivisorsPair, OpPair, ZeroSumFreePair,
+    };
+    pub use crate::ops::{And, Intersect, Left, Max, Midpoint, Min, Or, Plus, Right, Times, TimesTop, Union};
+    pub use crate::pairs::*;
+    pub use crate::value::Value;
+    pub use crate::values::bstr::BStr;
+    pub use crate::values::chain::Chain;
+    pub use crate::values::nat::Nat;
+    pub use crate::values::nn::{nn, NN};
+    pub use crate::values::powerset::PowerSet;
+    pub use crate::values::tropical::{trop, Tropical};
+    pub use crate::values::unit::{unit, Unit};
+    pub use crate::values::wordset::WordSet;
+    pub use crate::values::zn::Zn;
+}

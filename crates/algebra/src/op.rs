@@ -1,0 +1,191 @@
+//! Binary operations with identities, operator pairs, and the
+//! compile-time encoding of Theorem II.1's conditions.
+
+use crate::value::Value;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A closed binary operation on a value set `V` with a two-sided
+/// identity element.
+///
+/// Implementations are zero-sized strategy types (e.g. [`crate::ops::Plus`],
+/// [`crate::ops::Max`]), so a fully monomorphized kernel pays nothing for
+/// the abstraction.
+///
+/// Per the paper, **no law beyond closure and the identity is assumed**:
+/// an operation need not be associative or commutative. Kernels in
+/// `aarray-sparse` therefore always fold in a documented, deterministic
+/// order (ascending inner key, left-associated).
+pub trait BinaryOp<V: Value>: Copy + Default + fmt::Debug + Send + Sync + 'static {
+    /// Human-readable operator symbol, used to render pair names such as
+    /// `max.min` or `+.×` exactly as the paper's figures do.
+    const NAME: &'static str;
+
+    /// Apply the operation: `a ∘ b`.
+    fn apply(&self, a: &V, b: &V) -> V;
+
+    /// The two-sided identity element of the operation.
+    fn identity(&self) -> V;
+
+    /// Whether `v` equals the identity. Override if a cheaper test than
+    /// construction + comparison exists.
+    fn is_identity(&self, v: &V) -> bool {
+        *v == self.identity()
+    }
+}
+
+/// Marker: the operation is associative on this value set.
+///
+/// Required by tree/parallel *reductions* (not by the row-parallel
+/// SpGEMM, whose per-element fold order is identical to the serial
+/// kernel). Every implementation is validated by an exhaustive or
+/// randomized law check in its module's tests.
+pub trait AssociativeOp<V: Value>: BinaryOp<V> {}
+
+/// Marker: the operation is commutative on this value set.
+pub trait CommutativeOp<V: Value>: BinaryOp<V> {}
+
+/// An `⊕.⊗` operator pair over a value set `V` — the object the paper's
+/// array multiplication `C = A ⊕.⊗ B` is parameterized by.
+///
+/// `zero` denotes the identity of `⊕` (the paper's `0`, i.e. the value
+/// that sparse arrays leave unstored), and `one` the identity of `⊗`.
+///
+/// The pair makes **no** semiring assumptions. Whether it satisfies the
+/// three conditions of Theorem II.1 is encoded separately, either at
+/// compile time ([`AdjacencyCompatible`]) or at runtime
+/// ([`crate::properties`]).
+pub struct OpPair<V: Value, A: BinaryOp<V>, M: BinaryOp<V>> {
+    /// The `⊕` (addition-like) operation.
+    pub add: A,
+    /// The `⊗` (multiplication-like) operation.
+    pub mul: M,
+    _v: PhantomData<fn() -> V>,
+}
+
+impl<V: Value, A: BinaryOp<V>, M: BinaryOp<V>> OpPair<V, A, M> {
+    /// Construct the pair (both ops are zero-sized, so this is free).
+    pub fn new() -> Self {
+        OpPair { add: A::default(), mul: M::default(), _v: PhantomData }
+    }
+
+    /// The paper's `0`: identity of `⊕`, the implicit value of unstored
+    /// entries.
+    pub fn zero(&self) -> V {
+        self.add.identity()
+    }
+
+    /// The paper's `1`: identity of `⊗`.
+    pub fn one(&self) -> V {
+        self.mul.identity()
+    }
+
+    /// `a ⊕ b`.
+    pub fn plus(&self, a: &V, b: &V) -> V {
+        self.add.apply(a, b)
+    }
+
+    /// `a ⊗ b`.
+    pub fn times(&self, a: &V, b: &V) -> V {
+        self.mul.apply(a, b)
+    }
+
+    /// Whether `v` is the pair's zero element.
+    pub fn is_zero(&self, v: &V) -> bool {
+        self.add.is_identity(v)
+    }
+
+    /// The pair's display name in the paper's `⊕.⊗` notation, e.g.
+    /// `"+.×"` or `"max.min"`.
+    pub fn name(&self) -> String {
+        format!("{}.{}", A::NAME, M::NAME)
+    }
+}
+
+impl<V: Value, A: BinaryOp<V>, M: BinaryOp<V>> Default for OpPair<V, A, M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Value, A: BinaryOp<V>, M: BinaryOp<V>> Clone for OpPair<V, A, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<V: Value, A: BinaryOp<V>, M: BinaryOp<V>> Copy for OpPair<V, A, M> {}
+
+impl<V: Value, A: BinaryOp<V>, M: BinaryOp<V>> fmt::Debug for OpPair<V, A, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OpPair({})", self.name())
+    }
+}
+
+/// Condition (a) of Theorem II.1: `a ⊕ b = 0  ⇔  a = b = 0`
+/// (the value set is **zero-sum-free** under this pair's `⊕`).
+///
+/// Implemented for concrete `OpPair` instantiations only after the
+/// property has been verified (exhaustively for finite value sets,
+/// by proof + randomized check otherwise). See `crate::pairs`.
+pub trait ZeroSumFreePair {}
+
+/// Condition (b) of Theorem II.1: `a ⊗ b = 0  ⇔  a = 0 ∨ b = 0`
+/// (no zero divisors, and the product of zeros is zero).
+pub trait NoZeroDivisorsPair {}
+
+/// Condition (c) of Theorem II.1: `a ⊗ 0 = 0 ⊗ a = 0`
+/// (the pair's zero annihilates under `⊗`).
+pub trait AnnihilatingZeroPair {}
+
+/// The conjunction of Theorem II.1's three conditions.
+///
+/// `aarray_core::adjacency_array` requires this bound, so the compiler
+/// itself enforces the theorem's sufficiency direction: you can only ask
+/// for `Eᵀout ⊕.⊗ Ein` *as an adjacency array* with a pair whose
+/// nonzero structure is guaranteed to equal the graph's edge pattern.
+///
+/// Blanket-implemented for anything carrying all three marker traits.
+pub trait AdjacencyCompatible: ZeroSumFreePair + NoZeroDivisorsPair + AnnihilatingZeroPair {}
+
+impl<T: ZeroSumFreePair + NoZeroDivisorsPair + AnnihilatingZeroPair> AdjacencyCompatible for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Max, Min, Plus, Times};
+    use crate::values::nat::Nat;
+
+    #[test]
+    fn pair_name_matches_paper_notation() {
+        let p: OpPair<Nat, Plus, Times> = OpPair::new();
+        assert_eq!(p.name(), "+.×");
+        let q: OpPair<Nat, Max, Min> = OpPair::new();
+        assert_eq!(q.name(), "max.min");
+    }
+
+    #[test]
+    fn zero_and_one_come_from_the_right_ops() {
+        let p: OpPair<Nat, Plus, Times> = OpPair::new();
+        assert_eq!(p.zero(), Nat(0));
+        assert_eq!(p.one(), Nat(1));
+        assert!(p.is_zero(&Nat(0)));
+        assert!(!p.is_zero(&Nat(3)));
+    }
+
+    #[test]
+    fn pair_is_copy_and_debug() {
+        let p: OpPair<Nat, Max, Min> = OpPair::new();
+        let q = p;
+        assert_eq!(format!("{:?}", q), "OpPair(max.min)");
+        // `p` still usable: Copy.
+        assert_eq!(p.name(), "max.min");
+    }
+
+    #[test]
+    fn plus_times_apply() {
+        let p: OpPair<Nat, Plus, Times> = OpPair::new();
+        assert_eq!(p.plus(&Nat(2), &Nat(3)), Nat(5));
+        assert_eq!(p.times(&Nat(2), &Nat(3)), Nat(6));
+    }
+}

@@ -1,0 +1,117 @@
+//! Zero-sized operator strategy types.
+//!
+//! Each struct here names an operation *shape*; what it actually does —
+//! and what its identity element is — depends on the value set, so the
+//! [`crate::BinaryOp`] implementations live next to each value type in
+//! [`crate::values`]. For example [`Max`] has identity `0` on
+//! [`crate::values::nn::NN`] (whose domain is `[0, +∞]`) but identity
+//! `-∞` on [`crate::values::tropical::Tropical`].
+//!
+//! The `NAME` constants reproduce the paper's operator symbols so pair
+//! names render exactly as in Figures 3 and 5 (`+.×`, `max.+`,
+//! `max.min`, …).
+
+/// Addition-like `+`. Saturating on integers, IEEE on floats (domains
+/// exclude the `∞ + -∞` case by construction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Plus;
+
+/// Multiplication-like `×` in which the *bottom* element absorbs:
+/// `0 ⊗ x = x ⊗ 0 = 0`, even against `+∞`. This is the `×` used when
+/// the pair's zero is `0` (`+.×`, `max.×`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Times;
+
+/// Multiplication-like `×` in which the *top* element absorbs:
+/// `⊤ ⊗ x = x ⊗ ⊤ = ⊤` (then `0` absorbs among the rest). This is the
+/// `×` used when the pair's zero is `+∞` (`min.×`), matching the
+/// paper's remark that every `⊗` in Figure 3 annihilates *its own* zero,
+/// "be it 0, -∞, or ∞".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimesTop;
+
+/// Maximum with respect to the value set's total order. Identity is the
+/// set's least element (`0`, `-∞`, `⊥`, …).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Max;
+
+/// Minimum with respect to the value set's total order. Identity is the
+/// set's greatest element (`+∞`, `u64::MAX`, `⊤`, …).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Min;
+
+/// Logical or bitwise disjunction (`∨`). Identity `false` / `∅`-like.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Or;
+
+/// Logical or bitwise conjunction (`∧`). Identity `true` / full-set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct And;
+
+/// Exclusive or (`⊻`). Identity `false`. A deliberately *non-compliant*
+/// `⊕`: `a ⊻ a = 0`, so it is never zero-sum-free on a non-trivial set
+/// (the "rings are not zero-sum-free" non-example in miniature).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Xor;
+
+/// Set union (`∪`). Identity `∅`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Union;
+
+/// Set intersection (`∩`). Identity: the full set / universe marker.
+/// With `⊕ = ∪` this is the paper's Section III pair for document×word
+/// arrays; it generally has zero divisors (disjoint non-empty sets) and
+/// is therefore *not* adjacency-compatible in general.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Intersect;
+
+/// Symmetric difference (`Δ`). Identity `∅`; not zero-sum-free
+/// (`A Δ A = ∅`). The Boolean-ring non-example.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SymDiff;
+
+/// Absolute difference `|a − b|`. Identity `0`. Commutative but **not
+/// associative** — exercises the paper's point that Theorem II.1 does
+/// not need associativity, and feeds the law-checker tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AbsDiff;
+
+/// String concatenation. Identity `""`. Associative but **not
+/// commutative** — used to demonstrate Section III's remark that
+/// `(AB)ᵀ = BᵀAᵀ` requires commutativity of `⊗`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Concat;
+
+/// Greatest common divisor. Identity `0` (`gcd(a, 0) = a`).
+/// `gcd.lcm` over ℕ is a showcase *compliant* pair built from
+/// non-arithmetic operations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Gcd;
+
+/// Least common multiple. Identity `1` (`lcm(a, 1) = a`), with
+/// `lcm(a, 0) = 0` so the `gcd`-zero annihilates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Lcm;
+
+/// Probabilistic (noisy-)or `a + b − ab` on the unit interval.
+/// Identity `0`. The `⊕` of the `probor.×` pair on
+/// [`crate::values::unit::Unit`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbOr;
+
+/// Midpoint `(a + b) / 2` on non-negative reals. Has **no identity** as
+/// a standalone op over the whole domain, so it implements
+/// [`crate::BinaryOp`] nowhere; it exists only for the law checkers'
+/// negative tests via [`crate::laws::check_associative_fn`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Midpoint;
+
+/// Left projection `a ∘ b = a`. No two-sided identity; law-checker
+/// fodder only (associative, maximally non-commutative).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Left;
+
+/// Right projection `a ∘ b = b`. No two-sided identity; law-checker
+/// fodder only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Right;

@@ -1,0 +1,257 @@
+//! Named operator pairs and their compile-time compliance markers.
+//!
+//! The seven pairs of Figures 3 and 5 get type aliases here, plus the
+//! compliant extras (`∨.∧`, `gcd.lcm`, chain/string lattices). Every
+//! `impl` of a Theorem II.1 marker trait in this file is justified by a
+//! proof sketch in its comment and validated by a runtime property
+//! check in the test module (exhaustive where `V` is finite).
+
+use crate::op::{AnnihilatingZeroPair, NoZeroDivisorsPair, OpPair, ZeroSumFreePair};
+use crate::ops::{
+    And, Gcd, Intersect, Lcm, Max, Min, Or, Plus, ProbOr, SymDiff, Times, TimesTop, Union, Xor,
+};
+use crate::values::bstr::BStr;
+use crate::values::chain::Chain;
+use crate::values::nat::Nat;
+use crate::values::nn::NN;
+use crate::values::tropical::Tropical;
+
+/// `+.×` — sums the products of edge weights: "the strength of all
+/// connections between two connected vertices".
+pub type PlusTimes<V> = OpPair<V, Plus, Times>;
+/// `max.×` — selects the edge with the largest weighted product.
+pub type MaxTimes<V> = OpPair<V, Max, Times>;
+/// `min.×` — selects the edge with the smallest weighted product.
+/// Zero is `+∞`, so the `⊗` is the top-absorbing [`TimesTop`].
+pub type MinTimes<V> = OpPair<V, Min, TimesTop>;
+/// `max.+` — selects the edge with the largest weighted sum. Zero is
+/// `-∞`; carried by [`Tropical`].
+pub type MaxPlus<V> = OpPair<V, Max, Plus>;
+/// `min.+` — selects the edge with the smallest weighted sum. Zero is
+/// `+∞`.
+pub type MinPlus<V> = OpPair<V, Min, Plus>;
+/// `max.min` — the largest of the shortest connections.
+pub type MaxMin<V> = OpPair<V, Max, Min>;
+/// `min.max` — the smallest of the largest connections.
+pub type MinMax<V> = OpPair<V, Min, Max>;
+/// `∨.∧` — the Boolean semiring: pure edge existence.
+pub type OrAnd = OpPair<bool, Or, And>;
+/// `⊻.∧` — Boolean ring; the minimal zero-sum-freeness non-example.
+pub type XorAnd = OpPair<bool, Xor, And>;
+/// `∪.∩` — set-valued arrays (Section III); zero divisors in general.
+pub type UnionIntersect<V> = OpPair<V, Union, Intersect>;
+/// `Δ.∩` — symmetric-difference Boolean ring on power sets.
+pub type SymDiffIntersect<V> = OpPair<V, SymDiff, Intersect>;
+/// `gcd.lcm` — a compliant pair built from non-arithmetic operations.
+pub type GcdLcm = OpPair<Nat, Gcd, Lcm>;
+/// `max.·` on completed strings — `⊗` is concatenation, which is
+/// associative but **not commutative**. Not adjacency-compatible
+/// (concat's zero behaviour breaks conditions (b)/(c)); it exists to
+/// demonstrate Section III's remark that `(AB)ᵀ = BᵀAᵀ` requires a
+/// commutative `⊗`.
+pub type MaxConcat = OpPair<BStr, Max, crate::ops::Concat>;
+/// `probor.×` on `[0, 1]` — the noisy-or probability pair: chance that
+/// at least one independent connection fires.
+pub type ProbOrTimes = OpPair<crate::values::unit::Unit, ProbOr, Times>;
+/// `max.×` on `[0, 1]` — the Viterbi pair: most-probable connection.
+pub type Viterbi = OpPair<crate::values::unit::Unit, Max, Times>;
+
+/// Constructor sugar: `plus_times::<NN>()` etc.
+pub fn plus_times<V: crate::Value>() -> PlusTimes<V>
+where
+    Plus: crate::BinaryOp<V>,
+    Times: crate::BinaryOp<V>,
+{
+    OpPair::new()
+}
+
+/// Constructor sugar for `max.min`.
+pub fn max_min<V: crate::Value>() -> MaxMin<V>
+where
+    Max: crate::BinaryOp<V>,
+    Min: crate::BinaryOp<V>,
+{
+    OpPair::new()
+}
+
+macro_rules! mark_compliant {
+    ($($(#[$doc:meta])* $pair:ty),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            impl ZeroSumFreePair for $pair {}
+            impl NoZeroDivisorsPair for $pair {}
+            impl AnnihilatingZeroPair for $pair {}
+        )+
+    };
+}
+
+// ℕ (saturating u64). Compliant pairs are those whose zero is 0
+// (saturation only ever lands on ⊤ = u64::MAX, never on 0) plus the
+// lattice pairs, whose ops never saturate. min.+/min.× over Nat are
+// deliberately NOT marked: their zero is ⊤ and saturation creates
+// zero divisors (see values::nat docs and the witness test below).
+mark_compliant! {
+    PlusTimes<Nat>,
+    MaxTimes<Nat>,
+    MaxMin<Nat>,
+    MinMax<Nat>,
+    GcdLcm,
+}
+
+// [0, +∞] reals: the six nonnegative pairs of Figures 3/5. Proof
+// sketches: sums/maxes of nonnegatives are 0 only if both args are 0;
+// products are 0 only if a factor is 0 (Times bottom-absorbs);
+// min/plus hit +∞ only if an argument is +∞ (TimesTop top-absorbs);
+// each zero annihilates by the absorbing definitions. Idealized-real
+// semantics; see values::nn for the IEEE-underflow caveat.
+mark_compliant! {
+    PlusTimes<NN>,
+    MaxTimes<NN>,
+    MinTimes<NN>,
+    MinPlus<NN>,
+    MaxMin<NN>,
+    MinMax<NN>,
+}
+
+// ℝ ∪ {-∞} with zero = -∞: max(a,b) = -∞ iff both are; a + b = -∞ iff
+// either is; x + -∞ = -∞.
+mark_compliant! {
+    MaxPlus<Tropical>,
+}
+
+// [0, 1]: probor/max of values in [0,1] is 0 only when both are; a
+// product is 0 only when a factor is; 0 absorbs ×. Lattice pairs as on
+// any chain with ⊥ = 0, ⊤ = 1.
+mark_compliant! {
+    ProbOrTimes,
+    Viterbi,
+    MaxMin<crate::values::unit::Unit>,
+    MinMax<crate::values::unit::Unit>,
+}
+
+// The Boolean semiring {false, true} with ∨.∧ — exhaustively verified.
+mark_compliant! {
+    OrAnd,
+}
+
+// Finite chains and completed strings under the lattice pairs: any
+// linearly ordered set with ⊕ = max, ⊗ = min complies (paper, §III),
+// and dually with the roles of ⊥/⊤ swapped.
+impl<const N: u32> ZeroSumFreePair for MaxMin<Chain<N>> {}
+impl<const N: u32> NoZeroDivisorsPair for MaxMin<Chain<N>> {}
+impl<const N: u32> AnnihilatingZeroPair for MaxMin<Chain<N>> {}
+impl<const N: u32> ZeroSumFreePair for MinMax<Chain<N>> {}
+impl<const N: u32> NoZeroDivisorsPair for MinMax<Chain<N>> {}
+impl<const N: u32> AnnihilatingZeroPair for MinMax<Chain<N>> {}
+
+mark_compliant! {
+    MaxMin<BStr>,
+    MinMax<BStr>,
+}
+
+// NOT marked (non-examples, so `adjacency_array` refuses them at
+// compile time): XorAnd, PlusTimes<Zn<N>>, PlusTimes<i64>,
+// UnionIntersect<PowerSet<N>>, UnionIntersect<WordSet>,
+// SymDiffIntersect<PowerSet<N>>, MinPlus<Nat>, MinTimes<Nat>.
+// The runtime checker produces witnesses for each; see tests.
+
+/// The paper's seven operator pairs over their canonical carriers, as
+/// `(name, zero-name)` metadata for harnesses that iterate all seven.
+pub const SEVEN_PAIR_NAMES: [(&str, &str); 7] = [
+    ("+.×", "0"),
+    ("max.×", "0"),
+    ("min.×", "∞"),
+    ("max.+", "-∞"),
+    ("min.+", "∞"),
+    ("max.min", "0"),
+    ("min.max", "∞"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::AdjacencyCompatible;
+    use crate::properties::{check_pair_exhaustive, check_pair_sampled};
+    use crate::values::powerset::PowerSet;
+    use crate::values::wordset::WordSet;
+    use crate::values::zn::Zn;
+
+    fn assert_compatible<T: AdjacencyCompatible>() {}
+
+    #[test]
+    fn marked_pairs_satisfy_the_trait_bound() {
+        assert_compatible::<PlusTimes<Nat>>();
+        assert_compatible::<PlusTimes<NN>>();
+        assert_compatible::<MaxTimes<NN>>();
+        assert_compatible::<MinTimes<NN>>();
+        assert_compatible::<MaxPlus<Tropical>>();
+        assert_compatible::<MinPlus<NN>>();
+        assert_compatible::<MaxMin<NN>>();
+        assert_compatible::<MinMax<NN>>();
+        assert_compatible::<OrAnd>();
+        assert_compatible::<GcdLcm>();
+        assert_compatible::<MaxMin<Chain<9>>>();
+        assert_compatible::<MaxMin<BStr>>();
+    }
+
+    #[test]
+    fn exhaustive_validation_of_finite_marked_pairs() {
+        assert!(check_pair_exhaustive(&OrAnd::new()).adjacency_compatible());
+        assert!(check_pair_exhaustive(&MaxMin::<Chain<11>>::new()).adjacency_compatible());
+        assert!(check_pair_exhaustive(&MinMax::<Chain<11>>::new()).adjacency_compatible());
+    }
+
+    #[test]
+    fn sampled_validation_of_infinite_marked_pairs() {
+        assert!(check_pair_sampled(&PlusTimes::<Nat>::new(), 300, 7).adjacency_compatible());
+        assert!(check_pair_sampled(&MaxTimes::<Nat>::new(), 300, 8).adjacency_compatible());
+        assert!(check_pair_sampled(&MaxMin::<Nat>::new(), 300, 9).adjacency_compatible());
+        assert!(check_pair_sampled(&MinMax::<Nat>::new(), 300, 10).adjacency_compatible());
+        assert!(check_pair_sampled(&GcdLcm::new(), 300, 11).adjacency_compatible());
+        assert!(check_pair_sampled(&MaxPlus::<Tropical>::new(), 300, 12).adjacency_compatible());
+        assert!(check_pair_sampled(&MaxMin::<BStr>::new(), 300, 13).adjacency_compatible());
+        assert!(check_pair_sampled(&MinMax::<BStr>::new(), 300, 14).adjacency_compatible());
+        assert!(check_pair_sampled(&ProbOrTimes::new(), 300, 19).adjacency_compatible());
+        assert!(check_pair_sampled(&Viterbi::new(), 300, 20).adjacency_compatible());
+        assert!(
+            check_pair_sampled(&MaxMin::<crate::values::unit::Unit>::new(), 300, 21)
+                .adjacency_compatible()
+        );
+        assert!(
+            check_pair_sampled(&MinMax::<crate::values::unit::Unit>::new(), 300, 22)
+                .adjacency_compatible()
+        );
+    }
+
+    #[test]
+    fn unmarked_pairs_are_refuted_with_witnesses() {
+        assert!(!check_pair_exhaustive(&XorAnd::new()).adjacency_compatible());
+        assert!(!check_pair_exhaustive(&PlusTimes::<Zn<6>>::new()).adjacency_compatible());
+        assert!(!check_pair_exhaustive(&UnionIntersect::<PowerSet<3>>::new())
+            .adjacency_compatible());
+        assert!(!check_pair_exhaustive(&SymDiffIntersect::<PowerSet<3>>::new())
+            .adjacency_compatible());
+        assert!(!check_pair_sampled(&PlusTimes::<i64>::new(), 300, 15).adjacency_compatible());
+        assert!(!check_pair_sampled(&UnionIntersect::<WordSet>::new(), 300, 16)
+            .adjacency_compatible());
+        assert!(!check_pair_sampled(&MinPlus::<Nat>::new(), 300, 17).adjacency_compatible());
+        assert!(!check_pair_sampled(&MinTimes::<Nat>::new(), 300, 18).adjacency_compatible());
+    }
+
+    #[test]
+    fn seven_pair_names_match_figure_three() {
+        let names: Vec<&str> = SEVEN_PAIR_NAMES.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["+.×", "max.×", "min.×", "max.+", "min.+", "max.min", "min.max"]
+        );
+    }
+
+    #[test]
+    fn pair_constructors() {
+        let p = plus_times::<Nat>();
+        assert_eq!(p.name(), "+.×");
+        let m = max_min::<NN>();
+        assert_eq!(m.name(), "max.min");
+    }
+}

@@ -1,0 +1,349 @@
+//! Runtime verification of Theorem II.1's three conditions.
+//!
+//! The compile-time markers in [`crate::op`] encode *known* compliance.
+//! This module provides the decision procedure: exhaustive over finite
+//! value sets (a genuine proof for that `V`), sampled over infinite
+//! ones (refutation-complete in practice: every non-example in the
+//! paper is refuted by a boundary-biased sample batch). Failed checks
+//! return concrete witnesses, which plug straight into the Lemma
+//! II.2–II.4 counterexample gadgets of [`crate::counterexample`].
+
+use crate::finite::FiniteValueSet;
+use crate::op::{BinaryOp, OpPair};
+use crate::value::Value;
+use crate::values::RandomValue;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Which of the theorem's conditions a witness refutes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Condition {
+    /// Condition (a): `a ⊕ b = 0 ⇒ a = b = 0`.
+    ZeroSumFree,
+    /// Condition (b), "only if" direction: `a ⊗ b = 0 ⇒ a = 0 ∨ b = 0`.
+    NoZeroDivisors,
+    /// Condition (c): `a ⊗ 0 = 0 ⊗ a = 0`.
+    AnnihilatingZero,
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::ZeroSumFree => write!(f, "zero-sum-free"),
+            Condition::NoZeroDivisors => write!(f, "no zero divisors"),
+            Condition::AnnihilatingZero => write!(f, "0 annihilates ⊗"),
+        }
+    }
+}
+
+/// A concrete refutation of one condition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Witness<V: Value> {
+    /// Which condition fails.
+    pub condition: Condition,
+    /// First operand.
+    pub a: V,
+    /// Second operand (`None` for one-sided annihilator failures where
+    /// the other operand is the zero element itself).
+    pub b: Option<V>,
+    /// The offending result of the operation.
+    pub result: V,
+}
+
+impl<V: Value + fmt::Display> fmt::Display for Witness<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.condition, &self.b) {
+            (Condition::ZeroSumFree, Some(b)) => {
+                write!(f, "{} ⊕ {} = {} (zero, with nonzero operands)", self.a, b, self.result)
+            }
+            (Condition::NoZeroDivisors, Some(b)) => {
+                write!(f, "{} ⊗ {} = {} (zero divisors)", self.a, b, self.result)
+            }
+            (Condition::AnnihilatingZero, _) => {
+                write!(f, "{} ⊗ 0 or 0 ⊗ {} = {} ≠ 0", self.a, self.a, self.result)
+            }
+            _ => write!(f, "{:?}", self),
+        }
+    }
+}
+
+/// Outcome of checking all three conditions for one `⊕.⊗` pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PropertyReport<V: Value> {
+    /// Pair name in `⊕.⊗` notation.
+    pub pair_name: String,
+    /// Whether the check enumerated the whole value set (proof) or only
+    /// sampled it (refutation-only).
+    pub exhaustive: bool,
+    /// Condition (a) result: `Ok` or the first witness found.
+    pub zero_sum_free: Result<(), Witness<V>>,
+    /// Condition (b) result.
+    pub no_zero_divisors: Result<(), Witness<V>>,
+    /// Condition (c) result.
+    pub annihilating_zero: Result<(), Witness<V>>,
+}
+
+impl<V: Value> PropertyReport<V> {
+    /// True iff all three conditions held on the inspected domain —
+    /// i.e. Theorem II.1 guarantees `EᵀoutEin` is an adjacency array.
+    pub fn adjacency_compatible(&self) -> bool {
+        self.zero_sum_free.is_ok()
+            && self.no_zero_divisors.is_ok()
+            && self.annihilating_zero.is_ok()
+    }
+
+    /// All witnesses found, in condition order.
+    pub fn witnesses(&self) -> Vec<&Witness<V>> {
+        [
+            self.zero_sum_free.as_ref().err(),
+            self.no_zero_divisors.as_ref().err(),
+            self.annihilating_zero.as_ref().err(),
+        ]
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+impl<V: Value + fmt::Display> fmt::Display for PropertyReport<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.exhaustive { "exhaustive" } else { "sampled" };
+        writeln!(f, "pair {} ({} check):", self.pair_name, kind)?;
+        let line = |r: &Result<(), Witness<V>>| match r {
+            Ok(()) => "holds".to_string(),
+            Err(w) => format!("FAILS: {}", w),
+        };
+        writeln!(f, "  (a) zero-sum-free:   {}", line(&self.zero_sum_free))?;
+        writeln!(f, "  (b) no zero divisors: {}", line(&self.no_zero_divisors))?;
+        writeln!(f, "  (c) 0 annihilates ⊗:  {}", line(&self.annihilating_zero))?;
+        write!(
+            f,
+            "  ⇒ EᵀoutEin {} guaranteed to be an adjacency array",
+            if self.adjacency_compatible() { "IS" } else { "is NOT" }
+        )
+    }
+}
+
+/// Check the three conditions on an explicit slice of values.
+///
+/// The slice should contain the zero element (it is added if missing).
+/// Complexity `O(n²)` in the slice length.
+pub fn check_pair_on<V, A, M>(pair: &OpPair<V, A, M>, samples: &[V]) -> PropertyReport<V>
+where
+    V: Value,
+    A: BinaryOp<V>,
+    M: BinaryOp<V>,
+{
+    let zero = pair.zero();
+    let mut domain: Vec<V> = samples.to_vec();
+    if !domain.contains(&zero) {
+        domain.push(zero.clone());
+    }
+
+    let mut zsf: Result<(), Witness<V>> = Ok(());
+    let mut nzd: Result<(), Witness<V>> = Ok(());
+    let mut ann: Result<(), Witness<V>> = Ok(());
+
+    for a in &domain {
+        // Condition (c): a ⊗ 0 = 0 ⊗ a = 0.
+        if ann.is_ok() {
+            let left = pair.times(a, &zero);
+            let right = pair.times(&zero, a);
+            if !pair.is_zero(&left) {
+                ann = Err(Witness { condition: Condition::AnnihilatingZero, a: a.clone(), b: None, result: left });
+            } else if !pair.is_zero(&right) {
+                ann = Err(Witness { condition: Condition::AnnihilatingZero, a: a.clone(), b: None, result: right });
+            }
+        }
+        for b in &domain {
+            // Condition (a), nontrivial direction: if not both operands
+            // are zero, the sum must not be zero.
+            if zsf.is_ok() && !(pair.is_zero(a) && pair.is_zero(b)) {
+                let s = pair.plus(a, b);
+                if pair.is_zero(&s) {
+                    zsf = Err(Witness {
+                        condition: Condition::ZeroSumFree,
+                        a: a.clone(),
+                        b: Some(b.clone()),
+                        result: s,
+                    });
+                }
+            }
+            // Condition (b): nonzero ⊗ nonzero ≠ 0.
+            if nzd.is_ok() && !pair.is_zero(a) && !pair.is_zero(b) {
+                let p = pair.times(a, b);
+                if pair.is_zero(&p) {
+                    nzd = Err(Witness {
+                        condition: Condition::NoZeroDivisors,
+                        a: a.clone(),
+                        b: Some(b.clone()),
+                        result: p,
+                    });
+                }
+            }
+        }
+        if zsf.is_err() && nzd.is_err() && ann.is_err() {
+            break;
+        }
+    }
+
+    PropertyReport {
+        pair_name: pair.name(),
+        exhaustive: false,
+        zero_sum_free: zsf,
+        no_zero_divisors: nzd,
+        annihilating_zero: ann,
+    }
+}
+
+/// Decide the three conditions by enumerating the whole (finite) value
+/// set — a proof for this `V`.
+///
+/// ```
+/// use aarray_algebra::pairs::{OrAnd, PlusTimes};
+/// use aarray_algebra::properties::check_pair_exhaustive;
+/// use aarray_algebra::values::zn::Zn;
+///
+/// // The Boolean semiring complies…
+/// assert!(check_pair_exhaustive(&OrAnd::new()).adjacency_compatible());
+/// // …the ring ℤ/6 does not (1 ⊕ 5 = 0; 2 ⊗ 3 = 0).
+/// let report = check_pair_exhaustive(&PlusTimes::<Zn<6>>::new());
+/// assert!(!report.adjacency_compatible());
+/// assert_eq!(report.witnesses().len(), 2);
+/// ```
+pub fn check_pair_exhaustive<V, A, M>(pair: &OpPair<V, A, M>) -> PropertyReport<V>
+where
+    V: FiniteValueSet,
+    A: BinaryOp<V>,
+    M: BinaryOp<V>,
+{
+    let mut report = check_pair_on(pair, &V::enumerate_all());
+    report.exhaustive = true;
+    report
+}
+
+/// Check the conditions on a boundary-biased random sample of `n`
+/// values drawn with the given seed (deterministic).
+pub fn check_pair_sampled<V, A, M>(pair: &OpPair<V, A, M>, n: usize, seed: u64) -> PropertyReport<V>
+where
+    V: RandomValue,
+    A: BinaryOp<V>,
+    M: BinaryOp<V>,
+{
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let samples = V::sample_batch(&mut rng, n);
+    check_pair_on(pair, &samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{And, Intersect, Max, Min, Or, Plus, Times, Union, Xor};
+    use crate::values::chain::Chain;
+    use crate::values::nat::Nat;
+    use crate::values::nn::NN;
+    use crate::values::powerset::PowerSet;
+    use crate::values::zn::Zn;
+
+    #[test]
+    fn bool_or_and_is_compliant_exhaustively() {
+        let pair: OpPair<bool, Or, And> = OpPair::new();
+        let report = check_pair_exhaustive(&pair);
+        assert!(report.adjacency_compatible(), "{}", report.pair_name);
+        assert!(report.exhaustive);
+    }
+
+    #[test]
+    fn bool_xor_and_fails_zero_sum_freeness() {
+        let pair: OpPair<bool, Xor, And> = OpPair::new();
+        let report = check_pair_exhaustive(&pair);
+        let w = report.zero_sum_free.unwrap_err();
+        assert_eq!(w.condition, Condition::ZeroSumFree);
+        assert_eq!((w.a, w.b), (true, Some(true)));
+        assert!(report.no_zero_divisors.is_ok());
+        assert!(report.annihilating_zero.is_ok());
+    }
+
+    #[test]
+    fn chain_max_min_compliant() {
+        let pair: OpPair<Chain<7>, Max, Min> = OpPair::new();
+        assert!(check_pair_exhaustive(&pair).adjacency_compatible());
+        let rev: OpPair<Chain<7>, Min, Max> = OpPair::new();
+        assert!(check_pair_exhaustive(&rev).adjacency_compatible());
+    }
+
+    #[test]
+    fn zn_fails_exactly_as_the_paper_says() {
+        // ℤ/6: not zero-sum-free (2+4=0) and has zero divisors (2·3=0).
+        let pair: OpPair<Zn<6>, Plus, Times> = OpPair::new();
+        let report = check_pair_exhaustive(&pair);
+        assert!(report.zero_sum_free.is_err());
+        assert!(report.no_zero_divisors.is_err());
+        assert!(report.annihilating_zero.is_ok());
+        // ℤ/5 is a field: still not zero-sum-free, but no zero divisors.
+        let field: OpPair<Zn<5>, Plus, Times> = OpPair::new();
+        let report = check_pair_exhaustive(&field);
+        assert!(report.zero_sum_free.is_err());
+        assert!(report.no_zero_divisors.is_ok());
+    }
+
+    #[test]
+    fn powerset_union_intersect_fails_only_zero_divisors() {
+        let pair: OpPair<PowerSet<3>, Union, Intersect> = OpPair::new();
+        let report = check_pair_exhaustive(&pair);
+        assert!(report.zero_sum_free.is_ok());
+        assert!(report.annihilating_zero.is_ok());
+        let w = report.no_zero_divisors.unwrap_err();
+        assert_eq!(w.condition, Condition::NoZeroDivisors);
+        // The witness must be two disjoint non-empty sets.
+        let (a, b) = (w.a, w.b.unwrap());
+        assert!(!a.is_empty() && !b.is_empty());
+        assert!(Intersect.apply(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn nn_pairs_pass_sampled_checks() {
+        assert!(check_pair_sampled(&OpPair::<NN, Plus, Times>::new(), 200, 1).adjacency_compatible());
+        assert!(check_pair_sampled(&OpPair::<NN, Max, Min>::new(), 200, 2).adjacency_compatible());
+        assert!(check_pair_sampled(&OpPair::<NN, Min, Max>::new(), 200, 3).adjacency_compatible());
+        assert!(check_pair_sampled(&OpPair::<NN, Min, Plus>::new(), 200, 4).adjacency_compatible());
+    }
+
+    #[test]
+    fn nat_min_plus_saturation_witness() {
+        // Saturating ℕ is NOT compliant for min.+: zero is ⊤ = u64::MAX
+        // and two huge finite values saturate onto it.
+        let pair: OpPair<Nat, Min, Plus> = OpPair::new();
+        let report = check_pair_on(
+            &pair,
+            &[Nat(0), Nat(1), Nat(u64::MAX - 1), Nat(u64::MAX)],
+        );
+        assert!(report.no_zero_divisors.is_err());
+    }
+
+    #[test]
+    fn explicit_sample_check_finds_float_zero_divisor_via_underflow() {
+        let pair: OpPair<NN, Plus, Times> = OpPair::new();
+        let tiny = NN::new(1e-200).unwrap();
+        let report = check_pair_on(&pair, &[tiny]);
+        // 1e-200 × 1e-200 underflows to exactly 0.0: the documented
+        // IEEE deviation from idealized ℝ≥0.
+        assert!(report.no_zero_divisors.is_err());
+    }
+
+    #[test]
+    fn report_display_mentions_verdict() {
+        let pair: OpPair<bool, Or, And> = OpPair::new();
+        let report = check_pair_exhaustive(&pair);
+        let text = report.to_string();
+        assert!(text.contains("∨.∧"));
+        assert!(text.contains("IS"));
+    }
+
+    #[test]
+    fn witnesses_accessor_collects_all_failures() {
+        let pair: OpPair<Zn<6>, Plus, Times> = OpPair::new();
+        let report = check_pair_exhaustive(&pair);
+        assert_eq!(report.witnesses().len(), 2);
+    }
+}

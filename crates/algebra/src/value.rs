@@ -1,0 +1,34 @@
+//! The [`Value`] trait: what the paper calls the value set `V`.
+
+use std::fmt;
+
+/// An element of a value set `V` (Definition I.1 of the paper).
+///
+/// The paper requires only that `V` is a set closed under `⊕` and `⊗`;
+/// computationally we additionally need cloning, equality (to recognize
+/// the zero element), debug formatting, and thread-safety (the sparse
+/// kernels are row-parallel).
+///
+/// Equality must be a genuine equivalence relation: value types wrapping
+/// floating point numbers must exclude `NaN` by construction (see
+/// [`crate::values::nn::NN`]).
+///
+/// This trait is blanket-implemented; you never implement it manually.
+pub trait Value: Clone + PartialEq + fmt::Debug + Send + Sync + 'static {}
+
+impl<T: Clone + PartialEq + fmt::Debug + Send + Sync + 'static> Value for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_value<T: Value>() {}
+
+    #[test]
+    fn std_types_are_values() {
+        assert_value::<u64>();
+        assert_value::<bool>();
+        assert_value::<String>();
+        assert_value::<Vec<u32>>();
+    }
+}

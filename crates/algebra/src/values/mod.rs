@@ -1,0 +1,46 @@
+//! Concrete value systems.
+//!
+//! One module per value set, each implementing [`crate::BinaryOp`] for
+//! the applicable operator shapes in [`crate::ops`], plus random
+//! sampling for the property checkers. Together these cover every
+//! example and non-example the paper mentions:
+//!
+//! | Module | Value set | Paper role |
+//! |---|---|---|
+//! | [`nat`] | ℕ (saturating `u64`) | compliant `+.×` example; saturation subtleties |
+//! | [`nn`] | `[0, +∞]` reals | the six nonnegative-real pairs of Figures 3/5 |
+//! | [`tropical`] | ℝ ∪ {−∞} | `max.+` with zero `-∞` |
+//! | [`boolean`] | {false, true} | compliant Boolean *semiring*; `⊻` non-example |
+//! | [`chain`] | finite total order | "any linearly ordered set with max/min" |
+//! | [`bstr`] | alphanumeric strings + ⊥/⊤ | the introduction's `max.min` string example |
+//! | [`zn`] | ℤ/n | ring non-example ("rings are not zero-sum-free") |
+//! | [`powerset`] | subsets of a finite universe | non-trivial Boolean algebra non-example |
+//! | [`mod@unit`] | the interval `[0, 1]` | Viterbi / noisy-or probability pairs |
+//! | [`wordset`] | sets of words (+ universe ⊤) | Section III's `∪.∩` document×word arrays |
+//! | [`int`] | ℤ (`i64`) | signed ring non-example |
+
+pub mod boolean;
+pub mod bstr;
+pub mod chain;
+pub mod int;
+pub mod nat;
+pub mod nn;
+pub mod powerset;
+pub mod tropical;
+pub mod unit;
+pub mod wordset;
+pub mod zn;
+
+/// Values that can be sampled uniformly-ish at random, for the
+/// randomized property checkers on infinite (or too-large) value sets.
+pub trait RandomValue: crate::Value {
+    /// Draw one sample. Implementations deliberately over-weight
+    /// boundary elements (zero candidates, tops, small values) because
+    /// the interesting witnesses live there.
+    fn random(rng: &mut dyn rand::RngCore) -> Self;
+
+    /// A default batch of samples: boundary-biased random draws.
+    fn sample_batch(rng: &mut dyn rand::RngCore, n: usize) -> Vec<Self> {
+        (0..n).map(|_| Self::random(rng)).collect()
+    }
+}

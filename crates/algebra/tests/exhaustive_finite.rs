@@ -1,0 +1,176 @@
+//! The finite-structure verdict table, exhaustively decided.
+//!
+//! For every finite value system in the library and every meaningful
+//! pair on it, enumerate all of `V × V` (and `V³` for the laws) and pin
+//! the verdicts. This is the machine-checked version of Section III's
+//! discussion of examples and non-examples.
+
+use aarray_algebra::laws::{laws_exhaustive, profile_pair};
+use aarray_algebra::ops::{And, Intersect, Max, Min, Or, SymDiff, Union, Xor};
+use aarray_algebra::pairs::{MaxMin, MinMax, OrAnd, PlusTimes, SymDiffIntersect, UnionIntersect, XorAnd};
+use aarray_algebra::properties::check_pair_exhaustive;
+use aarray_algebra::values::chain::Chain;
+use aarray_algebra::values::powerset::PowerSet;
+use aarray_algebra::values::zn::Zn;
+use aarray_algebra::{FiniteValueSet, OpPair};
+
+#[test]
+fn boolean_ops_law_table() {
+    let or = laws_exhaustive::<bool, _>(&Or);
+    assert!(or.associative.is_none() && or.commutative.is_none() && or.identity_violation.is_none());
+    let and = laws_exhaustive::<bool, _>(&And);
+    assert!(and.associative.is_none() && and.commutative.is_none());
+    let xor = laws_exhaustive::<bool, _>(&Xor);
+    assert!(xor.associative.is_none() && xor.commutative.is_none());
+}
+
+#[test]
+fn chain_lattice_full_verdicts() {
+    // Chains are bounded distributive lattices: full semirings in both
+    // orientations, and compliant in both.
+    let p = profile_pair(&MaxMin::<Chain<7>>::new(), &Chain::<7>::enumerate_all());
+    assert!(p.is_semiring_on_domain());
+    assert!(p.is_adjacency_compatible_on_domain());
+    let p = profile_pair(&MinMax::<Chain<7>>::new(), &Chain::<7>::enumerate_all());
+    assert!(p.is_semiring_on_domain());
+    assert!(p.is_adjacency_compatible_on_domain());
+}
+
+#[test]
+fn zn_verdicts_for_every_modulus_up_to_twelve() {
+    macro_rules! zn_case {
+        ($n:literal, $has_zero_divisors:expr) => {{
+            let report = check_pair_exhaustive(&PlusTimes::<Zn<$n>>::new());
+            // No ℤ/n (n ≥ 2) is zero-sum-free.
+            assert!(report.zero_sum_free.is_err(), "ℤ/{} zero-sum-free?", $n);
+            assert_eq!(
+                report.no_zero_divisors.is_err(),
+                $has_zero_divisors,
+                "ℤ/{} zero divisors",
+                $n
+            );
+            // + and · are proper ring ops: 0 annihilates.
+            assert!(report.annihilating_zero.is_ok());
+        }};
+    }
+    // Primes have no zero divisors; composites do.
+    zn_case!(2, false);
+    zn_case!(3, false);
+    zn_case!(4, true);
+    zn_case!(5, false);
+    zn_case!(6, true);
+    zn_case!(7, false);
+    zn_case!(8, true);
+    zn_case!(9, true);
+    zn_case!(10, true);
+    zn_case!(11, false);
+    zn_case!(12, true);
+}
+
+#[test]
+fn powerset_verdicts_scale_with_universe() {
+    // |U| = 0: the trivial Boolean algebra {∅} IS compliant (the paper:
+    // "non-trivial Boolean algebras" fail).
+    let r = check_pair_exhaustive(&UnionIntersect::<PowerSet<0>>::new());
+    assert!(r.adjacency_compatible(), "trivial Boolean algebra complies");
+    // |U| = 1: the two-element Boolean algebra ≅ the Boolean semiring.
+    let r = check_pair_exhaustive(&UnionIntersect::<PowerSet<1>>::new());
+    assert!(r.adjacency_compatible());
+    // |U| ≥ 2: zero divisors appear.
+    let r = check_pair_exhaustive(&UnionIntersect::<PowerSet<2>>::new());
+    assert!(!r.adjacency_compatible());
+    assert!(r.no_zero_divisors.is_err());
+    let r = check_pair_exhaustive(&UnionIntersect::<PowerSet<4>>::new());
+    assert!(!r.adjacency_compatible());
+}
+
+#[test]
+fn symdiff_is_a_boolean_ring_not_zero_sum_free() {
+    let r = check_pair_exhaustive(&SymDiffIntersect::<PowerSet<3>>::new());
+    assert!(r.zero_sum_free.is_err(), "A Δ A = ∅");
+    // It is nonetheless a genuine semiring (ring, even) on the domain.
+    let p = profile_pair(
+        &SymDiffIntersect::<PowerSet<3>>::new(),
+        &PowerSet::<3>::enumerate_all(),
+    );
+    assert!(p.is_semiring_on_domain());
+    assert!(!p.is_adjacency_compatible_on_domain());
+}
+
+#[test]
+fn xor_and_is_gf2() {
+    // 𝔽₂: a field, hence a semiring with annihilating zero and no zero
+    // divisors — but additive inverses kill zero-sum-freeness.
+    let r = check_pair_exhaustive(&XorAnd::new());
+    assert!(r.zero_sum_free.is_err());
+    assert!(r.no_zero_divisors.is_ok());
+    assert!(r.annihilating_zero.is_ok());
+    let p = profile_pair(&XorAnd::new(), &bool::enumerate_all());
+    assert!(p.is_semiring_on_domain());
+}
+
+#[test]
+fn or_and_is_the_unique_compliant_boolean_pair() {
+    for (name, compatible) in [
+        ("∨.∧", check_pair_exhaustive(&OrAnd::new()).adjacency_compatible()),
+        ("⊻.∧", check_pair_exhaustive(&XorAnd::new()).adjacency_compatible()),
+        (
+            "∨.⊻",
+            check_pair_exhaustive(&OpPair::<bool, Or, Xor>::new()).adjacency_compatible(),
+        ),
+    ] {
+        assert_eq!(compatible, name == "∨.∧", "{}", name);
+    }
+}
+
+#[test]
+fn lattice_ops_on_powersets_are_lawful_but_incompatible() {
+    // ∪/∩ satisfy every lattice law on the power set…
+    let u = laws_exhaustive::<PowerSet<3>, _>(&Union);
+    assert!(u.associative.is_none() && u.commutative.is_none() && u.identity_violation.is_none());
+    let i = laws_exhaustive::<PowerSet<3>, _>(&Intersect);
+    assert!(i.associative.is_none() && i.commutative.is_none() && i.identity_violation.is_none());
+    let s = laws_exhaustive::<PowerSet<3>, _>(&SymDiff);
+    assert!(s.associative.is_none());
+    // …lawfulness just isn't the paper's criterion.
+    assert!(!check_pair_exhaustive(&UnionIntersect::<PowerSet<3>>::new()).adjacency_compatible());
+}
+
+#[test]
+fn chain_boundary_sizes() {
+    // N = 1: the one-element chain is the zero ring analogue — zero is
+    // the only value, and all conditions hold vacuously/trivially.
+    let r = check_pair_exhaustive(&MaxMin::<Chain<1>>::new());
+    assert!(r.adjacency_compatible());
+    // N = 2 is the Boolean semiring in lattice clothing.
+    let r = check_pair_exhaustive(&MaxMin::<Chain<2>>::new());
+    assert!(r.adjacency_compatible());
+}
+
+#[test]
+fn cross_check_lattice_laws_on_every_small_chain() {
+    macro_rules! chain_case {
+        ($n:literal) => {{
+            let all = Chain::<$n>::enumerate_all();
+            assert_eq!(all.len(), $n);
+            let mx = laws_exhaustive::<Chain<$n>, _>(&Max);
+            assert!(mx.associative.is_none() && mx.identity_violation.is_none());
+            let mn = laws_exhaustive::<Chain<$n>, _>(&Min);
+            assert!(mn.associative.is_none() && mn.identity_violation.is_none());
+        }};
+    }
+    chain_case!(1);
+    chain_case!(2);
+    chain_case!(3);
+    chain_case!(5);
+    chain_case!(8);
+}
+
+#[test]
+fn times_identity_is_reduced_in_z1() {
+    // ℤ/1 is the zero ring: 1 ≡ 0, and the paper notes the zero ring is
+    // the one ring that IS zero-sum-free (trivially). Our checker
+    // agrees.
+    let r = check_pair_exhaustive(&PlusTimes::<Zn<1>>::new());
+    assert!(r.adjacency_compatible(), "the zero ring complies trivially");
+}

@@ -1,0 +1,172 @@
+//! Property-based consistency tests for the algebra layer: the
+//! compile-time markers, the runtime checkers, and the witnesses they
+//! produce must all tell the same story.
+
+use aarray_algebra::laws::{check_associative, check_commutative, check_identity};
+use aarray_algebra::ops::{Gcd, Lcm, Max, Min, Plus, Times};
+use aarray_algebra::pairs::{GcdLcm, MaxMin, MinMax, PlusTimes, UnionIntersect};
+use aarray_algebra::properties::{check_pair_on, Condition};
+use aarray_algebra::values::nat::Nat;
+use aarray_algebra::values::nn::NN;
+use aarray_algebra::values::powerset::PowerSet;
+use aarray_algebra::values::zn::Zn;
+use aarray_algebra::BinaryOp;
+use proptest::prelude::*;
+
+fn nat_vec() -> impl Strategy<Value = Vec<Nat>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            1u64..10,
+            1u64..1_000_000,
+            Just(u64::MAX),
+            Just(u64::MAX - 1),
+        ]
+        .prop_map(Nat),
+        1..20,
+    )
+}
+
+fn nn_vec() -> impl Strategy<Value = Vec<NN>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0.0f64),
+            Just(f64::INFINITY),
+            (0.001f64..1e6),
+            (1u32..10).prop_map(|v| v as f64),
+        ]
+        .prop_map(|x| NN::new(x).unwrap()),
+        1..20,
+    )
+}
+
+proptest! {
+    // --- marker trait ⇒ law actually holds on random samples ---
+
+    #[test]
+    fn nat_lattice_ops_obey_their_markers(samples in nat_vec()) {
+        prop_assert!(check_associative(&Max, &samples).is_none());
+        prop_assert!(check_associative(&Min, &samples).is_none());
+        prop_assert!(check_commutative(&Max, &samples).is_none());
+        prop_assert!(check_commutative(&Min, &samples).is_none());
+        prop_assert!(check_identity(&Max, &samples).is_none());
+        prop_assert!(check_identity(&Min, &samples).is_none());
+        prop_assert!(check_associative(&Gcd, &samples).is_none());
+        prop_assert!(check_commutative(&Gcd, &samples).is_none());
+        prop_assert!(check_commutative(&Lcm, &samples).is_none());
+        prop_assert!(check_commutative(&Plus, &samples).is_none());
+        prop_assert!(check_commutative(&Times, &samples).is_none());
+        // Saturating + and × are associative even at the boundary (the
+        // samples include u64::MAX and MAX−1): saturation computes
+        // min(exact, MAX) regardless of association.
+        prop_assert!(check_associative(&Plus, &samples).is_none());
+        prop_assert!(check_associative(&Times, &samples).is_none());
+    }
+
+    #[test]
+    fn nn_ops_identities_hold(samples in nn_vec()) {
+        prop_assert!(check_identity(&Plus, &samples).is_none());
+        prop_assert!(check_identity(&Times, &samples).is_none());
+        prop_assert!(check_identity(&Max, &samples).is_none());
+        prop_assert!(check_identity(&Min, &samples).is_none());
+    }
+
+    // --- compliant pairs stay compliant on arbitrary sample sets ---
+
+    #[test]
+    fn nat_plus_times_compliant_on_any_samples(samples in nat_vec()) {
+        let report = check_pair_on(&PlusTimes::<Nat>::new(), &samples);
+        prop_assert!(report.adjacency_compatible(), "{:?}", report.witnesses());
+    }
+
+    #[test]
+    fn nat_lattice_pairs_compliant_on_any_samples(samples in nat_vec()) {
+        prop_assert!(check_pair_on(&MaxMin::<Nat>::new(), &samples).adjacency_compatible());
+        prop_assert!(check_pair_on(&MinMax::<Nat>::new(), &samples).adjacency_compatible());
+    }
+
+    #[test]
+    fn gcd_lcm_compliant_on_any_samples(samples in nat_vec()) {
+        prop_assert!(check_pair_on(&GcdLcm::new(), &samples).adjacency_compatible());
+    }
+
+    // --- witnesses are genuine: re-evaluating them reproduces the
+    //     violation ---
+
+    #[test]
+    fn zn_witnesses_reproduce(samples in prop::collection::vec(0u64..12, 1..15)) {
+        let pair = PlusTimes::<Zn<12>>::new();
+        let values: Vec<Zn<12>> = samples.into_iter().map(Zn::new).collect();
+        let report = check_pair_on(&pair, &values);
+        if let Err(w) = &report.zero_sum_free {
+            prop_assert_eq!(w.condition.clone(), Condition::ZeroSumFree);
+            let b = w.b.unwrap();
+            prop_assert!(!pair.is_zero(&w.a) || !pair.is_zero(&b));
+            prop_assert!(pair.is_zero(&pair.plus(&w.a, &b)));
+        }
+        if let Err(w) = &report.no_zero_divisors {
+            let b = w.b.unwrap();
+            prop_assert!(!pair.is_zero(&w.a) && !pair.is_zero(&b));
+            prop_assert!(pair.is_zero(&pair.times(&w.a, &b)));
+        }
+    }
+
+    #[test]
+    fn powerset_witnesses_are_disjoint_nonempty(bits in prop::collection::vec(0u16..16, 1..12)) {
+        let pair = UnionIntersect::<PowerSet<4>>::new();
+        let values: Vec<PowerSet<4>> = bits.into_iter().map(PowerSet::from_bits).collect();
+        let report = check_pair_on(&pair, &values);
+        if let Err(w) = &report.no_zero_divisors {
+            let b = w.b.unwrap();
+            prop_assert!(!w.a.is_empty() && !b.is_empty());
+            prop_assert_eq!(w.a.bits() & b.bits(), 0);
+        }
+        // ∪.∩ never fails (a) or (c), whatever the samples.
+        prop_assert!(report.zero_sum_free.is_ok());
+        prop_assert!(report.annihilating_zero.is_ok());
+    }
+
+    // --- monotonicity: adding samples can only find more failures ---
+
+    #[test]
+    fn check_is_monotone_in_samples(samples in prop::collection::vec(0u64..12, 2..12)) {
+        let pair = PlusTimes::<Zn<12>>::new();
+        let values: Vec<Zn<12>> = samples.iter().copied().map(Zn::new).collect();
+        let full = check_pair_on(&pair, &values);
+        let half = check_pair_on(&pair, &values[..values.len() / 2]);
+        // If the smaller set already refutes a condition, the larger
+        // set must refute it too.
+        if half.zero_sum_free.is_err() {
+            prop_assert!(full.zero_sum_free.is_err());
+        }
+        if half.no_zero_divisors.is_err() {
+            prop_assert!(full.no_zero_divisors.is_err());
+        }
+    }
+
+    // --- OpPair plumbing ---
+
+    #[test]
+    fn pair_ops_delegate(a in 0u64..1000, b in 0u64..1000) {
+        let pair = PlusTimes::<Nat>::new();
+        prop_assert_eq!(pair.plus(&Nat(a), &Nat(b)), Plus.apply(&Nat(a), &Nat(b)));
+        prop_assert_eq!(pair.times(&Nat(a), &Nat(b)), Times.apply(&Nat(a), &Nat(b)));
+        prop_assert_eq!(pair.is_zero(&Nat(a)), a == 0);
+    }
+}
+
+#[test]
+fn exhaustive_and_sampled_agree_on_small_finite_sets() {
+    // For a finite set, a sampled check over the full enumeration must
+    // equal the exhaustive check.
+    use aarray_algebra::finite::FiniteValueSet;
+    use aarray_algebra::properties::check_pair_exhaustive;
+    let pair = PlusTimes::<Zn<8>>::new();
+    let exhaustive = check_pair_exhaustive(&pair);
+    let manual = check_pair_on(&pair, &Zn::<8>::enumerate_all());
+    assert_eq!(exhaustive.adjacency_compatible(), manual.adjacency_compatible());
+    assert_eq!(
+        exhaustive.zero_sum_free.is_ok(),
+        manual.zero_sum_free.is_ok()
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 1 regeneration cost: exploding a dense table into the sparse
+//! incidence view, at the paper's size and scaled up.
+
+use aarray_d4m::music::music_table;
+use aarray_d4m::Table;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A synthetic table with the music table's shape, `n` rows.
+fn synthetic_table(n: usize) -> Table {
+    let mut t = Table::new(["Artist", "Date", "Genre", "Label", "Release", "Type", "Writer"]);
+    for i in 0..n {
+        t.push_row(
+            format!("track{:07}", i),
+            vec![
+                vec![format!("Artist{}", i % 50)],
+                vec![format!("2020-{:02}-{:02}", i % 12 + 1, i % 28 + 1)],
+                vec![format!("Genre{}", i % 8), format!("Genre{}", (i + 3) % 8)],
+                vec![format!("Label{}", i % 20)],
+                vec![format!("Release{}", i % 200)],
+                vec!["Single".to_string()],
+                vec![format!("Writer{}", i % 100), format!("Writer{}", (i + 7) % 100)],
+            ],
+        );
+    }
+    t
+}
+
+fn bench_explode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_explode");
+
+    let music = music_table();
+    group.bench_function("music_table_22rows", |b| {
+        b.iter(|| {
+            let e = music.explode();
+            assert_eq!(e.nnz(), 185);
+            e
+        })
+    });
+
+    for n in [100usize, 1_000, 10_000] {
+        let t = synthetic_table(n);
+        group.bench_with_input(BenchmarkId::new("synthetic", n), &t, |b, t| {
+            b.iter(|| t.explode())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_explode);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 2 regeneration cost: D4M range selection `E(:, 'a : b')` at
+//! the paper's size and on larger exploded arrays.
+
+use aarray_bench::synthetic_music_table;
+use aarray_d4m::music::music_incidence;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_select");
+
+    let e = music_incidence();
+    group.bench_function("music_genre_range", |b| {
+        b.iter(|| {
+            let e1 = e.select_cols_str("Genre|A : Genre|Z");
+            assert_eq!(e1.shape().1, 3);
+            e1
+        })
+    });
+    group.bench_function("music_writer_range", |b| {
+        b.iter(|| e.select_cols_str("Writer|A : Writer|Z"))
+    });
+
+    // Larger exploded incidence arrays, Figure 1's shape at scale.
+    for tracks in [1_000usize, 10_000] {
+        let e = synthetic_music_table(tracks, 8, 100, 42).explode();
+        group.bench_with_input(BenchmarkId::new("synthetic_genre_range", tracks), &e, |b, e| {
+            b.iter(|| e.select_cols_str("Genre|A : Genre|Z"))
+        });
+        group.bench_with_input(BenchmarkId::new("synthetic_prefix", tracks), &e, |b, e| {
+            b.iter(|| e.select_cols_str("Writer|*"))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_select);
+criterion_main!(benches);

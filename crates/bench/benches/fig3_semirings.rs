@@ -1,0 +1,82 @@
+//! Figure 3 regeneration cost: `A = E1ᵀ ⊕.⊗ E2` across all seven
+//! operator pairs, at the paper's size and on scaled music-like data.
+//!
+//! The paper's observation to preserve: the *pattern* cost is identical
+//! across pairs (same nonzero structure); only the value arithmetic
+//! differs, so timings should be close.
+
+use aarray_algebra::pairs::{MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, PlusTimes};
+use aarray_algebra::values::nn::NN;
+use aarray_algebra::values::tropical::{trop, Tropical};
+use aarray_core::{adjacency_array_unchecked, AArray};
+use aarray_bench::synthetic_e1_e2;
+use aarray_d4m::music::{music_e1, music_e2};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pairs(c: &mut Criterion, group_name: &str, e1: &AArray<NN>, e2: &AArray<NN>) {
+    let mut group = c.benchmark_group(group_name);
+    group.bench_function("plus_times", |b| {
+        let p = PlusTimes::<NN>::new();
+        b.iter(|| adjacency_array_unchecked(e1, e2, &p))
+    });
+    group.bench_function("max_times", |b| {
+        let p = MaxTimes::<NN>::new();
+        b.iter(|| adjacency_array_unchecked(e1, e2, &p))
+    });
+    group.bench_function("min_times", |b| {
+        let p = MinTimes::<NN>::new();
+        b.iter(|| adjacency_array_unchecked(e1, e2, &p))
+    });
+    group.bench_function("max_plus_tropical", |b| {
+        let p = MaxPlus::<Tropical>::new();
+        let e1t = e1.map_prune(&p, |v| trop(v.get()));
+        let e2t = e2.map_prune(&p, |v| trop(v.get()));
+        b.iter(|| adjacency_array_unchecked(&e1t, &e2t, &p))
+    });
+    group.bench_function("min_plus", |b| {
+        let p = MinPlus::<NN>::new();
+        b.iter(|| adjacency_array_unchecked(e1, e2, &p))
+    });
+    group.bench_function("max_min", |b| {
+        let p = MaxMin::<NN>::new();
+        b.iter(|| adjacency_array_unchecked(e1, e2, &p))
+    });
+    group.bench_function("min_max", |b| {
+        let p = MinMax::<NN>::new();
+        b.iter(|| adjacency_array_unchecked(e1, e2, &p))
+    });
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    // The paper's exact workload: 22×3 ᵀ × 22×5.
+    bench_pairs(c, "fig3_music", &music_e1(), &music_e2());
+
+    // Scaled extension: the same shape of computation on synthetic
+    // track × genre / track × writer arrays (track-indexed, so the
+    // correlation through shared tracks is non-degenerate).
+    for tracks in [1_000usize, 10_000] {
+        let (e1, e2) = synthetic_e1_e2(tracks, 8, 100, 7);
+        let mut group = c.benchmark_group("fig3_scaled");
+        group.bench_with_input(
+            BenchmarkId::new("plus_times", tracks),
+            &(&e1, &e2),
+            |b, (e1, e2)| {
+                let p = PlusTimes::<NN>::new();
+                b.iter(|| adjacency_array_unchecked(e1, e2, &p))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("max_min", tracks),
+            &(&e1, &e2),
+            |b, (e1, e2)| {
+                let p = MaxMin::<NN>::new();
+                b.iter(|| adjacency_array_unchecked(e1, e2, &p))
+            },
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 4 regeneration cost: key-aware re-weighting of an incidence
+//! array (`Genre|Pop → 2`, `Genre|Rock → 3`), at the paper's size and
+//! scaled.
+
+use aarray_algebra::pairs::PlusTimes;
+use aarray_algebra::values::nn::{nn, NN};
+use aarray_bench::synthetic_music_table;
+use aarray_d4m::music::music_e1;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_reweight(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_reweight");
+    let pair = PlusTimes::<NN>::new();
+
+    let e1 = music_e1();
+    group.bench_function("music_e1", |b| {
+        b.iter(|| {
+            e1.map_with_keys(&pair, |_, col, v| match col {
+                "Genre|Pop" => nn(2.0),
+                "Genre|Rock" => nn(3.0),
+                _ => *v,
+            })
+        })
+    });
+
+    for tracks in [1_000usize, 10_000, 100_000] {
+        let e = synthetic_music_table(tracks, 8, 100, 11).explode();
+        group.bench_with_input(BenchmarkId::new("scaled", tracks), &e, |b, e| {
+            b.iter(|| {
+                e.map_with_keys(&pair, |_, col, v| {
+                    if col.starts_with("Genre|") {
+                        nn(2.0)
+                    } else {
+                        *v
+                    }
+                })
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_reweight);
+criterion_main!(benches);

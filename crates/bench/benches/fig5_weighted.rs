@@ -1,0 +1,52 @@
+//! Figure 5 regeneration cost: the weighted multiply across all seven
+//! pairs. Values differ from Figure 3 but the pattern work is
+//! identical — the paper's point that one syntax serves many algebras.
+
+use aarray_algebra::pairs::{MaxMin, MaxPlus, MinMax, MinPlus, PlusTimes};
+use aarray_algebra::values::nn::NN;
+use aarray_algebra::values::tropical::{trop, Tropical};
+use aarray_core::adjacency_array_unchecked;
+use aarray_d4m::music::{music_e1_weighted, music_e2};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_weighted");
+    let e1 = music_e1_weighted();
+    let e2 = music_e2();
+
+    group.bench_function("plus_times", |b| {
+        let p = PlusTimes::<NN>::new();
+        b.iter(|| adjacency_array_unchecked(&e1, &e2, &p))
+    });
+    group.bench_function("max_plus_tropical", |b| {
+        let p = MaxPlus::<Tropical>::new();
+        let e1t = e1.map_prune(&p, |v| trop(v.get()));
+        let e2t = e2.map_prune(&p, |v| trop(v.get()));
+        b.iter(|| adjacency_array_unchecked(&e1t, &e2t, &p))
+    });
+    group.bench_function("min_plus", |b| {
+        let p = MinPlus::<NN>::new();
+        b.iter(|| adjacency_array_unchecked(&e1, &e2, &p))
+    });
+    group.bench_function("max_min", |b| {
+        let p = MaxMin::<NN>::new();
+        b.iter(|| adjacency_array_unchecked(&e1, &e2, &p))
+    });
+    group.bench_function("min_max", |b| {
+        let p = MinMax::<NN>::new();
+        b.iter(|| adjacency_array_unchecked(&e1, &e2, &p))
+    });
+    // End-to-end: reweight + multiply (the full Figure 4 → Figure 5
+    // pipeline).
+    group.bench_function("reweight_then_multiply", |b| {
+        let p = PlusTimes::<NN>::new();
+        b.iter(|| {
+            let w = aarray_d4m::music::music_e1_weighted();
+            adjacency_array_unchecked(&w, &e2, &p)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

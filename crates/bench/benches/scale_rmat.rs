@@ -1,0 +1,38 @@
+//! Scaling extension: incidence→adjacency on R-MAT graphs across
+//! scales, `+.×` vs `max.min` — does the algebra choice affect
+//! construction throughput on power-law inputs?
+
+use aarray_algebra::pairs::{MaxMin, PlusTimes};
+use aarray_algebra::values::nat::Nat;
+use aarray_core::adjacency_array;
+use aarray_graph::generators::rmat;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_scale(c: &mut Criterion) {
+    let pt = PlusTimes::<Nat>::new();
+    let mm = MaxMin::<Nat>::new();
+    let mut group = c.benchmark_group("scale_rmat");
+    group.sample_size(15);
+
+    for scale in [8u32, 10, 12, 14] {
+        let m = 8 * (1usize << scale);
+        let g = rmat(scale, m, (0.57, 0.19, 0.19, 0.05), 42);
+        let (eout, ein) = g.incidence_arrays(&pt);
+        group.throughput(Throughput::Elements(m as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("plus_times", scale),
+            &(&eout, &ein),
+            |b, (eout, ein)| b.iter(|| adjacency_array(eout, ein, &pt)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("max_min", scale),
+            &(&eout, &ein),
+            |b, (eout, ein)| b.iter(|| adjacency_array(eout, ein, &mm)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

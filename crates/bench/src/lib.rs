@@ -1,0 +1,99 @@
+//! Shared workload builders for the benchmark targets.
+//!
+//! The figure benches need *track-indexed* incidence arrays (rows =
+//! entities, columns = `field|value` attributes), i.e. the shape of the
+//! paper's `E` — not the edge-indexed arrays a [`aarray_graph`]
+//! multigraph produces (whose `E1ᵀE2` products over edge keys are
+//! empty, because one edge touches one attribute). These builders scale
+//! Figure 1's shape up deterministically.
+
+use aarray_algebra::pairs::PlusTimes;
+use aarray_algebra::values::nn::{nn, NN};
+use aarray_core::AArray;
+use aarray_d4m::Table;
+
+/// A synthetic music-shaped table: `n` rows, each with 1–2 genres (of
+/// `genres`) and 1–3 writers (of `writers`), plus the other Figure 1
+/// fields. Deterministic in `seed`.
+pub fn synthetic_music_table(n: usize, genres: usize, writers: usize, seed: u64) -> Table {
+    let mut t = Table::new(["Artist", "Date", "Genre", "Label", "Release", "Type", "Writer"]);
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = |m: usize| {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((x >> 33) as usize) % m
+    };
+    for i in 0..n {
+        let n_g = 1 + next(2);
+        let mut gs: Vec<String> = (0..n_g).map(|_| format!("G{:03}", next(genres))).collect();
+        gs.sort();
+        gs.dedup();
+        let n_w = 1 + next(3);
+        let mut ws: Vec<String> = (0..n_w).map(|_| format!("W{:05}", next(writers))).collect();
+        ws.sort();
+        ws.dedup();
+        t.push_row(
+            format!("track{:07}", i),
+            vec![
+                vec![format!("Artist{:03}", next(64))],
+                vec![format!("2020-{:02}-{:02}", next(12) + 1, next(28) + 1)],
+                gs,
+                vec![format!("Label{:02}", next(24))],
+                vec![format!("Release{:04}", next(500))],
+                vec!["Single".to_string()],
+                ws,
+            ],
+        );
+    }
+    t
+}
+
+/// The Figure 2 analogue at scale: `(E1, E2)` — track×genre and
+/// track×writer incidence arrays selected from the exploded synthetic
+/// table.
+pub fn synthetic_e1_e2(n: usize, genres: usize, writers: usize, seed: u64) -> (AArray<NN>, AArray<NN>) {
+    let e = synthetic_music_table(n, genres, writers, seed).explode();
+    let e1 = e.select_cols_str("Genre|*");
+    let e2 = e.select_cols_str("Writer|*");
+    (e1, e2)
+}
+
+/// Sanity value so benches can assert non-degeneracy cheaply.
+pub fn product_nnz_lower_bound(e1: &AArray<NN>, e2: &AArray<NN>) -> usize {
+    let pair = PlusTimes::<NN>::new();
+    let a = e1.transpose().matmul(e2, &pair);
+    assert!(
+        a.nnz() > 0,
+        "degenerate workload: E1ᵀE2 is empty ({}×{} · {}×{})",
+        e1.shape().0,
+        e1.shape().1,
+        e2.shape().0,
+        e2.shape().1
+    );
+    let _ = nn(1.0);
+    a.nnz()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_table_shape() {
+        let t = synthetic_music_table(100, 8, 50, 42);
+        assert_eq!(t.len(), 100);
+        assert!(t.incidence_count() >= 100 * 7);
+        // Deterministic.
+        assert_eq!(t, synthetic_music_table(100, 8, 50, 42));
+    }
+
+    #[test]
+    fn e1_e2_are_track_indexed_and_product_is_nonempty() {
+        let (e1, e2) = synthetic_e1_e2(200, 6, 40, 7);
+        assert_eq!(e1.shape().0, 200);
+        assert!(e1.shape().1 <= 6);
+        assert!(e2.shape().1 <= 40);
+        // Shared row keys (tracks) make the correlation non-degenerate.
+        let nnz = product_nnz_lower_bound(&e1, &e2);
+        assert!(nnz >= 6);
+    }
+}

@@ -1,0 +1,105 @@
+//! Concatenation of associative arrays.
+//!
+//! Because associative arrays are keyed, concatenation is just
+//! element-wise `⊕` over disjoint key populations — D4M's idiom for
+//! assembling a large incidence array from batches (e.g. appending new
+//! rows of a table, or new edge batches of a graph). These helpers add
+//! the *disjointness checks* that make the idiom safe: overlapping keys
+//! would silently `⊕`-combine instead of concatenating.
+
+use crate::array::AArray;
+use aarray_algebra::{BinaryOp, OpPair, Value};
+
+impl<V: Value> AArray<V> {
+    /// Vertical concatenation: `[self; below]`. Row key sets must be
+    /// disjoint (panics otherwise); column keys may overlap freely.
+    pub fn concat_rows<A, M>(&self, below: &AArray<V>, pair: &OpPair<V, A, M>) -> AArray<V>
+    where
+        A: BinaryOp<V>,
+        M: BinaryOp<V>,
+    {
+        let (common, _, _) = self.row_keys().intersect(below.row_keys());
+        assert!(
+            common.is_empty(),
+            "row key sets overlap (e.g. {:?}); use ewise_add for keyed merging",
+            common.keys().first()
+        );
+        self.ewise_add(below, pair)
+    }
+
+    /// Horizontal concatenation: `[self, right]`. Column key sets must
+    /// be disjoint (panics otherwise).
+    pub fn concat_cols<A, M>(&self, right: &AArray<V>, pair: &OpPair<V, A, M>) -> AArray<V>
+    where
+        A: BinaryOp<V>,
+        M: BinaryOp<V>,
+    {
+        let (common, _, _) = self.col_keys().intersect(right.col_keys());
+        assert!(
+            common.is_empty(),
+            "column key sets overlap (e.g. {:?}); use ewise_add for keyed merging",
+            common.keys().first()
+        );
+        self.ewise_add(right, pair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::pairs::PlusTimes;
+    use aarray_algebra::values::nat::Nat;
+
+    fn pair() -> PlusTimes<Nat> {
+        PlusTimes::new()
+    }
+
+    #[test]
+    fn vertical_concat() {
+        let top = AArray::from_triples(&pair(), [("r1", "c", Nat(1))]);
+        let bottom = AArray::from_triples(&pair(), [("r2", "c", Nat(2))]);
+        let both = top.concat_rows(&bottom, &pair());
+        assert_eq!(both.shape(), (2, 1));
+        assert_eq!(both.get("r1", "c"), Some(&Nat(1)));
+        assert_eq!(both.get("r2", "c"), Some(&Nat(2)));
+    }
+
+    #[test]
+    fn horizontal_concat() {
+        let left = AArray::from_triples(&pair(), [("r", "c1", Nat(1))]);
+        let right = AArray::from_triples(&pair(), [("r", "c2", Nat(2))]);
+        let both = left.concat_cols(&right, &pair());
+        assert_eq!(both.shape(), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "row key sets overlap")]
+    fn overlapping_rows_rejected() {
+        let a = AArray::from_triples(&pair(), [("r", "c1", Nat(1))]);
+        let b = AArray::from_triples(&pair(), [("r", "c2", Nat(2))]);
+        let _ = a.concat_rows(&b, &pair());
+    }
+
+    #[test]
+    #[should_panic(expected = "column key sets overlap")]
+    fn overlapping_cols_rejected() {
+        let a = AArray::from_triples(&pair(), [("r1", "c", Nat(1))]);
+        let b = AArray::from_triples(&pair(), [("r2", "c", Nat(2))]);
+        let _ = a.concat_cols(&b, &pair());
+    }
+
+    #[test]
+    fn batched_incidence_assembly() {
+        // Assemble an incidence array from two edge batches, then
+        // check it equals the all-at-once construction.
+        let p = pair();
+        let batch1 = AArray::from_triples(&p, [("e1", "a", Nat(1)), ("e2", "b", Nat(1))]);
+        let batch2 = AArray::from_triples(&p, [("e3", "a", Nat(1))]);
+        let assembled = batch1.concat_rows(&batch2, &p);
+        let whole = AArray::from_triples(
+            &p,
+            [("e1", "a", Nat(1)), ("e2", "b", Nat(1)), ("e3", "a", Nat(1))],
+        );
+        assert_eq!(assembled, whole);
+    }
+}

@@ -1,0 +1,137 @@
+//! Paper-style grid rendering of associative arrays.
+//!
+//! Figures 1–5 display arrays as labelled grids with row keys down the
+//! left and column keys across the top. [`AArray::to_grid`] reproduces
+//! that layout in monospace text; the `repro` binary uses it to print
+//! each figure.
+
+use crate::array::AArray;
+use aarray_algebra::Value;
+use std::fmt::Display;
+
+impl<V: Value + Display> AArray<V> {
+    /// Render as an aligned text grid. Empty cells (the pair's zero)
+    /// print as blanks, exactly as the figures leave them blank.
+    pub fn to_grid(&self) -> String {
+        let mut cells: Vec<Vec<String>> =
+            vec![vec![String::new(); self.col_keys().len()]; self.row_keys().len()];
+        for (r, row) in cells.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                if let Some(v) = self.csr().get(r, c) {
+                    *cell = v.to_string();
+                }
+            }
+        }
+
+        let row_label_width = self
+            .row_keys()
+            .keys()
+            .iter()
+            .map(|k| k.chars().count())
+            .max()
+            .unwrap_or(0);
+        let col_widths: Vec<usize> = self
+            .col_keys()
+            .keys()
+            .iter()
+            .enumerate()
+            .map(|(c, k)| {
+                let data_w = cells.iter().map(|row| row[c].chars().count()).max().unwrap_or(0);
+                k.chars().count().max(data_w)
+            })
+            .collect();
+
+        let mut out = String::new();
+        // Header row.
+        out.push_str(&" ".repeat(row_label_width));
+        for (c, k) in self.col_keys().keys().iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&format!("{:>width$}", k, width = col_widths[c]));
+        }
+        out.push('\n');
+        // Data rows.
+        for (r, k) in self.row_keys().keys().iter().enumerate() {
+            out.push_str(&format!("{:<width$}", k, width = row_label_width));
+            for c in 0..self.col_keys().len() {
+                out.push_str("  ");
+                out.push_str(&format!("{:>width$}", cells[r][c], width = col_widths[c]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Compact listing `row,col,value` per line (D4M triple dump).
+    pub fn to_triples_text(&self) -> String {
+        let mut out = String::new();
+        for (r, c, v) in self.iter() {
+            out.push_str(&format!("{},{},{}\n", r, c, v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::pairs::PlusTimes;
+    use aarray_algebra::values::nat::Nat;
+
+    fn sample() -> AArray<Nat> {
+        AArray::from_triples(
+            &PlusTimes::<Nat>::new(),
+            [("row1", "ca", Nat(1)), ("row2", "cbb", Nat(13))],
+        )
+    }
+
+    #[test]
+    fn grid_contains_keys_and_values() {
+        let g = sample().to_grid();
+        assert!(g.contains("ca"));
+        assert!(g.contains("cbb"));
+        assert!(g.contains("row1"));
+        assert!(g.contains("13"));
+        // The zero cell is blank: row1 has no cbb entry, so the row1
+        // line must not contain a digit beyond "1".
+        let row1_line = g.lines().find(|l| l.starts_with("row1")).unwrap();
+        assert!(!row1_line.contains("13"));
+    }
+
+    #[test]
+    fn grid_is_aligned() {
+        let g = sample().to_grid();
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All lines render the same display width.
+        let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{:?}\n{}", widths, g);
+    }
+
+    #[test]
+    fn triples_text() {
+        let t = sample().to_triples_text();
+        assert_eq!(t, "row1,ca,1\nrow2,cbb,13\n");
+    }
+
+    #[test]
+    fn empty_array_grid_is_just_a_header() {
+        use crate::keys::KeySet;
+        let a = AArray::<Nat>::empty(KeySet::empty(), KeySet::from_iter(["c1"]));
+        let g = a.to_grid();
+        assert_eq!(g.lines().count(), 1);
+        assert!(g.contains("c1"));
+        let b = AArray::<Nat>::empty(KeySet::empty(), KeySet::empty());
+        assert_eq!(b.to_grid().trim(), "");
+    }
+
+    #[test]
+    fn unicode_keys_align_by_char_count() {
+        let a = AArray::from_triples(
+            &PlusTimes::<Nat>::new(),
+            [("ключ", "colonne", Nat(1)), ("k", "colonne", Nat(22))],
+        );
+        let g = a.to_grid();
+        let widths: Vec<usize> = g.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{:?}\n{}", widths, g);
+    }
+}

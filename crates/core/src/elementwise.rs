@@ -1,0 +1,118 @@
+//! Element-wise `⊕` and `⊗` on associative arrays, with key-set
+//! alignment — D4M's `A + B` and `A .* B`.
+//!
+//! `⊕` aligns on the **union** of key sets (missing entries are zeros,
+//! which pass through the `⊕`-identity); `⊗` aligns on the union too
+//! but only intersecting stored patterns can produce entries.
+
+use crate::array::AArray;
+use crate::keys::KeySet;
+use aarray_algebra::{BinaryOp, OpPair, Value};
+use aarray_sparse::elementwise::{ewise_add, ewise_mul};
+use aarray_sparse::{Coo, Csr};
+
+/// Re-index an array's entries into larger (union) key sets. Source
+/// entries are unique, so no ⊕-combination is needed — just a sort.
+fn align<V: Value>(a: &AArray<V>, rows: &KeySet, cols: &KeySet) -> Csr<V> {
+    let mut coo = Coo::with_capacity(rows.len(), cols.len(), a.nnz());
+    for (r, c, v) in a.iter() {
+        let ri = rows.index_of(r).expect("union contains key");
+        let ci = cols.index_of(c).expect("union contains key");
+        coo.push(ri, ci, v.clone());
+    }
+    csr_from_unique_coo(coo)
+}
+
+/// Build a CSR from a duplicate-free COO without needing an `OpPair`.
+fn csr_from_unique_coo<V: Value>(coo: Coo<V>) -> Csr<V> {
+    let nrows = coo.nrows();
+    let ncols = coo.ncols();
+    let mut triplets: Vec<(u32, u32, V)> = coo.triplets().to_vec();
+    triplets.sort_by_key(|&(r, c, _)| (r, c));
+    let mut indptr = vec![0usize; nrows + 1];
+    let mut indices = Vec::with_capacity(triplets.len());
+    let mut values = Vec::with_capacity(triplets.len());
+    let mut counts = vec![0usize; nrows];
+    for &(r, _, _) in &triplets {
+        counts[r as usize] += 1;
+    }
+    for i in 0..nrows {
+        indptr[i + 1] = indptr[i] + counts[i];
+    }
+    for (_, c, v) in triplets {
+        indices.push(c);
+        values.push(v);
+    }
+    Csr::from_parts(nrows, ncols, indptr, indices, values)
+}
+
+impl<V: Value> AArray<V> {
+    /// Element-wise `self ⊕ other` over the union of key sets.
+    pub fn ewise_add<A, M>(&self, other: &AArray<V>, pair: &OpPair<V, A, M>) -> AArray<V>
+    where
+        A: BinaryOp<V>,
+        M: BinaryOp<V>,
+    {
+        let rows = self.row_keys().union(other.row_keys());
+        let cols = self.col_keys().union(other.col_keys());
+        let a = align(self, &rows, &cols);
+        let b = align(other, &rows, &cols);
+        AArray::from_parts(rows, cols, ewise_add(&a, &b, pair))
+    }
+
+    /// Element-wise `self ⊗ other` over the union of key sets (entries
+    /// exist only where both operands store values).
+    pub fn ewise_mul<A, M>(&self, other: &AArray<V>, pair: &OpPair<V, A, M>) -> AArray<V>
+    where
+        A: BinaryOp<V>,
+        M: BinaryOp<V>,
+    {
+        let rows = self.row_keys().union(other.row_keys());
+        let cols = self.col_keys().union(other.col_keys());
+        let a = align(self, &rows, &cols);
+        let b = align(other, &rows, &cols);
+        AArray::from_parts(rows, cols, ewise_mul(&a, &b, pair))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::pairs::{MaxMin, PlusTimes};
+    use aarray_algebra::values::nat::Nat;
+
+    fn pt() -> PlusTimes<Nat> {
+        PlusTimes::new()
+    }
+
+    #[test]
+    fn add_unions_keys() {
+        let pair = pt();
+        let a = AArray::from_triples(&pair, [("r1", "c1", Nat(1))]);
+        let b = AArray::from_triples(&pair, [("r2", "c1", Nat(2)), ("r1", "c1", Nat(10))]);
+        let c = a.ewise_add(&b, &pair);
+        assert_eq!(c.row_keys().keys(), &["r1", "r2"]);
+        assert_eq!(c.get("r1", "c1"), Some(&Nat(11)));
+        assert_eq!(c.get("r2", "c1"), Some(&Nat(2)));
+    }
+
+    #[test]
+    fn mul_keeps_only_shared_pattern() {
+        let pair = pt();
+        let a = AArray::from_triples(&pair, [("r", "c1", Nat(3)), ("r", "c2", Nat(4))]);
+        let b = AArray::from_triples(&pair, [("r", "c2", Nat(5)), ("r", "c3", Nat(6))]);
+        let c = a.ewise_mul(&b, &pair);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get("r", "c2"), Some(&Nat(20)));
+        assert_eq!(c.col_keys().keys(), &["c1", "c2", "c3"]);
+    }
+
+    #[test]
+    fn max_min_elementwise_on_arrays() {
+        let pair = MaxMin::<Nat>::new();
+        let a = AArray::from_triples(&pair, [("r", "c", Nat(3))]);
+        let b = AArray::from_triples(&pair, [("r", "c", Nat(7))]);
+        assert_eq!(a.ewise_add(&b, &pair).get("r", "c"), Some(&Nat(7)));
+        assert_eq!(a.ewise_mul(&b, &pair).get("r", "c"), Some(&Nat(3)));
+    }
+}

@@ -1,0 +1,96 @@
+//! Associative-array serialization: keyed triples
+//! (`row_key<TAB>col_key<TAB>value`), the D4M interchange shape.
+
+use crate::array::AArray;
+use aarray_algebra::{BinaryOp, OpPair, Value};
+
+/// Serialize in row-major key order with a caller-supplied formatter.
+/// Keys containing tabs are rejected (panic) — they would corrupt the
+/// format.
+pub fn write_keyed_triples<V: Value>(a: &AArray<V>, fmt: impl Fn(&V) -> String) -> String {
+    let mut out = String::new();
+    for (r, c, v) in a.iter() {
+        assert!(!r.contains('\t') && !c.contains('\t'), "keys must not contain tabs");
+        out.push_str(&format!("{}\t{}\t{}\n", r, c, fmt(v)));
+    }
+    out
+}
+
+/// Parse keyed triples. Key sets are inferred from the data; duplicate
+/// coordinates combine with `⊕` in file order; zeros are pruned.
+/// Returns `None` on any malformed line or unparseable value.
+pub fn read_keyed_triples<V, A, M>(
+    text: &str,
+    pair: &OpPair<V, A, M>,
+    parse: impl Fn(&str) -> Option<V>,
+) -> Option<AArray<V>>
+where
+    V: Value,
+    A: BinaryOp<V>,
+    M: BinaryOp<V>,
+{
+    let mut triples: Vec<(String, String, V)> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.splitn(3, '\t');
+        let r = fields.next()?;
+        let c = fields.next()?;
+        let v = parse(fields.next()?)?;
+        triples.push((r.to_string(), c.to_string(), v));
+    }
+    Some(AArray::from_triples(pair, triples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::pairs::PlusTimes;
+    use aarray_algebra::values::nat::Nat;
+
+    fn sample() -> AArray<Nat> {
+        AArray::from_triples(
+            &PlusTimes::<Nat>::new(),
+            [("rowB", "col1", Nat(2)), ("rowA", "col2", Nat(1))],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = sample();
+        let text = write_keyed_triples(&a, |v| v.0.to_string());
+        let b = read_keyed_triples(&text, &PlusTimes::<Nat>::new(), |s| s.parse().ok().map(Nat))
+            .expect("parses");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn layout_is_key_ordered() {
+        let text = write_keyed_triples(&sample(), |v| v.0.to_string());
+        assert_eq!(text, "rowA\tcol2\t1\nrowB\tcol1\t2\n");
+    }
+
+    #[test]
+    fn read_combines_duplicates() {
+        let text = "r\tc\t3\nr\tc\t4\n";
+        let a = read_keyed_triples(text, &PlusTimes::<Nat>::new(), |s| s.parse().ok().map(Nat))
+            .unwrap();
+        assert_eq!(a.get("r", "c"), Some(&Nat(7)));
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let pair = PlusTimes::<Nat>::new();
+        let p = |s: &str| s.parse().ok().map(Nat);
+        assert!(read_keyed_triples("only_one_field", &pair, p).is_none());
+        assert!(read_keyed_triples("r\tc\tnot_a_number", &pair, p).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "tabs")]
+    fn tabbed_keys_rejected_on_write() {
+        let a = AArray::from_triples(&PlusTimes::<Nat>::new(), [("bad\tkey", "c", Nat(1))]);
+        let _ = write_keyed_triples(&a, |v| v.0.to_string());
+    }
+}

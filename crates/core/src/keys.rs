@@ -1,0 +1,275 @@
+//! Totally-ordered key sets and D4M-style key selection.
+//!
+//! The paper requires key sets to be "finite and totally-ordered"; here
+//! they are sorted, deduplicated string vectors with `O(log n)` lookup.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A finite, totally-ordered set of string keys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeySet {
+    keys: Arc<[String]>,
+}
+
+impl KeySet {
+    /// Build from any iterator of keys: sorted and deduplicated.
+    /// (Deliberately named like `FromIterator::from_iter`; a blanket
+    /// `FromIterator` impl is also provided for `collect()`.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I, S>(keys: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut v: Vec<String> = keys.into_iter().map(Into::into).collect();
+        v.sort();
+        v.dedup();
+        KeySet { keys: v.into() }
+    }
+
+    /// Build from a vector already known to be sorted and unique
+    /// (debug-asserted).
+    pub fn from_sorted_unique(keys: Vec<String>) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted unique");
+        KeySet { keys: keys.into() }
+    }
+
+    /// The empty key set.
+    pub fn empty() -> Self {
+        KeySet { keys: Arc::from(Vec::new()) }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The keys, ascending.
+    pub fn keys(&self) -> &[String] {
+        &self.keys
+    }
+
+    /// Key at position `i`.
+    pub fn key(&self, i: usize) -> &str {
+        &self.keys[i]
+    }
+
+    /// Position of `key`, if present.
+    pub fn index_of(&self, key: &str) -> Option<usize> {
+        self.keys.binary_search_by(|k| k.as_str().cmp(key)).ok()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.index_of(key).is_some()
+    }
+
+    /// Intersection with another key set, returning
+    /// `(keys, idx_in_self, idx_in_other)` — the alignment map array
+    /// multiplication needs.
+    pub fn intersect(&self, other: &KeySet) -> (KeySet, Vec<usize>, Vec<usize>) {
+        let mut keys = Vec::new();
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.len() && j < other.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    keys.push(self.keys[i].clone());
+                    left.push(i);
+                    right.push(j);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        (KeySet::from_sorted_unique(keys), left, right)
+    }
+
+    /// Union with another key set.
+    pub fn union(&self, other: &KeySet) -> KeySet {
+        let mut keys = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.len() || j < other.len() {
+            if j >= other.len() || (i < self.len() && self.keys[i] < other.keys[j]) {
+                keys.push(self.keys[i].clone());
+                i += 1;
+            } else if i >= self.len() || other.keys[j] < self.keys[i] {
+                keys.push(other.keys[j].clone());
+                j += 1;
+            } else {
+                keys.push(self.keys[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+        KeySet::from_sorted_unique(keys)
+    }
+
+    /// Indices of keys matched by a selection, ascending.
+    pub fn select(&self, sel: &KeySelect) -> Vec<usize> {
+        match sel {
+            KeySelect::All => (0..self.len()).collect(),
+            KeySelect::Range { lo, hi } => {
+                let start = self.keys.partition_point(|k| k.as_str() < lo.as_str());
+                let end = self.keys.partition_point(|k| k.as_str() <= hi.as_str());
+                (start..end).collect()
+            }
+            KeySelect::Prefix(p) => (0..self.len())
+                .filter(|&i| self.keys[i].starts_with(p.as_str()))
+                .collect(),
+            KeySelect::List(list) => {
+                let mut idx: Vec<usize> =
+                    list.iter().filter_map(|k| self.index_of(k)).collect();
+                idx.sort_unstable();
+                idx.dedup();
+                idx
+            }
+        }
+    }
+}
+
+impl<S: Into<String>> FromIterator<S> for KeySet {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        // Resolves to the inherent constructor (inherent methods win).
+        KeySet::from_iter(iter)
+    }
+}
+
+impl fmt::Display for KeySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.keys.join(", "))
+    }
+}
+
+/// A D4M/Matlab-style key selection, parsed by [`KeySelect::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KeySelect {
+    /// `:` — every key.
+    All,
+    /// `lo : hi` — the inclusive lexicographic range, as in the paper's
+    /// `E(:, 'Genre|A : Genre|Z')`.
+    Range {
+        /// Lower bound (inclusive).
+        lo: String,
+        /// Upper bound (inclusive).
+        hi: String,
+    },
+    /// `prefix|*` — every key starting with `prefix|`.
+    Prefix(String),
+    /// An explicit key list.
+    List(Vec<String>),
+}
+
+impl KeySelect {
+    /// Parse D4M selection syntax:
+    ///
+    /// * `":"` → [`KeySelect::All`]
+    /// * `"a : b"` (spaces around `:` required, so keys containing `:`
+    ///   still parse) → inclusive [`KeySelect::Range`]
+    /// * `"pre*"` → [`KeySelect::Prefix`] `"pre"`
+    /// * anything else → singleton [`KeySelect::List`]
+    ///
+    /// ```
+    /// use aarray_core::KeySelect;
+    /// assert_eq!(KeySelect::parse(":"), KeySelect::All);
+    /// assert_eq!(
+    ///     KeySelect::parse("Genre|A : Genre|Z"),
+    ///     KeySelect::Range { lo: "Genre|A".into(), hi: "Genre|Z".into() }
+    /// );
+    /// assert_eq!(KeySelect::parse("Writer|*"), KeySelect::Prefix("Writer|".into()));
+    /// ```
+    pub fn parse(s: &str) -> KeySelect {
+        let t = s.trim();
+        if t == ":" {
+            return KeySelect::All;
+        }
+        if let Some((lo, hi)) = t.split_once(" : ") {
+            return KeySelect::Range { lo: lo.trim().to_string(), hi: hi.trim().to_string() };
+        }
+        if let Some(prefix) = t.strip_suffix('*') {
+            return KeySelect::Prefix(prefix.to_string());
+        }
+        KeySelect::List(vec![t.to_string()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_iter_sorts_and_dedups() {
+        let ks = KeySet::from_iter(["b", "a", "b", "c"]);
+        assert_eq!(ks.keys(), &["a", "b", "c"]);
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks.index_of("b"), Some(1));
+        assert_eq!(ks.index_of("z"), None);
+        assert!(ks.contains("c"));
+    }
+
+    #[test]
+    fn intersect_alignment() {
+        let a = KeySet::from_iter(["a", "b", "d", "e"]);
+        let b = KeySet::from_iter(["b", "c", "d"]);
+        let (common, ia, ib) = a.intersect(&b);
+        assert_eq!(common.keys(), &["b", "d"]);
+        assert_eq!(ia, vec![1, 2]);
+        assert_eq!(ib, vec![0, 2]);
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = KeySet::from_iter(["a", "c"]);
+        let b = KeySet::from_iter(["b", "c"]);
+        assert_eq!(a.union(&b).keys(), &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn parse_selections() {
+        assert_eq!(KeySelect::parse(":"), KeySelect::All);
+        assert_eq!(
+            KeySelect::parse("Genre|A : Genre|Z"),
+            KeySelect::Range { lo: "Genre|A".into(), hi: "Genre|Z".into() }
+        );
+        assert_eq!(KeySelect::parse("Writer|*"), KeySelect::Prefix("Writer|".into()));
+        assert_eq!(KeySelect::parse("exact"), KeySelect::List(vec!["exact".into()]));
+    }
+
+    #[test]
+    fn range_selection_is_inclusive_lexicographic() {
+        let ks = KeySet::from_iter(["Genre|Electronic", "Genre|Pop", "Genre|Rock", "Label|Free"]);
+        let sel = KeySelect::parse("Genre|A : Genre|Z");
+        let idx = ks.select(&sel);
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn prefix_selection() {
+        let ks = KeySet::from_iter(["Writer|Ann", "Writer|Bob", "Genre|Pop"]);
+        let idx = ks.select(&KeySelect::Prefix("Writer|".into()));
+        assert_eq!(idx, vec![1, 2]);
+    }
+
+    #[test]
+    fn list_selection_filters_missing() {
+        let ks = KeySet::from_iter(["a", "b", "c"]);
+        let idx = ks.select(&KeySelect::List(vec!["c".into(), "nope".into(), "a".into()]));
+        assert_eq!(idx, vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_keyset() {
+        let e = KeySet::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.select(&KeySelect::All), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,188 @@
+//! Array multiplication `C = A ⊕.⊗ B` (Definition I.3) with key
+//! alignment.
+//!
+//! The paper's definition assumes `A : K1 × K3` and `B : K3 × K2` share
+//! the inner key set. In practice (D4M semantics) the two arrays may
+//! carry different inner key sets; multiplication aligns them on the
+//! **intersection**, because a key absent from one side contributes
+//! only zero terms (`x ⊗ 0 = 0` under condition (c)), which are
+//! `⊕`-identities in the fold. The fold over the aligned inner keys
+//! runs in ascending key order, left-associated — see `aarray-sparse`.
+
+use crate::array::AArray;
+use aarray_algebra::{BinaryOp, OpPair, Value};
+use aarray_sparse::{spgemm_parallel, spgemm_with, Accumulator};
+
+/// How large an operand must be (stored entries) before the row-parallel
+/// kernel is used. Determined by the `ablate_parallel` bench; tiny
+/// arrays lose more to thread fan-out than they gain. The parallel path
+/// is additionally skipped entirely when rayon has a single worker
+/// thread (single-core hosts), where fan-out is pure overhead.
+const PARALLEL_NNZ_THRESHOLD: usize = 1 << 14;
+
+impl<V: Value> AArray<V> {
+    /// `self ⊕.⊗ other`, aligning `self`'s column keys with `other`'s
+    /// row keys on their intersection.
+    ///
+    /// The result has `self`'s row keys and `other`'s column keys —
+    /// for `E1ᵀ (⊕.⊗) E2` that is exactly "row keys taken from the
+    /// column keys of E1 and column keys taken from the column keys of
+    /// E2" (Figure 3's caption).
+    pub fn matmul<A, M>(&self, other: &AArray<V>, pair: &OpPair<V, A, M>) -> AArray<V>
+    where
+        A: BinaryOp<V>,
+        M: BinaryOp<V>,
+    {
+        self.matmul_with(other, pair, None)
+    }
+
+    /// [`AArray::matmul`] with an explicit accumulator strategy
+    /// (`None` = automatic: SPA, parallel for large operands).
+    pub fn matmul_with<A, M>(
+        &self,
+        other: &AArray<V>,
+        pair: &OpPair<V, A, M>,
+        acc: Option<Accumulator>,
+    ) -> AArray<V>
+    where
+        A: BinaryOp<V>,
+        M: BinaryOp<V>,
+    {
+        // Fast path: identical inner key sets need no realignment.
+        let (lhs, rhs);
+        let aligned;
+        if self.col_keys() == other.row_keys() {
+            lhs = self.csr();
+            rhs = other.csr();
+        } else {
+            let (_, left_idx, right_idx) = self.col_keys().intersect(other.row_keys());
+            aligned = (
+                self.csr().select_cols(&left_idx),
+                other.csr().select_rows(&right_idx),
+            );
+            lhs = &aligned.0;
+            rhs = &aligned.1;
+        }
+
+        let acc = acc.unwrap_or(Accumulator::Spa);
+        let big = rayon::current_num_threads() > 1
+            && lhs.nnz().max(rhs.nnz()) >= PARALLEL_NNZ_THRESHOLD;
+        let data = if big {
+            spgemm_parallel(lhs, rhs, pair, acc)
+        } else {
+            spgemm_with(lhs, rhs, pair, acc)
+        };
+
+        AArray::from_parts(self.row_keys().clone(), other.col_keys().clone(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::pairs::{MaxMin, PlusTimes};
+    use aarray_algebra::values::nat::Nat;
+
+    fn pt() -> PlusTimes<Nat> {
+        PlusTimes::new()
+    }
+
+    #[test]
+    fn multiply_with_shared_inner_keys() {
+        let pair = pt();
+        // E: edges × vertices (incidence-like).
+        let a = AArray::from_triples(&pair, [("x", "k1", Nat(2)), ("x", "k2", Nat(3))]);
+        let b = AArray::from_triples(&pair, [("k1", "y", Nat(5)), ("k2", "y", Nat(7))]);
+        let c = a.matmul(&b, &pair);
+        assert_eq!(c.get("x", "y"), Some(&Nat(31)));
+        assert_eq!(c.row_keys().keys(), &["x"]);
+        assert_eq!(c.col_keys().keys(), &["y"]);
+    }
+
+    #[test]
+    fn multiply_aligns_on_key_intersection() {
+        let pair = pt();
+        // a's columns {k1, k2, k3}; b's rows {k2, k3, k4}: align {k2, k3}.
+        let a = AArray::from_triples(
+            &pair,
+            [("r", "k1", Nat(100)), ("r", "k2", Nat(2)), ("r", "k3", Nat(3))],
+        );
+        let b = AArray::from_triples(
+            &pair,
+            [("k2", "c", Nat(10)), ("k3", "c", Nat(10)), ("k4", "c", Nat(100))],
+        );
+        let c = a.matmul(&b, &pair);
+        // Only k2, k3 contribute: 2·10 + 3·10 = 50.
+        assert_eq!(c.get("r", "c"), Some(&Nat(50)));
+    }
+
+    #[test]
+    fn disjoint_inner_keys_give_empty_product() {
+        let pair = pt();
+        let a = AArray::from_triples(&pair, [("r", "k1", Nat(1))]);
+        let b = AArray::from_triples(&pair, [("q9", "c", Nat(1))]);
+        let c = a.matmul(&b, &pair);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.shape(), (1, 1));
+    }
+
+    #[test]
+    fn max_min_matmul() {
+        let pair = MaxMin::<Nat>::new();
+        let a = AArray::from_triples(&pair, [("r", "k1", Nat(3)), ("r", "k2", Nat(9))]);
+        let b = AArray::from_triples(&pair, [("k1", "c", Nat(8)), ("k2", "c", Nat(4))]);
+        let c = a.matmul(&b, &pair);
+        // max(min(3,8), min(9,4)) = max(3,4) = 4.
+        assert_eq!(c.get("r", "c"), Some(&Nat(4)));
+    }
+
+    #[test]
+    fn auto_parallel_path_matches_serial_under_a_multithread_pool() {
+        // Force a 2-worker rayon pool (works even on single-core hosts)
+        // and arrays big enough to cross PARALLEL_NNZ_THRESHOLD, so the
+        // automatic parallel branch actually executes; the result must
+        // equal the serial kernel's bit-for-bit.
+        let pair = pt();
+        let n = 200usize;
+        let per_row = 100usize;
+        let mut t1 = Vec::new();
+        let mut t2 = Vec::new();
+        let mut x = 7u64;
+        for r in 0..n {
+            for _ in 0..per_row {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                t1.push((format!("r{:04}", r), format!("k{:04}", (x >> 33) % 400), Nat(x % 9 + 1)));
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                t2.push((format!("k{:04}", (x >> 33) % 400), format!("c{:04}", x % 50), Nat(x % 7 + 1)));
+            }
+        }
+        let a = AArray::from_triples(&pair, t1);
+        let b = AArray::from_triples(&pair, t2);
+        assert!(a.csr().nnz().max(b.csr().nnz()) >= 1 << 14, "must cross the threshold");
+
+        let serial = a.matmul_with(&b, &pair, Some(aarray_sparse::Accumulator::Spa));
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let parallel = pool.install(|| a.matmul(&b, &pair));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn accumulators_all_agree_via_matmul_with() {
+        use aarray_sparse::Accumulator;
+        let pair = pt();
+        let a = AArray::from_triples(
+            &pair,
+            [("r1", "k1", Nat(1)), ("r1", "k2", Nat(2)), ("r2", "k2", Nat(3))],
+        );
+        let b = AArray::from_triples(
+            &pair,
+            [("k1", "c1", Nat(4)), ("k2", "c1", Nat(5)), ("k2", "c2", Nat(6))],
+        );
+        let c0 = a.matmul_with(&b, &pair, Some(Accumulator::Spa));
+        let c1 = a.matmul_with(&b, &pair, Some(Accumulator::Hash));
+        let c2 = a.matmul_with(&b, &pair, Some(Accumulator::Esc));
+        assert_eq!(c0, c1);
+        assert_eq!(c0, c2);
+        assert_eq!(c0.get("r1", "c1"), Some(&Nat(14)));
+    }
+}

@@ -1,0 +1,114 @@
+//! Sub-array selection — the D4M `E(rowsel, colsel)` of Figure 1/2,
+//! e.g. `E1 = E(:, 'Genre|A : Genre|Z')`.
+
+use crate::array::AArray;
+use crate::keys::{KeySelect, KeySet};
+use aarray_algebra::Value;
+
+impl<V: Value> AArray<V> {
+    /// Select a sub-array by row and column selections. Matching keys
+    /// are kept (with their entries); non-matching keys are removed
+    /// from the key sets. As in D4M, a key matched by the selection is
+    /// kept even if all its entries fall outside the other selection —
+    /// Figure 2's `E1` keeps all 22 track rows, including rows with no
+    /// genre entry.
+    pub fn select(&self, rows: &KeySelect, cols: &KeySelect) -> AArray<V> {
+        let row_idx = self.row_keys().select(rows);
+        let col_idx = self.col_keys().select(cols);
+        let row_keys =
+            KeySet::from_sorted_unique(row_idx.iter().map(|&i| self.row_keys().key(i).to_string()).collect());
+        let col_keys =
+            KeySet::from_sorted_unique(col_idx.iter().map(|&i| self.col_keys().key(i).to_string()).collect());
+        let data = self.csr().select_rows(&row_idx).select_cols(&col_idx);
+        AArray::from_parts(row_keys, col_keys, data)
+    }
+
+    /// Column selection with all rows — `E(:, sel)`.
+    ///
+    /// ```
+    /// use aarray_core::prelude::*;
+    /// let pair = PlusTimes::<Nat>::new();
+    /// let e = AArray::from_triples(&pair, [
+    ///     ("t1", "Genre|Pop", Nat(1)),
+    ///     ("t1", "Writer|Ann", Nat(1)),
+    /// ]);
+    /// // The paper's E1 = E(:, 'Genre|A : Genre|Z').
+    /// let e1 = e.select_cols_str("Genre|A : Genre|Z");
+    /// assert_eq!(e1.col_keys().keys(), &["Genre|Pop"]);
+    /// assert_eq!(e1.row_keys().len(), 1);
+    /// ```
+    pub fn select_cols_str(&self, selection: &str) -> AArray<V> {
+        self.select(&KeySelect::All, &KeySelect::parse(selection))
+    }
+
+    /// Row selection with all columns — `E(sel, :)`.
+    pub fn select_rows_str(&self, selection: &str) -> AArray<V> {
+        self.select(&KeySelect::parse(selection), &KeySelect::All)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::pairs::PlusTimes;
+    use aarray_algebra::values::nat::Nat;
+
+    fn music_like() -> AArray<Nat> {
+        AArray::from_triples(
+            &PlusTimes::<Nat>::new(),
+            [
+                ("track1", "Genre|Pop", Nat(1)),
+                ("track1", "Writer|Ann", Nat(1)),
+                ("track2", "Genre|Rock", Nat(1)),
+                ("track2", "Writer|Bob", Nat(1)),
+                ("track3", "Label|Free", Nat(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn column_range_selection_like_figure_two() {
+        let e = music_like();
+        let e1 = e.select_cols_str("Genre|A : Genre|Z");
+        assert_eq!(e1.col_keys().keys(), &["Genre|Pop", "Genre|Rock"]);
+        // All rows kept, even track3 which has no genre.
+        assert_eq!(e1.row_keys().len(), 3);
+        assert_eq!(e1.nnz(), 2);
+        assert_eq!(e1.get("track1", "Genre|Pop"), Some(&Nat(1)));
+    }
+
+    #[test]
+    fn prefix_selection() {
+        let e = music_like();
+        let w = e.select_cols_str("Writer|*");
+        assert_eq!(w.col_keys().keys(), &["Writer|Ann", "Writer|Bob"]);
+        assert_eq!(w.nnz(), 2);
+    }
+
+    #[test]
+    fn row_selection() {
+        let e = music_like();
+        let t2 = e.select_rows_str("track2");
+        assert_eq!(t2.row_keys().keys(), &["track2"]);
+        assert_eq!(t2.nnz(), 2);
+        assert_eq!(t2.col_keys().len(), 5);
+    }
+
+    #[test]
+    fn combined_selection() {
+        let e = music_like();
+        let sub = e.select(
+            &KeySelect::Range { lo: "track1".into(), hi: "track2".into() },
+            &KeySelect::Prefix("Genre|".into()),
+        );
+        assert_eq!(sub.shape(), (2, 2));
+        assert_eq!(sub.nnz(), 2);
+    }
+
+    #[test]
+    fn select_all_is_identity() {
+        let e = music_like();
+        let same = e.select(&KeySelect::All, &KeySelect::All);
+        assert_eq!(same, e);
+    }
+}

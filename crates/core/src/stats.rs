@@ -1,0 +1,139 @@
+//! Summary statistics of associative arrays — density, degree
+//! distributions, and a compact profile line the `repro` binary and
+//! examples print alongside each constructed array.
+
+use crate::array::AArray;
+use aarray_algebra::Value;
+use std::fmt;
+
+/// Structural summary of an array.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayStats {
+    /// Shape `(|K1|, |K2|)`.
+    pub shape: (usize, usize),
+    /// Stored entries.
+    pub nnz: usize,
+    /// `nnz / (rows × cols)`.
+    pub density: f64,
+    /// Rows with no stored entries.
+    pub empty_rows: usize,
+    /// Columns with no stored entries.
+    pub empty_cols: usize,
+    /// Max entries in one row.
+    pub max_row_nnz: usize,
+    /// Mean entries per non-empty row.
+    pub mean_row_nnz: f64,
+}
+
+impl fmt::Display for ArrayStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}×{}, {} entries (density {:.4}), {} empty rows, {} empty cols, row nnz max {} mean {:.2}",
+            self.shape.0,
+            self.shape.1,
+            self.nnz,
+            self.density,
+            self.empty_rows,
+            self.empty_cols,
+            self.max_row_nnz,
+            self.mean_row_nnz
+        )
+    }
+}
+
+impl<V: Value> AArray<V> {
+    /// Compute structural statistics.
+    pub fn stats(&self) -> ArrayStats {
+        let (r, c) = self.shape();
+        let nnz = self.nnz();
+        let mut empty_rows = 0usize;
+        let mut max_row_nnz = 0usize;
+        let mut nonempty = 0usize;
+        for i in 0..r {
+            let n = self.csr().row_nnz(i);
+            if n == 0 {
+                empty_rows += 1;
+            } else {
+                nonempty += 1;
+                max_row_nnz = max_row_nnz.max(n);
+            }
+        }
+        let mut col_seen = vec![false; c];
+        for &j in self.csr().indices() {
+            col_seen[j as usize] = true;
+        }
+        let empty_cols = col_seen.iter().filter(|&&s| !s).count();
+        ArrayStats {
+            shape: (r, c),
+            nnz,
+            density: if r * c == 0 { 0.0 } else { nnz as f64 / (r * c) as f64 },
+            empty_rows,
+            empty_cols,
+            max_row_nnz,
+            mean_row_nnz: if nonempty == 0 { 0.0 } else { nnz as f64 / nonempty as f64 },
+        }
+    }
+
+    /// Histogram of row degrees: `hist[d]` = number of rows with `d`
+    /// stored entries (length `max_row_nnz + 1`).
+    pub fn row_degree_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; 1];
+        for r in 0..self.shape().0 {
+            let d = self.csr().row_nnz(r);
+            if d >= hist.len() {
+                hist.resize(d + 1, 0);
+            }
+            hist[d] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeySet;
+    use aarray_algebra::pairs::PlusTimes;
+    use aarray_algebra::values::nat::Nat;
+
+    fn sample() -> AArray<Nat> {
+        let rows = KeySet::from_iter(["r1", "r2", "r3"]);
+        let cols = KeySet::from_iter(["c1", "c2", "c3", "c4"]);
+        AArray::from_triples_with_keys(
+            &PlusTimes::<Nat>::new(),
+            rows,
+            cols,
+            vec![
+                ("r1".into(), "c1".into(), Nat(1)),
+                ("r1".into(), "c2".into(), Nat(1)),
+                ("r3".into(), "c1".into(), Nat(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn stats_fields() {
+        let s = sample().stats();
+        assert_eq!(s.shape, (3, 4));
+        assert_eq!(s.nnz, 3);
+        assert_eq!(s.empty_rows, 1);
+        assert_eq!(s.empty_cols, 2);
+        assert_eq!(s.max_row_nnz, 2);
+        assert!((s.density - 0.25).abs() < 1e-12);
+        assert!((s.mean_row_nnz - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let line = sample().stats().to_string();
+        assert!(line.contains("3×4"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn histogram() {
+        let h = sample().row_degree_histogram();
+        assert_eq!(h, vec![1, 1, 1]); // one row each with 0, 1, 2 entries
+    }
+}

@@ -1,0 +1,103 @@
+//! Pattern verification — deciding whether a candidate array *is* an
+//! adjacency array for a given edge set (Definition I.5), and
+//! quantifying how it fails when it is not.
+//!
+//! This is the measurement instrument for both directions of Theorem
+//! II.1: the sufficiency tests assert [`PatternDiff::is_exact`] for
+//! compliant pairs on random graphs; the necessity tests assert
+//! specific [`PatternDiff::missing`]/[`PatternDiff::phantom`] entries
+//! for the Lemma II.2–II.4 gadgets under violating pairs.
+
+use crate::array::AArray;
+use aarray_algebra::Value;
+use std::collections::BTreeSet;
+
+/// The difference between an array's nonzero pattern and a reference
+/// edge pattern.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PatternDiff {
+    /// Edges present in the graph but zero/unstored in the array
+    /// (under-reporting: zero-sums or zero divisors at work).
+    pub missing: Vec<(String, String)>,
+    /// Nonzero entries in the array with no corresponding edge
+    /// (over-reporting: a non-annihilating zero at work).
+    pub phantom: Vec<(String, String)>,
+}
+
+impl PatternDiff {
+    /// True iff the array's nonzero pattern equals the edge pattern —
+    /// i.e. the array *is* an adjacency array for the graph.
+    pub fn is_exact(&self) -> bool {
+        self.missing.is_empty() && self.phantom.is_empty()
+    }
+}
+
+/// Compare `array`'s stored pattern against `edges` (out-key, in-key
+/// pairs). Edges whose endpoints are not in the array's key sets count
+/// as missing.
+pub fn pattern_diff<V: Value>(
+    array: &AArray<V>,
+    edges: impl IntoIterator<Item = (String, String)>,
+) -> PatternDiff {
+    let expected: BTreeSet<(String, String)> = edges.into_iter().collect();
+    let actual: BTreeSet<(String, String)> = array
+        .iter()
+        .map(|(r, c, _)| (r.to_string(), c.to_string()))
+        .collect();
+
+    PatternDiff {
+        missing: expected.difference(&actual).cloned().collect(),
+        phantom: actual.difference(&expected).cloned().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incidence::{adjacency_array, adjacency_array_unchecked};
+    use aarray_algebra::pairs::PlusTimes;
+    use aarray_algebra::values::nat::Nat;
+    use aarray_algebra::OpPair;
+
+    #[test]
+    fn exact_pattern() {
+        let pair = PlusTimes::<Nat>::new();
+        let eout = AArray::from_triples(&pair, [("e1", "a", Nat(1))]);
+        let ein = AArray::from_triples(&pair, [("e1", "b", Nat(1))]);
+        let a = adjacency_array(&eout, &ein, &pair);
+        let diff = pattern_diff(&a, [("a".to_string(), "b".to_string())]);
+        assert!(diff.is_exact());
+    }
+
+    #[test]
+    fn missing_edge_detected() {
+        // Lemma II.2 on ℤ: +3 and −3 parallel edges cancel.
+        let pair: OpPair<i64, aarray_algebra::ops::Plus, aarray_algebra::ops::Times> =
+            OpPair::new();
+        let eout = AArray::from_triples(&pair, [("e1", "a", 3i64), ("e2", "a", -3i64)]);
+        let ein = AArray::from_triples(&pair, [("e1", "b", 1i64), ("e2", "b", 1i64)]);
+        let a = adjacency_array_unchecked(&eout, &ein, &pair);
+        let diff = pattern_diff(&a, [("a".to_string(), "b".to_string())]);
+        assert_eq!(diff.missing, vec![("a".to_string(), "b".to_string())]);
+        assert!(diff.phantom.is_empty());
+        assert!(!diff.is_exact());
+    }
+
+    #[test]
+    fn phantom_edge_detected() {
+        let pair = PlusTimes::<Nat>::new();
+        // Hand-build an array with a spurious entry.
+        let a = AArray::from_triples(&pair, [("a", "b", Nat(1)), ("a", "c", Nat(9))]);
+        let diff = pattern_diff(&a, [("a".to_string(), "b".to_string())]);
+        assert_eq!(diff.phantom, vec![("a".to_string(), "c".to_string())]);
+    }
+
+    #[test]
+    fn missing_endpoint_counts_as_missing() {
+        let pair = PlusTimes::<Nat>::new();
+        let a = AArray::from_triples(&pair, [("a", "b", Nat(1))]);
+        let diff = pattern_diff(&a, [("zz".to_string(), "qq".to_string())]);
+        assert_eq!(diff.missing.len(), 1);
+        assert_eq!(diff.phantom.len(), 1);
+    }
+}

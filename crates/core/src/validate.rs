@@ -1,0 +1,130 @@
+//! Deep invariant auditing for associative arrays — used by the
+//! property tests and available to downstream users who construct
+//! arrays from untrusted parts.
+
+use crate::array::AArray;
+use aarray_algebra::{BinaryOp, OpPair, Value};
+
+/// A violated invariant, with a human-readable description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation(pub String);
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invariant violated: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+impl<V: Value> AArray<V> {
+    /// Audit every structural invariant:
+    ///
+    /// 1. key sets are sorted and duplicate-free;
+    /// 2. key-set sizes match the storage dimensions;
+    /// 3. `indptr` is monotone and consistent with `indices`/`values`;
+    /// 4. within each row, column indices are strictly ascending and in
+    ///    bounds.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        let err = |msg: String| Err(InvariantViolation(msg));
+
+        for (name, ks) in [("row", self.row_keys()), ("col", self.col_keys())] {
+            for w in ks.keys().windows(2) {
+                if w[0] >= w[1] {
+                    return err(format!("{} keys not sorted/unique: {:?} ≥ {:?}", name, w[0], w[1]));
+                }
+            }
+        }
+        let (r, c) = self.shape();
+        let csr = self.csr();
+        if csr.nrows() != r || csr.ncols() != c {
+            return err(format!(
+                "key/storage shape mismatch: keys {}×{}, storage {}×{}",
+                r,
+                c,
+                csr.nrows(),
+                csr.ncols()
+            ));
+        }
+        let indptr = csr.indptr();
+        if indptr.len() != r + 1 || indptr[0] != 0 || indptr[r] != csr.nnz() {
+            return err("indptr endpoints inconsistent".to_string());
+        }
+        for w in indptr.windows(2) {
+            if w[0] > w[1] {
+                return err("indptr not monotone".to_string());
+            }
+        }
+        for row in 0..r {
+            let (cols, _) = csr.row(row);
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return err(format!("row {} columns not strictly ascending", row));
+                }
+            }
+            if let Some(&last) = cols.last() {
+                if last as usize >= c {
+                    return err(format!("row {} column {} out of bounds", row, last));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Additionally check the implicit-zero invariant for a specific
+    /// pair: no stored value equals the pair's zero.
+    pub fn validate_for_pair<A, M>(&self, pair: &OpPair<V, A, M>) -> Result<(), InvariantViolation>
+    where
+        A: BinaryOp<V>,
+        M: BinaryOp<V>,
+    {
+        self.validate()?;
+        for (r, c, v) in self.iter() {
+            if pair.is_zero(v) {
+                return Err(InvariantViolation(format!(
+                    "stored zero ({:?}) at ({}, {}) under pair {}",
+                    v,
+                    r,
+                    c,
+                    pair.name()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeySet;
+    use aarray_algebra::pairs::{MinPlus, PlusTimes};
+    use aarray_algebra::values::nat::Nat;
+    use aarray_algebra::values::nn::{nn, NN};
+
+    #[test]
+    fn well_formed_arrays_pass() {
+        let pair = PlusTimes::<Nat>::new();
+        let a = AArray::from_triples(&pair, [("r", "c", Nat(1)), ("r2", "c2", Nat(2))]);
+        assert!(a.validate().is_ok());
+        assert!(a.validate_for_pair(&pair).is_ok());
+    }
+
+    #[test]
+    fn pair_zero_detection() {
+        // An array holding 0.0 values is fine for min.+ (whose zero is
+        // ∞) but violates the implicit-zero invariant for +.×.
+        let mp = MinPlus::<NN>::new();
+        let a = AArray::from_triples(&mp, [("r", "c", nn(0.0))]);
+        assert!(a.validate_for_pair(&mp).is_ok());
+        let pt = PlusTimes::<NN>::new();
+        let e = a.validate_for_pair(&pt).unwrap_err();
+        assert!(e.to_string().contains("stored zero"), "{}", e);
+    }
+
+    #[test]
+    fn empty_array_is_valid() {
+        let a = AArray::<Nat>::empty(KeySet::from_iter(["a"]), KeySet::from_iter(["b"]));
+        assert!(a.validate().is_ok());
+    }
+}

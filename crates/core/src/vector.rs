@@ -1,0 +1,229 @@
+//! Keyed sparse vectors — `v : K → V` with the same implicit-zero and
+//! key-alignment semantics as [`AArray`], plus the array×vector product
+//! that drives iterative graph algorithms at the keyed level.
+
+use crate::array::AArray;
+use crate::keys::KeySet;
+use aarray_algebra::{BinaryOp, OpPair, Value};
+use aarray_sparse::spmv::spmv;
+
+/// A sparse vector over a totally-ordered key set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AVector<V: Value> {
+    keys: KeySet,
+    /// Dense option storage, parallel to `keys` (vectors are short-key
+    /// objects; density costs one `Option<V>` per key).
+    data: Vec<Option<V>>,
+}
+
+impl<V: Value> AVector<V> {
+    /// Build from `(key, value)` entries over an explicit key set.
+    /// Duplicate keys combine with `⊕` in insertion order; zeros are
+    /// dropped; unknown keys panic.
+    pub fn from_entries<A, M>(
+        pair: &OpPair<V, A, M>,
+        keys: KeySet,
+        entries: impl IntoIterator<Item = (String, V)>,
+    ) -> Self
+    where
+        A: BinaryOp<V>,
+        M: BinaryOp<V>,
+    {
+        let mut data: Vec<Option<V>> = vec![None; keys.len()];
+        for (k, v) in entries {
+            let i = keys.index_of(&k).unwrap_or_else(|| panic!("unknown key {:?}", k));
+            data[i] = Some(match data[i].take() {
+                None => v,
+                Some(prev) => pair.plus(&prev, &v),
+            });
+        }
+        for slot in data.iter_mut() {
+            if let Some(v) = slot {
+                if pair.is_zero(v) {
+                    *slot = None;
+                }
+            }
+        }
+        AVector { keys, data }
+    }
+
+    /// The empty (all-zero) vector over a key set.
+    pub fn zeros(keys: KeySet) -> Self {
+        let n = keys.len();
+        AVector { keys, data: vec![None; n] }
+    }
+
+    /// The key set.
+    pub fn keys(&self) -> &KeySet {
+        &self.keys
+    }
+
+    /// Stored value at `key`.
+    pub fn get(&self, key: &str) -> Option<&V> {
+        self.keys.index_of(key).and_then(|i| self.data[i].as_ref())
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Iterate stored entries as `(key, &value)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &V)> + '_ {
+        self.data
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, v)| v.as_ref().map(|v| (self.keys.key(i), v)))
+    }
+
+    /// `y = A ⊕.⊗ x`: multiply an array by this vector, aligning the
+    /// array's column keys with the vector's keys (intersection).
+    /// Result is keyed by the array's row keys.
+    pub fn premultiply<A, M>(&self, array: &AArray<V>, pair: &OpPair<V, A, M>) -> AVector<V>
+    where
+        A: BinaryOp<V>,
+        M: BinaryOp<V>,
+    {
+        // Fast path: identical key sets.
+        let aligned_x: Vec<Option<V>> = if array.col_keys() == &self.keys {
+            self.data.clone()
+        } else {
+            (0..array.col_keys().len())
+                .map(|c| {
+                    self.keys
+                        .index_of(array.col_keys().key(c))
+                        .and_then(|i| self.data[i].clone())
+                })
+                .collect()
+        };
+        let y = spmv(array.csr(), &aligned_x, pair);
+        AVector { keys: array.row_keys().clone(), data: y }
+    }
+
+    /// Element-wise `self ⊕ other` over the union of key sets.
+    pub fn ewise_add<A, M>(&self, other: &AVector<V>, pair: &OpPair<V, A, M>) -> AVector<V>
+    where
+        A: BinaryOp<V>,
+        M: BinaryOp<V>,
+    {
+        let keys = self.keys.union(&other.keys);
+        let mut data: Vec<Option<V>> = vec![None; keys.len()];
+        for (i, slot) in data.iter_mut().enumerate() {
+            let k = keys.key(i);
+            let a = self.get(k);
+            let b = other.get(k);
+            *slot = match (a, b) {
+                (Some(a), Some(b)) => {
+                    let v = pair.plus(a, b);
+                    (!pair.is_zero(&v)).then_some(v)
+                }
+                (Some(a), None) => Some(a.clone()),
+                (None, Some(b)) => Some(b.clone()),
+                (None, None) => None,
+            };
+        }
+        AVector { keys, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::pairs::{MinPlus, PlusTimes};
+    use aarray_algebra::values::nat::Nat;
+    use aarray_algebra::values::nn::{nn, NN};
+
+    fn keys(ks: &[&str]) -> KeySet {
+        KeySet::from_iter(ks.iter().copied())
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let pair = PlusTimes::<Nat>::new();
+        let v = AVector::from_entries(
+            &pair,
+            keys(&["a", "b", "c"]),
+            [("b".to_string(), Nat(2)), ("b".to_string(), Nat(3)), ("a".to_string(), Nat(0))],
+        );
+        assert_eq!(v.get("b"), Some(&Nat(5)));
+        assert_eq!(v.get("a"), None); // explicit zero dropped
+        assert_eq!(v.nnz(), 1);
+        let items: Vec<_> = v.iter().map(|(k, x)| (k.to_string(), x.0)).collect();
+        assert_eq!(items, vec![("b".to_string(), 5)]);
+    }
+
+    #[test]
+    fn premultiply_with_shared_keys() {
+        let pair = PlusTimes::<Nat>::new();
+        let a = AArray::from_triples(
+            &pair,
+            [("r1", "a", Nat(1)), ("r1", "b", Nat(2)), ("r2", "b", Nat(3))],
+        );
+        let x = AVector::from_entries(
+            &pair,
+            a.col_keys().clone(),
+            [("a".to_string(), Nat(10)), ("b".to_string(), Nat(20))],
+        );
+        let y = x.premultiply(&a, &pair);
+        assert_eq!(y.get("r1"), Some(&Nat(50)));
+        assert_eq!(y.get("r2"), Some(&Nat(60)));
+    }
+
+    #[test]
+    fn premultiply_aligns_key_intersection() {
+        let pair = PlusTimes::<Nat>::new();
+        let a = AArray::from_triples(&pair, [("r", "shared", Nat(2)), ("r", "only_a", Nat(100))]);
+        let x = AVector::from_entries(
+            &pair,
+            keys(&["shared", "only_x"]),
+            [("shared".to_string(), Nat(5)), ("only_x".to_string(), Nat(7))],
+        );
+        let y = x.premultiply(&a, &pair);
+        assert_eq!(y.get("r"), Some(&Nat(10)));
+    }
+
+    #[test]
+    fn min_plus_relaxation_at_key_level() {
+        let pair = MinPlus::<NN>::new();
+        let adj = AArray::from_triples(&pair, [("b", "a", nn(4.0)), ("c", "b", nn(1.0))]);
+        // dist over {a,b,c}: a = 0.
+        let dist = AVector::from_entries(
+            &pair,
+            keys(&["a", "b", "c"]),
+            [("a".to_string(), NN::ZERO)],
+        );
+        // Aᵀ-free formulation: adj rows are *destinations* here, so one
+        // premultiply is a relaxation step toward them.
+        let relaxed = dist.premultiply(&adj, &pair);
+        assert_eq!(relaxed.get("b"), Some(&nn(4.0)));
+        assert_eq!(relaxed.get("c"), None); // b not yet reached
+        let dist2 = dist.ewise_add(&relaxed, &pair);
+        let relaxed2 = dist2.premultiply(&adj, &pair);
+        assert_eq!(relaxed2.get("c"), Some(&nn(5.0)));
+    }
+
+    #[test]
+    fn ewise_add_unions_keys() {
+        let pair = PlusTimes::<Nat>::new();
+        let x = AVector::from_entries(&pair, keys(&["a"]), [("a".to_string(), Nat(1))]);
+        let y = AVector::from_entries(&pair, keys(&["b"]), [("b".to_string(), Nat(2))]);
+        let z = x.ewise_add(&y, &pair);
+        assert_eq!(z.keys().len(), 2);
+        assert_eq!(z.get("a"), Some(&Nat(1)));
+        assert_eq!(z.get("b"), Some(&Nat(2)));
+    }
+
+    #[test]
+    fn zeros_vector() {
+        let v = AVector::<Nat>::zeros(keys(&["x", "y"]));
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.get("x"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown key")]
+    fn unknown_key_rejected() {
+        let pair = PlusTimes::<Nat>::new();
+        let _ = AVector::from_entries(&pair, keys(&["a"]), [("zz".to_string(), Nat(1))]);
+    }
+}

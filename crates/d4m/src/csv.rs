@@ -1,0 +1,184 @@
+//! CSV parsing for tables — RFC-4180-style quoting, multi-values via
+//! `;` inside a cell, as exported by common spreadsheet tools.
+
+use crate::table::Table;
+
+/// Errors from [`from_csv`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CsvError {
+    /// The header row is missing or does not start with `key`.
+    BadHeader,
+    /// A quoted field never closes.
+    UnterminatedQuote {
+        /// 1-based line number where the field started.
+        line: usize,
+    },
+    /// A row has a different field count than the header.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadHeader => write!(f, "header must start with `key`"),
+            CsvError::UnterminatedQuote { line } => write!(f, "unterminated quote at line {}", line),
+            CsvError::RaggedRow { line } => write!(f, "wrong field count at line {}", line),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Split one CSV record into fields, honouring double-quote escaping.
+fn split_record(line: &str, lineno: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    loop {
+        match chars.next() {
+            None => {
+                if in_quotes {
+                    return Err(CsvError::UnterminatedQuote { line: lineno });
+                }
+                fields.push(cur);
+                return Ok(fields);
+            }
+            Some('"') if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            Some('"') if cur.is_empty() && !in_quotes => in_quotes = true,
+            Some(',') if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            Some(ch) => cur.push(ch),
+        }
+    }
+}
+
+/// Parse a CSV document into a [`Table`]. The first column must be
+/// named `key`; remaining columns become fields. Cells split into
+/// multi-values on `;`; empty cells become empty value lists.
+pub fn from_csv(text: &str) -> Result<Table, CsvError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CsvError::BadHeader)?;
+    let header_fields = split_record(header, 1)?;
+    if header_fields.first().map(String::as_str) != Some("key") {
+        return Err(CsvError::BadHeader);
+    }
+    let fields: Vec<String> = header_fields[1..].to_vec();
+    let mut table = Table::new(fields.iter().cloned());
+
+    for (i, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let record = split_record(line, i + 1)?;
+        if record.len() != fields.len() + 1 {
+            return Err(CsvError::RaggedRow { line: i + 1 });
+        }
+        let key = record[0].clone();
+        let cells: Vec<Vec<String>> = record[1..]
+            .iter()
+            .map(|cell| {
+                if cell.is_empty() {
+                    Vec::new()
+                } else {
+                    cell.split(';').map(str::to_string).collect()
+                }
+            })
+            .collect();
+        table.push_row(key, cells);
+    }
+    Ok(table)
+}
+
+/// Serialize a table to CSV, quoting fields that need it.
+pub fn to_csv(table: &Table) -> String {
+    fn quote(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::from("key");
+    for f in table.fields() {
+        out.push(',');
+        out.push_str(&quote(f));
+    }
+    out.push('\n');
+    for row in table.rows() {
+        out.push_str(&quote(&row.key));
+        for cell in &row.cells {
+            out.push(',');
+            out.push_str(&quote(&cell.join(";")));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_parse() {
+        let t = from_csv("key,Genre,Writer\nt1,Pop,Ann;Bob\nt2,Rock,\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0].cells[1], vec!["Ann", "Bob"]);
+        assert!(t.rows()[1].cells[1].is_empty());
+    }
+
+    #[test]
+    fn quoted_fields_with_commas() {
+        let t = from_csv("key,Label\nt1,\"Big, Bad Records\"\n").unwrap();
+        assert_eq!(t.rows()[0].cells[0], vec!["Big, Bad Records"]);
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let t = from_csv("key,Name\nt1,\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.rows()[0].cells[0], vec!["say \"hi\""]);
+    }
+
+    #[test]
+    fn roundtrip_with_quoting() {
+        let mut t = Table::new(["Label"]);
+        t.push_row("t1", vec![vec!["Big, Bad \"Records\"".into()]]);
+        let text = to_csv(&t);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(from_csv(""), Err(CsvError::BadHeader));
+        assert_eq!(from_csv("nope,A\n"), Err(CsvError::BadHeader));
+        assert_eq!(
+            from_csv("key,A\nr1,\"unclosed\n"),
+            Err(CsvError::UnterminatedQuote { line: 2 })
+        );
+        assert_eq!(
+            from_csv("key,A,B\nr1,only\n"),
+            Err(CsvError::RaggedRow { line: 2 })
+        );
+    }
+
+    #[test]
+    fn csv_feeds_the_explode_pipeline() {
+        let t = from_csv("key,Genre,Writer\nt1,Pop,Ann;Bob\n").unwrap();
+        let e = t.explode();
+        assert_eq!(e.nnz(), 3);
+        assert!(e.get("t1", "Writer|Bob").is_some());
+    }
+}

@@ -1,0 +1,123 @@
+//! The exploded sparse view of Figure 1: "the column key and the value
+//! are concatenated with a separator symbol (in this case `|`)
+//! resulting in every unique pair of column and value having its own
+//! column in the sparse view. The new value is usually 1 to denote the
+//! existence of an entry."
+
+use crate::table::Table;
+use aarray_algebra::values::nn::{nn, NN};
+use aarray_algebra::{BinaryOp, OpPair, Value};
+use aarray_core::{AArray, KeySet};
+
+/// The separator between field name and value in exploded column keys.
+pub const SEPARATOR: char = '|';
+
+impl Table {
+    /// Explode into a sparse associative array with value `1` at each
+    /// `(row, field|value)` incidence — exactly Figure 1's `E`.
+    ///
+    /// Row keys: every table row (even all-empty ones). Column keys:
+    /// every `field|value` pair that occurs.
+    ///
+    /// ```
+    /// use aarray_d4m::Table;
+    /// let mut t = Table::new(["Genre"]);
+    /// t.push_row("track1", vec![vec!["Pop".into(), "Rock".into()]]);
+    /// let e = t.explode();
+    /// assert_eq!(e.col_keys().keys(), &["Genre|Pop", "Genre|Rock"]);
+    /// assert_eq!(e.nnz(), 2);
+    /// ```
+    pub fn explode(&self) -> AArray<NN> {
+        let pair: OpPair<NN, aarray_algebra::ops::Plus, aarray_algebra::ops::Times> =
+            OpPair::new();
+        self.explode_with(&pair, |_, _, _| nn(1.0))
+    }
+
+    /// Generalized explode: choose the operator pair (for zero pruning
+    /// and duplicate combination) and a value function
+    /// `(row_key, field, value) → V`.
+    pub fn explode_with<V, A, M>(
+        &self,
+        pair: &OpPair<V, A, M>,
+        value_fn: impl Fn(&str, &str, &str) -> V,
+    ) -> AArray<V>
+    where
+        V: Value,
+        A: BinaryOp<V>,
+        M: BinaryOp<V>,
+    {
+        let row_keys = KeySet::from_iter(self.rows().iter().map(|r| r.key.clone()));
+        let mut col_keys: Vec<String> = Vec::new();
+        let mut triples: Vec<(String, String, V)> = Vec::new();
+        for row in self.rows() {
+            for (fi, field) in self.fields().iter().enumerate() {
+                for value in &row.cells[fi] {
+                    let col = format!("{}{}{}", field, SEPARATOR, value);
+                    triples.push((row.key.clone(), col.clone(), value_fn(&row.key, field, value)));
+                    col_keys.push(col);
+                }
+            }
+        }
+        let col_keys = KeySet::from_iter(col_keys);
+        AArray::from_triples_with_keys(pair, row_keys, col_keys, triples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::pairs::MaxMin;
+    use aarray_algebra::values::nat::Nat;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["Genre", "Writer"]);
+        t.push_row("t1", vec![vec!["Pop".into()], vec!["Ann".into(), "Bob".into()]]);
+        t.push_row("t2", vec![vec!["Rock".into()], vec![]]);
+        t
+    }
+
+    #[test]
+    fn explode_shapes_and_values() {
+        let e = sample().explode();
+        assert_eq!(e.shape(), (2, 4));
+        assert_eq!(e.nnz(), 4);
+        assert_eq!(e.get("t1", "Genre|Pop"), Some(&nn(1.0)));
+        assert_eq!(e.get("t1", "Writer|Bob"), Some(&nn(1.0)));
+        assert_eq!(e.get("t2", "Genre|Rock"), Some(&nn(1.0)));
+        assert_eq!(e.get("t2", "Writer|Ann"), None);
+    }
+
+    #[test]
+    fn column_keys_are_sorted_field_value_pairs() {
+        let e = sample().explode();
+        assert_eq!(
+            e.col_keys().keys(),
+            &["Genre|Pop", "Genre|Rock", "Writer|Ann", "Writer|Bob"]
+        );
+    }
+
+    #[test]
+    fn explode_with_custom_values() {
+        let pair = MaxMin::<Nat>::new();
+        let e = sample().explode_with(&pair, |_, field, _| {
+            if field == "Genre" {
+                Nat(3)
+            } else {
+                Nat(1)
+            }
+        });
+        assert_eq!(e.get("t1", "Genre|Pop"), Some(&Nat(3)));
+        assert_eq!(e.get("t1", "Writer|Ann"), Some(&Nat(1)));
+    }
+
+    #[test]
+    fn empty_rows_are_kept() {
+        let mut t = Table::new(["F"]);
+        t.push_row("empty", vec![vec![]]);
+        t.push_row("full", vec![vec!["x".into()]]);
+        let e = t.explode();
+        assert_eq!(e.shape(), (2, 1));
+        assert_eq!(e.nnz(), 1);
+        assert!(e.row_keys().contains("empty"));
+    }
+}

@@ -1,0 +1,120 @@
+//! A second complete dataset: synthetic network-flow records, the
+//! other canonical D4M workload (the D4M papers' running examples are
+//! music metadata and network traffic logs). Unlike the music table
+//! this one is generated, but it is fixed and deterministic, so tests
+//! can assert exact values.
+//!
+//! Schema: one row per flow, fields `SrcIP`, `DstIP`, `Proto`, `Port`,
+//! `Bytes`. Exploding gives the incidence array; selecting the
+//! `SrcIP|*` and `DstIP|*` column families and correlating through
+//! shared flows yields the talker graph.
+
+use crate::table::Table;
+use aarray_algebra::values::nn::NN;
+use aarray_core::AArray;
+
+const FLOWS: &[(&str, &str, &str, &str, &str, &str)] = &[
+    // (flow id, src, dst, proto, port, bytes-bucket)
+    ("f0001", "10.0.0.1", "10.0.0.9", "tcp", "443", "10k"),
+    ("f0002", "10.0.0.1", "10.0.0.9", "tcp", "443", "100k"),
+    ("f0003", "10.0.0.2", "10.0.0.9", "tcp", "80", "1k"),
+    ("f0004", "10.0.0.2", "10.0.0.7", "udp", "53", "1k"),
+    ("f0005", "10.0.0.3", "10.0.0.7", "udp", "53", "1k"),
+    ("f0006", "10.0.0.3", "10.0.0.9", "tcp", "443", "10k"),
+    ("f0007", "10.0.0.1", "10.0.0.7", "udp", "53", "1k"),
+    ("f0008", "10.0.0.4", "10.0.0.9", "tcp", "22", "100k"),
+    ("f0009", "10.0.0.4", "10.0.0.2", "tcp", "22", "10k"),
+    ("f0010", "10.0.0.9", "10.0.0.1", "tcp", "443", "1k"),
+    ("f0011", "10.0.0.5", "10.0.0.9", "tcp", "80", "10k"),
+    ("f0012", "10.0.0.5", "10.0.0.9", "tcp", "80", "10k"),
+    ("f0013", "10.0.0.5", "10.0.0.7", "udp", "53", "1k"),
+    ("f0014", "10.0.0.2", "10.0.0.5", "tcp", "8080", "100k"),
+    ("f0015", "10.0.0.3", "10.0.0.5", "tcp", "8080", "10k"),
+    ("f0016", "10.0.0.9", "10.0.0.4", "tcp", "22", "1k"),
+];
+
+/// The flow table (16 rows × 5 fields).
+pub fn flow_table() -> Table {
+    let mut t = Table::new(["SrcIP", "DstIP", "Proto", "Port", "Bytes"]);
+    for &(id, src, dst, proto, port, bytes) in FLOWS {
+        t.push_row(
+            id,
+            vec![
+                vec![src.to_string()],
+                vec![dst.to_string()],
+                vec![proto.to_string()],
+                vec![port.to_string()],
+                vec![bytes.to_string()],
+            ],
+        );
+    }
+    t
+}
+
+/// The exploded flow incidence array (16 × distinct `field|value`
+/// columns, one 1 per cell).
+pub fn flow_incidence() -> AArray<NN> {
+    flow_table().explode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::pairs::PlusTimes;
+    use aarray_algebra::values::nn::nn;
+    use aarray_core::KeySelect;
+
+    #[test]
+    fn table_shape() {
+        let t = flow_table();
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.fields().len(), 5);
+        assert_eq!(t.incidence_count(), 80); // 5 single-valued fields
+    }
+
+    #[test]
+    fn explode_shape() {
+        let e = flow_incidence();
+        assert_eq!(e.shape().0, 16);
+        assert_eq!(e.nnz(), 80);
+        // Distinct columns: 6 src + 6 dst + 2 proto + 5 ports + 3 bytes.
+        assert_eq!(e.shape().1, 22);
+    }
+
+    #[test]
+    fn talker_graph_via_projection() {
+        // Src×Dst correlation through shared flows = the talker graph
+        // with flow counts — the Figure 3 computation on flow data.
+        let e = flow_incidence();
+        let pair = PlusTimes::<NN>::new();
+        let a = aarray_graph_free_project(&e, &pair);
+        assert_eq!(a.get("SrcIP|10.0.0.1", "DstIP|10.0.0.9"), Some(&nn(2.0)));
+        assert_eq!(a.get("SrcIP|10.0.0.5", "DstIP|10.0.0.9"), Some(&nn(2.0)));
+        assert_eq!(a.get("SrcIP|10.0.0.9", "DstIP|10.0.0.1"), Some(&nn(1.0)));
+        assert_eq!(a.get("SrcIP|10.0.0.7", "DstIP|10.0.0.9"), None);
+    }
+
+    // d4m cannot depend on aarray-graph (layering), so inline the
+    // projection here: E(:, Src)ᵀ ⊕.⊗ E(:, Dst).
+    fn aarray_graph_free_project(
+        e: &AArray<NN>,
+        pair: &PlusTimes<NN>,
+    ) -> AArray<NN> {
+        let src = e.select(&KeySelect::All, &KeySelect::Prefix("SrcIP|".into()));
+        let dst = e.select(&KeySelect::All, &KeySelect::Prefix("DstIP|".into()));
+        src.transpose().matmul(&dst, pair)
+    }
+
+    #[test]
+    fn port_service_correlation() {
+        // Port×Proto co-occurrence: DNS is udp/53, web is tcp/{80,443}.
+        let e = flow_incidence();
+        let pair = PlusTimes::<NN>::new();
+        let ports = e.select(&KeySelect::All, &KeySelect::Prefix("Port|".into()));
+        let protos = e.select(&KeySelect::All, &KeySelect::Prefix("Proto|".into()));
+        let a = ports.transpose().matmul(&protos, &pair);
+        assert_eq!(a.get("Port|53", "Proto|udp"), Some(&nn(4.0)));
+        assert_eq!(a.get("Port|53", "Proto|tcp"), None);
+        assert_eq!(a.get("Port|443", "Proto|tcp"), Some(&nn(4.0)));
+    }
+}

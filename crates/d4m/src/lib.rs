@@ -1,0 +1,19 @@
+//! # aarray-d4m
+//!
+//! The D4M table layer: dense string tables, the *exploded* sparse view
+//! of Figure 1 (each `field|value` pair becomes its own column with
+//! value 1), TSV I/O, and the paper's music-metadata dataset
+//! reconstructed from Figures 1–5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod explode;
+pub mod flows;
+pub mod music;
+pub mod table;
+pub mod tsv;
+
+pub use explode::SEPARATOR;
+pub use table::Table;

@@ -1,0 +1,453 @@
+//! The paper's music-metadata dataset (Figures 1, 2, 4), reconstructed.
+//!
+//! The paper uses a 22-track table of metadata for the band Kitten
+//! (plus remixers Bandayde and Kastle), exploded into a 22 × 31
+//! incidence array `E` with 185 stored ones. The reconstruction below
+//! is pinned by the published figures:
+//!
+//! * the 31 column keys are printed in Figure 1 verbatim (including the
+//!   date column literally printed as `Date|2010-06-30`);
+//! * the per-row nonzero counts are visible in Figure 1
+//!   (9,9,7, 8×5, 9,8,8,8,9,8, 9,9,10,9,9,9,9,6);
+//! * the Genre and Writer incidences (`E1`, `E2`) are fully determined
+//!   by Figure 2 row patterns together with the exact adjacency values
+//!   printed in Figures 3 and 5 — the test module re-derives all of
+//!   them;
+//! * fields not constrained by any figure (which label/release/date a
+//!   track carries) are assigned from the public release history so
+//!   every printed column is used; changing them cannot affect any
+//!   reproduced number, because Figures 2–5 only involve Genre and
+//!   Writer columns.
+
+use crate::table::Table;
+use aarray_algebra::values::nn::NN;
+use aarray_core::AArray;
+
+/// Writer name constants (Figure 1's five `Writer|…` columns).
+pub const WRITERS: [&str; 5] = [
+    "Barrett Rich",
+    "Chad Anderson",
+    "Chloe Chaidez",
+    "Julian Chaidez",
+    "Nicholas Johns",
+];
+
+/// Genre constants (Figure 1's three `Genre|…` columns).
+pub const GENRES: [&str; 3] = ["Electronic", "Pop", "Rock"];
+
+struct TrackSpec {
+    key: &'static str,
+    artists: &'static [&'static str],
+    date: &'static str,
+    genres: &'static [&'static str],
+    label: &'static str,
+    release: &'static str,
+    kind: &'static [&'static str], // Type; empty slice = no entry
+    writers: &'static [&'static str],
+}
+
+const BR: &str = "Barrett Rich";
+const CA: &str = "Chad Anderson";
+const CC: &str = "Chloe Chaidez";
+const JC: &str = "Julian Chaidez";
+const NJ: &str = "Nicholas Johns";
+
+const TRACKS: &[TrackSpec] = &[
+    TrackSpec {
+        key: "031013ktnA1",
+        artists: &["Kitten"],
+        date: "2013-10-03",
+        genres: &["Rock"],
+        label: "Elektra Records",
+        release: "Japanese Eyes",
+        kind: &["Single"],
+        writers: &[CA, CC, JC],
+    },
+    TrackSpec {
+        key: "053013ktnA1",
+        artists: &["Kitten", "Kastle"],
+        date: "2013-05-30",
+        genres: &["Electronic"],
+        label: "Elektra Records",
+        release: "Like A Stranger",
+        kind: &["Single"],
+        writers: &[BR, NJ],
+    },
+    TrackSpec {
+        key: "053013ktnA2",
+        artists: &["Kitten"],
+        date: "2013-05-30",
+        genres: &["Electronic"],
+        label: "Elektra Records",
+        release: "Kill The Light",
+        kind: &["Single"],
+        writers: &[JC],
+    },
+    TrackSpec {
+        key: "063012ktnA1",
+        artists: &["Kitten"],
+        date: "2010-06-30",
+        genres: &["Rock"],
+        label: "The Control Group",
+        release: "Cut It Out/Sugar",
+        kind: &["EP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "063012ktnA2",
+        artists: &["Kitten"],
+        date: "2010-06-30",
+        genres: &["Rock"],
+        label: "The Control Group",
+        release: "Cut It Out/Sugar",
+        kind: &["EP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "063012ktnA3",
+        artists: &["Kitten"],
+        date: "2010-06-30",
+        genres: &["Rock"],
+        label: "The Control Group",
+        release: "Cut It Out/Sugar",
+        kind: &["EP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "063012ktnA4",
+        artists: &["Kitten"],
+        date: "2010-06-30",
+        genres: &["Rock"],
+        label: "The Control Group",
+        release: "Cut It Out/Sugar",
+        kind: &["EP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "063012ktnA5",
+        artists: &["Kitten"],
+        date: "2010-06-30",
+        genres: &["Rock"],
+        label: "The Control Group",
+        release: "Cut It Out/Sugar",
+        kind: &["EP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "082812ktnA1",
+        artists: &["Kitten"],
+        date: "2012-08-28",
+        genres: &["Pop"],
+        label: "Atlantic",
+        release: "Cut It Out",
+        kind: &["EP"],
+        writers: &[CA, CC, JC],
+    },
+    TrackSpec {
+        key: "082812ktnA2",
+        artists: &["Kitten"],
+        date: "2012-08-28",
+        genres: &["Pop"],
+        label: "Atlantic",
+        release: "Cut It Out",
+        kind: &["EP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "082812ktnA3",
+        artists: &["Kitten"],
+        date: "2012-08-28",
+        genres: &["Pop"],
+        label: "Atlantic",
+        release: "Cut It Out",
+        kind: &["EP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "082812ktnA4",
+        artists: &["Kitten"],
+        date: "2012-08-28",
+        genres: &["Pop"],
+        label: "Atlantic",
+        release: "Cut It Out",
+        kind: &["EP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "082812ktnA5",
+        artists: &["Kitten"],
+        date: "2012-08-28",
+        genres: &["Pop"],
+        label: "Atlantic",
+        release: "Cut It Out",
+        kind: &["EP"],
+        writers: &[CA, CC, JC],
+    },
+    TrackSpec {
+        key: "082812ktnA6",
+        artists: &["Kitten"],
+        date: "2012-08-28",
+        genres: &["Pop"],
+        label: "Atlantic",
+        release: "Cut It Out",
+        kind: &["EP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "093012ktnA1",
+        artists: &["Kitten"],
+        date: "2012-09-16",
+        genres: &["Electronic", "Pop"],
+        label: "Free",
+        release: "Cut It Out Remixes",
+        kind: &["LP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "093012ktnA2",
+        artists: &["Bandayde"],
+        date: "2012-09-16",
+        genres: &["Electronic", "Pop"],
+        label: "Free",
+        release: "Cut It Out Remixes",
+        kind: &["LP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "093012ktnA3",
+        artists: &["Kitten"],
+        date: "2012-09-16",
+        genres: &["Electronic", "Pop"],
+        label: "Free",
+        release: "Cut It Out Remixes",
+        kind: &["LP"],
+        writers: &[CA, CC, JC],
+    },
+    TrackSpec {
+        key: "093012ktnA4",
+        artists: &["Kitten"],
+        date: "2012-09-16",
+        genres: &["Electronic", "Pop"],
+        label: "Free",
+        release: "Cut It Out Remixes",
+        kind: &["LP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "093012ktnA5",
+        artists: &["Kitten"],
+        date: "2012-09-16",
+        genres: &["Electronic", "Pop"],
+        label: "Free",
+        release: "Cut It Out Remixes",
+        kind: &["LP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "093012ktnA6",
+        artists: &["Kitten"],
+        date: "2012-09-16",
+        genres: &["Electronic", "Pop"],
+        label: "Free",
+        release: "Cut It Out Remixes",
+        kind: &["LP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "093012ktnA7",
+        artists: &["Kitten"],
+        date: "2012-09-16",
+        genres: &["Electronic", "Pop"],
+        label: "Free",
+        release: "Cut It Out Remixes",
+        kind: &["LP"],
+        writers: &[CA, CC],
+    },
+    TrackSpec {
+        key: "093012ktnA8",
+        artists: &["Kitten"],
+        date: "2013-09-30",
+        genres: &["Electronic", "Pop"],
+        label: "Free",
+        release: "Yesterday",
+        kind: &[],
+        writers: &[],
+    },
+];
+
+/// The music table (22 rows × 7 fields).
+pub fn music_table() -> Table {
+    let mut t = Table::new(["Artist", "Date", "Genre", "Label", "Release", "Type", "Writer"]);
+    for spec in TRACKS {
+        let cell = |vals: &[&str]| vals.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        t.push_row(
+            spec.key,
+            vec![
+                cell(spec.artists),
+                vec![spec.date.to_string()],
+                cell(spec.genres),
+                vec![spec.label.to_string()],
+                vec![spec.release.to_string()],
+                cell(spec.kind),
+                cell(spec.writers),
+            ],
+        );
+    }
+    t
+}
+
+/// Figure 1's exploded incidence array `E` (22 × 31, 185 stored ones).
+pub fn music_incidence() -> AArray<NN> {
+    music_table().explode()
+}
+
+/// Figure 2's `E1 = E(:, 'Genre|A : Genre|Z')` (22 × 3).
+pub fn music_e1() -> AArray<NN> {
+    music_incidence().select_cols_str("Genre|A : Genre|Z")
+}
+
+/// Figure 2's `E2 = E(:, 'Writer|A : Writer|Z')` (22 × 5).
+pub fn music_e2() -> AArray<NN> {
+    music_incidence().select_cols_str("Writer|A : Writer|Z")
+}
+
+/// Figure 4's re-weighted `E1`: Electronic entries keep value 1, Pop
+/// entries become 2, Rock entries become 3.
+pub fn music_e1_weighted() -> AArray<NN> {
+    use aarray_algebra::pairs::PlusTimes;
+    use aarray_algebra::values::nn::nn;
+    let pair = PlusTimes::<NN>::new();
+    music_e1().map_with_keys(&pair, |_, col, v| match col {
+        "Genre|Pop" => nn(2.0),
+        "Genre|Rock" => nn(3.0),
+        _ => *v,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::values::nn::nn;
+
+    #[test]
+    fn figure1_dimensions() {
+        let e = music_incidence();
+        assert_eq!(e.shape(), (22, 31), "Figure 1 is a 22×31 exploded array");
+        assert_eq!(e.nnz(), 185);
+    }
+
+    #[test]
+    fn figure1_column_keys_exact() {
+        let e = music_incidence();
+        let expected = [
+            "Artist|Bandayde",
+            "Artist|Kastle",
+            "Artist|Kitten",
+            "Date|2010-06-30",
+            "Date|2012-08-28",
+            "Date|2012-09-16",
+            "Date|2013-05-30",
+            "Date|2013-09-30",
+            "Date|2013-10-03",
+            "Genre|Electronic",
+            "Genre|Pop",
+            "Genre|Rock",
+            "Label|Atlantic",
+            "Label|Elektra Records",
+            "Label|Free",
+            "Label|The Control Group",
+            "Release|Cut It Out",
+            "Release|Cut It Out Remixes",
+            "Release|Cut It Out/Sugar",
+            "Release|Japanese Eyes",
+            "Release|Kill The Light",
+            "Release|Like A Stranger",
+            "Release|Yesterday",
+            "Type|EP",
+            "Type|LP",
+            "Type|Single",
+            "Writer|Barrett Rich",
+            "Writer|Chad Anderson",
+            "Writer|Chloe Chaidez",
+            "Writer|Julian Chaidez",
+            "Writer|Nicholas Johns",
+        ];
+        assert_eq!(e.col_keys().keys(), &expected);
+    }
+
+    #[test]
+    fn figure1_per_row_nonzero_counts() {
+        let e = music_incidence();
+        // Counts read off Figure 1, row by row in key order.
+        let expected = [
+            9, // 031013ktnA1
+            9, 7, // 053013ktnA1..2
+            8, 8, 8, 8, 8, // 063012ktnA1..5
+            9, 8, 8, 8, 9, 8, // 082812ktnA1..6
+            9, 9, 10, 9, 9, 9, 9, 6, // 093012ktnA1..8
+        ];
+        for (r, want) in expected.iter().enumerate() {
+            assert_eq!(
+                e.csr().row_nnz(r),
+                *want,
+                "row {} ({})",
+                r,
+                e.row_keys().key(r)
+            );
+        }
+    }
+
+    #[test]
+    fn figure2_e1_pattern() {
+        let e1 = music_e1();
+        assert_eq!(e1.shape(), (22, 3));
+        assert_eq!(e1.nnz(), 30); // 14 single-genre rows + 8 dual-genre rows × 2
+        assert_eq!(e1.get("031013ktnA1", "Genre|Rock"), Some(&nn(1.0)));
+        assert_eq!(e1.get("053013ktnA1", "Genre|Electronic"), Some(&nn(1.0)));
+        assert_eq!(e1.get("093012ktnA4", "Genre|Electronic"), Some(&nn(1.0)));
+        assert_eq!(e1.get("093012ktnA4", "Genre|Pop"), Some(&nn(1.0)));
+        assert_eq!(e1.get("082812ktnA2", "Genre|Pop"), Some(&nn(1.0)));
+        assert_eq!(e1.get("082812ktnA2", "Genre|Rock"), None);
+    }
+
+    #[test]
+    fn figure2_e2_pattern() {
+        let e2 = music_e2();
+        assert_eq!(e2.shape(), (22, 5));
+        assert_eq!(e2.nnz(), 45);
+        // Figure 2 row writer-counts.
+        let expected = [
+            3, // 031013ktnA1
+            2, 1, // 053013
+            2, 2, 2, 2, 2, // 063012
+            3, 2, 2, 2, 3, 2, // 082812
+            2, 2, 3, 2, 2, 2, 2, 0, // 093012
+        ];
+        for (r, want) in expected.iter().enumerate() {
+            assert_eq!(e2.csr().row_nnz(r), *want, "row {}", e2.row_keys().key(r));
+        }
+    }
+
+    #[test]
+    fn figure4_weighted_e1() {
+        let w = music_e1_weighted();
+        assert_eq!(w.get("031013ktnA1", "Genre|Rock"), Some(&nn(3.0)));
+        assert_eq!(w.get("082812ktnA1", "Genre|Pop"), Some(&nn(2.0)));
+        assert_eq!(w.get("053013ktnA1", "Genre|Electronic"), Some(&nn(1.0)));
+        assert_eq!(w.get("093012ktnA8", "Genre|Pop"), Some(&nn(2.0)));
+        assert_eq!(w.nnz(), 30);
+    }
+
+    #[test]
+    fn every_column_category_is_populated() {
+        let t = music_table();
+        assert_eq!(t.field_values("Artist").len(), 3);
+        assert_eq!(t.field_values("Date").len(), 6);
+        assert_eq!(t.field_values("Genre").len(), 3);
+        assert_eq!(t.field_values("Label").len(), 4);
+        assert_eq!(t.field_values("Release").len(), 7);
+        assert_eq!(t.field_values("Type").len(), 3);
+        assert_eq!(t.field_values("Writer").len(), 5);
+        assert_eq!(t.incidence_count(), 185);
+    }
+}

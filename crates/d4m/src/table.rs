@@ -1,0 +1,122 @@
+//! A dense database-style table with string row keys, named fields,
+//! and multi-valued cells — the "spreadsheet or database table" the
+//! paper's incidence arrays come from.
+
+use std::collections::BTreeSet;
+
+/// One table row: a key and one (possibly empty, possibly multi-)
+/// value list per field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// The row key (e.g. a track id like `031013ktnA1`).
+    pub key: String,
+    /// Values per field, parallel to [`Table::fields`].
+    pub cells: Vec<Vec<String>>,
+}
+
+/// A dense table: ordered field names and rows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    fields: Vec<String>,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// New table with the given field names.
+    pub fn new<I, S>(fields: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table { fields: fields.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row; `cells` must have one entry per field.
+    pub fn push_row<S: Into<String>>(&mut self, key: S, cells: Vec<Vec<String>>) {
+        assert_eq!(cells.len(), self.fields.len(), "cells must match field count");
+        self.rows.push(Row { key: key.into(), cells });
+    }
+
+    /// The field names.
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// The rows in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a field by name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f == name)
+    }
+
+    /// All values appearing in a field, sorted unique.
+    pub fn field_values(&self, name: &str) -> Vec<String> {
+        let Some(idx) = self.field_index(name) else {
+            return Vec::new();
+        };
+        let set: BTreeSet<String> =
+            self.rows.iter().flat_map(|r| r.cells[idx].iter().cloned()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Total number of `(row, field, value)` incidences — the nnz of
+    /// the exploded view.
+    pub fn incidence_count(&self) -> usize {
+        self.rows.iter().map(|r| r.cells.iter().map(Vec::len).sum::<usize>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["Genre", "Writer"]);
+        t.push_row("t1", vec![vec!["Pop".into()], vec!["Ann".into(), "Bob".into()]]);
+        t.push_row("t2", vec![vec!["Rock".into()], vec![]]);
+        t
+    }
+
+    #[test]
+    fn construction() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.fields(), &["Genre", "Writer"]);
+        assert_eq!(t.rows()[0].key, "t1");
+    }
+
+    #[test]
+    fn field_queries() {
+        let t = sample();
+        assert_eq!(t.field_index("Writer"), Some(1));
+        assert_eq!(t.field_index("Nope"), None);
+        assert_eq!(t.field_values("Genre"), vec!["Pop", "Rock"]);
+        assert_eq!(t.field_values("Writer"), vec!["Ann", "Bob"]);
+    }
+
+    #[test]
+    fn incidence_count_sums_all_values() {
+        assert_eq!(sample().incidence_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "match field count")]
+    fn wrong_cell_count_panics() {
+        let mut t = Table::new(["A"]);
+        t.push_row("r", vec![vec![], vec![]]);
+    }
+}

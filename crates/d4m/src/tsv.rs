@@ -1,0 +1,104 @@
+//! TSV round-tripping for tables — D4M's interchange format.
+//!
+//! Layout: first line `key<TAB>field1<TAB>field2…`; each further line
+//! one row; multi-valued cells join their values with `;`.
+
+use crate::table::Table;
+
+/// Serialize to TSV.
+pub fn to_tsv(table: &Table) -> String {
+    let mut out = String::new();
+    out.push_str("key");
+    for f in table.fields() {
+        out.push('\t');
+        out.push_str(f);
+    }
+    out.push('\n');
+    for row in table.rows() {
+        out.push_str(&row.key);
+        for cell in &row.cells {
+            out.push('\t');
+            out.push_str(&cell.join(";"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse from TSV. Returns `None` on a malformed header or ragged rows.
+pub fn from_tsv(text: &str) -> Option<Table> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let mut cols = header.split('\t');
+    if cols.next()? != "key" {
+        return None;
+    }
+    let fields: Vec<&str> = cols.collect();
+    let mut table = Table::new(fields.iter().copied());
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let key = parts.next()?;
+        let cells: Vec<Vec<String>> = parts
+            .map(|cell| {
+                if cell.is_empty() {
+                    Vec::new()
+                } else {
+                    cell.split(';').map(str::to_string).collect()
+                }
+            })
+            .collect();
+        if cells.len() != fields.len() {
+            return None;
+        }
+        table.push_row(key, cells);
+    }
+    Some(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["Genre", "Writer"]);
+        t.push_row("t1", vec![vec!["Pop".into()], vec!["Ann".into(), "Bob".into()]]);
+        t.push_row("t2", vec![vec!["Rock".into()], vec![]]);
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let text = to_tsv(&t);
+        let back = from_tsv(&text).expect("roundtrip parses");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn serialized_form() {
+        let text = to_tsv(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "key\tGenre\tWriter");
+        assert_eq!(lines[1], "t1\tPop\tAnn;Bob");
+        assert_eq!(lines[2], "t2\tRock\t");
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(from_tsv("nope\tA\nr\t1\n").is_none());
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        assert!(from_tsv("key\tA\tB\nr\tonly_one\n").is_none());
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let t = from_tsv("key\tA\nr\tx\n\n").expect("parses");
+        assert_eq!(t.len(), 1);
+    }
+}

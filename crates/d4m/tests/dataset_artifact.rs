@@ -1,0 +1,31 @@
+//! The shipped dataset artifact `data/music.tsv` must stay in sync
+//! with the embedded reconstruction — users loading the file get
+//! byte-for-byte the array the figures were verified against.
+
+use aarray_d4m::music::music_table;
+use aarray_d4m::tsv::{from_tsv, to_tsv};
+
+fn artifact_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../data/music.tsv")
+}
+
+#[test]
+fn artifact_matches_embedded_dataset() {
+    let text = std::fs::read_to_string(artifact_path()).expect("data/music.tsv present");
+    let loaded = from_tsv(&text).expect("artifact parses");
+    assert_eq!(loaded, music_table(), "regenerate with to_tsv(&music_table())");
+}
+
+#[test]
+fn artifact_is_canonical_serialization() {
+    let text = std::fs::read_to_string(artifact_path()).expect("data/music.tsv present");
+    assert_eq!(text, to_tsv(&music_table()));
+}
+
+#[test]
+fn artifact_explodes_to_figure1() {
+    let text = std::fs::read_to_string(artifact_path()).expect("data/music.tsv present");
+    let e = from_tsv(&text).unwrap().explode();
+    assert_eq!(e.shape(), (22, 31));
+    assert_eq!(e.nnz(), 185);
+}

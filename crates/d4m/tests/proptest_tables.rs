@@ -1,0 +1,84 @@
+//! Property-based tests for the table layer: TSV round-trips and
+//! explode invariants.
+
+use aarray_d4m::tsv::{from_tsv, to_tsv};
+use aarray_d4m::Table;
+use proptest::prelude::*;
+
+/// Random tables with safe cell content (no tabs/semicolons/newlines —
+/// the format's reserved characters).
+fn arb_table() -> impl Strategy<Value = Table> {
+    let cell_value = "[a-z]{1,6}";
+    (1usize..5).prop_flat_map(move |nfields| {
+        let fields: Vec<String> = (0..nfields).map(|f| format!("F{}", f)).collect();
+        prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(cell_value, 0..3), nfields..=nfields),
+            1..10,
+        )
+        .prop_map(move |rows| {
+            let mut t = Table::new(fields.clone());
+            for (i, cells) in rows.into_iter().enumerate() {
+                t.push_row(format!("row{:04}", i), cells);
+            }
+            t
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn tsv_roundtrip(t in arb_table()) {
+        let text = to_tsv(&t);
+        let back = from_tsv(&text).expect("own output must parse");
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn explode_nnz_counts_incidences_without_duplicates(t in arb_table()) {
+        // Duplicate (row, field|value) incidences combine into one
+        // stored entry; distinct incidences each get one.
+        let e = t.explode();
+        let mut distinct = std::collections::BTreeSet::new();
+        for row in t.rows() {
+            for (fi, field) in t.fields().iter().enumerate() {
+                for v in &row.cells[fi] {
+                    distinct.insert((row.key.clone(), format!("{}|{}", field, v)));
+                }
+            }
+        }
+        prop_assert_eq!(e.nnz(), distinct.len());
+        prop_assert_eq!(e.row_keys().len(), t.len());
+    }
+
+    #[test]
+    fn explode_entries_locate_their_cells(t in arb_table()) {
+        let e = t.explode();
+        for row in t.rows() {
+            for (fi, field) in t.fields().iter().enumerate() {
+                for v in &row.cells[fi] {
+                    let col = format!("{}|{}", field, v);
+                    prop_assert!(
+                        e.get(&row.key, &col).is_some(),
+                        "missing {} / {}",
+                        row.key,
+                        col
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn field_values_cover_exploded_columns(t in arb_table()) {
+        let e = t.explode();
+        let mut expected_cols = std::collections::BTreeSet::new();
+        for f in t.fields() {
+            for v in t.field_values(f) {
+                expected_cols.insert(format!("{}|{}", f, v));
+            }
+        }
+        let actual: std::collections::BTreeSet<String> =
+            e.col_keys().keys().iter().cloned().collect();
+        prop_assert_eq!(actual, expected_cols);
+    }
+}

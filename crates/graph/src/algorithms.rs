@@ -1,0 +1,392 @@
+//! Semiring graph algorithms over constructed adjacency arrays — the
+//! downstream consumers the paper's pipeline feeds ("an adjacency array
+//! of the graph, A, that can be processed with a variety of
+//! algorithms").
+//!
+//! Each algorithm is a loop of `⊕.⊗` vector products under the
+//! appropriate pair: BFS under Boolean `∨.∧`, single-source shortest
+//! paths under `min.+`, widest-path under `max.min` — the same pairs
+//! Figures 3/5 construct adjacency arrays with.
+
+use aarray_algebra::pairs::{MaxMin, MaxPlus, MinPlus, OrAnd, PlusTimes};
+use aarray_algebra::values::nat::Nat;
+use aarray_algebra::values::nn::NN;
+use aarray_algebra::values::tropical::Tropical;
+use aarray_core::AArray;
+use aarray_sparse::elementwise::ewise_mul;
+use aarray_sparse::spmv::spmv;
+use aarray_sparse::spgemm;
+use std::collections::BTreeMap;
+
+/// Breadth-first search levels from `source` over a Boolean adjacency
+/// array (row key = out vertex). Returns `vertex → level`; unreachable
+/// vertices are absent.
+pub fn bfs_levels(adj: &AArray<bool>, source: &str) -> BTreeMap<String, usize> {
+    let pair = OrAnd::new();
+    let n = adj.col_keys().len();
+    assert_eq!(adj.row_keys(), adj.col_keys(), "BFS needs a square adjacency array");
+    let src = match adj.row_keys().index_of(source) {
+        Some(i) => i,
+        None => return BTreeMap::new(),
+    };
+
+    // Frontier as a dense Option<bool> vector; traversal pulls via Aᵀ
+    // (we advance along edge direction: next = Aᵀ ∨.∧ frontier).
+    let at = adj.csr().transpose();
+    let mut levels: BTreeMap<String, usize> = BTreeMap::new();
+    let mut frontier: Vec<Option<bool>> = vec![None; n];
+    frontier[src] = Some(true);
+    levels.insert(source.to_string(), 0);
+
+    let mut level = 0usize;
+    loop {
+        level += 1;
+        let next = spmv(&at, &frontier, &pair);
+        let mut new_frontier: Vec<Option<bool>> = vec![None; n];
+        let mut any = false;
+        for (i, reached) in next.into_iter().enumerate() {
+            if reached == Some(true) {
+                let key = adj.row_keys().key(i);
+                if !levels.contains_key(key) {
+                    levels.insert(key.to_string(), level);
+                    new_frontier[i] = Some(true);
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        frontier = new_frontier;
+    }
+    levels
+}
+
+/// Single-source shortest path distances under `min.+` (Bellman-Ford
+/// style relaxation over the adjacency array; `n − 1` rounds or until
+/// fixpoint). Edge weights are the adjacency values.
+pub fn sssp_min_plus(adj: &AArray<NN>, source: &str) -> BTreeMap<String, NN> {
+    let pair = MinPlus::<NN>::new();
+    assert_eq!(adj.row_keys(), adj.col_keys(), "SSSP needs a square adjacency array");
+    let n = adj.col_keys().len();
+    let src = match adj.row_keys().index_of(source) {
+        Some(i) => i,
+        None => return BTreeMap::new(),
+    };
+
+    let at = adj.csr().transpose();
+    let mut dist: Vec<Option<NN>> = vec![None; n];
+    dist[src] = Some(NN::ZERO);
+
+    for _ in 0..n.saturating_sub(1) {
+        // relaxed = Aᵀ min.+ dist, then dist = min(dist, relaxed).
+        let relaxed = spmv(&at, &dist, &pair);
+        let mut changed = false;
+        for i in 0..n {
+            match (&dist[i], &relaxed[i]) {
+                (None, Some(v)) => {
+                    dist[i] = Some(*v);
+                    changed = true;
+                }
+                (Some(d), Some(v)) if v < d => {
+                    dist[i] = Some(*v);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    dist.into_iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|d| (adj.row_keys().key(i).to_string(), d)))
+        .collect()
+}
+
+/// Widest-path (maximum bottleneck) values from `source` under
+/// `max.min`.
+pub fn widest_path_max_min(adj: &AArray<Nat>, source: &str) -> BTreeMap<String, Nat> {
+    let pair = MaxMin::<Nat>::new();
+    assert_eq!(adj.row_keys(), adj.col_keys(), "widest-path needs a square adjacency array");
+    let n = adj.col_keys().len();
+    let src = match adj.row_keys().index_of(source) {
+        Some(i) => i,
+        None => return BTreeMap::new(),
+    };
+
+    let at = adj.csr().transpose();
+    let mut width: Vec<Option<Nat>> = vec![None; n];
+    width[src] = Some(Nat::TOP); // ⊤: unconstrained at the source.
+
+    for _ in 0..n.saturating_sub(1) {
+        let relaxed = spmv(&at, &width, &pair);
+        let mut changed = false;
+        for i in 0..n {
+            match (&width[i], &relaxed[i]) {
+                (None, Some(v)) => {
+                    width[i] = Some(*v);
+                    changed = true;
+                }
+                (Some(w), Some(v)) if v > w => {
+                    width[i] = Some(*v);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    width
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|d| (adj.row_keys().key(i).to_string(), d)))
+        .collect()
+}
+
+/// Count closed wedges: `(A ⊕.⊗ A) ∘ A` under `+.×`, summed. For a
+/// simple directed graph this is the number of directed paths `i→j→k`
+/// that close with an edge `i→k` — the building block of directed
+/// triangle counting.
+pub fn closed_wedge_count(adj: &AArray<Nat>) -> u64 {
+    let pair = PlusTimes::<Nat>::new();
+    assert_eq!(adj.row_keys(), adj.col_keys(), "wedge count needs a square adjacency array");
+    let a = adj.csr();
+    let a2 = spgemm(a, a, &pair);
+    let closed = ewise_mul(&a2, a, &pair);
+    closed.values().iter().map(|v| v.0).sum()
+}
+
+/// Longest-path values from `source` under `max.+` on a **DAG** whose
+/// adjacency array was constructed with the tropical pair (critical-
+/// path analysis). Relaxes `n − 1` rounds; panics if values are still
+/// improving afterwards (a positive-weight cycle — not a DAG).
+pub fn longest_path_max_plus(adj: &AArray<Tropical>, source: &str) -> BTreeMap<String, Tropical> {
+    let pair = MaxPlus::<Tropical>::new();
+    assert_eq!(adj.row_keys(), adj.col_keys(), "longest path needs a square adjacency array");
+    let n = adj.col_keys().len();
+    let src = match adj.row_keys().index_of(source) {
+        Some(i) => i,
+        None => return BTreeMap::new(),
+    };
+
+    let at = adj.csr().transpose();
+    let mut dist: Vec<Option<Tropical>> = vec![None; n];
+    dist[src] = Some(Tropical::ZERO);
+
+    for round in 0..n {
+        let relaxed = spmv(&at, &dist, &pair);
+        let mut changed = false;
+        for i in 0..n {
+            match (&dist[i], &relaxed[i]) {
+                (None, Some(v)) => {
+                    dist[i] = Some(*v);
+                    changed = true;
+                }
+                (Some(d), Some(v)) if v > d => {
+                    dist[i] = Some(*v);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+        assert!(round < n - 1, "graph has a reachable positive-weight cycle (not a DAG)");
+    }
+
+    dist.into_iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|d| (adj.row_keys().key(i).to_string(), d)))
+        .collect()
+}
+
+/// Eccentricity of `source`: the maximum BFS level it reaches.
+/// `None` if the source is unknown or reaches nothing else.
+pub fn eccentricity(adj: &AArray<bool>, source: &str) -> Option<usize> {
+    let levels = bfs_levels(adj, source);
+    levels.values().max().copied().filter(|&m| m > 0)
+}
+
+/// Directed pseudo-diameter: the maximum eccentricity over all
+/// vertices (exact, `O(V)` BFS runs — fine at analysis scale).
+pub fn diameter(adj: &AArray<bool>) -> Option<usize> {
+    (0..adj.row_keys().len())
+        .filter_map(|v| eccentricity(adj, adj.row_keys().key(v)))
+        .max()
+}
+
+/// Out-degrees by vertex key (stored-entry counts per row).
+pub fn out_degrees<V: aarray_algebra::Value>(adj: &AArray<V>) -> BTreeMap<String, usize> {
+    (0..adj.row_keys().len())
+        .map(|r| (adj.row_keys().key(r).to_string(), adj.csr().row_nnz(r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle, path};
+    use aarray_algebra::pairs::{OrAnd, PlusTimes};
+    use aarray_core::adjacency_array;
+    use aarray_algebra::values::nn::nn;
+
+    fn bool_adjacency(g: &crate::MultiGraph<Nat>) -> AArray<bool> {
+        let pair = PlusTimes::<Nat>::new();
+        let (eout, ein) = g.incidence_arrays(&pair);
+        let bpair = OrAnd::new();
+        adjacency_array(
+            &eout.map_prune(&bpair, |v| v.0 > 0),
+            &ein.map_prune(&bpair, |v| v.0 > 0),
+            &bpair,
+        )
+    }
+
+    #[test]
+    fn bfs_on_a_path() {
+        let g = path(5);
+        let adj = bool_adjacency(&g);
+        let levels = bfs_levels(&adj, "v0000000");
+        assert_eq!(levels.len(), 5);
+        assert_eq!(levels["v0000004"], 4);
+        assert_eq!(levels["v0000000"], 0);
+    }
+
+    #[test]
+    fn bfs_respects_direction() {
+        let g = path(4);
+        let adj = bool_adjacency(&g);
+        // From the far end nothing is reachable (edges point away).
+        let levels = bfs_levels(&adj, "v0000003");
+        assert_eq!(levels.len(), 1);
+    }
+
+    #[test]
+    fn bfs_on_cycle_wraps() {
+        let g = cycle(6);
+        let adj = bool_adjacency(&g);
+        let levels = bfs_levels(&adj, "v0000002");
+        assert_eq!(levels.len(), 6);
+        assert_eq!(levels["v0000001"], 5);
+    }
+
+    #[test]
+    fn bfs_missing_source() {
+        let g = path(3);
+        let adj = bool_adjacency(&g);
+        assert!(bfs_levels(&adj, "ghost").is_empty());
+    }
+
+    #[test]
+    fn sssp_weighted_diamond() {
+        // a→b (1), a→c (5), b→c (1): shortest a→c is 2 via b.
+        let pair = MinPlus::<NN>::new();
+        let mut g = crate::MultiGraph::new();
+        g.add_edge("e1", "a", "b", nn(1.0), nn(1.0));
+        g.add_edge("e2", "a", "c", nn(1.0), nn(5.0));
+        g.add_edge("e3", "b", "c", nn(1.0), nn(1.0));
+        let (eout, ein) = g.incidence_arrays(&pair);
+        // Adjacency under min.+: entry = min over edges of wout + win.
+        let adj = adjacency_array(&eout, &ein, &pair);
+        assert_eq!(adj.get("a", "b"), Some(&nn(2.0)));
+        let dist = sssp_min_plus(&adj, "a");
+        assert_eq!(dist["a"], NN::ZERO);
+        assert_eq!(dist["b"], nn(2.0));
+        // a→b→c = 2 + 2 = 4 < a→c = 6.
+        assert_eq!(dist["c"], nn(4.0));
+    }
+
+    #[test]
+    fn widest_path_bottleneck() {
+        let pair = MaxMin::<Nat>::new();
+        let mut g = crate::MultiGraph::new();
+        // Two routes a→c: direct with width 2, via b with widths 10, 7.
+        g.add_edge("e1", "a", "c", Nat(2), Nat(2));
+        g.add_edge("e2", "a", "b", Nat(10), Nat(10));
+        g.add_edge("e3", "b", "c", Nat(7), Nat(7));
+        let (eout, ein) = g.incidence_arrays(&pair);
+        let adj = adjacency_array(&eout, &ein, &pair);
+        let w = widest_path_max_min(&adj, "a");
+        assert_eq!(w["c"], Nat(7));
+        assert_eq!(w["b"], Nat(10));
+    }
+
+    #[test]
+    fn wedge_count_on_triangle() {
+        let pair = PlusTimes::<Nat>::new();
+        let g = cycle(3);
+        let (eout, ein) = g.incidence_arrays(&pair);
+        let adj = adjacency_array(&eout, &ein, &pair);
+        // Directed 3-cycle: paths v0→v1→v2 close with edge v0→v2? No —
+        // the only edges are the cycle's. A² has entries (i, i+2); A has
+        // (i, i+1): no overlap, zero closed wedges.
+        assert_eq!(closed_wedge_count(&adj), 0);
+        // Add chords to close them.
+        let mut g2 = g.clone();
+        g2.add_edge("x1", "v0000000", "v0000002", Nat(1), Nat(1));
+        let (eo2, ei2) = g2.incidence_arrays(&pair);
+        let adj2 = adjacency_array(&eo2, &ei2, &pair);
+        assert_eq!(closed_wedge_count(&adj2), 1);
+    }
+
+    #[test]
+    fn longest_path_critical_chain() {
+        use aarray_algebra::values::tropical::trop;
+        // Tasks: start→a (3), start→b (1), a→end (2), b→end (10).
+        // Critical path start→b→end = 11.
+        let pair = MaxPlus::<Tropical>::new();
+        let mut g = crate::MultiGraph::new();
+        g.add_edge("e1", "start", "a", trop(1.0), trop(2.0)); // 1+2 = 3
+        g.add_edge("e2", "start", "b", trop(0.5), trop(0.5)); // 1
+        g.add_edge("e3", "a", "end", trop(1.0), trop(1.0)); // 2
+        g.add_edge("e4", "b", "end", trop(5.0), trop(5.0)); // 10
+        let (eout, ein) = g.incidence_arrays(&pair);
+        let adj = adjacency_array(&eout, &ein, &pair);
+        let lp = longest_path_max_plus(&adj, "start");
+        assert_eq!(lp["a"], trop(3.0));
+        assert_eq!(lp["b"], trop(1.0));
+        assert_eq!(lp["end"], trop(11.0));
+        assert_eq!(lp["start"], Tropical::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive-weight cycle")]
+    fn longest_path_rejects_cycles() {
+        use aarray_algebra::values::tropical::trop;
+        let pair = MaxPlus::<Tropical>::new();
+        let mut g = crate::MultiGraph::new();
+        g.add_edge("e1", "a", "b", trop(1.0), trop(1.0));
+        g.add_edge("e2", "b", "a", trop(1.0), trop(1.0));
+        let (eout, ein) = g.incidence_arrays(&pair);
+        let adj = adjacency_array(&eout, &ein, &pair);
+        let _ = longest_path_max_plus(&adj, "a");
+    }
+
+    #[test]
+    fn eccentricity_and_diameter() {
+        let adj = bool_adjacency(&path(5));
+        assert_eq!(eccentricity(&adj, "v0000000"), Some(4));
+        assert_eq!(eccentricity(&adj, "v0000003"), Some(1));
+        assert_eq!(eccentricity(&adj, "v0000004"), None); // sink
+        assert_eq!(diameter(&adj), Some(4));
+        let c = bool_adjacency(&cycle(6));
+        assert_eq!(diameter(&c), Some(5));
+    }
+
+    #[test]
+    fn out_degree_map() {
+        let pair = PlusTimes::<Nat>::new();
+        let g = path(4);
+        let (eout, ein) = g.incidence_arrays(&pair);
+        let adj = adjacency_array(&eout, &ein, &pair);
+        let deg = out_degrees(&adj);
+        assert_eq!(deg["v0000000"], 1);
+        assert_eq!(deg["v0000003"], 0);
+    }
+}

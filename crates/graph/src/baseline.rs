@@ -1,0 +1,99 @@
+//! The non-array baseline: build the adjacency array by scanning the
+//! edge list and aggregating into a map — what a data engineer writes
+//! when they do *not* have `EᵀoutEin`.
+//!
+//! Semantics match the paper's product exactly: the entry for `(a, b)`
+//! is the left-associated `⊕`-fold of `wout(k) ⊗ win(k)` over the
+//! connecting edges `k` in **ascending edge-key order** (the same
+//! canonical order the array kernels use). For compliant pairs this
+//! equals `adjacency_array`; the `baseline_direct` bench races the two.
+
+use crate::multigraph::MultiGraph;
+use aarray_algebra::{BinaryOp, OpPair, Value};
+use aarray_core::AArray;
+use std::collections::BTreeMap;
+
+/// Direct adjacency construction from the edge list.
+pub fn direct_adjacency<V, A, M>(g: &MultiGraph<V>, pair: &OpPair<V, A, M>) -> AArray<V>
+where
+    V: Value,
+    A: BinaryOp<V>,
+    M: BinaryOp<V>,
+{
+    // Ascending edge-key order = the array kernels' inner-key order.
+    let mut edge_order: Vec<usize> = (0..g.edges().len()).collect();
+    edge_order.sort_by(|&i, &j| g.edges()[i].key.cmp(&g.edges()[j].key));
+
+    let mut acc: BTreeMap<(String, String), V> = BTreeMap::new();
+    for i in edge_order {
+        let e = &g.edges()[i];
+        let term = pair.times(&e.wout, &e.win);
+        acc.entry((e.src.clone(), e.dst.clone()))
+            .and_modify(|prev| *prev = pair.plus(prev, &term))
+            .or_insert(term);
+    }
+
+    let vertex_keys = aarray_core::KeySet::from_iter(g.vertices().map(str::to_string));
+    let triples = acc
+        .into_iter()
+        .filter(|(_, v)| !pair.is_zero(v))
+        .map(|((s, d), v)| (s, d, v));
+    AArray::from_triples_with_keys(pair, vertex_keys.clone(), vertex_keys, triples.collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::pairs::{MaxMin, MinPlus, PlusTimes};
+    use aarray_algebra::values::nat::Nat;
+    use aarray_algebra::values::nn::{nn, NN};
+    use aarray_core::adjacency_array;
+
+    fn weighted_graph() -> MultiGraph<Nat> {
+        let mut g = MultiGraph::new();
+        g.add_edge("e1", "a", "b", Nat(2), Nat(3));
+        g.add_edge("e2", "a", "b", Nat(5), Nat(1));
+        g.add_edge("e3", "b", "c", Nat(4), Nat(4));
+        g.add_edge("e4", "c", "c", Nat(7), Nat(1));
+        g
+    }
+
+    #[test]
+    fn baseline_matches_array_multiplication_plus_times() {
+        let pair = PlusTimes::<Nat>::new();
+        let g = weighted_graph();
+        let (eout, ein) = g.incidence_arrays(&pair);
+        assert_eq!(direct_adjacency(&g, &pair), adjacency_array(&eout, &ein, &pair));
+    }
+
+    #[test]
+    fn baseline_matches_array_multiplication_max_min() {
+        let pair = MaxMin::<Nat>::new();
+        let g = weighted_graph();
+        let (eout, ein) = g.incidence_arrays(&pair);
+        assert_eq!(direct_adjacency(&g, &pair), adjacency_array(&eout, &ein, &pair));
+    }
+
+    #[test]
+    fn baseline_matches_min_plus_on_reals() {
+        let pair = MinPlus::<NN>::new();
+        let mut g = MultiGraph::new();
+        g.add_edge("e1", "a", "b", nn(1.0), nn(2.0));
+        g.add_edge("e2", "a", "b", nn(0.5), nn(1.0));
+        let (eout, ein) = g.incidence_arrays(&pair);
+        let direct = direct_adjacency(&g, &pair);
+        assert_eq!(direct, adjacency_array(&eout, &ein, &pair));
+        assert_eq!(direct.get("a", "b"), Some(&nn(1.5)));
+    }
+
+    #[test]
+    fn parallel_edges_aggregate() {
+        let pair = PlusTimes::<Nat>::new();
+        let g = weighted_graph();
+        let a = direct_adjacency(&g, &pair);
+        // 2·3 + 5·1 = 11.
+        assert_eq!(a.get("a", "b"), Some(&Nat(11)));
+        assert_eq!(a.get("c", "c"), Some(&Nat(7)));
+        assert_eq!(a.nnz(), 3);
+    }
+}

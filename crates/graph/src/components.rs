@@ -1,0 +1,124 @@
+//! Connected components over constructed adjacency arrays, via the
+//! classic label-propagation-as-semiring-iteration: each vertex starts
+//! with its own label (its key), and repeatedly takes the `min` of its
+//! own label and its neighbours' labels until fixpoint. The propagation
+//! step is a `min.min`-flavoured vector product over the *undirected*
+//! pattern (A ∨ Aᵀ).
+
+use aarray_algebra::Value;
+use aarray_core::AArray;
+use std::collections::BTreeMap;
+
+/// Weakly connected components: vertices grouped ignoring edge
+/// direction. Returns `vertex → representative` (the lexicographically
+/// least vertex key of its component).
+pub fn weakly_connected_components<V: Value>(adj: &AArray<V>) -> BTreeMap<String, String> {
+    assert_eq!(
+        adj.row_keys(),
+        adj.col_keys(),
+        "components need a square adjacency array"
+    );
+    let n = adj.row_keys().len();
+
+    // Undirected neighbour lists from the stored pattern.
+    let mut nbrs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (r, c, _) in adj.csr().iter() {
+        nbrs[r].push(c as u32);
+        nbrs[c].push(r as u32);
+    }
+
+    // Labels are key-set indices; min-propagate to fixpoint. Because
+    // keys are sorted, index order IS lexicographic key order.
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..n {
+            let mut best = label[v];
+            for &u in &nbrs[v] {
+                best = best.min(label[u as usize]);
+            }
+            if best < label[v] {
+                label[v] = best;
+                changed = true;
+            }
+        }
+        // Pointer-jump to accelerate convergence on long paths.
+        for v in 0..n {
+            let l = label[v] as usize;
+            if label[l] < label[v] {
+                label[v] = label[l];
+                changed = true;
+            }
+        }
+    }
+
+    (0..n)
+        .map(|v| {
+            (
+                adj.row_keys().key(v).to_string(),
+                adj.row_keys().key(label[v] as usize).to_string(),
+            )
+        })
+        .collect()
+}
+
+/// Number of weakly connected components.
+pub fn component_count<V: Value>(adj: &AArray<V>) -> usize {
+    let reps: std::collections::BTreeSet<String> =
+        weakly_connected_components(adj).into_values().collect();
+    reps.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle, path};
+    use crate::MultiGraph;
+    use aarray_algebra::pairs::PlusTimes;
+    use aarray_algebra::values::nat::Nat;
+    use aarray_core::adjacency_array;
+
+    fn adjacency(g: &MultiGraph<Nat>) -> AArray<Nat> {
+        let pair = PlusTimes::<Nat>::new();
+        let (eout, ein) = g.incidence_arrays(&pair);
+        adjacency_array(&eout, &ein, &pair)
+    }
+
+    #[test]
+    fn single_path_is_one_component() {
+        let adj = adjacency(&path(6));
+        assert_eq!(component_count(&adj), 1);
+        let comps = weakly_connected_components(&adj);
+        assert!(comps.values().all(|r| r == "v0000000"));
+    }
+
+    #[test]
+    fn disjoint_pieces() {
+        let mut g = MultiGraph::new();
+        g.add_edge("e1", "a1", "a2", Nat(1), Nat(1));
+        g.add_edge("e2", "b1", "b2", Nat(1), Nat(1));
+        g.add_vertex("lonely");
+        let adj = adjacency(&g);
+        assert_eq!(component_count(&adj), 3);
+        let comps = weakly_connected_components(&adj);
+        assert_eq!(comps["a2"], "a1");
+        assert_eq!(comps["b2"], "b1");
+        assert_eq!(comps["lonely"], "lonely");
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // a→b←c is weakly connected even though not strongly.
+        let mut g = MultiGraph::new();
+        g.add_edge("e1", "a", "b", Nat(1), Nat(1));
+        g.add_edge("e2", "c", "b", Nat(1), Nat(1));
+        assert_eq!(component_count(&adjacency(&g)), 1);
+    }
+
+    #[test]
+    fn cycle_converges() {
+        let adj = adjacency(&cycle(9));
+        assert_eq!(component_count(&adj), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Export constructed adjacency arrays to Graphviz DOT — the handoff
+//! from the construction pipeline to visualization tools.
+
+use aarray_algebra::Value;
+use aarray_core::AArray;
+use std::fmt::Display;
+
+/// Options for DOT rendering.
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Graph name (`digraph <name> { … }`).
+    pub name: String,
+    /// Emit `label="<value>"` on edges.
+    pub edge_labels: bool,
+    /// Emit isolated vertices as bare nodes.
+    pub include_isolated: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { name: "G".to_string(), edge_labels: true, include_isolated: true }
+    }
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Render a square adjacency array as a DOT digraph.
+pub fn to_dot<V: Value + Display>(adj: &AArray<V>, opts: &DotOptions) -> String {
+    assert_eq!(adj.row_keys(), adj.col_keys(), "DOT export needs a square adjacency array");
+    let mut out = String::new();
+    out.push_str(&format!("digraph {} {{\n", quote(&opts.name)));
+
+    if opts.include_isolated {
+        let mut touched = vec![false; adj.row_keys().len()];
+        for (r, c, _) in adj.csr().iter() {
+            touched[r] = true;
+            touched[c] = true;
+        }
+        for (i, t) in touched.iter().enumerate() {
+            if !t {
+                out.push_str(&format!("  {};\n", quote(adj.row_keys().key(i))));
+            }
+        }
+    }
+
+    for (r, c, v) in adj.iter() {
+        if opts.edge_labels {
+            out.push_str(&format!("  {} -> {} [label={}];\n", quote(r), quote(c), quote(&v.to_string())));
+        } else {
+            out.push_str(&format!("  {} -> {};\n", quote(r), quote(c)));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::pairs::PlusTimes;
+    use aarray_algebra::values::nat::Nat;
+
+    fn sample() -> AArray<Nat> {
+        let pair = PlusTimes::<Nat>::new();
+        let mut g = crate::MultiGraph::new();
+        g.add_edge("e1", "a", "b", Nat(2), Nat(1));
+        g.add_vertex("lonely");
+        let (eout, ein) = g.incidence_arrays(&pair);
+        aarray_core::adjacency_array(&eout, &ein, &pair)
+    }
+
+    #[test]
+    fn dot_structure() {
+        let dot = to_dot(&sample(), &DotOptions::default());
+        assert!(dot.starts_with("digraph \"G\" {"));
+        assert!(dot.contains("\"a\" -> \"b\" [label=\"2\"];"));
+        assert!(dot.contains("\"lonely\";"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn labels_and_isolated_can_be_disabled() {
+        let opts = DotOptions { name: "M".into(), edge_labels: false, include_isolated: false };
+        let dot = to_dot(&sample(), &opts);
+        assert!(dot.contains("\"a\" -> \"b\";"));
+        assert!(!dot.contains("label="));
+        assert!(!dot.contains("lonely"));
+    }
+
+    #[test]
+    fn quoting_hostile_keys() {
+        let pair = PlusTimes::<Nat>::new();
+        let a = AArray::from_triples(&pair, [("he \"said\"", "he \"said\"", Nat(1))]);
+        let dot = to_dot(&a, &DotOptions::default());
+        assert!(dot.contains("\\\"said\\\""));
+    }
+}

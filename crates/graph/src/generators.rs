@@ -1,0 +1,323 @@
+//! Synthetic graph and dataset generators for the scaling benches and
+//! property tests.
+//!
+//! The paper's evaluation is a fixed 22-track music table; these
+//! generators exist for the *extension* experiments (scaling, ablation)
+//! and for randomized theorem testing. All are deterministic given a
+//! seed.
+
+use crate::multigraph::MultiGraph;
+use aarray_algebra::values::nat::Nat;
+use aarray_algebra::values::nn::{nn, NN};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// G(n, m): `m` uniformly random directed edges over `n` vertices
+/// (parallel edges and self-loops possible, as in a real edge stream).
+/// Unit weights.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> MultiGraph<Nat> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = MultiGraph::new();
+    for v in 0..n {
+        g.add_vertex(vkey(v));
+    }
+    for e in 0..m {
+        let src = rng.gen_range(0..n);
+        let dst = rng.gen_range(0..n);
+        g.add_edge(ekey(e), vkey(src), vkey(dst), Nat(1), Nat(1));
+    }
+    g
+}
+
+/// G(n, m) with uniform random real weights in `(0, max_w]` on both
+/// incidence sides — exercise the weighted pairs.
+pub fn erdos_renyi_weighted(n: usize, m: usize, max_w: f64, seed: u64) -> MultiGraph<NN> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = MultiGraph::new();
+    for v in 0..n {
+        g.add_vertex(vkey(v));
+    }
+    for e in 0..m {
+        let src = rng.gen_range(0..n);
+        let dst = rng.gen_range(0..n);
+        let wout = nn((rng.gen::<f64>() * max_w).max(f64::MIN_POSITIVE));
+        let win = nn((rng.gen::<f64>() * max_w).max(f64::MIN_POSITIVE));
+        g.add_edge(ekey(e), vkey(src), vkey(dst), wout, win);
+    }
+    g
+}
+
+/// R-MAT (Kronecker-style power-law) generator: `2^scale` vertices,
+/// `m` edges, recursive quadrant probabilities `(a, b, c, d)`
+/// (Graph500 uses `0.57, 0.19, 0.19, 0.05`).
+pub fn rmat(scale: u32, m: usize, probs: (f64, f64, f64, f64), seed: u64) -> MultiGraph<Nat> {
+    let (a, b, c, d) = probs;
+    assert!((a + b + c + d - 1.0).abs() < 1e-9, "quadrant probabilities must sum to 1");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = MultiGraph::new();
+    for e in 0..m {
+        let (mut r0, mut r1, mut c0, mut c1) = (0usize, n, 0usize, n);
+        while r1 - r0 > 1 {
+            let x: f64 = rng.gen();
+            let (down, right) = if x < a {
+                (false, false)
+            } else if x < a + b {
+                (false, true)
+            } else if x < a + b + c {
+                (true, false)
+            } else {
+                (true, true)
+            };
+            let rm = (r0 + r1) / 2;
+            let cm = (c0 + c1) / 2;
+            if down {
+                r0 = rm;
+            } else {
+                r1 = rm;
+            }
+            if right {
+                c0 = cm;
+            } else {
+                c1 = cm;
+            }
+        }
+        g.add_edge(ekey(e), vkey(r0), vkey(c0), Nat(1), Nat(1));
+    }
+    g
+}
+
+/// A directed path `v0 → v1 → … → v(n−1)` with unit weights.
+pub fn path(n: usize) -> MultiGraph<Nat> {
+    let mut g = MultiGraph::new();
+    for v in 0..n {
+        g.add_vertex(vkey(v));
+    }
+    for i in 0..n.saturating_sub(1) {
+        g.add_edge(ekey(i), vkey(i), vkey(i + 1), Nat(1), Nat(1));
+    }
+    g
+}
+
+/// A directed cycle over `n` vertices.
+pub fn cycle(n: usize) -> MultiGraph<Nat> {
+    let mut g = path(n);
+    if n > 1 {
+        g.add_edge(ekey(n - 1), vkey(n - 1), vkey(0), Nat(1), Nat(1));
+    }
+    g
+}
+
+/// The complete directed graph on `n` vertices (no self-loops).
+pub fn complete(n: usize) -> MultiGraph<Nat> {
+    let mut g = MultiGraph::new();
+    let mut e = 0usize;
+    for v in 0..n {
+        g.add_vertex(vkey(v));
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                g.add_edge(ekey(e), vkey(i), vkey(j), Nat(1), Nat(1));
+                e += 1;
+            }
+        }
+    }
+    g
+}
+
+/// A music-metadata-like bipartite incidence workload scaled up from
+/// Figure 1's shape: `tracks` rows, each with 1–2 of `n_genres` genre
+/// columns and 1–3 of `n_writers` writer columns, as edges
+/// track→attribute. Returns the graph whose `Eᵀ₁E₂`-style products the
+/// `fig3`/`fig5` scaling benches time.
+pub fn music_like(tracks: usize, n_genres: usize, n_writers: usize, seed: u64) -> MultiGraph<Nat> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = MultiGraph::new();
+    let mut e = 0usize;
+    for t in 0..tracks {
+        let track = format!("track{:07}", t);
+        let n_g = 1 + rng.gen_range(0..2usize);
+        for _ in 0..n_g {
+            let genre = format!("Genre|{:03}", rng.gen_range(0..n_genres));
+            g.add_edge(ekey(e), track.clone(), genre, Nat(1), Nat(1));
+            e += 1;
+        }
+        let n_w = 1 + rng.gen_range(0..3usize);
+        for _ in 0..n_w {
+            let writer = format!("Writer|{:05}", rng.gen_range(0..n_writers));
+            g.add_edge(ekey(e), track.clone(), writer, Nat(1), Nat(1));
+            e += 1;
+        }
+    }
+    g
+}
+
+/// Random bipartite graph: edges from `left` vertices (`l*`) to
+/// `right` vertices (`r*`), each of the `m` edges drawn uniformly.
+pub fn bipartite(left: usize, right: usize, m: usize, seed: u64) -> MultiGraph<Nat> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = MultiGraph::new();
+    for v in 0..left {
+        g.add_vertex(format!("l{:07}", v));
+    }
+    for v in 0..right {
+        g.add_vertex(format!("r{:07}", v));
+    }
+    for e in 0..m {
+        let l = rng.gen_range(0..left);
+        let r = rng.gen_range(0..right);
+        g.add_edge(ekey(e), format!("l{:07}", l), format!("r{:07}", r), Nat(1), Nat(1));
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: start from a small clique,
+/// then each new vertex attaches `k` edges to existing vertices with
+/// probability proportional to their current degree.
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> MultiGraph<Nat> {
+    assert!(k >= 1 && n > k, "need n > k ≥ 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = MultiGraph::new();
+    let mut e = 0usize;
+    // Degree-proportional sampling via the repeated-endpoints trick.
+    let mut endpoints: Vec<usize> = Vec::new();
+
+    // Seed clique over the first k+1 vertices.
+    for i in 0..=k {
+        for j in 0..i {
+            g.add_edge(ekey(e), vkey(j), vkey(i), Nat(1), Nat(1));
+            e += 1;
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in (k + 1)..n {
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < k {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            chosen.insert(t);
+        }
+        for &t in &chosen {
+            g.add_edge(ekey(e), vkey(v), vkey(t), Nat(1), Nat(1));
+            e += 1;
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+fn vkey(v: usize) -> String {
+    format!("v{:07}", v)
+}
+
+fn ekey(e: usize) -> String {
+    format!("e{:08}", e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::pairs::PlusTimes;
+    use aarray_core::adjacency_array;
+
+    #[test]
+    fn erdos_renyi_is_deterministic() {
+        let g1 = erdos_renyi(50, 200, 42);
+        let g2 = erdos_renyi(50, 200, 42);
+        assert_eq!(g1, g2);
+        assert_eq!(g1.edge_count(), 200);
+        assert_eq!(g1.vertex_count(), 50);
+        assert_ne!(g1, erdos_renyi(50, 200, 43));
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(6, 300, (0.57, 0.19, 0.19, 0.05), 7);
+        assert_eq!(g.edge_count(), 300);
+        assert!(g.vertex_count() <= 64);
+        // Power-law-ish: top vertex should have noticeably more edges
+        // than the mean (6.25); don't over-assert on randomness.
+        let pair = PlusTimes::<Nat>::new();
+        let (eout, ein) = g.incidence_arrays(&pair);
+        let a = adjacency_array(&eout, &ein, &pair);
+        assert!(a.nnz() > 0);
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        let p = path(5);
+        assert_eq!(p.edge_count(), 4);
+        let c = cycle(5);
+        assert_eq!(c.edge_count(), 5);
+        assert_eq!(c.vertex_count(), 5);
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let k4 = complete(4);
+        assert_eq!(k4.edge_count(), 12);
+        let pair = PlusTimes::<Nat>::new();
+        let (eout, ein) = k4.incidence_arrays(&pair);
+        let a = adjacency_array(&eout, &ein, &pair);
+        assert_eq!(a.nnz(), 12);
+        assert_eq!(a.get("v0000000", "v0000000"), None);
+    }
+
+    #[test]
+    fn music_like_structure() {
+        let g = music_like(100, 5, 20, 3);
+        // Between 2 and 5 attribute edges per track.
+        assert!(g.edge_count() >= 200 && g.edge_count() <= 500);
+        let genres = g.vertices().filter(|v| v.starts_with("Genre|")).count();
+        assert!(genres <= 5);
+    }
+
+    #[test]
+    fn bipartite_stays_bipartite() {
+        let g = bipartite(10, 6, 50, 4);
+        assert_eq!(g.edge_count(), 50);
+        assert_eq!(g.vertex_count(), 16);
+        for e in g.edges() {
+            assert!(e.src.starts_with('l') && e.dst.starts_with('r'));
+        }
+        // Constructed adjacency only connects l→r.
+        let pair = PlusTimes::<Nat>::new();
+        let (eout, ein) = g.incidence_arrays(&pair);
+        let a = adjacency_array(&eout, &ein, &pair);
+        for (s, d, _) in a.iter() {
+            assert!(s.starts_with('l') && d.starts_with('r'));
+        }
+    }
+
+    #[test]
+    fn barabasi_albert_shape_and_skew() {
+        let n = 200;
+        let k = 3;
+        let g = barabasi_albert(n, k, 9);
+        // Clique edges + k per later vertex.
+        let expected_edges = k * (k + 1) / 2 + (n - k - 1) * k;
+        assert_eq!(g.edge_count(), expected_edges);
+        assert_eq!(g.vertex_count(), n);
+        // Preferential attachment: max undirected degree well above k.
+        let pair = PlusTimes::<Nat>::new();
+        let (eout, ein) = g.incidence_arrays(&pair);
+        let a = adjacency_array(&eout, &ein, &pair);
+        let mut deg = std::collections::BTreeMap::new();
+        for (s, d, _) in a.iter() {
+            *deg.entry(s.to_string()).or_insert(0usize) += 1;
+            *deg.entry(d.to_string()).or_insert(0usize) += 1;
+        }
+        let max = deg.values().max().copied().unwrap();
+        assert!(max >= 3 * k, "max degree {} not skewed", max);
+    }
+
+    #[test]
+    fn weighted_generator_values_positive() {
+        let g = erdos_renyi_weighted(10, 40, 3.0, 11);
+        for e in g.edges() {
+            assert!(e.wout.get() > 0.0 && e.win.get() > 0.0);
+        }
+    }
+}

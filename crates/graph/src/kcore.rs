@@ -1,0 +1,151 @@
+//! k-core decomposition over a constructed adjacency array — the
+//! classic peeling algorithm on the undirected pattern.
+//!
+//! The core number of a vertex is the largest `k` such that the vertex
+//! survives repeatedly deleting all vertices of (undirected) degree
+//! `< k`. Linear-time bucket peeling (Batagelj–Zaveršnik style).
+
+use aarray_algebra::Value;
+use aarray_core::AArray;
+use std::collections::BTreeMap;
+
+/// Core number per vertex (self-loops ignored; direction ignored;
+/// parallel stored entries count once — the adjacency array already
+/// collapsed multi-edges).
+pub fn core_numbers<V: Value>(adj: &AArray<V>) -> BTreeMap<String, usize> {
+    assert_eq!(adj.row_keys(), adj.col_keys(), "k-core needs a square adjacency array");
+    let n = adj.row_keys().len();
+
+    // Undirected simple neighbour sets.
+    let mut nbrs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (r, c, _) in adj.csr().iter() {
+        if r != c {
+            nbrs[r].push(c as u32);
+            nbrs[c].push(r as u32);
+        }
+    }
+    for l in nbrs.iter_mut() {
+        l.sort_unstable();
+        l.dedup();
+    }
+
+    let mut degree: Vec<usize> = nbrs.iter().map(Vec::len).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+
+    // Bucket queue by current degree.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    for (v, &d) in degree.iter().enumerate() {
+        buckets[d].push(v as u32);
+    }
+
+    let mut core = vec![0usize; n];
+    let mut removed = vec![false; n];
+    let mut current_core = 0usize;
+    let mut d = 0usize;
+    while d <= max_deg {
+        match buckets[d].pop() {
+            None => {
+                d += 1;
+                continue;
+            }
+            Some(v) => {
+                let v = v as usize;
+                if removed[v] || degree[v] != d {
+                    continue; // stale entry
+                }
+                removed[v] = true;
+                current_core = current_core.max(d);
+                core[v] = current_core;
+                for &u in &nbrs[v] {
+                    let u = u as usize;
+                    if !removed[u] && degree[u] > 0 {
+                        degree[u] -= 1;
+                        buckets[degree[u]].push(u as u32);
+                    }
+                }
+                // Each neighbour's degree dropped by exactly one, so
+                // new work can appear one bucket down at most.
+                d = d.saturating_sub(1);
+            }
+        }
+    }
+
+    (0..n)
+        .map(|v| (adj.row_keys().key(v).to_string(), core[v]))
+        .collect()
+}
+
+/// The degeneracy of the graph: the maximum core number.
+pub fn degeneracy<V: Value>(adj: &AArray<V>) -> usize {
+    core_numbers(adj).values().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle, path};
+    use crate::MultiGraph;
+    use aarray_algebra::pairs::PlusTimes;
+    use aarray_algebra::values::nat::Nat;
+    use aarray_core::adjacency_array;
+
+    fn adjacency(g: &MultiGraph<Nat>) -> AArray<Nat> {
+        let pair = PlusTimes::<Nat>::new();
+        let (eout, ein) = g.incidence_arrays(&pair);
+        adjacency_array(&eout, &ein, &pair)
+    }
+
+    #[test]
+    fn path_is_one_core() {
+        let cores = core_numbers(&adjacency(&path(6)));
+        assert!(cores.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn cycle_is_two_core() {
+        let cores = core_numbers(&adjacency(&cycle(6)));
+        assert!(cores.values().all(|&c| c == 2), "{:?}", cores);
+    }
+
+    #[test]
+    fn complete_graph_core() {
+        // K5: every vertex has undirected degree 4 ⇒ 4-core.
+        assert_eq!(degeneracy(&adjacency(&complete(5))), 4);
+    }
+
+    #[test]
+    fn triangle_with_a_tail() {
+        // Triangle a-b-c plus pendant d attached to a: triangle is
+        // 2-core, d is 1-core.
+        let mut g = MultiGraph::new();
+        g.add_edge("e1", "a", "b", Nat(1), Nat(1));
+        g.add_edge("e2", "b", "c", Nat(1), Nat(1));
+        g.add_edge("e3", "c", "a", Nat(1), Nat(1));
+        g.add_edge("e4", "a", "d", Nat(1), Nat(1));
+        let cores = core_numbers(&adjacency(&g));
+        assert_eq!(cores["a"], 2);
+        assert_eq!(cores["b"], 2);
+        assert_eq!(cores["c"], 2);
+        assert_eq!(cores["d"], 1);
+        assert_eq!(degeneracy(&adjacency(&g)), 2);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut g = MultiGraph::new();
+        g.add_edge("e1", "x", "x", Nat(1), Nat(1));
+        g.add_edge("e2", "x", "y", Nat(1), Nat(1));
+        let cores = core_numbers(&adjacency(&g));
+        assert_eq!(cores["x"], 1);
+        assert_eq!(cores["y"], 1);
+    }
+
+    #[test]
+    fn isolated_vertex_is_zero_core() {
+        let mut g = MultiGraph::new();
+        g.add_vertex("alone");
+        g.add_edge("e1", "a", "b", Nat(1), Nat(1));
+        let cores = core_numbers(&adjacency(&g));
+        assert_eq!(cores["alone"], 0);
+    }
+}

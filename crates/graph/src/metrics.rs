@@ -1,0 +1,127 @@
+//! Graph metrics computed from a constructed adjacency array — the
+//! one-screen summary an analyst prints after construction.
+
+use aarray_algebra::Value;
+use aarray_core::AArray;
+use std::fmt;
+
+/// Structural metrics of a directed graph given by its adjacency array.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphMetrics {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Distinct directed edges (stored entries).
+    pub edges: usize,
+    /// Self-loop count.
+    pub self_loops: usize,
+    /// Directed density `edges / (n·(n−1) + n)` (self-loops allowed).
+    pub density: f64,
+    /// Edges `u→v` whose reverse `v→u` also exists (excluding loops).
+    pub reciprocal_edges: usize,
+    /// Max out-degree.
+    pub max_out_degree: usize,
+    /// Max in-degree.
+    pub max_in_degree: usize,
+    /// Vertices with no edges at all.
+    pub isolated: usize,
+}
+
+impl fmt::Display for GraphMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vertices, {} edges ({} loops, {} reciprocal), density {:.5}, max deg out {} / in {}, {} isolated",
+            self.vertices,
+            self.edges,
+            self.self_loops,
+            self.reciprocal_edges,
+            self.density,
+            self.max_out_degree,
+            self.max_in_degree,
+            self.isolated
+        )
+    }
+}
+
+/// Compute [`GraphMetrics`] from a square adjacency array.
+pub fn graph_metrics<V: Value>(adj: &AArray<V>) -> GraphMetrics {
+    assert_eq!(adj.row_keys(), adj.col_keys(), "metrics need a square adjacency array");
+    let n = adj.row_keys().len();
+    let edges = adj.nnz();
+
+    let mut self_loops = 0usize;
+    let mut reciprocal = 0usize;
+    let mut out_deg = vec![0usize; n];
+    let mut in_deg = vec![0usize; n];
+    for (r, c, _) in adj.csr().iter() {
+        out_deg[r] += 1;
+        in_deg[c] += 1;
+        if r == c {
+            self_loops += 1;
+        } else if adj.csr().get(c, r).is_some() {
+            reciprocal += 1;
+        }
+    }
+    let isolated = (0..n).filter(|&v| out_deg[v] == 0 && in_deg[v] == 0).count();
+
+    GraphMetrics {
+        vertices: n,
+        edges,
+        self_loops,
+        density: if n == 0 { 0.0 } else { edges as f64 / (n * n) as f64 },
+        reciprocal_edges: reciprocal,
+        max_out_degree: out_deg.iter().copied().max().unwrap_or(0),
+        max_in_degree: in_deg.iter().copied().max().unwrap_or(0),
+        isolated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle};
+    use crate::MultiGraph;
+    use aarray_algebra::pairs::PlusTimes;
+    use aarray_algebra::values::nat::Nat;
+    use aarray_core::adjacency_array;
+
+    fn adjacency(g: &MultiGraph<Nat>) -> AArray<Nat> {
+        let pair = PlusTimes::<Nat>::new();
+        let (eout, ein) = g.incidence_arrays(&pair);
+        adjacency_array(&eout, &ein, &pair)
+    }
+
+    #[test]
+    fn cycle_metrics() {
+        let m = graph_metrics(&adjacency(&cycle(5)));
+        assert_eq!(m.vertices, 5);
+        assert_eq!(m.edges, 5);
+        assert_eq!(m.self_loops, 0);
+        assert_eq!(m.reciprocal_edges, 0);
+        assert_eq!(m.max_out_degree, 1);
+        assert_eq!(m.isolated, 0);
+    }
+
+    #[test]
+    fn complete_graph_is_fully_reciprocal() {
+        let m = graph_metrics(&adjacency(&complete(4)));
+        assert_eq!(m.edges, 12);
+        assert_eq!(m.reciprocal_edges, 12);
+        assert_eq!(m.max_in_degree, 3);
+    }
+
+    #[test]
+    fn loops_and_isolated_vertices() {
+        let mut g = MultiGraph::new();
+        g.add_edge("e1", "a", "a", Nat(1), Nat(1));
+        g.add_edge("e2", "a", "b", Nat(1), Nat(1));
+        g.add_vertex("ghost");
+        let m = graph_metrics(&adjacency(&g));
+        assert_eq!(m.self_loops, 1);
+        assert_eq!(m.isolated, 1);
+        assert_eq!(m.vertices, 3);
+        let line = m.to_string();
+        assert!(line.contains("1 loops"));
+        assert!(line.contains("1 isolated"));
+    }
+}

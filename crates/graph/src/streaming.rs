@@ -1,0 +1,182 @@
+//! Streaming adjacency construction — edges arrive in batches (log
+//! shipping, message queues), each batch becomes incidence arrays and
+//! multiplies into a partial adjacency array, and partials combine by
+//! element-wise `⊕`.
+//!
+//! Correctness across batches needs more than Theorem II.1: splitting
+//! the edge set regroups the `⊕`-fold, so `⊕` must be **associative
+//! and commutative** — enforced here by the marker-trait bounds, the
+//! same ones gating parallel tree reductions. (All seven paper pairs
+//! qualify.)
+
+use crate::multigraph::MultiGraph;
+use aarray_algebra::{AssociativeOp, BinaryOp, CommutativeOp, OpPair, Value};
+use aarray_core::{adjacency_array_unchecked, AArray, KeySet};
+
+/// Incremental adjacency builder. Edges accumulate into an internal
+/// batch; every `batch_size` edges the batch is folded into the running
+/// adjacency array.
+pub struct StreamingAdjacency<V, A, M>
+where
+    V: Value,
+    A: BinaryOp<V> + AssociativeOp<V> + CommutativeOp<V>,
+    M: BinaryOp<V>,
+    OpPair<V, A, M>: aarray_algebra::AdjacencyCompatible,
+{
+    pair: OpPair<V, A, M>,
+    batch_size: usize,
+    batch: MultiGraph<V>,
+    partial: Option<AArray<V>>,
+    edges_seen: usize,
+    vertices: std::collections::BTreeSet<String>,
+}
+
+impl<V, A, M> StreamingAdjacency<V, A, M>
+where
+    V: Value,
+    A: BinaryOp<V> + AssociativeOp<V> + CommutativeOp<V>,
+    M: BinaryOp<V>,
+    OpPair<V, A, M>: aarray_algebra::AdjacencyCompatible,
+{
+    /// New builder flushing every `batch_size` edges (≥ 1).
+    pub fn new(pair: OpPair<V, A, M>, batch_size: usize) -> Self {
+        assert!(batch_size >= 1, "batch size must be positive");
+        StreamingAdjacency {
+            pair,
+            batch_size,
+            batch: MultiGraph::new(),
+            partial: None,
+            edges_seen: 0,
+            vertices: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Ingest one edge. Edge keys are assigned automatically (globally
+    /// unique across batches).
+    pub fn push_edge(&mut self, src: impl Into<String>, dst: impl Into<String>, wout: V, win: V) {
+        let key = format!("se{:012}", self.edges_seen);
+        self.edges_seen += 1;
+        let (src, dst) = (src.into(), dst.into());
+        self.vertices.insert(src.clone());
+        self.vertices.insert(dst.clone());
+        self.batch.add_edge(key, src, dst, wout, win);
+        if self.batch.edge_count() >= self.batch_size {
+            self.flush();
+        }
+    }
+
+    /// Total edges ingested.
+    pub fn edges_seen(&self) -> usize {
+        self.edges_seen
+    }
+
+    /// Fold the pending batch into the running adjacency array.
+    pub fn flush(&mut self) {
+        if self.batch.edge_count() == 0 {
+            return;
+        }
+        let g = std::mem::replace(&mut self.batch, MultiGraph::new());
+        let (eout, ein) = g.incidence_arrays(&self.pair);
+        let part = adjacency_array_unchecked(&eout, &ein, &self.pair);
+        self.partial = Some(match self.partial.take() {
+            None => part,
+            Some(acc) => acc.ewise_add(&part, &self.pair),
+        });
+    }
+
+    /// Flush and return the adjacency array over **all** vertices seen
+    /// (including ones whose edges were folded in earlier batches).
+    pub fn finish(mut self) -> AArray<V> {
+        self.flush();
+        let all = KeySet::from_iter(self.vertices.iter().cloned());
+        match self.partial {
+            None => AArray::empty(all.clone(), all),
+            Some(a) => {
+                // Re-embed into the full vertex set: earlier batches may
+                // not have seen every vertex.
+                let pad = AArray::empty(all.clone(), all);
+                a.ewise_add(&pad, &self.pair)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::pairs::{MaxMin, PlusTimes};
+    use aarray_algebra::values::nat::Nat;
+    use aarray_core::adjacency_array;
+
+    fn one_shot(edges: &[(&str, &str, u64)], pair: &PlusTimes<Nat>) -> AArray<Nat> {
+        let mut g = MultiGraph::new();
+        for (i, &(s, d, w)) in edges.iter().enumerate() {
+            g.add_edge(format!("se{:012}", i), s, d, Nat(w), Nat(1));
+        }
+        let (eout, ein) = g.incidence_arrays(pair);
+        adjacency_array(&eout, &ein, pair)
+    }
+
+    #[test]
+    fn batched_equals_one_shot_plus_times() {
+        let pair = PlusTimes::<Nat>::new();
+        let edges = [
+            ("a", "b", 2),
+            ("a", "b", 3),
+            ("b", "c", 5),
+            ("c", "a", 7),
+            ("a", "b", 11),
+        ];
+        for batch_size in [1usize, 2, 3, 100] {
+            let mut s = StreamingAdjacency::new(pair, batch_size);
+            for &(src, dst, w) in &edges {
+                s.push_edge(src, dst, Nat(w), Nat(1));
+            }
+            let streamed = s.finish();
+            assert_eq!(streamed, one_shot(&edges, &pair), "batch size {}", batch_size);
+        }
+    }
+
+    #[test]
+    fn batched_equals_one_shot_max_min() {
+        let pair = MaxMin::<Nat>::new();
+        let mut s = StreamingAdjacency::new(pair, 2);
+        for (src, dst, w) in [("a", "b", 3u64), ("a", "b", 9), ("a", "b", 5)] {
+            s.push_edge(src, dst, Nat(w), Nat(w));
+        }
+        let a = s.finish();
+        // max over edges of min(w, w) = 9.
+        assert_eq!(a.get("a", "b"), Some(&Nat(9)));
+    }
+
+    #[test]
+    fn empty_stream() {
+        let pair = PlusTimes::<Nat>::new();
+        let s = StreamingAdjacency::new(pair, 10);
+        let a = s.finish();
+        assert_eq!(a.shape(), (0, 0));
+    }
+
+    #[test]
+    fn vertices_from_early_batches_survive() {
+        let pair = PlusTimes::<Nat>::new();
+        let mut s = StreamingAdjacency::new(pair, 1);
+        s.push_edge("early1", "early2", Nat(1), Nat(1));
+        s.push_edge("late1", "late2", Nat(1), Nat(1));
+        let a = s.finish();
+        assert_eq!(a.shape(), (4, 4));
+        assert_eq!(a.get("early1", "early2"), Some(&Nat(1)));
+    }
+
+    #[test]
+    fn edge_count_tracking() {
+        let pair = PlusTimes::<Nat>::new();
+        let mut s = StreamingAdjacency::new(pair, 3);
+        for _ in 0..7 {
+            s.push_edge("x", "y", Nat(1), Nat(1));
+        }
+        assert_eq!(s.edges_seen(), 7);
+        let a = s.finish();
+        assert_eq!(a.get("x", "y"), Some(&Nat(7)));
+    }
+}

@@ -1,0 +1,164 @@
+//! Section III's structured document×word scenario.
+//!
+//! The paper: "if each key set of an undirected incidence array `E` is
+//! a list of documents and the array entries are sets of words shared
+//! by documents, then … a word in `E(i, j)` and `E(m, n)` has to be in
+//! `E(i, n)` and `E(m, j)`. This structure means that when multiplying
+//! `EᵀE` using `⊕ = ∪` and `⊗ = ∩`, a nonempty set will never be
+//! 'multiplied' by a disjoint nonempty set" — so the `∪.∩` pair is safe
+//! *on this data* despite having zero divisors in general.
+//!
+//! [`shared_word_array`] builds such an `E` from a corpus: `E(i, j)` is
+//! the (non-empty) set of words documents `i` and `j` share. The
+//! structure property holds by construction: a word `w ∈ E(i, j) ∩
+//! E(m, n)` belongs to documents `i, j, m, n` alike, hence to
+//! `E(i, n)` and `E(m, j)`.
+
+use aarray_algebra::pairs::UnionIntersect;
+use aarray_algebra::values::wordset::WordSet;
+use aarray_core::AArray;
+use std::collections::BTreeSet;
+
+/// A document: a name and its word population.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Document {
+    /// Document key.
+    pub name: String,
+    /// The words it contains.
+    pub words: BTreeSet<String>,
+}
+
+impl Document {
+    /// Convenience constructor.
+    pub fn new<I, S>(name: impl Into<String>, words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Document { name: name.into(), words: words.into_iter().map(Into::into).collect() }
+    }
+}
+
+/// Build the undirected shared-word incidence array `E` over a corpus:
+/// `E(i, j) = words(i) ∩ words(j)` wherever non-empty (including the
+/// diagonal `E(i, i) = words(i)`).
+pub fn shared_word_array(docs: &[Document]) -> AArray<WordSet> {
+    let pair = UnionIntersect::<WordSet>::new();
+    let mut triples = Vec::new();
+    for a in docs {
+        for b in docs {
+            let shared: BTreeSet<String> = a.words.intersection(&b.words).cloned().collect();
+            if !shared.is_empty() {
+                triples.push((a.name.clone(), b.name.clone(), WordSet::of(shared)));
+            }
+        }
+    }
+    AArray::from_triples(&pair, triples)
+}
+
+/// The structure property from Section III, checked directly: for all
+/// stored `E(i, j)` and `E(m, n)` and every shared word `w` in both,
+/// `w` must appear in `E(i, n)` and `E(m, j)`.
+pub fn has_sharing_structure(e: &AArray<WordSet>) -> bool {
+    let entries: Vec<(&str, &str, &WordSet)> = e.iter().collect();
+    for &(i, j, ws1) in &entries {
+        for &(m, n, ws2) in &entries {
+            let both: Vec<&String> = match (ws1, ws2) {
+                (WordSet::Some(s1), WordSet::Some(s2)) => s1.intersection(s2).collect(),
+                _ => continue,
+            };
+            if both.is_empty() {
+                continue;
+            }
+            for w in both {
+                let in_e = |r: &str, c: &str| e.get(r, c).is_some_and(|s| s.contains(w));
+                if !in_e(i, n) || !in_e(m, j) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_core::{adjacency_array_checked, adjacency_array_verified};
+
+    fn corpus() -> Vec<Document> {
+        vec![
+            Document::new("d1", ["graph", "array", "matrix"]),
+            Document::new("d2", ["graph", "array", "edge"]),
+            Document::new("d3", ["matrix", "edge", "vertex"]),
+        ]
+    }
+
+    #[test]
+    fn shared_array_entries() {
+        let e = shared_word_array(&corpus());
+        assert_eq!(e.get("d1", "d2"), Some(&WordSet::of(["array", "graph"])));
+        assert_eq!(e.get("d1", "d3"), Some(&WordSet::of(["matrix"])));
+        assert_eq!(e.get("d2", "d3"), Some(&WordSet::of(["edge"])));
+        // Diagonal carries the full word sets.
+        assert_eq!(e.get("d3", "d3"), Some(&WordSet::of(["edge", "matrix", "vertex"])));
+    }
+
+    #[test]
+    fn structure_property_holds_by_construction() {
+        let e = shared_word_array(&corpus());
+        assert!(has_sharing_structure(&e));
+    }
+
+    #[test]
+    fn structure_property_detects_violations() {
+        let pair = UnionIntersect::<WordSet>::new();
+        // Hand-built E violating the property: w shared in E(a,b) and
+        // E(c,d) but absent from E(a,d).
+        let e = AArray::from_triples(
+            &pair,
+            [
+                ("a", "b", WordSet::of(["w"])),
+                ("c", "d", WordSet::of(["w"])),
+                ("a", "d", WordSet::of(["other"])),
+                ("c", "b", WordSet::of(["w"])),
+            ],
+        );
+        assert!(!has_sharing_structure(&e));
+    }
+
+    #[test]
+    fn union_intersect_is_safe_on_structured_data() {
+        // EᵀE under ∪.∩ yields an exact pattern on structured corpora
+        // (Section III's point), even though the pair fails the general
+        // criteria — the post-hoc verifier certifies it. Note the
+        // corpus *does* intersect disjoint non-empty sets along the way
+        // (e.g. E(d2,d1) ∩ E(d2,d3) = ∅), so the conservative
+        // population pre-check rightly refuses; only ∪-redundancy
+        // preserves the pattern.
+        let e = shared_word_array(&corpus());
+        let pair = UnionIntersect::<WordSet>::new();
+        assert!(adjacency_array_checked(&e, &e, &pair).is_err());
+        let ete = adjacency_array_verified(&e, &e, &pair)
+            .expect("structured corpus yields an exact pattern");
+        // d1-row, d3-column must contain "matrix" (shared by d1, d3).
+        assert!(ete.get("d1", "d3").is_some_and(|s| s.contains("matrix")));
+        // And EᵀE(x, y) ⊆ E(x, y): entries are words shared by x and y.
+        for (r, c, ws) in ete.iter() {
+            if let (WordSet::Some(prod), Some(WordSet::Some(orig))) = (ws, e.get(r, c)) {
+                assert!(prod.is_subset(orig), "{} {} {:?} ⊄ {:?}", r, c, prod, orig);
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_documents_create_no_entries() {
+        let docs = vec![
+            Document::new("x", ["apple"]),
+            Document::new("y", ["banana"]),
+        ];
+        let e = shared_word_array(&docs);
+        assert_eq!(e.get("x", "y"), None);
+        assert_eq!(e.nnz(), 2); // only the diagonals
+    }
+}

@@ -1,0 +1,67 @@
+//! The adjacency values printed in Figures 3 and 5, transcribed from
+//! the paper.
+//!
+//! Rows: `Genre|Electronic`, `Genre|Pop`, `Genre|Rock`. Columns:
+//! `Writer|Barrett Rich`, `Writer|Chad Anderson`, `Writer|Chloe
+//! Chaidez`, `Writer|Julian Chaidez`, `Writer|Nicholas Johns`.
+//! `0.0` denotes a blank (unstored) cell.
+
+/// Genre row keys in display order.
+pub const GENRE_KEYS: [&str; 3] = ["Genre|Electronic", "Genre|Pop", "Genre|Rock"];
+
+/// Writer column keys in display order.
+pub const WRITER_KEYS: [&str; 5] = [
+    "Writer|Barrett Rich",
+    "Writer|Chad Anderson",
+    "Writer|Chloe Chaidez",
+    "Writer|Julian Chaidez",
+    "Writer|Nicholas Johns",
+];
+
+/// A 3×5 expected table.
+pub type Expect = [[f64; 5]; 3];
+
+/// Figure 3 (unit-weight `E1`), `+.×`.
+pub const FIG3_PLUS_TIMES: Expect = [
+    [1.0, 7.0, 7.0, 2.0, 1.0],
+    [0.0, 13.0, 13.0, 3.0, 0.0],
+    [0.0, 6.0, 6.0, 1.0, 0.0],
+];
+
+/// Figure 3, `max.+` and `min.+` (stacked in the paper: same values).
+pub const FIG3_MAXPLUS_MINPLUS: Expect = [
+    [2.0, 2.0, 2.0, 2.0, 2.0],
+    [0.0, 2.0, 2.0, 2.0, 0.0],
+    [0.0, 2.0, 2.0, 2.0, 0.0],
+];
+
+/// Figure 3, `max.×`, `min.×`, `max.min`, `min.max` (all ones).
+pub const FIG3_ONES: Expect = [
+    [1.0, 1.0, 1.0, 1.0, 1.0],
+    [0.0, 1.0, 1.0, 1.0, 0.0],
+    [0.0, 1.0, 1.0, 1.0, 0.0],
+];
+
+/// Figure 5 (weighted `E1`: Electronic 1, Pop 2, Rock 3), `+.×`.
+pub const FIG5_PLUS_TIMES: Expect = [
+    [1.0, 7.0, 7.0, 2.0, 1.0],
+    [0.0, 26.0, 26.0, 6.0, 0.0],
+    [0.0, 18.0, 18.0, 3.0, 0.0],
+];
+
+/// Figure 5, `max.+` and `min.+`.
+pub const FIG5_MAXPLUS_MINPLUS: Expect = [
+    [2.0, 2.0, 2.0, 2.0, 2.0],
+    [0.0, 3.0, 3.0, 3.0, 0.0],
+    [0.0, 4.0, 4.0, 4.0, 0.0],
+];
+
+/// Figure 5, `max.min` (unchanged from Figure 3: `E2` still has ones).
+pub const FIG5_MAX_MIN: Expect = FIG3_ONES;
+
+/// Figure 5, `min.max`, `max.×`, and `min.×` (row weights surface).
+pub const FIG5_ROW_WEIGHTS: Expect = [
+    [1.0, 1.0, 1.0, 1.0, 1.0],
+    [0.0, 2.0, 2.0, 2.0, 0.0],
+    [0.0, 3.0, 3.0, 3.0, 0.0],
+];

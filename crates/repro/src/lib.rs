@@ -1,0 +1,8 @@
+//! Library interface of the reproduction harness: each figure
+//! regenerator returns `Ok(rendered output)` when the regenerated
+//! values match the paper, `Err(output with MISMATCH lines)` otherwise.
+//! The `repro` binary wraps these; the crate's tests assert they all
+//! pass.
+
+pub mod expected;
+pub mod figures;

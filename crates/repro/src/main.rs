@@ -1,0 +1,117 @@
+//! `repro` — regenerate every figure of *Constructing Adjacency Arrays
+//! from Incidence Arrays* and check the printed values.
+//!
+//! ```text
+//! repro [fig1|fig2|fig3|fig4|fig5|stats|theorem|taxonomy|wordsets|all]
+//!       [--save <dir>]
+//! ```
+//!
+//! Each figure command prints the paper-style grid(s) and a PASS/FAIL
+//! verdict against the values printed in the paper. With `--save <dir>`
+//! each section's output is additionally written to
+//! `<dir>/<section>.txt`. Exit status is nonzero if any verification
+//! fails.
+
+use aarray_repro::figures;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut arg = "all".to_string();
+    let mut save_dir: Option<std::path::PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--save" {
+            match it.next() {
+                Some(d) => save_dir = Some(d.into()),
+                None => {
+                    eprintln!("--save needs a directory");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            arg = a;
+        }
+    }
+    if let Some(dir) = &save_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {:?}: {}", dir, e);
+            return ExitCode::from(2);
+        }
+    }
+    let mut failures = 0usize;
+
+    let mut run = |name: &str, f: fn() -> Result<String, String>| {
+        println!("================================================================");
+        println!("{}", name);
+        println!("================================================================");
+        let result = f();
+        let body = match &result {
+            Ok(out) | Err(out) => out.clone(),
+        };
+        if let Some(dir) = &save_dir {
+            let slug: String = name
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .collect::<String>()
+                .split('_')
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+                .join("_");
+            let path = dir.join(format!("{}.txt", slug));
+            if let Err(e) = std::fs::write(&path, &body) {
+                eprintln!("cannot write {:?}: {}", path, e);
+            }
+        }
+        match result {
+            Ok(out) => {
+                println!("{}", out);
+                println!("[PASS] {}", name);
+            }
+            Err(msg) => {
+                println!("{}", msg);
+                println!("[FAIL] {}", name);
+                failures += 1;
+            }
+        }
+        println!();
+    };
+
+    match arg.as_str() {
+        "fig1" => run("Figure 1: exploded incidence array E", figures::figure1),
+        "fig2" => run("Figure 2: sub-arrays E1, E2", figures::figure2),
+        "fig3" => run("Figure 3: adjacency arrays, unit weights", figures::figure3),
+        "fig4" => run("Figure 4: re-weighted E1", figures::figure4),
+        "fig5" => run("Figure 5: adjacency arrays, weighted", figures::figure5),
+        "stats" => run("Pipeline array statistics", figures::stats),
+        "theorem" => run("Theorem II.1: property reports & gadgets", figures::theorem),
+        "taxonomy" => run("Section III: semiring laws vs Theorem II.1", figures::taxonomy),
+        "wordsets" => run("Section III: document×word arrays under ∪.∩", figures::wordsets),
+        "all" => {
+            run("Figure 1: exploded incidence array E", figures::figure1);
+            run("Figure 2: sub-arrays E1, E2", figures::figure2);
+            run("Figure 3: adjacency arrays, unit weights", figures::figure3);
+            run("Figure 4: re-weighted E1", figures::figure4);
+            run("Figure 5: adjacency arrays, weighted", figures::figure5);
+            run("Pipeline array statistics", figures::stats);
+            run("Theorem II.1: property reports & gadgets", figures::theorem);
+            run("Section III: semiring laws vs Theorem II.1", figures::taxonomy);
+            run("Section III: document×word arrays under ∪.∩", figures::wordsets);
+        }
+        other => {
+            eprintln!(
+                "unknown command {:?}; use fig1..fig5, theorem, taxonomy, wordsets, or all",
+                other
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    if failures == 0 {
+        println!("all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        println!("{} check(s) FAILED", failures);
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,55 @@
+//! Every figure regenerator must report a match with the paper.
+
+use aarray_repro::figures;
+
+#[test]
+fn figure1_passes() {
+    figures::figure1().expect("Figure 1 must match the paper");
+}
+
+#[test]
+fn figure2_passes() {
+    figures::figure2().expect("Figure 2 must match the paper");
+}
+
+#[test]
+fn figure3_passes() {
+    let out = figures::figure3().expect("Figure 3 must match the paper");
+    // All seven operator pairs appear (possibly stacked, as the paper
+    // stacks identical panels).
+    for pair in ["+.×", "max.×", "min.×", "max.+", "min.+", "max.min", "min.max"] {
+        assert!(out.contains(pair), "missing {}", pair);
+    }
+    // Figure 3 stacks everything but +.× and the additive pairs.
+    assert!(out.contains("stacked"), "identical panels should stack");
+}
+
+#[test]
+fn figure4_passes() {
+    figures::figure4().expect("Figure 4 must match the paper");
+}
+
+#[test]
+fn figure5_passes() {
+    figures::figure5().expect("Figure 5 must match the paper");
+}
+
+#[test]
+fn stats_pass() {
+    figures::stats().expect("pipeline statistics must match");
+}
+
+#[test]
+fn theorem_demonstrations_pass() {
+    figures::theorem().expect("theorem demonstrations must hold");
+}
+
+#[test]
+fn taxonomy_passes() {
+    figures::taxonomy().expect("taxonomy verdicts must match Section III");
+}
+
+#[test]
+fn wordsets_pass() {
+    figures::wordsets().expect("document×word demonstration must hold");
+}

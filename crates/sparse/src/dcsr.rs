@@ -1,0 +1,246 @@
+//! Doubly-compressed sparse rows (DCSR / hypersparse) — for arrays
+//! whose row count vastly exceeds their populated-row count.
+//!
+//! Incidence arrays are the motivating case: `Eᵀout` is
+//! `|vertices| × |edges|`, and after sub-array selection (Figure 2
+//! keeps 3 of 31 columns) most rows of the transposed selection are
+//! empty. CSR pays `O(nrows)` in `indptr` regardless; DCSR stores only
+//! the populated rows, so iteration and multiplication cost
+//! `O(populated rows + flops)`.
+
+use crate::csr::Csr;
+use aarray_algebra::{BinaryOp, OpPair, Value};
+
+/// A hypersparse array: only populated rows are represented.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dcsr<V: Value> {
+    nrows: usize,
+    ncols: usize,
+    /// Populated row ids, strictly ascending.
+    row_ids: Vec<u32>,
+    /// `indptr[i]..indptr[i+1]` spans the entries of `row_ids[i]`.
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<V>,
+}
+
+impl<V: Value> Dcsr<V> {
+    /// Compress a CSR array (drops empty rows from the index).
+    pub fn from_csr(csr: &Csr<V>) -> Self {
+        let mut row_ids = Vec::new();
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::with_capacity(csr.nnz());
+        let mut values = Vec::with_capacity(csr.nnz());
+        for r in 0..csr.nrows() {
+            let (cols, vals) = csr.row(r);
+            if !cols.is_empty() {
+                row_ids.push(r as u32);
+                indices.extend_from_slice(cols);
+                values.extend(vals.iter().cloned());
+                indptr.push(indices.len());
+            }
+        }
+        Dcsr { nrows: csr.nrows(), ncols: csr.ncols(), row_ids, indptr, indices, values }
+    }
+
+    /// Expand back to CSR.
+    pub fn to_csr(&self) -> Csr<V> {
+        let mut indptr = vec![0usize; self.nrows + 1];
+        for (i, &r) in self.row_ids.iter().enumerate() {
+            indptr[r as usize + 1] = self.indptr[i + 1] - self.indptr[i];
+        }
+        for i in 0..self.nrows {
+            indptr[i + 1] += indptr[i];
+        }
+        Csr::from_parts(
+            self.nrows,
+            self.ncols,
+            indptr,
+            self.indices.clone(),
+            self.values.clone(),
+        )
+    }
+
+    /// Logical row count (including unpopulated rows).
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Column count.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of populated rows.
+    pub fn populated_rows(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// Iterate populated rows as `(row_id, columns, values)`.
+    pub fn rows(&self) -> impl Iterator<Item = (usize, &[u32], &[V])> + '_ {
+        self.row_ids.iter().enumerate().map(move |(i, &r)| {
+            let span = self.indptr[i]..self.indptr[i + 1];
+            (r as usize, &self.indices[span.clone()], &self.values[span])
+        })
+    }
+
+    /// Stored value at `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> Option<&V> {
+        let i = self.row_ids.binary_search(&(r as u32)).ok()?;
+        let span = self.indptr[i]..self.indptr[i + 1];
+        let cols = &self.indices[span.clone()];
+        cols.binary_search(&(c as u32))
+            .ok()
+            .map(|k| &self.values[span.start + k])
+    }
+}
+
+/// Hypersparse SpGEMM: `C = A ⊕.⊗ B` where `A` is DCSR and `B` CSR.
+/// Only `A`'s populated rows are visited; output is DCSR. Fold order
+/// matches the CSR kernels (ascending inner key, left-associated).
+pub fn spgemm_dcsr<V, A, M>(a: &Dcsr<V>, b: &Csr<V>, pair: &OpPair<V, A, M>) -> Dcsr<V>
+where
+    V: Value,
+    A: BinaryOp<V>,
+    M: BinaryOp<V>,
+{
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+
+    let mut row_ids = Vec::new();
+    let mut indptr = vec![0usize];
+    let mut indices: Vec<u32> = Vec::new();
+    let mut values: Vec<V> = Vec::new();
+
+    let mut slots: Vec<Option<V>> = vec![None; b.ncols()];
+    let mut touched: Vec<u32> = Vec::new();
+    for (r, ks, avs) in a.rows() {
+        for (&k, av) in ks.iter().zip(avs.iter()) {
+            let (js, bvs) = b.row(k as usize);
+            for (&j, bv) in js.iter().zip(bvs.iter()) {
+                let term = pair.times(av, bv);
+                let slot = &mut slots[j as usize];
+                match slot {
+                    None => {
+                        *slot = Some(term);
+                        touched.push(j);
+                    }
+                    Some(prev) => *prev = pair.plus(prev, &term),
+                }
+            }
+        }
+        if !touched.is_empty() {
+            touched.sort_unstable();
+            let before = values.len();
+            for &j in &touched {
+                let v = slots[j as usize].take().expect("touched slot filled");
+                if !pair.is_zero(&v) {
+                    indices.push(j);
+                    values.push(v);
+                }
+            }
+            touched.clear();
+            if values.len() > before {
+                row_ids.push(r as u32);
+                indptr.push(values.len());
+            }
+        }
+    }
+
+    Dcsr { nrows: a.nrows(), ncols: b.ncols(), row_ids, indptr, indices, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::spgemm::spgemm;
+    use aarray_algebra::ops::{Plus, Times};
+    use aarray_algebra::values::nat::Nat;
+
+    fn pt() -> OpPair<Nat, Plus, Times> {
+        OpPair::new()
+    }
+
+    /// 1000 rows, only 3 populated.
+    fn hypersparse() -> Csr<Nat> {
+        let mut coo = Coo::new(1000, 10);
+        coo.push(5, 2, Nat(1));
+        coo.push(5, 7, Nat(2));
+        coo.push(500, 0, Nat(3));
+        coo.push(999, 9, Nat(4));
+        coo.into_csr(&pt())
+    }
+
+    #[test]
+    fn compression_roundtrip() {
+        let csr = hypersparse();
+        let d = Dcsr::from_csr(&csr);
+        assert_eq!(d.populated_rows(), 3);
+        assert_eq!(d.nnz(), 4);
+        assert_eq!(d.nrows(), 1000);
+        assert_eq!(d.to_csr(), csr);
+    }
+
+    #[test]
+    fn get_matches_csr() {
+        let csr = hypersparse();
+        let d = Dcsr::from_csr(&csr);
+        assert_eq!(d.get(5, 7), Some(&Nat(2)));
+        assert_eq!(d.get(5, 3), None);
+        assert_eq!(d.get(6, 7), None);
+        assert_eq!(d.get(999, 9), Some(&Nat(4)));
+    }
+
+    #[test]
+    fn rows_iterates_only_populated() {
+        let d = Dcsr::from_csr(&hypersparse());
+        let rows: Vec<usize> = d.rows().map(|(r, _, _)| r).collect();
+        assert_eq!(rows, vec![5, 500, 999]);
+    }
+
+    #[test]
+    fn dcsr_spgemm_matches_csr_spgemm() {
+        let pair = pt();
+        let a = hypersparse();
+        let mut cb = Coo::new(10, 6);
+        for (r, c, v) in [(2, 1, 5u64), (7, 3, 6), (0, 0, 7), (9, 5, 8), (9, 0, 9)] {
+            cb.push(r, c, Nat(v));
+        }
+        let b = cb.into_csr(&pair);
+        let dense_way = spgemm(&a, &b, &pair);
+        let hyper_way = spgemm_dcsr(&Dcsr::from_csr(&a), &b, &pair);
+        assert_eq!(hyper_way.to_csr(), dense_way);
+        assert_eq!(hyper_way.populated_rows(), 3);
+    }
+
+    #[test]
+    fn produced_zeros_can_empty_a_row() {
+        let pair: OpPair<i64, Plus, Times> = OpPair::new();
+        let mut ca = Coo::new(100, 2);
+        ca.push(42, 0, 1i64);
+        ca.push(42, 1, 1i64);
+        let a = Dcsr::from_csr(&ca.into_csr(&pair));
+        let mut cb = Coo::new(2, 1);
+        cb.push(0, 0, 1i64);
+        cb.push(1, 0, -1i64);
+        let b = cb.into_csr(&pair);
+        let c = spgemm_dcsr(&a, &b, &pair);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.populated_rows(), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pair = pt();
+        let a = Dcsr::from_csr(&Csr::<Nat>::empty(50, 10));
+        assert_eq!(a.populated_rows(), 0);
+        let b = Csr::<Nat>::empty(10, 4);
+        let c = spgemm_dcsr(&a, &b, &pair);
+        assert_eq!((c.nrows(), c.ncols(), c.nnz()), (50, 4, 0));
+    }
+}

@@ -1,0 +1,104 @@
+//! Kronecker product of sparse arrays — the generator primitive behind
+//! R-MAT/Graph500-style synthetic graphs used in the scaling benches,
+//! and a classic graph-product construction from the paper's historical
+//! references (Weischel 1962, Brualdi 1967).
+
+use crate::csr::Csr;
+use aarray_algebra::{BinaryOp, OpPair, Value};
+
+/// `C = A ⊗_kron B`: `C((i·p + k), (j·q + l)) = A(i,j) ⊗ B(k,l)` for
+/// `B` of shape `p × q`. Produced zeros are pruned (possible for
+/// non-compliant `⊗`).
+pub fn kron<V, A, M>(a: &Csr<V>, b: &Csr<V>, pair: &OpPair<V, A, M>) -> Csr<V>
+where
+    V: Value,
+    A: BinaryOp<V>,
+    M: BinaryOp<V>,
+{
+    let (p, q) = (b.nrows(), b.ncols());
+    let nrows = a.nrows() * p;
+    let ncols = a.ncols() * q;
+    assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize, "kron result too large");
+
+    let mut indptr = vec![0usize; nrows + 1];
+    let mut indices: Vec<u32> = Vec::with_capacity(a.nnz() * b.nnz());
+    let mut values: Vec<V> = Vec::with_capacity(a.nnz() * b.nnz());
+
+    for i in 0..a.nrows() {
+        let (acols, avals) = a.row(i);
+        for k in 0..p {
+            let (bcols, bvals) = b.row(k);
+            // Column blocks appear in ascending j, and within a block in
+            // ascending l: output indices stay strictly ascending.
+            for (&j, av) in acols.iter().zip(avals.iter()) {
+                for (&l, bv) in bcols.iter().zip(bvals.iter()) {
+                    let v = pair.times(av, bv);
+                    if !pair.is_zero(&v) {
+                        indices.push(j * q as u32 + l);
+                        values.push(v);
+                    }
+                }
+            }
+            indptr[i * p + k + 1] = indices.len();
+        }
+    }
+
+    Csr::from_parts(nrows, ncols, indptr, indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use aarray_algebra::ops::{Plus, Times};
+    use aarray_algebra::values::nat::Nat;
+
+    fn pt() -> OpPair<Nat, Plus, Times> {
+        OpPair::new()
+    }
+
+    #[test]
+    fn kron_of_identities() {
+        let mut ca = Coo::new(2, 2);
+        ca.push(0, 0, Nat(1));
+        ca.push(1, 1, Nat(1));
+        let i2 = ca.into_csr(&pt());
+        let i4 = kron(&i2, &i2, &pt());
+        assert_eq!(i4.nnz(), 4);
+        for d in 0..4 {
+            assert_eq!(i4.get(d, d), Some(&Nat(1)));
+        }
+    }
+
+    #[test]
+    fn kron_values_multiply() {
+        let mut ca = Coo::new(1, 2);
+        ca.push(0, 0, Nat(2));
+        ca.push(0, 1, Nat(3));
+        let a = ca.into_csr(&pt());
+        let mut cb = Coo::new(2, 1);
+        cb.push(0, 0, Nat(5));
+        cb.push(1, 0, Nat(7));
+        let b = cb.into_csr(&pt());
+        let c = kron(&a, &b, &pt());
+        assert_eq!((c.nrows(), c.ncols()), (2, 2));
+        assert_eq!(c.get(0, 0), Some(&Nat(10)));
+        assert_eq!(c.get(1, 0), Some(&Nat(14)));
+        assert_eq!(c.get(0, 1), Some(&Nat(15)));
+        assert_eq!(c.get(1, 1), Some(&Nat(21)));
+    }
+
+    #[test]
+    fn kron_grows_dimensions_multiplicatively() {
+        let mut ca = Coo::new(3, 4);
+        ca.push(2, 3, Nat(1));
+        let a = ca.into_csr(&pt());
+        let mut cb = Coo::new(5, 6);
+        cb.push(4, 5, Nat(1));
+        let b = cb.into_csr(&pt());
+        let c = kron(&a, &b, &pt());
+        assert_eq!((c.nrows(), c.ncols()), (15, 24));
+        assert_eq!(c.get(14, 23), Some(&Nat(1)));
+        assert_eq!(c.nnz(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Write masks — GraphBLAS-style restriction of kernels to a stored
+//! pattern.
+//!
+//! Masked SpGEMM computes `C⟨M⟩ = A ⊕.⊗ B` only at coordinates where
+//! the mask stores an entry, skipping all other accumulation. For
+//! wedge/triangle counting this avoids materializing `A²` (the
+//! `closed_wedge_count` path in `aarray-graph` demonstrates the
+//! difference, and the masked variant is ablated in the benches).
+
+use crate::csr::Csr;
+use aarray_algebra::{BinaryOp, OpPair, Value};
+
+/// Keep only the entries of `a` at coordinates where `mask` stores an
+/// entry (structural mask; mask values are ignored).
+pub fn apply_mask<V: Value, W: Value>(a: &Csr<V>, mask: &Csr<W>) -> Csr<V> {
+    assert_eq!((a.nrows(), a.ncols()), (mask.nrows(), mask.ncols()), "mask dims must agree");
+    let mut indptr = vec![0usize; a.nrows() + 1];
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (mc, _) = mask.row(r);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ac.len() && j < mc.len() {
+            match ac[i].cmp(&mc[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    indices.push(ac[i]);
+                    values.push(av[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        indptr[r + 1] = indices.len();
+    }
+    Csr::from_parts(a.nrows(), a.ncols(), indptr, indices, values)
+}
+
+/// Complement mask: keep entries of `a` where `mask` stores nothing.
+pub fn apply_mask_complement<V: Value, W: Value>(a: &Csr<V>, mask: &Csr<W>) -> Csr<V> {
+    assert_eq!((a.nrows(), a.ncols()), (mask.nrows(), mask.ncols()), "mask dims must agree");
+    let mut indptr = vec![0usize; a.nrows() + 1];
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (mc, _) = mask.row(r);
+        let mut j = 0usize;
+        for (i, &c) in ac.iter().enumerate() {
+            while j < mc.len() && mc[j] < c {
+                j += 1;
+            }
+            if j >= mc.len() || mc[j] != c {
+                indices.push(c);
+                values.push(av[i].clone());
+            }
+        }
+        indptr[r + 1] = indices.len();
+    }
+    Csr::from_parts(a.nrows(), a.ncols(), indptr, indices, values)
+}
+
+/// Masked SpGEMM: `C⟨M⟩ = A ⊕.⊗ B`, accumulating only into columns the
+/// mask stores for each row. Fold order per entry is ascending inner
+/// key, identical to the unmasked kernels.
+pub fn spgemm_masked<V, W, A, M>(
+    a: &Csr<V>,
+    b: &Csr<V>,
+    mask: &Csr<W>,
+    pair: &OpPair<V, A, M>,
+) -> Csr<V>
+where
+    V: Value,
+    W: Value,
+    A: BinaryOp<V>,
+    M: BinaryOp<V>,
+{
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+    assert_eq!(
+        (mask.nrows(), mask.ncols()),
+        (a.nrows(), b.ncols()),
+        "mask must have the output's dimensions"
+    );
+
+    let mut indptr = vec![0usize; a.nrows() + 1];
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+
+    // Per-row dense lookup of allowed columns: allowed[j] = slot index.
+    let mut allowed = vec![usize::MAX; b.ncols()];
+    for i in 0..a.nrows() {
+        let (mcols, _) = mask.row(i);
+        if mcols.is_empty() {
+            indptr[i + 1] = indices.len();
+            continue;
+        }
+        for (slot, &j) in mcols.iter().enumerate() {
+            allowed[j as usize] = slot;
+        }
+        let mut acc: Vec<Option<V>> = vec![None; mcols.len()];
+
+        let (ks, avs) = a.row(i);
+        for (&k, av) in ks.iter().zip(avs.iter()) {
+            let (js, bvs) = b.row(k as usize);
+            for (&j, bv) in js.iter().zip(bvs.iter()) {
+                let slot = allowed[j as usize];
+                if slot != usize::MAX {
+                    let term = pair.times(av, bv);
+                    acc[slot] = Some(match acc[slot].take() {
+                        None => term,
+                        Some(prev) => pair.plus(&prev, &term),
+                    });
+                }
+            }
+        }
+        for (slot, &j) in mcols.iter().enumerate() {
+            if let Some(v) = acc[slot].take() {
+                if !pair.is_zero(&v) {
+                    indices.push(j);
+                    values.push(v);
+                }
+            }
+            allowed[j as usize] = usize::MAX;
+        }
+        indptr[i + 1] = indices.len();
+    }
+
+    Csr::from_parts(a.nrows(), b.ncols(), indptr, indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::elementwise::ewise_mul;
+    use crate::spgemm::spgemm;
+    use aarray_algebra::ops::{Plus, Times};
+    use aarray_algebra::values::nat::Nat;
+
+    fn pt() -> OpPair<Nat, Plus, Times> {
+        OpPair::new()
+    }
+
+    fn build(nrows: usize, ncols: usize, t: &[(usize, usize, u64)]) -> Csr<Nat> {
+        let mut coo = Coo::new(nrows, ncols);
+        for &(r, c, v) in t {
+            coo.push(r, c, Nat(v));
+        }
+        coo.into_csr(&pt())
+    }
+
+    #[test]
+    fn structural_mask_keeps_intersection() {
+        let a = build(2, 3, &[(0, 0, 1), (0, 2, 2), (1, 1, 3)]);
+        let m = build(2, 3, &[(0, 2, 9), (1, 0, 9)]);
+        let masked = apply_mask(&a, &m);
+        assert_eq!(masked.nnz(), 1);
+        assert_eq!(masked.get(0, 2), Some(&Nat(2)));
+    }
+
+    #[test]
+    fn complement_mask_keeps_difference() {
+        let a = build(2, 3, &[(0, 0, 1), (0, 2, 2), (1, 1, 3)]);
+        let m = build(2, 3, &[(0, 2, 9)]);
+        let masked = apply_mask_complement(&a, &m);
+        assert_eq!(masked.nnz(), 2);
+        assert_eq!(masked.get(0, 0), Some(&Nat(1)));
+        assert_eq!(masked.get(0, 2), None);
+    }
+
+    #[test]
+    fn masked_spgemm_equals_multiply_then_mask() {
+        let a = build(3, 3, &[(0, 1, 1), (1, 2, 2), (2, 0, 3), (0, 2, 1)]);
+        let b = build(3, 3, &[(1, 0, 4), (2, 1, 5), (0, 2, 6)]);
+        let mask = build(3, 3, &[(0, 0, 1), (0, 1, 1), (1, 1, 1), (2, 2, 1)]);
+        let masked = spgemm_masked(&a, &b, &mask, &pt());
+        let reference = apply_mask(&spgemm(&a, &b, &pt()), &mask);
+        assert_eq!(masked, reference);
+    }
+
+    #[test]
+    fn masked_wedge_pattern_equivalence() {
+        // A² ⟨A⟩ equals (A ⊕.⊗ A) ∘ A when the mask is A's own pattern —
+        // the triangle-counting identity.
+        let a = build(
+            4,
+            4,
+            &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 1), (3, 0, 1)],
+        );
+        let masked = spgemm_masked(&a, &a, &a, &pt());
+        let dense_way = ewise_mul(&spgemm(&a, &a, &pt()), &a, &pt());
+        assert_eq!(masked, dense_way);
+        // One closed wedge: 0→1→2 closing 0→2.
+        assert_eq!(masked.values().iter().map(|v| v.0).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn empty_mask_gives_empty_result() {
+        let a = build(2, 2, &[(0, 0, 1), (1, 1, 1)]);
+        let m = Csr::<Nat>::empty(2, 2);
+        assert_eq!(spgemm_masked(&a, &a, &m, &pt()).nnz(), 0);
+        assert_eq!(apply_mask(&a, &m).nnz(), 0);
+        assert_eq!(apply_mask_complement(&a, &m), a);
+    }
+}

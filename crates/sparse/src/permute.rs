@@ -1,0 +1,143 @@
+//! Row/column permutations — reordering for locality experiments and
+//! for aligning arrays to external orderings.
+
+use crate::csr::Csr;
+use aarray_algebra::Value;
+
+/// Validate that `perm` is a permutation of `0..n`.
+fn check_permutation(perm: &[usize], n: usize) {
+    assert_eq!(perm.len(), n, "permutation length must equal dimension");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(p < n, "permutation entry {} out of range", p);
+        assert!(!seen[p], "permutation repeats entry {}", p);
+        seen[p] = true;
+    }
+}
+
+/// Reorder rows: output row `i` is input row `perm[i]`.
+pub fn permute_rows<V: Value>(a: &Csr<V>, perm: &[usize]) -> Csr<V> {
+    check_permutation(perm, a.nrows());
+    let mut indptr = vec![0usize; a.nrows() + 1];
+    let mut indices = Vec::with_capacity(a.nnz());
+    let mut values = Vec::with_capacity(a.nnz());
+    for (new_r, &old_r) in perm.iter().enumerate() {
+        let (cols, vals) = a.row(old_r);
+        indices.extend_from_slice(cols);
+        values.extend(vals.iter().cloned());
+        indptr[new_r + 1] = indices.len();
+    }
+    Csr::from_parts(a.nrows(), a.ncols(), indptr, indices, values)
+}
+
+/// Reorder columns: output column `j` holds input column `perm[j]`.
+pub fn permute_cols<V: Value>(a: &Csr<V>, perm: &[usize]) -> Csr<V> {
+    check_permutation(perm, a.ncols());
+    // inverse[old] = new.
+    let mut inverse = vec![0u32; a.ncols()];
+    for (new_c, &old_c) in perm.iter().enumerate() {
+        inverse[old_c] = new_c as u32;
+    }
+    let mut indptr = vec![0usize; a.nrows() + 1];
+    let mut indices = Vec::with_capacity(a.nnz());
+    let mut values = Vec::with_capacity(a.nnz());
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        let mut entries: Vec<(u32, V)> = cols
+            .iter()
+            .zip(vals.iter())
+            .map(|(&c, v)| (inverse[c as usize], v.clone()))
+            .collect();
+        entries.sort_unstable_by_key(|&(c, _)| c);
+        for (c, v) in entries {
+            indices.push(c);
+            values.push(v);
+        }
+        indptr[r + 1] = indices.len();
+    }
+    Csr::from_parts(a.nrows(), a.ncols(), indptr, indices, values)
+}
+
+/// Symmetric permutation `P A Pᵀ` (same ordering on rows and columns) —
+/// the reordering used for adjacency arrays, preserving the graph up to
+/// relabelling.
+pub fn permute_symmetric<V: Value>(a: &Csr<V>, perm: &[usize]) -> Csr<V> {
+    assert_eq!(a.nrows(), a.ncols(), "symmetric permutation needs a square array");
+    permute_cols(&permute_rows(a, perm), perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use aarray_algebra::ops::{Plus, Times};
+    use aarray_algebra::values::nat::Nat;
+    use aarray_algebra::OpPair;
+
+    fn pt() -> OpPair<Nat, Plus, Times> {
+        OpPair::new()
+    }
+
+    fn sample() -> Csr<Nat> {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, Nat(1));
+        coo.push(1, 2, Nat(2));
+        coo.push(2, 0, Nat(3));
+        coo.into_csr(&pt())
+    }
+
+    #[test]
+    fn row_permutation() {
+        let a = sample();
+        let p = permute_rows(&a, &[2, 0, 1]);
+        assert_eq!(p.get(0, 0), Some(&Nat(3))); // was row 2
+        assert_eq!(p.get(1, 1), Some(&Nat(1))); // was row 0
+    }
+
+    #[test]
+    fn col_permutation() {
+        let a = sample();
+        let p = permute_cols(&a, &[1, 2, 0]);
+        // output col 0 = input col 1: entry (0,1,1) moves to (0,0).
+        assert_eq!(p.get(0, 0), Some(&Nat(1)));
+        assert_eq!(p.get(1, 1), Some(&Nat(2)));
+        assert_eq!(p.get(2, 2), Some(&Nat(3)));
+    }
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let a = sample();
+        assert_eq!(permute_rows(&a, &[0, 1, 2]), a);
+        assert_eq!(permute_cols(&a, &[0, 1, 2]), a);
+        assert_eq!(permute_symmetric(&a, &[0, 1, 2]), a);
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_cycle_structure() {
+        // The 3-cycle relabelled is still a 3-cycle: each row has
+        // exactly one entry, no self-loops.
+        let a = sample();
+        let p = permute_symmetric(&a, &[1, 2, 0]);
+        assert_eq!(p.nnz(), 3);
+        for r in 0..3 {
+            assert_eq!(p.row_nnz(r), 1);
+            assert_eq!(p.get(r, r), None);
+        }
+    }
+
+    #[test]
+    fn permutation_roundtrip() {
+        let a = sample();
+        let perm = [2usize, 0, 1];
+        // Inverse of [2,0,1] is [1,2,0].
+        let inv = [1usize, 2, 0];
+        assert_eq!(permute_rows(&permute_rows(&a, &perm), &inv), a);
+        assert_eq!(permute_cols(&permute_cols(&a, &perm), &inv), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats")]
+    fn invalid_permutation_rejected() {
+        let _ = permute_rows(&sample(), &[0, 0, 1]);
+    }
+}

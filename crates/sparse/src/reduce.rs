@@ -1,0 +1,146 @@
+//! `⊕`-reductions over rows, columns, and whole arrays.
+//!
+//! Sequential reductions fold in ascending key order (well defined for
+//! any `⊕`). The parallel whole-array reduction reassociates and
+//! reorders, so it is gated behind the
+//! [`AssociativeOp`] + [`CommutativeOp`] marker bounds — the compiler
+//! rejects it for ops like saturating float `+` or `|−|` where
+//! reassociation changes the answer.
+
+use crate::csr::Csr;
+use aarray_algebra::{AssociativeOp, BinaryOp, CommutativeOp, OpPair, Value};
+use rayon::prelude::*;
+
+/// Reduce each row with `⊕` (ascending column order). Entry `i` is
+/// `None` when row `i` stores nothing.
+pub fn reduce_rows<V, A, M>(a: &Csr<V>, pair: &OpPair<V, A, M>) -> Vec<Option<V>>
+where
+    V: Value,
+    A: BinaryOp<V>,
+    M: BinaryOp<V>,
+{
+    (0..a.nrows())
+        .map(|r| {
+            let (_, vals) = a.row(r);
+            fold_left(vals, |x, y| pair.plus(x, y))
+        })
+        .collect()
+}
+
+/// Reduce each column with `⊕` (ascending row order).
+pub fn reduce_cols<V, A, M>(a: &Csr<V>, pair: &OpPair<V, A, M>) -> Vec<Option<V>>
+where
+    V: Value,
+    A: BinaryOp<V>,
+    M: BinaryOp<V>,
+{
+    let mut acc: Vec<Option<V>> = vec![None; a.ncols()];
+    for (_, c, v) in a.iter() {
+        let slot = &mut acc[c];
+        *slot = Some(match slot.take() {
+            None => v.clone(),
+            Some(prev) => pair.plus(&prev, v),
+        });
+    }
+    acc
+}
+
+/// Reduce every stored value with `⊕` in row-major order.
+pub fn reduce_all<V, A, M>(a: &Csr<V>, pair: &OpPair<V, A, M>) -> Option<V>
+where
+    V: Value,
+    A: BinaryOp<V>,
+    M: BinaryOp<V>,
+{
+    fold_left(a.values(), |x, y| pair.plus(x, y))
+}
+
+/// Parallel whole-array reduction. Requires `⊕` associative and
+/// commutative (marker-trait proof obligation), because rayon's
+/// reduction tree reassociates and interleaves freely.
+pub fn reduce_all_parallel<V, A, M>(a: &Csr<V>, pair: &OpPair<V, A, M>) -> Option<V>
+where
+    V: Value,
+    A: BinaryOp<V> + AssociativeOp<V> + CommutativeOp<V>,
+    M: BinaryOp<V>,
+{
+    a.values()
+        .par_iter()
+        .cloned()
+        .reduce_with(|x, y| pair.plus(&x, &y))
+}
+
+/// Count stored entries per row (the out-degree when the array is an
+/// adjacency array).
+pub fn row_degrees<V: Value>(a: &Csr<V>) -> Vec<usize> {
+    (0..a.nrows()).map(|r| a.row_nnz(r)).collect()
+}
+
+/// Count stored entries per column (the in-degree).
+pub fn col_degrees<V: Value>(a: &Csr<V>) -> Vec<usize> {
+    let mut deg = vec![0usize; a.ncols()];
+    for &c in a.indices() {
+        deg[c as usize] += 1;
+    }
+    deg
+}
+
+fn fold_left<V: Value>(vals: &[V], f: impl Fn(&V, &V) -> V) -> Option<V> {
+    let mut it = vals.iter();
+    let first = it.next()?.clone();
+    Some(it.fold(first, |acc, v| f(&acc, v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use aarray_algebra::ops::{Max, Min, Plus, Times};
+    use aarray_algebra::values::nat::Nat;
+
+    fn pt() -> OpPair<Nat, Plus, Times> {
+        OpPair::new()
+    }
+
+    fn sample() -> Csr<Nat> {
+        // [1 2 .]
+        // [. . .]
+        // [4 . 8]
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, Nat(1));
+        coo.push(0, 1, Nat(2));
+        coo.push(2, 0, Nat(4));
+        coo.push(2, 2, Nat(8));
+        coo.into_csr(&pt())
+    }
+
+    #[test]
+    fn rows_cols_all() {
+        let a = sample();
+        assert_eq!(reduce_rows(&a, &pt()), vec![Some(Nat(3)), None, Some(Nat(12))]);
+        assert_eq!(reduce_cols(&a, &pt()), vec![Some(Nat(5)), Some(Nat(2)), Some(Nat(8))]);
+        assert_eq!(reduce_all(&a, &pt()), Some(Nat(15)));
+    }
+
+    #[test]
+    fn parallel_reduction_matches_for_lattice_ops() {
+        let pair: OpPair<Nat, Max, Min> = OpPair::new();
+        let a = sample();
+        assert_eq!(reduce_all_parallel(&a, &pair), reduce_all(&a, &pair));
+        assert_eq!(reduce_all(&a, &pair), Some(Nat(8)));
+    }
+
+    #[test]
+    fn degrees() {
+        let a = sample();
+        assert_eq!(row_degrees(&a), vec![2, 0, 2]);
+        assert_eq!(col_degrees(&a), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn empty_reductions() {
+        let a = Csr::<Nat>::empty(2, 2);
+        assert_eq!(reduce_all(&a, &pt()), None);
+        assert_eq!(reduce_rows(&a, &pt()), vec![None, None]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Two-phase (symbolic + numeric) SpGEMM.
+//!
+//! The single-pass kernels in [`mod@crate::spgemm`] grow output vectors as
+//! they go. The classic HPC alternative runs a **symbolic** pass first
+//! — computing the exact output pattern with no value arithmetic —
+//! then a **numeric** pass that fills preallocated storage. This wins
+//! when values are expensive to compute or clone (set-valued arrays,
+//! strings) and when the symbolic pattern is reused across several
+//! numeric multiplies with different `⊕.⊗` pairs — exactly Figure 3's
+//! workload, where the same `E1ᵀ`, `E2` pattern is multiplied under
+//! seven algebras. The `ablate_accumulators` bench compares the
+//! approaches.
+//!
+//! Caveat: the symbolic pattern is the *structural* product (every
+//! coordinate with at least one contributing term). The numeric pass
+//! can still produce zeros for non-compliant pairs; they are pruned in
+//! a final compaction, so results match the one-phase kernels exactly.
+
+use crate::csr::Csr;
+use aarray_algebra::{BinaryOp, OpPair, Value};
+use rayon::prelude::*;
+
+/// The reusable output pattern of `A ⊕.⊗ B` (structural only).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SymbolicProduct {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+}
+
+impl SymbolicProduct {
+    /// Number of structurally-possible output entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Output dimensions.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+}
+
+/// Symbolic pass: compute the output pattern of `A ⊕.⊗ B` for any
+/// value types (only the patterns of `a` and `b` matter).
+pub fn spgemm_symbolic<V: Value, W: Value>(a: &Csr<V>, b: &Csr<W>) -> SymbolicProduct {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+
+    let rows: Vec<Vec<u32>> = (0..a.nrows())
+        .into_par_iter()
+        .map_init(
+            || (vec![false; b.ncols()], Vec::<u32>::new()),
+            |(seen, touched), i| {
+                let (ks, _) = a.row(i);
+                for &k in ks {
+                    let (js, _) = b.row(k as usize);
+                    for &j in js {
+                        if !seen[j as usize] {
+                            seen[j as usize] = true;
+                            touched.push(j);
+                        }
+                    }
+                }
+                touched.sort_unstable();
+                let out = touched.clone();
+                for &j in touched.iter() {
+                    seen[j as usize] = false;
+                }
+                touched.clear();
+                out
+            },
+        )
+        .collect();
+
+    let mut indptr = vec![0usize; a.nrows() + 1];
+    let nnz: usize = rows.iter().map(Vec::len).sum();
+    let mut indices = Vec::with_capacity(nnz);
+    for (i, row) in rows.into_iter().enumerate() {
+        indices.extend(row);
+        indptr[i + 1] = indices.len();
+    }
+    SymbolicProduct { nrows: a.nrows(), ncols: b.ncols(), indptr, indices }
+}
+
+/// Numeric pass: fill a symbolic pattern with values under a concrete
+/// pair, then prune any zeros the arithmetic produced. The result is
+/// identical to [`crate::spgemm::spgemm`].
+pub fn spgemm_numeric<V, A, M>(
+    sym: &SymbolicProduct,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    pair: &OpPair<V, A, M>,
+) -> Csr<V>
+where
+    V: Value,
+    A: BinaryOp<V>,
+    M: BinaryOp<V>,
+{
+    assert_eq!(sym.nrows, a.nrows(), "symbolic pattern built for different A");
+    assert_eq!(sym.ncols, b.ncols(), "symbolic pattern built for different B");
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+
+    // slot_of[j] maps a column to its position within the current row's
+    // symbolic slots.
+    let mut slot_of = vec![usize::MAX; b.ncols()];
+    let mut indptr = vec![0usize; a.nrows() + 1];
+    let mut indices: Vec<u32> = Vec::with_capacity(sym.nnz());
+    let mut values: Vec<V> = Vec::with_capacity(sym.nnz());
+
+    for i in 0..a.nrows() {
+        let srow = &sym.indices[sym.indptr[i]..sym.indptr[i + 1]];
+        for (slot, &j) in srow.iter().enumerate() {
+            slot_of[j as usize] = slot;
+        }
+        let mut acc: Vec<Option<V>> = vec![None; srow.len()];
+
+        let (ks, avs) = a.row(i);
+        for (&k, av) in ks.iter().zip(avs.iter()) {
+            let (js, bvs) = b.row(k as usize);
+            for (&j, bv) in js.iter().zip(bvs.iter()) {
+                let slot = slot_of[j as usize];
+                debug_assert_ne!(slot, usize::MAX, "numeric term outside symbolic pattern");
+                let term = pair.times(av, bv);
+                acc[slot] = Some(match acc[slot].take() {
+                    None => term,
+                    Some(prev) => pair.plus(&prev, &term),
+                });
+            }
+        }
+
+        for (slot, &j) in srow.iter().enumerate() {
+            if let Some(v) = acc[slot].take() {
+                if !pair.is_zero(&v) {
+                    indices.push(j);
+                    values.push(v);
+                }
+            }
+            slot_of[j as usize] = usize::MAX;
+        }
+        indptr[i + 1] = indices.len();
+    }
+
+    Csr::from_parts(a.nrows(), b.ncols(), indptr, indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::spgemm::spgemm;
+    use aarray_algebra::ops::{Max, Min, Plus, Times};
+    use aarray_algebra::values::nat::Nat;
+
+    fn pt() -> OpPair<Nat, Plus, Times> {
+        OpPair::new()
+    }
+
+    fn build(nrows: usize, ncols: usize, t: &[(usize, usize, u64)]) -> Csr<Nat> {
+        let mut coo = Coo::new(nrows, ncols);
+        for &(r, c, v) in t {
+            coo.push(r, c, Nat(v));
+        }
+        coo.into_csr(&pt())
+    }
+
+    #[test]
+    fn two_phase_matches_one_phase() {
+        let a = build(3, 4, &[(0, 0, 1), (0, 3, 2), (1, 1, 3), (2, 2, 5)]);
+        let b = build(4, 3, &[(0, 1, 2), (1, 0, 1), (2, 2, 3), (3, 1, 4)]);
+        let sym = spgemm_symbolic(&a, &b);
+        let two = spgemm_numeric(&sym, &a, &b, &pt());
+        assert_eq!(two, spgemm(&a, &b, &pt()));
+        assert_eq!(sym.nnz(), two.nnz()); // compliant pair: no pruning
+    }
+
+    #[test]
+    fn symbolic_pattern_reused_across_pairs() {
+        // Figure 3's workload shape: one symbolic pass, many algebras.
+        let a = build(2, 3, &[(0, 0, 2), (0, 1, 3), (1, 2, 4)]);
+        let b = build(3, 2, &[(0, 0, 5), (1, 0, 1), (2, 1, 7)]);
+        let sym = spgemm_symbolic(&a, &b);
+
+        let plus_times = spgemm_numeric(&sym, &a, &b, &pt());
+        assert_eq!(plus_times, spgemm(&a, &b, &pt()));
+
+        let mm: OpPair<Nat, Max, Min> = OpPair::new();
+        let max_min = spgemm_numeric(&sym, &a, &b, &mm);
+        assert_eq!(max_min, spgemm(&a, &b, &mm));
+        // Same pattern, different values.
+        assert_eq!(plus_times.indices(), max_min.indices());
+        assert_ne!(plus_times.values(), max_min.values());
+    }
+
+    #[test]
+    fn numeric_prunes_arithmetic_zeros() {
+        let pair: OpPair<i64, Plus, Times> = OpPair::new();
+        let mut ca = Coo::new(1, 2);
+        ca.push(0, 0, 1i64);
+        ca.push(0, 1, 1i64);
+        let a = ca.into_csr(&pair);
+        let mut cb = Coo::new(2, 1);
+        cb.push(0, 0, 1i64);
+        cb.push(1, 0, -1i64);
+        let b = cb.into_csr(&pair);
+        let sym = spgemm_symbolic(&a, &b);
+        assert_eq!(sym.nnz(), 1); // structurally present
+        let c = spgemm_numeric(&sym, &a, &b, &pair);
+        assert_eq!(c.nnz(), 0); // numerically cancelled, pruned
+    }
+
+    #[test]
+    fn symbolic_shape_accessors() {
+        let a = build(2, 2, &[(0, 0, 1)]);
+        let sym = spgemm_symbolic(&a, &a);
+        assert_eq!(sym.shape(), (2, 2));
+    }
+}

@@ -1,0 +1,100 @@
+//! Triangular extraction — `tril`/`triu`, the building blocks for
+//! de-duplicating undirected edges and for triangle-counting
+//! formulations that avoid double counting.
+
+use crate::csr::Csr;
+use aarray_algebra::Value;
+
+/// Keep entries with `col ≤ row + k` (lower triangle; `k = 0` includes
+/// the diagonal, `k = -1` excludes it).
+pub fn tril<V: Value>(a: &Csr<V>, k: i64) -> Csr<V> {
+    filter_by(a, |r, c| (c as i64) <= (r as i64) + k)
+}
+
+/// Keep entries with `col ≥ row + k` (upper triangle; `k = 0` includes
+/// the diagonal, `k = 1` excludes it).
+pub fn triu<V: Value>(a: &Csr<V>, k: i64) -> Csr<V> {
+    filter_by(a, |r, c| (c as i64) >= (r as i64) + k)
+}
+
+/// Keep only the diagonal.
+pub fn diagonal<V: Value>(a: &Csr<V>) -> Csr<V> {
+    filter_by(a, |r, c| r == c)
+}
+
+fn filter_by<V: Value>(a: &Csr<V>, keep: impl Fn(usize, usize) -> bool) -> Csr<V> {
+    let mut indptr = vec![0usize; a.nrows() + 1];
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        for (&c, v) in cols.iter().zip(vals.iter()) {
+            if keep(r, c as usize) {
+                indices.push(c);
+                values.push(v.clone());
+            }
+        }
+        indptr[r + 1] = indices.len();
+    }
+    Csr::from_parts(a.nrows(), a.ncols(), indptr, indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use aarray_algebra::ops::{Plus, Times};
+    use aarray_algebra::values::nat::Nat;
+    use aarray_algebra::OpPair;
+
+    fn full3() -> Csr<Nat> {
+        let pair: OpPair<Nat, Plus, Times> = OpPair::new();
+        let mut coo = Coo::new(3, 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                coo.push(r, c, Nat((r * 3 + c + 1) as u64));
+            }
+        }
+        coo.into_csr(&pair)
+    }
+
+    #[test]
+    fn triangles_partition_with_diagonal_once() {
+        let a = full3();
+        let lo = tril(&a, -1);
+        let up = triu(&a, 1);
+        let di = diagonal(&a);
+        assert_eq!(lo.nnz() + up.nnz() + di.nnz(), a.nnz());
+        assert_eq!(lo.nnz(), 3);
+        assert_eq!(up.nnz(), 3);
+        assert_eq!(di.nnz(), 3);
+    }
+
+    #[test]
+    fn tril_includes_diagonal_at_k0() {
+        let a = full3();
+        let lo = tril(&a, 0);
+        assert_eq!(lo.nnz(), 6);
+        assert!(lo.get(0, 0).is_some());
+        assert!(lo.get(0, 1).is_none());
+        assert!(lo.get(2, 0).is_some());
+    }
+
+    #[test]
+    fn triu_k0_mirrors_tril() {
+        let a = full3();
+        assert_eq!(triu(&a, 0).nnz(), 6);
+        assert_eq!(triu(&a.transpose(), 0), tril(&a, 0).transpose());
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let pair: OpPair<Nat, Plus, Times> = OpPair::new();
+        let mut coo = Coo::new(2, 4);
+        coo.push(0, 3, Nat(1));
+        coo.push(1, 0, Nat(2));
+        let a = coo.into_csr(&pair);
+        assert_eq!(triu(&a, 1).nnz(), 1);
+        assert_eq!(tril(&a, 0).nnz(), 1);
+    }
+}

@@ -1,0 +1,293 @@
+//! Property-based tests of the sparse kernels against their algebraic
+//! specifications and the dense reference implementation.
+
+use aarray_algebra::ops::{AbsDiff, Max, Min, Plus, Times};
+use aarray_algebra::values::nat::Nat;
+use aarray_algebra::OpPair;
+use aarray_sparse::dense::Dense;
+use aarray_sparse::elementwise::{ewise_add, ewise_mul};
+use aarray_sparse::io::{read_triples, write_triples};
+use aarray_sparse::kron::kron;
+use aarray_sparse::mask::{apply_mask, apply_mask_complement, spgemm_masked};
+use aarray_sparse::reduce::{col_degrees, reduce_all, reduce_cols, reduce_rows, row_degrees};
+use aarray_sparse::spmv::spmv;
+use aarray_sparse::symbolic::{spgemm_numeric, spgemm_symbolic};
+use aarray_sparse::{spgemm, spgemm_parallel, spgemm_with, Accumulator, Coo, Csr};
+use proptest::prelude::*;
+
+type PT = OpPair<Nat, Plus, Times>;
+type MM = OpPair<Nat, Max, Min>;
+
+fn pt() -> PT {
+    OpPair::new()
+}
+
+/// Strategy: a random sparse matrix as (nrows, ncols, triplets).
+fn arb_csr(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr<Nat>> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(r, c)| {
+        prop::collection::vec((0..r, 0..c, 0u64..50), 0..=max_nnz).prop_map(
+            move |trips| {
+                let mut coo = Coo::new(r, c);
+                for (i, j, v) in trips {
+                    coo.push(i, j, Nat(v));
+                }
+                coo.into_csr(&pt())
+            },
+        )
+    })
+}
+
+/// Two matrices with identical dimensions (for element-wise ops).
+fn arb_same_dims(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = (Csr<Nat>, Csr<Nat>)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(r, c)| {
+        let gen = move || {
+            prop::collection::vec((0..r, 0..c, 0u64..50), 0..=max_nnz).prop_map(move |trips| {
+                let mut coo = Coo::new(r, c);
+                for (i, j, v) in trips {
+                    coo.push(i, j, Nat(v));
+                }
+                coo.into_csr(&pt())
+            })
+        };
+        (gen(), gen())
+    })
+}
+
+/// A conforming pair of matrices for multiplication.
+fn arb_pair(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = (Csr<Nat>, Csr<Nat>)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(move |(m, k, n)| {
+        let a = prop::collection::vec((0..m, 0..k, 1u64..20), 0..=max_nnz).prop_map(
+            move |trips| {
+                let mut coo = Coo::new(m, k);
+                for (i, j, v) in trips {
+                    coo.push(i, j, Nat(v));
+                }
+                coo.into_csr(&pt())
+            },
+        );
+        let b = prop::collection::vec((0..k, 0..n, 1u64..20), 0..=max_nnz).prop_map(
+            move |trips| {
+                let mut coo = Coo::new(k, n);
+                for (i, j, v) in trips {
+                    coo.push(i, j, Nat(v));
+                }
+                coo.into_csr(&pt())
+            },
+        );
+        (a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_an_involution(a in arb_csr(12, 40)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_preserves_nnz_and_swaps_degrees(a in arb_csr(12, 40)) {
+        let t = a.transpose();
+        prop_assert_eq!(t.nnz(), a.nnz());
+        prop_assert_eq!(row_degrees(&t), col_degrees(&a));
+        prop_assert_eq!(col_degrees(&t), row_degrees(&a));
+    }
+
+    #[test]
+    fn spgemm_matches_dense_reference((a, b) in arb_pair(8, 24)) {
+        let pair = pt();
+        let sparse = spgemm(&a, &b, &pair);
+        let dense = Dense::from_csr(&a, pair.zero())
+            .matmul(&Dense::from_csr(&b, pair.zero()), &pair)
+            .to_csr(&pair);
+        prop_assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn spgemm_max_min_matches_dense_reference((a, b) in arb_pair(8, 24)) {
+        // Same pattern inputs reinterpreted under max.min. Stored
+        // values stay valid (no u64::MAX values generated, and zero for
+        // max.min is 0, same as +.×).
+        let pair: MM = OpPair::new();
+        let sparse = spgemm(&a, &b, &pair);
+        let dense = Dense::from_csr(&a, pair.zero())
+            .matmul(&Dense::from_csr(&b, pair.zero()), &pair)
+            .to_csr(&pair);
+        prop_assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn all_accumulators_and_parallel_agree((a, b) in arb_pair(10, 40)) {
+        let pair = pt();
+        let reference = spgemm_with(&a, &b, &pair, Accumulator::Spa);
+        prop_assert_eq!(&spgemm_with(&a, &b, &pair, Accumulator::Hash), &reference);
+        prop_assert_eq!(&spgemm_with(&a, &b, &pair, Accumulator::Esc), &reference);
+        prop_assert_eq!(&spgemm_parallel(&a, &b, &pair, Accumulator::Spa), &reference);
+    }
+
+    #[test]
+    fn two_phase_agrees_with_one_phase((a, b) in arb_pair(10, 40)) {
+        let pair = pt();
+        let sym = spgemm_symbolic(&a, &b);
+        prop_assert_eq!(spgemm_numeric(&sym, &a, &b, &pair), spgemm(&a, &b, &pair));
+    }
+
+    #[test]
+    fn parallel_agrees_even_for_nonassociative_plus((a, b) in arb_pair(10, 40)) {
+        // ⊕ = |−| makes fold order observable.
+        let pair: OpPair<Nat, AbsDiff, Times> = OpPair::new();
+        let serial = spgemm_with(&a, &b, &pair, Accumulator::Spa);
+        prop_assert_eq!(spgemm_parallel(&a, &b, &pair, Accumulator::Spa), serial);
+    }
+
+    #[test]
+    fn ewise_add_is_commutative_for_commutative_plus((a, b) in arb_same_dims(10, 30)) {
+        let pair = pt();
+        prop_assert_eq!(ewise_add(&a, &b, &pair), ewise_add(&b, &a, &pair));
+    }
+
+    #[test]
+    fn ewise_add_with_empty_is_identity(a in arb_csr(10, 30)) {
+        let pair = pt();
+        let empty = Csr::<Nat>::empty(a.nrows(), a.ncols());
+        prop_assert_eq!(ewise_add(&a, &empty, &pair), a.clone());
+        prop_assert_eq!(ewise_mul(&a, &empty, &pair).nnz(), 0);
+    }
+
+    #[test]
+    fn mask_and_complement_partition((a, m) in arb_same_dims(10, 30)) {
+        let kept = apply_mask(&a, &m);
+        let dropped = apply_mask_complement(&a, &m);
+        prop_assert_eq!(kept.nnz() + dropped.nnz(), a.nnz());
+        // Reassembling gives back the original.
+        prop_assert_eq!(ewise_add(&kept, &dropped, &pt()), a);
+    }
+
+    #[test]
+    fn masked_spgemm_equals_multiply_then_mask((a, b) in arb_pair(8, 24), seed in 0u64..100) {
+        // Build a mask over the output shape from the seed.
+        let mut coo = Coo::new(a.nrows(), b.ncols());
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for _ in 0..(a.nrows() * b.ncols() / 2).max(1) {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            coo.push((x >> 33) as usize % a.nrows(), x as usize % b.ncols(), Nat(1));
+        }
+        let mask = coo.into_csr(&pt());
+        let masked = spgemm_masked(&a, &b, &mask, &pt());
+        let reference = apply_mask(&spgemm(&a, &b, &pt()), &mask);
+        prop_assert_eq!(masked, reference);
+    }
+
+    #[test]
+    fn spmv_matches_single_column_spgemm((a, _) in arb_pair(8, 24), seed in 0u64..50) {
+        let pair = pt();
+        // Build x as both a dense vector and a k×1 matrix.
+        let k = a.ncols();
+        let mut x: Vec<Option<Nat>> = vec![None; k];
+        let mut coo = Coo::new(k, 1);
+        let mut s = seed.wrapping_add(7);
+        for (i, xi) in x.iter_mut().enumerate() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if s % 3 == 0 {
+                let v = Nat(s % 10 + 1);
+                *xi = Some(v);
+                coo.push(i, 0, v);
+            }
+        }
+        let xm = coo.into_csr(&pair);
+        let y = spmv(&a, &x, &pair);
+        let ym = spgemm(&a, &xm, &pair);
+        for (r, yv) in y.iter().enumerate() {
+            prop_assert_eq!(yv.as_ref(), ym.get(r, 0));
+        }
+    }
+
+    #[test]
+    fn reductions_are_consistent(a in arb_csr(10, 30)) {
+        let pair = pt();
+        // Σ rows == Σ cols == Σ all for commutative associative +
+        // (values < 50·30, no saturation).
+        let total_rows: u64 = reduce_rows(&a, &pair).into_iter().flatten().map(|v| v.0).sum();
+        let total_cols: u64 = reduce_cols(&a, &pair).into_iter().flatten().map(|v| v.0).sum();
+        let total = reduce_all(&a, &pair).map(|v| v.0).unwrap_or(0);
+        prop_assert_eq!(total_rows, total);
+        prop_assert_eq!(total_cols, total);
+    }
+
+    #[test]
+    fn kron_dimensions_and_nnz(a in arb_csr(6, 12), b in arb_csr(6, 12)) {
+        let pair = pt();
+        let k = kron(&a, &b, &pair);
+        prop_assert_eq!(k.nrows(), a.nrows() * b.nrows());
+        prop_assert_eq!(k.ncols(), a.ncols() * b.ncols());
+        // +.× on nonzero Nats: no pruning, nnz multiplies.
+        prop_assert_eq!(k.nnz(), a.nnz() * b.nnz());
+    }
+
+    #[test]
+    fn io_roundtrip(a in arb_csr(10, 30)) {
+        let text = write_triples(&a, |v| v.0.to_string());
+        let back = read_triples(&text, &pt(), |s| s.parse().ok().map(Nat)).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn dcsr_roundtrip_and_spgemm(( a, b) in arb_pair(10, 40)) {
+        use aarray_sparse::dcsr::{spgemm_dcsr, Dcsr};
+        let d = Dcsr::from_csr(&a);
+        prop_assert_eq!(d.to_csr(), a.clone());
+        prop_assert!(d.populated_rows() <= a.nrows());
+        let pair = pt();
+        prop_assert_eq!(spgemm_dcsr(&d, &b, &pair).to_csr(), spgemm(&a, &b, &pair));
+    }
+
+    #[test]
+    fn permutation_roundtrips(a in arb_csr(10, 30), seed in 0u64..1000) {
+        use aarray_sparse::permute::{permute_cols, permute_rows};
+        // Derive a permutation of the rows from the seed (Fisher-Yates
+        // with an LCG).
+        let n = a.nrows();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut s = seed.wrapping_add(12345);
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, (s as usize) % (i + 1));
+        }
+        let mut inv = vec![0usize; n];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        prop_assert_eq!(permute_rows(&permute_rows(&a, &perm), &inv), a.clone());
+
+        let m = a.ncols();
+        let mut cperm: Vec<usize> = (0..m).collect();
+        for i in (1..m).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            cperm.swap(i, (s as usize) % (i + 1));
+        }
+        let mut cinv = vec![0usize; m];
+        for (i, &p) in cperm.iter().enumerate() {
+            cinv[p] = i;
+        }
+        prop_assert_eq!(permute_cols(&permute_cols(&a, &cperm), &cinv), a.clone());
+        // Permutations preserve nnz and values multiset.
+        let p = permute_rows(&a, &perm);
+        prop_assert_eq!(p.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn symbolic_pattern_superset_of_numeric(( a, b) in arb_pair(10, 40)) {
+        use aarray_sparse::symbolic::spgemm_symbolic;
+        let sym = spgemm_symbolic(&a, &b);
+        let c = spgemm(&a, &b, &pt());
+        // For +.× on positive Nats nothing cancels: patterns agree.
+        prop_assert_eq!(sym.nnz(), c.nnz());
+    }
+
+    #[test]
+    fn select_all_columns_is_identity(a in arb_csr(10, 30)) {
+        let all: Vec<usize> = (0..a.ncols()).collect();
+        prop_assert_eq!(a.select_cols(&all), a.clone());
+        let rows: Vec<usize> = (0..a.nrows()).collect();
+        prop_assert_eq!(a.select_rows(&rows), a);
+    }
+}

@@ -1,0 +1,62 @@
+//! Section III's escape hatch: set-valued arrays under `∪.∩`.
+//!
+//! The pair has zero divisors (disjoint sets), so Theorem II.1 does not
+//! bless it — yet on *structured* document×word data the product
+//! `EᵀE` is still a valid adjacency array whose entries list the words
+//! shared by each pair of documents. This example builds such a corpus,
+//! shows the conservative checker refusing, and the exact post-hoc
+//! verifier accepting.
+//!
+//! ```text
+//! cargo run --example document_words
+//! ```
+
+use aarray_algebra::pairs::UnionIntersect;
+use aarray_algebra::values::wordset::WordSet;
+use aarray_core::{adjacency_array_checked, adjacency_array_unchecked};
+use aarray_graph::structured::{has_sharing_structure, shared_word_array, Document};
+
+fn main() {
+    // A toy corpus. Documents share vocabulary along topic lines.
+    let docs = vec![
+        Document::new("graphs101", ["vertex", "edge", "adjacency", "matrix"]),
+        Document::new("linalg", ["matrix", "vector", "eigenvalue"]),
+        Document::new("databases", ["table", "key", "schema", "matrix"]),
+        Document::new("networks", ["vertex", "edge", "packet"]),
+    ];
+
+    // E(i, j) = the words documents i and j share (Section III's
+    // structured incidence array).
+    let e = shared_word_array(&docs);
+    println!("E — shared-word incidence array:\n{}", e.to_grid());
+    assert!(has_sharing_structure(&e), "construction guarantees the sharing structure");
+
+    let pair = UnionIntersect::<WordSet>::new();
+
+    // The population-level check refuses: some products genuinely
+    // intersect disjoint non-empty sets…
+    match adjacency_array_checked(&e, &e, &pair) {
+        Err(err) => println!(
+            "conservative check refuses (as expected):\n  {}\n",
+            err
+        ),
+        Ok(_) => println!("note: this corpus happens to pass even the conservative check\n"),
+    }
+
+    // …but the sharing structure makes the product exactly right for
+    // the *word-sharing graph*: every term E(x,k) ∩ E(k,y) is a subset
+    // of E(x,y), and the diagonal term restores all of it, so EᵀE = E.
+    // The product is the adjacency array of that graph, with the shared
+    // words as entries — the paper's Section III claim, made precise.
+    let ete = adjacency_array_unchecked(&e, &e, &pair);
+    assert_eq!(ete, e, "EᵀE = E on structured corpora (idempotence)");
+    println!("EᵀE under ∪.∩ — documents connected by shared words (= E itself):\n{}", ete.to_grid());
+
+    // The entries list shared words, exactly as the paper describes.
+    let gl = ete.get("graphs101", "linalg").expect("share 'matrix'");
+    assert!(gl.contains("matrix"));
+    println!("graphs101 ↔ linalg share: {}", gl);
+    let gn = ete.get("graphs101", "networks").expect("share vertex/edge");
+    assert!(gn.contains("vertex") && gn.contains("edge"));
+    println!("graphs101 ↔ networks share: {}", gn);
+}

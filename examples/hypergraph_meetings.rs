@@ -1,0 +1,66 @@
+//! Hypergraphs through incidence arrays: a meeting connects *sets* of
+//! people — something an adjacency array cannot represent directly,
+//! but an incidence array expresses with one row per meeting. The
+//! Theorem II.1 product then materializes the pairwise communication
+//! graph (speakers × listeners), with the algebra controlling how
+//! parallel meetings combine.
+//!
+//! ```text
+//! cargo run --example hypergraph_meetings
+//! ```
+
+use aarray_algebra::pairs::{MaxMin, PlusTimes};
+use aarray_algebra::values::nat::Nat;
+use aarray_core::adjacency_array;
+use aarray_graph::hypergraph::HyperGraph;
+use aarray_graph::metrics::graph_metrics;
+
+fn main() {
+    let w = |name: &str, weight: u64| (name.to_string(), Nat(weight));
+
+    // Three meetings; presenters are sources, audiences are targets.
+    let mut h = HyperGraph::new();
+    h.add_edge(
+        "standup",
+        vec![w("alice", 1)],
+        vec![w("bob", 1), w("carol", 1), w("dave", 1)],
+    );
+    h.add_edge(
+        "design_review",
+        vec![w("bob", 1), w("carol", 1)],
+        vec![w("alice", 1), w("dave", 1), w("erin", 1)],
+    );
+    h.add_edge(
+        "one_on_one",
+        vec![w("alice", 1)],
+        vec![w("bob", 1)],
+    );
+
+    println!(
+        "hypergraph: {} meetings over {} people",
+        h.edge_count(),
+        h.vertex_count()
+    );
+
+    // Incidence arrays: one row per meeting, several nonzeros per row.
+    let pair = PlusTimes::<Nat>::new();
+    let (eout, ein) = h.incidence_arrays(&pair);
+    println!("\nEout (who presents in which meeting):\n{}", eout.to_grid());
+    println!("Ein (who attends which meeting):\n{}", ein.to_grid());
+
+    // The communication graph: A(a, b) = number of meetings where a
+    // presented to b. Each hyperedge contributes a full sources×targets
+    // block — the expansion the edge-list representation would have to
+    // materialize by hand.
+    let a = adjacency_array(&eout, &ein, &pair);
+    println!("communication graph under +.× (meeting counts):\n{}", a.to_grid());
+    assert_eq!(a.get("alice", "bob"), Some(&Nat(2))); // standup + 1:1
+    assert_eq!(a.get("bob", "erin"), Some(&Nat(1))); // design review
+    assert_eq!(a.get("erin", "alice"), None); // erin never presents
+
+    // Existence-only view via max.min on the same incidence data.
+    let mm = MaxMin::<Nat>::new();
+    let exists = adjacency_array(&eout, &ein, &mm);
+    assert_eq!(exists.get("alice", "bob"), Some(&Nat(1)));
+    println!("metrics: {}", graph_metrics(&a));
+}

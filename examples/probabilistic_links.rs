@@ -1,0 +1,62 @@
+//! Probabilistic graphs on the unit interval: the same incidence data
+//! under the Viterbi pair (`max.×` — most probable single connection)
+//! and the noisy-or pair (`probor.×` — probability that at least one
+//! connection fires). Both satisfy Theorem II.1 on `[0, 1]`, so both
+//! constructions are compile-time safe.
+//!
+//! ```text
+//! cargo run --example probabilistic_links
+//! ```
+
+use aarray_algebra::pairs::{ProbOrTimes, Viterbi};
+use aarray_algebra::values::unit::unit;
+use aarray_core::prelude::*;
+
+fn main() {
+    // Sensors observe targets with per-observation confidence. Each
+    // observation is an edge: sensor → target, weighted by detection
+    // probability on both incidence sides (source reliability ×
+    // measurement confidence).
+    let viterbi = Viterbi::new();
+    let eout = AArray::from_triples(
+        &viterbi,
+        [
+            ("obs1", "sensorA", unit(0.9)),
+            ("obs2", "sensorA", unit(0.6)),
+            ("obs3", "sensorB", unit(0.8)),
+            ("obs4", "sensorB", unit(0.5)),
+        ],
+    );
+    let ein = AArray::from_triples(
+        &viterbi,
+        [
+            ("obs1", "target1", unit(0.7)),
+            ("obs2", "target1", unit(0.9)),
+            ("obs3", "target1", unit(0.4)),
+            ("obs4", "target2", unit(1.0)),
+        ],
+    );
+
+    // Viterbi: the strongest single observation linking sensor→target.
+    let best = adjacency_array(&eout, &ein, &viterbi);
+    println!("max.× (best single observation):\n{}", best.to_grid());
+    // sensorA→target1: max(0.9·0.7, 0.6·0.9) = max(0.63, 0.54) = 0.63.
+    assert_eq!(best.get("sensorA", "target1"), Some(&unit(0.63)));
+
+    // Noisy-or: probability that at least one observation fires.
+    let fused = adjacency_array(&eout, &ein, &ProbOrTimes::new());
+    println!("probor.× (fused detection probability):\n{}", fused.to_grid());
+    // 0.63 ⊕ₚ 0.54 = 0.63 + 0.54 − 0.63·0.54 = 0.8298.
+    let p = fused.get("sensorA", "target1").unwrap().get();
+    assert!((p - 0.8298).abs() < 1e-12, "{}", p);
+
+    // Same pattern, different fusion semantics — the paper's point:
+    // the algebra is a parameter of graph construction.
+    assert_eq!(best.nnz(), fused.nnz());
+    println!("fused ≥ best everywhere (noisy-or dominates single-shot):");
+    for (s, t, v) in fused.iter() {
+        let b = best.get(s, t).unwrap();
+        assert!(v >= b);
+        println!("  {} → {}: best {} / fused {}", s, t, b, v);
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: build a small graph's incidence arrays, construct its
+//! adjacency array with two different operator pairs, and inspect the
+//! results.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use aarray_core::prelude::*;
+
+fn main() {
+    // A little citation graph: papers cite papers. Each edge gets a
+    // unique key (the paper's edge set K) and a weight on each side.
+    let pair = PlusTimes::<Nat>::new();
+
+    // Eout : K × Kout — nonzero where the edge leaves the vertex.
+    let eout = AArray::from_triples(
+        &pair,
+        [
+            ("cite1", "paperA", Nat(1)),
+            ("cite2", "paperA", Nat(1)),
+            ("cite3", "paperB", Nat(1)),
+            ("cite4", "paperB", Nat(1)),
+        ],
+    );
+    // Ein : K × Kin — nonzero where the edge enters the vertex.
+    let ein = AArray::from_triples(
+        &pair,
+        [
+            ("cite1", "paperB", Nat(1)),
+            ("cite2", "paperC", Nat(1)),
+            ("cite3", "paperC", Nat(1)),
+            ("cite4", "paperC", Nat(1)),
+        ],
+    );
+
+    // The paper's headline operation: A = Eᵀout ⊕.⊗ Ein. The compiler
+    // verifies the pair satisfies Theorem II.1 (zero-sum-free, no zero
+    // divisors, annihilating zero) — try an i64 `+.×` pair here and it
+    // will not compile.
+    let a = adjacency_array(&eout, &ein, &pair);
+    println!("adjacency array under +.× (counts citations):\n{}", a.to_grid());
+    assert_eq!(a.get("paperB", "paperC"), Some(&Nat(2)));
+
+    // Same arrays, different algebra: max.min tracks the "widest" edge.
+    let mm = MaxMin::<Nat>::new();
+    let eout_w = eout.map_with_keys(&mm, |k, _, _| if k == "cite3" { Nat(5) } else { Nat(1) });
+    let a_mm = adjacency_array(&eout_w, &ein, &mm);
+    println!("adjacency array under max.min:\n{}", a_mm.to_grid());
+
+    // The reverse graph falls out of the other product (Corollary III.1).
+    let rev = reverse_adjacency_array(&eout, &ein, &pair);
+    println!("reverse-graph adjacency (who is cited by whom):\n{}", rev.to_grid());
+    assert_eq!(rev.get("paperC", "paperB"), Some(&Nat(2)));
+
+    // Runtime-checked construction refuses non-compliant data. ℤ's +.×
+    // is not zero-sum-free; two opposite-weight parallel edges erase
+    // each other, and the checker catches it before that happens.
+    let zpair: PlusTimes<i64> = PlusTimes::new();
+    let bad_eout = AArray::from_triples(&zpair, [("e1", "x", 3i64), ("e2", "x", -3i64)]);
+    let bad_ein = AArray::from_triples(&zpair, [("e1", "y", 1i64), ("e2", "y", 1i64)]);
+    match adjacency_array_checked(&bad_eout, &bad_ein, &zpair) {
+        Ok(_) => unreachable!("ℤ must be rejected"),
+        Err(e) => println!("checked construction refused ℤ data, as it must:\n  {}", e),
+    }
+}

@@ -1,0 +1,214 @@
+//! The same graph, many value sets: the paper's thesis is that one
+//! multiplication syntax constructs adjacency arrays over any compliant
+//! algebra. These tests run a fixed graph through every compliant value
+//! system in the library and check that (a) the pattern is always the
+//! same, and (b) the values are what each algebra dictates.
+
+use aarray_algebra::pairs::{
+    GcdLcm, MaxMin, MaxPlus, MinMax, MinPlus, OrAnd, PlusTimes,
+};
+use aarray_algebra::values::bstr::BStr;
+use aarray_algebra::values::chain::Chain;
+use aarray_algebra::values::nat::Nat;
+use aarray_algebra::values::nn::{nn, NN};
+use aarray_algebra::values::tropical::{trop, Tropical};
+use aarray_algebra::{BinaryOp, OpPair, Value};
+use aarray_core::{adjacency_array, theorem::pattern_diff, AArray};
+use aarray_graph::MultiGraph;
+use std::collections::BTreeSet;
+
+/// The shared test graph: two parallel edges a→b, a chain b→c, and a
+/// self-loop at c.
+fn graph_edges() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![("e1", "a", "b"), ("e2", "a", "b"), ("e3", "b", "c"), ("e4", "c", "c")]
+}
+
+fn build<V: Value, A: BinaryOp<V>, M: BinaryOp<V>>(
+    pair: &OpPair<V, A, M>,
+    weights: &[V; 4],
+) -> (MultiGraph<V>, AArray<V>)
+where
+    OpPair<V, A, M>: aarray_algebra::AdjacencyCompatible,
+{
+    let mut g = MultiGraph::new();
+    for ((k, s, d), w) in graph_edges().into_iter().zip(weights.iter()) {
+        g.add_edge(k, s, d, w.clone(), w.clone());
+    }
+    let (eout, ein) = g.incidence_arrays(pair);
+    let a = adjacency_array(&eout, &ein, pair);
+    (g, a)
+}
+
+fn expected_pattern() -> BTreeSet<(String, String)> {
+    [("a", "b"), ("b", "c"), ("c", "c")]
+        .into_iter()
+        .map(|(s, d)| (s.to_string(), d.to_string()))
+        .collect()
+}
+
+#[test]
+fn nat_plus_times() {
+    let pair = PlusTimes::<Nat>::new();
+    let (g, a) = build(&pair, &[Nat(2), Nat(3), Nat(5), Nat(7)]);
+    assert!(pattern_diff(&a, g.edge_pattern()).is_exact());
+    assert_eq!(a.get("a", "b"), Some(&Nat(2 * 2 + 3 * 3)));
+    assert_eq!(a.get("b", "c"), Some(&Nat(25)));
+    assert_eq!(a.get("c", "c"), Some(&Nat(49)));
+}
+
+#[test]
+fn nn_min_plus() {
+    let pair = MinPlus::<NN>::new();
+    let (g, a) = build(&pair, &[nn(2.0), nn(3.0), nn(5.0), nn(7.0)]);
+    assert!(pattern_diff(&a, g.edge_pattern()).is_exact());
+    // min(2+2, 3+3) = 4.
+    assert_eq!(a.get("a", "b"), Some(&nn(4.0)));
+}
+
+#[test]
+fn tropical_max_plus() {
+    let pair = MaxPlus::<Tropical>::new();
+    let (g, a) = build(&pair, &[trop(2.0), trop(3.0), trop(-5.0), trop(0.5)]);
+    assert!(pattern_diff(&a, g.edge_pattern()).is_exact());
+    // max(2+2, 3+3) = 6; negative weights are fine in this algebra.
+    assert_eq!(a.get("a", "b"), Some(&trop(6.0)));
+    assert_eq!(a.get("b", "c"), Some(&trop(-10.0)));
+}
+
+#[test]
+fn boolean_semiring() {
+    let pair = OrAnd::new();
+    let (g, a) = build(&pair, &[true, true, true, true]);
+    assert!(pattern_diff(&a, g.edge_pattern()).is_exact());
+    for (_, _, v) in a.iter() {
+        assert!(*v);
+    }
+}
+
+#[test]
+fn chain_lattice() {
+    type C = Chain<10>;
+    let c = |v: u32| C::new(v).unwrap();
+    let pair = MaxMin::<C>::new();
+    let (g, a) = build(&pair, &[c(2), c(5), c(9), c(1)]);
+    assert!(pattern_diff(&a, g.edge_pattern()).is_exact());
+    // max(min(2,2), min(5,5)) = 5.
+    assert_eq!(a.get("a", "b"), Some(&c(5)));
+}
+
+#[test]
+fn strings_max_min_the_intro_question() {
+    // The paper's opening puzzle: alphanumeric strings with ⊕ = max,
+    // ⊗ = min — yes, it constructs adjacency arrays.
+    let pair = MaxMin::<BStr>::new();
+    let w = |s: &str| BStr::word(s);
+    let (g, a) = build(&pair, &[w("alpha"), w("delta"), w("kappa"), w("omega")]);
+    assert!(pattern_diff(&a, g.edge_pattern()).is_exact());
+    // max(min(alpha,alpha), min(delta,delta)) = delta.
+    assert_eq!(a.get("a", "b"), Some(&w("delta")));
+    assert_eq!(a.get("c", "c"), Some(&w("omega")));
+}
+
+#[test]
+fn strings_min_max_dual() {
+    let pair = MinMax::<BStr>::new();
+    let w = |s: &str| BStr::word(s);
+    let (g, a) = build(&pair, &[w("alpha"), w("delta"), w("kappa"), w("omega")]);
+    assert!(pattern_diff(&a, g.edge_pattern()).is_exact());
+    assert_eq!(a.get("a", "b"), Some(&w("alpha")));
+}
+
+#[test]
+fn gcd_lcm_number_theory() {
+    let pair = GcdLcm::new();
+    let (g, a) = build(&pair, &[Nat(4), Nat(6), Nat(9), Nat(10)]);
+    assert!(pattern_diff(&a, g.edge_pattern()).is_exact());
+    // gcd(lcm(4,4), lcm(6,6)) = gcd(4, 6) = 2.
+    assert_eq!(a.get("a", "b"), Some(&Nat(2)));
+    assert_eq!(a.get("b", "c"), Some(&Nat(9)));
+}
+
+#[test]
+fn all_compliant_systems_agree_on_pattern() {
+    // One assertion to rule them all: every algebra above produced the
+    // same nonzero pattern from the same graph.
+    let expected = expected_pattern();
+
+    let patterns: Vec<BTreeSet<(String, String)>> = vec![
+        {
+            let pair = PlusTimes::<Nat>::new();
+            let (_, a) = build(&pair, &[Nat(2), Nat(3), Nat(5), Nat(7)]);
+            a.iter().map(|(r, c, _)| (r.to_string(), c.to_string())).collect()
+        },
+        {
+            let pair = OrAnd::new();
+            let (_, a) = build(&pair, &[true, true, true, true]);
+            a.iter().map(|(r, c, _)| (r.to_string(), c.to_string())).collect()
+        },
+        {
+            let pair = MaxMin::<BStr>::new();
+            let (_, a) = build(
+                &pair,
+                &[BStr::word("x"), BStr::word("y"), BStr::word("z"), BStr::word("q")],
+            );
+            a.iter().map(|(r, c, _)| (r.to_string(), c.to_string())).collect()
+        },
+        {
+            let pair = MinPlus::<NN>::new();
+            let (_, a) = build(&pair, &[nn(1.0), nn(2.0), nn(3.0), nn(4.0)]);
+            a.iter().map(|(r, c, _)| (r.to_string(), c.to_string())).collect()
+        },
+    ];
+
+    for p in patterns {
+        assert_eq!(p, expected);
+    }
+}
+
+#[test]
+fn transpose_identity_fails_without_commutative_times() {
+    // Section III: "(AB)ᵀ = BᵀAᵀ may be violated under these criteria…
+    // for this matrix transpose property to always hold, ⊗ would have
+    // to be commutative." Demonstrate with ⊗ = string concatenation.
+    use aarray_algebra::pairs::MaxConcat;
+    let pair = MaxConcat::new();
+    let w = |s: &str| BStr::word(s);
+
+    let a = AArray::from_triples(&pair, [("r", "k1", w("ab")), ("r", "k2", w("c"))]);
+    let b = AArray::from_triples(&pair, [("k1", "s", w("x")), ("k2", "s", w("yz"))]);
+
+    // (AB)(r, s) = max(ab·x, c·yz) = max("abx", "cyz") = "cyz".
+    let ab_t = a.matmul(&b, &pair).transpose();
+    assert_eq!(ab_t.get("s", "r"), Some(&w("cyz")));
+
+    // (BᵀAᵀ)(s, r) = max(x·ab, yz·c) = max("xab", "yzc") = "yzc".
+    let bt_at = b.transpose().matmul(&a.transpose(), &pair);
+    assert_eq!(bt_at.get("s", "r"), Some(&w("yzc")));
+
+    assert_ne!(ab_t, bt_at, "non-commutative ⊗ breaks the transpose identity");
+
+    // With commutative ⊗ the identity holds on the same shapes.
+    let mm = MaxMin::<BStr>::new();
+    let a2 = AArray::from_triples(&mm, [("r", "k1", w("ab")), ("r", "k2", w("c"))]);
+    let b2 = AArray::from_triples(&mm, [("k1", "s", w("x")), ("k2", "s", w("yz"))]);
+    assert_eq!(
+        a2.matmul(&b2, &mm).transpose(),
+        b2.transpose().matmul(&a2.transpose(), &mm)
+    );
+}
+
+#[test]
+fn value_type_conversion_preserves_pattern() {
+    // Figure 3's implicit workflow: one stored array, reinterpreted
+    // under different algebras via map_prune.
+    let pair = PlusTimes::<Nat>::new();
+    let (_, a) = build(&pair, &[Nat(2), Nat(3), Nat(5), Nat(7)]);
+
+    let bpair = OrAnd::new();
+    let ab = a.map_prune(&bpair, |v| v.0 > 0);
+    assert_eq!(ab.nnz(), a.nnz());
+
+    let npair = MinPlus::<NN>::new();
+    let an = a.map_prune(&npair, |v| nn(v.0 as f64));
+    assert_eq!(an.nnz(), a.nnz());
+}

@@ -1,0 +1,82 @@
+//! Golden-output tests: the rendered text grids for the paper's
+//! figures, checked character-for-character. If the display layer or
+//! any value drifts, these fail with a readable diff.
+
+use aarray_algebra::pairs::{MaxMin, MinMax, PlusTimes};
+use aarray_algebra::values::nn::NN;
+use aarray_core::adjacency_array;
+use aarray_d4m::music::{music_e1, music_e1_weighted, music_e2};
+
+/// Normalize trailing spaces per line (the grid pads every row to the
+/// full width; goldens are stored trimmed for readability).
+fn trim_lines(s: &str) -> String {
+    s.lines().map(str::trim_end).collect::<Vec<_>>().join("\n")
+}
+
+#[test]
+fn figure3_plus_times_grid_golden() {
+    let pair = PlusTimes::<NN>::new();
+    let a = adjacency_array(&music_e1(), &music_e2(), &pair);
+    let golden = [
+        "                  Writer|Barrett Rich  Writer|Chad Anderson  Writer|Chloe Chaidez  Writer|Julian Chaidez  Writer|Nicholas Johns",
+        "Genre|Electronic                    1                     7                     7                      2                      1",
+        "Genre|Pop                                                13                    13                      3",
+        "Genre|Rock                                                6                     6                      1",
+    ]
+    .join("\n");
+    assert_eq!(trim_lines(&a.to_grid()), golden);
+}
+
+#[test]
+fn figure5_plus_times_grid_golden() {
+    let pair = PlusTimes::<NN>::new();
+    let a = adjacency_array(&music_e1_weighted(), &music_e2(), &pair);
+    let golden = [
+        "                  Writer|Barrett Rich  Writer|Chad Anderson  Writer|Chloe Chaidez  Writer|Julian Chaidez  Writer|Nicholas Johns",
+        "Genre|Electronic                    1                     7                     7                      2                      1",
+        "Genre|Pop                                                26                    26                      6",
+        "Genre|Rock                                               18                    18                      3",
+    ]
+    .join("\n");
+    assert_eq!(trim_lines(&a.to_grid()), golden);
+}
+
+#[test]
+fn figure5_min_max_grid_golden() {
+    let pair = MinMax::<NN>::new();
+    let a = adjacency_array(&music_e1_weighted(), &music_e2(), &pair);
+    let golden = [
+        "                  Writer|Barrett Rich  Writer|Chad Anderson  Writer|Chloe Chaidez  Writer|Julian Chaidez  Writer|Nicholas Johns",
+        "Genre|Electronic                    1                     1                     1                      1                      1",
+        "Genre|Pop                                                 2                     2                      2",
+        "Genre|Rock                                                3                     3                      3",
+    ]
+    .join("\n");
+    assert_eq!(trim_lines(&a.to_grid()), golden);
+}
+
+#[test]
+fn figure5_max_min_equals_figure3_grid() {
+    // The paper: max.min is unchanged between Figures 3 and 5.
+    let pair = MaxMin::<NN>::new();
+    let fig3 = adjacency_array(&music_e1(), &music_e2(), &pair);
+    let fig5 = adjacency_array(&music_e1_weighted(), &music_e2(), &pair);
+    assert_eq!(fig3.to_grid(), fig5.to_grid());
+}
+
+#[test]
+fn figure2_e1_grid_shape() {
+    let e1 = music_e1();
+    let grid = e1.to_grid();
+    let lines: Vec<&str> = grid.lines().collect();
+    // Header + 22 track rows.
+    assert_eq!(lines.len(), 23);
+    assert!(lines[0].contains("Genre|Electronic"));
+    assert!(lines[0].contains("Genre|Rock"));
+    // Track rows appear in sorted key order.
+    assert!(lines[1].starts_with("031013ktnA1"));
+    assert!(lines[22].starts_with("093012ktnA8"));
+    // The dual-genre remix rows show two 1s.
+    let a4 = lines.iter().find(|l| l.starts_with("093012ktnA4")).unwrap();
+    assert_eq!(a4.matches('1').count(), 2 + "093012ktnA4".matches('1').count());
+}

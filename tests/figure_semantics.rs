@@ -1,0 +1,168 @@
+//! The paper's Section IV synopsis, property-tested: what each operator
+//! pair *computes* when correlating unit/column-weighted incidence
+//! arrays — "`+.×` computes the strength of all connections…", "the
+//! other semirings select extremal edges", "the pattern of edges … is
+//! generally preserved for various semirings".
+//!
+//! Random track×genre and track×writer arrays play the role of `E1`,
+//! `E2`; the reference quantities are computed by brute force.
+
+use aarray_algebra::pairs::{MaxMin, MaxTimes, MinMax, MinPlus, MinTimes, PlusTimes};
+use aarray_algebra::values::nn::{nn, NN};
+use aarray_core::{adjacency_array_unchecked, AArray};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+const TRACKS: usize = 12;
+const GENRES: usize = 4;
+const WRITERS: usize = 6;
+
+type Incidences = (Vec<(usize, usize)>, Vec<(usize, usize)>);
+
+/// Strategy: random (track→genre, track→writer) incidence patterns,
+/// at least one of each.
+fn arb_incidences() -> impl Strategy<Value = Incidences> {
+    (
+        prop::collection::btree_set((0..TRACKS, 0..GENRES), 1..30),
+        prop::collection::btree_set((0..TRACKS, 0..WRITERS), 1..40),
+    )
+        .prop_map(|(g, w)| (g.into_iter().collect(), w.into_iter().collect()))
+}
+
+fn genre_key(g: usize) -> String {
+    format!("Genre|{:02}", g)
+}
+
+fn writer_key(w: usize) -> String {
+    format!("Writer|{:02}", w)
+}
+
+/// Column weight for the "Figure 4" variant: genre g gets weight g+1.
+fn genre_weight(g: usize) -> f64 {
+    (g + 1) as f64
+}
+
+fn build_arrays(inc: &Incidences, weighted: bool) -> (AArray<NN>, AArray<NN>) {
+    let pair = PlusTimes::<NN>::new();
+    let e1 = AArray::from_triples(
+        &pair,
+        inc.0.iter().map(|&(t, g)| {
+            let v = if weighted { genre_weight(g) } else { 1.0 };
+            (format!("t{:03}", t), genre_key(g), nn(v))
+        }),
+    );
+    let e2 = AArray::from_triples(
+        &pair,
+        inc.1
+            .iter()
+            .map(|&(t, w)| (format!("t{:03}", t), writer_key(w), nn(1.0))),
+    );
+    (e1, e2)
+}
+
+/// Brute-force: connecting tracks per (genre, writer).
+fn connections(inc: &Incidences) -> BTreeMap<(usize, usize), usize> {
+    let mut m = BTreeMap::new();
+    for &(t, g) in &inc.0 {
+        for &(t2, w) in &inc.1 {
+            if t == t2 {
+                *m.entry((g, w)).or_insert(0) += 1;
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #[test]
+    fn plus_times_counts_connections(inc in arb_incidences()) {
+        let (e1, e2) = build_arrays(&inc, false);
+        let a = adjacency_array_unchecked(&e1, &e2, &PlusTimes::<NN>::new());
+        let expect = connections(&inc);
+        prop_assert_eq!(a.nnz(), expect.len());
+        for (&(g, w), &count) in &expect {
+            prop_assert_eq!(
+                a.get(&genre_key(g), &writer_key(w)),
+                Some(&nn(count as f64)),
+                "({}, {})", g, w
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_is_identical_across_all_pairs(inc in arb_incidences()) {
+        // "The pattern of edges resulting from array multiplication of
+        // incidence arrays is generally preserved for various
+        // semirings."
+        let (e1, e2) = build_arrays(&inc, true);
+        let pattern = |a: &AArray<NN>| -> BTreeSet<(String, String)> {
+            a.iter().map(|(r, c, _)| (r.to_string(), c.to_string())).collect()
+        };
+        let reference = pattern(&adjacency_array_unchecked(&e1, &e2, &PlusTimes::<NN>::new()));
+        prop_assert_eq!(pattern(&adjacency_array_unchecked(&e1, &e2, &MaxTimes::<NN>::new())), reference.clone());
+        prop_assert_eq!(pattern(&adjacency_array_unchecked(&e1, &e2, &MinTimes::<NN>::new())), reference.clone());
+        prop_assert_eq!(pattern(&adjacency_array_unchecked(&e1, &e2, &MinPlus::<NN>::new())), reference.clone());
+        prop_assert_eq!(pattern(&adjacency_array_unchecked(&e1, &e2, &MaxMin::<NN>::new())), reference.clone());
+        prop_assert_eq!(pattern(&adjacency_array_unchecked(&e1, &e2, &MinMax::<NN>::new())), reference);
+    }
+
+    #[test]
+    fn extremal_pairs_select_the_predicted_weights(inc in arb_incidences()) {
+        // With column-constant E1 weights (genre g ↦ g+1) and unit E2 —
+        // exactly Figure 4/5's setup — the synopsis predicts closed
+        // forms per entry (w := weight of the genre):
+        //   max.× / min.×:  w·1 = w
+        //   min.+:          w + 1
+        //   max.min:        min(w, 1) = 1
+        //   min.max:        max(w, 1) = w
+        let (e1, e2) = build_arrays(&inc, true);
+        let pt = adjacency_array_unchecked(&e1, &e2, &PlusTimes::<NN>::new());
+
+        let maxx = adjacency_array_unchecked(&e1, &e2, &MaxTimes::<NN>::new());
+        let minx = adjacency_array_unchecked(&e1, &e2, &MinTimes::<NN>::new());
+        let minp = adjacency_array_unchecked(&e1, &e2, &MinPlus::<NN>::new());
+        let maxmin = adjacency_array_unchecked(&e1, &e2, &MaxMin::<NN>::new());
+        let minmax = adjacency_array_unchecked(&e1, &e2, &MinMax::<NN>::new());
+
+        for (g_key, w_key, _) in pt.iter() {
+            let g: usize = g_key.trim_start_matches("Genre|").parse().unwrap();
+            let w = genre_weight(g);
+            prop_assert_eq!(maxx.get(g_key, w_key), Some(&nn(w)));
+            prop_assert_eq!(minx.get(g_key, w_key), Some(&nn(w)));
+            prop_assert_eq!(minp.get(g_key, w_key), Some(&nn(w + 1.0)));
+            prop_assert_eq!(maxmin.get(g_key, w_key), Some(&nn(1.0)));
+            prop_assert_eq!(minmax.get(g_key, w_key), Some(&nn(w)));
+        }
+    }
+
+    #[test]
+    fn weighting_e1_never_changes_max_min(inc in arb_incidences()) {
+        // "For the max.min semiring, Figure 3 and Figure 5 have the
+        // same adjacency array because E2 is unchanged" — generalized:
+        // with unit E2, max.min ignores any E1 re-weighting ≥ 1.
+        let (unit_e1, e2) = build_arrays(&inc, false);
+        let (weighted_e1, _) = build_arrays(&inc, true);
+        let pair = MaxMin::<NN>::new();
+        prop_assert_eq!(
+            adjacency_array_unchecked(&unit_e1, &e2, &pair),
+            adjacency_array_unchecked(&weighted_e1, &e2, &pair)
+        );
+    }
+
+    #[test]
+    fn plus_times_scales_linearly_in_column_weights(inc in arb_incidences()) {
+        // Figure 5's +.× rows are the Figure 3 rows multiplied by the
+        // genre weight — because ⊗ = × distributes the column-constant
+        // factor out of the ⊕-sum.
+        let (unit_e1, e2) = build_arrays(&inc, false);
+        let (weighted_e1, _) = build_arrays(&inc, true);
+        let pair = PlusTimes::<NN>::new();
+        let base = adjacency_array_unchecked(&unit_e1, &e2, &pair);
+        let scaled = adjacency_array_unchecked(&weighted_e1, &e2, &pair);
+        for (g_key, w_key, v) in base.iter() {
+            let g: usize = g_key.trim_start_matches("Genre|").parse().unwrap();
+            let expect = nn(v.get() * genre_weight(g));
+            prop_assert_eq!(scaled.get(g_key, w_key), Some(&expect));
+        }
+    }
+}

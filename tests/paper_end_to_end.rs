@@ -1,0 +1,233 @@
+//! End-to-end reproduction of the paper's evaluation (Figures 1–5),
+//! asserting the exact printed values — independent of the `repro`
+//! binary's code path.
+
+use aarray_algebra::pairs::{
+    MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, PlusTimes,
+};
+use aarray_algebra::values::nn::{nn, NN};
+use aarray_algebra::values::tropical::{trop, Tropical};
+use aarray_core::{adjacency_array, adjacency_array_unchecked, AArray};
+use aarray_d4m::music::{music_e1, music_e1_weighted, music_e2, music_incidence};
+
+const EL: &str = "Genre|Electronic";
+const POP: &str = "Genre|Pop";
+const ROCK: &str = "Genre|Rock";
+const BR: &str = "Writer|Barrett Rich";
+const CA: &str = "Writer|Chad Anderson";
+const CC: &str = "Writer|Chloe Chaidez";
+const JC: &str = "Writer|Julian Chaidez";
+const NJ: &str = "Writer|Nicholas Johns";
+
+/// The 11-entry nonzero pattern shared by every panel of Figures 3/5.
+fn assert_figure_pattern<V: aarray_algebra::Value>(a: &AArray<V>) {
+    assert_eq!(a.nnz(), 11, "all panels have 11 nonzero cells");
+    for w in [BR, CA, CC, JC, NJ] {
+        assert!(a.get(EL, w).is_some(), "Electronic row is full");
+    }
+    for w in [CA, CC, JC] {
+        assert!(a.get(POP, w).is_some());
+        assert!(a.get(ROCK, w).is_some());
+    }
+    for w in [BR, NJ] {
+        assert!(a.get(POP, w).is_none());
+        assert!(a.get(ROCK, w).is_none());
+    }
+}
+
+#[test]
+fn figure1_shape_and_density() {
+    let e = music_incidence();
+    assert_eq!(e.shape(), (22, 31));
+    assert_eq!(e.nnz(), 185);
+}
+
+#[test]
+fn figure2_subarrays() {
+    let e = music_incidence();
+    let e1 = e.select_cols_str("Genre|A : Genre|Z");
+    let e2 = e.select_cols_str("Writer|A : Writer|Z");
+    assert_eq!(e1.shape(), (22, 3));
+    assert_eq!(e2.shape(), (22, 5));
+    // Selection preserves all 22 rows including 093012ktnA8's
+    // writer-less row.
+    assert_eq!(e2.row_keys().len(), 22);
+    assert_eq!(e2.csr().row_nnz(21), 0);
+}
+
+#[test]
+fn figure3_plus_times_exact_values() {
+    let pair = PlusTimes::<NN>::new();
+    let a = adjacency_array(&music_e1(), &music_e2(), &pair);
+    assert_figure_pattern(&a);
+    let expect = [
+        (EL, BR, 1.0),
+        (EL, CA, 7.0),
+        (EL, CC, 7.0),
+        (EL, JC, 2.0),
+        (EL, NJ, 1.0),
+        (POP, CA, 13.0),
+        (POP, CC, 13.0),
+        (POP, JC, 3.0),
+        (ROCK, CA, 6.0),
+        (ROCK, CC, 6.0),
+        (ROCK, JC, 1.0),
+    ];
+    for (g, w, v) in expect {
+        assert_eq!(a.get(g, w), Some(&nn(v)), "{} / {}", g, w);
+    }
+}
+
+#[test]
+fn figure3_lattice_pairs_all_ones() {
+    let e1 = music_e1();
+    let e2 = music_e2();
+    for (name, a) in [
+        ("max.×", adjacency_array(&e1, &e2, &MaxTimes::<NN>::new())),
+        ("min.×", adjacency_array(&e1, &e2, &MinTimes::<NN>::new())),
+        ("max.min", adjacency_array(&e1, &e2, &MaxMin::<NN>::new())),
+        ("min.max", adjacency_array(&e1, &e2, &MinMax::<NN>::new())),
+    ] {
+        assert_figure_pattern(&a);
+        for (_, _, v) in a.iter() {
+            assert_eq!(v, &nn(1.0), "{}: all values are 1", name);
+        }
+    }
+}
+
+#[test]
+fn figure3_additive_pairs_all_twos() {
+    let e1 = music_e1();
+    let e2 = music_e2();
+    let a = adjacency_array(&e1, &e2, &MinPlus::<NN>::new());
+    assert_figure_pattern(&a);
+    for (_, _, v) in a.iter() {
+        assert_eq!(v, &nn(2.0));
+    }
+
+    let tp = MaxPlus::<Tropical>::new();
+    let a = adjacency_array(
+        &e1.map_prune(&tp, |v| trop(v.get())),
+        &e2.map_prune(&tp, |v| trop(v.get())),
+        &tp,
+    );
+    assert_figure_pattern(&a);
+    for (_, _, v) in a.iter() {
+        assert_eq!(v, &trop(2.0));
+    }
+}
+
+#[test]
+fn figure5_plus_times_exact_values() {
+    let pair = PlusTimes::<NN>::new();
+    let a = adjacency_array(&music_e1_weighted(), &music_e2(), &pair);
+    assert_figure_pattern(&a);
+    let expect = [
+        (EL, BR, 1.0),
+        (EL, CA, 7.0),
+        (EL, CC, 7.0),
+        (EL, JC, 2.0),
+        (EL, NJ, 1.0),
+        (POP, CA, 26.0),
+        (POP, CC, 26.0),
+        (POP, JC, 6.0),
+        (ROCK, CA, 18.0),
+        (ROCK, CC, 18.0),
+        (ROCK, JC, 3.0),
+    ];
+    for (g, w, v) in expect {
+        assert_eq!(a.get(g, w), Some(&nn(v)), "{} / {}", g, w);
+    }
+}
+
+#[test]
+fn figure5_additive_pairs_row_plus_one() {
+    // max.+/min.+: Electronic 1+1=2, Pop 2+1=3, Rock 3+1=4.
+    let w = music_e1_weighted();
+    let e2 = music_e2();
+    let a = adjacency_array(&w, &e2, &MinPlus::<NN>::new());
+    assert_figure_pattern(&a);
+    for (g, expect) in [(EL, 2.0), (POP, 3.0), (ROCK, 4.0)] {
+        for writer in [CA, CC, JC] {
+            assert_eq!(a.get(g, writer), Some(&nn(expect)), "min.+ {}", g);
+        }
+    }
+
+    let tp = MaxPlus::<Tropical>::new();
+    let at = adjacency_array(
+        &w.map_prune(&tp, |v| trop(v.get())),
+        &e2.map_prune(&tp, |v| trop(v.get())),
+        &tp,
+    );
+    for (g, expect) in [(EL, 2.0), (POP, 3.0), (ROCK, 4.0)] {
+        for writer in [CA, CC, JC] {
+            assert_eq!(at.get(g, writer), Some(&trop(expect)), "max.+ {}", g);
+        }
+    }
+}
+
+#[test]
+fn figure5_max_min_unchanged_but_min_max_shows_weights() {
+    // The paper: "For the max.min semiring, Figure 3 and Figure 5 have
+    // the same adjacency array because E2 is unchanged."
+    let w = music_e1_weighted();
+    let e1 = music_e1();
+    let e2 = music_e2();
+    let pair = MaxMin::<NN>::new();
+    assert_eq!(
+        adjacency_array(&w, &e2, &pair),
+        adjacency_array(&e1, &e2, &pair)
+    );
+
+    // "In contrast, for the min.max semiring … the ⊗ operator selects
+    // the larger non-zero values from E1."
+    let a = adjacency_array(&w, &e2, &MinMax::<NN>::new());
+    for (g, expect) in [(EL, 1.0), (POP, 2.0), (ROCK, 3.0)] {
+        for writer in [CA, CC, JC] {
+            assert_eq!(a.get(g, writer), Some(&nn(expect)), "min.max {}", g);
+        }
+    }
+}
+
+#[test]
+fn figure5_multiplicative_pairs_show_weights() {
+    let w = music_e1_weighted();
+    let e2 = music_e2();
+    for (name, a) in [
+        ("max.×", adjacency_array(&w, &e2, &MaxTimes::<NN>::new())),
+        ("min.×", adjacency_array(&w, &e2, &MinTimes::<NN>::new())),
+    ] {
+        assert_figure_pattern(&a);
+        for (g, expect) in [(EL, 1.0), (POP, 2.0), (ROCK, 3.0)] {
+            for writer in [CA, CC, JC] {
+                assert_eq!(a.get(g, writer), Some(&nn(expect)), "{} {}", name, g);
+            }
+        }
+    }
+}
+
+#[test]
+fn figure_pipeline_from_raw_table() {
+    // The whole path: table → explode → select → transpose-multiply,
+    // without any of the pre-baked helpers.
+    let table = aarray_d4m::music::music_table();
+    let e = table.explode();
+    let e1 = e.select_cols_str("Genre|A : Genre|Z");
+    let e2 = e.select_cols_str("Writer|A : Writer|Z");
+    let pair = PlusTimes::<NN>::new();
+    let a = e1.transpose().matmul(&e2, &pair);
+    assert_eq!(a.get(POP, CA), Some(&nn(13.0)));
+    assert_eq!(a.row_keys().keys(), &[EL, POP, ROCK]);
+    assert_eq!(a.col_keys().keys(), &[BR, CA, CC, JC, NJ]);
+}
+
+#[test]
+fn unchecked_and_compile_time_paths_agree() {
+    let pair = PlusTimes::<NN>::new();
+    let e1 = music_e1();
+    let e2 = music_e2();
+    assert_eq!(
+        adjacency_array(&e1, &e2, &pair),
+        adjacency_array_unchecked(&e1, &e2, &pair)
+    );
+}

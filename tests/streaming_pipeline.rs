@@ -1,0 +1,88 @@
+//! End-to-end streaming scenario: edges arrive in batches, adjacency
+//! accumulates incrementally, and the analysis layer (metrics,
+//! components, PageRank, export) consumes the result — the "data
+//! processing pipeline" of the paper's abstract, at system level.
+
+use aarray_algebra::pairs::PlusTimes;
+use aarray_algebra::values::nat::Nat;
+use aarray_core::adjacency_array;
+use aarray_graph::components::component_count;
+use aarray_graph::export::{to_dot, DotOptions};
+use aarray_graph::generators::erdos_renyi;
+use aarray_graph::metrics::graph_metrics;
+use aarray_graph::pagerank::{pagerank, PageRankOptions};
+use aarray_graph::streaming::StreamingAdjacency;
+
+#[test]
+fn streamed_construction_feeds_the_analysis_stack() {
+    let pair = PlusTimes::<Nat>::new();
+
+    // Ground truth: one-shot construction from the full edge list.
+    let g = erdos_renyi(80, 400, 123);
+    let (eout, ein) = g.incidence_arrays(&pair);
+    let reference = adjacency_array(&eout, &ein, &pair);
+
+    // Stream the same edges in odd-sized batches.
+    let mut s = StreamingAdjacency::new(pair, 17);
+    for e in g.edges() {
+        s.push_edge(e.src.clone(), e.dst.clone(), e.wout, e.win);
+    }
+    let streamed = s.finish();
+    assert_eq!(streamed, reference);
+
+    // Analysis stack runs on the streamed result.
+    let m = graph_metrics(&streamed);
+    assert_eq!(m.vertices, 80);
+    assert!(m.edges <= 400);
+    assert_eq!(m.edges, streamed.nnz());
+
+    let comps = component_count(&streamed);
+    assert!((1..=80).contains(&comps));
+
+    let pr = pagerank(&streamed, |v| v.0 as f64, PageRankOptions::default());
+    let total: f64 = pr.values().sum();
+    assert!((total - 1.0).abs() < 1e-8);
+
+    let dot = to_dot(&streamed, &DotOptions { edge_labels: false, ..Default::default() });
+    assert_eq!(dot.matches(" -> ").count(), streamed.nnz());
+}
+
+#[test]
+fn streaming_batch_size_is_semantically_invisible() {
+    let pair = PlusTimes::<Nat>::new();
+    let g = erdos_renyi(30, 150, 7);
+    let mut results = Vec::new();
+    for batch in [1usize, 7, 64, 1000] {
+        let mut s = StreamingAdjacency::new(pair, batch);
+        for e in g.edges() {
+            s.push_edge(e.src.clone(), e.dst.clone(), e.wout, e.win);
+        }
+        results.push(s.finish());
+    }
+    for w in results.windows(2) {
+        assert_eq!(w[0], w[1]);
+    }
+}
+
+#[test]
+fn incremental_updates_compose_with_queries() {
+    // A growing graph queried between batches — the operational mode
+    // the paper's "database table → graph" pipeline implies.
+    let pair = PlusTimes::<Nat>::new();
+    let mut s = StreamingAdjacency::new(pair, 2);
+    s.push_edge("alice", "bob", Nat(1), Nat(1));
+    s.push_edge("bob", "carol", Nat(1), Nat(1));
+    s.flush();
+
+    s.push_edge("carol", "alice", Nat(1), Nat(1));
+    s.push_edge("alice", "bob", Nat(1), Nat(1)); // repeat: aggregates
+    let a = s.finish();
+
+    assert_eq!(a.get("alice", "bob"), Some(&Nat(2)));
+    assert_eq!(graph_metrics(&a).vertices, 3);
+    assert_eq!(component_count(&a), 1);
+    // Strongest link via query API.
+    let top = a.row_argmax();
+    assert_eq!(top[0].0, "alice");
+    assert_eq!(top[0].2, Nat(2));
+}
