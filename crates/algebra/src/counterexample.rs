@@ -114,7 +114,10 @@ pub fn eval_gadget<V: Value>(
         for b in 0..gadget.n_in {
             let mut acc: Option<V> = None;
             for k in 0..gadget.n_edges {
-                let term = times(&eout_dense[k * gadget.n_out + a], &ein_dense[k * gadget.n_in + b]);
+                let term = times(
+                    &eout_dense[k * gadget.n_out + a],
+                    &ein_dense[k * gadget.n_in + b],
+                );
                 acc = Some(match acc {
                     None => term,
                     Some(prev) => plus(&prev, &term),
@@ -186,7 +189,12 @@ mod tests {
         let pair = z6_pair();
         // 2 + 4 ≡ 0 (mod 6).
         let g = zero_sum_gadget(Z6::new(2), Z6::new(4), pair.one());
-        let prod = eval_gadget(&g, &pair.zero(), |a, b| pair.plus(a, b), |a, b| pair.times(a, b));
+        let prod = eval_gadget(
+            &g,
+            &pair.zero(),
+            |a, b| pair.plus(a, b),
+            |a, b| pair.times(a, b),
+        );
         assert_eq!(
             classify_pattern(&g, &prod, &pair.zero()),
             PatternVerdict::MissingEdge { at: (0, 0) }
@@ -198,7 +206,12 @@ mod tests {
         let pair = z6_pair();
         // 2 × 3 ≡ 0 (mod 6).
         let g = zero_divisor_gadget(Z6::new(2), Z6::new(3));
-        let prod = eval_gadget(&g, &pair.zero(), |a, b| pair.plus(a, b), |a, b| pair.times(a, b));
+        let prod = eval_gadget(
+            &g,
+            &pair.zero(),
+            |a, b| pair.plus(a, b),
+            |a, b| pair.times(a, b),
+        );
         assert_eq!(
             classify_pattern(&g, &prod, &pair.zero()),
             PatternVerdict::MissingEdge { at: (0, 0) }

@@ -1,0 +1,131 @@
+//! Object-safe `⊕.⊗` pairs, for kernels that execute **several**
+//! algebras in one traversal.
+//!
+//! [`crate::OpPair`] is a zero-sized, fully monomorphized type: ideal
+//! for a kernel specialized to one algebra, but unusable for a *fused*
+//! kernel that needs a runtime collection of heterogeneous pairs (each
+//! `OpPair<V, A, M>` is a distinct type). [`DynOpPair`] is the
+//! object-safe face of the same contract — the fused multi-semiring
+//! SpGEMM in `aarray-sparse` holds `&[&dyn DynOpPair<V>]` and feeds
+//! every accumulator during a single pass over the operands.
+//!
+//! The dynamic dispatch cost is paid once per `⊕`/`⊗` application; the
+//! fused kernel amortizes it against the saved index traffic of K−1
+//! avoided traversals. As everywhere in this workspace, **no law
+//! beyond closure and identity is assumed** — callers must fold
+//! left-associated over ascending inner keys so that results stay
+//! bit-identical to the monomorphized kernels for arbitrary
+//! non-associative, non-commutative operations.
+
+use crate::op::{BinaryOp, OpPair};
+use crate::value::Value;
+
+/// Object-safe view of an `⊕.⊗` operator pair over `V`.
+///
+/// Blanket-implemented for every [`OpPair`], so any statically-typed
+/// pair can be borrowed as `&dyn DynOpPair<V>`:
+///
+/// ```
+/// use aarray_algebra::dynpair::DynOpPair;
+/// use aarray_algebra::pairs::{MaxTimes, PlusTimes};
+/// use aarray_algebra::values::nat::Nat;
+///
+/// let plus_times = PlusTimes::<Nat>::new();
+/// let max_times = MaxTimes::<Nat>::new();
+/// let pairs: [&dyn DynOpPair<Nat>; 2] = [&plus_times, &max_times];
+/// assert_eq!(pairs[0].name(), "+.×");
+/// assert_eq!(pairs[1].plus(&Nat(2), &Nat(3)), Nat(3));
+/// ```
+pub trait DynOpPair<V: Value>: Send + Sync {
+    /// `a ⊕ b`.
+    fn plus(&self, a: &V, b: &V) -> V;
+
+    /// `a ⊗ b`.
+    fn times(&self, a: &V, b: &V) -> V;
+
+    /// The identity of `⊕` — the paper's `0`, the implicit value of
+    /// unstored entries.
+    fn zero(&self) -> V;
+
+    /// The identity of `⊗` — the paper's `1`.
+    fn one(&self) -> V;
+
+    /// Whether `v` is the pair's zero. Kernels must prune entries for
+    /// which this holds, preserving the implicit-zero invariant.
+    fn is_zero(&self, v: &V) -> bool;
+
+    /// The pair's display name in `⊕.⊗` notation, e.g. `"max.min"`.
+    fn name(&self) -> String;
+}
+
+impl<V: Value, A: BinaryOp<V>, M: BinaryOp<V>> DynOpPair<V> for OpPair<V, A, M> {
+    fn plus(&self, a: &V, b: &V) -> V {
+        OpPair::plus(self, a, b)
+    }
+
+    fn times(&self, a: &V, b: &V) -> V {
+        OpPair::times(self, a, b)
+    }
+
+    fn zero(&self) -> V {
+        OpPair::zero(self)
+    }
+
+    fn one(&self) -> V {
+        OpPair::one(self)
+    }
+
+    fn is_zero(&self, v: &V) -> bool {
+        OpPair::is_zero(self, v)
+    }
+
+    fn name(&self) -> String {
+        OpPair::name(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::{MaxMin, MaxPlus, PlusTimes};
+    use crate::values::nat::Nat;
+    use crate::values::tropical::Tropical;
+
+    #[test]
+    fn dyn_pair_agrees_with_static_pair() {
+        let stat = PlusTimes::<Nat>::new();
+        let dyn_pair: &dyn DynOpPair<Nat> = &stat;
+        for a in [0u64, 1, 2, 7] {
+            for b in [0u64, 1, 3, 9] {
+                let (a, b) = (Nat(a), Nat(b));
+                assert_eq!(dyn_pair.plus(&a, &b), stat.plus(&a, &b));
+                assert_eq!(dyn_pair.times(&a, &b), stat.times(&a, &b));
+                assert_eq!(dyn_pair.is_zero(&a), stat.is_zero(&a));
+            }
+        }
+        assert_eq!(dyn_pair.zero(), stat.zero());
+        assert_eq!(dyn_pair.one(), stat.one());
+        assert_eq!(dyn_pair.name(), stat.name());
+    }
+
+    #[test]
+    fn heterogeneous_pairs_share_one_slice() {
+        let max_min = MaxMin::<Nat>::new();
+        let plus_times = PlusTimes::<Nat>::new();
+        let pairs: Vec<&dyn DynOpPair<Nat>> = vec![&max_min, &plus_times];
+        assert_eq!(pairs[0].name(), "max.min");
+        assert_eq!(pairs[1].name(), "+.×");
+        // Same operands, different algebras, one slice.
+        let (a, b) = (Nat(4), Nat(6));
+        assert_eq!(pairs[0].times(&a, &b), Nat(4));
+        assert_eq!(pairs[1].times(&a, &b), Nat(24));
+    }
+
+    #[test]
+    fn tropical_zero_is_negative_infinity() {
+        let mp = MaxPlus::<Tropical>::new();
+        let dyn_pair: &dyn DynOpPair<Tropical> = &mp;
+        assert!(dyn_pair.is_zero(&Tropical::NEG_INF));
+        assert!(!dyn_pair.is_zero(&Tropical::new(0.0).unwrap()));
+    }
+}

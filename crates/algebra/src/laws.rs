@@ -109,12 +109,18 @@ where
                 let left = pair.times(a, &bc);
                 let right = pair.plus(&pair.times(a, b), &pair.times(a, c));
                 if left != right {
-                    return Some(DistWitness { triple: (a.clone(), b.clone(), c.clone()), side: "left" });
+                    return Some(DistWitness {
+                        triple: (a.clone(), b.clone(), c.clone()),
+                        side: "left",
+                    });
                 }
                 let left2 = pair.times(&bc, a);
                 let right2 = pair.plus(&pair.times(b, a), &pair.times(c, a));
                 if left2 != right2 {
-                    return Some(DistWitness { triple: (a.clone(), b.clone(), c.clone()), side: "right" });
+                    return Some(DistWitness {
+                        triple: (a.clone(), b.clone(), c.clone()),
+                        side: "right",
+                    });
                 }
             }
         }

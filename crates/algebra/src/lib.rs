@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod counterexample;
+pub mod dynpair;
 pub mod finite;
 pub mod laws;
 pub mod op;
@@ -52,21 +53,25 @@ mod serde_impls;
 pub mod value;
 pub mod values;
 
+pub use dynpair::DynOpPair;
 pub use finite::FiniteValueSet;
 pub use op::{
-    AdjacencyCompatible, AnnihilatingZeroPair, AssociativeOp, BinaryOp, CommutativeOp, OpPair,
-    NoZeroDivisorsPair, ZeroSumFreePair,
+    AdjacencyCompatible, AnnihilatingZeroPair, AssociativeOp, BinaryOp, CommutativeOp,
+    NoZeroDivisorsPair, OpPair, ZeroSumFreePair,
 };
 pub use value::Value;
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
+    pub use crate::dynpair::DynOpPair;
     pub use crate::finite::FiniteValueSet;
     pub use crate::op::{
         AdjacencyCompatible, AnnihilatingZeroPair, AssociativeOp, BinaryOp, CommutativeOp,
         NoZeroDivisorsPair, OpPair, ZeroSumFreePair,
     };
-    pub use crate::ops::{And, Intersect, Left, Max, Midpoint, Min, Or, Plus, Right, Times, TimesTop, Union};
+    pub use crate::ops::{
+        And, Intersect, Left, Max, Midpoint, Min, Or, Plus, Right, Times, TimesTop, Union,
+    };
     pub use crate::pairs::*;
     pub use crate::value::Value;
     pub use crate::values::bstr::BStr;

@@ -66,7 +66,11 @@ pub struct OpPair<V: Value, A: BinaryOp<V>, M: BinaryOp<V>> {
 impl<V: Value, A: BinaryOp<V>, M: BinaryOp<V>> OpPair<V, A, M> {
     /// Construct the pair (both ops are zero-sized, so this is free).
     pub fn new() -> Self {
-        OpPair { add: A::default(), mul: M::default(), _v: PhantomData }
+        OpPair {
+            add: A::default(),
+            mul: M::default(),
+            _v: PhantomData,
+        }
     }
 
     /// The paper's `0`: identity of `⊕`, the implicit value of unstored

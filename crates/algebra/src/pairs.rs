@@ -227,13 +227,16 @@ mod tests {
     fn unmarked_pairs_are_refuted_with_witnesses() {
         assert!(!check_pair_exhaustive(&XorAnd::new()).adjacency_compatible());
         assert!(!check_pair_exhaustive(&PlusTimes::<Zn<6>>::new()).adjacency_compatible());
-        assert!(!check_pair_exhaustive(&UnionIntersect::<PowerSet<3>>::new())
-            .adjacency_compatible());
-        assert!(!check_pair_exhaustive(&SymDiffIntersect::<PowerSet<3>>::new())
-            .adjacency_compatible());
+        assert!(
+            !check_pair_exhaustive(&UnionIntersect::<PowerSet<3>>::new()).adjacency_compatible()
+        );
+        assert!(
+            !check_pair_exhaustive(&SymDiffIntersect::<PowerSet<3>>::new()).adjacency_compatible()
+        );
         assert!(!check_pair_sampled(&PlusTimes::<i64>::new(), 300, 15).adjacency_compatible());
-        assert!(!check_pair_sampled(&UnionIntersect::<WordSet>::new(), 300, 16)
-            .adjacency_compatible());
+        assert!(
+            !check_pair_sampled(&UnionIntersect::<WordSet>::new(), 300, 16).adjacency_compatible()
+        );
         assert!(!check_pair_sampled(&MinPlus::<Nat>::new(), 300, 17).adjacency_compatible());
         assert!(!check_pair_sampled(&MinTimes::<Nat>::new(), 300, 18).adjacency_compatible());
     }

@@ -54,7 +54,11 @@ impl<V: Value + fmt::Display> fmt::Display for Witness<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match (&self.condition, &self.b) {
             (Condition::ZeroSumFree, Some(b)) => {
-                write!(f, "{} ⊕ {} = {} (zero, with nonzero operands)", self.a, b, self.result)
+                write!(
+                    f,
+                    "{} ⊕ {} = {} (zero, with nonzero operands)",
+                    self.a, b, self.result
+                )
             }
             (Condition::NoZeroDivisors, Some(b)) => {
                 write!(f, "{} ⊗ {} = {} (zero divisors)", self.a, b, self.result)
@@ -107,19 +111,35 @@ impl<V: Value> PropertyReport<V> {
 
 impl<V: Value + fmt::Display> fmt::Display for PropertyReport<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let kind = if self.exhaustive { "exhaustive" } else { "sampled" };
+        let kind = if self.exhaustive {
+            "exhaustive"
+        } else {
+            "sampled"
+        };
         writeln!(f, "pair {} ({} check):", self.pair_name, kind)?;
         let line = |r: &Result<(), Witness<V>>| match r {
             Ok(()) => "holds".to_string(),
             Err(w) => format!("FAILS: {}", w),
         };
         writeln!(f, "  (a) zero-sum-free:   {}", line(&self.zero_sum_free))?;
-        writeln!(f, "  (b) no zero divisors: {}", line(&self.no_zero_divisors))?;
-        writeln!(f, "  (c) 0 annihilates ⊗:  {}", line(&self.annihilating_zero))?;
+        writeln!(
+            f,
+            "  (b) no zero divisors: {}",
+            line(&self.no_zero_divisors)
+        )?;
+        writeln!(
+            f,
+            "  (c) 0 annihilates ⊗:  {}",
+            line(&self.annihilating_zero)
+        )?;
         write!(
             f,
             "  ⇒ EᵀoutEin {} guaranteed to be an adjacency array",
-            if self.adjacency_compatible() { "IS" } else { "is NOT" }
+            if self.adjacency_compatible() {
+                "IS"
+            } else {
+                "is NOT"
+            }
         )
     }
 }
@@ -150,9 +170,19 @@ where
             let left = pair.times(a, &zero);
             let right = pair.times(&zero, a);
             if !pair.is_zero(&left) {
-                ann = Err(Witness { condition: Condition::AnnihilatingZero, a: a.clone(), b: None, result: left });
+                ann = Err(Witness {
+                    condition: Condition::AnnihilatingZero,
+                    a: a.clone(),
+                    b: None,
+                    result: left,
+                });
             } else if !pair.is_zero(&right) {
-                ann = Err(Witness { condition: Condition::AnnihilatingZero, a: a.clone(), b: None, result: right });
+                ann = Err(Witness {
+                    condition: Condition::AnnihilatingZero,
+                    a: a.clone(),
+                    b: None,
+                    result: right,
+                });
             }
         }
         for b in &domain {
@@ -303,7 +333,9 @@ mod tests {
 
     #[test]
     fn nn_pairs_pass_sampled_checks() {
-        assert!(check_pair_sampled(&OpPair::<NN, Plus, Times>::new(), 200, 1).adjacency_compatible());
+        assert!(
+            check_pair_sampled(&OpPair::<NN, Plus, Times>::new(), 200, 1).adjacency_compatible()
+        );
         assert!(check_pair_sampled(&OpPair::<NN, Max, Min>::new(), 200, 2).adjacency_compatible());
         assert!(check_pair_sampled(&OpPair::<NN, Min, Max>::new(), 200, 3).adjacency_compatible());
         assert!(check_pair_sampled(&OpPair::<NN, Min, Plus>::new(), 200, 4).adjacency_compatible());
@@ -314,10 +346,7 @@ mod tests {
         // Saturating ℕ is NOT compliant for min.+: zero is ⊤ = u64::MAX
         // and two huge finite values saturate onto it.
         let pair: OpPair<Nat, Min, Plus> = OpPair::new();
-        let report = check_pair_on(
-            &pair,
-            &[Nat(0), Nat(1), Nat(u64::MAX - 1), Nat(u64::MAX)],
-        );
+        let report = check_pair_on(&pair, &[Nat(0), Nat(1), Nat(u64::MAX - 1), Nat(u64::MAX)]);
         assert!(report.no_zero_divisors.is_err());
     }
 

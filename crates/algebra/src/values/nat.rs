@@ -183,7 +183,7 @@ impl RandomValue for Nat {
             0..=1 => Nat(0),
             2..=5 => Nat(rng.gen_range(1..8)),
             6..=7 => Nat(rng.gen_range(1..1_000_000)),
-            8 => Nat(u64::MAX - rng.gen_range(0..4)),
+            8 => Nat(u64::MAX - rng.gen_range(0..4u64)),
             _ => Nat(rng.gen()),
         }
     }

@@ -92,9 +92,7 @@ impl BinaryOp<WordSet> for Union {
     fn apply(&self, a: &WordSet, b: &WordSet) -> WordSet {
         match (a, b) {
             (WordSet::All, _) | (_, WordSet::All) => WordSet::All,
-            (WordSet::Some(x), WordSet::Some(y)) => {
-                WordSet::Some(x.union(y).cloned().collect())
-            }
+            (WordSet::Some(x), WordSet::Some(y)) => WordSet::Some(x.union(y).cloned().collect()),
         }
     }
     fn identity(&self) -> WordSet {
@@ -122,7 +120,9 @@ impl AssociativeOp<WordSet> for Intersect {}
 impl CommutativeOp<WordSet> for Union {}
 impl CommutativeOp<WordSet> for Intersect {}
 
-const VOCAB: &[&str] = &["graph", "array", "matrix", "edge", "vertex", "sparse", "music"];
+const VOCAB: &[&str] = &[
+    "graph", "array", "matrix", "edge", "vertex", "sparse", "music",
+];
 
 impl RandomValue for WordSet {
     fn random(rng: &mut dyn rand::RngCore) -> Self {

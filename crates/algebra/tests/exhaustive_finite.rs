@@ -7,7 +7,9 @@
 
 use aarray_algebra::laws::{laws_exhaustive, profile_pair};
 use aarray_algebra::ops::{And, Intersect, Max, Min, Or, SymDiff, Union, Xor};
-use aarray_algebra::pairs::{MaxMin, MinMax, OrAnd, PlusTimes, SymDiffIntersect, UnionIntersect, XorAnd};
+use aarray_algebra::pairs::{
+    MaxMin, MinMax, OrAnd, PlusTimes, SymDiffIntersect, UnionIntersect, XorAnd,
+};
 use aarray_algebra::properties::check_pair_exhaustive;
 use aarray_algebra::values::chain::Chain;
 use aarray_algebra::values::powerset::PowerSet;
@@ -17,7 +19,9 @@ use aarray_algebra::{FiniteValueSet, OpPair};
 #[test]
 fn boolean_ops_law_table() {
     let or = laws_exhaustive::<bool, _>(&Or);
-    assert!(or.associative.is_none() && or.commutative.is_none() && or.identity_violation.is_none());
+    assert!(
+        or.associative.is_none() && or.commutative.is_none() && or.identity_violation.is_none()
+    );
     let and = laws_exhaustive::<bool, _>(&And);
     assert!(and.associative.is_none() && and.commutative.is_none());
     let xor = laws_exhaustive::<bool, _>(&Xor);
@@ -112,8 +116,14 @@ fn xor_and_is_gf2() {
 #[test]
 fn or_and_is_the_unique_compliant_boolean_pair() {
     for (name, compatible) in [
-        ("∨.∧", check_pair_exhaustive(&OrAnd::new()).adjacency_compatible()),
-        ("⊻.∧", check_pair_exhaustive(&XorAnd::new()).adjacency_compatible()),
+        (
+            "∨.∧",
+            check_pair_exhaustive(&OrAnd::new()).adjacency_compatible(),
+        ),
+        (
+            "⊻.∧",
+            check_pair_exhaustive(&XorAnd::new()).adjacency_compatible(),
+        ),
         (
             "∨.⊻",
             check_pair_exhaustive(&OpPair::<bool, Or, Xor>::new()).adjacency_compatible(),

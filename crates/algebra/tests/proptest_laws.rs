@@ -32,7 +32,7 @@ fn nn_vec() -> impl Strategy<Value = Vec<NN>> {
         prop_oneof![
             Just(0.0f64),
             Just(f64::INFINITY),
-            (0.001f64..1e6),
+            0.001f64..1e6,
             (1u32..10).prop_map(|v| v as f64),
         ]
         .prop_map(|x| NN::new(x).unwrap()),
@@ -164,7 +164,10 @@ fn exhaustive_and_sampled_agree_on_small_finite_sets() {
     let pair = PlusTimes::<Zn<8>>::new();
     let exhaustive = check_pair_exhaustive(&pair);
     let manual = check_pair_on(&pair, &Zn::<8>::enumerate_all());
-    assert_eq!(exhaustive.adjacency_compatible(), manual.adjacency_compatible());
+    assert_eq!(
+        exhaustive.adjacency_compatible(),
+        manual.adjacency_compatible()
+    );
     assert_eq!(
         exhaustive.zero_sum_free.is_ok(),
         manual.zero_sum_free.is_ok()

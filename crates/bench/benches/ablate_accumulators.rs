@@ -25,9 +25,7 @@ fn bench_accumulators(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("{:?}", acc), format!("n{}_m{}", n, m)),
                 &(&eout_t, &ein),
-                |b, (eout_t, ein)| {
-                    b.iter(|| eout_t.matmul_with(ein, &pair, Some(acc)))
-                },
+                |b, (eout_t, ein)| b.iter(|| eout_t.matmul_with(ein, &pair, Some(acc))),
             );
         }
     }

@@ -13,7 +13,11 @@ fn bench_parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_parallel");
     group.sample_size(20);
 
-    for &(n, m) in &[(1_000usize, 8_000usize), (10_000, 80_000), (50_000, 400_000)] {
+    for &(n, m) in &[
+        (1_000usize, 8_000usize),
+        (10_000, 80_000),
+        (50_000, 400_000),
+    ] {
         let g = erdos_renyi(n, m, 21);
         let (eout, ein) = g.incidence_arrays(&pair);
         let a = eout.csr().transpose();

@@ -48,14 +48,19 @@ fn bench_baseline(c: &mut Criterion) {
     group.bench_function("spgemm_rmat12_max_min", |b| {
         b.iter(|| adjacency_array(&eout, &ein, &mm))
     });
-    group.bench_function("direct_rmat12_max_min", |b| b.iter(|| direct_adjacency(&g, &mm)));
+    group.bench_function("direct_rmat12_max_min", |b| {
+        b.iter(|| direct_adjacency(&g, &mm))
+    });
 
     group.finish();
 
     // Equality cross-check outside timing.
     let g = erdos_renyi(500, 4_000, 23);
     let (eout, ein) = g.incidence_arrays(&pair);
-    assert_eq!(adjacency_array(&eout, &ein, &pair), direct_adjacency(&g, &pair));
+    assert_eq!(
+        adjacency_array(&eout, &ein, &pair),
+        direct_adjacency(&g, &pair)
+    );
 }
 
 criterion_group!(benches, bench_baseline);

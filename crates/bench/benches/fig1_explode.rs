@@ -7,7 +7,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// A synthetic table with the music table's shape, `n` rows.
 fn synthetic_table(n: usize) -> Table {
-    let mut t = Table::new(["Artist", "Date", "Genre", "Label", "Release", "Type", "Writer"]);
+    let mut t = Table::new([
+        "Artist", "Date", "Genre", "Label", "Release", "Type", "Writer",
+    ]);
     for i in 0..n {
         t.push_row(
             format!("track{:07}", i),
@@ -18,7 +20,10 @@ fn synthetic_table(n: usize) -> Table {
                 vec![format!("Label{}", i % 20)],
                 vec![format!("Release{}", i % 200)],
                 vec!["Single".to_string()],
-                vec![format!("Writer{}", i % 100), format!("Writer{}", (i + 7) % 100)],
+                vec![
+                    format!("Writer{}", i % 100),
+                    format!("Writer{}", (i + 7) % 100),
+                ],
             ],
         );
     }

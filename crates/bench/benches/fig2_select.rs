@@ -23,9 +23,11 @@ fn bench_select(c: &mut Criterion) {
     // Larger exploded incidence arrays, Figure 1's shape at scale.
     for tracks in [1_000usize, 10_000] {
         let e = synthetic_music_table(tracks, 8, 100, 42).explode();
-        group.bench_with_input(BenchmarkId::new("synthetic_genre_range", tracks), &e, |b, e| {
-            b.iter(|| e.select_cols_str("Genre|A : Genre|Z"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("synthetic_genre_range", tracks),
+            &e,
+            |b, e| b.iter(|| e.select_cols_str("Genre|A : Genre|Z")),
+        );
         group.bench_with_input(BenchmarkId::new("synthetic_prefix", tracks), &e, |b, e| {
             b.iter(|| e.select_cols_str("Writer|*"))
         });

@@ -8,8 +8,8 @@
 use aarray_algebra::pairs::{MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, PlusTimes};
 use aarray_algebra::values::nn::NN;
 use aarray_algebra::values::tropical::{trop, Tropical};
-use aarray_core::{adjacency_array_unchecked, AArray};
 use aarray_bench::synthetic_e1_e2;
+use aarray_core::{adjacency_array_unchecked, AArray};
 use aarray_d4m::music::{music_e1, music_e2};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 

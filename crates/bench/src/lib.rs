@@ -16,10 +16,14 @@ use aarray_d4m::Table;
 /// `genres`) and 1–3 writers (of `writers`), plus the other Figure 1
 /// fields. Deterministic in `seed`.
 pub fn synthetic_music_table(n: usize, genres: usize, writers: usize, seed: u64) -> Table {
-    let mut t = Table::new(["Artist", "Date", "Genre", "Label", "Release", "Type", "Writer"]);
+    let mut t = Table::new([
+        "Artist", "Date", "Genre", "Label", "Release", "Type", "Writer",
+    ]);
     let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let mut next = |m: usize| {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((x >> 33) as usize) % m
     };
     for i in 0..n {
@@ -50,7 +54,12 @@ pub fn synthetic_music_table(n: usize, genres: usize, writers: usize, seed: u64)
 /// The Figure 2 analogue at scale: `(E1, E2)` — track×genre and
 /// track×writer incidence arrays selected from the exploded synthetic
 /// table.
-pub fn synthetic_e1_e2(n: usize, genres: usize, writers: usize, seed: u64) -> (AArray<NN>, AArray<NN>) {
+pub fn synthetic_e1_e2(
+    n: usize,
+    genres: usize,
+    writers: usize,
+    seed: u64,
+) -> (AArray<NN>, AArray<NN>) {
     let e = synthetic_music_table(n, genres, writers, seed).explode();
     let e1 = e.select_cols_str("Genre|*");
     let e2 = e.select_cols_str("Writer|*");

@@ -43,7 +43,11 @@ impl<V: Value> AArray<V> {
             let ci = col_keys.index_of(&c).expect("col key interned");
             coo.push(ri, ci, v);
         }
-        AArray { row_keys, col_keys, data: coo.into_csr(pair) }
+        AArray {
+            row_keys,
+            col_keys,
+            data: coo.into_csr(pair),
+        }
     }
 
     /// Build from explicit key sets and triples (keys not present in
@@ -61,24 +65,40 @@ impl<V: Value> AArray<V> {
     {
         let mut coo = Coo::new(row_keys.len(), col_keys.len());
         for (r, c, v) in triples {
-            let ri = row_keys.index_of(&r).unwrap_or_else(|| panic!("unknown row key {:?}", r));
-            let ci = col_keys.index_of(&c).unwrap_or_else(|| panic!("unknown col key {:?}", c));
+            let ri = row_keys
+                .index_of(&r)
+                .unwrap_or_else(|| panic!("unknown row key {:?}", r));
+            let ci = col_keys
+                .index_of(&c)
+                .unwrap_or_else(|| panic!("unknown col key {:?}", c));
             coo.push(ri, ci, v);
         }
-        AArray { row_keys, col_keys, data: coo.into_csr(pair) }
+        AArray {
+            row_keys,
+            col_keys,
+            data: coo.into_csr(pair),
+        }
     }
 
     /// Assemble from parts (dimensions must agree).
     pub fn from_parts(row_keys: KeySet, col_keys: KeySet, data: Csr<V>) -> Self {
         assert_eq!(row_keys.len(), data.nrows(), "row keys vs data rows");
         assert_eq!(col_keys.len(), data.ncols(), "col keys vs data cols");
-        AArray { row_keys, col_keys, data }
+        AArray {
+            row_keys,
+            col_keys,
+            data,
+        }
     }
 
     /// An array with the given keys and no stored entries.
     pub fn empty(row_keys: KeySet, col_keys: KeySet) -> Self {
         let data = Csr::empty(row_keys.len(), col_keys.len());
-        AArray { row_keys, col_keys, data }
+        AArray {
+            row_keys,
+            col_keys,
+            data,
+        }
     }
 
     /// The row key set `K1`.
@@ -242,10 +262,7 @@ mod tests {
 
     #[test]
     fn duplicate_triples_combine() {
-        let a = AArray::from_triples(
-            &pt(),
-            [("r", "c", Nat(1)), ("r", "c", Nat(2))],
-        );
+        let a = AArray::from_triples(&pt(), [("r", "c", Nat(1)), ("r", "c", Nat(2))]);
         assert_eq!(a.get("r", "c"), Some(&Nat(3)));
         assert_eq!(a.nnz(), 1);
     }
@@ -261,7 +278,10 @@ mod tests {
     #[test]
     fn iteration_in_key_order() {
         let a = sample();
-        let items: Vec<_> = a.iter().map(|(r, c, v)| (r.to_string(), c.to_string(), v.0)).collect();
+        let items: Vec<_> = a
+            .iter()
+            .map(|(r, c, v)| (r.to_string(), c.to_string(), v.0))
+            .collect();
         assert_eq!(
             items,
             vec![
@@ -275,11 +295,17 @@ mod tests {
     #[test]
     fn row_and_col_entry_accessors() {
         let a = sample();
-        let r1: Vec<(String, u64)> =
-            a.row_entries("r1").into_iter().map(|(k, v)| (k.to_string(), v.0)).collect();
+        let r1: Vec<(String, u64)> = a
+            .row_entries("r1")
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v.0))
+            .collect();
         assert_eq!(r1, vec![("cA".to_string(), 1), ("cB".to_string(), 2)]);
-        let cb: Vec<(String, u64)> =
-            a.col_entries("cB").into_iter().map(|(k, v)| (k.to_string(), v.0)).collect();
+        let cb: Vec<(String, u64)> = a
+            .col_entries("cB")
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v.0))
+            .collect();
         assert_eq!(cb, vec![("r1".to_string(), 2), ("r2".to_string(), 4)]);
         assert!(a.row_entries("nope").is_empty());
         assert!(a.col_entries("nope").is_empty());

@@ -98,7 +98,11 @@ mod tests {
         let assembled = batch1.concat_rows(&batch2, &p);
         let whole = AArray::from_triples(
             &p,
-            [("e1", "a", Nat(1)), ("e2", "b", Nat(1)), ("e3", "a", Nat(1))],
+            [
+                ("e1", "a", Nat(1)),
+                ("e2", "b", Nat(1)),
+                ("e3", "a", Nat(1)),
+            ],
         );
         assert_eq!(assembled, whole);
     }

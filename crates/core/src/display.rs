@@ -36,7 +36,11 @@ impl<V: Value + Display> AArray<V> {
             .iter()
             .enumerate()
             .map(|(c, k)| {
-                let data_w = cells.iter().map(|row| row[c].chars().count()).max().unwrap_or(0);
+                let data_w = cells
+                    .iter()
+                    .map(|row| row[c].chars().count())
+                    .max()
+                    .unwrap_or(0);
                 k.chars().count().max(data_w)
             })
             .collect();
@@ -104,7 +108,12 @@ mod tests {
         assert_eq!(lines.len(), 3);
         // All lines render the same display width.
         let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{:?}\n{}", widths, g);
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "{:?}\n{}",
+            widths,
+            g
+        );
     }
 
     #[test]
@@ -132,6 +141,11 @@ mod tests {
         );
         let g = a.to_grid();
         let widths: Vec<usize> = g.lines().map(|l| l.chars().count()).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{:?}\n{}", widths, g);
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "{:?}\n{}",
+            widths,
+            g
+        );
     }
 }

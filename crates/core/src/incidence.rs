@@ -15,8 +15,9 @@
 //!   the necessity direction (watch the pattern break).
 
 use crate::array::AArray;
+use crate::plan::MatmulPlan;
 use aarray_algebra::properties::{check_pair_on, PropertyReport, Witness};
-use aarray_algebra::{AdjacencyCompatible, BinaryOp, OpPair, Value};
+use aarray_algebra::{AdjacencyCompatible, BinaryOp, DynOpPair, OpPair, Value};
 use std::fmt;
 
 /// `A = Eᵀout ⊕.⊗ Ein` under a pair satisfying Theorem II.1.
@@ -48,7 +49,35 @@ where
     M: BinaryOp<V>,
     OpPair<V, A, M>: AdjacencyCompatible,
 {
-    eout.transpose().matmul(ein, pair)
+    adjacency_plan(eout, ein).execute(pair)
+}
+
+/// The reusable [`MatmulPlan`] for `Eᵀout ⊕.⊗ Ein`: the transpose of
+/// `eout`, the key alignment, and (lazily) the symbolic product
+/// pattern are computed once, after which the plan can be executed
+/// under any number of `⊕.⊗` pairs — Figure 3's "one pattern, seven
+/// algebras" workload as a first-class object. Every `adjacency_array*`
+/// entry point in this module routes through such a plan.
+///
+/// Compliance is *not* checked here — the plan is algebra-agnostic.
+/// Check each pair at its trust level ([`AdjacencyCompatible`] bound,
+/// [`adjacency_array_checked`], …) or use the result pattern verifier.
+pub fn adjacency_plan<'a, V: Value>(eout: &AArray<V>, ein: &'a AArray<V>) -> MatmulPlan<'a, V> {
+    eout.transpose_matmul_plan(ein)
+}
+
+/// `Eᵀout ⊕.⊗ Ein` under `K` heterogeneous pairs at once, via one plan
+/// and one fused numeric traversal (`aarray_sparse::spgemm_multi`).
+/// Output `p` is bit-identical to
+/// `adjacency_array_unchecked(eout, ein, pairs[p])` — and carries the
+/// same **no-guarantee** caveat: each pair's compliance with Theorem
+/// II.1 is the caller's business.
+pub fn adjacency_arrays_multi<V: Value>(
+    eout: &AArray<V>,
+    ein: &AArray<V>,
+    pairs: &[&dyn DynOpPair<V>],
+) -> Vec<AArray<V>> {
+    adjacency_plan(eout, ein).execute_all(pairs)
 }
 
 /// `Eᵀin ⊕.⊗ Eout` — by Corollary III.1, the adjacency array of the
@@ -64,7 +93,7 @@ where
     M: BinaryOp<V>,
     OpPair<V, A, M>: AdjacencyCompatible,
 {
-    ein.transpose().matmul(eout, pair)
+    adjacency_plan(ein, eout).execute(pair)
 }
 
 /// The same product with **no** compliance guarantee. The returned
@@ -81,7 +110,7 @@ where
     A: BinaryOp<V>,
     M: BinaryOp<V>,
 {
-    eout.transpose().matmul(ein, pair)
+    adjacency_plan(eout, ein).execute(pair)
 }
 
 /// Why [`adjacency_array_checked`] refused to build.
@@ -242,11 +271,19 @@ mod tests {
         // e1: a→b, e2: a→c, e3: b→c.
         let eout = AArray::from_triples(
             &pair,
-            [("e1", "a", Nat(1)), ("e2", "a", Nat(1)), ("e3", "b", Nat(1))],
+            [
+                ("e1", "a", Nat(1)),
+                ("e2", "a", Nat(1)),
+                ("e3", "b", Nat(1)),
+            ],
         );
         let ein = AArray::from_triples(
             &pair,
-            [("e1", "b", Nat(1)), ("e2", "c", Nat(1)), ("e3", "c", Nat(1))],
+            [
+                ("e1", "b", Nat(1)),
+                ("e2", "c", Nat(1)),
+                ("e3", "c", Nat(1)),
+            ],
         );
         (eout, ein, pair)
     }
@@ -308,8 +345,7 @@ mod tests {
     #[test]
     fn checked_union_intersect_rejects_disjoint_data() {
         let pair = UnionIntersect::<WordSet>::new();
-        let eout =
-            AArray::from_triples(&pair, [("e1", "d1", WordSet::of(["x"]))]);
+        let eout = AArray::from_triples(&pair, [("e1", "d1", WordSet::of(["x"]))]);
         let ein = AArray::from_triples(&pair, [("e1", "d2", WordSet::of(["y"]))]);
         // {x} ∩ {y} = ∅ is in the product population ⇒ zero divisors.
         assert!(adjacency_array_checked(&eout, &ein, &pair).is_err());
@@ -324,12 +360,12 @@ mod tests {
         let shared = WordSet::of(["common"]);
         let eout = AArray::from_triples(
             &pair,
-            [("e1", "d1", shared.clone()), ("e2", "d1", WordSet::of(["common", "extra"]))],
+            [
+                ("e1", "d1", shared.clone()),
+                ("e2", "d1", WordSet::of(["common", "extra"])),
+            ],
         );
-        let ein = AArray::from_triples(
-            &pair,
-            [("e1", "d2", shared.clone()), ("e2", "d3", shared)],
-        );
+        let ein = AArray::from_triples(&pair, [("e1", "d2", shared.clone()), ("e2", "d3", shared)]);
         let a = adjacency_array_checked(&eout, &ein, &pair).expect("structured data is safe");
         assert_eq!(a.get("d1", "d2"), Some(&WordSet::of(["common"])));
     }
@@ -368,6 +404,30 @@ mod tests {
         assert_eq!(err.missing, vec![("a".to_string(), "b".to_string())]);
         assert!(err.phantom.is_empty());
         assert!(err.to_string().contains("1 edges missing"));
+    }
+
+    #[test]
+    fn multi_pair_adjacency_matches_per_pair_calls() {
+        use aarray_algebra::pairs::MinPlus;
+        let (eout, ein, pt) = simple_incidence();
+        let mm = MaxMin::<Nat>::new();
+        let mp = MinPlus::<Nat>::new();
+        let pairs: [&dyn aarray_algebra::DynOpPair<Nat>; 3] = [&pt, &mm, &mp];
+        let fused = adjacency_arrays_multi(&eout, &ein, &pairs);
+        assert_eq!(fused.len(), 3);
+        assert_eq!(fused[0], adjacency_array_unchecked(&eout, &ein, &pt));
+        assert_eq!(fused[1], adjacency_array_unchecked(&eout, &ein, &mm));
+        assert_eq!(fused[2], adjacency_array_unchecked(&eout, &ein, &mp));
+    }
+
+    #[test]
+    fn plan_reused_across_trust_levels() {
+        let (eout, ein, pair) = simple_incidence();
+        let plan = adjacency_plan(&eout, &ein);
+        let via_plan = plan.execute(&pair);
+        assert_eq!(via_plan, adjacency_array(&eout, &ein, &pair));
+        // Second execution reuses transpose + alignment + pattern.
+        assert_eq!(plan.execute(&pair), via_plan);
     }
 
     #[test]

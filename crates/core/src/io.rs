@@ -10,7 +10,10 @@ use aarray_algebra::{BinaryOp, OpPair, Value};
 pub fn write_keyed_triples<V: Value>(a: &AArray<V>, fmt: impl Fn(&V) -> String) -> String {
     let mut out = String::new();
     for (r, c, v) in a.iter() {
-        assert!(!r.contains('\t') && !c.contains('\t'), "keys must not contain tabs");
+        assert!(
+            !r.contains('\t') && !c.contains('\t'),
+            "keys must not contain tabs"
+        );
         out.push_str(&format!("{}\t{}\t{}\n", r, c, fmt(v)));
     }
     out

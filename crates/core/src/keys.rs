@@ -31,13 +31,18 @@ impl KeySet {
     /// Build from a vector already known to be sorted and unique
     /// (debug-asserted).
     pub fn from_sorted_unique(keys: Vec<String>) -> Self {
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted unique");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be sorted unique"
+        );
         KeySet { keys: keys.into() }
     }
 
     /// The empty key set.
     pub fn empty() -> Self {
-        KeySet { keys: Arc::from(Vec::new()) }
+        KeySet {
+            keys: Arc::from(Vec::new()),
+        }
     }
 
     /// Number of keys.
@@ -73,7 +78,34 @@ impl KeySet {
     /// Intersection with another key set, returning
     /// `(keys, idx_in_self, idx_in_other)` — the alignment map array
     /// multiplication needs.
+    ///
+    /// Fast paths (all exercised constantly by multiplication, which
+    /// intersects inner key sets on every call): shared or equal
+    /// storage, one set a contiguous prefix of the other, and disjoint
+    /// key ranges all skip the merge walk — the common cases return
+    /// identity index maps and share the existing key storage instead
+    /// of cloning every string.
     pub fn intersect(&self, other: &KeySet) -> (KeySet, Vec<usize>, Vec<usize>) {
+        // Same storage, or one is a contiguous prefix of the other
+        // (which subsumes equality and the empty set): the common keys
+        // are exactly the shorter set, and both index maps are the
+        // identity. The prefix comparison bails on the first mismatch,
+        // so a failed probe costs no more than starting the merge walk.
+        let (short, long) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if Arc::ptr_eq(&self.keys, &other.keys) || short.keys[..] == long.keys[..short.len()] {
+            let idx: Vec<usize> = (0..short.len()).collect();
+            return (short.clone(), idx.clone(), idx);
+        }
+        // Disjoint key ranges (frequent when aligning arrays over
+        // unrelated attribute families): nothing can match.
+        if self.keys[self.len() - 1] < other.keys[0] || other.keys[other.len() - 1] < self.keys[0] {
+            return (KeySet::empty(), Vec::new(), Vec::new());
+        }
+
         let mut keys = Vec::new();
         let mut left = Vec::new();
         let mut right = Vec::new();
@@ -127,8 +159,7 @@ impl KeySet {
                 .filter(|&i| self.keys[i].starts_with(p.as_str()))
                 .collect(),
             KeySelect::List(list) => {
-                let mut idx: Vec<usize> =
-                    list.iter().filter_map(|k| self.index_of(k)).collect();
+                let mut idx: Vec<usize> = list.iter().filter_map(|k| self.index_of(k)).collect();
                 idx.sort_unstable();
                 idx.dedup();
                 idx
@@ -193,7 +224,10 @@ impl KeySelect {
             return KeySelect::All;
         }
         if let Some((lo, hi)) = t.split_once(" : ") {
-            return KeySelect::Range { lo: lo.trim().to_string(), hi: hi.trim().to_string() };
+            return KeySelect::Range {
+                lo: lo.trim().to_string(),
+                hi: hi.trim().to_string(),
+            };
         }
         if let Some(prefix) = t.strip_suffix('*') {
             return KeySelect::Prefix(prefix.to_string());
@@ -227,6 +261,85 @@ mod tests {
     }
 
     #[test]
+    fn intersect_same_storage_shares_arc_and_is_identity() {
+        let a = KeySet::from_iter(["a", "b", "c"]);
+        let b = a.clone(); // same Arc
+        let (common, ia, ib) = a.intersect(&b);
+        assert!(Arc::ptr_eq(&common.keys, &a.keys), "no new allocation");
+        assert_eq!(ia, vec![0, 1, 2]);
+        assert_eq!(ib, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn intersect_equal_but_distinct_storage() {
+        let a = KeySet::from_iter(["a", "b"]);
+        let b = KeySet::from_iter(["a", "b"]);
+        let (common, ia, ib) = a.intersect(&b);
+        assert_eq!(common.keys(), a.keys());
+        assert!(
+            Arc::ptr_eq(&common.keys, &a.keys) || Arc::ptr_eq(&common.keys, &b.keys),
+            "equality fast path must reuse one side's storage"
+        );
+        assert_eq!(ia, vec![0, 1]);
+        assert_eq!(ib, vec![0, 1]);
+    }
+
+    #[test]
+    fn intersect_with_empty_is_empty() {
+        let a = KeySet::from_iter(["a", "b"]);
+        let e = KeySet::empty();
+        for (x, y) in [(&a, &e), (&e, &a), (&e, &e)] {
+            let (common, ia, ib) = x.intersect(y);
+            assert!(common.is_empty());
+            assert!(ia.is_empty() && ib.is_empty());
+        }
+    }
+
+    #[test]
+    fn intersect_prefix_subset_and_superset() {
+        let sub = KeySet::from_iter(["a", "b"]);
+        let sup = KeySet::from_iter(["a", "b", "c", "d"]);
+        // subset ⊂ superset as a contiguous prefix: identity maps.
+        let (common, ia, ib) = sub.intersect(&sup);
+        assert!(Arc::ptr_eq(&common.keys, &sub.keys));
+        assert_eq!(ia, vec![0, 1]);
+        assert_eq!(ib, vec![0, 1]);
+        // And the mirrored superset.intersect(subset).
+        let (common, ia, ib) = sup.intersect(&sub);
+        assert!(Arc::ptr_eq(&common.keys, &sub.keys));
+        assert_eq!(ia, vec![0, 1]);
+        assert_eq!(ib, vec![0, 1]);
+    }
+
+    #[test]
+    fn intersect_non_prefix_subset_takes_merge_walk() {
+        // A subset that is not a contiguous prefix must fall through to
+        // the general walk and still produce correct (non-identity) maps.
+        let sub = KeySet::from_iter(["b", "d"]);
+        let sup = KeySet::from_iter(["a", "b", "c", "d"]);
+        let (common, ia, ib) = sub.intersect(&sup);
+        assert_eq!(common.keys(), &["b", "d"]);
+        assert_eq!(ia, vec![0, 1]);
+        assert_eq!(ib, vec![1, 3]);
+    }
+
+    #[test]
+    fn intersect_disjoint_ranges_short_circuit() {
+        let lo = KeySet::from_iter(["a", "b"]);
+        let hi = KeySet::from_iter(["x", "y"]);
+        for (x, y) in [(&lo, &hi), (&hi, &lo)] {
+            let (common, ia, ib) = x.intersect(y);
+            assert!(common.is_empty());
+            assert!(ia.is_empty() && ib.is_empty());
+        }
+        // Interleaved-but-disjoint sets must NOT hit the range check.
+        let odd = KeySet::from_iter(["a", "c"]);
+        let even = KeySet::from_iter(["b", "d"]);
+        let (common, _, _) = odd.intersect(&even);
+        assert!(common.is_empty());
+    }
+
+    #[test]
     fn union_merges() {
         let a = KeySet::from_iter(["a", "c"]);
         let b = KeySet::from_iter(["b", "c"]);
@@ -238,10 +351,19 @@ mod tests {
         assert_eq!(KeySelect::parse(":"), KeySelect::All);
         assert_eq!(
             KeySelect::parse("Genre|A : Genre|Z"),
-            KeySelect::Range { lo: "Genre|A".into(), hi: "Genre|Z".into() }
+            KeySelect::Range {
+                lo: "Genre|A".into(),
+                hi: "Genre|Z".into()
+            }
         );
-        assert_eq!(KeySelect::parse("Writer|*"), KeySelect::Prefix("Writer|".into()));
-        assert_eq!(KeySelect::parse("exact"), KeySelect::List(vec!["exact".into()]));
+        assert_eq!(
+            KeySelect::parse("Writer|*"),
+            KeySelect::Prefix("Writer|".into())
+        );
+        assert_eq!(
+            KeySelect::parse("exact"),
+            KeySelect::List(vec!["exact".into()])
+        );
     }
 
     #[test]
@@ -262,7 +384,11 @@ mod tests {
     #[test]
     fn list_selection_filters_missing() {
         let ks = KeySet::from_iter(["a", "b", "c"]);
-        let idx = ks.select(&KeySelect::List(vec!["c".into(), "nope".into(), "a".into()]));
+        let idx = ks.select(&KeySelect::List(vec![
+            "c".into(),
+            "nope".into(),
+            "a".into(),
+        ]));
         assert_eq!(idx, vec![0, 2]);
     }
 

@@ -50,6 +50,7 @@ pub mod incidence;
 pub mod io;
 pub mod keys;
 pub mod matmul;
+pub mod plan;
 pub mod query;
 pub mod select;
 #[cfg(feature = "serde")]
@@ -61,10 +62,11 @@ pub mod vector;
 
 pub use array::AArray;
 pub use incidence::{
-    adjacency_array, adjacency_array_checked, adjacency_array_unchecked,
-    adjacency_array_verified, reverse_adjacency_array, ComplianceError, PatternError,
+    adjacency_array, adjacency_array_checked, adjacency_array_unchecked, adjacency_array_verified,
+    adjacency_arrays_multi, adjacency_plan, reverse_adjacency_array, ComplianceError, PatternError,
 };
 pub use keys::{KeySelect, KeySet};
+pub use plan::MatmulPlan;
 pub use vector::AVector;
 
 /// Commonly used items (re-exporting the algebra prelude too).
@@ -72,9 +74,10 @@ pub mod prelude {
     pub use crate::array::AArray;
     pub use crate::incidence::{
         adjacency_array, adjacency_array_checked, adjacency_array_unchecked,
-        adjacency_array_verified, reverse_adjacency_array,
+        adjacency_array_verified, adjacency_arrays_multi, adjacency_plan, reverse_adjacency_array,
     };
     pub use crate::keys::{KeySelect, KeySet};
+    pub use crate::plan::MatmulPlan;
     pub use crate::theorem::{pattern_diff, PatternDiff};
     pub use aarray_algebra::prelude::*;
 }

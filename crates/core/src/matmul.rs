@@ -11,14 +11,27 @@
 
 use crate::array::AArray;
 use aarray_algebra::{BinaryOp, OpPair, Value};
-use aarray_sparse::{spgemm_parallel, spgemm_with, Accumulator};
+use aarray_sparse::{spgemm_flops, spgemm_parallel, spgemm_with, Accumulator};
 
-/// How large an operand must be (stored entries) before the row-parallel
-/// kernel is used. Determined by the `ablate_parallel` bench; tiny
-/// arrays lose more to thread fan-out than they gain. The parallel path
-/// is additionally skipped entirely when rayon has a single worker
-/// thread (single-core hosts), where fan-out is pure overhead.
-const PARALLEL_NNZ_THRESHOLD: usize = 1 << 14;
+/// How much multiply-add work a product must involve before the
+/// row-parallel kernel is used. Gating on the [`spgemm_flops`] estimate
+/// (the exact number of `⊗` terms the kernel will fold) rather than on
+/// operand nnz matters for skewed workloads: a large-nnz `A` against a
+/// nearly-empty `B` does almost no work per row and loses more to
+/// thread fan-out than it gains, while two modest hyper-sparse operands
+/// with dense overlap can merit the parallel path well before either
+/// crosses an nnz bar. The parallel path is additionally skipped
+/// entirely when rayon has a single worker thread (single-core hosts),
+/// where fan-out is pure overhead.
+const PARALLEL_FLOPS_THRESHOLD: u64 = 1 << 17;
+
+/// Shared parallel-dispatch decision for [`AArray::matmul_with`] and
+/// [`crate::plan::MatmulPlan`]. Takes the flops estimate lazily so the
+/// `O(nnz)` estimate is never computed on single-threaded hosts, where
+/// the answer is always "serial".
+pub(crate) fn should_parallelize(flops: impl FnOnce() -> u64) -> bool {
+    rayon::current_num_threads() > 1 && flops() >= PARALLEL_FLOPS_THRESHOLD
+}
 
 impl<V: Value> AArray<V> {
     /// `self ⊕.⊗ other`, aligning `self`'s column keys with `other`'s
@@ -65,8 +78,7 @@ impl<V: Value> AArray<V> {
         }
 
         let acc = acc.unwrap_or(Accumulator::Spa);
-        let big = rayon::current_num_threads() > 1
-            && lhs.nnz().max(rhs.nnz()) >= PARALLEL_NNZ_THRESHOLD;
+        let big = should_parallelize(|| spgemm_flops(lhs, rhs));
         let data = if big {
             spgemm_parallel(lhs, rhs, pair, acc)
         } else {
@@ -105,11 +117,19 @@ mod tests {
         // a's columns {k1, k2, k3}; b's rows {k2, k3, k4}: align {k2, k3}.
         let a = AArray::from_triples(
             &pair,
-            [("r", "k1", Nat(100)), ("r", "k2", Nat(2)), ("r", "k3", Nat(3))],
+            [
+                ("r", "k1", Nat(100)),
+                ("r", "k2", Nat(2)),
+                ("r", "k3", Nat(3)),
+            ],
         );
         let b = AArray::from_triples(
             &pair,
-            [("k2", "c", Nat(10)), ("k3", "c", Nat(10)), ("k4", "c", Nat(100))],
+            [
+                ("k2", "c", Nat(10)),
+                ("k3", "c", Nat(10)),
+                ("k4", "c", Nat(100)),
+            ],
         );
         let c = a.matmul(&b, &pair);
         // Only k2, k3 contribute: 2·10 + 3·10 = 50.
@@ -139,9 +159,9 @@ mod tests {
     #[test]
     fn auto_parallel_path_matches_serial_under_a_multithread_pool() {
         // Force a 2-worker rayon pool (works even on single-core hosts)
-        // and arrays big enough to cross PARALLEL_NNZ_THRESHOLD, so the
-        // automatic parallel branch actually executes; the result must
-        // equal the serial kernel's bit-for-bit.
+        // and a product heavy enough to cross PARALLEL_FLOPS_THRESHOLD,
+        // so the automatic parallel branch actually executes; the result
+        // must equal the serial kernel's bit-for-bit.
         let pair = pt();
         let n = 200usize;
         let per_row = 100usize;
@@ -150,20 +170,78 @@ mod tests {
         let mut x = 7u64;
         for r in 0..n {
             for _ in 0..per_row {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                t1.push((format!("r{:04}", r), format!("k{:04}", (x >> 33) % 400), Nat(x % 9 + 1)));
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                t2.push((format!("k{:04}", (x >> 33) % 400), format!("c{:04}", x % 50), Nat(x % 7 + 1)));
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                t1.push((
+                    format!("r{:04}", r),
+                    format!("k{:04}", (x >> 33) % 400),
+                    Nat(x % 9 + 1),
+                ));
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                t2.push((
+                    format!("k{:04}", (x >> 33) % 400),
+                    format!("c{:04}", x % 50),
+                    Nat(x % 7 + 1),
+                ));
             }
         }
         let a = AArray::from_triples(&pair, t1);
         let b = AArray::from_triples(&pair, t2);
-        assert!(a.csr().nnz().max(b.csr().nnz()) >= 1 << 14, "must cross the threshold");
+        assert_eq!(
+            a.col_keys(),
+            b.row_keys(),
+            "inner keys must coincide so the flops estimate below is \
+             computed on the operands the kernel actually sees"
+        );
+        assert!(
+            spgemm_flops(a.csr(), b.csr()) >= PARALLEL_FLOPS_THRESHOLD,
+            "must cross the dispatch threshold"
+        );
 
         let serial = a.matmul_with(&b, &pair, Some(aarray_sparse::Accumulator::Spa));
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
         let parallel = pool.install(|| a.matmul(&b, &pair));
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn dispatch_gates_on_work_not_operand_size() {
+        // Skewed workload: a huge-nnz lhs against a nearly-empty rhs.
+        // The old `max(nnz) >= 1<<14` gate fanned out here despite the
+        // product folding only a handful of terms; the flops estimate
+        // sees the real work and stays serial.
+        let pair = pt();
+        let mut t1 = Vec::new();
+        let mut x = 3u64;
+        for r in 0..220usize {
+            for _ in 0..100usize {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                t1.push((
+                    format!("r{:04}", r),
+                    format!("k{:04}", (x >> 33) % 400),
+                    Nat(x % 9 + 1),
+                ));
+            }
+        }
+        let a = AArray::from_triples(&pair, t1);
+        let b = AArray::from_triples(&pair, [("k0000", "c0", Nat(1))]);
+        assert!(a.nnz() >= 1 << 14, "lhs alone crossed the old nnz gate");
+        let (_, li, ri) = a.col_keys().intersect(b.row_keys());
+        let flops = spgemm_flops(&a.csr().select_cols(&li), &b.csr().select_rows(&ri));
+        assert!(
+            flops < PARALLEL_FLOPS_THRESHOLD,
+            "the product itself is tiny ({} terms)",
+            flops
+        );
+        assert!(!should_parallelize(|| flops));
     }
 
     #[test]
@@ -172,11 +250,19 @@ mod tests {
         let pair = pt();
         let a = AArray::from_triples(
             &pair,
-            [("r1", "k1", Nat(1)), ("r1", "k2", Nat(2)), ("r2", "k2", Nat(3))],
+            [
+                ("r1", "k1", Nat(1)),
+                ("r1", "k2", Nat(2)),
+                ("r2", "k2", Nat(3)),
+            ],
         );
         let b = AArray::from_triples(
             &pair,
-            [("k1", "c1", Nat(4)), ("k2", "c1", Nat(5)), ("k2", "c2", Nat(6))],
+            [
+                ("k1", "c1", Nat(4)),
+                ("k2", "c1", Nat(5)),
+                ("k2", "c2", Nat(6)),
+            ],
         );
         let c0 = a.matmul_with(&b, &pair, Some(Accumulator::Spa));
         let c1 = a.matmul_with(&b, &pair, Some(Accumulator::Hash));

@@ -1,0 +1,345 @@
+//! Reusable multiplication plans: align once, multiply many times.
+//!
+//! [`AArray::matmul`] re-derives everything on every call: it aligns
+//! the inner key sets (an `O(k)` merge walk plus `O(nnz)` column/row
+//! selection when they differ) and then runs a one-shot kernel. The
+//! paper's evaluation (Figure 3/5) multiplies the **same** `E1ᵀ`, `E2`
+//! operands under seven different `⊕.⊗` pairs — re-running alignment,
+//! transposition, and sparsity discovery seven times for one reused
+//! structure.
+//!
+//! A [`MatmulPlan`] hoists all pair-independent work out of the loop:
+//!
+//! * the **transpose** of the left operand (for `Eᵀout ⊕.⊗ Ein`
+//!   construction) is computed once and owned by the plan;
+//! * the **key alignment** (intersection of `A`'s column keys with
+//!   `B`'s row keys, and the corresponding column/row selection) is
+//!   computed once;
+//! * the **symbolic sparsity pattern** of the product — which depends
+//!   only on the operand patterns, never on the algebra — is computed
+//!   lazily on first use and memoized;
+//! * the **flops estimate** driving the parallel/serial dispatch is
+//!   computed once.
+//!
+//! [`MatmulPlan::execute`] then runs one numeric pass per pair, and
+//! [`MatmulPlan::execute_all`] runs a *fused* numeric pass feeding all
+//! `K` algebras' accumulators during a single traversal of the
+//! operands (`aarray_sparse::spgemm_multi`). Results are bit-identical
+//! to the corresponding [`AArray::matmul`] calls for arbitrary
+//! non-associative, non-commutative operations, because every kernel
+//! in this workspace folds left-associated over ascending inner keys.
+//!
+//! ```
+//! use aarray_core::prelude::*;
+//!
+//! let pt = PlusTimes::<Nat>::new();
+//! let mm = MaxMin::<Nat>::new();
+//! let e1 = AArray::from_triples(&pt, [("t1", "g1", Nat(2)), ("t2", "g1", Nat(3))]);
+//! let e2 = AArray::from_triples(&pt, [("t1", "w1", Nat(5)), ("t2", "w1", Nat(7))]);
+//!
+//! // One plan: transpose + alignment + symbolic pattern, shared.
+//! let plan = e1.transpose_matmul_plan(&e2);
+//! let results = plan.execute_all(&[&pt, &mm]);
+//! assert_eq!(results[0], e1.transpose().matmul(&e2, &pt));
+//! assert_eq!(results[1], e1.transpose().matmul(&e2, &mm));
+//! ```
+
+use crate::array::AArray;
+use crate::keys::KeySet;
+use crate::matmul::should_parallelize;
+use aarray_algebra::{BinaryOp, DynOpPair, OpPair, Value};
+use aarray_sparse::spgemm_multi::{
+    spgemm_multi_numeric, spgemm_multi_numeric_parallel, MultiAccumulator,
+};
+use aarray_sparse::symbolic::{spgemm_symbolic, SymbolicProduct};
+use aarray_sparse::{spgemm_flops, Csr};
+use std::sync::OnceLock;
+
+/// Borrow-or-own storage for the plan's aligned operands: when an
+/// operand needs no realignment the plan borrows it, paying nothing;
+/// realigned (or pre-transposed) operands are owned.
+enum MaybeOwned<'a, T> {
+    Borrowed(&'a T),
+    Owned(T),
+}
+
+impl<T> std::ops::Deref for MaybeOwned<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match self {
+            MaybeOwned::Borrowed(t) => t,
+            MaybeOwned::Owned(t) => t,
+        }
+    }
+}
+
+/// A prepared multiplication `C = L ⊕.⊗ R`: operands aligned, ready to
+/// execute under any number of operator pairs.
+///
+/// Built by [`AArray::matmul_plan`] (plain product) or
+/// [`AArray::transpose_matmul_plan`] (`selfᵀ ⊕.⊗ other`, the adjacency
+/// construction shape). See the [module docs](self) for what is cached.
+pub struct MatmulPlan<'a, V: Value> {
+    row_keys: KeySet,
+    col_keys: KeySet,
+    lhs: MaybeOwned<'a, Csr<V>>,
+    rhs: MaybeOwned<'a, Csr<V>>,
+    flops: u64,
+    sym: OnceLock<SymbolicProduct>,
+}
+
+impl<'a, V: Value> MatmulPlan<'a, V> {
+    /// Align `lhs` (whose columns are keyed by `lhs_inner`) with
+    /// `other`'s rows, intersecting key sets when they differ.
+    fn new(
+        row_keys: KeySet,
+        lhs: MaybeOwned<'a, Csr<V>>,
+        lhs_inner: &KeySet,
+        other: &'a AArray<V>,
+    ) -> Self {
+        let (lhs, rhs) = if lhs_inner == other.row_keys() {
+            (lhs, MaybeOwned::Borrowed(other.csr()))
+        } else {
+            let (_, left_idx, right_idx) = lhs_inner.intersect(other.row_keys());
+            (
+                MaybeOwned::Owned(lhs.select_cols(&left_idx)),
+                MaybeOwned::Owned(other.csr().select_rows(&right_idx)),
+            )
+        };
+        let flops = spgemm_flops(&lhs, &rhs);
+        MatmulPlan {
+            row_keys,
+            col_keys: other.col_keys().clone(),
+            lhs,
+            rhs,
+            flops,
+            sym: OnceLock::new(),
+        }
+    }
+
+    /// The result's row key set.
+    pub fn row_keys(&self) -> &KeySet {
+        &self.row_keys
+    }
+
+    /// The result's column key set.
+    pub fn col_keys(&self) -> &KeySet {
+        &self.col_keys
+    }
+
+    /// The result shape `(|K1|, |K2|)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.row_keys.len(), self.col_keys.len())
+    }
+
+    /// The exact multiply-add count a numeric pass will perform —
+    /// the dispatch estimate shared with [`AArray::matmul`].
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// The memoized symbolic (structural) product pattern, computed on
+    /// first use. Algebra-independent, so one pattern serves every
+    /// subsequent [`MatmulPlan::execute`] / [`MatmulPlan::execute_all`].
+    pub fn symbolic(&self) -> &SymbolicProduct {
+        self.sym
+            .get_or_init(|| spgemm_symbolic(&self.lhs, &self.rhs))
+    }
+
+    /// Execute the plan under one statically-typed pair. Bit-identical
+    /// to the equivalent [`AArray::matmul`] call.
+    pub fn execute<A, M>(&self, pair: &OpPair<V, A, M>) -> AArray<V>
+    where
+        A: BinaryOp<V>,
+        M: BinaryOp<V>,
+    {
+        self.execute_all(&[pair as &dyn DynOpPair<V>])
+            .pop()
+            .expect("one pair in, one result out")
+    }
+
+    /// Execute the plan under `K` heterogeneous pairs with **one**
+    /// fused numeric traversal of the operands (SPA accumulator;
+    /// row-parallel when the flops estimate warrants it). Output `p`
+    /// is bit-identical to `execute(pairs[p])` — and to the equivalent
+    /// [`AArray::matmul`] — for arbitrary operations.
+    pub fn execute_all(&self, pairs: &[&dyn DynOpPair<V>]) -> Vec<AArray<V>> {
+        self.execute_all_with(pairs, MultiAccumulator::Spa)
+    }
+
+    /// [`MatmulPlan::execute_all`] with an explicit slot-lookup
+    /// strategy for the fused kernel.
+    pub fn execute_all_with(
+        &self,
+        pairs: &[&dyn DynOpPair<V>],
+        acc: MultiAccumulator,
+    ) -> Vec<AArray<V>> {
+        let sym = self.symbolic();
+        let data = if should_parallelize(|| self.flops) {
+            spgemm_multi_numeric_parallel(sym, &self.lhs, &self.rhs, pairs, acc)
+        } else {
+            spgemm_multi_numeric(sym, &self.lhs, &self.rhs, pairs, acc)
+        };
+        data.into_iter()
+            .map(|csr| AArray::from_parts(self.row_keys.clone(), self.col_keys.clone(), csr))
+            .collect()
+    }
+}
+
+impl<V: Value> AArray<V> {
+    /// Prepare `self ⊕.⊗ other` for repeated execution: key alignment
+    /// runs now, the symbolic pattern on first execute; neither is
+    /// redone per pair. See [`MatmulPlan`].
+    pub fn matmul_plan<'a>(&'a self, other: &'a AArray<V>) -> MatmulPlan<'a, V> {
+        MatmulPlan::new(
+            self.row_keys().clone(),
+            MaybeOwned::Borrowed(self.csr()),
+            self.col_keys(),
+            other,
+        )
+    }
+
+    /// Prepare `selfᵀ ⊕.⊗ other` — the adjacency-construction shape
+    /// `Eᵀout ⊕.⊗ Ein` — transposing `self` **once** into the plan
+    /// instead of materializing a transposed array per call.
+    pub fn transpose_matmul_plan<'a>(&self, other: &'a AArray<V>) -> MatmulPlan<'a, V> {
+        MatmulPlan::new(
+            self.col_keys().clone(),
+            MaybeOwned::Owned(self.csr().transpose()),
+            self.row_keys(),
+            other,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarray_algebra::ops::{AbsDiff, Times};
+    use aarray_algebra::pairs::{MaxMin, MinPlus, PlusTimes};
+    use aarray_algebra::values::nat::Nat;
+
+    fn pt() -> PlusTimes<Nat> {
+        PlusTimes::new()
+    }
+
+    fn operands() -> (AArray<Nat>, AArray<Nat>) {
+        let pair = pt();
+        let a = AArray::from_triples(
+            &pair,
+            [
+                ("r1", "k1", Nat(2)),
+                ("r1", "k2", Nat(3)),
+                ("r2", "k2", Nat(5)),
+                ("r2", "k3", Nat(1)),
+            ],
+        );
+        let b = AArray::from_triples(
+            &pair,
+            [
+                ("k1", "c1", Nat(7)),
+                ("k2", "c1", Nat(1)),
+                ("k2", "c2", Nat(4)),
+                ("k3", "c2", Nat(9)),
+            ],
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn plan_execute_matches_matmul_shared_keys() {
+        let (a, b) = operands();
+        let plan = a.matmul_plan(&b);
+        assert_eq!(plan.shape(), (2, 2));
+        for_each_pair_check(&plan, &a, &b);
+    }
+
+    fn for_each_pair_check(plan: &MatmulPlan<'_, Nat>, a: &AArray<Nat>, b: &AArray<Nat>) {
+        let p1 = pt();
+        let p2 = MaxMin::<Nat>::new();
+        let p3 = MinPlus::<Nat>::new();
+        assert_eq!(plan.execute(&p1), a.matmul(b, &p1));
+        assert_eq!(plan.execute(&p2), a.matmul(b, &p2));
+        assert_eq!(plan.execute(&p3), a.matmul(b, &p3));
+    }
+
+    #[test]
+    fn plan_execute_matches_matmul_misaligned_keys() {
+        let pair = pt();
+        // a's columns {k1, k2, k3}; b's rows {k2, k3, k4}: align {k2, k3}.
+        let a = AArray::from_triples(
+            &pair,
+            [
+                ("r", "k1", Nat(100)),
+                ("r", "k2", Nat(2)),
+                ("r", "k3", Nat(3)),
+            ],
+        );
+        let b = AArray::from_triples(
+            &pair,
+            [
+                ("k2", "c", Nat(10)),
+                ("k3", "c", Nat(10)),
+                ("k4", "c", Nat(100)),
+            ],
+        );
+        let plan = a.matmul_plan(&b);
+        let c = plan.execute(&pair);
+        assert_eq!(c, a.matmul(&b, &pair));
+        assert_eq!(c.get("r", "c"), Some(&Nat(50)));
+    }
+
+    #[test]
+    fn execute_all_is_bit_identical_per_lane() {
+        let (a, b) = operands();
+        let plan = a.matmul_plan(&b);
+        let p1 = pt();
+        let p2 = MaxMin::<Nat>::new();
+        let ad: OpPair<Nat, AbsDiff, Times> = OpPair::new(); // non-associative ⊕
+        let pairs: [&dyn DynOpPair<Nat>; 3] = [&p1, &p2, &ad];
+        let all = plan.execute_all(&pairs);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], a.matmul(&b, &p1));
+        assert_eq!(all[1], a.matmul(&b, &p2));
+        assert_eq!(all[2], a.matmul(&b, &ad));
+    }
+
+    #[test]
+    fn transpose_plan_matches_explicit_transpose() {
+        let pair = pt();
+        // Incidence shape: edges × vertices.
+        let eout = AArray::from_triples(&pair, [("e1", "a", Nat(1)), ("e2", "a", Nat(1))]);
+        let ein = AArray::from_triples(&pair, [("e1", "b", Nat(1)), ("e2", "c", Nat(1))]);
+        let plan = eout.transpose_matmul_plan(&ein);
+        let adj = plan.execute(&pair);
+        assert_eq!(adj, eout.transpose().matmul(&ein, &pair));
+        assert_eq!(adj.get("a", "b"), Some(&Nat(1)));
+        assert_eq!(adj.get("a", "c"), Some(&Nat(1)));
+    }
+
+    #[test]
+    fn symbolic_pattern_is_memoized() {
+        let (a, b) = operands();
+        let plan = a.matmul_plan(&b);
+        let first = plan.symbolic() as *const SymbolicProduct;
+        let _ = plan.execute(&pt());
+        let second = plan.symbolic() as *const SymbolicProduct;
+        assert_eq!(first, second, "symbolic pass must run at most once");
+    }
+
+    #[test]
+    fn empty_pair_list_yields_no_arrays() {
+        let (a, b) = operands();
+        let plan = a.matmul_plan(&b);
+        assert!(plan.execute_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn flops_counts_aligned_terms() {
+        let (a, b) = operands();
+        let plan = a.matmul_plan(&b);
+        // r1: k1 (1 b-entry) + k2 (2) = 3; r2: k2 (2) + k3 (1) = 3.
+        assert_eq!(plan.flops(), 6);
+    }
+}

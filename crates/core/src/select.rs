@@ -15,10 +15,18 @@ impl<V: Value> AArray<V> {
     pub fn select(&self, rows: &KeySelect, cols: &KeySelect) -> AArray<V> {
         let row_idx = self.row_keys().select(rows);
         let col_idx = self.col_keys().select(cols);
-        let row_keys =
-            KeySet::from_sorted_unique(row_idx.iter().map(|&i| self.row_keys().key(i).to_string()).collect());
-        let col_keys =
-            KeySet::from_sorted_unique(col_idx.iter().map(|&i| self.col_keys().key(i).to_string()).collect());
+        let row_keys = KeySet::from_sorted_unique(
+            row_idx
+                .iter()
+                .map(|&i| self.row_keys().key(i).to_string())
+                .collect(),
+        );
+        let col_keys = KeySet::from_sorted_unique(
+            col_idx
+                .iter()
+                .map(|&i| self.col_keys().key(i).to_string())
+                .collect(),
+        );
         let data = self.csr().select_rows(&row_idx).select_cols(&col_idx);
         AArray::from_parts(row_keys, col_keys, data)
     }
@@ -98,7 +106,10 @@ mod tests {
     fn combined_selection() {
         let e = music_like();
         let sub = e.select(
-            &KeySelect::Range { lo: "track1".into(), hi: "track2".into() },
+            &KeySelect::Range {
+                lo: "track1".into(),
+                hi: "track2".into(),
+            },
             &KeySelect::Prefix("Genre|".into()),
         );
         assert_eq!(sub.shape(), (2, 2));

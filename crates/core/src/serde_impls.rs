@@ -84,7 +84,11 @@ impl<V: Value> ArrayData<V> {
             .entries
             .into_iter()
             .map(|(r, c, v)| {
-                (rows.key(r as usize).to_string(), cols.key(c as usize).to_string(), v)
+                (
+                    rows.key(r as usize).to_string(),
+                    cols.key(c as usize).to_string(),
+                    v,
+                )
             })
             .collect::<Vec<_>>();
         Ok(AArray::from_triples_with_keys(pair, rows, cols, triples))

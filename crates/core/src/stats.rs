@@ -67,11 +67,19 @@ impl<V: Value> AArray<V> {
         ArrayStats {
             shape: (r, c),
             nnz,
-            density: if r * c == 0 { 0.0 } else { nnz as f64 / (r * c) as f64 },
+            density: if r * c == 0 {
+                0.0
+            } else {
+                nnz as f64 / (r * c) as f64
+            },
             empty_rows,
             empty_cols,
             max_row_nnz,
-            mean_row_nnz: if nonempty == 0 { 0.0 } else { nnz as f64 / nonempty as f64 },
+            mean_row_nnz: if nonempty == 0 {
+                0.0
+            } else {
+                nnz as f64 / nonempty as f64
+            },
         }
     }
 

@@ -31,7 +31,10 @@ impl<V: Value> AArray<V> {
         for (name, ks) in [("row", self.row_keys()), ("col", self.col_keys())] {
             for w in ks.keys().windows(2) {
                 if w[0] >= w[1] {
-                    return err(format!("{} keys not sorted/unique: {:?} ≥ {:?}", name, w[0], w[1]));
+                    return err(format!(
+                        "{} keys not sorted/unique: {:?} ≥ {:?}",
+                        name, w[0], w[1]
+                    ));
                 }
             }
         }

@@ -31,7 +31,9 @@ impl<V: Value> AVector<V> {
     {
         let mut data: Vec<Option<V>> = vec![None; keys.len()];
         for (k, v) in entries {
-            let i = keys.index_of(&k).unwrap_or_else(|| panic!("unknown key {:?}", k));
+            let i = keys
+                .index_of(&k)
+                .unwrap_or_else(|| panic!("unknown key {:?}", k));
             data[i] = Some(match data[i].take() {
                 None => v,
                 Some(prev) => pair.plus(&prev, &v),
@@ -50,7 +52,10 @@ impl<V: Value> AVector<V> {
     /// The empty (all-zero) vector over a key set.
     pub fn zeros(keys: KeySet) -> Self {
         let n = keys.len();
-        AVector { keys, data: vec![None; n] }
+        AVector {
+            keys,
+            data: vec![None; n],
+        }
     }
 
     /// The key set.
@@ -97,7 +102,10 @@ impl<V: Value> AVector<V> {
                 .collect()
         };
         let y = spmv(array.csr(), &aligned_x, pair);
-        AVector { keys: array.row_keys().clone(), data: y }
+        AVector {
+            keys: array.row_keys().clone(),
+            data: y,
+        }
     }
 
     /// Element-wise `self ⊕ other` over the union of key sets.
@@ -143,7 +151,11 @@ mod tests {
         let v = AVector::from_entries(
             &pair,
             keys(&["a", "b", "c"]),
-            [("b".to_string(), Nat(2)), ("b".to_string(), Nat(3)), ("a".to_string(), Nat(0))],
+            [
+                ("b".to_string(), Nat(2)),
+                ("b".to_string(), Nat(3)),
+                ("a".to_string(), Nat(0)),
+            ],
         );
         assert_eq!(v.get("b"), Some(&Nat(5)));
         assert_eq!(v.get("a"), None); // explicit zero dropped
@@ -157,7 +169,11 @@ mod tests {
         let pair = PlusTimes::<Nat>::new();
         let a = AArray::from_triples(
             &pair,
-            [("r1", "a", Nat(1)), ("r1", "b", Nat(2)), ("r2", "b", Nat(3))],
+            [
+                ("r1", "a", Nat(1)),
+                ("r1", "b", Nat(2)),
+                ("r2", "b", Nat(3)),
+            ],
         );
         let x = AVector::from_entries(
             &pair,
@@ -176,7 +192,10 @@ mod tests {
         let x = AVector::from_entries(
             &pair,
             keys(&["shared", "only_x"]),
-            [("shared".to_string(), Nat(5)), ("only_x".to_string(), Nat(7))],
+            [
+                ("shared".to_string(), Nat(5)),
+                ("only_x".to_string(), Nat(7)),
+            ],
         );
         let y = x.premultiply(&a, &pair);
         assert_eq!(y.get("r"), Some(&Nat(10)));
@@ -187,11 +206,8 @@ mod tests {
         let pair = MinPlus::<NN>::new();
         let adj = AArray::from_triples(&pair, [("b", "a", nn(4.0)), ("c", "b", nn(1.0))]);
         // dist over {a,b,c}: a = 0.
-        let dist = AVector::from_entries(
-            &pair,
-            keys(&["a", "b", "c"]),
-            [("a".to_string(), NN::ZERO)],
-        );
+        let dist =
+            AVector::from_entries(&pair, keys(&["a", "b", "c"]), [("a".to_string(), NN::ZERO)]);
         // Aᵀ-free formulation: adj rows are *destinations* here, so one
         // premultiply is a relaxation step toward them.
         let relaxed = dist.premultiply(&adj, &pair);

@@ -24,7 +24,9 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::BadHeader => write!(f, "header must start with `key`"),
-            CsvError::UnterminatedQuote { line } => write!(f, "unterminated quote at line {}", line),
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quote at line {}", line)
+            }
             CsvError::RaggedRow { line } => write!(f, "wrong field count at line {}", line),
         }
     }

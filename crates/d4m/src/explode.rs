@@ -28,8 +28,7 @@ impl Table {
     /// assert_eq!(e.nnz(), 2);
     /// ```
     pub fn explode(&self) -> AArray<NN> {
-        let pair: OpPair<NN, aarray_algebra::ops::Plus, aarray_algebra::ops::Times> =
-            OpPair::new();
+        let pair: OpPair<NN, aarray_algebra::ops::Plus, aarray_algebra::ops::Times> = OpPair::new();
         self.explode_with(&pair, |_, _, _| nn(1.0))
     }
 
@@ -53,7 +52,11 @@ impl Table {
             for (fi, field) in self.fields().iter().enumerate() {
                 for value in &row.cells[fi] {
                     let col = format!("{}{}{}", field, SEPARATOR, value);
-                    triples.push((row.key.clone(), col.clone(), value_fn(&row.key, field, value)));
+                    triples.push((
+                        row.key.clone(),
+                        col.clone(),
+                        value_fn(&row.key, field, value),
+                    ));
                     col_keys.push(col);
                 }
             }
@@ -71,7 +74,10 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::new(["Genre", "Writer"]);
-        t.push_row("t1", vec![vec!["Pop".into()], vec!["Ann".into(), "Bob".into()]]);
+        t.push_row(
+            "t1",
+            vec![vec!["Pop".into()], vec!["Ann".into(), "Bob".into()]],
+        );
         t.push_row("t2", vec![vec!["Rock".into()], vec![]]);
         t
     }
@@ -99,13 +105,16 @@ mod tests {
     #[test]
     fn explode_with_custom_values() {
         let pair = MaxMin::<Nat>::new();
-        let e = sample().explode_with(&pair, |_, field, _| {
-            if field == "Genre" {
-                Nat(3)
-            } else {
-                Nat(1)
-            }
-        });
+        let e = sample().explode_with(
+            &pair,
+            |_, field, _| {
+                if field == "Genre" {
+                    Nat(3)
+                } else {
+                    Nat(1)
+                }
+            },
+        );
         assert_eq!(e.get("t1", "Genre|Pop"), Some(&Nat(3)));
         assert_eq!(e.get("t1", "Writer|Ann"), Some(&Nat(1)));
     }

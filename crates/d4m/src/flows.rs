@@ -96,10 +96,7 @@ mod tests {
 
     // d4m cannot depend on aarray-graph (layering), so inline the
     // projection here: E(:, Src)ᵀ ⊕.⊗ E(:, Dst).
-    fn aarray_graph_free_project(
-        e: &AArray<NN>,
-        pair: &PlusTimes<NN>,
-    ) -> AArray<NN> {
+    fn aarray_graph_free_project(e: &AArray<NN>, pair: &PlusTimes<NN>) -> AArray<NN> {
         let src = e.select(&KeySelect::All, &KeySelect::Prefix("SrcIP|".into()));
         let dst = e.select(&KeySelect::All, &KeySelect::Prefix("DstIP|".into()));
         src.transpose().matmul(&dst, pair)

@@ -277,7 +277,9 @@ const TRACKS: &[TrackSpec] = &[
 
 /// The music table (22 rows × 7 fields).
 pub fn music_table() -> Table {
-    let mut t = Table::new(["Artist", "Date", "Genre", "Label", "Release", "Type", "Writer"]);
+    let mut t = Table::new([
+        "Artist", "Date", "Genre", "Label", "Release", "Type", "Writer",
+    ]);
     for spec in TRACKS {
         let cell = |vals: &[&str]| vals.iter().map(|s| s.to_string()).collect::<Vec<_>>();
         t.push_row(

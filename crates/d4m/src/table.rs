@@ -28,13 +28,23 @@ impl Table {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Table { fields: fields.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            fields: fields.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row; `cells` must have one entry per field.
     pub fn push_row<S: Into<String>>(&mut self, key: S, cells: Vec<Vec<String>>) {
-        assert_eq!(cells.len(), self.fields.len(), "cells must match field count");
-        self.rows.push(Row { key: key.into(), cells });
+        assert_eq!(
+            cells.len(),
+            self.fields.len(),
+            "cells must match field count"
+        );
+        self.rows.push(Row {
+            key: key.into(),
+            cells,
+        });
     }
 
     /// The field names.
@@ -67,15 +77,21 @@ impl Table {
         let Some(idx) = self.field_index(name) else {
             return Vec::new();
         };
-        let set: BTreeSet<String> =
-            self.rows.iter().flat_map(|r| r.cells[idx].iter().cloned()).collect();
+        let set: BTreeSet<String> = self
+            .rows
+            .iter()
+            .flat_map(|r| r.cells[idx].iter().cloned())
+            .collect();
         set.into_iter().collect()
     }
 
     /// Total number of `(row, field, value)` incidences — the nnz of
     /// the exploded view.
     pub fn incidence_count(&self) -> usize {
-        self.rows.iter().map(|r| r.cells.iter().map(Vec::len).sum::<usize>()).sum()
+        self.rows
+            .iter()
+            .map(|r| r.cells.iter().map(Vec::len).sum::<usize>())
+            .sum()
     }
 }
 
@@ -85,7 +101,10 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::new(["Genre", "Writer"]);
-        t.push_row("t1", vec![vec!["Pop".into()], vec!["Ann".into(), "Bob".into()]]);
+        t.push_row(
+            "t1",
+            vec![vec!["Pop".into()], vec!["Ann".into(), "Bob".into()]],
+        );
         t.push_row("t2", vec![vec!["Rock".into()], vec![]]);
         t
     }

@@ -64,7 +64,10 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::new(["Genre", "Writer"]);
-        t.push_row("t1", vec![vec!["Pop".into()], vec!["Ann".into(), "Bob".into()]]);
+        t.push_row(
+            "t1",
+            vec![vec!["Pop".into()], vec!["Ann".into(), "Bob".into()]],
+        );
         t.push_row("t2", vec![vec!["Rock".into()], vec![]]);
         t
     }

@@ -13,7 +13,11 @@ fn artifact_path() -> std::path::PathBuf {
 fn artifact_matches_embedded_dataset() {
     let text = std::fs::read_to_string(artifact_path()).expect("data/music.tsv present");
     let loaded = from_tsv(&text).expect("artifact parses");
-    assert_eq!(loaded, music_table(), "regenerate with to_tsv(&music_table())");
+    assert_eq!(
+        loaded,
+        music_table(),
+        "regenerate with to_tsv(&music_table())"
+    );
 }
 
 #[test]

@@ -14,8 +14,8 @@ use aarray_algebra::values::nn::NN;
 use aarray_algebra::values::tropical::Tropical;
 use aarray_core::AArray;
 use aarray_sparse::elementwise::ewise_mul;
-use aarray_sparse::spmv::spmv;
 use aarray_sparse::spgemm;
+use aarray_sparse::spmv::spmv;
 use std::collections::BTreeMap;
 
 /// Breadth-first search levels from `source` over a Boolean adjacency
@@ -24,7 +24,11 @@ use std::collections::BTreeMap;
 pub fn bfs_levels(adj: &AArray<bool>, source: &str) -> BTreeMap<String, usize> {
     let pair = OrAnd::new();
     let n = adj.col_keys().len();
-    assert_eq!(adj.row_keys(), adj.col_keys(), "BFS needs a square adjacency array");
+    assert_eq!(
+        adj.row_keys(),
+        adj.col_keys(),
+        "BFS needs a square adjacency array"
+    );
     let src = match adj.row_keys().index_of(source) {
         Some(i) => i,
         None => return BTreeMap::new(),
@@ -67,7 +71,11 @@ pub fn bfs_levels(adj: &AArray<bool>, source: &str) -> BTreeMap<String, usize> {
 /// fixpoint). Edge weights are the adjacency values.
 pub fn sssp_min_plus(adj: &AArray<NN>, source: &str) -> BTreeMap<String, NN> {
     let pair = MinPlus::<NN>::new();
-    assert_eq!(adj.row_keys(), adj.col_keys(), "SSSP needs a square adjacency array");
+    assert_eq!(
+        adj.row_keys(),
+        adj.col_keys(),
+        "SSSP needs a square adjacency array"
+    );
     let n = adj.col_keys().len();
     let src = match adj.row_keys().index_of(source) {
         Some(i) => i,
@@ -110,7 +118,11 @@ pub fn sssp_min_plus(adj: &AArray<NN>, source: &str) -> BTreeMap<String, NN> {
 /// `max.min`.
 pub fn widest_path_max_min(adj: &AArray<Nat>, source: &str) -> BTreeMap<String, Nat> {
     let pair = MaxMin::<Nat>::new();
-    assert_eq!(adj.row_keys(), adj.col_keys(), "widest-path needs a square adjacency array");
+    assert_eq!(
+        adj.row_keys(),
+        adj.col_keys(),
+        "widest-path needs a square adjacency array"
+    );
     let n = adj.col_keys().len();
     let src = match adj.row_keys().index_of(source) {
         Some(i) => i,
@@ -155,7 +167,11 @@ pub fn widest_path_max_min(adj: &AArray<Nat>, source: &str) -> BTreeMap<String, 
 /// triangle counting.
 pub fn closed_wedge_count(adj: &AArray<Nat>) -> u64 {
     let pair = PlusTimes::<Nat>::new();
-    assert_eq!(adj.row_keys(), adj.col_keys(), "wedge count needs a square adjacency array");
+    assert_eq!(
+        adj.row_keys(),
+        adj.col_keys(),
+        "wedge count needs a square adjacency array"
+    );
     let a = adj.csr();
     let a2 = spgemm(a, a, &pair);
     let closed = ewise_mul(&a2, a, &pair);
@@ -168,7 +184,11 @@ pub fn closed_wedge_count(adj: &AArray<Nat>) -> u64 {
 /// improving afterwards (a positive-weight cycle — not a DAG).
 pub fn longest_path_max_plus(adj: &AArray<Tropical>, source: &str) -> BTreeMap<String, Tropical> {
     let pair = MaxPlus::<Tropical>::new();
-    assert_eq!(adj.row_keys(), adj.col_keys(), "longest path needs a square adjacency array");
+    assert_eq!(
+        adj.row_keys(),
+        adj.col_keys(),
+        "longest path needs a square adjacency array"
+    );
     let n = adj.col_keys().len();
     let src = match adj.row_keys().index_of(source) {
         Some(i) => i,
@@ -198,7 +218,10 @@ pub fn longest_path_max_plus(adj: &AArray<Tropical>, source: &str) -> BTreeMap<S
         if !changed {
             break;
         }
-        assert!(round < n - 1, "graph has a reachable positive-weight cycle (not a DAG)");
+        assert!(
+            round < n - 1,
+            "graph has a reachable positive-weight cycle (not a DAG)"
+        );
     }
 
     dist.into_iter()
@@ -234,8 +257,8 @@ mod tests {
     use super::*;
     use crate::generators::{cycle, path};
     use aarray_algebra::pairs::{OrAnd, PlusTimes};
-    use aarray_core::adjacency_array;
     use aarray_algebra::values::nn::nn;
+    use aarray_core::adjacency_array;
 
     fn bool_adjacency(g: &crate::MultiGraph<Nat>) -> AArray<bool> {
         let pair = PlusTimes::<Nat>::new();

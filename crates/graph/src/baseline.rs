@@ -38,7 +38,12 @@ where
         .into_iter()
         .filter(|(_, v)| !pair.is_zero(v))
         .map(|((s, d), v)| (s, d, v));
-    AArray::from_triples_with_keys(pair, vertex_keys.clone(), vertex_keys, triples.collect::<Vec<_>>())
+    AArray::from_triples_with_keys(
+        pair,
+        vertex_keys.clone(),
+        vertex_keys,
+        triples.collect::<Vec<_>>(),
+    )
 }
 
 #[cfg(test)]
@@ -63,7 +68,10 @@ mod tests {
         let pair = PlusTimes::<Nat>::new();
         let g = weighted_graph();
         let (eout, ein) = g.incidence_arrays(&pair);
-        assert_eq!(direct_adjacency(&g, &pair), adjacency_array(&eout, &ein, &pair));
+        assert_eq!(
+            direct_adjacency(&g, &pair),
+            adjacency_array(&eout, &ein, &pair)
+        );
     }
 
     #[test]
@@ -71,7 +79,10 @@ mod tests {
         let pair = MaxMin::<Nat>::new();
         let g = weighted_graph();
         let (eout, ein) = g.incidence_arrays(&pair);
-        assert_eq!(direct_adjacency(&g, &pair), adjacency_array(&eout, &ein, &pair));
+        assert_eq!(
+            direct_adjacency(&g, &pair),
+            adjacency_array(&eout, &ein, &pair)
+        );
     }
 
     #[test]

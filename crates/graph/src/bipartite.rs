@@ -6,7 +6,7 @@
 //! entity×attribute incidence array and two attribute selections,
 //! produce the attribute×attribute co-occurrence graph under any pair.
 
-use aarray_algebra::{BinaryOp, OpPair, Value};
+use aarray_algebra::{BinaryOp, DynOpPair, OpPair, Value};
 use aarray_core::{AArray, KeySelect};
 
 /// Project an entity×attribute incidence array onto
@@ -25,7 +25,23 @@ where
 {
     let e1 = incidence.select(&KeySelect::All, left_attrs);
     let e2 = incidence.select(&KeySelect::All, right_attrs);
-    e1.transpose().matmul(&e2, pair)
+    e1.transpose_matmul_plan(&e2).execute(pair)
+}
+
+/// [`project`] under `K` heterogeneous pairs at once: the slicing,
+/// transpose, key alignment, and sparsity pattern are computed once,
+/// and a single fused traversal feeds every algebra's accumulator
+/// (`MatmulPlan::execute_all`). Output `p` is bit-identical to
+/// `project(incidence, left_attrs, right_attrs, pairs[p])`.
+pub fn project_multi<V: Value>(
+    incidence: &AArray<V>,
+    left_attrs: &KeySelect,
+    right_attrs: &KeySelect,
+    pairs: &[&dyn DynOpPair<V>],
+) -> Vec<AArray<V>> {
+    let e1 = incidence.select(&KeySelect::All, left_attrs);
+    let e2 = incidence.select(&KeySelect::All, right_attrs);
+    e1.transpose_matmul_plan(&e2).execute_all(pairs)
 }
 
 /// Self-projection: `E(:, attrs)ᵀ ⊕.⊗ E(:, attrs)` — the co-occurrence
@@ -94,6 +110,23 @@ mod tests {
     }
 
     #[test]
+    fn project_multi_matches_per_pair_projections() {
+        use aarray_algebra::pairs::{MaxMin, MinPlus};
+        let pt = PlusTimes::<Nat>::new();
+        let mm = MaxMin::<Nat>::new();
+        let mp = MinPlus::<Nat>::new();
+        let left = KeySelect::Prefix("Genre|".into());
+        let right = KeySelect::Prefix("Writer|".into());
+        let inc = incidence();
+        let pairs: [&dyn DynOpPair<Nat>; 3] = [&pt, &mm, &mp];
+        let fused = project_multi(&inc, &left, &right, &pairs);
+        assert_eq!(fused.len(), 3);
+        assert_eq!(fused[0], project(&inc, &left, &right, &pt));
+        assert_eq!(fused[1], project(&inc, &left, &right, &mm));
+        assert_eq!(fused[2], project(&inc, &left, &right, &mp));
+    }
+
+    #[test]
     fn projection_is_symmetric_for_commutative_times() {
         let pair = PlusTimes::<Nat>::new();
         let a = co_occurrence(&incidence(), &KeySelect::Prefix("Writer|".into()), &pair);
@@ -103,13 +136,19 @@ mod tests {
     #[test]
     fn matches_paper_workload_shape() {
         // Same computation as Figure 3 via the generic projector.
-        use aarray_d4m::music::{music_e1, music_e2, music_incidence};
         use aarray_algebra::values::nn::{nn, NN};
+        use aarray_d4m::music::{music_e1, music_e2, music_incidence};
         let pair = PlusTimes::<NN>::new();
         let a = project(
             &music_incidence(),
-            &KeySelect::Range { lo: "Genre|A".into(), hi: "Genre|Z".into() },
-            &KeySelect::Range { lo: "Writer|A".into(), hi: "Writer|Z".into() },
+            &KeySelect::Range {
+                lo: "Genre|A".into(),
+                hi: "Genre|Z".into(),
+            },
+            &KeySelect::Range {
+                lo: "Writer|A".into(),
+                hi: "Writer|Z".into(),
+            },
             &pair,
         );
         let direct = music_e1().transpose().matmul(&music_e2(), &pair);

@@ -18,7 +18,11 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { name: "G".to_string(), edge_labels: true, include_isolated: true }
+        DotOptions {
+            name: "G".to_string(),
+            edge_labels: true,
+            include_isolated: true,
+        }
     }
 }
 
@@ -28,7 +32,11 @@ fn quote(s: &str) -> String {
 
 /// Render a square adjacency array as a DOT digraph.
 pub fn to_dot<V: Value + Display>(adj: &AArray<V>, opts: &DotOptions) -> String {
-    assert_eq!(adj.row_keys(), adj.col_keys(), "DOT export needs a square adjacency array");
+    assert_eq!(
+        adj.row_keys(),
+        adj.col_keys(),
+        "DOT export needs a square adjacency array"
+    );
     let mut out = String::new();
     out.push_str(&format!("digraph {} {{\n", quote(&opts.name)));
 
@@ -47,7 +55,12 @@ pub fn to_dot<V: Value + Display>(adj: &AArray<V>, opts: &DotOptions) -> String 
 
     for (r, c, v) in adj.iter() {
         if opts.edge_labels {
-            out.push_str(&format!("  {} -> {} [label={}];\n", quote(r), quote(c), quote(&v.to_string())));
+            out.push_str(&format!(
+                "  {} -> {} [label={}];\n",
+                quote(r),
+                quote(c),
+                quote(&v.to_string())
+            ));
         } else {
             out.push_str(&format!("  {} -> {};\n", quote(r), quote(c)));
         }
@@ -82,7 +95,11 @@ mod tests {
 
     #[test]
     fn labels_and_isolated_can_be_disabled() {
-        let opts = DotOptions { name: "M".into(), edge_labels: false, include_isolated: false };
+        let opts = DotOptions {
+            name: "M".into(),
+            edge_labels: false,
+            include_isolated: false,
+        };
         let dot = to_dot(&sample(), &opts);
         assert!(dot.contains("\"a\" -> \"b\";"));
         assert!(!dot.contains("label="));

@@ -52,7 +52,10 @@ pub fn erdos_renyi_weighted(n: usize, m: usize, max_w: f64, seed: u64) -> MultiG
 /// (Graph500 uses `0.57, 0.19, 0.19, 0.05`).
 pub fn rmat(scale: u32, m: usize, probs: (f64, f64, f64, f64), seed: u64) -> MultiGraph<Nat> {
     let (a, b, c, d) = probs;
-    assert!((a + b + c + d - 1.0).abs() < 1e-9, "quadrant probabilities must sum to 1");
+    assert!(
+        (a + b + c + d - 1.0).abs() < 1e-9,
+        "quadrant probabilities must sum to 1"
+    );
     let n = 1usize << scale;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = MultiGraph::new();
@@ -167,7 +170,13 @@ pub fn bipartite(left: usize, right: usize, m: usize, seed: u64) -> MultiGraph<N
     for e in 0..m {
         let l = rng.gen_range(0..left);
         let r = rng.gen_range(0..right);
-        g.add_edge(ekey(e), format!("l{:07}", l), format!("r{:07}", r), Nat(1), Nat(1));
+        g.add_edge(
+            ekey(e),
+            format!("l{:07}", l),
+            format!("r{:07}", r),
+            Nat(1),
+            Nat(1),
+        );
     }
     g
 }

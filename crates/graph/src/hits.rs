@@ -23,7 +23,11 @@ pub fn hits<V: Value>(
     iterations: usize,
     tolerance: f64,
 ) -> HitsScores {
-    assert_eq!(adj.row_keys(), adj.col_keys(), "HITS needs a square adjacency array");
+    assert_eq!(
+        adj.row_keys(),
+        adj.col_keys(),
+        "HITS needs a square adjacency array"
+    );
     let n = adj.row_keys().len();
     if n == 0 {
         return HitsScores::default();
@@ -60,8 +64,12 @@ pub fn hits<V: Value>(
     }
 
     HitsScores {
-        hubs: (0..n).map(|v| (adj.row_keys().key(v).to_string(), hub[v])).collect(),
-        authorities: (0..n).map(|v| (adj.row_keys().key(v).to_string(), auth[v])).collect(),
+        hubs: (0..n)
+            .map(|v| (adj.row_keys().key(v).to_string(), hub[v]))
+            .collect(),
+        authorities: (0..n)
+            .map(|v| (adj.row_keys().key(v).to_string(), auth[v]))
+            .collect(),
     }
 }
 

@@ -35,7 +35,10 @@ pub struct HyperGraph<V: Value> {
 impl<V: Value> HyperGraph<V> {
     /// An empty hypergraph.
     pub fn new() -> Self {
-        HyperGraph { vertices: BTreeSet::new(), edges: Vec::new() }
+        HyperGraph {
+            vertices: BTreeSet::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Add an isolated vertex.
@@ -50,11 +53,18 @@ impl<V: Value> HyperGraph<V> {
         sources: Vec<(String, V)>,
         targets: Vec<(String, V)>,
     ) {
-        assert!(!sources.is_empty() && !targets.is_empty(), "hyperedge needs sources and targets");
+        assert!(
+            !sources.is_empty() && !targets.is_empty(),
+            "hyperedge needs sources and targets"
+        );
         for (v, _) in sources.iter().chain(targets.iter()) {
             self.vertices.insert(v.clone());
         }
-        self.edges.push(HyperEdge { key: key.into(), sources, targets });
+        self.edges.push(HyperEdge {
+            key: key.into(),
+            sources,
+            targets,
+        });
     }
 
     /// Number of hyperedges.
@@ -96,7 +106,11 @@ impl<V: Value> HyperGraph<V> {
         M: BinaryOp<V>,
     {
         let edge_keys = KeySet::from_iter(self.edges.iter().map(|e| e.key.clone()));
-        assert_eq!(edge_keys.len(), self.edges.len(), "edge keys must be unique");
+        assert_eq!(
+            edge_keys.len(),
+            self.edges.len(),
+            "edge keys must be unique"
+        );
         let vertex_keys = KeySet::from_iter(self.vertices.iter().cloned());
 
         let mut out_triples = Vec::new();
@@ -194,7 +208,9 @@ mod tests {
         let pair = PlusTimes::<Nat>::new();
         let mut x = 99u64;
         let mut next = |m: u64| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) % m
         };
         for trial in 0..20 {
@@ -202,10 +218,12 @@ mod tests {
             for e in 0..(1 + next(6)) {
                 let ns = 1 + next(3);
                 let nt = 1 + next(3);
-                let sources: Vec<(String, Nat)> =
-                    (0..ns).map(|_| (format!("v{}", next(8)), Nat(1 + next(5)))).collect();
-                let targets: Vec<(String, Nat)> =
-                    (0..nt).map(|_| (format!("v{}", next(8)), Nat(1 + next(5)))).collect();
+                let sources: Vec<(String, Nat)> = (0..ns)
+                    .map(|_| (format!("v{}", next(8)), Nat(1 + next(5))))
+                    .collect();
+                let targets: Vec<(String, Nat)> = (0..nt)
+                    .map(|_| (format!("v{}", next(8)), Nat(1 + next(5))))
+                    .collect();
                 h.add_edge(format!("e{}", e), sources, targets);
             }
             let (eout, ein) = h.incidence_arrays(&pair);

@@ -13,7 +13,11 @@ use std::collections::BTreeMap;
 /// parallel stored entries count once — the adjacency array already
 /// collapsed multi-edges).
 pub fn core_numbers<V: Value>(adj: &AArray<V>) -> BTreeMap<String, usize> {
-    assert_eq!(adj.row_keys(), adj.col_keys(), "k-core needs a square adjacency array");
+    assert_eq!(
+        adj.row_keys(),
+        adj.col_keys(),
+        "k-core needs a square adjacency array"
+    );
     let n = adj.row_keys().len();
 
     // Undirected simple neighbour sets.

@@ -45,7 +45,11 @@ impl fmt::Display for GraphMetrics {
 
 /// Compute [`GraphMetrics`] from a square adjacency array.
 pub fn graph_metrics<V: Value>(adj: &AArray<V>) -> GraphMetrics {
-    assert_eq!(adj.row_keys(), adj.col_keys(), "metrics need a square adjacency array");
+    assert_eq!(
+        adj.row_keys(),
+        adj.col_keys(),
+        "metrics need a square adjacency array"
+    );
     let n = adj.row_keys().len();
     let edges = adj.nnz();
 
@@ -62,13 +66,19 @@ pub fn graph_metrics<V: Value>(adj: &AArray<V>) -> GraphMetrics {
             reciprocal += 1;
         }
     }
-    let isolated = (0..n).filter(|&v| out_deg[v] == 0 && in_deg[v] == 0).count();
+    let isolated = (0..n)
+        .filter(|&v| out_deg[v] == 0 && in_deg[v] == 0)
+        .count();
 
     GraphMetrics {
         vertices: n,
         edges,
         self_loops,
-        density: if n == 0 { 0.0 } else { edges as f64 / (n * n) as f64 },
+        density: if n == 0 {
+            0.0
+        } else {
+            edges as f64 / (n * n) as f64
+        },
         reciprocal_edges: reciprocal,
         max_out_degree: out_deg.iter().copied().max().unwrap_or(0),
         max_in_degree: in_deg.iter().copied().max().unwrap_or(0),

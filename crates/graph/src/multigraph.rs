@@ -49,7 +49,10 @@ pub struct MultiGraph<V: Value> {
 impl<V: Value> MultiGraph<V> {
     /// An empty graph.
     pub fn new() -> Self {
-        MultiGraph { vertices: BTreeSet::new(), edges: Vec::new() }
+        MultiGraph {
+            vertices: BTreeSet::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Add an isolated vertex (no-op if present).
@@ -67,14 +70,26 @@ impl<V: Value> MultiGraph<V> {
         wout: V,
         win: V,
     ) {
-        let e = Edge { key: key.into(), src: src.into(), dst: dst.into(), wout, win };
+        let e = Edge {
+            key: key.into(),
+            src: src.into(),
+            dst: dst.into(),
+            wout,
+            win,
+        };
         self.vertices.insert(e.src.clone());
         self.vertices.insert(e.dst.clone());
         self.edges.push(e);
     }
 
     /// Add an edge with an auto-generated key `e<N>`.
-    pub fn add_edge_auto(&mut self, src: impl Into<String>, dst: impl Into<String>, wout: V, win: V) {
+    pub fn add_edge_auto(
+        &mut self,
+        src: impl Into<String>,
+        dst: impl Into<String>,
+        wout: V,
+        win: V,
+    ) {
         let key = format!("e{:08}", self.edges.len());
         self.add_edge(key, src, dst, wout, win);
     }
@@ -103,7 +118,10 @@ impl<V: Value> MultiGraph<V> {
     /// pattern any valid adjacency array must reproduce
     /// (Definition I.5).
     pub fn edge_pattern(&self) -> BTreeSet<(String, String)> {
-        self.edges.iter().map(|e| (e.src.clone(), e.dst.clone())).collect()
+        self.edges
+            .iter()
+            .map(|e| (e.src.clone(), e.dst.clone()))
+            .collect()
     }
 
     /// The reverse graph `Ḡ` (Corollary III.1): directions flipped,
@@ -114,7 +132,13 @@ impl<V: Value> MultiGraph<V> {
             g.add_vertex(v.clone());
         }
         for e in &self.edges {
-            g.add_edge(e.key.clone(), e.dst.clone(), e.src.clone(), e.win.clone(), e.wout.clone());
+            g.add_edge(
+                e.key.clone(),
+                e.dst.clone(),
+                e.src.clone(),
+                e.win.clone(),
+                e.wout.clone(),
+            );
         }
         g
     }

@@ -22,7 +22,11 @@ pub struct PageRankOptions {
 
 impl Default for PageRankOptions {
     fn default() -> Self {
-        PageRankOptions { damping: 0.85, tolerance: 1e-10, max_iterations: 100 }
+        PageRankOptions {
+            damping: 0.85,
+            tolerance: 1e-10,
+            max_iterations: 100,
+        }
     }
 }
 
@@ -33,7 +37,11 @@ pub fn pagerank<V: Value>(
     weight_of: impl Fn(&V) -> f64,
     opts: PageRankOptions,
 ) -> BTreeMap<String, f64> {
-    assert_eq!(adj.row_keys(), adj.col_keys(), "PageRank needs a square adjacency array");
+    assert_eq!(
+        adj.row_keys(),
+        adj.col_keys(),
+        "PageRank needs a square adjacency array"
+    );
     let n = adj.row_keys().len();
     if n == 0 {
         return BTreeMap::new();
@@ -72,7 +80,9 @@ pub fn pagerank<V: Value>(
         }
     }
 
-    (0..n).map(|v| (adj.row_keys().key(v).to_string(), rank[v])).collect()
+    (0..n)
+        .map(|v| (adj.row_keys().key(v).to_string(), rank[v]))
+        .collect()
 }
 
 /// Convenience for `+.×`-constructed `NN` adjacency arrays.

@@ -10,7 +10,11 @@ use std::collections::BTreeMap;
 /// dense indices in reverse topological order of the condensation
 /// (Tarjan's emission order).
 pub fn strongly_connected_components<V: Value>(adj: &AArray<V>) -> BTreeMap<String, usize> {
-    assert_eq!(adj.row_keys(), adj.col_keys(), "SCC needs a square adjacency array");
+    assert_eq!(
+        adj.row_keys(),
+        adj.col_keys(),
+        "SCC needs a square adjacency array"
+    );
     let n = adj.row_keys().len();
 
     const UNSET: usize = usize::MAX;
@@ -73,7 +77,11 @@ pub fn strongly_connected_components<V: Value>(adj: &AArray<V>) -> BTreeMap<Stri
 /// Number of strongly connected components.
 pub fn scc_count<V: Value>(adj: &AArray<V>) -> usize {
     let comps = strongly_connected_components(adj);
-    comps.values().copied().collect::<std::collections::BTreeSet<_>>().len()
+    comps
+        .values()
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
 }
 
 #[cfg(test)]

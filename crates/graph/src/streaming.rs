@@ -133,7 +133,12 @@ mod tests {
                 s.push_edge(src, dst, Nat(w), Nat(1));
             }
             let streamed = s.finish();
-            assert_eq!(streamed, one_shot(&edges, &pair), "batch size {}", batch_size);
+            assert_eq!(
+                streamed,
+                one_shot(&edges, &pair),
+                "batch size {}",
+                batch_size
+            );
         }
     }
 

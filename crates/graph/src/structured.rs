@@ -35,7 +35,10 @@ impl Document {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Document { name: name.into(), words: words.into_iter().map(Into::into).collect() }
+        Document {
+            name: name.into(),
+            words: words.into_iter().map(Into::into).collect(),
+        }
     }
 }
 
@@ -101,7 +104,10 @@ mod tests {
         assert_eq!(e.get("d1", "d3"), Some(&WordSet::of(["matrix"])));
         assert_eq!(e.get("d2", "d3"), Some(&WordSet::of(["edge"])));
         // Diagonal carries the full word sets.
-        assert_eq!(e.get("d3", "d3"), Some(&WordSet::of(["edge", "matrix", "vertex"])));
+        assert_eq!(
+            e.get("d3", "d3"),
+            Some(&WordSet::of(["edge", "matrix", "vertex"]))
+        );
     }
 
     #[test]

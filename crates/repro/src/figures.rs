@@ -10,8 +10,8 @@ use aarray_algebra::values::powerset::PowerSet;
 use aarray_algebra::values::tropical::{trop, Tropical};
 use aarray_algebra::values::wordset::WordSet;
 use aarray_algebra::values::zn::Zn;
-use aarray_algebra::{BinaryOp, OpPair, Value};
-use aarray_core::{adjacency_array_unchecked, adjacency_array_verified, AArray};
+use aarray_algebra::{DynOpPair, Value};
+use aarray_core::{adjacency_array_unchecked, adjacency_array_verified, adjacency_plan, AArray};
 use aarray_d4m::music::{music_e1, music_e1_weighted, music_e2, music_incidence};
 use aarray_graph::structured::{shared_word_array, Document};
 
@@ -85,15 +85,6 @@ pub fn figure2() -> Result<String, String> {
     }
 }
 
-/// Compute `E1ᵀ ⊕.⊗ E2` over NN under a given pair.
-fn adjacency_nn<A, M>(e1: &AArray<NN>, e2: &AArray<NN>, pair: &OpPair<NN, A, M>) -> AArray<NN>
-where
-    A: BinaryOp<NN>,
-    M: BinaryOp<NN>,
-{
-    adjacency_array_unchecked(e1, e2, pair)
-}
-
 /// Compute `E1ᵀ max.+ E2` by converting to the tropical carrier.
 fn adjacency_maxplus(e1: &AArray<NN>, e2: &AArray<NN>) -> AArray<Tropical> {
     let pair = MaxPlus::<Tropical>::new();
@@ -101,29 +92,81 @@ fn adjacency_maxplus(e1: &AArray<NN>, e2: &AArray<NN>) -> AArray<Tropical> {
     adjacency_array_unchecked(&conv(e1), &conv(e2), &pair)
 }
 
-fn run_seven_pairs(e1: &AArray<NN>, e2: &AArray<NN>, expects: &SevenExpect) -> Result<String, String> {
+fn run_seven_pairs(
+    e1: &AArray<NN>,
+    e2: &AArray<NN>,
+    expects: &SevenExpect,
+) -> Result<String, String> {
     let nnf = |v: &NN| v.get();
+
+    // One plan, six NN algebras: the transpose, key alignment, and
+    // symbolic pattern are computed once and the fused kernel feeds
+    // all six accumulators in a single traversal of E1ᵀ, E2 — the
+    // figure's "same pattern, different values" observation made
+    // operational. max.+ runs separately on the tropical carrier
+    // (its zero is −∞, so it needs converted operands).
+    let plan = adjacency_plan(e1, e2);
+    let plus_times = PlusTimes::<NN>::new();
+    let max_times = MaxTimes::<NN>::new();
+    let min_times = MinTimes::<NN>::new();
+    let min_plus = MinPlus::<NN>::new();
+    let max_min = MaxMin::<NN>::new();
+    let min_max = MinMax::<NN>::new();
+    let pairs: [&dyn DynOpPair<NN>; 6] = [
+        &plus_times,
+        &max_times,
+        &min_times,
+        &min_plus,
+        &max_min,
+        &min_max,
+    ];
+    let mut fused = plan.execute_all(&pairs).into_iter();
+    let mut next = || fused.next().expect("six fused results");
 
     // Compute all seven panels first…
     let mut panels: Vec<(&str, String, Vec<String>)> = Vec::new();
-    let a = adjacency_nn(e1, e2, &PlusTimes::<NN>::new());
-    panels.push(("+.×", a.to_grid(), diff_against(&a, expects.plus_times, nnf)));
-    let a = adjacency_nn(e1, e2, &MaxTimes::<NN>::new());
-    panels.push(("max.×", a.to_grid(), diff_against(&a, expects.max_times, nnf)));
-    let a = adjacency_nn(e1, e2, &MinTimes::<NN>::new());
-    panels.push(("min.×", a.to_grid(), diff_against(&a, expects.min_times, nnf)));
+    let a = next();
+    panels.push((
+        "+.×",
+        a.to_grid(),
+        diff_against(&a, expects.plus_times, nnf),
+    ));
+    let a = next();
+    panels.push((
+        "max.×",
+        a.to_grid(),
+        diff_against(&a, expects.max_times, nnf),
+    ));
+    let a = next();
+    panels.push((
+        "min.×",
+        a.to_grid(),
+        diff_against(&a, expects.min_times, nnf),
+    ));
     let a = adjacency_maxplus(e1, e2);
     panels.push((
         "max.+",
         a.to_grid(),
         diff_against(&a, expects.max_plus, |v: &Tropical| v.get()),
     ));
-    let a = adjacency_nn(e1, e2, &MinPlus::<NN>::new());
-    panels.push(("min.+", a.to_grid(), diff_against(&a, expects.min_plus, nnf)));
-    let a = adjacency_nn(e1, e2, &MaxMin::<NN>::new());
-    panels.push(("max.min", a.to_grid(), diff_against(&a, expects.max_min, nnf)));
-    let a = adjacency_nn(e1, e2, &MinMax::<NN>::new());
-    panels.push(("min.max", a.to_grid(), diff_against(&a, expects.min_max, nnf)));
+    let a = next();
+    panels.push((
+        "min.+",
+        a.to_grid(),
+        diff_against(&a, expects.min_plus, nnf),
+    ));
+    let a = next();
+    panels.push((
+        "max.min",
+        a.to_grid(),
+        diff_against(&a, expects.max_min, nnf),
+    ));
+    let a = next();
+    panels.push((
+        "min.max",
+        a.to_grid(),
+        diff_against(&a, expects.min_max, nnf),
+    ));
 
     // …then stack panels with identical grids, "for display
     // convenience" exactly as the paper's figure captions say.
@@ -254,14 +297,24 @@ pub fn theorem() -> Result<String, String> {
     // Lemma II.2 on ℤ/6: 2 ⊕ 4 = 0 erases an edge.
     let pair = PlusTimes::<Zn<6>>::new();
     let g = zero_sum_gadget(Zn::<6>::new(2), Zn::<6>::new(4), pair.one());
-    let prod = eval_gadget(&g, &pair.zero(), |a, b| pair.plus(a, b), |a, b| pair.times(a, b));
+    let prod = eval_gadget(
+        &g,
+        &pair.zero(),
+        |a, b| pair.plus(a, b),
+        |a, b| pair.times(a, b),
+    );
     let verdict = classify_pattern(&g, &prod, &pair.zero());
     out.push_str(&format!("Lemma II.2 gadget over ℤ/6: {:?}\n", verdict));
     ok &= matches!(verdict, PatternVerdict::MissingEdge { .. });
 
     // Lemma II.3 on ℤ/6: 2 ⊗ 3 = 0 erases a self-loop.
     let g = zero_divisor_gadget(Zn::<6>::new(2), Zn::<6>::new(3));
-    let prod = eval_gadget(&g, &pair.zero(), |a, b| pair.plus(a, b), |a, b| pair.times(a, b));
+    let prod = eval_gadget(
+        &g,
+        &pair.zero(),
+        |a, b| pair.plus(a, b),
+        |a, b| pair.times(a, b),
+    );
     let verdict = classify_pattern(&g, &prod, &pair.zero());
     out.push_str(&format!("Lemma II.3 gadget over ℤ/6: {:?}\n", verdict));
     ok &= matches!(verdict, PatternVerdict::MissingEdge { .. });
@@ -307,8 +360,8 @@ pub fn taxonomy() -> Result<String, String> {
     use aarray_algebra::values::chain::Chain;
     use aarray_algebra::values::nat::Nat;
     use aarray_algebra::values::unit::Unit;
-    use aarray_algebra::FiniteValueSet;
     use aarray_algebra::values::RandomValue;
+    use aarray_algebra::FiniteValueSet;
     use rand::SeedableRng;
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
@@ -331,36 +384,72 @@ pub fn taxonomy() -> Result<String, String> {
 
     let samples = Nat::sample_batch(&mut rng, 40);
     let p = profile_pair(&PlusTimes::<Nat>::new(), &samples);
-    verdicts.push(line("ℕ  +.×", p.is_semiring_on_domain(), p.is_adjacency_compatible_on_domain()));
+    verdicts.push(line(
+        "ℕ  +.×",
+        p.is_semiring_on_domain(),
+        p.is_adjacency_compatible_on_domain(),
+    ));
 
     let small: Vec<Nat> = (0..12).map(Nat).collect();
     let p = profile_pair(&MaxMin::<Nat>::new(), &small);
-    verdicts.push(line("ℕ  max.min", p.is_semiring_on_domain(), p.is_adjacency_compatible_on_domain()));
+    verdicts.push(line(
+        "ℕ  max.min",
+        p.is_semiring_on_domain(),
+        p.is_adjacency_compatible_on_domain(),
+    ));
 
     let p = profile_pair(&GcdLcm::new(), &small);
-    verdicts.push(line("ℕ  gcd.lcm", p.is_semiring_on_domain(), p.is_adjacency_compatible_on_domain()));
+    verdicts.push(line(
+        "ℕ  gcd.lcm",
+        p.is_semiring_on_domain(),
+        p.is_adjacency_compatible_on_domain(),
+    ));
 
     let p = profile_pair(&OrAnd::new(), &bool::enumerate_all());
-    verdicts.push(line("𝔹  ∨.∧", p.is_semiring_on_domain(), p.is_adjacency_compatible_on_domain()));
+    verdicts.push(line(
+        "𝔹  ∨.∧",
+        p.is_semiring_on_domain(),
+        p.is_adjacency_compatible_on_domain(),
+    ));
 
     let p = profile_pair(&XorAnd::new(), &bool::enumerate_all());
-    verdicts.push(line("𝔹  ⊻.∧", p.is_semiring_on_domain(), p.is_adjacency_compatible_on_domain()));
+    verdicts.push(line(
+        "𝔹  ⊻.∧",
+        p.is_semiring_on_domain(),
+        p.is_adjacency_compatible_on_domain(),
+    ));
 
     let p = profile_pair(&PlusTimes::<Zn<6>>::new(), &Zn::<6>::enumerate_all());
-    verdicts.push(line("ℤ/6  +.×", p.is_semiring_on_domain(), p.is_adjacency_compatible_on_domain()));
+    verdicts.push(line(
+        "ℤ/6  +.×",
+        p.is_semiring_on_domain(),
+        p.is_adjacency_compatible_on_domain(),
+    ));
 
     let p = profile_pair(
         &UnionIntersect::<PowerSet<3>>::new(),
         &PowerSet::<3>::enumerate_all(),
     );
-    verdicts.push(line("2^U  ∪.∩", p.is_semiring_on_domain(), p.is_adjacency_compatible_on_domain()));
+    verdicts.push(line(
+        "2^U  ∪.∩",
+        p.is_semiring_on_domain(),
+        p.is_adjacency_compatible_on_domain(),
+    ));
 
     let p = profile_pair(&MaxMin::<Chain<8>>::new(), &Chain::<8>::enumerate_all());
-    verdicts.push(line("chain max.min", p.is_semiring_on_domain(), p.is_adjacency_compatible_on_domain()));
+    verdicts.push(line(
+        "chain max.min",
+        p.is_semiring_on_domain(),
+        p.is_adjacency_compatible_on_domain(),
+    ));
 
     let us = Unit::sample_batch(&mut rng, 30);
     let p = profile_pair(&ProbOrTimes::new(), &us);
-    verdicts.push(line("[0,1] ⊕ₚ.×", p.is_semiring_on_domain(), p.is_adjacency_compatible_on_domain()));
+    verdicts.push(line(
+        "[0,1] ⊕ₚ.×",
+        p.is_semiring_on_domain(),
+        p.is_adjacency_compatible_on_domain(),
+    ));
 
     // Expected verdict pattern (semiring, compatible):
     let expected = [
@@ -377,11 +466,14 @@ pub fn taxonomy() -> Result<String, String> {
     // ℕ +.×'s semiring verdict depends on whether the random samples
     // include near-⊤ values (saturation breaks associativity) — accept
     // either, and pin the rest.
-    let ok = verdicts[1..].iter().zip(expected[1..].iter()).all(|(a, b)| {
-        // the probor row may or may not trip rounding; compare
-        // compatibility only for float rows.
-        a.1 == b.1
-    });
+    let ok = verdicts[1..]
+        .iter()
+        .zip(expected[1..].iter())
+        .all(|(a, b)| {
+            // the probor row may or may not trip rounding; compare
+            // compatibility only for float rows.
+            a.1 == b.1
+        });
     out.push_str("\nsemiring laws and Theorem II.1 are independent axes —\n");
     out.push_str("rings/Boolean algebras are semirings yet unsafe; lattices are both;\n");
     out.push_str("float pairs are safe yet not exact semirings.\n");

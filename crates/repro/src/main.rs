@@ -52,7 +52,13 @@ fn main() -> ExitCode {
         if let Some(dir) = &save_dir {
             let slug: String = name
                 .chars()
-                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .collect::<String>()
                 .split('_')
                 .filter(|s| !s.is_empty())
@@ -85,8 +91,14 @@ fn main() -> ExitCode {
         "fig5" => run("Figure 5: adjacency arrays, weighted", figures::figure5),
         "stats" => run("Pipeline array statistics", figures::stats),
         "theorem" => run("Theorem II.1: property reports & gadgets", figures::theorem),
-        "taxonomy" => run("Section III: semiring laws vs Theorem II.1", figures::taxonomy),
-        "wordsets" => run("Section III: document×word arrays under ∪.∩", figures::wordsets),
+        "taxonomy" => run(
+            "Section III: semiring laws vs Theorem II.1",
+            figures::taxonomy,
+        ),
+        "wordsets" => run(
+            "Section III: document×word arrays under ∪.∩",
+            figures::wordsets,
+        ),
         "all" => {
             run("Figure 1: exploded incidence array E", figures::figure1);
             run("Figure 2: sub-arrays E1, E2", figures::figure2);
@@ -95,8 +107,14 @@ fn main() -> ExitCode {
             run("Figure 5: adjacency arrays, weighted", figures::figure5);
             run("Pipeline array statistics", figures::stats);
             run("Theorem II.1: property reports & gadgets", figures::theorem);
-            run("Section III: semiring laws vs Theorem II.1", figures::taxonomy);
-            run("Section III: document×word arrays under ∪.∩", figures::wordsets);
+            run(
+                "Section III: semiring laws vs Theorem II.1",
+                figures::taxonomy,
+            );
+            run(
+                "Section III: document×word arrays under ∪.∩",
+                figures::wordsets,
+            );
         }
         other => {
             eprintln!(

@@ -17,7 +17,9 @@ fn figure3_passes() {
     let out = figures::figure3().expect("Figure 3 must match the paper");
     // All seven operator pairs appear (possibly stacked, as the paper
     // stacks identical panels).
-    for pair in ["+.×", "max.×", "min.×", "max.+", "min.+", "max.min", "min.max"] {
+    for pair in [
+        "+.×", "max.×", "min.×", "max.+", "min.+", "max.min", "min.max",
+    ] {
         assert!(out.contains(pair), "missing {}", pair);
     }
     // Figure 3 stacks everything but +.× and the additive pairs.

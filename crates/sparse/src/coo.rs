@@ -15,8 +15,15 @@ pub struct Coo<V: Value> {
 impl<V: Value> Coo<V> {
     /// New empty triplet list with the given dimensions.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize, "dimension exceeds u32 index space");
-        Coo { nrows, ncols, entries: Vec::new() }
+        assert!(
+            nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
+            "dimension exceeds u32 index space"
+        );
+        Coo {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
     }
 
     /// New with preallocated capacity for `cap` triplets.
@@ -37,8 +44,18 @@ impl<V: Value> Coo<V> {
 
     /// Append one entry. Panics if out of bounds.
     pub fn push(&mut self, row: usize, col: usize, value: V) {
-        assert!(row < self.nrows, "row {} out of bounds ({})", row, self.nrows);
-        assert!(col < self.ncols, "col {} out of bounds ({})", col, self.ncols);
+        assert!(
+            row < self.nrows,
+            "row {} out of bounds ({})",
+            row,
+            self.nrows
+        );
+        assert!(
+            col < self.ncols,
+            "col {} out of bounds ({})",
+            col,
+            self.ncols
+        );
         self.entries.push((row as u32, col as u32, value));
     }
 
@@ -123,8 +140,8 @@ impl<V: Value> Coo<V> {
 mod tests {
     use super::*;
     use aarray_algebra::ops::{Max, Min, Plus, Times};
-    use aarray_algebra::values::nat::Nat;
     use aarray_algebra::values::bstr::BStr;
+    use aarray_algebra::values::nat::Nat;
 
     fn pt() -> OpPair<Nat, Plus, Times> {
         OpPair::new()

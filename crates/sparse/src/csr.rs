@@ -22,7 +22,13 @@ pub struct Csr<V: Value> {
 impl<V: Value> Csr<V> {
     /// An empty array of the given dimensions.
     pub fn empty(nrows: usize, ncols: usize) -> Self {
-        Csr { nrows, ncols, indptr: vec![0; nrows + 1], indices: Vec::new(), values: Vec::new() }
+        Csr {
+            nrows,
+            ncols,
+            indptr: vec![0; nrows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Assemble from raw parts. Debug-asserts the CSR invariants.
@@ -44,10 +50,22 @@ impl<V: Value> Csr<V> {
                 debug_assert!(w[0] < w[1], "row {} indices not strictly ascending", r);
             }
             if let Some(&last) = row.last() {
-                debug_assert!((last as usize) < ncols, "row {} col {} ≥ ncols {}", r, last, ncols);
+                debug_assert!(
+                    (last as usize) < ncols,
+                    "row {} col {} ≥ ncols {}",
+                    r,
+                    last,
+                    ncols
+                );
             }
         }
-        Csr { nrows, ncols, indptr, indices, values }
+        Csr {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -102,7 +120,9 @@ impl<V: Value> Csr<V> {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &V)> + '_ {
         (0..self.nrows).flat_map(move |r| {
             let (cols, vals) = self.row(r);
-            cols.iter().zip(vals.iter()).map(move |(&c, v)| (r, c as usize, v))
+            cols.iter()
+                .zip(vals.iter())
+                .map(move |(&c, v)| (r, c as usize, v))
         })
     }
 
@@ -131,7 +151,10 @@ impl<V: Value> Csr<V> {
                 next[c as usize] += 1;
             }
         }
-        let values_t: Vec<V> = values_t.into_iter().map(|v| v.expect("every slot filled")).collect();
+        let values_t: Vec<V> = values_t
+            .into_iter()
+            .map(|v| v.expect("every slot filled"))
+            .collect();
         Csr::from_parts(self.ncols, self.nrows, indptr_t, indices_t, values_t)
     }
 
@@ -151,11 +174,7 @@ impl<V: Value> Csr<V> {
 
     /// Map stored values and drop any that land on the target pair's
     /// zero.
-    pub fn map_prune<W, A, M>(
-        &self,
-        pair: &OpPair<W, A, M>,
-        f: impl Fn(&V) -> W,
-    ) -> Csr<W>
+    pub fn map_prune<W, A, M>(&self, pair: &OpPair<W, A, M>, f: impl Fn(&V) -> W) -> Csr<W>
     where
         W: Value,
         A: BinaryOp<W>,
@@ -191,7 +210,12 @@ impl<V: Value> Csr<V> {
     /// Select a contiguous column range `[lo, hi)`, keeping all rows
     /// and renumbering columns to start at zero.
     pub fn select_col_range(&self, lo: usize, hi: usize) -> Csr<V> {
-        assert!(lo <= hi && hi <= self.ncols, "invalid column range {}..{}", lo, hi);
+        assert!(
+            lo <= hi && hi <= self.ncols,
+            "invalid column range {}..{}",
+            lo,
+            hi
+        );
         let mut indptr = vec![0usize; self.nrows + 1];
         let mut indices = Vec::new();
         let mut values = Vec::new();
@@ -211,7 +235,10 @@ impl<V: Value> Csr<V> {
     /// Select an arbitrary (sorted, deduplicated) set of columns,
     /// renumbering to `0..cols.len()`.
     pub fn select_cols(&self, cols: &[usize]) -> Csr<V> {
-        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "column list must be sorted unique");
+        debug_assert!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "column list must be sorted unique"
+        );
         let mut remap = vec![u32::MAX; self.ncols];
         for (new, &old) in cols.iter().enumerate() {
             assert!(old < self.ncols, "column {} out of bounds", old);
@@ -237,7 +264,10 @@ impl<V: Value> Csr<V> {
     /// Select a (sorted, deduplicated) set of rows, renumbering to
     /// `0..rows.len()`.
     pub fn select_rows(&self, rows: &[usize]) -> Csr<V> {
-        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "row list must be sorted unique");
+        debug_assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "row list must be sorted unique"
+        );
         let mut indptr = vec![0usize; rows.len() + 1];
         let mut indices = Vec::new();
         let mut values = Vec::new();

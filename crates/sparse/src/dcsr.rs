@@ -40,7 +40,14 @@ impl<V: Value> Dcsr<V> {
                 indptr.push(indices.len());
             }
         }
-        Dcsr { nrows: csr.nrows(), ncols: csr.ncols(), row_ids, indptr, indices, values }
+        Dcsr {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            row_ids,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Expand back to CSR.
@@ -151,7 +158,14 @@ where
         }
     }
 
-    Dcsr { nrows: a.nrows(), ncols: b.ncols(), row_ids, indptr, indices, values }
+    Dcsr {
+        nrows: a.nrows(),
+        ncols: b.ncols(),
+        row_ids,
+        indptr,
+        indices,
+        values,
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,11 @@ pub struct Dense<V: Value> {
 impl<V: Value> Dense<V> {
     /// A dense array filled with `fill`.
     pub fn filled(nrows: usize, ncols: usize, fill: V) -> Self {
-        Dense { nrows, ncols, data: vec![fill; nrows * ncols] }
+        Dense {
+            nrows,
+            ncols,
+            data: vec![fill; nrows * ncols],
+        }
     }
 
     /// Materialize a sparse array densely, writing `zero` in unstored
@@ -172,8 +176,8 @@ mod tests {
         // 2·1 + 4·1 = 6 ≡ 0: both semantics prune the result.
         let sparse = spgemm(&a, &b, &pair);
         assert_eq!(sparse.nnz(), 0);
-        let dense = Dense::from_csr(&a, pair.zero())
-            .matmul(&Dense::from_csr(&b, pair.zero()), &pair);
+        let dense =
+            Dense::from_csr(&a, pair.zero()).matmul(&Dense::from_csr(&b, pair.zero()), &pair);
         assert_eq!(*dense.get(0, 0), Zn::<6>::new(0));
     }
 

@@ -19,13 +19,22 @@ where
     A: BinaryOp<V>,
     M: BinaryOp<V>,
 {
-    assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()), "element-wise dims must agree");
-    merge(a, b, |x, y| match (x, y) {
-        (Some(x), Some(y)) => Some(pair.plus(x, y)),
-        (Some(x), None) => Some(x.clone()),
-        (None, Some(y)) => Some(y.clone()),
-        (None, None) => None,
-    }, pair)
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+        "element-wise dims must agree"
+    );
+    merge(
+        a,
+        b,
+        |x, y| match (x, y) {
+            (Some(x), Some(y)) => Some(pair.plus(x, y)),
+            (Some(x), None) => Some(x.clone()),
+            (None, Some(y)) => Some(y.clone()),
+            (None, None) => None,
+        },
+        pair,
+    )
 }
 
 /// Element-wise `C = A ⊗ B` (intersection merge). Dimensions must
@@ -36,11 +45,20 @@ where
     A: BinaryOp<V>,
     M: BinaryOp<V>,
 {
-    assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()), "element-wise dims must agree");
-    merge(a, b, |x, y| match (x, y) {
-        (Some(x), Some(y)) => Some(pair.times(x, y)),
-        _ => None,
-    }, pair)
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+        "element-wise dims must agree"
+    );
+    merge(
+        a,
+        b,
+        |x, y| match (x, y) {
+            (Some(x), Some(y)) => Some(pair.times(x, y)),
+            _ => None,
+        },
+        pair,
+    )
 }
 
 fn merge<V, A, M>(

@@ -102,7 +102,7 @@ mod tests {
     use super::*;
     use aarray_algebra::ops::{Plus, Times};
     use aarray_algebra::values::nat::Nat;
-    use aarray_algebra::values::nn::{NN};
+    use aarray_algebra::values::nn::NN;
 
     fn pt() -> OpPair<Nat, Plus, Times> {
         OpPair::new()
@@ -137,10 +137,18 @@ mod tests {
         coo.push(0, 1, NN::INF);
         let a = coo.into_csr(&pair);
         let text = write_triples(&a, |v| {
-            if v.is_infinite() { "inf".to_string() } else { v.get().to_string() }
+            if v.is_infinite() {
+                "inf".to_string()
+            } else {
+                v.get().to_string()
+            }
         });
         let b = read_triples(&text, &pair, |s| {
-            if s == "inf" { Some(NN::INF) } else { s.parse::<f64>().ok().and_then(NN::new) }
+            if s == "inf" {
+                Some(NN::INF)
+            } else {
+                s.parse::<f64>().ok().and_then(NN::new)
+            }
         })
         .expect("parses");
         assert_eq!(a, b);
@@ -151,7 +159,10 @@ mod tests {
         let pair = pt();
         let p = |s: &str| s.parse().ok().map(Nat);
         assert_eq!(read_triples("", &pair, p), Err(ReadError::BadHeader));
-        assert_eq!(read_triples("%wrong 1 1\n", &pair, p), Err(ReadError::BadHeader));
+        assert_eq!(
+            read_triples("%wrong 1 1\n", &pair, p),
+            Err(ReadError::BadHeader)
+        );
         assert_eq!(
             read_triples("%aarray 1 1\nnot\ta\tline?", &pair, p),
             Err(ReadError::BadLine(2))

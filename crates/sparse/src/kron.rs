@@ -18,7 +18,10 @@ where
     let (p, q) = (b.nrows(), b.ncols());
     let nrows = a.nrows() * p;
     let ncols = a.ncols() * q;
-    assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize, "kron result too large");
+    assert!(
+        nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
+        "kron result too large"
+    );
 
     let mut indptr = vec![0usize; nrows + 1];
     let mut indices: Vec<u32> = Vec::with_capacity(a.nnz() * b.nnz());

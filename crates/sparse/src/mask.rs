@@ -13,7 +13,11 @@ use aarray_algebra::{BinaryOp, OpPair, Value};
 /// Keep only the entries of `a` at coordinates where `mask` stores an
 /// entry (structural mask; mask values are ignored).
 pub fn apply_mask<V: Value, W: Value>(a: &Csr<V>, mask: &Csr<W>) -> Csr<V> {
-    assert_eq!((a.nrows(), a.ncols()), (mask.nrows(), mask.ncols()), "mask dims must agree");
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (mask.nrows(), mask.ncols()),
+        "mask dims must agree"
+    );
     let mut indptr = vec![0usize; a.nrows() + 1];
     let mut indices = Vec::new();
     let mut values = Vec::new();
@@ -40,7 +44,11 @@ pub fn apply_mask<V: Value, W: Value>(a: &Csr<V>, mask: &Csr<W>) -> Csr<V> {
 
 /// Complement mask: keep entries of `a` where `mask` stores nothing.
 pub fn apply_mask_complement<V: Value, W: Value>(a: &Csr<V>, mask: &Csr<W>) -> Csr<V> {
-    assert_eq!((a.nrows(), a.ncols()), (mask.nrows(), mask.ncols()), "mask dims must agree");
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (mask.nrows(), mask.ncols()),
+        "mask dims must agree"
+    );
     let mut indptr = vec![0usize; a.nrows() + 1];
     let mut indices = Vec::new();
     let mut values = Vec::new();

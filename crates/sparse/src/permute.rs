@@ -62,7 +62,11 @@ pub fn permute_cols<V: Value>(a: &Csr<V>, perm: &[usize]) -> Csr<V> {
 /// the reordering used for adjacency arrays, preserving the graph up to
 /// relabelling.
 pub fn permute_symmetric<V: Value>(a: &Csr<V>, perm: &[usize]) -> Csr<V> {
-    assert_eq!(a.nrows(), a.ncols(), "symmetric permutation needs a square array");
+    assert_eq!(
+        a.nrows(),
+        a.ncols(),
+        "symmetric permutation needs a square array"
+    );
     permute_cols(&permute_rows(a, perm), perm)
 }
 

@@ -117,8 +117,14 @@ mod tests {
     #[test]
     fn rows_cols_all() {
         let a = sample();
-        assert_eq!(reduce_rows(&a, &pt()), vec![Some(Nat(3)), None, Some(Nat(12))]);
-        assert_eq!(reduce_cols(&a, &pt()), vec![Some(Nat(5)), Some(Nat(2)), Some(Nat(8))]);
+        assert_eq!(
+            reduce_rows(&a, &pt()),
+            vec![Some(Nat(3)), None, Some(Nat(12))]
+        );
+        assert_eq!(
+            reduce_cols(&a, &pt()),
+            vec![Some(Nat(5)), Some(Nat(2)), Some(Nat(8))]
+        );
         assert_eq!(reduce_all(&a, &pt()), Some(Nat(15)));
     }
 

@@ -163,7 +163,10 @@ struct RowScratch<V> {
 
 impl<V: Value> RowScratch<V> {
     fn new(ncols: usize) -> Self {
-        RowScratch { slots: vec![None; ncols], touched: Vec::new() }
+        RowScratch {
+            slots: vec![None; ncols],
+            touched: Vec::new(),
+        }
     }
 }
 
@@ -201,7 +204,9 @@ fn multiply_row<V, A, M>(
             }
             scratch.touched.sort_unstable();
             for &j in &scratch.touched {
-                let v = scratch.slots[j as usize].take().expect("touched slot filled");
+                let v = scratch.slots[j as usize]
+                    .take()
+                    .expect("touched slot filled");
                 if !pair.is_zero(&v) {
                     out.push((j, v));
                 }
@@ -300,12 +305,27 @@ mod tests {
         let a = from_triples(
             4,
             5,
-            &[(0, 0, 1), (0, 3, 2), (1, 1, 3), (1, 4, 1), (2, 2, 2), (3, 0, 5), (3, 4, 7)],
+            &[
+                (0, 0, 1),
+                (0, 3, 2),
+                (1, 1, 3),
+                (1, 4, 1),
+                (2, 2, 2),
+                (3, 0, 5),
+                (3, 4, 7),
+            ],
         );
         let b = from_triples(
             5,
             3,
-            &[(0, 1, 2), (1, 0, 1), (2, 2, 3), (3, 1, 4), (4, 0, 6), (4, 2, 1)],
+            &[
+                (0, 1, 2),
+                (1, 0, 1),
+                (2, 2, 3),
+                (3, 1, 4),
+                (4, 0, 6),
+                (4, 2, 1),
+            ],
         );
         let c1 = spgemm_with(&a, &b, &pt(), Accumulator::Spa);
         let c2 = spgemm_with(&a, &b, &pt(), Accumulator::Hash);
@@ -323,9 +343,13 @@ mod tests {
         let mut cb = Coo::new(50, 3);
         let mut x = 1u64;
         for k in 0..50usize {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ca.push(x as usize % 3, k, Nat(x % 17 + 1));
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             cb.push(k, x as usize % 3, Nat(x % 13 + 1));
         }
         let a = ca.into_csr(&pair);

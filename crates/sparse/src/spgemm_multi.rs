@@ -1,0 +1,474 @@
+//! Fused multi-semiring SpGEMM: `K` products `C_p = A ⊕_p.⊗_p B` from
+//! **one** traversal of the operands.
+//!
+//! The paper's Figure 3 workload multiplies the *same* incidence
+//! pattern under seven different `⊕.⊗` pairs. Running seven
+//! independent [`crate::spgemm::spgemm_with`] calls re-reads `A`'s and
+//! `B`'s index structure seven times; the sparsity pattern work is
+//! identical every time and only the value arithmetic differs. This
+//! module hoists that redundancy:
+//!
+//! 1. the **symbolic** pass ([`crate::symbolic::spgemm_symbolic`])
+//!    runs once — the structural pattern depends only on the operand
+//!    patterns, never on the algebra;
+//! 2. a single **numeric** traversal walks `A`'s rows and `B`'s rows
+//!    once, and for every contributing `(i, k, j)` coordinate feeds
+//!    all `K` accumulators, laid out structure-of-arrays
+//!    (`accs[p * nslots + slot]`, one contiguous lane per pair).
+//!
+//! Heterogeneous pairs are handled through the object-safe
+//! [`DynOpPair`] adapter, so one call can mix `+.×`, `max.min`,
+//! `min.+`, … over the same value set.
+//!
+//! **Bit-identity.** Terms are folded left-associated in ascending
+//! inner-key order — the same canonical order as every other kernel in
+//! this crate — and each lane prunes its own `⊕`-produced zeros with
+//! its own `is_zero`. Output `p` is therefore bit-identical to the
+//! sequential `spgemm_with(a, b, pairs[p], _)` for arbitrary
+//! non-associative, non-commutative operations (property-tested in
+//! `tests/proptest_multi.rs`).
+
+use crate::csr::Csr;
+use crate::symbolic::{spgemm_symbolic, SymbolicProduct};
+use aarray_algebra::dynpair::DynOpPair;
+use aarray_algebra::Value;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Per-row slot-lookup strategy for the fused numeric traversal.
+///
+/// Mirrors the SPA/Hash split of [`crate::spgemm::Accumulator`] (there
+/// is no ESC variant: the symbolic pattern already provides exact
+/// sorted slots, which is precisely what expand-sort-compress would
+/// rediscover per row).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MultiAccumulator {
+    /// Dense `O(ncols)` column→slot scratchpad, reset via the touched
+    /// slots only. Best when output rows are dense-ish or `ncols` is
+    /// moderate.
+    Spa,
+    /// Hash map column→slot built per row. Best for very wide, very
+    /// sparse outputs where an `O(ncols)` scratch is wasteful.
+    Hash,
+}
+
+/// Fused `K`-pair product: `[A ⊕_p.⊗_p B for p in pairs]` with one
+/// symbolic pass and one numeric traversal.
+///
+/// Returns one `Csr` per pair, in order. Each output is bit-identical
+/// to the corresponding sequential [`crate::spgemm::spgemm_with`]
+/// call. Panics if `A.ncols() != B.nrows()`.
+pub fn spgemm_multi<V: Value>(
+    a: &Csr<V>,
+    b: &Csr<V>,
+    pairs: &[&dyn DynOpPair<V>],
+    acc: MultiAccumulator,
+) -> Vec<Csr<V>> {
+    let sym = spgemm_symbolic(a, b);
+    spgemm_multi_numeric(&sym, a, b, pairs, acc)
+}
+
+/// Row-parallel fused `K`-pair product.
+///
+/// Output rows are independent and each row's fold order is identical
+/// to the serial kernel's, so results are bit-identical to
+/// [`spgemm_multi`] for any operations.
+pub fn spgemm_multi_parallel<V: Value>(
+    a: &Csr<V>,
+    b: &Csr<V>,
+    pairs: &[&dyn DynOpPair<V>],
+    acc: MultiAccumulator,
+) -> Vec<Csr<V>> {
+    let sym = spgemm_symbolic(a, b);
+    spgemm_multi_numeric_parallel(&sym, a, b, pairs, acc)
+}
+
+fn check_dims<V: Value>(sym: &SymbolicProduct, a: &Csr<V>, b: &Csr<V>) {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "inner dimensions must agree: A is {}×{}, B is {}×{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    assert_eq!(
+        sym.shape(),
+        (a.nrows(), b.ncols()),
+        "symbolic pattern built for different operands"
+    );
+}
+
+/// Numeric phase of the fused product against a precomputed symbolic
+/// pattern (reuse the pattern across calls when the operands' sparsity
+/// is fixed — e.g. a plan that multiplies under new algebras later).
+pub fn spgemm_multi_numeric<V: Value>(
+    sym: &SymbolicProduct,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    pairs: &[&dyn DynOpPair<V>],
+    acc: MultiAccumulator,
+) -> Vec<Csr<V>> {
+    check_dims(sym, a, b);
+    let npairs = pairs.len();
+
+    let mut outs: Vec<RowsOut<V>> = (0..npairs).map(|_| RowsOut::with_rows(a.nrows())).collect();
+    let mut scratch = MultiScratch::new(b.ncols());
+    let mut row_out: Vec<Vec<(u32, V)>> = vec![Vec::new(); npairs];
+    for i in 0..a.nrows() {
+        multiply_row_multi(a, b, pairs, acc, i, sym.row(i), &mut scratch, &mut row_out);
+        for (p, rows) in row_out.iter_mut().enumerate() {
+            outs[p].push_row(i, rows.drain(..));
+        }
+    }
+
+    outs.into_iter()
+        .map(|o| o.into_csr(a.nrows(), b.ncols()))
+        .collect()
+}
+
+/// Row-parallel numeric phase; bit-identical to
+/// [`spgemm_multi_numeric`].
+pub fn spgemm_multi_numeric_parallel<V: Value>(
+    sym: &SymbolicProduct,
+    a: &Csr<V>,
+    b: &Csr<V>,
+    pairs: &[&dyn DynOpPair<V>],
+    acc: MultiAccumulator,
+) -> Vec<Csr<V>> {
+    check_dims(sym, a, b);
+    let npairs = pairs.len();
+
+    // Each row yields its K per-pair segments; reassembled per pair.
+    let rows: Vec<Vec<Vec<(u32, V)>>> = (0..a.nrows())
+        .into_par_iter()
+        .map_init(
+            || MultiScratch::new(b.ncols()),
+            |scratch, i| {
+                let mut row_out: Vec<Vec<(u32, V)>> = vec![Vec::new(); npairs];
+                multiply_row_multi(a, b, pairs, acc, i, sym.row(i), scratch, &mut row_out);
+                row_out
+            },
+        )
+        .collect();
+
+    let mut outs: Vec<RowsOut<V>> = (0..npairs).map(|_| RowsOut::with_rows(a.nrows())).collect();
+    for (i, row) in rows.into_iter().enumerate() {
+        for (p, segment) in row.into_iter().enumerate() {
+            outs[p].push_row(i, segment.into_iter());
+        }
+    }
+    outs.into_iter()
+        .map(|o| o.into_csr(a.nrows(), b.ncols()))
+        .collect()
+}
+
+/// Accumulating output buffers for one pair's Csr.
+struct RowsOut<V> {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<V>,
+}
+
+impl<V: Value> RowsOut<V> {
+    fn with_rows(nrows: usize) -> Self {
+        RowsOut {
+            indptr: vec![0usize; nrows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    fn push_row(&mut self, i: usize, entries: impl Iterator<Item = (u32, V)>) {
+        for (j, v) in entries {
+            self.indices.push(j);
+            self.values.push(v);
+        }
+        self.indptr[i + 1] = self.indices.len();
+    }
+
+    fn into_csr(self, nrows: usize, ncols: usize) -> Csr<V> {
+        Csr::from_parts(nrows, ncols, self.indptr, self.indices, self.values)
+    }
+}
+
+/// Reusable per-thread scratch: the dense column→slot map (SPA mode)
+/// and the K-lane structure-of-arrays accumulator block.
+struct MultiScratch<V> {
+    slot_of: Vec<usize>,
+    accs: Vec<Option<V>>,
+}
+
+impl<V: Value> MultiScratch<V> {
+    fn new(ncols: usize) -> Self {
+        MultiScratch {
+            slot_of: vec![usize::MAX; ncols],
+            accs: Vec::new(),
+        }
+    }
+}
+
+/// One fused output row: a single sweep over `A`'s row `i` and the
+/// touched rows of `B`, folding every term into all `K` lanes.
+#[allow(clippy::too_many_arguments)]
+fn multiply_row_multi<V: Value>(
+    a: &Csr<V>,
+    b: &Csr<V>,
+    pairs: &[&dyn DynOpPair<V>],
+    acc: MultiAccumulator,
+    i: usize,
+    srow: &[u32],
+    scratch: &mut MultiScratch<V>,
+    out: &mut [Vec<(u32, V)>],
+) {
+    let npairs = pairs.len();
+    let nslots = srow.len();
+    let MultiScratch { slot_of, accs } = scratch;
+    accs.clear();
+    accs.resize(npairs * nslots, None);
+
+    match acc {
+        MultiAccumulator::Spa => {
+            for (slot, &j) in srow.iter().enumerate() {
+                slot_of[j as usize] = slot;
+            }
+            fuse_row_terms(a, b, pairs, i, nslots, accs, |j| slot_of[j as usize]);
+            for &j in srow {
+                slot_of[j as usize] = usize::MAX;
+            }
+        }
+        MultiAccumulator::Hash => {
+            let map: HashMap<u32, usize> = srow.iter().enumerate().map(|(s, &j)| (j, s)).collect();
+            fuse_row_terms(a, b, pairs, i, nslots, accs, |j| map[&j]);
+        }
+    }
+
+    // Emit each lane in slot (= ascending column) order, pruning the
+    // lane's own ⊕-produced zeros: the implicit-zero invariant is
+    // per-algebra, so lanes may legitimately emit different patterns.
+    for (p, pair) in pairs.iter().enumerate() {
+        let lane = &mut accs[p * nslots..(p + 1) * nslots];
+        for (slot, &j) in srow.iter().enumerate() {
+            if let Some(v) = lane[slot].take() {
+                if !pair.is_zero(&v) {
+                    out[p].push((j, v));
+                }
+            }
+        }
+    }
+}
+
+/// The shared traversal: for every contributing `(k, j)` term of row
+/// `i`, apply all `K` pairs and fold left-associated (ascending `k`)
+/// into the SoA accumulator block. `lookup` resolves a column to its
+/// slot under the active strategy (dense scratch or per-row hash map).
+fn fuse_row_terms<V: Value>(
+    a: &Csr<V>,
+    b: &Csr<V>,
+    pairs: &[&dyn DynOpPair<V>],
+    i: usize,
+    nslots: usize,
+    accs: &mut [Option<V>],
+    lookup: impl Fn(u32) -> usize,
+) {
+    let (ks, avs) = a.row(i);
+    for (&k, av) in ks.iter().zip(avs.iter()) {
+        let (js, bvs) = b.row(k as usize);
+        for (&j, bv) in js.iter().zip(bvs.iter()) {
+            let slot = lookup(j);
+            debug_assert!(slot < nslots, "numeric term outside symbolic pattern");
+            for (p, pair) in pairs.iter().enumerate() {
+                let cell = &mut accs[p * nslots + slot];
+                let term = pair.times(av, bv);
+                *cell = Some(match cell.take() {
+                    None => term,
+                    Some(prev) => pair.plus(&prev, &term),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::spgemm::{spgemm_with, Accumulator};
+    use aarray_algebra::ops::{AbsDiff, Plus, Times};
+    use aarray_algebra::pairs::{MaxMin, MaxPlus, MinPlus, PlusTimes};
+    use aarray_algebra::values::nat::Nat;
+    use aarray_algebra::values::zn::Zn;
+    use aarray_algebra::OpPair;
+
+    fn pt() -> PlusTimes<Nat> {
+        PlusTimes::new()
+    }
+
+    fn build(nrows: usize, ncols: usize, t: &[(usize, usize, u64)]) -> Csr<Nat> {
+        let mut coo = Coo::new(nrows, ncols);
+        for &(r, c, v) in t {
+            coo.push(r, c, Nat(v));
+        }
+        coo.into_csr(&pt())
+    }
+
+    fn operands() -> (Csr<Nat>, Csr<Nat>) {
+        let a = build(
+            4,
+            5,
+            &[
+                (0, 0, 1),
+                (0, 3, 2),
+                (1, 1, 3),
+                (1, 4, 1),
+                (2, 2, 2),
+                (3, 0, 5),
+                (3, 4, 7),
+            ],
+        );
+        let b = build(
+            5,
+            3,
+            &[
+                (0, 1, 2),
+                (1, 0, 1),
+                (2, 2, 3),
+                (3, 1, 4),
+                (4, 0, 6),
+                (4, 2, 1),
+            ],
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn fused_matches_sequential_per_pair() {
+        let (a, b) = operands();
+        let pt = PlusTimes::<Nat>::new();
+        let mm = MaxMin::<Nat>::new();
+        let mp = MaxPlus::<Nat>::new();
+        let np = MinPlus::<Nat>::new();
+        let pairs: Vec<&dyn DynOpPair<Nat>> = vec![&pt, &mm, &mp, &np];
+        for acc in [MultiAccumulator::Spa, MultiAccumulator::Hash] {
+            let fused = spgemm_multi(&a, &b, &pairs, acc);
+            assert_eq!(fused.len(), 4);
+            assert_eq!(fused[0], spgemm_with(&a, &b, &pt, Accumulator::Spa));
+            assert_eq!(fused[1], spgemm_with(&a, &b, &mm, Accumulator::Spa));
+            assert_eq!(fused[2], spgemm_with(&a, &b, &mp, Accumulator::Spa));
+            assert_eq!(fused[3], spgemm_with(&a, &b, &np, Accumulator::Spa));
+        }
+    }
+
+    #[test]
+    fn parallel_fused_is_bit_identical_for_nonassociative_plus() {
+        // ⊕ = |−| is not associative: fold order is observable.
+        let ad: OpPair<Nat, AbsDiff, Times> = OpPair::new();
+        let pt = PlusTimes::<Nat>::new();
+        let pairs: Vec<&dyn DynOpPair<Nat>> = vec![&ad, &pt];
+        let mut ca = Coo::new(3, 40);
+        let mut cb = Coo::new(40, 3);
+        let mut x = 9u64;
+        for k in 0..40usize {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ca.push(x as usize % 3, k, Nat(x % 17 + 1));
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            cb.push(k, x as usize % 3, Nat(x % 13 + 1));
+        }
+        let a = ca.into_csr(&pt);
+        let b = cb.into_csr(&pt);
+        for acc in [MultiAccumulator::Spa, MultiAccumulator::Hash] {
+            let serial = spgemm_multi(&a, &b, &pairs, acc);
+            let parallel = spgemm_multi_parallel(&a, &b, &pairs, acc);
+            assert_eq!(serial, parallel, "{:?}", acc);
+            assert_eq!(serial[0], spgemm_with(&a, &b, &ad, Accumulator::Esc));
+            assert_eq!(serial[1], spgemm_with(&a, &b, &pt, Accumulator::Esc));
+        }
+    }
+
+    #[test]
+    fn lanes_prune_their_own_zeros_zn_wraparound() {
+        // In Z6, 2×1 ⊕ 2×2 = 2 + 4 ≡ 0: the +.× lane must drop the
+        // wrapped-to-zero entry while a lane with a different zero
+        // element (same slot, different algebra) keeps its entry —
+        // the implicit-zero invariant is per-lane. Regression test for the fused kernel
+        // and the ESC accumulator agreeing on ⊕-produced zeros.
+        type Z6 = Zn<6>;
+        let pt6 = PlusTimes::<Z6>::new();
+        // ×.+ is also closed on Z6 with identity-of-⊕ = 1: a lane
+        // whose "zero" differs, so it must keep what +.× prunes.
+        let tp6: OpPair<Z6, Times, Plus> = OpPair::new();
+        let mut ca = Coo::new(1, 2);
+        ca.push(0, 0, Z6::new(2));
+        ca.push(0, 1, Z6::new(2));
+        let mut cb = Coo::new(2, 1);
+        cb.push(0, 0, Z6::new(1));
+        cb.push(1, 0, Z6::new(2));
+        let a = ca.into_csr(&pt6);
+        let b = cb.into_csr(&pt6);
+
+        let pairs: Vec<&dyn DynOpPair<Z6>> = vec![&pt6, &tp6];
+        for acc in [MultiAccumulator::Spa, MultiAccumulator::Hash] {
+            let fused = spgemm_multi(&a, &b, &pairs, acc);
+            assert_eq!(fused[0].nnz(), 0, "wrapped sum must be pruned ({:?})", acc);
+            assert_eq!(fused[1].nnz(), 1, "×.+ lane unaffected ({:?})", acc);
+            // And identically to every sequential accumulator.
+            for seq_acc in [Accumulator::Spa, Accumulator::Hash, Accumulator::Esc] {
+                assert_eq!(fused[0], spgemm_with(&a, &b, &pt6, seq_acc));
+                assert_eq!(fused[1], spgemm_with(&a, &b, &tp6, seq_acc));
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_pattern_reuse_across_numeric_calls() {
+        let (a, b) = operands();
+        let sym = spgemm_symbolic(&a, &b);
+        let pt = PlusTimes::<Nat>::new();
+        let mm = MaxMin::<Nat>::new();
+        let first = spgemm_multi_numeric(
+            &sym,
+            &a,
+            &b,
+            &[&pt as &dyn DynOpPair<Nat>],
+            MultiAccumulator::Spa,
+        );
+        let second = spgemm_multi_numeric(
+            &sym,
+            &a,
+            &b,
+            &[&mm as &dyn DynOpPair<Nat>],
+            MultiAccumulator::Spa,
+        );
+        assert_eq!(first[0], spgemm_with(&a, &b, &pt, Accumulator::Spa));
+        assert_eq!(second[0], spgemm_with(&a, &b, &mm, Accumulator::Spa));
+    }
+
+    #[test]
+    fn empty_pair_list_and_empty_operands() {
+        let (a, b) = operands();
+        let none: Vec<&dyn DynOpPair<Nat>> = Vec::new();
+        assert!(spgemm_multi(&a, &b, &none, MultiAccumulator::Spa).is_empty());
+
+        let ea = Csr::<Nat>::empty(3, 4);
+        let eb = Csr::<Nat>::empty(4, 2);
+        let pt = PlusTimes::<Nat>::new();
+        let pairs: Vec<&dyn DynOpPair<Nat>> = vec![&pt];
+        let out = spgemm_multi(&ea, &eb, &pairs, MultiAccumulator::Hash);
+        assert_eq!((out[0].nrows(), out[0].ncols(), out[0].nnz()), (3, 2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = build(2, 3, &[(0, 0, 1)]);
+        let b = build(2, 2, &[(0, 0, 1)]);
+        let pt = PlusTimes::<Nat>::new();
+        let pairs: Vec<&dyn DynOpPair<Nat>> = vec![&pt];
+        let _ = spgemm_multi(&a, &b, &pairs, MultiAccumulator::Spa);
+    }
+}

@@ -31,7 +31,10 @@ impl<V: Value> SparseVec<V> {
             }
         }
         merged.retain(|(_, v)| !pair.is_zero(v));
-        SparseVec { len, entries: merged }
+        SparseVec {
+            len,
+            entries: merged,
+        }
     }
 
     /// Dimension of the vector.
@@ -65,11 +68,7 @@ impl<V: Value> SparseVec<V> {
 
 /// `y = A ⊕.⊗ x` where `x` is dense (`Option<V>` cells, `None` = zero).
 /// Folds each row in ascending column order, left-associated.
-pub fn spmv<V, A, M>(
-    a: &Csr<V>,
-    x: &[Option<V>],
-    pair: &OpPair<V, A, M>,
-) -> Vec<Option<V>>
+pub fn spmv<V, A, M>(a: &Csr<V>, x: &[Option<V>], pair: &OpPair<V, A, M>) -> Vec<Option<V>>
 where
     V: Value,
     A: BinaryOp<V>,
@@ -96,11 +95,7 @@ where
 
 /// Row-parallel [`spmv`] — bit-identical output (per-row folds are
 /// unchanged).
-pub fn spmv_parallel<V, A, M>(
-    a: &Csr<V>,
-    x: &[Option<V>],
-    pair: &OpPair<V, A, M>,
-) -> Vec<Option<V>>
+pub fn spmv_parallel<V, A, M>(a: &Csr<V>, x: &[Option<V>], pair: &OpPair<V, A, M>) -> Vec<Option<V>>
 where
     V: Value,
     A: BinaryOp<V>,
@@ -167,8 +162,8 @@ mod tests {
     use super::*;
     use crate::coo::Coo;
     use aarray_algebra::ops::{Min, Plus, Times};
-    use aarray_algebra::values::nn::{nn, NN};
     use aarray_algebra::values::nat::Nat;
+    use aarray_algebra::values::nn::{nn, NN};
 
     fn pt() -> OpPair<Nat, Plus, Times> {
         OpPair::new()

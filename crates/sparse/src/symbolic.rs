@@ -39,6 +39,19 @@ impl SymbolicProduct {
     pub fn shape(&self) -> (usize, usize) {
         (self.nrows, self.ncols)
     }
+
+    /// The sorted column indices structurally present in output row
+    /// `i`. This is what lets downstream numeric passes (including the
+    /// fused multi-pair kernel in [`crate::spgemm_multi`]) preallocate
+    /// exact per-row slots.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.indices[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Structural nonzero count of output row `i`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
 }
 
 /// Symbolic pass: compute the output pattern of `A ⊕.⊗ B` for any
@@ -79,7 +92,12 @@ pub fn spgemm_symbolic<V: Value, W: Value>(a: &Csr<V>, b: &Csr<W>) -> SymbolicPr
         indices.extend(row);
         indptr[i + 1] = indices.len();
     }
-    SymbolicProduct { nrows: a.nrows(), ncols: b.ncols(), indptr, indices }
+    SymbolicProduct {
+        nrows: a.nrows(),
+        ncols: b.ncols(),
+        indptr,
+        indices,
+    }
 }
 
 /// Numeric pass: fill a symbolic pattern with values under a concrete
@@ -96,8 +114,16 @@ where
     A: BinaryOp<V>,
     M: BinaryOp<V>,
 {
-    assert_eq!(sym.nrows, a.nrows(), "symbolic pattern built for different A");
-    assert_eq!(sym.ncols, b.ncols(), "symbolic pattern built for different B");
+    assert_eq!(
+        sym.nrows,
+        a.nrows(),
+        "symbolic pattern built for different A"
+    );
+    assert_eq!(
+        sym.ncols,
+        b.ncols(),
+        "symbolic pattern built for different B"
+    );
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
 
     // slot_of[j] maps a column to its position within the current row's

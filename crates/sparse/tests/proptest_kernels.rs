@@ -25,15 +25,13 @@ fn pt() -> PT {
 /// Strategy: a random sparse matrix as (nrows, ncols, triplets).
 fn arb_csr(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr<Nat>> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(move |(r, c)| {
-        prop::collection::vec((0..r, 0..c, 0u64..50), 0..=max_nnz).prop_map(
-            move |trips| {
-                let mut coo = Coo::new(r, c);
-                for (i, j, v) in trips {
-                    coo.push(i, j, Nat(v));
-                }
-                coo.into_csr(&pt())
-            },
-        )
+        prop::collection::vec((0..r, 0..c, 0u64..50), 0..=max_nnz).prop_map(move |trips| {
+            let mut coo = Coo::new(r, c);
+            for (i, j, v) in trips {
+                coo.push(i, j, Nat(v));
+            }
+            coo.into_csr(&pt())
+        })
     })
 }
 
@@ -56,24 +54,20 @@ fn arb_same_dims(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = (Csr<N
 /// A conforming pair of matrices for multiplication.
 fn arb_pair(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = (Csr<Nat>, Csr<Nat>)> {
     (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(move |(m, k, n)| {
-        let a = prop::collection::vec((0..m, 0..k, 1u64..20), 0..=max_nnz).prop_map(
-            move |trips| {
-                let mut coo = Coo::new(m, k);
-                for (i, j, v) in trips {
-                    coo.push(i, j, Nat(v));
-                }
-                coo.into_csr(&pt())
-            },
-        );
-        let b = prop::collection::vec((0..k, 0..n, 1u64..20), 0..=max_nnz).prop_map(
-            move |trips| {
-                let mut coo = Coo::new(k, n);
-                for (i, j, v) in trips {
-                    coo.push(i, j, Nat(v));
-                }
-                coo.into_csr(&pt())
-            },
-        );
+        let a = prop::collection::vec((0..m, 0..k, 1u64..20), 0..=max_nnz).prop_map(move |trips| {
+            let mut coo = Coo::new(m, k);
+            for (i, j, v) in trips {
+                coo.push(i, j, Nat(v));
+            }
+            coo.into_csr(&pt())
+        });
+        let b = prop::collection::vec((0..k, 0..n, 1u64..20), 0..=max_nnz).prop_map(move |trips| {
+            let mut coo = Coo::new(k, n);
+            for (i, j, v) in trips {
+                coo.push(i, j, Nat(v));
+            }
+            coo.into_csr(&pt())
+        });
         (a, b)
     })
 }

@@ -29,17 +29,17 @@ fn main() {
     // structured incidence array).
     let e = shared_word_array(&docs);
     println!("E — shared-word incidence array:\n{}", e.to_grid());
-    assert!(has_sharing_structure(&e), "construction guarantees the sharing structure");
+    assert!(
+        has_sharing_structure(&e),
+        "construction guarantees the sharing structure"
+    );
 
     let pair = UnionIntersect::<WordSet>::new();
 
     // The population-level check refuses: some products genuinely
     // intersect disjoint non-empty sets…
     match adjacency_array_checked(&e, &e, &pair) {
-        Err(err) => println!(
-            "conservative check refuses (as expected):\n  {}\n",
-            err
-        ),
+        Err(err) => println!("conservative check refuses (as expected):\n  {}\n", err),
         Ok(_) => println!("note: this corpus happens to pass even the conservative check\n"),
     }
 
@@ -50,7 +50,10 @@ fn main() {
     // words as entries — the paper's Section III claim, made precise.
     let ete = adjacency_array_unchecked(&e, &e, &pair);
     assert_eq!(ete, e, "EᵀE = E on structured corpora (idempotence)");
-    println!("EᵀE under ∪.∩ — documents connected by shared words (= E itself):\n{}", ete.to_grid());
+    println!(
+        "EᵀE under ∪.∩ — documents connected by shared words (= E itself):\n{}",
+        ete.to_grid()
+    );
 
     // The entries list shared words, exactly as the paper describes.
     let gl = ete.get("graphs101", "linalg").expect("share 'matrix'");

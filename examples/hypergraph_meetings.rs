@@ -30,11 +30,7 @@ fn main() {
         vec![w("bob", 1), w("carol", 1)],
         vec![w("alice", 1), w("dave", 1), w("erin", 1)],
     );
-    h.add_edge(
-        "one_on_one",
-        vec![w("alice", 1)],
-        vec![w("bob", 1)],
-    );
+    h.add_edge("one_on_one", vec![w("alice", 1)], vec![w("bob", 1)]);
 
     println!(
         "hypergraph: {} meetings over {} people",
@@ -45,7 +41,10 @@ fn main() {
     // Incidence arrays: one row per meeting, several nonzeros per row.
     let pair = PlusTimes::<Nat>::new();
     let (eout, ein) = h.incidence_arrays(&pair);
-    println!("\nEout (who presents in which meeting):\n{}", eout.to_grid());
+    println!(
+        "\nEout (who presents in which meeting):\n{}",
+        eout.to_grid()
+    );
     println!("Ein (who attends which meeting):\n{}", ein.to_grid());
 
     // The communication graph: A(a, b) = number of meetings where a
@@ -53,7 +52,10 @@ fn main() {
     // block — the expansion the edge-list representation would have to
     // materialize by hand.
     let a = adjacency_array(&eout, &ein, &pair);
-    println!("communication graph under +.× (meeting counts):\n{}", a.to_grid());
+    println!(
+        "communication graph under +.× (meeting counts):\n{}",
+        a.to_grid()
+    );
     assert_eq!(a.get("alice", "bob"), Some(&Nat(2))); // standup + 1:1
     assert_eq!(a.get("bob", "erin"), Some(&Nat(1))); // design review
     assert_eq!(a.get("erin", "alice"), None); // erin never presents

@@ -41,20 +41,44 @@ fn main() {
     println!("=== Figure 3: A = E1ᵀ ⊕.⊗ E2, unit weights ===");
     let show = |name: &str, grid: String| println!("--- {} ---\n{}", name, grid);
 
-    show("+.×", adjacency_array_unchecked(&e1, &e2, &PlusTimes::<NN>::new()).to_grid());
-    show("max.×", adjacency_array_unchecked(&e1, &e2, &MaxTimes::<NN>::new()).to_grid());
-    show("min.×", adjacency_array_unchecked(&e1, &e2, &MinTimes::<NN>::new()).to_grid());
+    show(
+        "+.×",
+        adjacency_array_unchecked(&e1, &e2, &PlusTimes::<NN>::new()).to_grid(),
+    );
+    show(
+        "max.×",
+        adjacency_array_unchecked(&e1, &e2, &MaxTimes::<NN>::new()).to_grid(),
+    );
+    show(
+        "min.×",
+        adjacency_array_unchecked(&e1, &e2, &MinTimes::<NN>::new()).to_grid(),
+    );
     let tp = MaxPlus::<Tropical>::new();
     let e1t = e1.map_prune(&tp, |v| trop(v.get()));
     let e2t = e2.map_prune(&tp, |v| trop(v.get()));
-    show("max.+", adjacency_array_unchecked(&e1t, &e2t, &tp).to_grid());
-    show("min.+", adjacency_array_unchecked(&e1, &e2, &MinPlus::<NN>::new()).to_grid());
-    show("max.min", adjacency_array_unchecked(&e1, &e2, &MaxMin::<NN>::new()).to_grid());
-    show("min.max", adjacency_array_unchecked(&e1, &e2, &MinMax::<NN>::new()).to_grid());
+    show(
+        "max.+",
+        adjacency_array_unchecked(&e1t, &e2t, &tp).to_grid(),
+    );
+    show(
+        "min.+",
+        adjacency_array_unchecked(&e1, &e2, &MinPlus::<NN>::new()).to_grid(),
+    );
+    show(
+        "max.min",
+        adjacency_array_unchecked(&e1, &e2, &MaxMin::<NN>::new()).to_grid(),
+    );
+    show(
+        "min.max",
+        adjacency_array_unchecked(&e1, &e2, &MinMax::<NN>::new()).to_grid(),
+    );
 
     // Figures 4/5: re-weight E1 and watch the algebras diverge.
     let w = music_e1_weighted();
-    println!("=== Figure 4: weighted E1 (Electronic 1, Pop 2, Rock 3) ===\n{}", w.to_grid());
+    println!(
+        "=== Figure 4: weighted E1 (Electronic 1, Pop 2, Rock 3) ===\n{}",
+        w.to_grid()
+    );
     println!("=== Figure 5: A = E1ᵀ ⊕.⊗ E2, weighted ===");
     show(
         "+.× (aggregates all edges)",
@@ -64,5 +88,8 @@ fn main() {
         "max.min (selects extremal edges)",
         adjacency_array_unchecked(&w, &e2, &MaxMin::<NN>::new()).to_grid(),
     );
-    show("min.max", adjacency_array_unchecked(&w, &e2, &MinMax::<NN>::new()).to_grid());
+    show(
+        "min.max",
+        adjacency_array_unchecked(&w, &e2, &MinMax::<NN>::new()).to_grid(),
+    );
 }

@@ -34,7 +34,11 @@ fn main() {
     let pair = PlusTimes::<Nat>::new();
     let t0 = Instant::now();
     let (eout, ein) = g.incidence_arrays(&pair);
-    println!("incidence arrays: {:?} each, built in {:?}", eout.shape(), t0.elapsed());
+    println!(
+        "incidence arrays: {:?} each, built in {:?}",
+        eout.shape(),
+        t0.elapsed()
+    );
 
     let t0 = Instant::now();
     let a = adjacency_array(&eout, &ein, &pair);
@@ -53,9 +57,17 @@ fn main() {
     // 3. Degree profile and wedge census via semiring ops.
     let deg = out_degrees(&a);
     let max_deg = deg.values().max().copied().unwrap_or(0);
-    println!("max out-degree: {} (mean {:.2})", max_deg, a.nnz() as f64 / a.shape().0 as f64);
+    println!(
+        "max out-degree: {} (mean {:.2})",
+        max_deg,
+        a.nnz() as f64 / a.shape().0 as f64
+    );
     let t0 = Instant::now();
-    println!("closed wedges: {} in {:?}", closed_wedge_count(&a), t0.elapsed());
+    println!(
+        "closed wedges: {} in {:?}",
+        closed_wedge_count(&a),
+        t0.elapsed()
+    );
 
     // 4. BFS over the Boolean view.
     let bpair = OrAnd::new();
@@ -85,9 +97,15 @@ fn main() {
     let t0 = Instant::now();
     let dist = sssp_min_plus(&wa, &src);
     let reachable = dist.len();
-    let farthest = dist.values().cloned().fold(nn(0.0), |a, b| if b > a { b } else { a });
+    let farthest = dist
+        .values()
+        .cloned()
+        .fold(nn(0.0), |a, b| if b > a { b } else { a });
     println!(
         "min.+ SSSP from {}: {} reachable, farthest distance {}, in {:?}",
-        src, reachable, farthest, t0.elapsed()
+        src,
+        reachable,
+        farthest,
+        t0.elapsed()
     );
 }

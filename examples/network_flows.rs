@@ -25,20 +25,35 @@ fn main() {
     // Explode: each field|value pair becomes a column (Figure 1's move,
     // different domain).
     let e = flow_incidence();
-    println!("exploded E: {:?}, {} entries\n{}", e.shape(), e.nnz(), e.to_grid());
+    println!(
+        "exploded E: {:?}, {} entries\n{}",
+        e.shape(),
+        e.nnz(),
+        e.to_grid()
+    );
 
     // Talker graph: who sends to whom, correlated through shared flows.
     let pt = PlusTimes::<NN>::new();
     let src = KeySelect::Prefix("SrcIP|".into());
     let dst = KeySelect::Prefix("DstIP|".into());
     let talkers = project(&e, &src, &dst, &pt);
-    println!("talker graph under +.× (flow counts):\n{}", talkers.to_grid());
+    println!(
+        "talker graph under +.× (flow counts):\n{}",
+        talkers.to_grid()
+    );
 
     // Same projection, max.min algebra: pure existence (all weights 1).
     let mm = MaxMin::<NN>::new();
     let exists = project(&e, &src, &dst, &mm);
-    println!("talker graph under max.min (existence):\n{}", exists.to_grid());
-    assert_eq!(talkers.nnz(), exists.nnz(), "same pattern, different values");
+    println!(
+        "talker graph under max.min (existence):\n{}",
+        exists.to_grid()
+    );
+    assert_eq!(
+        talkers.nnz(),
+        exists.nnz(),
+        "same pattern, different values"
+    );
 
     // Top talkers per source via the query API.
     println!("busiest destination per source:");

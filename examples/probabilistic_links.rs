@@ -45,7 +45,10 @@ fn main() {
 
     // Noisy-or: probability that at least one observation fires.
     let fused = adjacency_array(&eout, &ein, &ProbOrTimes::new());
-    println!("probor.× (fused detection probability):\n{}", fused.to_grid());
+    println!(
+        "probor.× (fused detection probability):\n{}",
+        fused.to_grid()
+    );
     // 0.63 ⊕ₚ 0.54 = 0.63 + 0.54 − 0.63·0.54 = 0.8298.
     let p = fused.get("sensorA", "target1").unwrap().get();
     assert!((p - 0.8298).abs() < 1e-12, "{}", p);

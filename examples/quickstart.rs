@@ -39,7 +39,10 @@ fn main() {
     // divisors, annihilating zero) — try an i64 `+.×` pair here and it
     // will not compile.
     let a = adjacency_array(&eout, &ein, &pair);
-    println!("adjacency array under +.× (counts citations):\n{}", a.to_grid());
+    println!(
+        "adjacency array under +.× (counts citations):\n{}",
+        a.to_grid()
+    );
     assert_eq!(a.get("paperB", "paperC"), Some(&Nat(2)));
 
     // Same arrays, different algebra: max.min tracks the "widest" edge.
@@ -50,7 +53,10 @@ fn main() {
 
     // The reverse graph falls out of the other product (Corollary III.1).
     let rev = reverse_adjacency_array(&eout, &ein, &pair);
-    println!("reverse-graph adjacency (who is cited by whom):\n{}", rev.to_grid());
+    println!(
+        "reverse-graph adjacency (who is cited by whom):\n{}",
+        rev.to_grid()
+    );
     assert_eq!(rev.get("paperC", "paperB"), Some(&Nat(2)));
 
     // Runtime-checked construction refuses non-compliant data. ℤ's +.×

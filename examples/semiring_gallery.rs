@@ -24,7 +24,10 @@ fn main() {
     // paper's introduction opens with.
     println!("{}\n", check_pair_sampled(&MaxMin::<BStr>::new(), 400, 2));
     // Tropical max.+ with zero = -∞.
-    println!("{}\n", check_pair_sampled(&MaxPlus::<Tropical>::new(), 400, 3));
+    println!(
+        "{}\n",
+        check_pair_sampled(&MaxPlus::<Tropical>::new(), 400, 3)
+    );
     // The Boolean semiring {0, 1}.
     println!("{}\n", check_pair_exhaustive(&OrAnd::new()));
     // And a non-arithmetic surprise: gcd.lcm over ℕ.
@@ -39,21 +42,38 @@ fn main() {
     // Lemma II.2 in action: parallel edges a→b with weights 2 and 4
     // cancel mod 6, so the product loses the edge.
     let g = zero_sum_gadget(Zn::<6>::new(2), Zn::<6>::new(4), zn_pair.one());
-    let prod = eval_gadget(&g, &zn_pair.zero(), |a, b| zn_pair.plus(a, b), |a, b| {
-        zn_pair.times(a, b)
-    });
-    println!("{} → {:?}\n", g.description, classify_pattern(&g, &prod, &zn_pair.zero()));
+    let prod = eval_gadget(
+        &g,
+        &zn_pair.zero(),
+        |a, b| zn_pair.plus(a, b),
+        |a, b| zn_pair.times(a, b),
+    );
+    println!(
+        "{} → {:?}\n",
+        g.description,
+        classify_pattern(&g, &prod, &zn_pair.zero())
+    );
 
     // Lemma II.3: zero divisors 2·3 ≡ 0 erase a self-loop.
     let g = zero_divisor_gadget(Zn::<6>::new(2), Zn::<6>::new(3));
-    let prod = eval_gadget(&g, &zn_pair.zero(), |a, b| zn_pair.plus(a, b), |a, b| {
-        zn_pair.times(a, b)
-    });
-    println!("{} → {:?}\n", g.description, classify_pattern(&g, &prod, &zn_pair.zero()));
+    let prod = eval_gadget(
+        &g,
+        &zn_pair.zero(),
+        |a, b| zn_pair.plus(a, b),
+        |a, b| zn_pair.times(a, b),
+    );
+    println!(
+        "{} → {:?}\n",
+        g.description,
+        classify_pattern(&g, &prod, &zn_pair.zero())
+    );
 
     // Non-trivial Boolean algebras have zero divisors: the power set of
     // a 3-element universe under ∪.∩, exhaustively refuted.
-    println!("{}\n", check_pair_exhaustive(&UnionIntersect::<PowerSet<3>>::new()));
+    println!(
+        "{}\n",
+        check_pair_exhaustive(&UnionIntersect::<PowerSet<3>>::new())
+    );
 
     // Lemma II.4 needs a ⊗ whose zero fails to annihilate. None of the
     // library's ops is that broken, so demonstrate with an ad-hoc ⊗

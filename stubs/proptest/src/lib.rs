@@ -1,0 +1,225 @@
+//! Offline stub of the `proptest` crate covering the API surface this
+//! workspace uses: the `proptest!` macro, `prop_assert*` macros,
+//! `Strategy` with `prop_map` / `prop_flat_map`, `Just`, `prop_oneof!`,
+//! and `prop::collection::{vec, btree_set}`.
+//!
+//! Differences from the real crate: deterministic seeding per test
+//! case index (no OS entropy), **no shrinking** of failing inputs, and
+//! a default of 64 cases per property (override with the
+//! `PROPTEST_CASES` environment variable). Failures panic with the
+//! sampled case index so a run can be reproduced by reading the code.
+//! See `stubs/README.md` for swapping the real crate back.
+
+pub mod strategy;
+
+pub mod collection;
+
+/// The deterministic RNG handed to [`strategy::Strategy::sample`].
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor (used by the `proptest!` macro).
+    pub fn seed_from_u64(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `0..bound` (`bound > 0`).
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "next_index: empty bound");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES` env override;
+/// default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// What `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec` etc.).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Run-one-property plumbing used by the `proptest!` macro expansion.
+pub fn run_property<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    // Stable per-test seed: hash of the test name, so distinct
+    // properties explore distinct streams but reruns are identical.
+    let mut seed = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100000001b3);
+    }
+    let n = cases();
+    for i in 0..n {
+        let mut rng = TestRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        if let Err(msg) = case(&mut rng) {
+            panic!(
+                "proptest property '{}' failed at case {}/{} (deterministic seed — rerun reproduces): {}",
+                name, i, n, msg
+            );
+        }
+    }
+}
+
+/// `proptest! { #[test] fn name(x in strategy, ...) { body } ... }`
+///
+/// Expands each property into a plain `#[test]` that samples the
+/// strategies [`cases`] times and panics on the first failure.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(clippy::redundant_closure_call)]
+                $crate::run_property(stringify!($name), |__proptest_rng| {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                    let __proptest_result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __proptest_result
+                });
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` / with trailing format args.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq!({}, {}): {:?} != {:?}",
+                stringify!($a), stringify!($b), __l, __r
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` / with trailing format args.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if *__l == *__r {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_ne!({}, {}): both are {:?}",
+                stringify!($a), stringify!($b), __l
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if *__l == *__r {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// `prop_oneof![s1, s2, ...]` — uniform choice among strategies of a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::from_vec(vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0..10usize, 5u64..9), c in 1..=3i32) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+            prop_assert!((1..=3).contains(&c));
+        }
+
+        #[test]
+        fn vec_and_map(v in prop::collection::vec((0..4usize, 0..100u64), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            let doubled = (0..3u8).prop_map(|x| x * 2).sample(&mut crate::TestRng::seed_from_u64(1));
+            prop_assert!(doubled % 2 == 0);
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(0u64), 1u64..10, Just(u64::MAX)]) {
+            prop_assert!(x == 0 || x == u64::MAX || (1..10).contains(&x));
+        }
+
+        #[test]
+        fn flat_map_dependent_sizes(v in (1..=5usize).prop_flat_map(|n| prop::collection::vec(0..10u8, n..=n))) {
+            prop_assert!((1..=5).contains(&v.len()));
+        }
+
+        #[test]
+        fn btree_set_collects(s in prop::collection::btree_set(0..6u32, 1..5)) {
+            prop_assert!(!s.is_empty());
+            prop_assert!(s.len() < 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_index() {
+        crate::run_property("always_fails", |_rng| Err("nope".to_string()));
+    }
+}

@@ -1,0 +1,294 @@
+//! Offline stub of the `rayon` crate covering the API surface this
+//! workspace uses, executing everything **sequentially** on the
+//! calling thread.
+//!
+//! The workspace's parallel kernels are row-partitioned with per-row
+//! fold order identical to the serial kernels, so sequential execution
+//! is *semantically identical* — only the wall-clock speedup on
+//! multi-core hosts is lost. `current_num_threads()` reports 1 by
+//! default (so auto-parallel heuristics correctly skip fan-out), and
+//! reports the configured size inside `ThreadPool::install`, which
+//! lets tests exercise the "parallel" dispatch branch
+//! deterministically. See `stubs/README.md` for swapping the real
+//! crate back.
+
+use std::cell::Cell;
+
+thread_local! {
+    static POOL_THREADS: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Number of threads in the current pool (1 unless inside
+/// [`ThreadPool::install`]).
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|c| c.get())
+}
+
+/// Run two closures "in parallel" (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Set the pool size (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Never fails in the stub.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            1
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (unreachable in stub)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "thread pool" that runs closures on the calling thread while
+/// reporting its configured size via [`current_num_threads`].
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Execute `op` in the pool's scope.
+    pub fn install<O, R>(&self, op: O) -> R
+    where
+        O: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        let out = op();
+        POOL_THREADS.with(|c| c.set(prev));
+        out
+    }
+
+    /// The configured pool size.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Sequential stand-ins for rayon's parallel iterator traits.
+pub mod iter {
+    /// A "parallel" iterator: a thin wrapper over a [`Iterator`].
+    pub struct ParIter<I> {
+        inner: I,
+    }
+
+    /// Conversion into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Concrete iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Convert self.
+        fn into_par_iter(self) -> ParIter<Self::Iter>;
+    }
+
+    /// Conversion into a parallel iterator over references.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type (a reference).
+        type Item: 'a;
+        /// Concrete iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate references "in parallel".
+        fn par_iter(&'a self) -> ParIter<Self::Iter>;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> ParIter<Self::Iter> {
+            ParIter {
+                inner: self.into_iter(),
+            }
+        }
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Item = <&'a C as IntoIterator>::Item;
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> ParIter<Self::Iter> {
+            ParIter {
+                inner: self.into_iter(),
+            }
+        }
+    }
+
+    impl<I: Iterator> ParIter<I> {
+        /// Map each element.
+        pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+        where
+            F: FnMut(I::Item) -> R,
+        {
+            ParIter {
+                inner: self.inner.map(f),
+            }
+        }
+
+        /// Map with per-"thread" scratch state (one state total here).
+        pub fn map_init<INIT, T, F, R>(
+            self,
+            init: INIT,
+            mut f: F,
+        ) -> ParIter<impl Iterator<Item = R>>
+        where
+            INIT: Fn() -> T,
+            F: FnMut(&mut T, I::Item) -> R,
+        {
+            let mut state = init();
+            ParIter {
+                inner: self.inner.map(move |item| f(&mut state, item)),
+            }
+        }
+
+        /// Filter elements.
+        pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+        where
+            F: FnMut(&I::Item) -> bool,
+        {
+            ParIter {
+                inner: self.inner.filter(f),
+            }
+        }
+
+        /// Clone referenced elements.
+        pub fn cloned<'a, T>(self) -> ParIter<std::iter::Cloned<I>>
+        where
+            I: Iterator<Item = &'a T>,
+            T: Clone + 'a,
+        {
+            ParIter {
+                inner: self.inner.cloned(),
+            }
+        }
+
+        /// Left-to-right reduction (sequential, so no associativity is
+        /// actually required — the real rayon needs it).
+        pub fn reduce_with<F>(self, f: F) -> Option<I::Item>
+        where
+            F: FnMut(I::Item, I::Item) -> I::Item,
+        {
+            self.inner.reduce(f)
+        }
+
+        /// Fold-equivalent of rayon's `reduce` with identity.
+        pub fn reduce<ID, F>(self, identity: ID, f: F) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            F: FnMut(I::Item, I::Item) -> I::Item,
+        {
+            self.inner.fold(identity(), f)
+        }
+
+        /// Sum the elements.
+        pub fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<I::Item>,
+        {
+            self.inner.sum()
+        }
+
+        /// Collect into a container.
+        pub fn collect<C>(self) -> C
+        where
+            C: FromIterator<I::Item>,
+        {
+            self.inner.collect()
+        }
+
+        /// Consume with a side-effecting closure.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: FnMut(I::Item),
+        {
+            self.inner.for_each(f)
+        }
+    }
+}
+
+/// What `use rayon::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_serial() {
+        let v: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_threads_state() {
+        let v: Vec<usize> = (0..5usize)
+            .into_par_iter()
+            .map_init(
+                || 100usize,
+                |s, x| {
+                    *s += 1;
+                    *s + x
+                },
+            )
+            .collect();
+        assert_eq!(v, vec![101, 103, 105, 107, 109]);
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = [1u64, 2, 3];
+        let s: u64 = data.par_iter().cloned().reduce_with(|a, b| a + b).unwrap();
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        assert_eq!(super::current_num_threads(), 1);
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let inside = pool.install(super::current_num_threads);
+        assert_eq!(inside, 2);
+        assert_eq!(super::current_num_threads(), 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline placeholder for the `serde` crate.
+//!
+//! The workspace's serde support (`aarray-algebra/serde`,
+//! `aarray-core/serde`) is **off by default**, so default builds and
+//! the tier-1 test suite never compile against this crate's items —
+//! cargo only needs the package to exist to resolve the dependency
+//! graph offline. Enabling those features requires swapping the real
+//! `serde` back in (see `stubs/README.md`); this placeholder
+//! intentionally defines no items so a misconfigured build fails
+//! loudly at compile time rather than silently mis-serializing.

@@ -1,0 +1,8 @@
+//! Offline placeholder for the `serde_json` crate.
+//!
+//! Only referenced by tests that are gated behind the off-by-default
+//! `serde` features, so default builds never touch this crate's items;
+//! cargo just needs the package present to resolve the graph offline.
+//! Swap the real crate back before enabling those features (see
+//! `stubs/README.md`). No items are defined so misconfiguration fails
+//! at compile time.

@@ -37,7 +37,13 @@ fn infinity_weights_are_zero_for_min_pairs_and_rejected_as_incidence() {
     // tropical carrier (finite there means anything above -∞).
     let tp = MaxPlus::<Tropical>::new();
     let mut g2 = aarray_graph::MultiGraph::new();
-    g2.add_edge("e", "a", "b", Tropical::new(0.0).unwrap(), Tropical::new(-7.0).unwrap());
+    g2.add_edge(
+        "e",
+        "a",
+        "b",
+        Tropical::new(0.0).unwrap(),
+        Tropical::new(-7.0).unwrap(),
+    );
     let (eout, _) = g2.incidence_arrays(&tp);
     assert_eq!(eout.nnz(), 1);
 }

@@ -4,9 +4,7 @@
 //! system in the library and check that (a) the pattern is always the
 //! same, and (b) the values are what each algebra dictates.
 
-use aarray_algebra::pairs::{
-    GcdLcm, MaxMin, MaxPlus, MinMax, MinPlus, OrAnd, PlusTimes,
-};
+use aarray_algebra::pairs::{GcdLcm, MaxMin, MaxPlus, MinMax, MinPlus, OrAnd, PlusTimes};
 use aarray_algebra::values::bstr::BStr;
 use aarray_algebra::values::chain::Chain;
 use aarray_algebra::values::nat::Nat;
@@ -20,7 +18,12 @@ use std::collections::BTreeSet;
 /// The shared test graph: two parallel edges a→b, a chain b→c, and a
 /// self-loop at c.
 fn graph_edges() -> Vec<(&'static str, &'static str, &'static str)> {
-    vec![("e1", "a", "b"), ("e2", "a", "b"), ("e3", "b", "c"), ("e4", "c", "c")]
+    vec![
+        ("e1", "a", "b"),
+        ("e2", "a", "b"),
+        ("e3", "b", "c"),
+        ("e4", "c", "c"),
+    ]
 }
 
 fn build<V: Value, A: BinaryOp<V>, M: BinaryOp<V>>(
@@ -138,25 +141,38 @@ fn all_compliant_systems_agree_on_pattern() {
         {
             let pair = PlusTimes::<Nat>::new();
             let (_, a) = build(&pair, &[Nat(2), Nat(3), Nat(5), Nat(7)]);
-            a.iter().map(|(r, c, _)| (r.to_string(), c.to_string())).collect()
+            a.iter()
+                .map(|(r, c, _)| (r.to_string(), c.to_string()))
+                .collect()
         },
         {
             let pair = OrAnd::new();
             let (_, a) = build(&pair, &[true, true, true, true]);
-            a.iter().map(|(r, c, _)| (r.to_string(), c.to_string())).collect()
+            a.iter()
+                .map(|(r, c, _)| (r.to_string(), c.to_string()))
+                .collect()
         },
         {
             let pair = MaxMin::<BStr>::new();
             let (_, a) = build(
                 &pair,
-                &[BStr::word("x"), BStr::word("y"), BStr::word("z"), BStr::word("q")],
+                &[
+                    BStr::word("x"),
+                    BStr::word("y"),
+                    BStr::word("z"),
+                    BStr::word("q"),
+                ],
             );
-            a.iter().map(|(r, c, _)| (r.to_string(), c.to_string())).collect()
+            a.iter()
+                .map(|(r, c, _)| (r.to_string(), c.to_string()))
+                .collect()
         },
         {
             let pair = MinPlus::<NN>::new();
             let (_, a) = build(&pair, &[nn(1.0), nn(2.0), nn(3.0), nn(4.0)]);
-            a.iter().map(|(r, c, _)| (r.to_string(), c.to_string())).collect()
+            a.iter()
+                .map(|(r, c, _)| (r.to_string(), c.to_string()))
+                .collect()
         },
     ];
 
@@ -185,7 +201,10 @@ fn transpose_identity_fails_without_commutative_times() {
     let bt_at = b.transpose().matmul(&a.transpose(), &pair);
     assert_eq!(bt_at.get("s", "r"), Some(&w("yzc")));
 
-    assert_ne!(ab_t, bt_at, "non-commutative ⊗ breaks the transpose identity");
+    assert_ne!(
+        ab_t, bt_at,
+        "non-commutative ⊗ breaks the transpose identity"
+    );
 
     // With commutative ⊗ the identity holds on the same shapes.
     let mm = MaxMin::<BStr>::new();

@@ -78,5 +78,8 @@ fn figure2_e1_grid_shape() {
     assert!(lines[22].starts_with("093012ktnA8"));
     // The dual-genre remix rows show two 1s.
     let a4 = lines.iter().find(|l| l.starts_with("093012ktnA4")).unwrap();
-    assert_eq!(a4.matches('1').count(), 2 + "093012ktnA4".matches('1').count());
+    assert_eq!(
+        a4.matches('1').count(),
+        2 + "093012ktnA4".matches('1').count()
+    );
 }

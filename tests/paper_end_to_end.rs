@@ -2,9 +2,7 @@
 //! asserting the exact printed values — independent of the `repro`
 //! binary's code path.
 
-use aarray_algebra::pairs::{
-    MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, PlusTimes,
-};
+use aarray_algebra::pairs::{MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, PlusTimes};
 use aarray_algebra::values::nn::{nn, NN};
 use aarray_algebra::values::tropical::{trop, Tropical};
 use aarray_core::{adjacency_array, adjacency_array_unchecked, AArray};

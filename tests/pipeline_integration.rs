@@ -17,7 +17,11 @@ fn random_graphs_construct_exact_patterns() {
         let g = erdos_renyi(60, 300, seed);
         let (eout, ein) = g.incidence_arrays(&pair);
         let a = adjacency_array(&eout, &ein, &pair);
-        assert!(pattern_diff(&a, g.edge_pattern()).is_exact(), "seed {}", seed);
+        assert!(
+            pattern_diff(&a, g.edge_pattern()).is_exact(),
+            "seed {}",
+            seed
+        );
         // Baseline agreement.
         assert_eq!(a, direct_adjacency(&g, &pair), "seed {}", seed);
     }
@@ -41,10 +45,20 @@ fn all_accumulators_and_parallel_agree_on_real_workload() {
     let at = eout.csr().transpose();
     let reference = spgemm_with(&at, ein.csr(), &pair, Accumulator::Spa);
     for acc in [Accumulator::Hash, Accumulator::Esc] {
-        assert_eq!(spgemm_with(&at, ein.csr(), &pair, acc), reference, "{:?}", acc);
+        assert_eq!(
+            spgemm_with(&at, ein.csr(), &pair, acc),
+            reference,
+            "{:?}",
+            acc
+        );
     }
     for acc in [Accumulator::Spa, Accumulator::Hash, Accumulator::Esc] {
-        assert_eq!(spgemm_parallel(&at, ein.csr(), &pair, acc), reference, "par {:?}", acc);
+        assert_eq!(
+            spgemm_parallel(&at, ein.csr(), &pair, acc),
+            reference,
+            "par {:?}",
+            acc
+        );
     }
 }
 
@@ -128,8 +142,8 @@ fn elementwise_composes_with_construction() {
     let whole = adjacency_array(&eo, &ei, &pair);
     let (eo1, ei1) = g1.incidence_arrays(&pair);
     let (eo2, ei2) = g2.incidence_arrays(&pair);
-    let parts = adjacency_array(&eo1, &ei1, &pair)
-        .ewise_add(&adjacency_array(&eo2, &ei2, &pair), &pair);
+    let parts =
+        adjacency_array(&eo1, &ei1, &pair).ewise_add(&adjacency_array(&eo2, &ei2, &pair), &pair);
     assert_eq!(whole, parts);
 }
 

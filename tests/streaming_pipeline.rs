@@ -43,7 +43,13 @@ fn streamed_construction_feeds_the_analysis_stack() {
     let total: f64 = pr.values().sum();
     assert!((total - 1.0).abs() < 1e-8);
 
-    let dot = to_dot(&streamed, &DotOptions { edge_labels: false, ..Default::default() });
+    let dot = to_dot(
+        &streamed,
+        &DotOptions {
+            edge_labels: false,
+            ..Default::default()
+        },
+    );
     assert_eq!(dot.matches(" -> ").count(), streamed.nnz());
 }
 

@@ -23,12 +23,15 @@ use proptest::prelude::*;
 
 /// Strategy: a random multigraph on up to 8 vertices and 20 edges with
 /// weights drawn from `values`.
-fn arb_graph<V: Value + 'static>(
-    values: Vec<V>,
-) -> impl Strategy<Value = MultiGraph<V>> {
+fn arb_graph<V: Value + 'static>(values: Vec<V>) -> impl Strategy<Value = MultiGraph<V>> {
     let value_count = values.len();
     prop::collection::vec(
-        (0usize..8, 0usize..8, 0usize..value_count, 0usize..value_count),
+        (
+            0usize..8,
+            0usize..8,
+            0usize..value_count,
+            0usize..value_count,
+        ),
         1..20,
     )
     .prop_map(move |edges| {
@@ -153,7 +156,12 @@ fn necessity_witnesses_feed_gadgets() {
 
     let w = report.zero_sum_free.unwrap_err();
     let g = zero_sum_gadget(w.a, w.b.unwrap(), pair.one());
-    let prod = eval_gadget(&g, &pair.zero(), |a, b| pair.plus(a, b), |a, b| pair.times(a, b));
+    let prod = eval_gadget(
+        &g,
+        &pair.zero(),
+        |a, b| pair.plus(a, b),
+        |a, b| pair.times(a, b),
+    );
     assert!(matches!(
         classify_pattern(&g, &prod, &pair.zero()),
         PatternVerdict::MissingEdge { .. }
@@ -161,7 +169,12 @@ fn necessity_witnesses_feed_gadgets() {
 
     let w = report.no_zero_divisors.unwrap_err();
     let g = zero_divisor_gadget(w.a, w.b.unwrap());
-    let prod = eval_gadget(&g, &pair.zero(), |a, b| pair.plus(a, b), |a, b| pair.times(a, b));
+    let prod = eval_gadget(
+        &g,
+        &pair.zero(),
+        |a, b| pair.plus(a, b),
+        |a, b| pair.times(a, b),
+    );
     assert!(matches!(
         classify_pattern(&g, &prod, &pair.zero()),
         PatternVerdict::MissingEdge { .. }
@@ -214,6 +227,10 @@ fn structured_wordset_corpora_are_idempotent_under_union_intersect() {
         let e = shared_word_array(&docs);
         assert!(has_sharing_structure(&e), "trial {}", trial);
         let ete = adjacency_array_unchecked(&e, &e, &pair);
-        assert_eq!(ete, e, "trial {}: EᵀE must equal E on structured corpora", trial);
+        assert_eq!(
+            ete, e,
+            "trial {}: EᵀE must equal E on structured corpora",
+            trial
+        );
     }
 }
