@@ -1,0 +1,123 @@
+//! Overhead bound for the always-on counter registry.
+//!
+//! The registry instruments hot paths (kernel entry, dispatch, plan
+//! caches) with relaxed-atomic updates that cannot be compiled out.
+//! This bench bounds their cost on the seven-pair fused workload:
+//!
+//! 1. run the workload and time it;
+//! 2. count the registry updates it performed (one relaxed RMW each —
+//!    `add` is one RMW regardless of the amount, so value-carrying
+//!    counters like `flops.total` and `fused.lanes` count once per
+//!    update, not per unit);
+//! 3. microbenchmark one registry update;
+//! 4. bound overhead as `updates × ns_per_update / workload_ns`, with
+//!    a 2× safety factor covering the non-registry instrumentation of
+//!    the same order (per-plan stage cells, gauges, the numeric-pass
+//!    mutex push).
+//!
+//! Asserts the bound stays ≤ 2% and writes `BENCH_pr2.json` at the
+//! workspace root so CI can track it.
+
+use aarray_algebra::pairs::{MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, PlusTimes};
+use aarray_algebra::values::nn::NN;
+use aarray_algebra::values::tropical::{trop, Tropical};
+use aarray_algebra::DynOpPair;
+use aarray_bench::synthetic_e1_e2;
+use aarray_core::{adjacency_plan, AArray};
+use aarray_obs::{counters, snapshot, Counter};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The seven-pair workload: one plan with six fused NN lanes plus the
+/// tropical max.+ on its own plan — the Figure 3 shape at bench scale.
+fn seven_pairs(e1: &AArray<NN>, e2: &AArray<NN>, e1t: &AArray<Tropical>, e2t: &AArray<Tropical>) {
+    let plus_times = PlusTimes::<NN>::new();
+    let max_times = MaxTimes::<NN>::new();
+    let min_times = MinTimes::<NN>::new();
+    let min_plus = MinPlus::<NN>::new();
+    let max_min = MaxMin::<NN>::new();
+    let min_max = MinMax::<NN>::new();
+    let pairs: [&dyn DynOpPair<NN>; 6] = [
+        &plus_times,
+        &max_times,
+        &min_times,
+        &min_plus,
+        &max_min,
+        &min_max,
+    ];
+    black_box(adjacency_plan(e1, e2).execute_all(&pairs));
+    black_box(adjacency_plan(e1t, e2t).execute(&MaxPlus::<Tropical>::new()));
+}
+
+fn main() {
+    let tracks = 20_000usize;
+    let (e1, e2) = synthetic_e1_e2(tracks, 8, 100, 7);
+    let mp = MaxPlus::<Tropical>::new();
+    let e1t = e1.map_prune(&mp, |v| trop(v.get()));
+    let e2t = e2.map_prune(&mp, |v| trop(v.get()));
+
+    let reps = std::env::var("OBS_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10usize);
+
+    // Warmup, then time the workload while counting registry updates.
+    seven_pairs(&e1, &e2, &e1t, &e2t);
+    let before = snapshot();
+    let start = Instant::now();
+    for _ in 0..reps {
+        seven_pairs(&e1, &e2, &e1t, &e2t);
+    }
+    let workload_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+    let delta = snapshot().since(&before);
+
+    // Registry RMWs: every counter delta is one update per call except
+    // the two value-carrying counters, updated once per traversal.
+    let updates =
+        delta.total_events() - delta.get(Counter::FlopsTotal) - delta.get(Counter::FusedLanes)
+            + 2 * delta.get(Counter::FusedTraversals);
+    let updates_per_rep = updates as f64 / reps as f64;
+
+    // Cost of one relaxed-atomic registry update.
+    let iters = 2_000_000u64;
+    let t = Instant::now();
+    for i in 0..iters {
+        counters().add(Counter::FlopsTotal, black_box(i & 1));
+    }
+    let ns_per_update = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    // 2× safety factor: stage cells, gauges, and the per-execution
+    // mutex push are not registry counters but cost the same order.
+    let overhead_ns = updates_per_rep * ns_per_update * 2.0;
+    let overhead_pct = overhead_ns / workload_ns * 100.0;
+
+    println!(
+        "obs_overhead: {} tracks, 7 pairs, {} reps\n  workload:        {:10.3} ms/rep\n  registry updates:{:10.1} /rep\n  ns/update:       {:10.3} ns\n  overhead bound:  {:10.5} % (limit 2%)",
+        tracks,
+        reps,
+        workload_ns / 1e6,
+        updates_per_rep,
+        ns_per_update,
+        overhead_pct
+    );
+
+    assert!(
+        overhead_pct <= 2.0,
+        "counter-registry overhead bound {overhead_pct:.5}% exceeds the 2% budget"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"workload\": {{\"tracks\": {}, \"pairs\": 7, \"e1_nnz\": {}, \"e2_nnz\": {}}},\n  \"reps\": {},\n  \"workload_ms\": {:.3},\n  \"registry_updates_per_rep\": {:.1},\n  \"ns_per_update\": {:.3},\n  \"overhead_pct\": {:.5},\n  \"overhead_limit_pct\": 2.0\n}}\n",
+        tracks,
+        e1.nnz(),
+        e2.nnz(),
+        reps,
+        workload_ns / 1e6,
+        updates_per_rep,
+        ns_per_update,
+        overhead_pct
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
+    std::fs::write(out, json).expect("write BENCH_pr2.json");
+    println!("wrote {}", out);
+}

@@ -3,6 +3,7 @@
 //! The paper requires key sets to be "finite and totally-ordered"; here
 //! they are sorted, deduplicated string vectors with `O(log n)` lookup.
 
+use aarray_obs::{counters, Counter};
 use std::fmt;
 use std::sync::Arc;
 
@@ -85,6 +86,13 @@ impl KeySet {
     /// key ranges all skip the merge walk — the common cases return
     /// identity index maps and share the existing key storage instead
     /// of cloning every string.
+    ///
+    /// Every call records which path served it in the
+    /// [`aarray_obs`] counter registry
+    /// ([`Counter::IntersectArcIdentity`] / [`Counter::IntersectPrefix`]
+    /// / [`Counter::IntersectDisjointRange`] /
+    /// [`Counter::IntersectMerge`]), so fast-path coverage is
+    /// observable on real workloads.
     pub fn intersect(&self, other: &KeySet) -> (KeySet, Vec<usize>, Vec<usize>) {
         // Same storage, or one is a contiguous prefix of the other
         // (which subsumes equality and the empty set): the common keys
@@ -96,15 +104,23 @@ impl KeySet {
         } else {
             (other, self)
         };
-        if Arc::ptr_eq(&self.keys, &other.keys) || short.keys[..] == long.keys[..short.len()] {
+        if Arc::ptr_eq(&self.keys, &other.keys) {
+            counters().incr(Counter::IntersectArcIdentity);
+            let idx: Vec<usize> = (0..short.len()).collect();
+            return (short.clone(), idx.clone(), idx);
+        }
+        if short.keys[..] == long.keys[..short.len()] {
+            counters().incr(Counter::IntersectPrefix);
             let idx: Vec<usize> = (0..short.len()).collect();
             return (short.clone(), idx.clone(), idx);
         }
         // Disjoint key ranges (frequent when aligning arrays over
         // unrelated attribute families): nothing can match.
         if self.keys[self.len() - 1] < other.keys[0] || other.keys[other.len() - 1] < self.keys[0] {
+            counters().incr(Counter::IntersectDisjointRange);
             return (KeySet::empty(), Vec::new(), Vec::new());
         }
+        counters().incr(Counter::IntersectMerge);
 
         let mut keys = Vec::new();
         let mut left = Vec::new();
@@ -337,6 +353,64 @@ mod tests {
         let even = KeySet::from_iter(["b", "d"]);
         let (common, _, _) = odd.intersect(&even);
         assert!(common.is_empty());
+    }
+
+    /// Run `f` and return the per-variant intersect counter deltas
+    /// `(arc, prefix, disjoint, merge)`. Asserted with `>=` because the
+    /// registry is process-global and other tests in this binary also
+    /// intersect key sets concurrently.
+    fn intersect_deltas(f: impl FnOnce()) -> (u64, u64, u64, u64) {
+        let before = aarray_obs::snapshot();
+        f();
+        let d = aarray_obs::snapshot().since(&before);
+        (
+            d.get(aarray_obs::Counter::IntersectArcIdentity),
+            d.get(aarray_obs::Counter::IntersectPrefix),
+            d.get(aarray_obs::Counter::IntersectDisjointRange),
+            d.get(aarray_obs::Counter::IntersectMerge),
+        )
+    }
+
+    #[test]
+    fn counters_see_arc_identity_path() {
+        let a = KeySet::from_iter(["a", "b", "c"]);
+        let b = a.clone();
+        let (arc, ..) = intersect_deltas(|| {
+            let _ = a.intersect(&b);
+        });
+        assert!(arc >= 1, "Arc-identity path must fire for shared storage");
+    }
+
+    #[test]
+    fn counters_see_prefix_path() {
+        let sub = KeySet::from_iter(["a", "b"]);
+        let sup = KeySet::from_iter(["a", "b", "c", "d"]);
+        let (_, prefix, ..) = intersect_deltas(|| {
+            let _ = sub.intersect(&sup);
+            let _ = sup.intersect(&sub);
+        });
+        assert!(prefix >= 2, "prefix path must fire in both orientations");
+    }
+
+    #[test]
+    fn counters_see_disjoint_range_path() {
+        let lo = KeySet::from_iter(["a", "b"]);
+        let hi = KeySet::from_iter(["x", "y"]);
+        let (_, _, disjoint, _) = intersect_deltas(|| {
+            let _ = lo.intersect(&hi);
+        });
+        assert!(disjoint >= 1, "disjoint-range path must fire");
+    }
+
+    #[test]
+    fn counters_see_merge_walk_for_interleaved_sets() {
+        // Interleaved-but-overlapping: no fast path applies.
+        let odd = KeySet::from_iter(["a", "c", "e"]);
+        let mix = KeySet::from_iter(["b", "c", "f"]);
+        let (_, _, _, merge) = intersect_deltas(|| {
+            let _ = odd.intersect(&mix);
+        });
+        assert!(merge >= 1, "general merge walk must fire");
     }
 
     #[test]

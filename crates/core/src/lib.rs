@@ -51,6 +51,7 @@ pub mod io;
 pub mod keys;
 pub mod matmul;
 pub mod plan;
+pub mod profile;
 pub mod query;
 pub mod select;
 #[cfg(feature = "serde")]
@@ -66,7 +67,12 @@ pub use incidence::{
     adjacency_arrays_multi, adjacency_plan, reverse_adjacency_array, ComplianceError, PatternError,
 };
 pub use keys::{KeySelect, KeySet};
+pub use matmul::{
+    parallel_flops_threshold, set_parallel_flops_threshold, would_parallelize,
+    DEFAULT_PARALLEL_FLOPS_THRESHOLD, PAR_FLOPS_THRESHOLD_ENV,
+};
 pub use plan::MatmulPlan;
+pub use profile::{NumericPass, StageProfile, StageReport};
 pub use vector::AVector;
 
 /// Commonly used items (re-exporting the algebra prelude too).

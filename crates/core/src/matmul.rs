@@ -11,26 +11,96 @@
 
 use crate::array::AArray;
 use aarray_algebra::{BinaryOp, OpPair, Value};
+use aarray_obs::{counters, Counter, Gauge};
 use aarray_sparse::{spgemm_flops, spgemm_parallel, spgemm_with, Accumulator};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How much multiply-add work a product must involve before the
-/// row-parallel kernel is used. Gating on the [`spgemm_flops`] estimate
-/// (the exact number of `⊗` terms the kernel will fold) rather than on
-/// operand nnz matters for skewed workloads: a large-nnz `A` against a
-/// nearly-empty `B` does almost no work per row and loses more to
-/// thread fan-out than it gains, while two modest hyper-sparse operands
-/// with dense overlap can merit the parallel path well before either
-/// crosses an nnz bar. The parallel path is additionally skipped
-/// entirely when rayon has a single worker thread (single-core hosts),
-/// where fan-out is pure overhead.
-const PARALLEL_FLOPS_THRESHOLD: u64 = 1 << 17;
+/// row-parallel kernel is used, unless overridden (see
+/// [`parallel_flops_threshold`]). Gating on the [`spgemm_flops`]
+/// estimate (the exact number of `⊗` terms the kernel will fold)
+/// rather than on operand nnz matters for skewed workloads: a
+/// large-nnz `A` against a nearly-empty `B` does almost no work per
+/// row and loses more to thread fan-out than it gains, while two
+/// modest hyper-sparse operands with dense overlap can merit the
+/// parallel path well before either crosses an nnz bar. The parallel
+/// path is additionally skipped entirely when rayon has a single
+/// worker thread (single-core hosts), where fan-out is pure overhead.
+pub const DEFAULT_PARALLEL_FLOPS_THRESHOLD: u64 = 1 << 17;
+
+/// Name of the environment variable overriding the parallel-dispatch
+/// flops threshold (a plain `u64`; unparsable or unset falls back to
+/// [`DEFAULT_PARALLEL_FLOPS_THRESHOLD`]).
+pub const PAR_FLOPS_THRESHOLD_ENV: &str = "AARRAY_PAR_FLOPS_THRESHOLD";
+
+/// Cached threshold; `u64::MAX` is the unset sentinel (re-read from
+/// the environment on next use). A genuine `u64::MAX` threshold is
+/// indistinguishable from unset and re-reads each call — harmless,
+/// since it means "never parallelize" either way.
+static PAR_FLOPS_THRESHOLD: AtomicU64 = AtomicU64::new(u64::MAX);
+
+fn parse_threshold(raw: Option<String>) -> u64 {
+    raw.and_then(|s| s.trim().parse().ok())
+        .unwrap_or(DEFAULT_PARALLEL_FLOPS_THRESHOLD)
+}
+
+fn threshold_from_env() -> u64 {
+    parse_threshold(std::env::var(PAR_FLOPS_THRESHOLD_ENV).ok())
+}
+
+/// The parallel-dispatch flops threshold in effect: the
+/// `AARRAY_PAR_FLOPS_THRESHOLD` environment variable if set and
+/// parsable, else [`DEFAULT_PARALLEL_FLOPS_THRESHOLD`]. Read once and
+/// cached; [`set_parallel_flops_threshold`] overrides or invalidates
+/// the cache.
+pub fn parallel_flops_threshold() -> u64 {
+    match PAR_FLOPS_THRESHOLD.load(Ordering::Relaxed) {
+        u64::MAX => {
+            let t = threshold_from_env();
+            PAR_FLOPS_THRESHOLD.store(t, Ordering::Relaxed);
+            t
+        }
+        t => t,
+    }
+}
+
+/// Override the parallel-dispatch flops threshold for this process
+/// (`Some(t)`), or drop back to the environment/default (`None`).
+/// A tuning hook for embedders and tests; thread-safe.
+pub fn set_parallel_flops_threshold(t: Option<u64>) {
+    PAR_FLOPS_THRESHOLD.store(t.unwrap_or(u64::MAX), Ordering::Relaxed);
+}
+
+/// Pure form of the dispatch predicate, for callers that pin an
+/// explicit threshold (tests, what-if tuning).
+pub fn would_parallelize(flops: u64, threshold: u64, nthreads: usize) -> bool {
+    nthreads > 1 && flops >= threshold
+}
 
 /// Shared parallel-dispatch decision for [`AArray::matmul_with`] and
 /// [`crate::plan::MatmulPlan`]. Takes the flops estimate lazily so the
 /// `O(nnz)` estimate is never computed on single-threaded hosts, where
-/// the answer is always "serial".
+/// the answer is always "serial". Every decision is recorded in the
+/// [`aarray_obs`] registry: which branch won
+/// ([`Counter::DispatchSerial`] / [`Counter::DispatchParallel`]) and —
+/// when the estimate was computed — the flops value and threshold that
+/// drove it ([`Gauge::DispatchLastFlops`] / [`Gauge::DispatchThreshold`]).
 pub(crate) fn should_parallelize(flops: impl FnOnce() -> u64) -> bool {
-    rayon::current_num_threads() > 1 && flops() >= PARALLEL_FLOPS_THRESHOLD
+    let threshold = parallel_flops_threshold();
+    let parallel = if rayon::current_num_threads() > 1 {
+        let f = flops();
+        counters().store(Gauge::DispatchLastFlops, f);
+        counters().store(Gauge::DispatchThreshold, threshold);
+        f >= threshold
+    } else {
+        false
+    };
+    counters().incr(if parallel {
+        Counter::DispatchParallel
+    } else {
+        Counter::DispatchSerial
+    });
+    parallel
 }
 
 impl<V: Value> AArray<V> {
@@ -197,7 +267,7 @@ mod tests {
              computed on the operands the kernel actually sees"
         );
         assert!(
-            spgemm_flops(a.csr(), b.csr()) >= PARALLEL_FLOPS_THRESHOLD,
+            spgemm_flops(a.csr(), b.csr()) >= DEFAULT_PARALLEL_FLOPS_THRESHOLD,
             "must cross the dispatch threshold"
         );
 
@@ -237,11 +307,61 @@ mod tests {
         let (_, li, ri) = a.col_keys().intersect(b.row_keys());
         let flops = spgemm_flops(&a.csr().select_cols(&li), &b.csr().select_rows(&ri));
         assert!(
-            flops < PARALLEL_FLOPS_THRESHOLD,
+            flops < DEFAULT_PARALLEL_FLOPS_THRESHOLD,
             "the product itself is tiny ({} terms)",
             flops
         );
-        assert!(!should_parallelize(|| flops));
+        // Pin the threshold explicitly: the global one may be briefly
+        // overridden by the env-var test running concurrently.
+        assert!(!would_parallelize(
+            flops,
+            DEFAULT_PARALLEL_FLOPS_THRESHOLD,
+            8
+        ));
+    }
+
+    #[test]
+    fn threshold_env_override_forces_both_branches() {
+        // The env var is read through parallel_flops_threshold(); force
+        // a re-read around each setting, then restore the default so
+        // concurrently running tests see a sane global afterwards.
+        std::env::set_var(PAR_FLOPS_THRESHOLD_ENV, "1");
+        set_parallel_flops_threshold(None);
+        assert_eq!(parallel_flops_threshold(), 1);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let before = aarray_obs::snapshot();
+        // 10 flops ≥ threshold 1 under a 2-thread pool: parallel branch.
+        assert!(pool.install(|| should_parallelize(|| 10)));
+        std::env::set_var(PAR_FLOPS_THRESHOLD_ENV, "1000000000000");
+        set_parallel_flops_threshold(None);
+        assert_eq!(parallel_flops_threshold(), 1_000_000_000_000);
+        // Same flops under a huge threshold: serial branch.
+        assert!(!pool.install(|| should_parallelize(|| 10)));
+        let delta = aarray_obs::snapshot().since(&before);
+        assert!(delta.get(aarray_obs::Counter::DispatchParallel) >= 1);
+        assert!(delta.get(aarray_obs::Counter::DispatchSerial) >= 1);
+        // The driving flops value was recorded (concurrent tests may
+        // overwrite the last-value gauge, but never with zero).
+        assert!(delta.gauge(aarray_obs::Gauge::DispatchLastFlops) > 0);
+
+        std::env::remove_var(PAR_FLOPS_THRESHOLD_ENV);
+        set_parallel_flops_threshold(Some(DEFAULT_PARALLEL_FLOPS_THRESHOLD));
+        assert_eq!(parallel_flops_threshold(), DEFAULT_PARALLEL_FLOPS_THRESHOLD);
+    }
+
+    #[test]
+    fn unparsable_env_threshold_falls_back_to_default() {
+        // Parse-failure path, tested without touching the process env
+        // (the env-mutating test above must stay the only one).
+        assert_eq!(
+            parse_threshold(Some("not-a-number".into())),
+            DEFAULT_PARALLEL_FLOPS_THRESHOLD
+        );
+        assert_eq!(parse_threshold(None), DEFAULT_PARALLEL_FLOPS_THRESHOLD);
+        assert_eq!(parse_threshold(Some(" 42 ".into())), 42);
     }
 
     #[test]

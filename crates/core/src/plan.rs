@@ -47,7 +47,9 @@
 use crate::array::AArray;
 use crate::keys::KeySet;
 use crate::matmul::should_parallelize;
+use crate::profile::{timed, NumericPass, StageProfile, StageReport};
 use aarray_algebra::{BinaryOp, DynOpPair, OpPair, Value};
+use aarray_obs::{counters, trace_span, Counter};
 use aarray_sparse::spgemm_multi::{
     spgemm_multi_numeric, spgemm_multi_numeric_parallel, MultiAccumulator,
 };
@@ -87,6 +89,10 @@ pub struct MatmulPlan<'a, V: Value> {
     rhs: MaybeOwned<'a, Csr<V>>,
     flops: u64,
     sym: OnceLock<SymbolicProduct>,
+    /// Whether the plan owns a transpose materialized at construction
+    /// (so each execute counts as a transpose reuse).
+    transposed: bool,
+    profile: StageProfile,
 }
 
 impl<'a, V: Value> MatmulPlan<'a, V> {
@@ -98,15 +104,25 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
         lhs_inner: &KeySet,
         other: &'a AArray<V>,
     ) -> Self {
-        let (lhs, rhs) = if lhs_inner == other.row_keys() {
-            (lhs, MaybeOwned::Borrowed(other.csr()))
-        } else {
-            let (_, left_idx, right_idx) = lhs_inner.intersect(other.row_keys());
-            (
-                MaybeOwned::Owned(lhs.select_cols(&left_idx)),
-                MaybeOwned::Owned(other.csr().select_rows(&right_idx)),
-            )
-        };
+        let _span = trace_span!(
+            "plan_build",
+            nnz_lhs = lhs.nnz(),
+            nnz_rhs = other.nnz(),
+            aligned = (lhs_inner != other.row_keys())
+        );
+        let profile = StageProfile::default();
+        let ((lhs, rhs), align_time) = timed(|| {
+            if lhs_inner == other.row_keys() {
+                (lhs, MaybeOwned::Borrowed(other.csr()))
+            } else {
+                let (_, left_idx, right_idx) = lhs_inner.intersect(other.row_keys());
+                (
+                    MaybeOwned::Owned(lhs.select_cols(&left_idx)),
+                    MaybeOwned::Owned(other.csr().select_rows(&right_idx)),
+                )
+            }
+        });
+        profile.record_align(align_time);
         let flops = spgemm_flops(&lhs, &rhs);
         MatmulPlan {
             row_keys,
@@ -115,6 +131,8 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
             rhs,
             flops,
             sym: OnceLock::new(),
+            transposed: false,
+            profile,
         }
     }
 
@@ -143,8 +161,35 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
     /// first use. Algebra-independent, so one pattern serves every
     /// subsequent [`MatmulPlan::execute`] / [`MatmulPlan::execute_all`].
     pub fn symbolic(&self) -> &SymbolicProduct {
-        self.sym
-            .get_or_init(|| spgemm_symbolic(&self.lhs, &self.rhs))
+        if let Some(sym) = self.sym.get() {
+            counters().incr(Counter::PlanSymbolicHit);
+            return sym;
+        }
+        self.sym.get_or_init(|| {
+            counters().incr(Counter::PlanSymbolicMiss);
+            let _span = trace_span!(
+                "symbolic_pass",
+                nnz_lhs = self.lhs.nnz(),
+                nnz_rhs = self.rhs.nnz(),
+                flops = self.flops
+            );
+            let (sym, symbolic_time) = timed(|| spgemm_symbolic(&self.lhs, &self.rhs));
+            self.profile.record_symbolic(symbolic_time);
+            sym
+        })
+    }
+
+    /// Whether the memoized symbolic pattern has been computed yet.
+    /// A fresh plan starts cold; any execute warms it.
+    pub fn symbolic_computed(&self) -> bool {
+        self.sym.get().is_some()
+    }
+
+    /// Snapshot of the per-stage timing accumulated by this plan so
+    /// far (alignment at build, transpose for transpose-plans, then
+    /// one symbolic pass and one numeric pass per traversal).
+    pub fn profile(&self) -> StageReport {
+        self.profile.report()
     }
 
     /// Execute the plan under one statically-typed pair. Bit-identical
@@ -154,7 +199,9 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
         A: BinaryOp<V>,
         M: BinaryOp<V>,
     {
-        self.execute_all(&[pair as &dyn DynOpPair<V>])
+        let dyn_pair: &dyn DynOpPair<V> = pair;
+        let _span = trace_span!("numeric_pass", pair = dyn_pair.name(), flops = self.flops);
+        self.execute_all(&[dyn_pair])
             .pop()
             .expect("one pair in, one result out")
     }
@@ -176,11 +223,38 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
         acc: MultiAccumulator,
     ) -> Vec<AArray<V>> {
         let sym = self.symbolic();
-        let data = if should_parallelize(|| self.flops) {
-            spgemm_multi_numeric_parallel(sym, &self.lhs, &self.rhs, pairs, acc)
-        } else {
-            spgemm_multi_numeric(sym, &self.lhs, &self.rhs, pairs, acc)
+        let parallel = should_parallelize(|| self.flops);
+        let acc_name = match acc {
+            MultiAccumulator::Spa => "spa",
+            MultiAccumulator::Hash => "hash",
         };
+        let _span = trace_span!(
+            "execute_all",
+            k_lanes = pairs.len(),
+            flops = self.flops,
+            accumulator = acc_name,
+            nnz = sym.nnz(),
+            parallel = parallel
+        );
+        let c = counters();
+        c.add(Counter::FlopsTotal, self.flops);
+        if self.transposed {
+            c.incr(Counter::PlanTransposeReused);
+        }
+        let (data, numeric_time) = timed(|| {
+            if parallel {
+                spgemm_multi_numeric_parallel(sym, &self.lhs, &self.rhs, pairs, acc)
+            } else {
+                spgemm_multi_numeric(sym, &self.lhs, &self.rhs, pairs, acc)
+            }
+        });
+        self.profile.record_numeric(NumericPass {
+            lanes: pairs.len(),
+            parallel,
+            accumulator: acc_name,
+            flops: self.flops,
+            ns: numeric_time.as_nanos().min(u64::MAX as u128) as u64,
+        });
         data.into_iter()
             .map(|csr| AArray::from_parts(self.row_keys.clone(), self.col_keys.clone(), csr))
             .collect()
@@ -204,12 +278,17 @@ impl<V: Value> AArray<V> {
     /// `Eᵀout ⊕.⊗ Ein` — transposing `self` **once** into the plan
     /// instead of materializing a transposed array per call.
     pub fn transpose_matmul_plan<'a>(&self, other: &'a AArray<V>) -> MatmulPlan<'a, V> {
-        MatmulPlan::new(
+        let (transposed, transpose_time) = timed(|| self.csr().transpose());
+        counters().incr(Counter::PlanTransposeBuilt);
+        let mut plan = MatmulPlan::new(
             self.col_keys().clone(),
-            MaybeOwned::Owned(self.csr().transpose()),
+            MaybeOwned::Owned(transposed),
             self.row_keys(),
             other,
-        )
+        );
+        plan.transposed = true;
+        plan.profile.record_transpose(transpose_time);
+        plan
     }
 }
 
@@ -341,5 +420,85 @@ mod tests {
         let plan = a.matmul_plan(&b);
         // r1: k1 (1 b-entry) + k2 (2) = 3; r2: k2 (2) + k3 (1) = 3.
         assert_eq!(plan.flops(), 6);
+    }
+
+    #[test]
+    fn fresh_plan_starts_symbolically_cold() {
+        let (a, b) = operands();
+        let plan = a.matmul_plan(&b);
+        assert!(!plan.symbolic_computed(), "no execute yet: must be cold");
+        let _ = plan.execute(&pt());
+        assert!(plan.symbolic_computed(), "execute must warm the pattern");
+    }
+
+    #[test]
+    fn symbolic_counters_record_miss_then_hits() {
+        use aarray_obs::snapshot;
+        let (a, b) = operands();
+        let plan = a.matmul_plan(&b);
+        let cold = snapshot();
+        let _ = plan.execute(&pt());
+        let warm = snapshot().since(&cold);
+        // First traversal computes the pattern: ≥ because other tests
+        // share the process-global registry.
+        assert!(warm.get(Counter::PlanSymbolicMiss) >= 1, "{}", warm);
+
+        let after_first = snapshot();
+        let _ = plan.execute(&pt());
+        let p2 = MaxMin::<Nat>::new();
+        let _ = plan.execute_all(&[&pt() as &dyn DynOpPair<Nat>, &p2]);
+        let reused = snapshot().since(&after_first);
+        assert!(
+            reused.get(Counter::PlanSymbolicHit) >= 2,
+            "both repeat traversals must hit the memoized pattern: {}",
+            reused
+        );
+    }
+
+    #[test]
+    fn profile_records_each_stage_per_plan() {
+        let pair = pt();
+        let eout = AArray::from_triples(&pair, [("e1", "a", Nat(1)), ("e2", "a", Nat(1))]);
+        let ein = AArray::from_triples(&pair, [("e1", "b", Nat(1)), ("e2", "c", Nat(1))]);
+        let plan = eout.transpose_matmul_plan(&ein);
+        let built = plan.profile();
+        assert_eq!(built.align_calls, 1);
+        assert_eq!(built.transpose_calls, 1);
+        assert_eq!(built.symbolic_calls, 0, "symbolic is lazy");
+        assert!(built.numeric.is_empty());
+
+        let _ = plan.execute(&pair);
+        let p2 = MaxMin::<Nat>::new();
+        let _ = plan.execute_all_with(&[&pair as &dyn DynOpPair<Nat>, &p2], MultiAccumulator::Hash);
+        // The profile is per-plan state, so exact counts are safe even
+        // under parallel test execution.
+        let ran = plan.profile();
+        assert_eq!(ran.symbolic_calls, 1, "one miss, then a memoized hit");
+        assert_eq!(ran.numeric.len(), 2);
+        assert_eq!(ran.numeric[0].lanes, 1);
+        assert_eq!(ran.numeric[0].accumulator, "spa");
+        assert_eq!(ran.numeric[1].lanes, 2);
+        assert_eq!(ran.numeric[1].accumulator, "hash");
+        assert_eq!(ran.numeric[0].flops, plan.flops());
+        assert!(ran.total_ns() > 0);
+    }
+
+    #[test]
+    fn transpose_plan_counts_build_and_reuse() {
+        use aarray_obs::snapshot;
+        let pair = pt();
+        let eout = AArray::from_triples(&pair, [("e1", "a", Nat(1)), ("e2", "a", Nat(1))]);
+        let ein = AArray::from_triples(&pair, [("e1", "b", Nat(1)), ("e2", "c", Nat(1))]);
+        let before = snapshot();
+        let plan = eout.transpose_matmul_plan(&ein);
+        let _ = plan.execute(&pair);
+        let _ = plan.execute(&pair);
+        let delta = snapshot().since(&before);
+        assert!(delta.get(Counter::PlanTransposeBuilt) >= 1, "{}", delta);
+        assert!(
+            delta.get(Counter::PlanTransposeReused) >= 2,
+            "each traversal reuses the plan-owned transpose: {}",
+            delta
+        );
     }
 }

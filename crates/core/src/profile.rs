@@ -1,0 +1,242 @@
+//! Per-stage timing for plan execution — monotonic clocks, no tracing
+//! dependency, always available.
+//!
+//! A [`StageProfile`] lives inside every [`crate::plan::MatmulPlan`]
+//! and accumulates wall-clock time per pipeline stage as the plan is
+//! built and executed:
+//!
+//! * **align** — inner key-set intersection + column/row selection;
+//! * **transpose** — materializing the left operand's transpose
+//!   (transpose-plans only);
+//! * **symbolic** — the algebra-independent sparsity discovery pass;
+//! * **numeric** — each numeric execution, with its lane count,
+//!   accumulator, dispatch branch, and flops.
+//!
+//! [`StageProfile::report`] snapshots into a [`StageReport`] whose
+//! `Display` renders the per-stage table the repro binary prints under
+//! `--profile`. Interior mutability keeps recording compatible with
+//! the plan's `&self` execution methods; the stage cells are relaxed
+//! atomics and the numeric list a mutex taken once per execution, so
+//! the overhead is two `Instant` reads per stage.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Run `f`, returning its result and elapsed wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[derive(Default)]
+struct StageCell {
+    calls: AtomicU64,
+    ns: AtomicU64,
+}
+
+impl StageCell {
+    fn record(&self, d: Duration) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.ns
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+
+    fn read(&self) -> (u64, u64) {
+        (
+            self.calls.load(Ordering::Relaxed),
+            self.ns.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One numeric execution of a plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NumericPass {
+    /// Accumulator lanes fed by the traversal (pairs executed).
+    pub lanes: usize,
+    /// Whether the row-parallel kernel ran.
+    pub parallel: bool,
+    /// Slot-lookup strategy (`"spa"` / `"hash"`).
+    pub accumulator: &'static str,
+    /// The `⊗`-term count of the traversal.
+    pub flops: u64,
+    /// Wall-clock nanoseconds.
+    pub ns: u64,
+}
+
+/// Accumulating per-stage timer owned by a plan. See the
+/// [module docs](self).
+#[derive(Default)]
+pub struct StageProfile {
+    align: StageCell,
+    transpose: StageCell,
+    symbolic: StageCell,
+    numeric: Mutex<Vec<NumericPass>>,
+}
+
+impl StageProfile {
+    /// Record one alignment pass.
+    pub fn record_align(&self, d: Duration) {
+        self.align.record(d);
+    }
+
+    /// Record one transpose materialization.
+    pub fn record_transpose(&self, d: Duration) {
+        self.transpose.record(d);
+    }
+
+    /// Record one symbolic pass.
+    pub fn record_symbolic(&self, d: Duration) {
+        self.symbolic.record(d);
+    }
+
+    /// Record one numeric execution.
+    pub fn record_numeric(&self, pass: NumericPass) {
+        self.numeric.lock().expect("profile lock").push(pass);
+    }
+
+    /// Snapshot into a displayable report.
+    pub fn report(&self) -> StageReport {
+        let (align_calls, align_ns) = self.align.read();
+        let (transpose_calls, transpose_ns) = self.transpose.read();
+        let (symbolic_calls, symbolic_ns) = self.symbolic.read();
+        StageReport {
+            align_calls,
+            align_ns,
+            transpose_calls,
+            transpose_ns,
+            symbolic_calls,
+            symbolic_ns,
+            numeric: self.numeric.lock().expect("profile lock").clone(),
+        }
+    }
+}
+
+/// Point-in-time view of a [`StageProfile`]; `Display` renders the
+/// per-stage timing table.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageReport {
+    /// Alignment passes recorded.
+    pub align_calls: u64,
+    /// Total alignment nanoseconds.
+    pub align_ns: u64,
+    /// Transpose materializations recorded.
+    pub transpose_calls: u64,
+    /// Total transpose nanoseconds.
+    pub transpose_ns: u64,
+    /// Symbolic passes recorded.
+    pub symbolic_calls: u64,
+    /// Total symbolic nanoseconds.
+    pub symbolic_ns: u64,
+    /// Numeric executions, in order.
+    pub numeric: Vec<NumericPass>,
+}
+
+impl StageReport {
+    /// Total recorded nanoseconds across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.align_ns
+            + self.transpose_ns
+            + self.symbolic_ns
+            + self.numeric.iter().map(|p| p.ns).sum::<u64>()
+    }
+}
+
+/// `12.3 µs`-style human duration.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{} ns", ns)
+    }
+}
+
+impl fmt::Display for StageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<12} {:>6} {:>12}  detail", "stage", "calls", "time")?;
+        for (name, calls, ns) in [
+            ("align", self.align_calls, self.align_ns),
+            ("transpose", self.transpose_calls, self.transpose_ns),
+            ("symbolic", self.symbolic_calls, self.symbolic_ns),
+        ] {
+            writeln!(f, "{:<12} {:>6} {:>12}", name, calls, fmt_ns(ns))?;
+        }
+        for (i, p) in self.numeric.iter().enumerate() {
+            writeln!(
+                f,
+                "{:<12} {:>6} {:>12}  {} lane{} · {} · {} · {} flops",
+                format!("numeric[{}]", i),
+                1,
+                fmt_ns(p.ns),
+                p.lanes,
+                if p.lanes == 1 { "" } else { "s" },
+                p.accumulator,
+                if p.parallel { "parallel" } else { "serial" },
+                p.flops,
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<12} {:>6} {:>12}",
+            "total",
+            "",
+            fmt_ns(self.total_ns())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_stages() {
+        let p = StageProfile::default();
+        p.record_align(Duration::from_micros(5));
+        p.record_align(Duration::from_micros(5));
+        p.record_transpose(Duration::from_micros(2));
+        p.record_symbolic(Duration::from_micros(3));
+        p.record_numeric(NumericPass {
+            lanes: 6,
+            parallel: false,
+            accumulator: "spa",
+            flops: 120,
+            ns: 7_000,
+        });
+        let r = p.report();
+        assert_eq!(r.align_calls, 2);
+        assert_eq!(r.align_ns, 10_000);
+        assert_eq!(r.numeric.len(), 1);
+        assert_eq!(r.total_ns(), 10_000 + 2_000 + 3_000 + 7_000);
+        let table = r.to_string();
+        assert!(table.contains("align"), "{}", table);
+        assert!(
+            table.contains("6 lanes · spa · serial · 120 flops"),
+            "{}",
+            table
+        );
+        assert!(table.contains("total"), "{}", table);
+    }
+
+    #[test]
+    fn duration_formatting_picks_unit() {
+        assert_eq!(fmt_ns(17), "17 ns");
+        assert_eq!(fmt_ns(2_500), "2.5 µs");
+        assert_eq!(fmt_ns(3_000_000), "3.000 ms");
+        assert_eq!(fmt_ns(1_500_000_000), "1.500 s");
+    }
+
+    #[test]
+    fn timed_measures_nonzero() {
+        let (v, d) = timed(|| (0..1000u64).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(d.as_nanos() > 0 || d.is_zero()); // monotonic, never panics
+    }
+}

@@ -1,0 +1,150 @@
+//! Span-emission test for the `trace` feature: build a plan, run one
+//! fused `execute_all`, and verify the subscriber captured the
+//! expected span names and fields.
+//!
+//! Compiled only with `--features trace` (`cargo test -p aarray-core
+//! --features trace`); with default features the whole file is empty
+//! and the `tracing` stub is not even a dependency.
+#![cfg(feature = "trace")]
+
+use aarray_core::prelude::*;
+use aarray_obs::tracing::{subscriber, Field, Subscriber};
+use std::sync::{Arc, Mutex};
+
+/// `(name, [(key, formatted value)])` per entered span.
+type SpanLog = Vec<(String, Vec<(String, String)>)>;
+
+/// Records every entered span.
+#[derive(Default)]
+struct Capture {
+    spans: Mutex<SpanLog>,
+    exits: Mutex<Vec<String>>,
+}
+
+impl Subscriber for Capture {
+    fn enter_span(&self, name: &'static str, fields: &[Field]) {
+        self.spans.lock().unwrap().push((
+            name.to_string(),
+            fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        ));
+    }
+
+    fn exit_span(&self, name: &'static str) {
+        self.exits.lock().unwrap().push(name.to_string());
+    }
+}
+
+impl Capture {
+    fn field(&self, span: &str, key: &str) -> Option<String> {
+        self.spans
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|(n, _)| n == span)
+            .and_then(|(_, fs)| fs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()))
+    }
+
+    fn names(&self) -> Vec<String> {
+        self.spans
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+}
+
+#[test]
+fn execute_all_emits_spans_with_expected_fields() {
+    let pair = PlusTimes::<Nat>::new();
+    let eout = AArray::from_triples(
+        &pair,
+        [
+            ("e1", "a", Nat(1)),
+            ("e2", "a", Nat(1)),
+            ("e3", "b", Nat(1)),
+        ],
+    );
+    let ein = AArray::from_triples(
+        &pair,
+        [
+            ("e1", "b", Nat(2)),
+            ("e2", "c", Nat(3)),
+            ("e3", "c", Nat(4)),
+        ],
+    );
+
+    let cap = Arc::new(Capture::default());
+    subscriber::with_default(cap.clone(), || {
+        let plan = eout.transpose_matmul_plan(&ein);
+        let mm = MaxMin::<Nat>::new();
+        let pairs: [&dyn DynOpPair<Nat>; 2] = [&pair, &mm];
+        let _ = plan.execute_all(&pairs);
+    });
+
+    let names = cap.names();
+    assert!(
+        names.contains(&"plan_build".to_string()),
+        "plan construction span missing: {:?}",
+        names
+    );
+    assert!(
+        names.contains(&"symbolic_pass".to_string()),
+        "symbolic span missing: {:?}",
+        names
+    );
+    assert!(
+        names.contains(&"execute_all".to_string()),
+        "fused traversal span missing: {:?}",
+        names
+    );
+
+    // Fields named by the issue: nnz, flops, k_lanes, accumulator.
+    assert_eq!(cap.field("execute_all", "k_lanes").as_deref(), Some("2"));
+    assert_eq!(
+        cap.field("execute_all", "accumulator").as_deref(),
+        Some("spa")
+    );
+    assert_eq!(cap.field("execute_all", "flops").as_deref(), Some("3"));
+    // Symbolic nnz of Eᵀout·Ein: a→{b,c}, b→{c} ⇒ 3 entries.
+    assert_eq!(cap.field("execute_all", "nnz").as_deref(), Some("3"));
+    assert_eq!(cap.field("plan_build", "nnz_lhs").as_deref(), Some("3"));
+    assert_eq!(cap.field("symbolic_pass", "flops").as_deref(), Some("3"));
+
+    // Every entered span exits when its guard drops.
+    let exits = cap.exits.lock().unwrap();
+    assert_eq!(
+        exits.len(),
+        names.len(),
+        "enter/exit imbalance: {:?}",
+        exits
+    );
+}
+
+#[test]
+fn sequential_execute_emits_numeric_pass_span_with_pair_name() {
+    let pair = PlusTimes::<Nat>::new();
+    let a = AArray::from_triples(&pair, [("r", "k", Nat(2))]);
+    let b = AArray::from_triples(&pair, [("k", "c", Nat(5))]);
+
+    let cap = Arc::new(Capture::default());
+    subscriber::with_default(cap.clone(), || {
+        let plan = a.matmul_plan(&b);
+        let _ = plan.execute(&pair);
+    });
+
+    let names = cap.names();
+    assert!(
+        names.contains(&"numeric_pass".to_string()),
+        "per-pair numeric span missing: {:?}",
+        names
+    );
+    let pair_field = cap.field("numeric_pass", "pair").expect("pair field");
+    assert!(
+        !pair_field.is_empty(),
+        "numeric_pass must carry the operator pair's name"
+    );
+}

@@ -14,7 +14,9 @@ pub struct GraphMetrics {
     pub edges: usize,
     /// Self-loop count.
     pub self_loops: usize,
-    /// Directed density `edges / (n·(n−1) + n)` (self-loops allowed).
+    /// Directed density `edges / n²` — the fraction of possible
+    /// directed edges present. Self-loops are allowed, so the
+    /// denominator is `n·(n−1) + n = n²` (ordered pairs plus loops).
     pub density: f64,
     /// Edges `u→v` whose reverse `v→u` also exists (excluding loops).
     pub reciprocal_edges: usize,
@@ -118,6 +120,26 @@ mod tests {
         assert_eq!(m.edges, 12);
         assert_eq!(m.reciprocal_edges, 12);
         assert_eq!(m.max_in_degree, 3);
+    }
+
+    #[test]
+    fn density_denominator_counts_loops() {
+        // The documented denominator n·(n−1) + n (ordered pairs plus
+        // self-loops) equals the computed n²; regression-pin both the
+        // identity and a concrete value.
+        let n = 5usize;
+        assert_eq!(n * (n - 1) + n, n * n);
+        let m = graph_metrics(&adjacency(&cycle(5)));
+        assert!((m.density - 5.0 / 25.0).abs() < 1e-12, "{}", m.density);
+
+        // A graph with a loop: the loop edge is a valid slot in the
+        // denominator, so a 1-vertex graph with its loop has density 1.
+        let mut g = MultiGraph::new();
+        g.add_edge("e1", "solo", "solo", Nat(1), Nat(1));
+        let m1 = graph_metrics(&adjacency(&g));
+        assert_eq!(m1.vertices, 1);
+        assert_eq!(m1.self_loops, 1);
+        assert!((m1.density - 1.0).abs() < 1e-12, "{}", m1.density);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! # aarray-obs
+//!
+//! Observability primitives for the aarray workspace, in two tiers:
+//!
+//! * an **always-on counter registry** ([`counters`]) — one process-wide
+//!   set of relaxed atomic counters recording every kernel decision the
+//!   plan/SpGEMM execution layer makes: which `KeySet::intersect` fast
+//!   path fired, whether a plan's memoized symbolic pattern was reused,
+//!   how the serial-vs-parallel dispatch went and at what flops, which
+//!   accumulator each kernel selected, and cumulative flops. A relaxed
+//!   `fetch_add` costs a few nanoseconds against kernels that do
+//!   microseconds-to-milliseconds of work per call, so the registry
+//!   stays on in release builds (quantified by the `obs_overhead`
+//!   bench, budget ≤ 2% on the seven-pair fused workload);
+//!
+//! * **feature-gated tracing spans** ([`trace_span!`]) — compiled to
+//!   nothing (a unit guard) unless the `trace` feature is enabled, in
+//!   which case spans with `nnz`/`flops`/`k_lanes`/`accumulator` fields
+//!   are emitted through the `tracing` facade. With default features
+//!   the `tracing` dependency does not exist in the build graph at all.
+//!
+//! Consumers that emit spans must declare their own `trace` feature
+//! forwarding to `aarray-obs/trace` (as `aarray-core` does), because
+//! [`trace_span!`] expands in the consumer and checks the consumer's
+//! feature set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+
+pub use counters::{counters, snapshot, Counter, Gauge, Snapshot};
+
+/// Re-export of the `tracing` facade for [`trace_span!`] expansion.
+#[cfg(feature = "trace")]
+pub use tracing;
+
+/// Enter a tracing span — or do nothing, at zero cost, without the
+/// `trace` feature.
+///
+/// Expands to an entered span guard when the **calling crate's**
+/// `trace` feature is enabled (which must forward to
+/// `aarray-obs/trace`), and to `()` otherwise, so field expressions
+/// are never even evaluated in untraced builds:
+///
+/// ```ignore
+/// let _span = aarray_obs::trace_span!("execute_all", k_lanes = pairs.len(), flops = flops);
+/// ```
+#[macro_export]
+macro_rules! trace_span {
+    ($name:literal $(, $k:ident = $v:expr)* $(,)?) => {{
+        #[cfg(feature = "trace")]
+        {
+            $crate::tracing::span!($name $(, $k = $v)*).entered()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            $crate::NoopSpan
+        }
+    }};
+}
+
+/// Zero-sized stand-in guard returned by [`trace_span!`] when the
+/// `trace` feature is disabled (avoids binding a unit value).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSpan;

@@ -14,6 +14,21 @@ use aarray_algebra::{DynOpPair, Value};
 use aarray_core::{adjacency_array_unchecked, adjacency_array_verified, adjacency_plan, AArray};
 use aarray_d4m::music::{music_e1, music_e1_weighted, music_e2, music_incidence};
 use aarray_graph::structured::{shared_word_array, Document};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set (the binary's `--profile` flag), Figure 3/5 regeneration
+/// appends per-stage plan timing tables and the counter-registry delta
+/// to its output.
+static PROFILE: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable `--profile` output for subsequent figure runs.
+pub fn set_profile(on: bool) {
+    PROFILE.store(on, Ordering::Relaxed);
+}
+
+fn profile_enabled() -> bool {
+    PROFILE.load(Ordering::Relaxed)
+}
 
 /// Compare a computed genre×writer adjacency array against an expected
 /// 3×5 table. Returns mismatch descriptions (empty = exact).
@@ -86,10 +101,17 @@ pub fn figure2() -> Result<String, String> {
 }
 
 /// Compute `E1ᵀ max.+ E2` by converting to the tropical carrier.
-fn adjacency_maxplus(e1: &AArray<NN>, e2: &AArray<NN>) -> AArray<Tropical> {
+/// Goes through its own [`MatmulPlan`] so `--profile` can report the
+/// tropical pass's stage timing alongside the fused NN plan's.
+fn adjacency_maxplus(e1: &AArray<NN>, e2: &AArray<NN>) -> (AArray<Tropical>, Option<String>) {
     let pair = MaxPlus::<Tropical>::new();
     let conv = |a: &AArray<NN>| a.map_prune(&pair, |v| trop(v.get()));
-    adjacency_array_unchecked(&conv(e1), &conv(e2), &pair)
+    let t1 = conv(e1);
+    let t2 = conv(e2);
+    let plan = adjacency_plan(&t1, &t2);
+    let a = plan.execute(&pair);
+    let prof = profile_enabled().then(|| plan.profile().to_string());
+    (a, prof)
 }
 
 fn run_seven_pairs(
@@ -98,6 +120,7 @@ fn run_seven_pairs(
     expects: &SevenExpect,
 ) -> Result<String, String> {
     let nnf = |v: &NN| v.get();
+    let counters_before = profile_enabled().then(aarray_obs::snapshot);
 
     // One plan, six NN algebras: the transpose, key alignment, and
     // symbolic pattern are computed once and the fused kernel feeds
@@ -120,7 +143,17 @@ fn run_seven_pairs(
         &max_min,
         &min_max,
     ];
-    let mut fused = plan.execute_all(&pairs).into_iter();
+    let fused_all = plan.execute_all(&pairs);
+
+    // Cross-check: a second, sequential execution of the first pair
+    // must be bit-identical to fused lane 0 — and, because the plan is
+    // now warm, it exercises the memoized symbolic pattern and the
+    // plan-owned transpose (visible as cache hits in the counters).
+    if plan.execute(&plus_times) != fused_all[0] {
+        return Err("fused lane 0 diverges from sequential execute(+.×)".to_string());
+    }
+
+    let mut fused = fused_all.into_iter();
     let mut next = || fused.next().expect("six fused results");
 
     // Compute all seven panels first…
@@ -143,7 +176,7 @@ fn run_seven_pairs(
         a.to_grid(),
         diff_against(&a, expects.min_times, nnf),
     ));
-    let a = adjacency_maxplus(e1, e2);
+    let (a, maxplus_profile) = adjacency_maxplus(e1, e2);
     panels.push((
         "max.+",
         a.to_grid(),
@@ -203,6 +236,18 @@ fn run_seven_pairs(
             out.push('\n');
             all_ok = false;
         }
+    }
+
+    if let Some(before) = counters_before {
+        out.push_str("--- plan stage profile: six fused NN lanes + cross-check ---\n");
+        out.push_str(&plan.profile().to_string());
+        if let Some(p) = maxplus_profile {
+            out.push_str("\n--- plan stage profile: max.+ on the tropical carrier ---\n");
+            out.push_str(&p);
+        }
+        out.push_str("\n--- counter registry delta for this figure ---\n");
+        out.push_str(&aarray_obs::snapshot().since(&before).to_string());
+        out.push('\n');
     }
 
     if all_ok {

@@ -3,14 +3,16 @@
 //!
 //! ```text
 //! repro [fig1|fig2|fig3|fig4|fig5|stats|theorem|taxonomy|wordsets|all]
-//!       [--save <dir>]
+//!       [--save <dir>] [--profile]
 //! ```
 //!
 //! Each figure command prints the paper-style grid(s) and a PASS/FAIL
 //! verdict against the values printed in the paper. With `--save <dir>`
 //! each section's output is additionally written to
-//! `<dir>/<section>.txt`. Exit status is nonzero if any verification
-//! fails.
+//! `<dir>/<section>.txt`. With `--profile`, Figure 3/5 additionally
+//! print per-stage plan timing tables (align / transpose / symbolic /
+//! numeric per pass) and the counter-registry delta for the figure.
+//! Exit status is nonzero if any verification fails.
 
 use aarray_repro::figures;
 use std::process::ExitCode;
@@ -29,6 +31,8 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+        } else if a == "--profile" {
+            figures::set_profile(true);
         } else {
             arg = a;
         }

@@ -22,6 +22,7 @@
 
 use crate::csr::Csr;
 use aarray_algebra::{BinaryOp, OpPair, Value};
+use aarray_obs::{counters, Counter};
 use rayon::prelude::*;
 use std::collections::HashMap;
 
@@ -34,6 +35,21 @@ pub enum Accumulator {
     Hash,
     /// Expand, stable-sort, compress.
     Esc,
+}
+
+/// Record one one-shot kernel invocation in the global counter
+/// registry (which accumulator was selected, and whether the
+/// row-parallel driver ran).
+fn record_kernel(acc: Accumulator, parallel: bool) {
+    let c = counters();
+    c.incr(match acc {
+        Accumulator::Spa => Counter::KernelSpa,
+        Accumulator::Hash => Counter::KernelHash,
+        Accumulator::Esc => Counter::KernelEsc,
+    });
+    if parallel {
+        c.incr(Counter::KernelParallel);
+    }
 }
 
 /// Count the `⊗` operations `A ⊕.⊗ B` will perform:
@@ -82,6 +98,7 @@ where
         b.nrows(),
         b.ncols()
     );
+    record_kernel(acc, false);
 
     let mut indptr = vec![0usize; a.nrows() + 1];
     let mut indices: Vec<u32> = Vec::new();
@@ -128,6 +145,7 @@ where
         b.nrows(),
         b.ncols()
     );
+    record_kernel(acc, true);
 
     let rows: Vec<Vec<(u32, V)>> = (0..a.nrows())
         .into_par_iter()
@@ -441,5 +459,24 @@ mod tests {
         let b = Csr::<Nat>::empty(4, 2);
         let c = spgemm(&a, &b, &pt());
         assert_eq!((c.nrows(), c.ncols(), c.nnz()), (3, 2, 0));
+    }
+
+    #[test]
+    fn kernel_selection_is_counted() {
+        use aarray_obs::snapshot;
+        let a = from_triples(2, 2, &[(0, 0, 1), (0, 1, 2), (1, 1, 3)]);
+        let b = from_triples(2, 2, &[(0, 0, 4), (1, 0, 5), (1, 1, 6)]);
+        let before = snapshot();
+        let _ = spgemm_with(&a, &b, &pt(), Accumulator::Spa);
+        let _ = spgemm_with(&a, &b, &pt(), Accumulator::Hash);
+        let _ = spgemm_with(&a, &b, &pt(), Accumulator::Esc);
+        let _ = spgemm_parallel(&a, &b, &pt(), Accumulator::Spa);
+        let delta = snapshot().since(&before);
+        // ≥ rather than ==: the registry is process-global and other
+        // tests in this binary run concurrently.
+        assert!(delta.get(Counter::KernelSpa) >= 2, "{}", delta);
+        assert!(delta.get(Counter::KernelHash) >= 1, "{}", delta);
+        assert!(delta.get(Counter::KernelEsc) >= 1, "{}", delta);
+        assert!(delta.get(Counter::KernelParallel) >= 1, "{}", delta);
     }
 }

@@ -32,6 +32,7 @@ use crate::csr::Csr;
 use crate::symbolic::{spgemm_symbolic, SymbolicProduct};
 use aarray_algebra::dynpair::DynOpPair;
 use aarray_algebra::Value;
+use aarray_obs::{counters, Counter};
 use rayon::prelude::*;
 use std::collections::HashMap;
 
@@ -83,6 +84,22 @@ pub fn spgemm_multi_parallel<V: Value>(
     spgemm_multi_numeric_parallel(&sym, a, b, pairs, acc)
 }
 
+/// Record one fused numeric traversal in the global counter registry:
+/// the traversal itself, how many lanes it fed, the slot-lookup
+/// strategy, and whether the row-parallel driver ran.
+fn record_fused(nlanes: usize, acc: MultiAccumulator, parallel: bool) {
+    let c = counters();
+    c.incr(Counter::FusedTraversals);
+    c.add(Counter::FusedLanes, nlanes as u64);
+    c.incr(match acc {
+        MultiAccumulator::Spa => Counter::FusedSpa,
+        MultiAccumulator::Hash => Counter::FusedHash,
+    });
+    if parallel {
+        c.incr(Counter::FusedParallel);
+    }
+}
+
 fn check_dims<V: Value>(sym: &SymbolicProduct, a: &Csr<V>, b: &Csr<V>) {
     assert_eq!(
         a.ncols(),
@@ -111,6 +128,7 @@ pub fn spgemm_multi_numeric<V: Value>(
     acc: MultiAccumulator,
 ) -> Vec<Csr<V>> {
     check_dims(sym, a, b);
+    record_fused(pairs.len(), acc, false);
     let npairs = pairs.len();
 
     let mut outs: Vec<RowsOut<V>> = (0..npairs).map(|_| RowsOut::with_rows(a.nrows())).collect();
@@ -138,6 +156,7 @@ pub fn spgemm_multi_numeric_parallel<V: Value>(
     acc: MultiAccumulator,
 ) -> Vec<Csr<V>> {
     check_dims(sym, a, b);
+    record_fused(pairs.len(), acc, true);
     let npairs = pairs.len();
 
     // Each row yields its K per-pair segments; reassembled per pair.
@@ -470,5 +489,25 @@ mod tests {
         let pt = PlusTimes::<Nat>::new();
         let pairs: Vec<&dyn DynOpPair<Nat>> = vec![&pt];
         let _ = spgemm_multi(&a, &b, &pairs, MultiAccumulator::Spa);
+    }
+
+    #[test]
+    fn fused_traversals_and_lanes_are_counted() {
+        use aarray_obs::snapshot;
+        let (a, b) = operands();
+        let pt = PlusTimes::<Nat>::new();
+        let mm = MaxMin::<Nat>::new();
+        let pairs: Vec<&dyn DynOpPair<Nat>> = vec![&pt, &mm];
+        let before = snapshot();
+        let _ = spgemm_multi(&a, &b, &pairs, MultiAccumulator::Spa);
+        let _ = spgemm_multi(&a, &b, &pairs, MultiAccumulator::Hash);
+        let _ = spgemm_multi_parallel(&a, &b, &pairs, MultiAccumulator::Spa);
+        let delta = snapshot().since(&before);
+        // ≥: the registry is process-global, tests run concurrently.
+        assert!(delta.get(Counter::FusedTraversals) >= 3, "{}", delta);
+        assert!(delta.get(Counter::FusedLanes) >= 6, "{}", delta);
+        assert!(delta.get(Counter::FusedSpa) >= 2, "{}", delta);
+        assert!(delta.get(Counter::FusedHash) >= 1, "{}", delta);
+        assert!(delta.get(Counter::FusedParallel) >= 1, "{}", delta);
     }
 }

@@ -1,0 +1,203 @@
+//! Offline stub of the `tracing` crate covering the span surface this
+//! workspace uses: named spans carrying `key = value` fields, entered
+//! guards, and a pluggable [`Subscriber`] that observes span
+//! enter/exit events (thread-local scoped via
+//! [`subscriber::with_default`] or process-global via
+//! [`subscriber::set_global_default`]).
+//!
+//! Divergences from upstream `tracing` 0.1: no levels, no events, no
+//! `Dispatch`/`Registry` machinery, and fields are eagerly formatted to
+//! `String` at span creation **only when a subscriber is installed** —
+//! with no subscriber a span is a name and an empty vec, so the
+//! disabled-path cost stays negligible. The `span!` macro takes
+//! `span!("name", field = value, ...)` (no `Level` argument). See
+//! `stubs/README.md` for swapping the real crate back.
+
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
+
+/// A formatted `key = value` span field.
+pub type Field = (&'static str, String);
+
+/// Observer of span lifecycle events.
+pub trait Subscriber: Send + Sync {
+    /// A span was entered, with its name and formatted fields.
+    fn enter_span(&self, name: &'static str, fields: &[Field]);
+
+    /// A previously entered span was exited (guard dropped).
+    fn exit_span(&self, _name: &'static str) {}
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<dyn Subscriber>>> = const { RefCell::new(None) };
+}
+
+static GLOBAL: OnceLock<Arc<dyn Subscriber>> = OnceLock::new();
+
+fn current() -> Option<Arc<dyn Subscriber>> {
+    if let Some(local) = LOCAL.with(|l| l.borrow().clone()) {
+        return Some(local);
+    }
+    GLOBAL.get().cloned()
+}
+
+/// Whether any subscriber (thread-local or global) is installed —
+/// span constructors skip field formatting entirely when not.
+pub fn subscriber_installed() -> bool {
+    LOCAL.with(|l| l.borrow().is_some()) || GLOBAL.get().is_some()
+}
+
+/// Subscriber installation, mirroring `tracing::subscriber`.
+pub mod subscriber {
+    use super::*;
+
+    /// Install `sub` as the process-global default. Returns `Err` if a
+    /// global default is already set (matching upstream semantics).
+    pub fn set_global_default(sub: Arc<dyn Subscriber>) -> Result<(), SetGlobalDefaultError> {
+        GLOBAL.set(sub).map_err(|_| SetGlobalDefaultError(()))
+    }
+
+    /// A global default was already installed.
+    #[derive(Debug)]
+    pub struct SetGlobalDefaultError(());
+
+    impl std::fmt::Display for SetGlobalDefaultError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("a global default subscriber has already been set")
+        }
+    }
+
+    impl std::error::Error for SetGlobalDefaultError {}
+
+    /// Run `f` with `sub` as this thread's default subscriber,
+    /// restoring the previous default afterwards.
+    pub fn with_default<R>(sub: Arc<dyn Subscriber>, f: impl FnOnce() -> R) -> R {
+        let prev = LOCAL.with(|l| l.borrow_mut().replace(sub));
+        struct Restore(Option<Arc<dyn Subscriber>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                LOCAL.with(|l| *l.borrow_mut() = prev);
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+/// A named span carrying formatted fields. Created by [`span!`] or
+/// [`Span::new`]; observable once [`Span::entered`].
+#[derive(Debug, Clone)]
+pub struct Span {
+    name: &'static str,
+    fields: Vec<Field>,
+}
+
+impl Span {
+    /// Build a span from a name and pre-formatted fields.
+    pub fn new(name: &'static str, fields: Vec<Field>) -> Self {
+        Span { name, fields }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The span's formatted fields.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Enter the span: the current subscriber (if any) observes the
+    /// enter now and the exit when the returned guard drops.
+    pub fn entered(self) -> EnteredSpan {
+        let sub = current();
+        if let Some(s) = &sub {
+            s.enter_span(self.name, &self.fields);
+        }
+        EnteredSpan {
+            name: self.name,
+            sub,
+        }
+    }
+}
+
+/// Guard for an entered [`Span`]; notifies the subscriber on drop.
+#[must_use = "dropping the guard immediately exits the span"]
+pub struct EnteredSpan {
+    name: &'static str,
+    sub: Option<Arc<dyn Subscriber>>,
+}
+
+impl Drop for EnteredSpan {
+    fn drop(&mut self) {
+        if let Some(s) = &self.sub {
+            s.exit_span(self.name);
+        }
+    }
+}
+
+/// `span!("name", key = value, ...)` — build a [`Span`]. Fields are
+/// formatted with `Display` only if a subscriber is installed.
+#[macro_export]
+macro_rules! span {
+    ($name:literal $(, $k:ident = $v:expr)* $(,)?) => {{
+        let fields = if $crate::subscriber_installed() {
+            vec![$((stringify!($k), format!("{}", $v))),*]
+        } else {
+            Vec::new()
+        };
+        $crate::Span::new($name, fields)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    type SpanLog = Vec<(String, Vec<(String, String)>)>;
+
+    #[derive(Default)]
+    struct Capture {
+        log: Mutex<SpanLog>,
+    }
+
+    impl Subscriber for Capture {
+        fn enter_span(&self, name: &'static str, fields: &[Field]) {
+            self.log.lock().unwrap().push((
+                name.to_string(),
+                fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            ));
+        }
+    }
+
+    #[test]
+    fn with_default_captures_spans_and_fields() {
+        let cap = Arc::new(Capture::default());
+        subscriber::with_default(cap.clone(), || {
+            let _g = span!("work", n = 3, label = "abc").entered();
+        });
+        let log = cap.log.lock().unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].0, "work");
+        assert_eq!(log[0].1[0], ("n".to_string(), "3".to_string()));
+        assert_eq!(log[0].1[1], ("label".to_string(), "abc".to_string()));
+    }
+
+    #[test]
+    fn no_subscriber_skips_field_formatting() {
+        // Outside with_default (and with no global set in this test
+        // binary before this point… set_global_default is one-shot, so
+        // just rely on the local scope): fields stay empty.
+        let s = span!("idle", n = 1);
+        if !subscriber_installed() {
+            assert!(s.fields().is_empty());
+        }
+        let _ = s.entered();
+    }
+}
