@@ -1,22 +1,26 @@
-//! Overhead bound for the always-on counter registry.
+//! Overhead bound for the always-on observability layers.
 //!
-//! The registry instruments hot paths (kernel entry, dispatch, plan
-//! caches) with relaxed-atomic updates that cannot be compiled out.
-//! This bench bounds their cost on the seven-pair fused workload:
+//! The counter registry and the histogram registry instrument hot
+//! paths (kernel entry, dispatch, plan caches, per-row shape metrics)
+//! with relaxed-atomic updates that cannot be compiled out. This bench
+//! bounds their combined cost on the seven-pair fused workload:
 //!
 //! 1. run the workload and time it;
-//! 2. count the registry updates it performed (one relaxed RMW each —
-//!    `add` is one RMW regardless of the amount, so value-carrying
-//!    counters like `flops.total` and `fused.lanes` count once per
-//!    update, not per unit);
-//! 3. microbenchmark one registry update;
-//! 4. bound overhead as `updates × ns_per_update / workload_ns`, with
-//!    a 2× safety factor covering the non-registry instrumentation of
-//!    the same order (per-plan stage cells, gauges, the numeric-pass
-//!    mutex push).
+//! 2. count the counter-registry updates it performed (one relaxed RMW
+//!    each — `add` is one RMW regardless of the amount, so
+//!    value-carrying counters like `flops.total` and `fused.lanes`
+//!    count once per update, not per unit) and the histogram records
+//!    (a few RMWs each: bucket + sum + watermarks);
+//! 3. microbenchmark one counter update and one histogram record;
+//! 4. bound total overhead as `(counter_updates × ns_per_update +
+//!    hist_records × ns_per_record) / workload_ns`, with a 2× safety
+//!    factor covering the non-registry instrumentation of the same
+//!    order (per-plan stage cells, gauges, memory-accounting adds, the
+//!    numeric-pass mutex push, the per-row flop sums computed only for
+//!    histogram recording).
 //!
-//! Asserts the bound stays ≤ 2% and writes `BENCH_pr2.json` at the
-//! workspace root so CI can track it.
+//! Asserts the total bound stays ≤ 2% and writes `BENCH_pr2.json` at
+//! the workspace root so CI can track it.
 
 use aarray_algebra::pairs::{MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, PlusTimes};
 use aarray_algebra::values::nn::NN;
@@ -24,7 +28,7 @@ use aarray_algebra::values::tropical::{trop, Tropical};
 use aarray_algebra::DynOpPair;
 use aarray_bench::synthetic_e1_e2;
 use aarray_core::{adjacency_plan, AArray};
-use aarray_obs::{counters, snapshot, Counter};
+use aarray_obs::{counters, histograms, snapshot, Counter, Hist};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -64,12 +68,19 @@ fn main() {
     // Warmup, then time the workload while counting registry updates.
     seven_pairs(&e1, &e2, &e1t, &e2t);
     let before = snapshot();
+    let hists_before = histograms().snapshot_all();
     let start = Instant::now();
     for _ in 0..reps {
         seven_pairs(&e1, &e2, &e1t, &e2t);
     }
     let workload_ns = start.elapsed().as_nanos() as f64 / reps as f64;
     let delta = snapshot().since(&before);
+    let hist_records: u64 = histograms()
+        .snapshot_all()
+        .iter()
+        .zip(hists_before.iter())
+        .map(|(a, b)| a.since(b).count())
+        .sum();
 
     // Registry RMWs: every counter delta is one update per call except
     // the two value-carrying counters, updated once per traversal.
@@ -77,6 +88,7 @@ fn main() {
         delta.total_events() - delta.get(Counter::FlopsTotal) - delta.get(Counter::FusedLanes)
             + 2 * delta.get(Counter::FusedTraversals);
     let updates_per_rep = updates as f64 / reps as f64;
+    let hist_records_per_rep = hist_records as f64 / reps as f64;
 
     // Cost of one relaxed-atomic registry update.
     let iters = 2_000_000u64;
@@ -86,28 +98,41 @@ fn main() {
     }
     let ns_per_update = t.elapsed().as_nanos() as f64 / iters as f64;
 
-    // 2× safety factor: stage cells, gauges, and the per-execution
-    // mutex push are not registry counters but cost the same order.
-    let overhead_ns = updates_per_rep * ns_per_update * 2.0;
+    // Cost of one histogram record (bucket RMW + sum add + watermark
+    // CASes against the real registry; varied values so branch
+    // prediction doesn't flatter the watermark path).
+    let t = Instant::now();
+    for i in 0..iters {
+        histograms().record(Hist::DispatchFlops, black_box(i & 1023));
+    }
+    let ns_per_record = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    // 2× safety factor: stage cells, gauges, memory-accounting adds,
+    // and the per-execution mutex push are not counted above but cost
+    // the same order.
+    let overhead_ns =
+        (updates_per_rep * ns_per_update + hist_records_per_rep * ns_per_record) * 2.0;
     let overhead_pct = overhead_ns / workload_ns * 100.0;
 
     println!(
-        "obs_overhead: {} tracks, 7 pairs, {} reps\n  workload:        {:10.3} ms/rep\n  registry updates:{:10.1} /rep\n  ns/update:       {:10.3} ns\n  overhead bound:  {:10.5} % (limit 2%)",
+        "obs_overhead: {} tracks, 7 pairs, {} reps\n  workload:        {:10.3} ms/rep\n  registry updates:{:10.1} /rep\n  ns/update:       {:10.3} ns\n  hist records:    {:10.1} /rep\n  ns/record:       {:10.3} ns\n  overhead bound:  {:10.5} % (limit 2%)",
         tracks,
         reps,
         workload_ns / 1e6,
         updates_per_rep,
         ns_per_update,
+        hist_records_per_rep,
+        ns_per_record,
         overhead_pct
     );
 
     assert!(
         overhead_pct <= 2.0,
-        "counter-registry overhead bound {overhead_pct:.5}% exceeds the 2% budget"
+        "total observability overhead bound {overhead_pct:.5}% exceeds the 2% budget"
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"obs_overhead\",\n  \"workload\": {{\"tracks\": {}, \"pairs\": 7, \"e1_nnz\": {}, \"e2_nnz\": {}}},\n  \"reps\": {},\n  \"workload_ms\": {:.3},\n  \"registry_updates_per_rep\": {:.1},\n  \"ns_per_update\": {:.3},\n  \"overhead_pct\": {:.5},\n  \"overhead_limit_pct\": 2.0\n}}\n",
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"workload\": {{\"tracks\": {}, \"pairs\": 7, \"e1_nnz\": {}, \"e2_nnz\": {}}},\n  \"reps\": {},\n  \"workload_ms\": {:.3},\n  \"registry_updates_per_rep\": {:.1},\n  \"ns_per_update\": {:.3},\n  \"hist_records_per_rep\": {:.1},\n  \"ns_per_hist_record\": {:.3},\n  \"overhead_pct\": {:.5},\n  \"overhead_limit_pct\": 2.0\n}}\n",
         tracks,
         e1.nnz(),
         e2.nnz(),
@@ -115,6 +140,8 @@ fn main() {
         workload_ns / 1e6,
         updates_per_rep,
         ns_per_update,
+        hist_records_per_rep,
+        ns_per_record,
         overhead_pct
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");

@@ -3,7 +3,7 @@
 //! The paper requires key sets to be "finite and totally-ordered"; here
 //! they are sorted, deduplicated string vectors with `O(log n)` lookup.
 
-use aarray_obs::{counters, Counter};
+use aarray_obs::{counters, memstats, Counter, MemRegion};
 use std::fmt;
 use std::sync::Arc;
 
@@ -13,7 +13,35 @@ pub struct KeySet {
     keys: Arc<[String]>,
 }
 
+/// Heap payload of an interned key buffer: the string headers in the
+/// `Arc` slice plus each string's character storage.
+fn keys_heap_bytes(keys: &[String]) -> u64 {
+    keys.iter()
+        .map(|s| std::mem::size_of::<String>() + s.capacity())
+        .sum::<usize>() as u64
+}
+
+impl Drop for KeySet {
+    fn drop(&mut self) {
+        // Accounting is per shared buffer, not per handle: only the
+        // last handle releases the bytes. (Concurrent last-drops can
+        // both observe count > 1 and skip the free — the accounting is
+        // deliberately approximate, see `aarray_obs::memstats`.)
+        if Arc::strong_count(&self.keys) == 1 {
+            memstats().free(MemRegion::KeySetInterned, keys_heap_bytes(&self.keys));
+        }
+    }
+}
+
 impl KeySet {
+    /// Wrap a freshly-built buffer, reporting its heap payload to the
+    /// [`MemRegion::KeySetInterned`] accounting region. Every
+    /// constructor that allocates new storage funnels through here;
+    /// clones and fast paths that share an existing `Arc` do not.
+    fn intern(keys: Arc<[String]>) -> Self {
+        memstats().alloc(MemRegion::KeySetInterned, keys_heap_bytes(&keys));
+        KeySet { keys }
+    }
     /// Build from any iterator of keys: sorted and deduplicated.
     /// (Deliberately named like `FromIterator::from_iter`; a blanket
     /// `FromIterator` impl is also provided for `collect()`.)
@@ -26,7 +54,7 @@ impl KeySet {
         let mut v: Vec<String> = keys.into_iter().map(Into::into).collect();
         v.sort();
         v.dedup();
-        KeySet { keys: v.into() }
+        KeySet::intern(v.into())
     }
 
     /// Build from a vector already known to be sorted and unique
@@ -36,11 +64,12 @@ impl KeySet {
             keys.windows(2).all(|w| w[0] < w[1]),
             "keys must be sorted unique"
         );
-        KeySet { keys: keys.into() }
+        KeySet::intern(keys.into())
     }
 
     /// The empty key set.
     pub fn empty() -> Self {
+        // Zero heap payload: nothing to report.
         KeySet {
             keys: Arc::from(Vec::new()),
         }
@@ -411,6 +440,26 @@ mod tests {
             let _ = odd.intersect(&mix);
         });
         assert!(merge >= 1, "general merge walk must fire");
+    }
+
+    #[test]
+    fn interned_bytes_are_accounted_per_buffer_not_per_handle() {
+        let ks = KeySet::from_iter(["alpha", "beta", "gamma"]);
+        let bytes = keys_heap_bytes(ks.keys());
+        assert!(bytes > 0);
+        // The buffer is live, so the region carries at least its bytes
+        // (≥: other tests in this binary hold their own key sets).
+        assert!(memstats().current(MemRegion::KeySetInterned) >= bytes);
+        let peak_before_clone = memstats().peak(MemRegion::KeySetInterned);
+        let clone = ks.clone();
+        let shared_peak = memstats().peak(MemRegion::KeySetInterned);
+        drop(clone);
+        drop(ks);
+        // A clone shares the Arc: peak moved only if *other* tests
+        // allocated concurrently, never because of the clone itself.
+        // (Exact equality would race, so just sanity-order the reads.)
+        assert!(shared_peak >= peak_before_clone);
+        assert!(memstats().peak(MemRegion::KeySetInterned) >= bytes);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! runs in ascending key order, left-associated — see `aarray-sparse`.
 
 use crate::array::AArray;
+use crate::profile::timed;
 use aarray_algebra::{BinaryOp, OpPair, Value};
-use aarray_obs::{counters, Counter, Gauge};
+use aarray_obs::{counters, histograms, Counter, Gauge, Hist};
 use aarray_sparse::{spgemm_flops, spgemm_parallel, spgemm_with, Accumulator};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -91,6 +92,7 @@ pub(crate) fn should_parallelize(flops: impl FnOnce() -> u64) -> bool {
         let f = flops();
         counters().store(Gauge::DispatchLastFlops, f);
         counters().store(Gauge::DispatchThreshold, threshold);
+        histograms().record(Hist::DispatchFlops, f);
         f >= threshold
     } else {
         false
@@ -149,11 +151,17 @@ impl<V: Value> AArray<V> {
 
         let acc = acc.unwrap_or(Accumulator::Spa);
         let big = should_parallelize(|| spgemm_flops(lhs, rhs));
-        let data = if big {
-            spgemm_parallel(lhs, rhs, pair, acc)
-        } else {
-            spgemm_with(lhs, rhs, pair, acc)
-        };
+        let (data, numeric_time) = timed(|| {
+            if big {
+                spgemm_parallel(lhs, rhs, pair, acc)
+            } else {
+                spgemm_with(lhs, rhs, pair, acc)
+            }
+        });
+        histograms().record(
+            Hist::NumericPassNs,
+            numeric_time.as_nanos().min(u64::MAX as u128) as u64,
+        );
 
         AArray::from_parts(self.row_keys().clone(), other.col_keys().clone(), data)
     }

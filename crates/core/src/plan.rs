@@ -49,7 +49,9 @@ use crate::keys::KeySet;
 use crate::matmul::should_parallelize;
 use crate::profile::{timed, NumericPass, StageProfile, StageReport};
 use aarray_algebra::{BinaryOp, DynOpPair, OpPair, Value};
-use aarray_obs::{counters, trace_span, Counter};
+use aarray_obs::{
+    counters, histograms, memstats, trace_span, Counter, Hist, MemRegion, MemReservation,
+};
 use aarray_sparse::spgemm_multi::{
     spgemm_multi_numeric, spgemm_multi_numeric_parallel, MultiAccumulator,
 };
@@ -89,6 +91,11 @@ pub struct MatmulPlan<'a, V: Value> {
     rhs: MaybeOwned<'a, Csr<V>>,
     flops: u64,
     sym: OnceLock<SymbolicProduct>,
+    /// Accounting guard for the memoized pattern's bytes, set together
+    /// with `sym` and released when the plan drops.
+    sym_mem: OnceLock<MemReservation>,
+    /// Accounting guard for the plan-owned transpose's bytes.
+    _transpose_mem: Option<MemReservation>,
     /// Whether the plan owns a transpose materialized at construction
     /// (so each execute counts as a transpose reuse).
     transposed: bool,
@@ -124,6 +131,9 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
         });
         profile.record_align(align_time);
         let flops = spgemm_flops(&lhs, &rhs);
+        // The dispatch estimate is always known here, even though the
+        // sequential rayon stub never computes it lazily at dispatch.
+        histograms().record(Hist::DispatchFlops, flops);
         MatmulPlan {
             row_keys,
             col_keys: other.col_keys().clone(),
@@ -131,6 +141,8 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
             rhs,
             flops,
             sym: OnceLock::new(),
+            sym_mem: OnceLock::new(),
+            _transpose_mem: None,
             transposed: false,
             profile,
         }
@@ -175,6 +187,13 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
             );
             let (sym, symbolic_time) = timed(|| spgemm_symbolic(&self.lhs, &self.rhs));
             self.profile.record_symbolic(symbolic_time);
+            histograms().record(
+                Hist::SymbolicPassNs,
+                symbolic_time.as_nanos().min(u64::MAX as u128) as u64,
+            );
+            let _ = self
+                .sym_mem
+                .set(memstats().track(MemRegion::PlanSymbolic, sym.heap_bytes()));
             sym
         })
     }
@@ -248,12 +267,14 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
                 spgemm_multi_numeric(sym, &self.lhs, &self.rhs, pairs, acc)
             }
         });
+        let numeric_ns = numeric_time.as_nanos().min(u64::MAX as u128) as u64;
+        histograms().record(Hist::NumericPassNs, numeric_ns);
         self.profile.record_numeric(NumericPass {
             lanes: pairs.len(),
             parallel,
             accumulator: acc_name,
             flops: self.flops,
-            ns: numeric_time.as_nanos().min(u64::MAX as u128) as u64,
+            ns: numeric_ns,
         });
         data.into_iter()
             .map(|csr| AArray::from_parts(self.row_keys.clone(), self.col_keys.clone(), csr))
@@ -266,28 +287,44 @@ impl<V: Value> AArray<V> {
     /// runs now, the symbolic pattern on first execute; neither is
     /// redone per pair. See [`MatmulPlan`].
     pub fn matmul_plan<'a>(&'a self, other: &'a AArray<V>) -> MatmulPlan<'a, V> {
-        MatmulPlan::new(
-            self.row_keys().clone(),
-            MaybeOwned::Borrowed(self.csr()),
-            self.col_keys(),
-            other,
-        )
+        let (plan, build_time) = timed(|| {
+            MatmulPlan::new(
+                self.row_keys().clone(),
+                MaybeOwned::Borrowed(self.csr()),
+                self.col_keys(),
+                other,
+            )
+        });
+        histograms().record(
+            Hist::PlanBuildNs,
+            build_time.as_nanos().min(u64::MAX as u128) as u64,
+        );
+        plan
     }
 
     /// Prepare `selfᵀ ⊕.⊗ other` — the adjacency-construction shape
     /// `Eᵀout ⊕.⊗ Ein` — transposing `self` **once** into the plan
     /// instead of materializing a transposed array per call.
     pub fn transpose_matmul_plan<'a>(&self, other: &'a AArray<V>) -> MatmulPlan<'a, V> {
-        let (transposed, transpose_time) = timed(|| self.csr().transpose());
-        counters().incr(Counter::PlanTransposeBuilt);
-        let mut plan = MatmulPlan::new(
-            self.col_keys().clone(),
-            MaybeOwned::Owned(transposed),
-            self.row_keys(),
-            other,
+        let (plan, build_time) = timed(|| {
+            let (transposed, transpose_time) = timed(|| self.csr().transpose());
+            counters().incr(Counter::PlanTransposeBuilt);
+            let transpose_mem = memstats().track(MemRegion::PlanTranspose, transposed.heap_bytes());
+            let mut plan = MatmulPlan::new(
+                self.col_keys().clone(),
+                MaybeOwned::Owned(transposed),
+                self.row_keys(),
+                other,
+            );
+            plan.transposed = true;
+            plan._transpose_mem = Some(transpose_mem);
+            plan.profile.record_transpose(transpose_time);
+            plan
+        });
+        histograms().record(
+            Hist::PlanBuildNs,
+            build_time.as_nanos().min(u64::MAX as u128) as u64,
         );
-        plan.transposed = true;
-        plan.profile.record_transpose(transpose_time);
         plan
     }
 }
@@ -481,6 +518,64 @@ mod tests {
         assert_eq!(ran.numeric[1].accumulator, "hash");
         assert_eq!(ran.numeric[0].flops, plan.flops());
         assert!(ran.total_ns() > 0);
+    }
+
+    #[test]
+    fn plan_latency_histograms_and_memory_recorded() {
+        let (a, b) = operands();
+        let build_before = histograms().get(Hist::PlanBuildNs).snapshot();
+        let sym_before = histograms().get(Hist::SymbolicPassNs).snapshot();
+        let num_before = histograms().get(Hist::NumericPassNs).snapshot();
+        let flops_before = histograms().get(Hist::DispatchFlops).snapshot();
+        let plan = a.matmul_plan(&b);
+        let _ = plan.execute(&pt());
+        assert!(
+            histograms()
+                .get(Hist::PlanBuildNs)
+                .snapshot()
+                .since(&build_before)
+                .count()
+                >= 1
+        );
+        assert!(
+            histograms()
+                .get(Hist::SymbolicPassNs)
+                .snapshot()
+                .since(&sym_before)
+                .count()
+                >= 1
+        );
+        assert!(
+            histograms()
+                .get(Hist::NumericPassNs)
+                .snapshot()
+                .since(&num_before)
+                .count()
+                >= 1
+        );
+        let flops = histograms()
+            .get(Hist::DispatchFlops)
+            .snapshot()
+            .since(&flops_before);
+        assert!(flops.count() >= 1);
+        assert!(flops.max >= 6, "this plan's estimate is exactly 6 flops");
+        // The memoized pattern's bytes stay accounted while the plan
+        // lives (≥: sibling tests hold their own plans concurrently).
+        assert!(memstats().current(MemRegion::PlanSymbolic) >= 1);
+        drop(plan);
+        assert!(memstats().peak(MemRegion::PlanSymbolic) >= 1);
+    }
+
+    #[test]
+    fn transpose_plan_memory_is_accounted() {
+        let pair = pt();
+        let eout = AArray::from_triples(&pair, [("e1", "a", Nat(1)), ("e2", "a", Nat(1))]);
+        let ein = AArray::from_triples(&pair, [("e1", "b", Nat(1)), ("e2", "c", Nat(1))]);
+        let _plan = eout.transpose_matmul_plan(&ein);
+        assert!(
+            memstats().peak(MemRegion::PlanTranspose) >= 1,
+            "plan-owned transpose reported its heap bytes"
+        );
     }
 
     #[test]

@@ -143,6 +143,36 @@ impl StageReport {
             + self.symbolic_ns
             + self.numeric.iter().map(|p| p.ns).sum::<u64>()
     }
+
+    /// The report as a stable JSON object (hand-emitted: the workspace
+    /// builds against an empty `serde_json` stub). Consumed by
+    /// `repro --profile-json` and the `obsctl` harness.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + 96 * self.numeric.len());
+        s.push('{');
+        for (name, calls, ns) in [
+            ("align", self.align_calls, self.align_ns),
+            ("transpose", self.transpose_calls, self.transpose_ns),
+            ("symbolic", self.symbolic_calls, self.symbolic_ns),
+        ] {
+            s.push_str(&format!(
+                "\"{}\":{{\"calls\":{},\"ns\":{}}},",
+                name, calls, ns
+            ));
+        }
+        s.push_str("\"numeric\":[");
+        for (i, p) in self.numeric.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"lanes\":{},\"parallel\":{},\"accumulator\":\"{}\",\"flops\":{},\"ns\":{}}}",
+                p.lanes, p.parallel, p.accumulator, p.flops, p.ns
+            ));
+        }
+        s.push_str(&format!("],\"total_ns\":{}}}", self.total_ns()));
+        s
+    }
 }
 
 /// `12.3 µs`-style human duration.
@@ -223,6 +253,37 @@ mod tests {
             table
         );
         assert!(table.contains("total"), "{}", table);
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_complete() {
+        let p = StageProfile::default();
+        p.record_align(Duration::from_micros(5));
+        p.record_numeric(NumericPass {
+            lanes: 2,
+            parallel: true,
+            accumulator: "hash",
+            flops: 42,
+            ns: 9_000,
+        });
+        let j = p.report().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{}", j);
+        assert!(j.contains("\"align\":{\"calls\":1,\"ns\":5000}"), "{}", j);
+        assert!(j.contains("\"transpose\":{\"calls\":0,\"ns\":0}"), "{}", j);
+        assert!(
+            j.contains(
+                "{\"lanes\":2,\"parallel\":true,\"accumulator\":\"hash\",\
+                 \"flops\":42,\"ns\":9000}"
+            ),
+            "{}",
+            j
+        );
+        assert!(j.contains("\"total_ns\":14000"), "{}", j);
+        // Balanced braces/brackets — the cheap structural check every
+        // hand-emitter in this workspace gets.
+        let opens = j.matches('{').count() + j.matches('[').count();
+        let closes = j.matches('}').count() + j.matches(']').count();
+        assert_eq!(opens, closes, "{}", j);
     }
 
     #[test]

@@ -1,0 +1,370 @@
+//! Regression verdicts: current observatory run vs committed baselines.
+//!
+//! Policy (ISSUE defaults, overridable from the CLI):
+//!
+//! * a **stage latency** regression is median > baseline × (1 + 15%);
+//! * a **peak memory** regression is peak > baseline × (1 + 20%);
+//! * comparisons below the noise floor are skipped — stages whose
+//!   baseline median is under 50 µs and regions whose baseline peak is
+//!   under 1 MiB jitter far beyond any useful tolerance;
+//! * legacy single-figure baselines (PR1 `fused_ms`, PR2
+//!   `workload_ms`) map onto the `total` / `wall` stage of the fig3
+//!   workload with matching row count; if no workload matches the
+//!   legacy track count, the comparison is skipped with a note rather
+//!   than silently dropped.
+
+use crate::json::Value;
+use crate::schema::{BenchKind, STAGE_KEYS};
+
+/// Tolerances and noise floors for one check invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// Allowed median-latency growth, percent (default 15).
+    pub lat_tol_pct: f64,
+    /// Allowed peak-memory growth, percent (default 20).
+    pub mem_tol_pct: f64,
+    /// Stages with a baseline median below this are not compared.
+    pub lat_floor_ns: u64,
+    /// Regions with a baseline peak below this are not compared.
+    pub mem_floor_bytes: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            lat_tol_pct: 15.0,
+            mem_tol_pct: 20.0,
+            lat_floor_ns: 50_000,
+            mem_floor_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Outcome of one metric comparison.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Metric path, e.g. `fig3@20000/numeric` or `mem/spa-scratch`.
+    pub metric: String,
+    /// Baseline value (ns or bytes).
+    pub baseline: f64,
+    /// Current value (ns or bytes).
+    pub current: f64,
+    /// Signed growth percentage.
+    pub pct: f64,
+    /// The tolerance this metric was held to.
+    pub limit_pct: f64,
+    /// True when `pct > limit_pct` — a regression.
+    pub regressed: bool,
+}
+
+impl Finding {
+    fn evaluate(metric: String, baseline: f64, current: f64, limit_pct: f64) -> Finding {
+        let pct = if baseline > 0.0 {
+            (current - baseline) / baseline * 100.0
+        } else {
+            0.0
+        };
+        Finding {
+            metric,
+            baseline,
+            current,
+            pct,
+            limit_pct,
+            regressed: pct > limit_pct,
+        }
+    }
+}
+
+/// Result of comparing the current run against one baseline file.
+#[derive(Clone, Debug, Default)]
+pub struct Verdict {
+    /// Every comparison performed (regressed or not).
+    pub findings: Vec<Finding>,
+    /// Comparisons skipped (noise floor, missing counterpart), with
+    /// reasons — printed so a silently-shrinking check is visible.
+    pub skipped: Vec<String>,
+}
+
+impl Verdict {
+    /// True when no compared metric regressed.
+    pub fn pass(&self) -> bool {
+        self.findings.iter().all(|f| !f.regressed)
+    }
+
+    /// The regressed subset.
+    pub fn regressions(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.regressed)
+    }
+}
+
+fn stage_median(doc: &Value, name: &str, rows: u64, stage: &str) -> Option<u64> {
+    let workloads = doc.get("workloads")?.as_arr()?;
+    let w = workloads.iter().find(|w| {
+        w.get("name").and_then(Value::as_str) == Some(name)
+            && w.get("rows").and_then(Value::as_u64) == Some(rows)
+    })?;
+    w.path(&["stages", stage])?.get("median_ns")?.as_u64()
+}
+
+/// All `(name, rows)` workload identities in a v3 document.
+fn workload_ids(doc: &Value) -> Vec<(String, u64)> {
+    doc.get("workloads")
+        .and_then(Value::as_arr)
+        .map(|ws| {
+            ws.iter()
+                .filter_map(|w| {
+                    Some((
+                        w.get("name")?.as_str()?.to_string(),
+                        w.get("rows")?.as_u64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compare the current (already schema-validated v3) document against
+/// one classified baseline.
+pub fn compare(
+    current: &Value,
+    baseline_doc: &Value,
+    kind: &BenchKind,
+    cfg: &CheckConfig,
+) -> Verdict {
+    let mut v = Verdict::default();
+    match kind {
+        BenchKind::LegacyFused { tracks, fused_ms } => {
+            legacy_compare(
+                current, &mut v, *tracks, *fused_ms, "total", "fused_ms", cfg,
+            );
+        }
+        BenchKind::LegacyOverhead {
+            tracks,
+            workload_ms,
+        } => {
+            legacy_compare(
+                current,
+                &mut v,
+                *tracks,
+                *workload_ms,
+                "wall",
+                "workload_ms",
+                cfg,
+            );
+        }
+        BenchKind::V3 => {
+            for (name, rows) in workload_ids(baseline_doc) {
+                for stage in STAGE_KEYS {
+                    let Some(base) = stage_median(baseline_doc, &name, rows, stage) else {
+                        continue;
+                    };
+                    let metric = format!("{}@{}/{}", name, rows, stage);
+                    if base < cfg.lat_floor_ns {
+                        v.skipped.push(format!(
+                            "{}: baseline {} ns below {} ns noise floor",
+                            metric, base, cfg.lat_floor_ns
+                        ));
+                        continue;
+                    }
+                    match stage_median(current, &name, rows, stage) {
+                        Some(cur) => v.findings.push(Finding::evaluate(
+                            metric,
+                            base as f64,
+                            cur as f64,
+                            cfg.lat_tol_pct,
+                        )),
+                        None => v
+                            .skipped
+                            .push(format!("{}: no matching workload in current run", metric)),
+                    }
+                }
+            }
+            compare_mem(current, baseline_doc, &mut v, cfg);
+        }
+    }
+    v
+}
+
+fn legacy_compare(
+    current: &Value,
+    v: &mut Verdict,
+    tracks: u64,
+    baseline_ms: f64,
+    stage: &str,
+    what: &str,
+    cfg: &CheckConfig,
+) {
+    let baseline_ns = baseline_ms * 1e6;
+    let metric = format!("fig3@{}/{} (legacy {})", tracks, stage, what);
+    if (baseline_ns as u64) < cfg.lat_floor_ns {
+        v.skipped
+            .push(format!("{}: baseline below noise floor", metric));
+        return;
+    }
+    match stage_median(current, "fig3", tracks, stage) {
+        Some(cur) => v.findings.push(Finding::evaluate(
+            metric,
+            baseline_ns,
+            cur as f64,
+            cfg.lat_tol_pct,
+        )),
+        None => v.skipped.push(format!(
+            "{}: current run has no fig3 workload at {} rows",
+            metric, tracks
+        )),
+    }
+}
+
+fn compare_mem(current: &Value, baseline: &Value, v: &mut Verdict, cfg: &CheckConfig) {
+    let Some(base_mem) = baseline.path(&["report", "mem"]).and_then(Value::as_obj) else {
+        v.skipped.push("mem: baseline has no report.mem".into());
+        return;
+    };
+    for (region, entry) in base_mem {
+        let Some(base_peak) = entry.get("peak").and_then(Value::as_u64) else {
+            continue;
+        };
+        let metric = format!("mem/{}", region);
+        if base_peak < cfg.mem_floor_bytes {
+            v.skipped.push(format!(
+                "{}: baseline peak {} B below {} B noise floor",
+                metric, base_peak, cfg.mem_floor_bytes
+            ));
+            continue;
+        }
+        match current
+            .path(&["report", "mem", region])
+            .and_then(|e| e.get("peak"))
+            .and_then(Value::as_u64)
+        {
+            Some(cur) => v.findings.push(Finding::evaluate(
+                metric,
+                base_peak as f64,
+                cur as f64,
+                cfg.mem_tol_pct,
+            )),
+            None => v
+                .skipped
+                .push(format!("{}: region absent from current run", metric)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn v3_doc(total_ns: u64, wall_ns: u64, peak: u64) -> Value {
+        parse(&format!(
+            r#"{{
+              "schema_version": 3, "bench": "perf-observatory", "reps": 3,
+              "histograms_enabled": true,
+              "workloads": [{{"name":"fig3","rows":20000,"product_nnz":7,"stages":{{
+                "align":{{"median_ns":10000}},"transpose":{{"median_ns":600000}},
+                "symbolic":{{"median_ns":900000}},"numeric":{{"median_ns":2000000}},
+                "total":{{"median_ns":{total}}},"wall":{{"median_ns":{wall}}}}}}}],
+              "report": {{"schema_version": 3, "counters": {{"a":1}},
+                "histograms": {{"h1":{{"count":1}},"h2":{{"count":1}},"h3":{{"count":1}},"h4":{{"count":1}}}},
+                "mem": {{"spa-scratch":{{"current":0,"peak":{peak}}},
+                         "tiny":{{"current":0,"peak":64}}}}}}
+            }}"#,
+            total = total_ns,
+            wall = wall_ns,
+            peak = peak
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn passes_when_within_tolerance_and_flags_regressions() {
+        let cfg = CheckConfig::default();
+        let base = v3_doc(4_000_000, 5_000_000, 8 << 20);
+
+        // 10% slower: inside the 15% budget.
+        let ok = compare(
+            &v3_doc(4_400_000, 5_500_000, 8 << 20),
+            &base,
+            &BenchKind::V3,
+            &cfg,
+        );
+        assert!(ok.pass(), "{:?}", ok.findings);
+        assert!(!ok.findings.is_empty());
+
+        // 50% slower on total: regression.
+        let slow = compare(
+            &v3_doc(6_000_000, 5_000_000, 8 << 20),
+            &base,
+            &BenchKind::V3,
+            &cfg,
+        );
+        assert!(!slow.pass());
+        let reg: Vec<_> = slow.regressions().collect();
+        assert!(reg.iter().any(|f| f.metric.contains("/total")), "{:?}", reg);
+
+        // 30% more peak memory: regression under the 20% budget.
+        let fat = compare(
+            &v3_doc(4_000_000, 5_000_000, (8 << 20) + (3 << 20)),
+            &base,
+            &BenchKind::V3,
+            &cfg,
+        );
+        assert!(!fat.pass());
+        assert!(fat.regressions().any(|f| f.metric == "mem/spa-scratch"));
+    }
+
+    #[test]
+    fn noise_floors_skip_tiny_baselines() {
+        let cfg = CheckConfig::default();
+        let base = v3_doc(4_000_000, 5_000_000, 8 << 20);
+        let v = compare(
+            &v3_doc(4_000_000, 5_000_000, 8 << 20),
+            &base,
+            &BenchKind::V3,
+            &cfg,
+        );
+        // align (10 µs) is under the 50 µs floor; the 64-byte region is
+        // under the 1 MiB floor — both skipped with visible reasons.
+        assert!(
+            v.skipped.iter().any(|s| s.contains("/align")),
+            "{:?}",
+            v.skipped
+        );
+        assert!(
+            v.skipped.iter().any(|s| s.contains("mem/tiny")),
+            "{:?}",
+            v.skipped
+        );
+        assert!(!v.findings.iter().any(|f| f.metric.contains("/align")));
+    }
+
+    #[test]
+    fn legacy_baselines_map_to_fig3_stages() {
+        let cfg = CheckConfig::default();
+        let cur = v3_doc(4_000_000, 5_000_000, 8 << 20);
+
+        // fused_ms 4.0 → total 4_000_000 ns: flat, passes.
+        let kind = BenchKind::LegacyFused {
+            tracks: 20000,
+            fused_ms: 4.0,
+        };
+        let v = compare(&cur, &Value::Null, &kind, &cfg);
+        assert!(v.pass() && v.findings.len() == 1, "{:?}", v);
+
+        // workload_ms 3.0 vs wall 5 ms: +66%, regression.
+        let kind = BenchKind::LegacyOverhead {
+            tracks: 20000,
+            workload_ms: 3.0,
+        };
+        let v = compare(&cur, &Value::Null, &kind, &cfg);
+        assert!(!v.pass());
+
+        // Track count with no matching workload: skipped, not failed.
+        let kind = BenchKind::LegacyFused {
+            tracks: 777,
+            fused_ms: 4.0,
+        };
+        let v = compare(&cur, &Value::Null, &kind, &cfg);
+        assert!(v.pass() && v.findings.is_empty() && v.skipped.len() == 1);
+    }
+}

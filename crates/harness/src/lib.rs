@@ -1,0 +1,22 @@
+//! # aarray-harness
+//!
+//! The perf-regression observatory around the `aarray` workspace:
+//! the [`obsctl`](../obsctl/index.html) binary runs the canonical
+//! Figure 3/5 workloads at several scales, captures the full
+//! [`aarray_obs::ObsReport`] (counters, histograms, memory peaks) plus
+//! per-plan stage medians, writes a schema-versioned `BENCH_pr3.json`,
+//! and renders a regression verdict against earlier `BENCH_*.json`
+//! baselines (both the v3 observatory format and the legacy PR1/PR2
+//! single-figure files).
+//!
+//! Everything here is dependency-free: the offline `serde_json` stub
+//! is empty, so [`json`] is a small hand-rolled parser scoped to the
+//! bench schemas.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod json;
+pub mod schema;
+pub mod workloads;

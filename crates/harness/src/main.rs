@@ -1,0 +1,255 @@
+//! `obsctl` — run the perf observatory and check for regressions.
+//!
+//! ```text
+//! obsctl run   [--out BENCH_pr3.json] [--scales 2000,8000,20000]
+//!              [--reps 5] [--prometheus <path>]
+//! obsctl check [--current BENCH_pr3.json] [--against <file>]...
+//!              [--lat-tol 15] [--mem-tol 20]
+//! obsctl --check          # check with the defaults above
+//! ```
+//!
+//! `run` replays the Figure 3/5 workloads at each scale, captures the
+//! observability delta (counters, histograms, memory peaks) and
+//! per-stage medians, and writes a schema-versioned observatory file.
+//! With `--prometheus` the same capture is also written in Prometheus
+//! text exposition format for the node-exporter textfile collector.
+//!
+//! `check` validates every file's schema (exit 2 on a malformed or
+//! unknown-schema file), compares the current run against each
+//! baseline — v3 files stage-by-stage and region-by-region, legacy
+//! PR1/PR2 files via their single figure — and exits 1 if any median
+//! stage latency regressed beyond `--lat-tol` percent or any peak
+//! memory beyond `--mem-tol` percent (noise floors: 50 µs, 1 MiB).
+
+use aarray_harness::compare::{compare, CheckConfig};
+use aarray_harness::json::parse;
+use aarray_harness::schema::{classify, BenchKind};
+use aarray_harness::workloads::{bench_json, run_workload, Figure};
+use aarray_obs::ObsReport;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("--check") => cmd_check(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            print!("{}", USAGE);
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!(
+                "obsctl: expected a subcommand, got {:?}\n{}",
+                other.unwrap_or("<none>"),
+                USAGE
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  obsctl run   [--out BENCH_pr3.json] [--scales 2000,8000,20000] [--reps 5]
+               [--prometheus <path>]
+  obsctl check [--current BENCH_pr3.json] [--against <file>]...
+               [--lat-tol 15] [--mem-tol 20]
+  obsctl --check
+";
+
+fn take_value(it: &mut std::slice::Iter<String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{} needs a value", flag))
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut out_path = "BENCH_pr3.json".to_string();
+    let mut prom_path: Option<String> = None;
+    let mut scales: Vec<usize> = vec![2_000, 8_000, 20_000];
+    let mut reps = 5usize;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let r = match a.as_str() {
+            "--out" => take_value(&mut it, a).map(|v| out_path = v),
+            "--prometheus" => take_value(&mut it, a).map(|v| prom_path = Some(v)),
+            "--reps" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| reps = n)
+                    .map_err(|_| format!("--reps: bad count {:?}", v))
+            }),
+            "--scales" => take_value(&mut it, a).and_then(|v| {
+                v.split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(|v| scales = v)
+                    .map_err(|_| format!("--scales: bad list {:?}", v))
+            }),
+            _ => Err(format!("unknown flag {:?}", a)),
+        };
+        if let Err(e) = r {
+            eprintln!("obsctl run: {}\n{}", e, USAGE);
+            return ExitCode::from(2);
+        }
+    }
+    if scales.is_empty() || reps == 0 {
+        eprintln!("obsctl run: need at least one scale and one rep");
+        return ExitCode::from(2);
+    }
+
+    let hist_on = aarray_obs::histograms_enabled();
+    if !hist_on {
+        eprintln!(
+            "obsctl run: warning: {}=0 — latency/shape histograms will be empty in this capture",
+            aarray_obs::HISTOGRAMS_ENV
+        );
+    }
+
+    let before = ObsReport::capture();
+    let mut runs = Vec::new();
+    for &rows in &scales {
+        for figure in [Figure::Fig3, Figure::Fig5] {
+            let run = run_workload(figure, rows, reps);
+            println!(
+                "{:>5}@{:<6} total {:>9.3} ms  wall {:>9.3} ms  product nnz {}",
+                run.name,
+                run.rows,
+                run.stages.total_ns as f64 / 1e6,
+                run.stages.wall_ns as f64 / 1e6,
+                run.product_nnz
+            );
+            runs.push(run);
+        }
+    }
+    let report = ObsReport::capture().since(&before);
+
+    let doc = bench_json(&runs, &report, reps, hist_on);
+    // Self-check before writing: a run that emits an invalid file is a
+    // bug here, not in the checker that trips over it later.
+    match parse(&doc)
+        .map_err(|e| e.to_string())
+        .and_then(|v| classify(&v).map(|_| ()))
+    {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!(
+                "obsctl run: internal error: emitted document fails validation: {}",
+                e
+            );
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("obsctl run: cannot write {:?}: {}", out_path, e);
+        return ExitCode::from(2);
+    }
+    println!("observatory file written to {}", out_path);
+
+    if let Some(p) = prom_path {
+        if let Err(e) = std::fs::write(&p, report.to_prometheus()) {
+            eprintln!("obsctl run: cannot write {:?}: {}", p, e);
+            return ExitCode::from(2);
+        }
+        println!("prometheus metrics written to {}", p);
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_classified(path: &str) -> Result<(aarray_harness::json::Value, BenchKind), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {}", path, e))?;
+    let doc = parse(&text).map_err(|e| format!("{}: {}", path, e))?;
+    let kind = classify(&doc).map_err(|e| format!("{}: {}", path, e))?;
+    Ok((doc, kind))
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut current_path = "BENCH_pr3.json".to_string();
+    let mut against: Vec<String> = Vec::new();
+    let mut cfg = CheckConfig::default();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let r = match a.as_str() {
+            "--current" => take_value(&mut it, a).map(|v| current_path = v),
+            "--against" => take_value(&mut it, a).map(|v| against.push(v)),
+            "--lat-tol" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| cfg.lat_tol_pct = n)
+                    .map_err(|_| format!("--lat-tol: bad percent {:?}", v))
+            }),
+            "--mem-tol" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| cfg.mem_tol_pct = n)
+                    .map_err(|_| format!("--mem-tol: bad percent {:?}", v))
+            }),
+            _ => Err(format!("unknown flag {:?}", a)),
+        };
+        if let Err(e) = r {
+            eprintln!("obsctl check: {}\n{}", e, USAGE);
+            return ExitCode::from(2);
+        }
+    }
+    if against.is_empty() {
+        against = vec!["BENCH_pr1.json".into(), "BENCH_pr2.json".into()];
+    }
+
+    let (current, current_kind) = match load_classified(&current_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("obsctl check: {}", e);
+            return ExitCode::from(2);
+        }
+    };
+    if current_kind != BenchKind::V3 {
+        eprintln!(
+            "obsctl check: {} is a legacy file; the current run must be a v3 observatory file",
+            current_path
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut regressions = 0usize;
+    for path in &against {
+        let (doc, kind) = match load_classified(path) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("obsctl check: {}", e);
+                return ExitCode::from(2);
+            }
+        };
+        let verdict = compare(&current, &doc, &kind, &cfg);
+        println!("== {} vs {} ==", current_path, path);
+        for f in &verdict.findings {
+            println!(
+                "  {} {:<40} {:>14.0} -> {:>14.0}  {:>+7.1}% (limit +{:.0}%)",
+                if f.regressed {
+                    "REGRESSED"
+                } else {
+                    "ok       "
+                },
+                f.metric,
+                f.baseline,
+                f.current,
+                f.pct,
+                f.limit_pct
+            );
+        }
+        for s in &verdict.skipped {
+            println!("  skipped   {}", s);
+        }
+        regressions += verdict.regressions().count();
+    }
+
+    if regressions > 0 {
+        println!(
+            "perf observatory: {} regression(s) beyond tolerance",
+            regressions
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("perf observatory: no regressions beyond tolerance");
+        ExitCode::SUCCESS
+    }
+}

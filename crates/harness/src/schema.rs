@@ -1,0 +1,281 @@
+//! Bench-file schema recognition and validation.
+//!
+//! The observatory compares the current run against every committed
+//! `BENCH_*.json` at the workspace root. Three shapes are recognised:
+//!
+//! * **v3 observatory files** (`BENCH_pr3.json` and later) — stamped
+//!   `"schema_version": 3`, with per-workload stage medians and an
+//!   embedded [`aarray_obs::ObsReport`] JSON object;
+//! * **legacy PR1** (`fused_vs_sequential`) — a single `fused_ms`
+//!   figure for the 6-lane fused traversal at bench scale;
+//! * **legacy PR2** (`obs_overhead`) — a single `workload_ms` figure
+//!   for the full seven-pair workload.
+//!
+//! Anything else — including a v3 file with missing sections or a
+//! file carrying an unknown `schema_version` — is a hard validation
+//! error; `obsctl check` exits with status 2 on it rather than
+//! silently skipping a corrupt baseline.
+
+use crate::json::Value;
+
+/// The schema stamped into files `obsctl run` writes. Matches
+/// [`aarray_obs::REPORT_SCHEMA_VERSION`] by construction (asserted in
+/// tests) so one bump covers both layers.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
+
+/// The stage keys every v3 workload entry must carry medians for.
+pub const STAGE_KEYS: [&str; 6] = ["align", "transpose", "symbolic", "numeric", "total", "wall"];
+
+/// A successfully classified baseline file.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BenchKind {
+    /// v3 observatory file; compare stage-by-stage and region-by-region.
+    V3,
+    /// Legacy PR1 `fused_vs_sequential`: `fused_ms` maps to the NN
+    /// plan `total` stage of the matching fig3 workload.
+    LegacyFused {
+        /// Track count of the legacy workload (matches `rows`).
+        tracks: u64,
+        /// Milliseconds per fused traversal.
+        fused_ms: f64,
+    },
+    /// Legacy PR2 `obs_overhead`: `workload_ms` maps to the `wall`
+    /// stage of the matching fig3 workload.
+    LegacyOverhead {
+        /// Track count of the legacy workload (matches `rows`).
+        tracks: u64,
+        /// Milliseconds per full seven-pair rep.
+        workload_ms: f64,
+    },
+}
+
+fn require<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{}: missing required field {:?}", what, key))
+}
+
+fn require_u64(v: &Value, key: &str, what: &str) -> Result<u64, String> {
+    require(v, key, what)?
+        .as_u64()
+        .ok_or_else(|| format!("{}: field {:?} must be a non-negative integer", what, key))
+}
+
+fn require_finite(v: &Value, key: &str, what: &str) -> Result<f64, String> {
+    require(v, key, what)?
+        .as_f64()
+        .ok_or_else(|| format!("{}: field {:?} must be a number", what, key))
+}
+
+/// Classify and validate one bench document. Returns the kind on
+/// success; a diagnostic naming the offending field on failure.
+pub fn classify(doc: &Value) -> Result<BenchKind, String> {
+    if doc.as_obj().is_none() {
+        return Err("bench file: top level must be a JSON object".into());
+    }
+    if let Some(sv) = doc.get("schema_version") {
+        let sv = sv
+            .as_u64()
+            .ok_or("bench file: schema_version must be an integer")?;
+        if sv != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "bench file: unsupported schema_version {} (this obsctl understands {})",
+                sv, BENCH_SCHEMA_VERSION
+            ));
+        }
+        validate_v3(doc)?;
+        return Ok(BenchKind::V3);
+    }
+    // No schema_version: must be one of the two known legacy shapes.
+    match require(doc, "bench", "legacy bench file")?.as_str() {
+        Some("fused_vs_sequential") => {
+            let w = require(doc, "workload", "legacy PR1 file")?;
+            Ok(BenchKind::LegacyFused {
+                tracks: require_u64(w, "tracks", "legacy PR1 workload")?,
+                fused_ms: require_finite(doc, "fused_ms", "legacy PR1 file")?,
+            })
+        }
+        Some("obs_overhead") => {
+            let w = require(doc, "workload", "legacy PR2 file")?;
+            Ok(BenchKind::LegacyOverhead {
+                tracks: require_u64(w, "tracks", "legacy PR2 workload")?,
+                workload_ms: require_finite(doc, "workload_ms", "legacy PR2 file")?,
+            })
+        }
+        Some(other) => Err(format!(
+            "legacy bench file: unknown bench kind {:?} (and no schema_version)",
+            other
+        )),
+        None => Err("legacy bench file: \"bench\" must be a string".into()),
+    }
+}
+
+/// Structural validation of a v3 observatory file.
+pub fn validate_v3(doc: &Value) -> Result<(), String> {
+    require(doc, "bench", "v3 file")?
+        .as_str()
+        .ok_or("v3 file: \"bench\" must be a string")?;
+    require_u64(doc, "reps", "v3 file")?;
+    let hist_on = match require(doc, "histograms_enabled", "v3 file")? {
+        Value::Bool(b) => *b,
+        _ => return Err("v3 file: \"histograms_enabled\" must be a boolean".into()),
+    };
+
+    let workloads = require(doc, "workloads", "v3 file")?
+        .as_arr()
+        .ok_or("v3 file: \"workloads\" must be an array")?;
+    if workloads.is_empty() {
+        return Err("v3 file: \"workloads\" must not be empty".into());
+    }
+    for (i, w) in workloads.iter().enumerate() {
+        let what = format!("workloads[{}]", i);
+        require(w, "name", &what)?
+            .as_str()
+            .ok_or_else(|| format!("{}: \"name\" must be a string", what))?;
+        require_u64(w, "rows", &what)?;
+        require_u64(w, "product_nnz", &what)?;
+        let stages = require(w, "stages", &what)?;
+        for key in STAGE_KEYS {
+            let s = require(stages, key, &format!("{}.stages", what))?;
+            require_u64(s, "median_ns", &format!("{}.stages.{}", what, key))?;
+        }
+    }
+
+    let report = require(doc, "report", "v3 file")?;
+    let rsv = require_u64(report, "schema_version", "v3 report")?;
+    if rsv != BENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "v3 report: embedded schema_version {} disagrees with file version {}",
+            rsv, BENCH_SCHEMA_VERSION
+        ));
+    }
+    let hists = require(report, "histograms", "v3 report")?
+        .as_obj()
+        .ok_or("v3 report: \"histograms\" must be an object")?;
+    let non_empty = hists
+        .values()
+        .filter(|h| h.get("count").and_then(Value::as_u64).unwrap_or(0) > 0)
+        .count();
+    if hist_on && non_empty < 4 {
+        return Err(format!(
+            "v3 report: only {} non-empty histograms (need ≥ 4 with histograms enabled)",
+            non_empty
+        ));
+    }
+    let mem = require(report, "mem", "v3 report")?
+        .as_obj()
+        .ok_or("v3 report: \"mem\" must be an object")?;
+    for (region, entry) in mem {
+        require_u64(entry, "current", &format!("v3 report mem[{:?}]", region))?;
+        require_u64(entry, "peak", &format!("v3 report mem[{:?}]", region))?;
+    }
+    if !mem
+        .values()
+        .any(|e| e.get("peak").and_then(Value::as_u64).unwrap_or(0) > 0)
+    {
+        return Err("v3 report: every mem region has peak 0 — accounting is dark".into());
+    }
+    require(report, "counters", "v3 report")?
+        .as_obj()
+        .ok_or("v3 report: \"counters\" must be an object")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn schema_version_matches_obs_report() {
+        assert_eq!(BENCH_SCHEMA_VERSION, aarray_obs::REPORT_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn classifies_committed_legacy_shapes() {
+        let pr1 =
+            parse(r#"{"bench":"fused_vs_sequential","workload":{"tracks":20000},"fused_ms":4.2}"#)
+                .unwrap();
+        assert_eq!(
+            classify(&pr1).unwrap(),
+            BenchKind::LegacyFused {
+                tracks: 20000,
+                fused_ms: 4.2
+            }
+        );
+        let pr2 =
+            parse(r#"{"bench":"obs_overhead","workload":{"tracks":20000},"workload_ms":3.9}"#)
+                .unwrap();
+        assert_eq!(
+            classify(&pr2).unwrap(),
+            BenchKind::LegacyOverhead {
+                tracks: 20000,
+                workload_ms: 3.9
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed_files() {
+        for (doc, needle) in [
+            (r#"[1,2]"#, "must be a JSON object"),
+            (r#"{"bench":"mystery"}"#, "unknown bench kind"),
+            (r#"{"schema_version":99}"#, "unsupported schema_version"),
+            (r#"{"schema_version":"three"}"#, "must be an integer"),
+            (
+                r#"{"bench":"fused_vs_sequential","workload":{"tracks":20000}}"#,
+                "fused_ms",
+            ),
+            (r#"{"schema_version":3,"bench":"x"}"#, "reps"),
+        ] {
+            let err = classify(&parse(doc).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{:?} → {:?}", doc, err);
+        }
+    }
+
+    #[test]
+    fn v3_requires_stage_medians_and_live_histograms() {
+        // Minimal valid v3 document, then break it one field at a time.
+        let valid = r#"{
+          "schema_version": 3, "bench": "perf-observatory", "reps": 2,
+          "histograms_enabled": true,
+          "workloads": [{"name":"fig3","rows":100,"product_nnz":5,"stages":{
+            "align":{"median_ns":1},"transpose":{"median_ns":1},
+            "symbolic":{"median_ns":1},"numeric":{"median_ns":1},
+            "total":{"median_ns":4},"wall":{"median_ns":5}}}],
+          "report": {"schema_version": 3,
+            "counters": {"a": 1},
+            "histograms": {"h1":{"count":1},"h2":{"count":1},"h3":{"count":2},"h4":{"count":9}},
+            "mem": {"r":{"current":0,"peak":10}}}
+        }"#;
+        assert_eq!(classify(&parse(valid).unwrap()).unwrap(), BenchKind::V3);
+
+        let missing_stage = valid.replace(r#""wall":{"median_ns":5}"#, r#""wall":{}"#);
+        let err = classify(&parse(&missing_stage).unwrap()).unwrap_err();
+        assert!(err.contains("median_ns"), "{}", err);
+
+        let few_hists = valid.replace(r#","h4":{"count":9}"#, "");
+        let err = classify(&parse(&few_hists).unwrap()).unwrap_err();
+        assert!(err.contains("non-empty histograms"), "{}", err);
+
+        // With histograms disabled the same report is acceptable.
+        let disabled = few_hists.replace(
+            r#""histograms_enabled": true"#,
+            r#""histograms_enabled": false"#,
+        );
+        assert_eq!(classify(&parse(&disabled).unwrap()).unwrap(), BenchKind::V3);
+
+        let dark_mem = valid.replace(
+            r#""mem": {"r":{"current":0,"peak":10}}"#,
+            r#""mem": {"r":{"current":0,"peak":0}}"#,
+        );
+        let err = classify(&parse(&dark_mem).unwrap()).unwrap_err();
+        assert!(err.contains("accounting is dark"), "{}", err);
+
+        let bad_embedded = valid.replace(
+            r#""report": {"schema_version": 3"#,
+            r#""report": {"schema_version": 2"#,
+        );
+        let err = classify(&parse(&bad_embedded).unwrap()).unwrap_err();
+        assert!(err.contains("disagrees"), "{}", err);
+    }
+}

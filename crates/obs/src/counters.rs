@@ -114,7 +114,8 @@ pub const COUNTER_NAMES: [(Counter, &str); N_COUNTERS] = [
     (Counter::FlopsTotal, "flops.total"),
 ];
 
-const GAUGE_NAMES: [(Gauge, &str); N_GAUGES] = [
+/// Every gauge with its report label, in display order.
+pub const GAUGE_NAMES: [(Gauge, &str); N_GAUGES] = [
     (Gauge::DispatchLastFlops, "dispatch.last-flops"),
     (Gauge::DispatchThreshold, "dispatch.threshold"),
 ];
@@ -236,18 +237,70 @@ impl Snapshot {
     pub fn total_events(&self) -> u64 {
         self.counters.iter().sum()
     }
+
+    /// Difference `self − earlier` packaged for display: rendering
+    /// skips zero-delta counters and gauges unless `full` is set, so a
+    /// figure's delta shows only the events it actually caused.
+    pub fn diff(&self, earlier: &Snapshot, full: bool) -> SnapshotDiff {
+        SnapshotDiff {
+            delta: self.since(earlier),
+            full,
+        }
+    }
+}
+
+/// A displayable [`Snapshot::diff`]: the same numbers as
+/// [`Snapshot::since`], rendered name-sorted and (unless `full`)
+/// without zero-delta entries.
+#[derive(Clone, Debug)]
+pub struct SnapshotDiff {
+    /// The counter-wise delta (gauges carried from the later snapshot).
+    pub delta: Snapshot,
+    full: bool,
+}
+
+impl fmt::Display for SnapshotDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_registry(f, &self.delta, self.full)
+    }
+}
+
+/// Shared renderer: name-sorted counters then gauges, optionally
+/// eliding zero entries.
+fn write_registry(f: &mut fmt::Formatter<'_>, snap: &Snapshot, full: bool) -> fmt::Result {
+    writeln!(f, "counter registry")?;
+    let mut counters: Vec<(&str, u64)> = COUNTER_NAMES
+        .iter()
+        .map(|&(c, name)| (name, snap.get(c)))
+        .collect();
+    counters.sort_by_key(|&(name, _)| name);
+    let mut shown = 0usize;
+    for (name, v) in counters {
+        if full || v != 0 {
+            writeln!(f, "  {:<26} {:>12}", name, v)?;
+            shown += 1;
+        }
+    }
+    let mut gauges: Vec<(&str, u64)> = GAUGE_NAMES
+        .iter()
+        .map(|&(g, name)| (name, snap.gauge(g)))
+        .collect();
+    gauges.sort_by_key(|&(name, _)| name);
+    for (name, v) in gauges {
+        if full || v != 0 {
+            writeln!(f, "  {:<26} {:>12}  (gauge)", name, v)?;
+            shown += 1;
+        }
+    }
+    if shown == 0 {
+        writeln!(f, "  (no nonzero entries)")?;
+    }
+    Ok(())
 }
 
 impl fmt::Display for Snapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "counter registry")?;
-        for (c, name) in COUNTER_NAMES {
-            writeln!(f, "  {:<26} {:>12}", name, self.get(c))?;
-        }
-        for (g, name) in GAUGE_NAMES {
-            writeln!(f, "  {:<26} {:>12}  (gauge)", name, self.gauge(g))?;
-        }
-        Ok(())
+        write_registry(f, self, true)
     }
 }
 
@@ -297,5 +350,45 @@ mod tests {
         for (i, (c, _)) in COUNTER_NAMES.iter().enumerate() {
             assert_eq!(*c as usize, i, "COUNTER_NAMES[{}] out of order", i);
         }
+    }
+
+    #[test]
+    fn display_is_name_sorted() {
+        let report = snapshot().to_string();
+        let lines: Vec<&str> = report
+            .lines()
+            .skip(1)
+            .filter(|l| !l.contains("(gauge)"))
+            .map(|l| l.trim_start())
+            .collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted, "counters must render name-sorted");
+    }
+
+    #[test]
+    fn diff_skips_zero_deltas_unless_full() {
+        let before = snapshot();
+        counters().incr(Counter::PlanTransposeBuilt);
+        let after = snapshot();
+        let compact = after.diff(&before, false).to_string();
+        assert!(compact.contains("plan.transpose-built"), "{}", compact);
+        // Pin a counter this test binary never touches: with a
+        // process-quiet registry its delta is zero and must be elided.
+        let d = after.since(&before);
+        if d.get(Counter::KernelEsc) == 0 {
+            assert!(!compact.contains("kernel.esc"), "{}", compact);
+        }
+        let full = after.diff(&before, true).to_string();
+        for (_, name) in COUNTER_NAMES {
+            assert!(full.contains(name), "full diff missing {}", name);
+        }
+    }
+
+    #[test]
+    fn all_zero_diff_renders_placeholder() {
+        let s = Snapshot::default();
+        let compact = s.diff(&Snapshot::default(), false).to_string();
+        assert!(compact.contains("(no nonzero entries)"), "{}", compact);
     }
 }

@@ -1,6 +1,22 @@
 //! # aarray-obs
 //!
-//! Observability primitives for the aarray workspace, in two tiers:
+//! Observability primitives for the aarray workspace:
+//!
+//! * an **always-on histogram registry** ([`histograms`]) — lock-free
+//!   log2-bucketed distributions of kernel latencies (plan build,
+//!   symbolic, numeric passes), per-row nnz/flops, accumulator
+//!   occupancy, and dispatch flops; recording can be disabled at
+//!   runtime with `AARRAY_OBS_HISTOGRAMS=0`;
+//!
+//! * a **memory accounting layer** ([`memstats`]) — current/peak bytes
+//!   per working-set region (SPA and hash accumulators, fused
+//!   accumulator blocks, plan-owned transposes and symbolic patterns,
+//!   interned key sets), fed by explicit instrumentation at the
+//!   allocation sites;
+//!
+//! * **exporters** ([`ObsReport`]) — one capture of all layers with
+//!   stable JSON ([`ObsReport::to_json`]) and Prometheus text format
+//!   ([`ObsReport::to_prometheus`]) renderings;
 //!
 //! * an **always-on counter registry** ([`counters`]) — one process-wide
 //!   set of relaxed atomic counters recording every kernel decision the
@@ -28,8 +44,17 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod histogram;
+pub mod memstats;
+pub mod report;
 
-pub use counters::{counters, snapshot, Counter, Gauge, Snapshot};
+pub use counters::{counters, snapshot, Counter, Gauge, Snapshot, SnapshotDiff};
+pub use histogram::{
+    histograms, histograms_enabled, set_histograms_enabled, Hist, Histogram, HistogramSnapshot,
+    HISTOGRAMS_ENV,
+};
+pub use memstats::{memstats, MemRegion, MemReservation, MemSnapshot, MemStats};
+pub use report::{ObsReport, REPORT_SCHEMA_VERSION};
 
 /// Re-export of the `tracing` facade for [`trace_span!`] expansion.
 #[cfg(feature = "trace")]

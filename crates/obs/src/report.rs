@@ -1,0 +1,366 @@
+//! Pluggable export of the full observability state.
+//!
+//! [`ObsReport::capture`] snapshots all three always-on layers —
+//! counters + gauges, histograms, memory accounting — into one value
+//! with two textual exporters:
+//!
+//! * [`ObsReport::to_json`] — a stable, diffable JSON object (keys
+//!   sorted by metric name, zero-count histogram buckets elided) that
+//!   the `obsctl` harness embeds in schema-versioned `BENCH_*.json`
+//!   files;
+//! * [`ObsReport::to_prometheus`] — Prometheus text exposition format
+//!   (`# TYPE` comments, cumulative `_bucket{le=...}` histogram
+//!   series), ready to serve from a `/metrics` endpoint or scrape via
+//!   the node-exporter textfile collector.
+//!
+//! Both formats are produced without any serialization dependency —
+//! the offline `serde_json` stub is empty, and hand-emission keeps the
+//! obs crate dependency-free.
+
+use crate::counters::{Snapshot, COUNTER_NAMES, GAUGE_NAMES};
+use crate::histogram::{bucket_upper, histograms, HistogramSnapshot, HIST_NAMES};
+use crate::memstats::{memstats, MemSnapshot, MEM_REGION_NAMES};
+
+/// Schema version stamped into every JSON export; bumped whenever the
+/// shape of the report changes incompatibly.
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
+
+/// A point-in-time capture of counters, gauges, histograms, and memory
+/// accounting. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct ObsReport {
+    /// Counter + gauge snapshot.
+    pub counters: Snapshot,
+    /// One snapshot per registry histogram, in [`HIST_NAMES`] order.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Memory accounting snapshot.
+    pub mem: MemSnapshot,
+}
+
+impl ObsReport {
+    /// Capture the current state of every layer.
+    pub fn capture() -> Self {
+        ObsReport {
+            counters: crate::counters::snapshot(),
+            histograms: histograms().snapshot_all(),
+            mem: memstats().snapshot(),
+        }
+    }
+
+    /// Report containing the *difference* since an earlier capture:
+    /// counters and histogram buckets diff; gauges, watermarks, and
+    /// memory figures carry over from `self` (they are last-values).
+    pub fn since(&self, earlier: &ObsReport) -> ObsReport {
+        ObsReport {
+            counters: self.counters.since(&earlier.counters),
+            histograms: self
+                .histograms
+                .iter()
+                .zip(earlier.histograms.iter())
+                .map(|(a, b)| a.since(b))
+                .collect(),
+            mem: self.mem.clone(),
+        }
+    }
+
+    /// Stable JSON object: metric names sorted within each section,
+    /// zero-count buckets elided, `min` reported as 0 when empty.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"schema_version\": {},\n",
+            REPORT_SCHEMA_VERSION
+        ));
+
+        out.push_str("  \"counters\": {");
+        append_sorted_u64(
+            &mut out,
+            COUNTER_NAMES
+                .iter()
+                .map(|&(c, name)| (name, self.counters.get(c))),
+        );
+        out.push_str("},\n");
+
+        out.push_str("  \"gauges\": {");
+        append_sorted_u64(
+            &mut out,
+            GAUGE_NAMES
+                .iter()
+                .map(|&(g, name)| (name, self.counters.gauge(g))),
+        );
+        out.push_str("},\n");
+
+        out.push_str("  \"histograms\": {");
+        let mut hists: Vec<(&str, &HistogramSnapshot)> = HIST_NAMES
+            .iter()
+            .zip(self.histograms.iter())
+            .map(|(&(_, name), s)| (name, s))
+            .collect();
+        hists.sort_by_key(|&(name, _)| name);
+        for (i, (name, s)) in hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&format!("\"{}\": {}", name, histogram_json(s)));
+        }
+        out.push_str("\n  },\n");
+
+        out.push_str("  \"mem\": {");
+        let mut regions: Vec<(&str, u64, u64)> = MEM_REGION_NAMES
+            .iter()
+            .map(|&(r, name)| (name, self.mem.current(r), self.mem.peak(r)))
+            .collect();
+        regions.sort_by_key(|&(name, _, _)| name);
+        for (i, (name, cur, peak)) in regions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"current\": {}, \"peak\": {}}}",
+                name, cur, peak
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Prometheus text exposition format. Metric names are the report
+    /// labels with `.`/`-` mapped to `_` and an `aarray_` prefix;
+    /// histogram series are cumulative with a `+Inf` bucket, as the
+    /// format requires.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+
+        let mut counters: Vec<(&str, u64)> = COUNTER_NAMES
+            .iter()
+            .map(|&(c, name)| (name, self.counters.get(c)))
+            .collect();
+        counters.sort_by_key(|&(name, _)| name);
+        out.push_str("# TYPE aarray_events_total counter\n");
+        for (name, v) in counters {
+            out.push_str(&format!(
+                "aarray_events_total{{event=\"{}\"}} {}\n",
+                name, v
+            ));
+        }
+
+        let mut gauges: Vec<(&str, u64)> = GAUGE_NAMES
+            .iter()
+            .map(|&(g, name)| (name, self.counters.gauge(g)))
+            .collect();
+        gauges.sort_by_key(|&(name, _)| name);
+        for (name, v) in gauges {
+            let pname = prom_name(name);
+            out.push_str(&format!("# TYPE aarray_{} gauge\n", pname));
+            out.push_str(&format!("aarray_{} {}\n", pname, v));
+        }
+
+        let mut regions: Vec<(&str, u64, u64)> = MEM_REGION_NAMES
+            .iter()
+            .map(|&(r, name)| (name, self.mem.current(r), self.mem.peak(r)))
+            .collect();
+        regions.sort_by_key(|&(name, _, _)| name);
+        out.push_str("# TYPE aarray_mem_current_bytes gauge\n");
+        for &(name, cur, _) in &regions {
+            out.push_str(&format!(
+                "aarray_mem_current_bytes{{region=\"{}\"}} {}\n",
+                name, cur
+            ));
+        }
+        out.push_str("# TYPE aarray_mem_peak_bytes gauge\n");
+        for &(name, _, peak) in &regions {
+            out.push_str(&format!(
+                "aarray_mem_peak_bytes{{region=\"{}\"}} {}\n",
+                name, peak
+            ));
+        }
+
+        let mut hists: Vec<(&str, &HistogramSnapshot)> = HIST_NAMES
+            .iter()
+            .zip(self.histograms.iter())
+            .map(|(&(_, name), s)| (name, s))
+            .collect();
+        hists.sort_by_key(|&(name, _)| name);
+        for (name, s) in hists {
+            let pname = format!("aarray_{}", prom_name(name));
+            out.push_str(&format!("# TYPE {} histogram\n", pname));
+            let mut cumulative = 0u64;
+            for (i, &c) in s.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                out.push_str(&format!(
+                    "{}_bucket{{le=\"{}\"}} {}\n",
+                    pname,
+                    bucket_upper(i),
+                    cumulative
+                ));
+            }
+            out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", pname, cumulative));
+            out.push_str(&format!("{}_sum {}\n", pname, s.sum));
+            out.push_str(&format!("{}_count {}\n", pname, cumulative));
+        }
+        out
+    }
+}
+
+/// `latency.plan-build-ns` → `latency_plan_build_ns`.
+fn prom_name(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c == '.' || c == '-' { '_' } else { c })
+        .collect()
+}
+
+fn histogram_json(s: &HistogramSnapshot) -> String {
+    let count = s.count();
+    let min = if count == 0 { 0 } else { s.min };
+    let mut buckets = String::new();
+    let mut first = true;
+    for (i, &c) in s.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            buckets.push_str(", ");
+        }
+        first = false;
+        buckets.push_str(&format!("[{}, {}]", bucket_upper(i), c));
+    }
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+        count,
+        s.sum,
+        min,
+        s.max,
+        s.median(),
+        s.quantile(0.99),
+        buckets
+    )
+}
+
+fn append_sorted_u64<'a>(out: &mut String, entries: impl Iterator<Item = (&'a str, u64)>) {
+    let mut v: Vec<(&str, u64)> = entries.collect();
+    v.sort_by_key(|&(name, _)| name);
+    for (i, (name, val)) in v.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": {}", name, val));
+    }
+    out.push('\n');
+    out.push_str("  ");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    fn sample_report() -> ObsReport {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(900);
+        let mut r = ObsReport::capture();
+        // Pin one known histogram so format assertions are stable.
+        r.histograms[0] = h.snapshot();
+        r
+    }
+
+    #[test]
+    fn json_is_sorted_and_parsable_shape() {
+        let j = sample_report().to_json();
+        assert!(j.contains("\"schema_version\": 3"));
+        // Sorted counters: dispatch.parallel before dispatch.serial,
+        // both before fused.*.
+        let dp = j.find("\"dispatch.parallel\"").unwrap();
+        let ds = j.find("\"dispatch.serial\"").unwrap();
+        let ft = j.find("\"fused.traversals\"").unwrap();
+        assert!(dp < ds && ds < ft, "counters must be name-sorted");
+        // Braces balance (cheap well-formedness check; full parsing is
+        // exercised by the harness crate's JSON round-trip test).
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces:\n{}",
+            j
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"mem\""));
+        assert!(j.contains("\"peak\""));
+    }
+
+    #[test]
+    fn json_histogram_section_elides_empty_buckets() {
+        let j = sample_report().to_json();
+        // The pinned histogram: 0 → bucket 0 (upper 0), 5 → [4,7]
+        // (upper 7), 900 → [512,1023] (upper 1023).
+        assert!(
+            j.contains("\"buckets\": [[0, 1], [7, 1], [1023, 1]]"),
+            "{}",
+            j
+        );
+        assert!(j.contains("\"count\": 3"));
+        assert!(j.contains("\"sum\": 905"));
+    }
+
+    #[test]
+    fn prometheus_format_invariants() {
+        let p = sample_report().to_prometheus();
+        let mut last_cumulative: Option<u64> = None;
+        let mut in_hist = false;
+        for line in p.lines() {
+            assert!(!line.is_empty());
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "bad comment: {}", line);
+                in_hist = line.ends_with(" histogram");
+                last_cumulative = None;
+                continue;
+            }
+            // Every sample line is `name{labels} value` or `name value`.
+            let (metric, value) = line.rsplit_once(' ').expect(line);
+            assert!(
+                value.parse::<u64>().is_ok(),
+                "non-numeric value in {}",
+                line
+            );
+            assert!(metric.starts_with("aarray_"), "unprefixed metric: {}", line);
+            if in_hist && metric.contains("_bucket{") {
+                let v: u64 = value.parse().unwrap();
+                if let Some(prev) = last_cumulative {
+                    assert!(v >= prev, "bucket series must be cumulative: {}", line);
+                }
+                last_cumulative = Some(v);
+            }
+        }
+        // The +Inf bucket and _count agree for the pinned histogram.
+        let hist_name = format!("aarray_{}", prom_name(HIST_NAMES[0].1));
+        let inf = p
+            .lines()
+            .find(|l| l.starts_with(&format!("{}_bucket{{le=\"+Inf\"}}", hist_name)))
+            .expect("+Inf bucket present");
+        let count = p
+            .lines()
+            .find(|l| l.starts_with(&format!("{}_count", hist_name)))
+            .expect("_count present");
+        assert_eq!(
+            inf.rsplit_once(' ').unwrap().1,
+            count.rsplit_once(' ').unwrap().1
+        );
+    }
+
+    #[test]
+    fn since_diffs_counters_and_buckets() {
+        let before = ObsReport::capture();
+        crate::counters().incr(crate::Counter::IntersectMerge);
+        histograms().get(crate::Hist::RowNnz).record(3);
+        let delta = ObsReport::capture().since(&before);
+        assert!(delta.counters.get(crate::Counter::IntersectMerge) >= 1);
+        let idx = crate::Hist::RowNnz as usize;
+        assert!(delta.histograms[idx].count() >= 1);
+    }
+}

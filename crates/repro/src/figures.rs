@@ -15,11 +15,17 @@ use aarray_core::{adjacency_array_unchecked, adjacency_array_verified, adjacency
 use aarray_d4m::music::{music_e1, music_e1_weighted, music_e2, music_incidence};
 use aarray_graph::structured::{shared_word_array, Document};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// When set (the binary's `--profile` flag), Figure 3/5 regeneration
 /// appends per-stage plan timing tables and the counter-registry delta
 /// to its output.
 static PROFILE: AtomicBool = AtomicBool::new(false);
+
+/// When capture is enabled (the binary's `--profile-json <path>`
+/// flag), Figure 3/5 regeneration appends one JSON fragment per run
+/// here: the plan stage profiles plus the figure's counter delta.
+static PROFILE_JSON: Mutex<Option<Vec<String>>> = Mutex::new(None);
 
 /// Enable or disable `--profile` output for subsequent figure runs.
 pub fn set_profile(on: bool) {
@@ -28,6 +34,51 @@ pub fn set_profile(on: bool) {
 
 fn profile_enabled() -> bool {
     PROFILE.load(Ordering::Relaxed)
+}
+
+/// Start (or stop) collecting machine-readable profiles for subsequent
+/// figure runs; pair with [`take_profile_json`].
+pub fn set_profile_json_capture(on: bool) {
+    *PROFILE_JSON.lock().expect("profile-json lock") = on.then(Vec::new);
+}
+
+fn profile_json_enabled() -> bool {
+    PROFILE_JSON.lock().expect("profile-json lock").is_some()
+}
+
+fn push_profile_json(fragment: String) {
+    if let Some(v) = PROFILE_JSON.lock().expect("profile-json lock").as_mut() {
+        v.push(fragment);
+    }
+}
+
+/// Drain the captured profiles into one schema-versioned JSON document
+/// (`None` if capture was never enabled). Capture stays enabled.
+pub fn take_profile_json() -> Option<String> {
+    let mut guard = PROFILE_JSON.lock().expect("profile-json lock");
+    let fragments = guard.as_mut()?;
+    let doc = format!(
+        "{{\"schema_version\":{},\"kind\":\"repro-profile\",\"profiles\":[{}]}}\n",
+        aarray_obs::REPORT_SCHEMA_VERSION,
+        fragments.join(",")
+    );
+    fragments.clear();
+    Some(doc)
+}
+
+/// Nonzero counter deltas of `delta`, name-sorted, as a JSON object.
+fn counter_delta_json(delta: &aarray_obs::Snapshot) -> String {
+    let mut entries: Vec<(&str, u64)> = aarray_obs::counters::COUNTER_NAMES
+        .iter()
+        .map(|&(c, name)| (name, delta.get(c)))
+        .filter(|&(_, v)| v > 0)
+        .collect();
+    entries.sort_by_key(|&(name, _)| name);
+    let body: Vec<String> = entries
+        .iter()
+        .map(|(name, v)| format!("\"{}\":{}", name, v))
+        .collect();
+    format!("{{{}}}", body.join(","))
 }
 
 /// Compare a computed genre×writer adjacency array against an expected
@@ -101,26 +152,36 @@ pub fn figure2() -> Result<String, String> {
 }
 
 /// Compute `E1ᵀ max.+ E2` by converting to the tropical carrier.
-/// Goes through its own [`MatmulPlan`] so `--profile` can report the
-/// tropical pass's stage timing alongside the fused NN plan's.
-fn adjacency_maxplus(e1: &AArray<NN>, e2: &AArray<NN>) -> (AArray<Tropical>, Option<String>) {
+/// Goes through its own [`MatmulPlan`] so `--profile` /
+/// `--profile-json` can report the tropical pass's stage timing
+/// alongside the fused NN plan's. The profile is returned as
+/// `(table, json)` renderings when either sink wants it.
+fn adjacency_maxplus(
+    e1: &AArray<NN>,
+    e2: &AArray<NN>,
+) -> (AArray<Tropical>, Option<(String, String)>) {
     let pair = MaxPlus::<Tropical>::new();
     let conv = |a: &AArray<NN>| a.map_prune(&pair, |v| trop(v.get()));
     let t1 = conv(e1);
     let t2 = conv(e2);
     let plan = adjacency_plan(&t1, &t2);
     let a = plan.execute(&pair);
-    let prof = profile_enabled().then(|| plan.profile().to_string());
+    let prof = (profile_enabled() || profile_json_enabled()).then(|| {
+        let report = plan.profile();
+        (report.to_string(), report.to_json())
+    });
     (a, prof)
 }
 
 fn run_seven_pairs(
+    label: &str,
     e1: &AArray<NN>,
     e2: &AArray<NN>,
     expects: &SevenExpect,
 ) -> Result<String, String> {
     let nnf = |v: &NN| v.get();
-    let counters_before = profile_enabled().then(aarray_obs::snapshot);
+    let capture_json = profile_json_enabled();
+    let counters_before = (profile_enabled() || capture_json).then(aarray_obs::snapshot);
 
     // One plan, six NN algebras: the transpose, key alignment, and
     // symbolic pattern are computed once and the fused kernel feeds
@@ -239,15 +300,36 @@ fn run_seven_pairs(
     }
 
     if let Some(before) = counters_before {
-        out.push_str("--- plan stage profile: six fused NN lanes + cross-check ---\n");
-        out.push_str(&plan.profile().to_string());
-        if let Some(p) = maxplus_profile {
-            out.push_str("\n--- plan stage profile: max.+ on the tropical carrier ---\n");
-            out.push_str(&p);
+        let delta = aarray_obs::snapshot().since(&before);
+        if profile_enabled() {
+            out.push_str("--- plan stage profile: six fused NN lanes + cross-check ---\n");
+            out.push_str(&plan.profile().to_string());
+            if let Some((table, _)) = &maxplus_profile {
+                out.push_str("\n--- plan stage profile: max.+ on the tropical carrier ---\n");
+                out.push_str(table);
+            }
+            out.push_str("\n--- counter registry delta for this figure ---\n");
+            // Elide zero-delta entries: only what this figure touched.
+            out.push_str(
+                &delta
+                    .diff(&aarray_obs::Snapshot::default(), false)
+                    .to_string(),
+            );
+            out.push('\n');
         }
-        out.push_str("\n--- counter registry delta for this figure ---\n");
-        out.push_str(&aarray_obs::snapshot().since(&before).to_string());
-        out.push('\n');
+        if capture_json {
+            let maxplus_json = maxplus_profile
+                .as_ref()
+                .map(|(_, j)| j.as_str())
+                .unwrap_or("null");
+            push_profile_json(format!(
+                "{{\"figure\":\"{}\",\"plan\":{},\"maxplus_plan\":{},\"counters\":{}}}",
+                label,
+                plan.profile().to_json(),
+                maxplus_json,
+                counter_delta_json(&delta)
+            ));
+        }
     }
 
     if all_ok {
@@ -270,6 +352,7 @@ struct SevenExpect {
 /// Figure 3: all seven pairs on the unit-weight `E1`, `E2`.
 pub fn figure3() -> Result<String, String> {
     run_seven_pairs(
+        "fig3",
         &music_e1(),
         &music_e2(),
         &SevenExpect {
@@ -303,6 +386,7 @@ pub fn figure4() -> Result<String, String> {
 /// Figure 5: all seven pairs on the weighted `E1`.
 pub fn figure5() -> Result<String, String> {
     run_seven_pairs(
+        "fig5",
         &music_e1_weighted(),
         &music_e2(),
         &SevenExpect {

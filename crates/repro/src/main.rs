@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [fig1|fig2|fig3|fig4|fig5|stats|theorem|taxonomy|wordsets|all]
-//!       [--save <dir>] [--profile]
+//!       [--save <dir>] [--profile] [--profile-json <path>]
 //! ```
 //!
 //! Each figure command prints the paper-style grid(s) and a PASS/FAIL
@@ -11,8 +11,11 @@
 //! each section's output is additionally written to
 //! `<dir>/<section>.txt`. With `--profile`, Figure 3/5 additionally
 //! print per-stage plan timing tables (align / transpose / symbolic /
-//! numeric per pass) and the counter-registry delta for the figure.
-//! Exit status is nonzero if any verification fails.
+//! numeric per pass) and the counter-registry delta for the figure
+//! (zero-delta entries elided). With `--profile-json <path>`, the same
+//! stage profiles and counter deltas are written to `<path>` as one
+//! schema-versioned JSON document (machine twin of `--profile`; both
+//! flags compose). Exit status is nonzero if any verification fails.
 
 use aarray_repro::figures;
 use std::process::ExitCode;
@@ -21,6 +24,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut arg = "all".to_string();
     let mut save_dir: Option<std::path::PathBuf> = None;
+    let mut profile_json: Option<std::path::PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--save" {
@@ -33,6 +37,17 @@ fn main() -> ExitCode {
             }
         } else if a == "--profile" {
             figures::set_profile(true);
+        } else if a == "--profile-json" {
+            match it.next() {
+                Some(p) => {
+                    profile_json = Some(p.into());
+                    figures::set_profile_json_capture(true);
+                }
+                None => {
+                    eprintln!("--profile-json needs a file path");
+                    return ExitCode::from(2);
+                }
+            }
         } else {
             arg = a;
         }
@@ -127,6 +142,15 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(2);
         }
+    }
+
+    if let Some(path) = &profile_json {
+        let doc = figures::take_profile_json().unwrap_or_default();
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("cannot write {:?}: {}", path, e);
+            return ExitCode::from(2);
+        }
+        println!("profile JSON written to {}", path.display());
     }
 
     if failures == 0 {

@@ -109,6 +109,15 @@ impl<V: Value> Csr<V> {
         self.indptr[r + 1] - self.indptr[r]
     }
 
+    /// Heap bytes held by the index and value arrays (for memory
+    /// accounting; counts `size_of::<V>()` per stored value, so heap
+    /// owned *by* the values — e.g. `String` payloads — is excluded).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.indptr.capacity() * std::mem::size_of::<usize>()
+            + self.indices.capacity() * std::mem::size_of::<u32>()
+            + self.values.capacity() * std::mem::size_of::<V>()) as u64
+    }
+
     /// Stored value at `(r, c)`, or `None` (meaning the pair's zero).
     pub fn get(&self, r: usize, c: usize) -> Option<&V> {
         let (cols, vals) = self.row(r);

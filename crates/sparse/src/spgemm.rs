@@ -22,9 +22,12 @@
 
 use crate::csr::Csr;
 use aarray_algebra::{BinaryOp, OpPair, Value};
-use aarray_obs::{counters, Counter};
+use aarray_obs::{
+    counters, histograms, histograms_enabled, memstats, Counter, Hist, MemRegion, MemReservation,
+};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::mem::size_of;
 
 /// Accumulator strategy for [`spgemm_with`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -174,9 +177,13 @@ where
 }
 
 /// Per-thread scratch reused across rows (SPA slots + touched list).
+/// Its dominant allocation — the `O(ncols)` slot array — is reported
+/// to the [`MemRegion::SpaScratch`] accounting region for the scratch
+/// lifetime (the guard frees it on drop).
 struct RowScratch<V> {
     slots: Vec<Option<V>>,
     touched: Vec<u32>,
+    _mem: MemReservation,
 }
 
 impl<V: Value> RowScratch<V> {
@@ -184,6 +191,10 @@ impl<V: Value> RowScratch<V> {
         RowScratch {
             slots: vec![None; ncols],
             touched: Vec::new(),
+            _mem: memstats().track(
+                MemRegion::SpaScratch,
+                (ncols * size_of::<Option<V>>()) as u64,
+            ),
         }
     }
 }
@@ -203,6 +214,14 @@ fn multiply_row<V, A, M>(
     A: BinaryOp<V>,
     M: BinaryOp<V>,
 {
+    // One gate check per row; when disabled, no per-row flop sums are
+    // computed and no histogram atomics are touched.
+    let record = histograms_enabled();
+    if record {
+        let (ks, _) = a.row(i);
+        let flops: u64 = ks.iter().map(|&k| b.row_nnz(k as usize) as u64).sum();
+        histograms().record(Hist::RowFlops, flops);
+    }
     match acc {
         Accumulator::Spa => {
             let (ks, avs) = a.row(i);
@@ -219,6 +238,9 @@ fn multiply_row<V, A, M>(
                         Some(prev) => *prev = pair.plus(prev, &term),
                     }
                 }
+            }
+            if record {
+                histograms().record(Hist::AccOccupancy, scratch.touched.len() as u64);
             }
             scratch.touched.sort_unstable();
             for &j in &scratch.touched {
@@ -245,6 +267,15 @@ fn multiply_row<V, A, M>(
                         .and_modify(|prev| *prev = pair.plus(prev, &term))
                         .or_insert(term);
                 }
+            }
+            // The map lives only for this row; report its table as a
+            // transient peak (capacity × approximate bucket footprint).
+            memstats().record_transient(
+                MemRegion::HashScratch,
+                (map.capacity() * (size_of::<(u32, V)>() + size_of::<u64>())) as u64,
+            );
+            if record {
+                histograms().record(Hist::AccOccupancy, map.len() as u64);
             }
             let mut entries: Vec<(u32, V)> = map.into_iter().collect();
             entries.sort_unstable_by_key(|&(j, _)| j);
@@ -281,6 +312,9 @@ fn multiply_row<V, A, M>(
                 }
             }
         }
+    }
+    if record {
+        histograms().record(Hist::RowNnz, out.len() as u64);
     }
 }
 
@@ -478,5 +512,56 @@ mod tests {
         assert!(delta.get(Counter::KernelHash) >= 1, "{}", delta);
         assert!(delta.get(Counter::KernelEsc) >= 1, "{}", delta);
         assert!(delta.get(Counter::KernelParallel) >= 1, "{}", delta);
+    }
+
+    #[test]
+    fn row_histograms_record_from_kernels() {
+        // Histogram recording defaults to enabled; this test binary
+        // never disables it, so deltas must be visible. Registry is
+        // process-global, hence ≥ not ==.
+        let a = from_triples(2, 2, &[(0, 0, 1), (0, 1, 2), (1, 1, 3)]);
+        let b = from_triples(2, 2, &[(0, 0, 4), (1, 0, 5), (1, 1, 6)]);
+        let nnz_before = histograms().get(Hist::RowNnz).snapshot();
+        let flops_before = histograms().get(Hist::RowFlops).snapshot();
+        let occ_before = histograms().get(Hist::AccOccupancy).snapshot();
+        let _ = spgemm_with(&a, &b, &pt(), Accumulator::Spa);
+        let _ = spgemm_with(&a, &b, &pt(), Accumulator::Hash);
+        // Row-parallel drives the same per-row records from rayon
+        // workers (concurrent recording must not lose updates).
+        let _ = spgemm_parallel(&a, &b, &pt(), Accumulator::Spa);
+        let nnz = histograms().get(Hist::RowNnz).snapshot().since(&nnz_before);
+        let flops = histograms()
+            .get(Hist::RowFlops)
+            .snapshot()
+            .since(&flops_before);
+        let occ = histograms()
+            .get(Hist::AccOccupancy)
+            .snapshot()
+            .since(&occ_before);
+        assert!(nnz.count() >= 6, "2 rows × 3 kernel runs");
+        assert!(flops.count() >= 6);
+        assert!(occ.count() >= 6, "spa and hash both record occupancy");
+        assert!(nnz.max >= 2, "row 0 has two output entries");
+    }
+
+    #[test]
+    fn spa_scratch_memory_is_accounted() {
+        use aarray_obs::{memstats, MemRegion};
+        let a = from_triples(2, 2, &[(0, 0, 1), (0, 1, 2), (1, 1, 3)]);
+        let b = from_triples(2, 2, &[(0, 0, 4), (1, 0, 5), (1, 1, 6)]);
+        let spa_peak = memstats().peak(MemRegion::SpaScratch);
+        let hash_peak = memstats().peak(MemRegion::HashScratch);
+        let _ = spgemm_with(&a, &b, &pt(), Accumulator::Spa);
+        let _ = spgemm_with(&a, &b, &pt(), Accumulator::Hash);
+        assert!(
+            memstats().peak(MemRegion::SpaScratch) >= spa_peak.max(1),
+            "slot array was reported"
+        );
+        assert!(
+            memstats().peak(MemRegion::HashScratch) >= hash_peak.max(1),
+            "row hash map was reported transiently"
+        );
+        // No exact `current == 0` assertion: sibling tests in this
+        // binary run concurrently and may hold live scratch.
     }
 }

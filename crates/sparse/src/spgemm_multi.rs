@@ -32,9 +32,12 @@ use crate::csr::Csr;
 use crate::symbolic::{spgemm_symbolic, SymbolicProduct};
 use aarray_algebra::dynpair::DynOpPair;
 use aarray_algebra::Value;
-use aarray_obs::{counters, Counter};
+use aarray_obs::{
+    counters, histograms, histograms_enabled, memstats, Counter, Hist, MemRegion, MemReservation,
+};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::mem::size_of;
 
 /// Per-row slot-lookup strategy for the fused numeric traversal.
 ///
@@ -213,10 +216,14 @@ impl<V: Value> RowsOut<V> {
 }
 
 /// Reusable per-thread scratch: the dense column→slot map (SPA mode)
-/// and the K-lane structure-of-arrays accumulator block.
+/// and the K-lane structure-of-arrays accumulator block. Reported to
+/// [`MemRegion::FusedAccumulator`] at its high-water capacity (the
+/// slot map is fixed-size; the SoA block grows with the widest
+/// `K × nslots` row seen).
 struct MultiScratch<V> {
     slot_of: Vec<usize>,
     accs: Vec<Option<V>>,
+    mem: MemReservation,
 }
 
 impl<V: Value> MultiScratch<V> {
@@ -224,7 +231,19 @@ impl<V: Value> MultiScratch<V> {
         MultiScratch {
             slot_of: vec![usize::MAX; ncols],
             accs: Vec::new(),
+            mem: memstats().track(
+                MemRegion::FusedAccumulator,
+                (ncols * size_of::<usize>()) as u64,
+            ),
         }
+    }
+
+    /// Re-report after the accumulator block (possibly) grew.
+    fn report_capacity(&mut self) {
+        self.mem.grow_to(
+            (self.slot_of.len() * size_of::<usize>()
+                + self.accs.capacity() * size_of::<Option<V>>()) as u64,
+        );
     }
 }
 
@@ -243,9 +262,18 @@ fn multiply_row_multi<V: Value>(
 ) {
     let npairs = pairs.len();
     let nslots = srow.len();
-    let MultiScratch { slot_of, accs } = scratch;
-    accs.clear();
-    accs.resize(npairs * nslots, None);
+    scratch.accs.clear();
+    scratch.accs.resize(npairs * nslots, None);
+    scratch.report_capacity();
+    let record = histograms_enabled();
+    if record {
+        let (ks, _) = a.row(i);
+        let flops: u64 = ks.iter().map(|&k| b.row_nnz(k as usize) as u64).sum();
+        // ⊗ applications actually performed: every term feeds K lanes.
+        histograms().record(Hist::RowFlops, flops * npairs as u64);
+        histograms().record(Hist::RowNnz, nslots as u64);
+    }
+    let MultiScratch { slot_of, accs, .. } = scratch;
 
     match acc {
         MultiAccumulator::Spa => {
@@ -259,6 +287,10 @@ fn multiply_row_multi<V: Value>(
         }
         MultiAccumulator::Hash => {
             let map: HashMap<u32, usize> = srow.iter().enumerate().map(|(s, &j)| (j, s)).collect();
+            memstats().record_transient(
+                MemRegion::HashScratch,
+                (map.capacity() * (size_of::<(u32, usize)>() + size_of::<u64>())) as u64,
+            );
             fuse_row_terms(a, b, pairs, i, nslots, accs, |j| map[&j]);
         }
     }
@@ -268,12 +300,20 @@ fn multiply_row_multi<V: Value>(
     // per-algebra, so lanes may legitimately emit different patterns.
     for (p, pair) in pairs.iter().enumerate() {
         let lane = &mut accs[p * nslots..(p + 1) * nslots];
+        let mut occupied = 0u64;
         for (slot, &j) in srow.iter().enumerate() {
             if let Some(v) = lane[slot].take() {
+                occupied += 1;
                 if !pair.is_zero(&v) {
                     out[p].push((j, v));
                 }
             }
+        }
+        if record {
+            // Per-lane filled slots (pre-zero-prune) against the
+            // symbolic pattern's nslots: how tight the structural
+            // bound is for this algebra.
+            histograms().record(Hist::AccOccupancy, occupied);
         }
     }
 }
@@ -509,5 +549,33 @@ mod tests {
         assert!(delta.get(Counter::FusedSpa) >= 2, "{}", delta);
         assert!(delta.get(Counter::FusedHash) >= 1, "{}", delta);
         assert!(delta.get(Counter::FusedParallel) >= 1, "{}", delta);
+    }
+
+    #[test]
+    fn fused_scratch_memory_and_occupancy_recorded() {
+        let (a, b) = operands();
+        let pt = PlusTimes::<Nat>::new();
+        let mm = MaxMin::<Nat>::new();
+        let pairs: Vec<&dyn DynOpPair<Nat>> = vec![&pt, &mm];
+        let occ_before = histograms().get(Hist::AccOccupancy).snapshot();
+        let nnz_before = histograms().get(Hist::RowNnz).snapshot();
+        let _ = spgemm_multi(&a, &b, &pairs, MultiAccumulator::Spa);
+        let _ = spgemm_multi(&a, &b, &pairs, MultiAccumulator::Hash);
+        // Slot map alone is ncols × 8 bytes; the SoA block adds more.
+        assert!(
+            memstats().peak(MemRegion::FusedAccumulator) >= (b.ncols() * size_of::<usize>()) as u64
+        );
+        assert!(
+            memstats().peak(MemRegion::HashScratch) >= 1,
+            "hash slot map reported transiently"
+        );
+        let occ = histograms()
+            .get(Hist::AccOccupancy)
+            .snapshot()
+            .since(&occ_before);
+        // 2 traversals × 4 rows × 2 lanes = 16 lane-rows recorded.
+        assert!(occ.count() >= 16, "per-lane occupancy recorded");
+        let nnz = histograms().get(Hist::RowNnz).snapshot().since(&nnz_before);
+        assert!(nnz.count() >= 8, "per-row structural nnz recorded");
     }
 }

@@ -52,6 +52,13 @@ impl SymbolicProduct {
     pub fn row_nnz(&self, i: usize) -> usize {
         self.indptr[i + 1] - self.indptr[i]
     }
+
+    /// Heap bytes held by the pattern's index arrays (for memory
+    /// accounting; excludes the struct header).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.indptr.capacity() * std::mem::size_of::<usize>()
+            + self.indices.capacity() * std::mem::size_of::<u32>()) as u64
+    }
 }
 
 /// Symbolic pass: compute the output pattern of `A ⊕.⊗ B` for any
