@@ -56,6 +56,14 @@ pub trait DynOpPair<V: Value>: Send + Sync {
 
     /// The pair's display name in `⊕.⊗` notation, e.g. `"max.min"`.
     fn name(&self) -> String;
+
+    /// Whether the pair's `⊕` is verified associative on `V`.
+    ///
+    /// `false` by default through [`crate::op::BinaryOp::ASSOCIATIVE`];
+    /// the incremental adjacency layer uses this to decide per lane
+    /// whether blocked `A ⊕= ΔEᵀ·ΔE` accumulation is exact or must
+    /// fall back to a full rebuild.
+    fn plus_associative(&self) -> bool;
 }
 
 impl<V: Value, A: BinaryOp<V>, M: BinaryOp<V>> DynOpPair<V> for OpPair<V, A, M> {
@@ -81,6 +89,10 @@ impl<V: Value, A: BinaryOp<V>, M: BinaryOp<V>> DynOpPair<V> for OpPair<V, A, M> 
 
     fn name(&self) -> String {
         OpPair::name(self)
+    }
+
+    fn plus_associative(&self) -> bool {
+        A::ASSOCIATIVE
     }
 }
 
@@ -119,6 +131,21 @@ mod tests {
         let (a, b) = (Nat(4), Nat(6));
         assert_eq!(pairs[0].times(&a, &b), Nat(4));
         assert_eq!(pairs[1].times(&a, &b), Nat(24));
+    }
+
+    #[test]
+    fn plus_associative_is_per_carrier() {
+        use crate::values::nn::NN;
+        let pt_nat = PlusTimes::<Nat>::new();
+        let pt_nn = PlusTimes::<NN>::new();
+        let mm = MaxMin::<NN>::new();
+        let mp = MaxPlus::<Tropical>::new();
+        // Saturating Nat addition is associative; float addition is not;
+        // max is associative on every carrier it is implemented for.
+        assert!((&pt_nat as &dyn DynOpPair<Nat>).plus_associative());
+        assert!(!(&pt_nn as &dyn DynOpPair<NN>).plus_associative());
+        assert!((&mm as &dyn DynOpPair<NN>).plus_associative());
+        assert!((&mp as &dyn DynOpPair<Tropical>).plus_associative());
     }
 
     #[test]

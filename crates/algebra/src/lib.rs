@@ -56,8 +56,8 @@ pub mod values;
 pub use dynpair::DynOpPair;
 pub use finite::FiniteValueSet;
 pub use op::{
-    AdjacencyCompatible, AnnihilatingZeroPair, AssociativeOp, BinaryOp, CommutativeOp,
-    NoZeroDivisorsPair, OpPair, ZeroSumFreePair,
+    AdjacencyCompatible, AnnihilatingZeroPair, AssociativeOp, AssociativePlus, BinaryOp,
+    CommutativeOp, NoZeroDivisorsPair, OpPair, ZeroSumFreePair,
 };
 pub use value::Value;
 
@@ -66,8 +66,8 @@ pub mod prelude {
     pub use crate::dynpair::DynOpPair;
     pub use crate::finite::FiniteValueSet;
     pub use crate::op::{
-        AdjacencyCompatible, AnnihilatingZeroPair, AssociativeOp, BinaryOp, CommutativeOp,
-        NoZeroDivisorsPair, OpPair, ZeroSumFreePair,
+        AdjacencyCompatible, AnnihilatingZeroPair, AssociativeOp, AssociativePlus, BinaryOp,
+        CommutativeOp, NoZeroDivisorsPair, OpPair, ZeroSumFreePair,
     };
     pub use crate::ops::{
         And, Intersect, Left, Max, Midpoint, Min, Or, Plus, Right, Times, TimesTop, Union,

@@ -21,6 +21,22 @@ pub trait BinaryOp<V: Value>: Copy + Default + fmt::Debug + Send + Sync + 'stati
     /// `max.min` or `+.×` exactly as the paper's figures do.
     const NAME: &'static str;
 
+    /// Whether the operation is associative **on this value set**.
+    ///
+    /// Defaults to `false`: associativity is an opt-in capability that an
+    /// implementation asserts only when verified by the law machinery
+    /// (each `true` override carries a matching [`AssociativeOp`] marker,
+    /// and the pairing is pinned by tests against
+    /// [`crate::properties::check_associative`]). The same operator
+    /// symbol can differ per carrier — `Plus` is associative on `Nat`
+    /// but **not** on IEEE-754 `NN` — which is why this is a per-impl
+    /// constant rather than a property of the strategy type.
+    ///
+    /// Consumed at runtime through [`crate::dynpair::DynOpPair::plus_associative`]
+    /// to gate incremental (blocked) accumulation, which re-associates
+    /// the `⊕` fold and is only exact when `⊕` is associative.
+    const ASSOCIATIVE: bool = false;
+
     /// Apply the operation: `a ∘ b`.
     fn apply(&self, a: &V, b: &V) -> V;
 
@@ -44,6 +60,19 @@ pub trait AssociativeOp<V: Value>: BinaryOp<V> {}
 
 /// Marker: the operation is commutative on this value set.
 pub trait CommutativeOp<V: Value>: BinaryOp<V> {}
+
+/// Capability marker: the pair's `⊕` is associative on its value set.
+///
+/// This is the static gate for *incremental* adjacency maintenance:
+/// folding `A ⊕= ΔEᵀ·ΔE` batch-by-batch re-associates the `⊕`
+/// reduction relative to a from-scratch rebuild, so the result is only
+/// guaranteed bit-identical when `⊕` is associative (Theorem II.1
+/// deliberately assumes no such law). Blanket-implemented for every
+/// [`OpPair`] whose `⊕` carries the [`AssociativeOp`] marker; pairs
+/// without it must take the full-rebuild path.
+pub trait AssociativePlus {}
+
+impl<V: Value, A: AssociativeOp<V>, M: BinaryOp<V>> AssociativePlus for OpPair<V, A, M> {}
 
 /// An `⊕.⊗` operator pair over a value set `V` — the object the paper's
 /// array multiplication `C = A ⊕.⊗ B` is parameterized by.
@@ -103,6 +132,12 @@ impl<V: Value, A: BinaryOp<V>, M: BinaryOp<V>> OpPair<V, A, M> {
     /// `"+.×"` or `"max.min"`.
     pub fn name(&self) -> String {
         format!("{}.{}", A::NAME, M::NAME)
+    }
+
+    /// Whether this pair's `⊕` is verified associative on `V` — the
+    /// runtime face of the [`AssociativePlus`] capability.
+    pub fn plus_associative(&self) -> bool {
+        A::ASSOCIATIVE
     }
 }
 
@@ -191,5 +226,50 @@ mod tests {
         let p: OpPair<Nat, Plus, Times> = OpPair::new();
         assert_eq!(p.plus(&Nat(2), &Nat(3)), Nat(5));
         assert_eq!(p.times(&Nat(2), &Nat(3)), Nat(6));
+    }
+
+    #[test]
+    fn associative_const_tracks_the_marker_and_the_carrier() {
+        use crate::values::nn::NN;
+        // Same strategy type, different carrier: `Plus` is associative
+        // on saturating `Nat` but not on IEEE-754 `NN`.
+        const {
+            assert!(<Plus as BinaryOp<Nat>>::ASSOCIATIVE);
+            assert!(!<Plus as BinaryOp<NN>>::ASSOCIATIVE);
+            assert!(<Max as BinaryOp<NN>>::ASSOCIATIVE);
+        }
+        let p: OpPair<Nat, Plus, Times> = OpPair::new();
+        assert!(p.plus_associative());
+        let q: OpPair<NN, Plus, Times> = OpPair::new();
+        assert!(!q.plus_associative());
+    }
+
+    #[test]
+    fn associative_plus_marker_is_implemented_for_associative_pairs() {
+        fn takes_assoc<P: AssociativePlus>(_: &P) {}
+        takes_assoc(&OpPair::<Nat, Plus, Times>::new());
+        takes_assoc(&OpPair::<Nat, Max, Min>::new());
+        // OpPair<NN, Plus, Times> must NOT compile here — pinned by the
+        // ASSOCIATIVE consts above and the law machinery (float Plus has
+        // an associativity witness in the nn module tests).
+    }
+
+    #[test]
+    fn associative_const_agrees_with_the_law_checker() {
+        use crate::laws::check_associative;
+        use crate::values::nn::NN;
+        let nats: Vec<Nat> = [0u64, 1, 2, 3, 7, 1 << 40, u64::MAX - 1, u64::MAX]
+            .into_iter()
+            .map(Nat)
+            .collect();
+        assert!(check_associative(&Plus, &nats).is_none());
+        assert!(check_associative(&Max, &nats).is_none());
+        // The negative direction: NN's `Plus` opts out because the law
+        // genuinely fails under rounding.
+        let nns: Vec<NN> = [0.1f64, 0.2, 0.3, 1e16, 1.0, 3.0]
+            .into_iter()
+            .map(|x| NN::new(x).unwrap())
+            .collect();
+        assert!(check_associative(&Plus, &nns).is_some());
     }
 }

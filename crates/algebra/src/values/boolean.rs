@@ -14,6 +14,7 @@ use rand::Rng;
 
 impl BinaryOp<bool> for Or {
     const NAME: &'static str = "∨";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &bool, b: &bool) -> bool {
         *a || *b
     }
@@ -24,6 +25,7 @@ impl BinaryOp<bool> for Or {
 
 impl BinaryOp<bool> for And {
     const NAME: &'static str = "∧";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &bool, b: &bool) -> bool {
         *a && *b
     }
@@ -34,6 +36,7 @@ impl BinaryOp<bool> for And {
 
 impl BinaryOp<bool> for Xor {
     const NAME: &'static str = "⊻";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &bool, b: &bool) -> bool {
         *a ^ *b
     }

@@ -62,6 +62,7 @@ impl From<&str> for BStr {
 
 impl BinaryOp<BStr> for Max {
     const NAME: &'static str = "max";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &BStr, b: &BStr) -> BStr {
         if a >= b {
             a.clone()
@@ -76,6 +77,7 @@ impl BinaryOp<BStr> for Max {
 
 impl BinaryOp<BStr> for Min {
     const NAME: &'static str = "min";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &BStr, b: &BStr) -> BStr {
         if a <= b {
             a.clone()
@@ -90,6 +92,7 @@ impl BinaryOp<BStr> for Min {
 
 impl BinaryOp<BStr> for Concat {
     const NAME: &'static str = "·";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &BStr, b: &BStr) -> BStr {
         // ⊥ and ⊤ behave as absorbing markers under concatenation so the
         // op stays closed; word·word concatenates.

@@ -48,6 +48,7 @@ impl<const N: u32> fmt::Display for Chain<N> {
 
 impl<const N: u32> BinaryOp<Chain<N>> for Max {
     const NAME: &'static str = "max";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &Chain<N>, b: &Chain<N>) -> Chain<N> {
         *a.max(b)
     }
@@ -58,6 +59,7 @@ impl<const N: u32> BinaryOp<Chain<N>> for Max {
 
 impl<const N: u32> BinaryOp<Chain<N>> for Min {
     const NAME: &'static str = "min";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &Chain<N>, b: &Chain<N>) -> Chain<N> {
         *a.min(b)
     }

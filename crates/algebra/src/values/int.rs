@@ -33,6 +33,7 @@ impl BinaryOp<i64> for Times {
 
 impl BinaryOp<i64> for Max {
     const NAME: &'static str = "max";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &i64, b: &i64) -> i64 {
         *a.max(b)
     }
@@ -43,6 +44,7 @@ impl BinaryOp<i64> for Max {
 
 impl BinaryOp<i64> for Min {
     const NAME: &'static str = "min";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &i64, b: &i64) -> i64 {
         *a.min(b)
     }

@@ -55,6 +55,7 @@ fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
 
 impl BinaryOp<Nat> for Plus {
     const NAME: &'static str = "+";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &Nat, b: &Nat) -> Nat {
         Nat(a.0.saturating_add(b.0))
     }
@@ -65,6 +66,7 @@ impl BinaryOp<Nat> for Plus {
 
 impl BinaryOp<Nat> for Times {
     const NAME: &'static str = "×";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &Nat, b: &Nat) -> Nat {
         Nat(a.0.saturating_mul(b.0))
     }
@@ -75,6 +77,7 @@ impl BinaryOp<Nat> for Times {
 
 impl BinaryOp<Nat> for TimesTop {
     const NAME: &'static str = "×";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &Nat, b: &Nat) -> Nat {
         // ⊤ absorbs first (it plays the role of +∞ for min-pairs),
         // then ordinary saturating multiplication.
@@ -91,6 +94,7 @@ impl BinaryOp<Nat> for TimesTop {
 
 impl BinaryOp<Nat> for Max {
     const NAME: &'static str = "max";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &Nat, b: &Nat) -> Nat {
         *a.max(b)
     }
@@ -101,6 +105,7 @@ impl BinaryOp<Nat> for Max {
 
 impl BinaryOp<Nat> for Min {
     const NAME: &'static str = "min";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &Nat, b: &Nat) -> Nat {
         *a.min(b)
     }
@@ -121,6 +126,7 @@ impl BinaryOp<Nat> for AbsDiff {
 
 impl BinaryOp<Nat> for Gcd {
     const NAME: &'static str = "gcd";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &Nat, b: &Nat) -> Nat {
         Nat(gcd_u64(a.0, b.0))
     }
@@ -167,6 +173,7 @@ impl CommutativeOp<Nat> for crate::ops::Xor {}
 
 impl BinaryOp<Nat> for crate::ops::Xor {
     const NAME: &'static str = "⊻";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &Nat, b: &Nat) -> Nat {
         Nat(a.0 ^ b.0)
     }

@@ -121,6 +121,7 @@ impl BinaryOp<NN> for Plus {
 
 impl BinaryOp<NN> for Times {
     const NAME: &'static str = "×";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &NN, b: &NN) -> NN {
         // Bottom absorbs: 0 × ∞ = 0 here, keeping 0 an annihilator as
         // Theorem II.1(c) requires for the pairs whose zero is 0.
@@ -137,6 +138,7 @@ impl BinaryOp<NN> for Times {
 
 impl BinaryOp<NN> for TimesTop {
     const NAME: &'static str = "×";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &NN, b: &NN) -> NN {
         // Top absorbs: x × ∞ = ∞ (including x = 0), keeping ∞ an
         // annihilator for the min-pairs whose zero is ∞.
@@ -155,6 +157,7 @@ impl BinaryOp<NN> for TimesTop {
 
 impl BinaryOp<NN> for Max {
     const NAME: &'static str = "max";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &NN, b: &NN) -> NN {
         *a.max(b)
     }
@@ -165,6 +168,7 @@ impl BinaryOp<NN> for Max {
 
 impl BinaryOp<NN> for Min {
     const NAME: &'static str = "min";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &NN, b: &NN) -> NN {
         *a.min(b)
     }

@@ -90,6 +90,7 @@ impl<const N: u8> fmt::Display for PowerSet<N> {
 
 impl<const N: u8> BinaryOp<PowerSet<N>> for Union {
     const NAME: &'static str = "∪";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &PowerSet<N>, b: &PowerSet<N>) -> PowerSet<N> {
         PowerSet(a.0 | b.0)
     }
@@ -100,6 +101,7 @@ impl<const N: u8> BinaryOp<PowerSet<N>> for Union {
 
 impl<const N: u8> BinaryOp<PowerSet<N>> for Intersect {
     const NAME: &'static str = "∩";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &PowerSet<N>, b: &PowerSet<N>) -> PowerSet<N> {
         PowerSet(a.0 & b.0)
     }
@@ -110,6 +112,7 @@ impl<const N: u8> BinaryOp<PowerSet<N>> for Intersect {
 
 impl<const N: u8> BinaryOp<PowerSet<N>> for SymDiff {
     const NAME: &'static str = "Δ";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &PowerSet<N>, b: &PowerSet<N>) -> PowerSet<N> {
         PowerSet(a.0 ^ b.0)
     }

@@ -77,6 +77,7 @@ impl fmt::Display for Tropical {
 
 impl BinaryOp<Tropical> for Max {
     const NAME: &'static str = "max";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &Tropical, b: &Tropical) -> Tropical {
         *a.max(b)
     }

@@ -75,6 +75,7 @@ impl fmt::Display for Unit {
 
 impl BinaryOp<Unit> for Max {
     const NAME: &'static str = "max";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &Unit, b: &Unit) -> Unit {
         *a.max(b)
     }
@@ -85,6 +86,7 @@ impl BinaryOp<Unit> for Max {
 
 impl BinaryOp<Unit> for Min {
     const NAME: &'static str = "min";
+    const ASSOCIATIVE: bool = true;
     fn apply(&self, a: &Unit, b: &Unit) -> Unit {
         *a.min(b)
     }

@@ -7,24 +7,37 @@
 
 use crate::array::AArray;
 use crate::keys::KeySet;
+use aarray_algebra::dynpair::DynOpPair;
 use aarray_algebra::{BinaryOp, OpPair, Value};
-use aarray_sparse::elementwise::{ewise_add, ewise_mul};
+use aarray_sparse::elementwise::{ewise_add, ewise_add_dyn, ewise_mul};
 use aarray_sparse::{Coo, Csr};
 
 /// Re-index an array's entries into larger (union) key sets. Source
 /// entries are unique, so no ⊕-combination is needed — just a sort.
-fn align<V: Value>(a: &AArray<V>, rows: &KeySet, cols: &KeySet) -> Csr<V> {
+pub(crate) fn align<V: Value>(a: &AArray<V>, rows: &KeySet, cols: &KeySet) -> Csr<V> {
+    // One `index_of` per distinct key rather than per entry: the
+    // string binary searches dominate alignment otherwise.
+    let row_map: Vec<usize> = a
+        .row_keys()
+        .keys()
+        .iter()
+        .map(|k| rows.index_of(k).expect("union contains key"))
+        .collect();
+    let col_map: Vec<usize> = a
+        .col_keys()
+        .keys()
+        .iter()
+        .map(|k| cols.index_of(k).expect("union contains key"))
+        .collect();
     let mut coo = Coo::with_capacity(rows.len(), cols.len(), a.nnz());
-    for (r, c, v) in a.iter() {
-        let ri = rows.index_of(r).expect("union contains key");
-        let ci = cols.index_of(c).expect("union contains key");
-        coo.push(ri, ci, v.clone());
+    for (ri, ci, v) in a.csr().iter() {
+        coo.push(row_map[ri], col_map[ci], v.clone());
     }
     csr_from_unique_coo(coo)
 }
 
 /// Build a CSR from a duplicate-free COO without needing an `OpPair`.
-fn csr_from_unique_coo<V: Value>(coo: Coo<V>) -> Csr<V> {
+pub(crate) fn csr_from_unique_coo<V: Value>(coo: Coo<V>) -> Csr<V> {
     let nrows = coo.nrows();
     let ncols = coo.ncols();
     let mut triplets: Vec<(u32, u32, V)> = coo.triplets().to_vec();
@@ -58,6 +71,18 @@ impl<V: Value> AArray<V> {
         let a = align(self, &rows, &cols);
         let b = align(other, &rows, &cols);
         AArray::from_parts(rows, cols, ewise_add(&a, &b, pair))
+    }
+
+    /// [`AArray::ewise_add`] over an object-safe pair, for callers
+    /// holding runtime lane collections — the incremental adjacency
+    /// layer folds `A ⊕ ΔA` per lane through this. Same union
+    /// alignment, same merge, bit-identical to the typed entry point.
+    pub fn ewise_add_dyn(&self, other: &AArray<V>, pair: &dyn DynOpPair<V>) -> AArray<V> {
+        let rows = self.row_keys().union(other.row_keys());
+        let cols = self.col_keys().union(other.col_keys());
+        let a = align(self, &rows, &cols);
+        let b = align(other, &rows, &cols);
+        AArray::from_parts(rows, cols, ewise_add_dyn(&a, &b, pair))
     }
 
     /// Element-wise `self ⊗ other` over the union of key sets (entries
@@ -105,6 +130,19 @@ mod tests {
         assert_eq!(c.nnz(), 1);
         assert_eq!(c.get("r", "c2"), Some(&Nat(20)));
         assert_eq!(c.col_keys().keys(), &["c1", "c2", "c3"]);
+    }
+
+    #[test]
+    fn dyn_add_matches_typed_add_with_key_growth() {
+        use aarray_algebra::dynpair::DynOpPair;
+        let pair = pt();
+        let a = AArray::from_triples(&pair, [("r1", "c1", Nat(1)), ("r2", "c2", Nat(2))]);
+        let b = AArray::from_triples(&pair, [("r1", "c1", Nat(10)), ("r3", "c0", Nat(3))]);
+        let typed = a.ewise_add(&b, &pair);
+        let dynamic = a.ewise_add_dyn(&b, &pair as &dyn DynOpPair<Nat>);
+        assert_eq!(typed, dynamic);
+        assert_eq!(dynamic.row_keys().keys(), &["r1", "r2", "r3"]);
+        assert_eq!(dynamic.col_keys().keys(), &["c0", "c1", "c2"]);
     }
 
     #[test]

@@ -1,0 +1,652 @@
+//! Incremental adjacency maintenance: append edge batches to a growing
+//! incidence pair and keep cached adjacency arrays current without
+//! recomputing `Eᵀout ⊕.⊗ Ein` from scratch.
+//!
+//! # The update formula, and why it collapses
+//!
+//! For an appended batch `ΔE`, the exact update is
+//! `A' = A ⊕ (ΔEᵀout·Ein ⊕ Eᵀout·ΔEin ⊕ ΔEᵀout·ΔEin)`. The cross terms
+//! contract over the *edge-key* dimension, and an appended batch shares
+//! no edge key with the prior incidence (duplicate edge keys are
+//! rejected), so both cross products are structurally empty. What
+//! remains is one batch-local product per `⊕.⊗` lane —
+//! [`aarray_sparse::spgemm_delta::spgemm_delta`] computes all lanes in
+//! a single fused traversal — followed by one union `⊕`-merge per lane
+//! ([`AArray::ewise_add_dyn`]), which also grows the vertex key sets.
+//!
+//! # When the incremental result is bit-identical
+//!
+//! A from-scratch rebuild folds each output entry left-associated over
+//! **all** edge keys ascending. The incremental path folds the old
+//! edges first (that fold is the cached entry) and the batch edges
+//! after. The two agree exactly when
+//!
+//! 1. `⊕` is associative — witnessed by the
+//!    [`aarray_algebra::AssociativePlus`] capability, surfaced at
+//!    runtime as [`DynOpPair::plus_associative`]; and
+//! 2. batch edge keys sort strictly **after** every existing edge key,
+//!    so "old fold, then batch fold" is the ascending fold order.
+//!
+//! (Pruned zeros cannot break this: zero is the `⊕`-identity, so a
+//! pruned partial fold re-enters the continued fold as a no-op.)
+//!
+//! Lanes whose `⊕` is not associative — e.g. `+.×` over floating-point
+//! `NN`, the paper's Figure 3 headline pair — and refreshes crossing an
+//! out-of-order batch degrade to a **counted full rebuild**
+//! ([`Counter::IncrementalFallback`]): correctness never depends on the
+//! fast path applying, only latency does.
+//!
+//! ```
+//! use aarray_core::incremental::{AdjacencyView, IncidenceBuilder};
+//! use aarray_core::prelude::*;
+//!
+//! let pair = PlusTimes::<Nat>::new();
+//! let eout = AArray::from_triples(&pair, [("e01", "alice", Nat(1))]);
+//! let ein = AArray::from_triples(&pair, [("e01", "bob", Nat(1))]);
+//! let mut builder = IncidenceBuilder::new(eout, ein).unwrap();
+//! let mut view = AdjacencyView::new(&builder, vec![&pair]);
+//!
+//! let d_out = AArray::from_triples(&pair, [("e02", "bob", Nat(1))]);
+//! let d_in = AArray::from_triples(&pair, [("e02", "carol", Nat(1))]);
+//! builder.append_batch(d_out, d_in).unwrap();
+//! view.refresh(&builder);
+//! assert_eq!(view.lane(0).get("bob", "carol"), Some(&Nat(1)));
+//! ```
+
+use crate::array::AArray;
+use crate::elementwise::csr_from_unique_coo;
+use crate::incidence::adjacency_plan;
+use crate::keys::KeySet;
+use aarray_algebra::dynpair::DynOpPair;
+use aarray_algebra::Value;
+use aarray_obs::{counters, histograms, Counter, Hist};
+use aarray_sparse::spgemm_delta::spgemm_delta;
+use aarray_sparse::spgemm_multi::MultiAccumulator;
+use aarray_sparse::Coo;
+use std::fmt;
+use std::time::Instant;
+
+/// Why an appended batch was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchError {
+    /// The out- and in-blocks disagree on the batch's edge keys. Both
+    /// must be `Δedges × vertices` over the same edge-key rows.
+    EdgeKeysMismatch,
+    /// The batch stores no entries: nothing to append.
+    EmptyBatch,
+    /// A batch edge key already exists in the builder. Edge keys name
+    /// edges; appending one twice would silently `⊕`-merge two distinct
+    /// edges into one.
+    DuplicateEdgeKey(String),
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::EdgeKeysMismatch => {
+                write!(f, "batch out/in blocks disagree on edge keys")
+            }
+            BatchError::EmptyBatch => write!(f, "batch stores no entries"),
+            BatchError::DuplicateEdgeKey(k) => {
+                write!(f, "batch edge key {:?} already appended", k)
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// What [`IncidenceBuilder::append_batch`] did with an accepted batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchKind {
+    /// Batch edge keys sort strictly after all existing edge keys: the
+    /// batch is logged and eligible for incremental view refresh.
+    Ordered,
+    /// Batch edge keys interleave with existing ones. The cumulative
+    /// incidence is still correct, but ascending-fold order can no
+    /// longer be decomposed as "old, then new", so views crossing this
+    /// batch must fully rebuild.
+    OutOfOrder,
+}
+
+/// One logged append: the batch blocks when incremental replay is
+/// possible, or a barrier when it is not.
+enum LogEntry<V: Value> {
+    /// Boxed so the log's enum stays small next to [`LogEntry::Barrier`].
+    Delta {
+        d_out: Box<AArray<V>>,
+        d_in: Box<AArray<V>>,
+    },
+    /// An out-of-order append: views whose refresh crosses this entry
+    /// cannot replay deltas and must rebuild.
+    Barrier,
+}
+
+/// A growing incidence pair `(Eout, Ein)` accepting appended edge
+/// batches, with a generation counter for staleness tracking.
+///
+/// Both arrays are `edges × vertices` (Definition I.4 orientation) and
+/// always share their edge-key row set. The builder is pair-agnostic,
+/// like [`AArray`] itself: values are stored as given and only
+/// interpreted when a view multiplies them under concrete `⊕.⊗` lanes.
+pub struct IncidenceBuilder<V: Value> {
+    eout: AArray<V>,
+    ein: AArray<V>,
+    generation: u64,
+    /// `log[g]` records the append that produced generation `g + 1`.
+    log: Vec<LogEntry<V>>,
+}
+
+impl<V: Value> IncidenceBuilder<V> {
+    /// Start from an initial incidence pair (generation 0). Fails with
+    /// [`BatchError::EdgeKeysMismatch`] if the two arrays disagree on
+    /// their edge-key rows.
+    pub fn new(eout: AArray<V>, ein: AArray<V>) -> Result<Self, BatchError> {
+        if eout.row_keys() != ein.row_keys() {
+            return Err(BatchError::EdgeKeysMismatch);
+        }
+        Ok(IncidenceBuilder {
+            eout,
+            ein,
+            generation: 0,
+            log: Vec::new(),
+        })
+    }
+
+    /// The cumulative out-incidence `Eout` (edges × out-vertices).
+    pub fn eout(&self) -> &AArray<V> {
+        &self.eout
+    }
+
+    /// The cumulative in-incidence `Ein` (edges × in-vertices).
+    pub fn ein(&self) -> &AArray<V> {
+        &self.ein
+    }
+
+    /// The builder's generation: 0 at construction, +1 per accepted
+    /// batch. Views and plans stamped with an older generation are
+    /// stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of edges (rows) accumulated so far.
+    pub fn n_edges(&self) -> usize {
+        self.eout.row_keys().len()
+    }
+
+    /// Append an edge batch `(ΔEout, ΔEin)`, both `Δedges × vertices`
+    /// over the same fresh edge keys. Vertex columns not seen before
+    /// grow the cumulative key sets (union growth).
+    ///
+    /// Returns how the batch was classified: [`BatchKind::Ordered`]
+    /// batches are eligible for incremental view refresh; accepted
+    /// [`BatchKind::OutOfOrder`] batches force crossing views to
+    /// rebuild (see the module docs for why fold order matters).
+    pub fn append_batch(
+        &mut self,
+        d_out: AArray<V>,
+        d_in: AArray<V>,
+    ) -> Result<BatchKind, BatchError> {
+        if d_out.row_keys() != d_in.row_keys() {
+            return Err(BatchError::EdgeKeysMismatch);
+        }
+        if d_out.row_keys().is_empty() {
+            return Err(BatchError::EmptyBatch);
+        }
+        let old_keys = self.eout.row_keys();
+        let batch_keys = d_out.row_keys();
+        let ordered = old_keys.is_empty()
+            || batch_keys.keys().first().unwrap() > old_keys.keys().last().unwrap();
+        if !ordered {
+            // Only the interleaved case can collide with existing keys.
+            for k in batch_keys.keys() {
+                if old_keys.contains(k) {
+                    return Err(BatchError::DuplicateEdgeKey(k.clone()));
+                }
+            }
+        }
+
+        let edge_keys = old_keys.union(batch_keys);
+        let out_cols = self.eout.col_keys().union(d_out.col_keys());
+        let in_cols = self.ein.col_keys().union(d_in.col_keys());
+        self.eout = extend_into(&self.eout, &d_out, &edge_keys, &out_cols);
+        self.ein = extend_into(&self.ein, &d_in, &edge_keys, &in_cols);
+
+        let n_batch_edges = batch_keys.len() as u64;
+        counters().incr(Counter::IncrementalBatches);
+        counters().add(Counter::IncrementalEdges, n_batch_edges);
+        histograms().record(Hist::DeltaBatchEdges, n_batch_edges);
+
+        let kind = if ordered {
+            self.log.push(LogEntry::Delta {
+                d_out: Box::new(d_out),
+                d_in: Box::new(d_in),
+            });
+            BatchKind::Ordered
+        } else {
+            self.log.push(LogEntry::Barrier);
+            BatchKind::OutOfOrder
+        };
+        self.generation += 1;
+        Ok(kind)
+    }
+
+    /// The logged batches appended after `since_generation`, or `None`
+    /// if an out-of-order barrier lies in that range (replay is then
+    /// impossible and the caller must rebuild).
+    fn deltas_since(&self, since_generation: u64) -> Option<Vec<(&AArray<V>, &AArray<V>)>> {
+        self.log[since_generation as usize..]
+            .iter()
+            .map(|e| match e {
+                LogEntry::Delta { d_out, d_in } => Some((d_out.as_ref(), d_in.as_ref())),
+                LogEntry::Barrier => None,
+            })
+            .collect()
+    }
+}
+
+/// Merge a cumulative array with a row-disjoint batch into the given
+/// (union) key sets. Entries of the two operands occupy disjoint rows,
+/// so the combined coordinate set is duplicate-free and no `⊕` is
+/// needed — this is pure re-indexing.
+fn extend_into<V: Value>(a: &AArray<V>, b: &AArray<V>, rows: &KeySet, cols: &KeySet) -> AArray<V> {
+    let mut coo = Coo::with_capacity(rows.len(), cols.len(), a.nnz() + b.nnz());
+    for arr in [a, b] {
+        // One `index_of` per distinct key, not per entry: the
+        // cumulative side dominates nnz, and per-entry binary searches
+        // over the union would make every append O(nnz·log n) in
+        // string comparisons.
+        let row_map: Vec<usize> = arr
+            .row_keys()
+            .keys()
+            .iter()
+            .map(|k| rows.index_of(k).expect("union contains key"))
+            .collect();
+        let col_map: Vec<usize> = arr
+            .col_keys()
+            .keys()
+            .iter()
+            .map(|k| cols.index_of(k).expect("union contains key"))
+            .collect();
+        for (ri, ci, v) in arr.csr().iter() {
+            coo.push(row_map[ri], col_map[ci], v.clone());
+        }
+    }
+    AArray::from_parts(rows.clone(), cols.clone(), csr_from_unique_coo(coo))
+}
+
+/// How one [`AdjacencyView::refresh`] brought the view current.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefreshReport {
+    /// Lanes updated by delta replay (`A ⊕ ΔA` per pending batch).
+    pub incremental_lanes: usize,
+    /// Lanes recomputed from the cumulative incidence (fallback).
+    pub rebuilt_lanes: usize,
+    /// Pending batches replayed on the incremental lanes.
+    pub batches_applied: usize,
+}
+
+impl RefreshReport {
+    /// Whether the refresh did any work at all.
+    pub fn did_work(&self) -> bool {
+        self.incremental_lanes > 0 || self.rebuilt_lanes > 0
+    }
+}
+
+/// Cached adjacency arrays `A_p = Eᵀout ⊕_p.⊗_p Ein` for `K` lanes,
+/// kept current against an [`IncidenceBuilder`] by incremental delta
+/// application where sound and counted full rebuild where not.
+pub struct AdjacencyView<'p, V: Value> {
+    pairs: Vec<&'p dyn DynOpPair<V>>,
+    lanes: Vec<AArray<V>>,
+    /// Builder generation the cached lanes reflect.
+    generation: u64,
+    acc: MultiAccumulator,
+}
+
+impl<'p, V: Value> AdjacencyView<'p, V> {
+    /// Build all lanes from scratch via one fused
+    /// [`crate::plan::MatmulPlan`] traversal, stamped with the
+    /// builder's current generation.
+    pub fn new(builder: &IncidenceBuilder<V>, pairs: Vec<&'p dyn DynOpPair<V>>) -> Self {
+        Self::with_accumulator(builder, pairs, MultiAccumulator::Spa)
+    }
+
+    /// [`AdjacencyView::new`] with an explicit fused-kernel accumulator
+    /// strategy, reused for every later rebuild and delta traversal.
+    pub fn with_accumulator(
+        builder: &IncidenceBuilder<V>,
+        pairs: Vec<&'p dyn DynOpPair<V>>,
+        acc: MultiAccumulator,
+    ) -> Self {
+        let lanes = rebuild_lanes(builder, &pairs, acc);
+        AdjacencyView {
+            pairs,
+            lanes,
+            generation: builder.generation(),
+            acc,
+        }
+    }
+
+    /// The cached adjacency array of lane `i` (same order as the pair
+    /// slice given at construction).
+    pub fn lane(&self, i: usize) -> &AArray<V> {
+        &self.lanes[i]
+    }
+
+    /// Number of `⊕.⊗` lanes.
+    pub fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The builder generation the cached lanes reflect.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the view lags the builder.
+    pub fn is_stale(&self, builder: &IncidenceBuilder<V>) -> bool {
+        self.generation != builder.generation()
+    }
+
+    /// Bring every lane up to the builder's generation.
+    ///
+    /// Lanes whose `⊕` is associative ([`DynOpPair::plus_associative`])
+    /// replay the pending ordered batches: one fused
+    /// [`spgemm_delta`] traversal per batch feeding those lanes, then a
+    /// union `⊕`-merge per lane ([`Counter::IncrementalApply`],
+    /// [`Hist::DeltaApplyNs`]). All other lanes — non-associative `⊕`,
+    /// or any refresh crossing an out-of-order batch — are recomputed
+    /// from the cumulative incidence in one fused rebuild traversal
+    /// ([`Counter::IncrementalFallback`], [`Hist::RebuildNs`]).
+    pub fn refresh(&mut self, builder: &IncidenceBuilder<V>) -> RefreshReport {
+        if !self.is_stale(builder) {
+            return RefreshReport::default();
+        }
+        let mut report = RefreshReport::default();
+
+        let deltas = builder.deltas_since(self.generation);
+        let (inc_idx, reb_idx): (Vec<usize>, Vec<usize>) = match &deltas {
+            // No barrier in range: associative-⊕ lanes replay deltas.
+            Some(_) => (0..self.pairs.len()).partition(|&i| self.pairs[i].plus_associative()),
+            // Barrier: nobody can replay.
+            None => (Vec::new(), (0..self.pairs.len()).collect()),
+        };
+
+        if !inc_idx.is_empty() {
+            let batches = deltas.as_ref().expect("checked above");
+            let inc_pairs: Vec<&dyn DynOpPair<V>> =
+                inc_idx.iter().map(|&i| self.pairs[i]).collect();
+            for (d_out, d_in) in batches {
+                let t0 = Instant::now();
+                let delta_csrs = spgemm_delta(d_out.csr(), d_in.csr(), &inc_pairs, self.acc);
+                for (&lane, delta_csr) in inc_idx.iter().zip(delta_csrs) {
+                    let delta = AArray::from_parts(
+                        d_out.col_keys().clone(),
+                        d_in.col_keys().clone(),
+                        delta_csr,
+                    );
+                    self.lanes[lane] = self.lanes[lane].ewise_add_dyn(&delta, self.pairs[lane]);
+                }
+                histograms().record(Hist::DeltaApplyNs, t0.elapsed().as_nanos() as u64);
+                report.batches_applied += 1;
+            }
+            counters().add(Counter::IncrementalApply, inc_idx.len() as u64);
+            report.incremental_lanes = inc_idx.len();
+        }
+
+        if !reb_idx.is_empty() {
+            let reb_pairs: Vec<&dyn DynOpPair<V>> =
+                reb_idx.iter().map(|&i| self.pairs[i]).collect();
+            let rebuilt = rebuild_lanes(builder, &reb_pairs, self.acc);
+            for (&lane, array) in reb_idx.iter().zip(rebuilt) {
+                self.lanes[lane] = array;
+            }
+            counters().add(Counter::IncrementalFallback, reb_idx.len() as u64);
+            report.rebuilt_lanes = reb_idx.len();
+        }
+
+        self.generation = builder.generation();
+        report
+    }
+}
+
+/// Full `Eᵀout ⊕.⊗ Ein` for the given lanes in one fused traversal,
+/// recording the rebuild latency.
+fn rebuild_lanes<V: Value>(
+    builder: &IncidenceBuilder<V>,
+    pairs: &[&dyn DynOpPair<V>],
+    acc: MultiAccumulator,
+) -> Vec<AArray<V>> {
+    let t0 = Instant::now();
+    let plan = adjacency_plan(builder.eout(), builder.ein()).with_generation(builder.generation());
+    debug_assert!(
+        !plan.is_stale(builder.generation()),
+        "plan stamped at build must match the builder generation"
+    );
+    let lanes = plan.execute_all_with(pairs, acc);
+    histograms().record(Hist::RebuildNs, t0.elapsed().as_nanos() as u64);
+    lanes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incidence::adjacency_arrays_multi;
+    use aarray_algebra::pairs::{MaxMin, PlusTimes};
+    use aarray_algebra::values::nat::Nat;
+    use aarray_algebra::values::nn::{nn, NN};
+    use aarray_obs::snapshot;
+
+    fn pt() -> PlusTimes<Nat> {
+        PlusTimes::new()
+    }
+
+    /// n edges "eNNN": vNNN → v(NNN+1) with weights varying by index,
+    /// keys zero-padded so lexicographic order is append order.
+    fn chain_batch(lo: usize, hi: usize) -> (AArray<Nat>, AArray<Nat>) {
+        let pair = pt();
+        let out: Vec<(String, String, Nat)> = (lo..hi)
+            .map(|i| {
+                (
+                    format!("e{:04}", i),
+                    format!("v{:04}", i),
+                    Nat(1 + i as u64 % 3),
+                )
+            })
+            .collect();
+        let inn: Vec<(String, String, Nat)> = (lo..hi)
+            .map(|i| {
+                (
+                    format!("e{:04}", i),
+                    format!("v{:04}", i + 1),
+                    Nat(1 + i as u64 % 2),
+                )
+            })
+            .collect();
+        (
+            AArray::from_triples(&pair, out),
+            AArray::from_triples(&pair, inn),
+        )
+    }
+
+    #[test]
+    fn builder_accumulates_batches_and_generations() {
+        let (e0, i0) = chain_batch(0, 4);
+        let mut b = IncidenceBuilder::new(e0, i0).unwrap();
+        assert_eq!(b.generation(), 0);
+        assert_eq!(b.n_edges(), 4);
+
+        let before = snapshot();
+        let (d_out, d_in) = chain_batch(4, 7);
+        assert_eq!(b.append_batch(d_out, d_in), Ok(BatchKind::Ordered));
+        assert_eq!(b.generation(), 1);
+        assert_eq!(b.n_edges(), 7);
+        // Vertex key growth: v0000..v0007 now present on the out side
+        // up to v0006 and the in side up to v0007.
+        assert!(b.eout().col_keys().contains("v0006"));
+        assert!(b.ein().col_keys().contains("v0007"));
+        let d = snapshot().since(&before);
+        assert!(d.get(Counter::IncrementalBatches) >= 1);
+        assert!(d.get(Counter::IncrementalEdges) >= 3);
+    }
+
+    #[test]
+    fn batch_validation_rejects_bad_batches() {
+        let (e0, i0) = chain_batch(0, 3);
+        let mut b = IncidenceBuilder::new(e0, i0).unwrap();
+        // Mismatched edge keys between the two blocks.
+        let (d_out, _) = chain_batch(3, 5);
+        let (_, other_in) = chain_batch(5, 7);
+        assert_eq!(
+            b.append_batch(d_out, other_in),
+            Err(BatchError::EdgeKeysMismatch)
+        );
+        // Empty batch.
+        let pair = pt();
+        let empty = AArray::from_triples(&pair, Vec::<(String, String, Nat)>::new());
+        assert_eq!(
+            b.append_batch(empty.clone(), empty),
+            Err(BatchError::EmptyBatch)
+        );
+        // Duplicate edge key (e0002 already present).
+        let (d_out, d_in) = chain_batch(2, 4);
+        assert_eq!(
+            b.append_batch(d_out, d_in),
+            Err(BatchError::DuplicateEdgeKey("e0002".into()))
+        );
+        // All rejected: generation unchanged.
+        assert_eq!(b.generation(), 0);
+    }
+
+    #[test]
+    fn out_of_order_batch_is_accepted_but_barriers() {
+        let (e0, i0) = chain_batch(5, 8);
+        let mut b = IncidenceBuilder::new(e0, i0).unwrap();
+        let (d_out, d_in) = chain_batch(0, 2); // sorts before existing
+        assert_eq!(b.append_batch(d_out, d_in), Ok(BatchKind::OutOfOrder));
+        assert_eq!(b.n_edges(), 5);
+        assert!(b.deltas_since(0).is_none(), "barrier blocks replay");
+    }
+
+    #[test]
+    fn incremental_refresh_is_bit_identical_to_rebuild_for_associative_plus() {
+        // Max.Min over Nat: ⊕ = max is associative (capability-marked).
+        let mm = MaxMin::<Nat>::new();
+        let (e0, i0) = chain_batch(0, 6);
+        let mut b = IncidenceBuilder::new(e0, i0).unwrap();
+        let mut view = AdjacencyView::new(&b, vec![&mm]);
+        assert!(!view.is_stale(&b));
+
+        for (lo, hi) in [(6, 9), (9, 14)] {
+            let (d_out, d_in) = chain_batch(lo, hi);
+            b.append_batch(d_out, d_in).unwrap();
+        }
+        assert!(view.is_stale(&b));
+        let before = snapshot();
+        let report = view.refresh(&b);
+        let d = snapshot().since(&before);
+        assert_eq!(report.incremental_lanes, 1);
+        assert_eq!(report.rebuilt_lanes, 0);
+        assert_eq!(report.batches_applied, 2);
+        assert!(d.get(Counter::IncrementalApply) >= 1);
+        assert!(d.get(Counter::DeltaTraversals) >= 2);
+
+        let full = adjacency_arrays_multi(b.eout(), b.ein(), &[&mm as &dyn DynOpPair<Nat>]);
+        assert_eq!(view.lane(0), &full[0], "incremental must be bit-identical");
+        // And refreshing again is a no-op.
+        assert!(!view.refresh(&b).did_work());
+    }
+
+    #[test]
+    fn non_associative_plus_falls_back_to_counted_rebuild() {
+        // +.× over NN: float ⊕ is NOT associative — no capability
+        // marker, so the lane must take the rebuild path.
+        let pt_nn = PlusTimes::<NN>::new();
+        let pair = PlusTimes::<NN>::new();
+        let mk = |lo: usize, hi: usize| {
+            let out: Vec<(String, String, NN)> = (lo..hi)
+                .map(|i| {
+                    (
+                        format!("e{:04}", i),
+                        format!("v{:04}", i),
+                        nn(0.1 + i as f64),
+                    )
+                })
+                .collect();
+            let inn: Vec<(String, String, NN)> = (lo..hi)
+                .map(|i| (format!("e{:04}", i), format!("v{:04}", i + 1), nn(1.5)))
+                .collect();
+            (
+                AArray::from_triples(&pair, out),
+                AArray::from_triples(&pair, inn),
+            )
+        };
+        let (e0, i0) = mk(0, 5);
+        let mut b = IncidenceBuilder::new(e0, i0).unwrap();
+        let mut view = AdjacencyView::new(&b, vec![&pt_nn]);
+        let (d_out, d_in) = mk(5, 9);
+        b.append_batch(d_out, d_in).unwrap();
+
+        let before = snapshot();
+        let report = view.refresh(&b);
+        let d = snapshot().since(&before);
+        assert_eq!(report.incremental_lanes, 0);
+        assert_eq!(report.rebuilt_lanes, 1);
+        assert!(d.get(Counter::IncrementalFallback) >= 1);
+
+        let full = adjacency_arrays_multi(b.eout(), b.ein(), &[&pt_nn as &dyn DynOpPair<NN>]);
+        assert_eq!(view.lane(0), &full[0]);
+    }
+
+    #[test]
+    fn mixed_lanes_split_between_incremental_and_rebuild() {
+        // Nat +.× is associative-⊕ (ℕ addition); pair it with Max.Min.
+        let ptn = pt();
+        let mm = MaxMin::<Nat>::new();
+        let (e0, i0) = chain_batch(0, 5);
+        let mut b = IncidenceBuilder::new(e0, i0).unwrap();
+        let mut view = AdjacencyView::with_accumulator(&b, vec![&ptn, &mm], MultiAccumulator::Hash);
+        let (d_out, d_in) = chain_batch(5, 9);
+        b.append_batch(d_out, d_in).unwrap();
+        let report = view.refresh(&b);
+        assert_eq!(report.incremental_lanes, 2, "both Nat lanes associative");
+        assert_eq!(report.rebuilt_lanes, 0);
+
+        let pairs: Vec<&dyn DynOpPair<Nat>> = vec![&ptn, &mm];
+        let full = adjacency_arrays_multi(b.eout(), b.ein(), &pairs);
+        assert_eq!(view.lane(0), &full[0]);
+        assert_eq!(view.lane(1), &full[1]);
+    }
+
+    #[test]
+    fn barrier_forces_rebuild_even_for_associative_lanes() {
+        let mm = MaxMin::<Nat>::new();
+        let (e0, i0) = chain_batch(5, 9);
+        let mut b = IncidenceBuilder::new(e0, i0).unwrap();
+        let mut view = AdjacencyView::new(&b, vec![&mm]);
+        let (d_out, d_in) = chain_batch(0, 3);
+        assert_eq!(b.append_batch(d_out, d_in), Ok(BatchKind::OutOfOrder));
+        let report = view.refresh(&b);
+        assert_eq!(report.incremental_lanes, 0);
+        assert_eq!(report.rebuilt_lanes, 1);
+        let full = adjacency_arrays_multi(b.eout(), b.ein(), &[&mm as &dyn DynOpPair<Nat>]);
+        assert_eq!(view.lane(0), &full[0]);
+    }
+
+    #[test]
+    fn plan_generation_stamp_detects_staleness() {
+        let (e0, i0) = chain_batch(0, 4);
+        let mut b = IncidenceBuilder::new(e0.clone(), i0.clone()).unwrap();
+        let plan = adjacency_plan(&e0, &i0).with_generation(b.generation());
+        assert_eq!(plan.generation(), 0);
+        assert!(!plan.is_stale(b.generation()));
+        let (d_out, d_in) = chain_batch(4, 6);
+        b.append_batch(d_out, d_in).unwrap();
+        assert!(
+            plan.is_stale(b.generation()),
+            "a plan built before the append must read as stale"
+        );
+    }
+}

@@ -47,6 +47,7 @@ pub mod concat;
 pub mod display;
 pub mod elementwise;
 pub mod incidence;
+pub mod incremental;
 pub mod io;
 pub mod keys;
 pub mod matmul;
@@ -66,6 +67,7 @@ pub use incidence::{
     adjacency_array, adjacency_array_checked, adjacency_array_unchecked, adjacency_array_verified,
     adjacency_arrays_multi, adjacency_plan, reverse_adjacency_array, ComplianceError, PatternError,
 };
+pub use incremental::{AdjacencyView, BatchError, BatchKind, IncidenceBuilder, RefreshReport};
 pub use keys::{KeySelect, KeySet};
 pub use matmul::{
     parallel_flops_threshold, set_parallel_flops_threshold, would_parallelize,
@@ -82,6 +84,7 @@ pub mod prelude {
         adjacency_array, adjacency_array_checked, adjacency_array_unchecked,
         adjacency_array_verified, adjacency_arrays_multi, adjacency_plan, reverse_adjacency_array,
     };
+    pub use crate::incremental::{AdjacencyView, IncidenceBuilder};
     pub use crate::keys::{KeySelect, KeySet};
     pub use crate::plan::MatmulPlan;
     pub use crate::theorem::{pattern_diff, PatternDiff};

@@ -30,23 +30,45 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const DEFAULT_PARALLEL_FLOPS_THRESHOLD: u64 = 1 << 17;
 
 /// Name of the environment variable overriding the parallel-dispatch
-/// flops threshold (a plain `u64`; unparsable or unset falls back to
-/// [`DEFAULT_PARALLEL_FLOPS_THRESHOLD`]).
+/// flops threshold (a plain `u64`; unset falls back to
+/// [`DEFAULT_PARALLEL_FLOPS_THRESHOLD`], an unparsable value does too
+/// but is reported — one-time stderr warning plus
+/// `Counter::EnvParseError` — instead of being silently absorbed).
 pub const PAR_FLOPS_THRESHOLD_ENV: &str = "AARRAY_PAR_FLOPS_THRESHOLD";
 
-/// Cached threshold; `u64::MAX` is the unset sentinel (re-read from
-/// the environment on next use). A genuine `u64::MAX` threshold is
-/// indistinguishable from unset and re-reads each call — harmless,
-/// since it means "never parallelize" either way.
-static PAR_FLOPS_THRESHOLD: AtomicU64 = AtomicU64::new(u64::MAX);
+/// Cached threshold value, valid only while [`PAR_FLOPS_CACHED`] is 1.
+///
+/// Set/unset is encoded in a separate flag rather than a `u64::MAX`
+/// sentinel: every `u64` is a legitimate threshold (`u64::MAX` means
+/// "never parallelize"), so no in-band value can mean "re-read the
+/// environment" without making that threshold unpinnable.
+static PAR_FLOPS_THRESHOLD: AtomicU64 = AtomicU64::new(0);
 
-fn parse_threshold(raw: Option<String>) -> u64 {
-    raw.and_then(|s| s.trim().parse().ok())
-        .unwrap_or(DEFAULT_PARALLEL_FLOPS_THRESHOLD)
+/// 0 = cache empty (read the environment on next use), 1 = cached.
+static PAR_FLOPS_CACHED: AtomicU64 = AtomicU64::new(0);
+
+/// Parse the threshold override. `Ok` for unset (the default) or a
+/// valid `u64`; `Err(raw)` when the variable is set but unparsable
+/// (e.g. `"128k"`, negative, trailing junk) so the caller can report
+/// the bad value before falling back.
+fn parse_threshold(raw: Option<String>) -> Result<u64, String> {
+    match raw {
+        None => Ok(DEFAULT_PARALLEL_FLOPS_THRESHOLD),
+        Some(s) => s.trim().parse().map_err(|_| s),
+    }
 }
 
 fn threshold_from_env() -> u64 {
-    parse_threshold(std::env::var(PAR_FLOPS_THRESHOLD_ENV).ok())
+    parse_threshold(std::env::var(PAR_FLOPS_THRESHOLD_ENV).ok()).unwrap_or_else(|raw| {
+        static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        aarray_obs::env_parse_error(
+            &WARNED,
+            PAR_FLOPS_THRESHOLD_ENV,
+            &raw,
+            "the default threshold",
+        );
+        DEFAULT_PARALLEL_FLOPS_THRESHOLD
+    })
 }
 
 /// The parallel-dispatch flops threshold in effect: the
@@ -55,21 +77,27 @@ fn threshold_from_env() -> u64 {
 /// cached; [`set_parallel_flops_threshold`] overrides or invalidates
 /// the cache.
 pub fn parallel_flops_threshold() -> u64 {
-    match PAR_FLOPS_THRESHOLD.load(Ordering::Relaxed) {
-        u64::MAX => {
-            let t = threshold_from_env();
-            PAR_FLOPS_THRESHOLD.store(t, Ordering::Relaxed);
-            t
-        }
-        t => t,
+    if PAR_FLOPS_CACHED.load(Ordering::Acquire) == 1 {
+        return PAR_FLOPS_THRESHOLD.load(Ordering::Relaxed);
     }
+    let t = threshold_from_env();
+    PAR_FLOPS_THRESHOLD.store(t, Ordering::Relaxed);
+    PAR_FLOPS_CACHED.store(1, Ordering::Release);
+    t
 }
 
 /// Override the parallel-dispatch flops threshold for this process
-/// (`Some(t)`), or drop back to the environment/default (`None`).
+/// (`Some(t)` — any `u64`, including `u64::MAX`, which pins "never
+/// parallelize"), or drop back to the environment/default (`None`).
 /// A tuning hook for embedders and tests; thread-safe.
 pub fn set_parallel_flops_threshold(t: Option<u64>) {
-    PAR_FLOPS_THRESHOLD.store(t.unwrap_or(u64::MAX), Ordering::Relaxed);
+    match t {
+        Some(t) => {
+            PAR_FLOPS_THRESHOLD.store(t, Ordering::Relaxed);
+            PAR_FLOPS_CACHED.store(1, Ordering::Release);
+        }
+        None => PAR_FLOPS_CACHED.store(0, Ordering::Release),
+    }
 }
 
 /// Pure form of the dispatch predicate, for callers that pin an
@@ -355,6 +383,34 @@ mod tests {
         // overwrite the last-value gauge, but never with zero).
         assert!(delta.gauge(aarray_obs::Gauge::DispatchLastFlops) > 0);
 
+        // Unparsable value: documented default, plus the parse error is
+        // *reported* — counted in the registry (warning text is covered
+        // by the obsctl e2e suite, which owns a quiet stderr).
+        let before = aarray_obs::snapshot();
+        std::env::set_var(PAR_FLOPS_THRESHOLD_ENV, "128k");
+        set_parallel_flops_threshold(None);
+        assert_eq!(parallel_flops_threshold(), DEFAULT_PARALLEL_FLOPS_THRESHOLD);
+        let delta = aarray_obs::snapshot().since(&before);
+        assert!(
+            delta.get(aarray_obs::Counter::EnvParseError) >= 1,
+            "unparsable threshold must bump env.parse-error"
+        );
+
+        // Regression (former u64::MAX unset-sentinel): a pinned
+        // `u64::MAX` threshold must survive an env change + re-reads,
+        // not silently decay into "unset, re-read the environment".
+        std::env::set_var(PAR_FLOPS_THRESHOLD_ENV, "1");
+        set_parallel_flops_threshold(Some(u64::MAX));
+        assert_eq!(parallel_flops_threshold(), u64::MAX);
+        std::env::set_var(PAR_FLOPS_THRESHOLD_ENV, "7");
+        assert_eq!(
+            parallel_flops_threshold(),
+            u64::MAX,
+            "explicit pin must shadow the environment until unset"
+        );
+        set_parallel_flops_threshold(None);
+        assert_eq!(parallel_flops_threshold(), 7, "None drops back to env");
+
         std::env::remove_var(PAR_FLOPS_THRESHOLD_ENV);
         set_parallel_flops_threshold(Some(DEFAULT_PARALLEL_FLOPS_THRESHOLD));
         assert_eq!(parallel_flops_threshold(), DEFAULT_PARALLEL_FLOPS_THRESHOLD);
@@ -366,10 +422,21 @@ mod tests {
         // (the env-mutating test above must stay the only one).
         assert_eq!(
             parse_threshold(Some("not-a-number".into())),
-            DEFAULT_PARALLEL_FLOPS_THRESHOLD
+            Err("not-a-number".into())
         );
-        assert_eq!(parse_threshold(None), DEFAULT_PARALLEL_FLOPS_THRESHOLD);
-        assert_eq!(parse_threshold(Some(" 42 ".into())), 42);
+        assert_eq!(parse_threshold(Some("128k".into())), Err("128k".into()));
+        assert_eq!(parse_threshold(Some("-3".into())), Err("-3".into()));
+        assert_eq!(
+            parse_threshold(Some("42 junk".into())),
+            Err("42 junk".into())
+        );
+        assert_eq!(parse_threshold(None), Ok(DEFAULT_PARALLEL_FLOPS_THRESHOLD));
+        assert_eq!(parse_threshold(Some(" 42 ".into())), Ok(42));
+        assert_eq!(
+            parse_threshold(Some(u64::MAX.to_string())),
+            Ok(u64::MAX),
+            "u64::MAX is a legitimate, pinnable threshold"
+        );
     }
 
     #[test]

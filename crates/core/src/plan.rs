@@ -99,6 +99,8 @@ pub struct MatmulPlan<'a, V: Value> {
     /// Whether the plan owns a transpose materialized at construction
     /// (so each execute counts as a transpose reuse).
     transposed: bool,
+    /// Caller-assigned version stamp (see [`MatmulPlan::generation`]).
+    generation: u64,
     profile: StageProfile,
 }
 
@@ -144,8 +146,34 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
             sym_mem: OnceLock::new(),
             _transpose_mem: None,
             transposed: false,
+            generation: 0,
             profile,
         }
+    }
+
+    /// The plan's version stamp: the operand generation it was built
+    /// against (0 unless stamped via [`MatmulPlan::with_generation`]).
+    ///
+    /// A plan caches alignment, transpose, and symbolic pattern for the
+    /// exact operands it saw at construction; callers that evolve their
+    /// operands (the incremental adjacency layer bumps a generation per
+    /// appended batch) stamp plans at build time and compare with
+    /// [`MatmulPlan::is_stale`] before reuse, turning silent stale-plan
+    /// reuse into a detectable condition.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Stamp the plan with the operand generation it was built against.
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
+    }
+
+    /// Whether the plan predates `current_generation` and must not be
+    /// reused for results that should reflect that generation.
+    pub fn is_stale(&self, current_generation: u64) -> bool {
+        self.generation != current_generation
     }
 
     /// The result's row key set.

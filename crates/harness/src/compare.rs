@@ -55,10 +55,22 @@ pub struct Finding {
     pub limit_pct: f64,
     /// True when `pct > limit_pct` — a regression.
     pub regressed: bool,
+    /// True when the metric has **no** baseline (absent, or stored as
+    /// zero) yet the current run reports a value above the noise
+    /// floor. A growth percentage against zero is meaningless, so this
+    /// is neither a pass nor a regression — it is a *new metric*,
+    /// reported distinctly and subject to its own exit-code policy in
+    /// `obsctl check`.
+    pub new_metric: bool,
 }
 
 impl Finding {
     fn evaluate(metric: String, baseline: f64, current: f64, limit_pct: f64) -> Finding {
+        // A zero baseline cannot be compared by percentage; callers
+        // route that case through `Finding::new_metric` instead, so a
+        // metric springing into existence is never silently reported
+        // as 0% growth (the historical bug this replaces).
+        debug_assert!(baseline > 0.0, "zero baselines take the new-metric path");
         let pct = if baseline > 0.0 {
             (current - baseline) / baseline * 100.0
         } else {
@@ -71,6 +83,19 @@ impl Finding {
             pct,
             limit_pct,
             regressed: pct > limit_pct,
+            new_metric: false,
+        }
+    }
+
+    fn new_metric(metric: String, current: f64, limit_pct: f64) -> Finding {
+        Finding {
+            metric,
+            baseline: 0.0,
+            current,
+            pct: 0.0,
+            limit_pct,
+            regressed: false,
+            new_metric: true,
         }
     }
 }
@@ -94,6 +119,11 @@ impl Verdict {
     /// The regressed subset.
     pub fn regressions(&self) -> impl Iterator<Item = &Finding> {
         self.findings.iter().filter(|f| f.regressed)
+    }
+
+    /// Metrics present in the current run with no (nonzero) baseline.
+    pub fn new_metrics(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.new_metric)
     }
 }
 
@@ -153,12 +183,27 @@ pub fn compare(
             );
         }
         BenchKind::V3 => {
-            for (name, rows) in workload_ids(baseline_doc) {
+            let base_ids = workload_ids(baseline_doc);
+            for (name, rows) in &base_ids {
                 for stage in STAGE_KEYS {
-                    let Some(base) = stage_median(baseline_doc, &name, rows, stage) else {
+                    let Some(base) = stage_median(baseline_doc, name, *rows, stage) else {
                         continue;
                     };
                     let metric = format!("{}@{}/{}", name, rows, stage);
+                    if base == 0 {
+                        // Stored-as-zero baseline: percentage growth is
+                        // undefined. If the current run has real signal
+                        // here, surface it as a new metric.
+                        match stage_median(current, name, *rows, stage) {
+                            Some(cur) if cur >= cfg.lat_floor_ns => v
+                                .findings
+                                .push(Finding::new_metric(metric, cur as f64, cfg.lat_tol_pct)),
+                            _ => v
+                                .skipped
+                                .push(format!("{}: zero baseline, current in noise", metric)),
+                        }
+                        continue;
+                    }
                     if base < cfg.lat_floor_ns {
                         v.skipped.push(format!(
                             "{}: baseline {} ns below {} ns noise floor",
@@ -166,7 +211,7 @@ pub fn compare(
                         ));
                         continue;
                     }
-                    match stage_median(current, &name, rows, stage) {
+                    match stage_median(current, name, *rows, stage) {
                         Some(cur) => v.findings.push(Finding::evaluate(
                             metric,
                             base as f64,
@@ -176,6 +221,26 @@ pub fn compare(
                         None => v
                             .skipped
                             .push(format!("{}: no matching workload in current run", metric)),
+                    }
+                }
+            }
+            // Workloads the baseline has never seen: every stage above
+            // the noise floor is a new metric, not a silent pass.
+            for (name, rows) in workload_ids(current) {
+                if base_ids.contains(&(name.clone(), rows)) {
+                    continue;
+                }
+                for stage in STAGE_KEYS {
+                    let Some(cur) = stage_median(current, &name, rows, stage) else {
+                        continue;
+                    };
+                    let metric = format!("{}@{}/{}", name, rows, stage);
+                    if cur >= cfg.lat_floor_ns {
+                        v.findings
+                            .push(Finding::new_metric(metric, cur as f64, cfg.lat_tol_pct));
+                    } else {
+                        v.skipped
+                            .push(format!("{}: new workload, current in noise", metric));
                     }
                 }
             }
@@ -220,11 +285,29 @@ fn compare_mem(current: &Value, baseline: &Value, v: &mut Verdict, cfg: &CheckCo
         v.skipped.push("mem: baseline has no report.mem".into());
         return;
     };
+    let cur_peak_of = |region: &str| {
+        current
+            .path(&["report", "mem", region])
+            .and_then(|e| e.get("peak"))
+            .and_then(Value::as_u64)
+    };
     for (region, entry) in base_mem {
         let Some(base_peak) = entry.get("peak").and_then(Value::as_u64) else {
             continue;
         };
         let metric = format!("mem/{}", region);
+        if base_peak == 0 {
+            match cur_peak_of(region) {
+                Some(cur) if cur >= cfg.mem_floor_bytes => {
+                    v.findings
+                        .push(Finding::new_metric(metric, cur as f64, cfg.mem_tol_pct));
+                }
+                _ => v
+                    .skipped
+                    .push(format!("{}: zero baseline, current in noise", metric)),
+            }
+            continue;
+        }
         if base_peak < cfg.mem_floor_bytes {
             v.skipped.push(format!(
                 "{}: baseline peak {} B below {} B noise floor",
@@ -232,11 +315,7 @@ fn compare_mem(current: &Value, baseline: &Value, v: &mut Verdict, cfg: &CheckCo
             ));
             continue;
         }
-        match current
-            .path(&["report", "mem", region])
-            .and_then(|e| e.get("peak"))
-            .and_then(Value::as_u64)
-        {
+        match cur_peak_of(region) {
             Some(cur) => v.findings.push(Finding::evaluate(
                 metric,
                 base_peak as f64,
@@ -246,6 +325,26 @@ fn compare_mem(current: &Value, baseline: &Value, v: &mut Verdict, cfg: &CheckCo
             None => v
                 .skipped
                 .push(format!("{}: region absent from current run", metric)),
+        }
+    }
+    // Regions the baseline has never accounted: a region springing
+    // into existence above the noise floor is a new metric.
+    if let Some(cur_mem) = current.path(&["report", "mem"]).and_then(Value::as_obj) {
+        for (region, entry) in cur_mem {
+            if base_mem.contains_key(region) {
+                continue;
+            }
+            let Some(cur) = entry.get("peak").and_then(Value::as_u64) else {
+                continue;
+            };
+            let metric = format!("mem/{}", region);
+            if cur >= cfg.mem_floor_bytes {
+                v.findings
+                    .push(Finding::new_metric(metric, cur as f64, cfg.mem_tol_pct));
+            } else {
+                v.skipped
+                    .push(format!("{}: new region, current in noise", metric));
+            }
         }
     }
 }
@@ -336,6 +435,70 @@ mod tests {
             v.skipped
         );
         assert!(!v.findings.iter().any(|f| f.metric.contains("/align")));
+    }
+
+    #[test]
+    fn zero_or_missing_baselines_surface_as_new_metrics() {
+        let cfg = CheckConfig::default();
+        let base = v3_doc(4_000_000, 5_000_000, 8 << 20);
+
+        // Current run grows a workload and a memory region the baseline
+        // has never seen, plus one below-noise region.
+        let cur = parse(
+            r#"{
+              "schema_version": 3, "bench": "perf-observatory", "reps": 3,
+              "histograms_enabled": true,
+              "workloads": [
+                {"name":"fig3","rows":20000,"product_nnz":7,"stages":{
+                  "align":{"median_ns":10000},"transpose":{"median_ns":600000},
+                  "symbolic":{"median_ns":900000},"numeric":{"median_ns":2000000},
+                  "total":{"median_ns":4000000},"wall":{"median_ns":5000000}}},
+                {"name":"stream","rows":20000,"product_nnz":7,"stages":{
+                  "align":{"median_ns":100},"transpose":{"median_ns":600000},
+                  "symbolic":{"median_ns":900000},"numeric":{"median_ns":2000000},
+                  "total":{"median_ns":4000000},"wall":{"median_ns":5000000}}}],
+              "report": {"schema_version": 3, "counters": {"a":1},
+                "histograms": {"h1":{"count":1},"h2":{"count":1},"h3":{"count":1},"h4":{"count":1}},
+                "mem": {"spa-scratch":{"current":0,"peak":8388608},
+                        "tiny":{"current":0,"peak":64},
+                        "delta-scratch":{"current":0,"peak":4194304},
+                        "tiny-new":{"current":0,"peak":128}}}
+            }"#,
+        )
+        .unwrap();
+
+        let v = compare(&cur, &base, &BenchKind::V3, &cfg);
+        assert!(
+            v.pass(),
+            "new metrics are not regressions: {:?}",
+            v.findings
+        );
+        let new: Vec<_> = v.new_metrics().map(|f| f.metric.clone()).collect();
+        assert!(
+            new.iter().any(|m| m.starts_with("stream@20000/")),
+            "{:?}",
+            new
+        );
+        assert!(new.contains(&"mem/delta-scratch".to_string()), "{:?}", new);
+        // Below the noise floor: skipped with a visible reason, not new.
+        assert!(!new.iter().any(|m| m.contains("stream@20000/align")));
+        assert!(!new.contains(&"mem/tiny-new".to_string()));
+        assert!(
+            v.skipped.iter().any(|s| s.contains("mem/tiny-new")),
+            "{:?}",
+            v.skipped
+        );
+
+        // A baseline *storing* zero is the same situation.
+        let zero_base = v3_doc(0, 5_000_000, 8 << 20);
+        let v = compare(
+            &v3_doc(4_000_000, 5_000_000, 8 << 20),
+            &zero_base,
+            &BenchKind::V3,
+            &cfg,
+        );
+        assert!(v.new_metrics().any(|f| f.metric == "fig3@20000/total"));
+        assert!(v.pass());
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! `obsctl` — run the perf observatory and check for regressions.
 //!
 //! ```text
-//! obsctl run   [--out BENCH_pr3.json] [--scales 2000,8000,20000]
-//!              [--reps 5] [--prometheus <path>]
-//! obsctl check [--current BENCH_pr3.json] [--against <file>]...
-//!              [--lat-tol 15] [--mem-tol 20]
+//! obsctl run    [--out BENCH_pr3.json] [--scales 2000,8000,20000]
+//!               [--reps 5] [--prometheus <path>]
+//! obsctl stream [--out BENCH_pr4.json] [--scales 2000,8000,20000]
+//!               [--reps 5]
+//! obsctl check  [--current BENCH_pr3.json] [--against <file>]...
+//!               [--lat-tol 15] [--mem-tol 20] [--allow-new]
 //! obsctl --check          # check with the defaults above
 //! ```
 //!
@@ -14,17 +16,28 @@
 //! With `--prometheus` the same capture is also written in Prometheus
 //! text exposition format for the node-exporter textfile collector.
 //!
+//! `stream` replays the streaming-ingest workload: at each scale the
+//! last 10% of edges arrive as an appended batch, and the five
+//! associative-`⊕` adjacency lanes are brought current both
+//! incrementally (delta SpGEMM) and by full rebuild, cross-checked
+//! bit-identical. The per-scale medians land in `BENCH_pr4.json` as
+//! `stream-incr` / `stream-rebuild` workload pairs.
+//!
 //! `check` validates every file's schema (exit 2 on a malformed or
 //! unknown-schema file), compares the current run against each
 //! baseline — v3 files stage-by-stage and region-by-region, legacy
 //! PR1/PR2 files via their single figure — and exits 1 if any median
 //! stage latency regressed beyond `--lat-tol` percent or any peak
 //! memory beyond `--mem-tol` percent (noise floors: 50 µs, 1 MiB).
+//! Metrics with no (nonzero) baseline but real current signal are
+//! reported as **NEW** and exit 3 — distinct from both "ok" (0) and
+//! "regressed" (1) so CI can choose its policy; `--allow-new`
+//! downgrades them to informational.
 
 use aarray_harness::compare::{compare, CheckConfig};
 use aarray_harness::json::parse;
 use aarray_harness::schema::{classify, BenchKind};
-use aarray_harness::workloads::{bench_json, run_workload, Figure};
+use aarray_harness::workloads::{bench_json, run_streaming, run_workload, Figure};
 use aarray_obs::ObsReport;
 use std::process::ExitCode;
 
@@ -32,6 +45,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("--check") => cmd_check(&args[1..]),
         Some("--help" | "-h" | "help") => {
@@ -51,10 +65,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  obsctl run   [--out BENCH_pr3.json] [--scales 2000,8000,20000] [--reps 5]
-               [--prometheus <path>]
-  obsctl check [--current BENCH_pr3.json] [--against <file>]...
-               [--lat-tol 15] [--mem-tol 20]
+  obsctl run    [--out BENCH_pr3.json] [--scales 2000,8000,20000] [--reps 5]
+                [--prometheus <path>]
+  obsctl stream [--out BENCH_pr4.json] [--scales 2000,8000,20000] [--reps 5]
+  obsctl check  [--current BENCH_pr3.json] [--against <file>]...
+                [--lat-tol 15] [--mem-tol 20] [--allow-new]
   obsctl --check
 ";
 
@@ -157,6 +172,85 @@ fn cmd_run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_stream(args: &[String]) -> ExitCode {
+    let mut out_path = "BENCH_pr4.json".to_string();
+    let mut scales: Vec<usize> = vec![2_000, 8_000, 20_000];
+    let mut reps = 5usize;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let r = match a.as_str() {
+            "--out" => take_value(&mut it, a).map(|v| out_path = v),
+            "--reps" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| reps = n)
+                    .map_err(|_| format!("--reps: bad count {:?}", v))
+            }),
+            "--scales" => take_value(&mut it, a).and_then(|v| {
+                v.split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(|v| scales = v)
+                    .map_err(|_| format!("--scales: bad list {:?}", v))
+            }),
+            _ => Err(format!("unknown flag {:?}", a)),
+        };
+        if let Err(e) = r {
+            eprintln!("obsctl stream: {}\n{}", e, USAGE);
+            return ExitCode::from(2);
+        }
+    }
+    if scales.is_empty() || reps == 0 {
+        eprintln!("obsctl stream: need at least one scale and one rep");
+        return ExitCode::from(2);
+    }
+    let hist_on = aarray_obs::histograms_enabled();
+    if !hist_on {
+        eprintln!(
+            "obsctl stream: warning: {}=0 — latency/shape histograms will be empty in this capture",
+            aarray_obs::HISTOGRAMS_ENV
+        );
+    }
+
+    let before = ObsReport::capture();
+    let mut runs = Vec::new();
+    for &rows in &scales {
+        let (incr, rebuild) = run_streaming(rows, reps);
+        let ratio = incr.stages.total_ns as f64 / rebuild.stages.total_ns.max(1) as f64;
+        println!(
+            "stream@{:<6} incremental {:>9.3} ms  rebuild {:>9.3} ms  ({:.0}% of rebuild)",
+            rows,
+            incr.stages.total_ns as f64 / 1e6,
+            rebuild.stages.total_ns as f64 / 1e6,
+            ratio * 100.0
+        );
+        runs.push(incr);
+        runs.push(rebuild);
+    }
+    let report = ObsReport::capture().since(&before);
+
+    let doc = bench_json(&runs, &report, reps, hist_on);
+    match parse(&doc)
+        .map_err(|e| e.to_string())
+        .and_then(|v| classify(&v).map(|_| ()))
+    {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!(
+                "obsctl stream: internal error: emitted document fails validation: {}",
+                e
+            );
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("obsctl stream: cannot write {:?}: {}", out_path, e);
+        return ExitCode::from(2);
+    }
+    println!("streaming observatory file written to {}", out_path);
+    ExitCode::SUCCESS
+}
+
 fn load_classified(path: &str) -> Result<(aarray_harness::json::Value, BenchKind), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {}", path, e))?;
     let doc = parse(&text).map_err(|e| format!("{}: {}", path, e))?;
@@ -168,12 +262,17 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let mut current_path = "BENCH_pr3.json".to_string();
     let mut against: Vec<String> = Vec::new();
     let mut cfg = CheckConfig::default();
+    let mut allow_new = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let r = match a.as_str() {
             "--current" => take_value(&mut it, a).map(|v| current_path = v),
             "--against" => take_value(&mut it, a).map(|v| against.push(v)),
+            "--allow-new" => {
+                allow_new = true;
+                Ok(())
+            }
             "--lat-tol" => take_value(&mut it, a).and_then(|v| {
                 v.parse()
                     .map(|n| cfg.lat_tol_pct = n)
@@ -211,6 +310,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
 
     let mut regressions = 0usize;
+    let mut new_metrics = 0usize;
     for path in &against {
         let (doc, kind) = match load_classified(path) {
             Ok(v) => v,
@@ -222,6 +322,13 @@ fn cmd_check(args: &[String]) -> ExitCode {
         let verdict = compare(&current, &doc, &kind, &cfg);
         println!("== {} vs {} ==", current_path, path);
         for f in &verdict.findings {
+            if f.new_metric {
+                println!(
+                    "  NEW       {:<40} {:>14} -> {:>14.0}  (no baseline)",
+                    f.metric, "-", f.current
+                );
+                continue;
+            }
             println!(
                 "  {} {:<40} {:>14.0} -> {:>14.0}  {:>+7.1}% (limit +{:.0}%)",
                 if f.regressed {
@@ -240,6 +347,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
             println!("  skipped   {}", s);
         }
         regressions += verdict.regressions().count();
+        new_metrics += verdict.new_metrics().count();
     }
 
     if regressions > 0 {
@@ -248,7 +356,20 @@ fn cmd_check(args: &[String]) -> ExitCode {
             regressions
         );
         ExitCode::FAILURE
+    } else if new_metrics > 0 && !allow_new {
+        println!(
+            "perf observatory: no regressions, but {} new metric(s) without a baseline \
+             (pass --allow-new to accept)",
+            new_metrics
+        );
+        ExitCode::from(3)
     } else {
+        if new_metrics > 0 {
+            println!(
+                "perf observatory: {} new metric(s) accepted via --allow-new",
+                new_metrics
+            );
+        }
         println!("perf observatory: no regressions beyond tolerance");
         ExitCode::SUCCESS
     }

@@ -234,6 +234,144 @@ fn histogram_env_knob_controls_capture() {
 }
 
 #[test]
+fn streaming_workload_emits_bench_pr4() {
+    let dir = tmpdir("stream");
+    let out = dir.join("BENCH_pr4.json");
+    let o = obsctl()
+        .args(["stream", "--scales", "400", "--reps", "2", "--out"])
+        .arg(&out)
+        .output()
+        .unwrap();
+    assert!(
+        o.status.success(),
+        "obsctl stream failed:\n{}{}",
+        String::from_utf8_lossy(&o.stdout),
+        String::from_utf8_lossy(&o.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&o.stdout).contains("% of rebuild)"),
+        "{}",
+        String::from_utf8_lossy(&o.stdout)
+    );
+
+    let doc = aarray_harness::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(
+        aarray_harness::schema::classify(&doc).unwrap(),
+        aarray_harness::schema::BenchKind::V3
+    );
+    let names: Vec<&str> = doc
+        .get("workloads")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|w| w.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(names, vec!["stream-incr", "stream-rebuild"]);
+
+    // The incremental layer's counters are live in the embedded report:
+    // batches were appended and the delta kernel traversed them.
+    for counter in [
+        "incremental.batches",
+        "incremental.apply",
+        "delta.traversals",
+    ] {
+        let v = doc
+            .path(&["report", "counters", counter])
+            .and_then(aarray_harness::json::Value::as_u64)
+            .unwrap_or(0);
+        assert!(v >= 1, "counter {} must be live, got {}", counter, v);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_reports_new_metrics_with_own_exit_code() {
+    let dir = tmpdir("newmetric");
+    let current = run_observatory(&dir);
+    let text = std::fs::read_to_string(&current).unwrap();
+
+    // Baseline that has never seen the fig3 workload: every fig3 stage
+    // above the noise floor in the current run is a *new metric* — not
+    // a silent 0%-growth pass (the zero-baseline bug this pins down).
+    assert!(text.contains("\"name\": \"fig3\""), "emitter shape changed");
+    let baseline = dir.join("BENCH_no_fig3.json");
+    std::fs::write(
+        &baseline,
+        text.replace("\"name\": \"fig3\"", "\"name\": \"zzz3\""),
+    )
+    .unwrap();
+
+    let o = check(&current, &baseline);
+    let stdout = String::from_utf8_lossy(&o.stdout);
+    assert_eq!(o.status.code(), Some(3), "{}", stdout);
+    assert!(stdout.contains("NEW"), "{}", stdout);
+    assert!(stdout.contains("new metric"), "{}", stdout);
+    assert!(!stdout.contains("REGRESSED"), "{}", stdout);
+
+    // Same comparison with --allow-new: informational, exit 0.
+    let o = obsctl()
+        .args(["check", "--allow-new", "--current"])
+        .arg(&current)
+        .arg("--against")
+        .arg(&baseline)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&o.stdout);
+    assert_eq!(o.status.code(), Some(0), "{}", stdout);
+    assert!(stdout.contains("accepted via --allow-new"), "{}", stdout);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unparsable_env_knobs_warn_once_and_fall_back() {
+    let dir = tmpdir("envwarn");
+    let out = dir.join("BENCH_envwarn.json");
+    let o = obsctl()
+        .args(["run", "--scales", "300", "--reps", "2", "--out"])
+        .arg(&out)
+        .env(aarray_obs::HISTOGRAMS_ENV, "yes")
+        .env(aarray_core::PAR_FLOPS_THRESHOLD_ENV, "128k")
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&o.stderr);
+    assert!(o.status.success(), "{}", stderr);
+
+    // Each unparsable knob warns exactly once per process, naming the
+    // variable, the rejected value, and the fallback.
+    let hist_warn = format!(
+        "ignoring unparsable {}=\"yes\"; using the default (histograms enabled)",
+        aarray_obs::HISTOGRAMS_ENV
+    );
+    let thresh_warn = format!(
+        "ignoring unparsable {}=\"128k\"; using the default threshold",
+        aarray_core::PAR_FLOPS_THRESHOLD_ENV
+    );
+    for warn in [&hist_warn, &thresh_warn] {
+        assert_eq!(
+            stderr.matches(warn.as_str()).count(),
+            1,
+            "expected exactly one {:?} in:\n{}",
+            warn,
+            stderr
+        );
+    }
+
+    // Fallbacks hold: histograms default to enabled, and the run
+    // completes as a valid capture.
+    let doc = aarray_harness::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("histograms_enabled"),
+        Some(&aarray_harness::json::Value::Bool(true))
+    );
+    assert_eq!(
+        aarray_harness::schema::classify(&doc).unwrap(),
+        aarray_harness::schema::BenchKind::V3
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_rejects_bad_invocations() {
     for args in [
         &["frobnicate"][..],

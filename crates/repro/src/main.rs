@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [fig1|fig2|fig3|fig4|fig5|stats|theorem|taxonomy|wordsets|all]
-//!       [--save <dir>] [--profile] [--profile-json <path>]
+//!       [--save <dir>] [--profile] [--profile-json <path>] [--incremental]
 //! ```
 //!
 //! Each figure command prints the paper-style grid(s) and a PASS/FAIL
@@ -15,7 +15,10 @@
 //! (zero-delta entries elided). With `--profile-json <path>`, the same
 //! stage profiles and counter deltas are written to `<path>` as one
 //! schema-versioned JSON document (machine twin of `--profile`; both
-//! flags compose). Exit status is nonzero if any verification fails.
+//! flags compose). With `--incremental`, `fig3` (and `all`) also
+//! replay the figure through the streaming incremental-maintenance
+//! path and cross-check it against the batch rebuild. Exit status is
+//! nonzero if any verification fails.
 
 use aarray_repro::figures;
 use std::process::ExitCode;
@@ -25,6 +28,7 @@ fn main() -> ExitCode {
     let mut arg = "all".to_string();
     let mut save_dir: Option<std::path::PathBuf> = None;
     let mut profile_json: Option<std::path::PathBuf> = None;
+    let mut incremental = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--save" {
@@ -35,6 +39,8 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+        } else if a == "--incremental" {
+            incremental = true;
         } else if a == "--profile" {
             figures::set_profile(true);
         } else if a == "--profile-json" {
@@ -102,10 +108,16 @@ fn main() -> ExitCode {
         println!();
     };
 
+    const FIG3_INCR: &str = "Figure 3: incremental maintenance cross-check";
     match arg.as_str() {
         "fig1" => run("Figure 1: exploded incidence array E", figures::figure1),
         "fig2" => run("Figure 2: sub-arrays E1, E2", figures::figure2),
-        "fig3" => run("Figure 3: adjacency arrays, unit weights", figures::figure3),
+        "fig3" => {
+            run("Figure 3: adjacency arrays, unit weights", figures::figure3);
+            if incremental {
+                run(FIG3_INCR, figures::figure3_incremental);
+            }
+        }
         "fig4" => run("Figure 4: re-weighted E1", figures::figure4),
         "fig5" => run("Figure 5: adjacency arrays, weighted", figures::figure5),
         "stats" => run("Pipeline array statistics", figures::stats),
@@ -122,6 +134,9 @@ fn main() -> ExitCode {
             run("Figure 1: exploded incidence array E", figures::figure1);
             run("Figure 2: sub-arrays E1, E2", figures::figure2);
             run("Figure 3: adjacency arrays, unit weights", figures::figure3);
+            if incremental {
+                run(FIG3_INCR, figures::figure3_incremental);
+            }
             run("Figure 4: re-weighted E1", figures::figure4);
             run("Figure 5: adjacency arrays, weighted", figures::figure5);
             run("Pipeline array statistics", figures::stats);

@@ -10,6 +10,7 @@
 //! documented sparse semantics; see the crate docs.)
 
 use crate::csr::Csr;
+use aarray_algebra::dynpair::DynOpPair;
 use aarray_algebra::{BinaryOp, OpPair, Value};
 
 /// Element-wise `C = A ⊕ B` (union merge). Dimensions must agree.
@@ -19,6 +20,14 @@ where
     A: BinaryOp<V>,
     M: BinaryOp<V>,
 {
+    ewise_add_dyn(a, b, pair)
+}
+
+/// [`ewise_add`] over an object-safe pair, for callers holding runtime
+/// lane collections (the incremental adjacency layer folds `A ⊕ ΔA`
+/// per lane through this). Identical merge walk, identical
+/// `is_zero`-pruning — bit-identical to the typed entry point.
+pub fn ewise_add_dyn<V: Value>(a: &Csr<V>, b: &Csr<V>, pair: &dyn DynOpPair<V>) -> Csr<V> {
     assert_eq!(
         (a.nrows(), a.ncols()),
         (b.nrows(), b.ncols()),
@@ -33,7 +42,7 @@ where
             (None, Some(y)) => Some(y.clone()),
             (None, None) => None,
         },
-        pair,
+        |v| pair.is_zero(v),
     )
 }
 
@@ -57,21 +66,16 @@ where
             (Some(x), Some(y)) => Some(pair.times(x, y)),
             _ => None,
         },
-        pair,
+        |v| pair.is_zero(v),
     )
 }
 
-fn merge<V, A, M>(
+fn merge<V: Value>(
     a: &Csr<V>,
     b: &Csr<V>,
     combine: impl Fn(Option<&V>, Option<&V>) -> Option<V>,
-    pair: &OpPair<V, A, M>,
-) -> Csr<V>
-where
-    V: Value,
-    A: BinaryOp<V>,
-    M: BinaryOp<V>,
-{
+    is_zero: impl Fn(&V) -> bool,
+) -> Csr<V> {
     let mut indptr = vec![0usize; a.nrows() + 1];
     let mut indices = Vec::new();
     let mut values = Vec::new();
@@ -96,7 +100,7 @@ where
                 e
             };
             if let Some(v) = combine(x, y) {
-                if !pair.is_zero(&v) {
+                if !is_zero(&v) {
                     indices.push(col);
                     values.push(v);
                 }
@@ -170,6 +174,17 @@ mod tests {
         let mul = ewise_mul(&a, &b, &pair);
         assert_eq!(add.get(0, 0), Some(&Nat(5)));
         assert_eq!(mul.get(1, 2), Some(&Nat(6)));
+    }
+
+    #[test]
+    fn dyn_add_matches_typed_add() {
+        use aarray_algebra::dynpair::DynOpPair;
+        let a = build(&[(0, 0, 1), (0, 2, 2), (1, 1, 9)]);
+        let b = build(&[(0, 2, 3), (1, 1, 4)]);
+        let pair = pt();
+        let typed = ewise_add(&a, &b, &pair);
+        let dynamic = ewise_add_dyn(&a, &b, &pair as &dyn DynOpPair<Nat>);
+        assert_eq!(typed, dynamic);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Delta SpGEMM: the batch product `ΔA = ΔEoutᵀ ⊕.⊗ ΔEin` of the
+//! incremental adjacency layer, for all `K` lanes in one traversal.
+//!
+//! For an append-only edge batch `ΔE` whose edge keys are **fresh**
+//! (disjoint from every existing edge key), the full update formula
+//! `A' = A ⊕ (ΔEᵀ·E ⊕ Eᵀ·ΔE ⊕ ΔEᵀ·ΔE)` collapses: the cross terms
+//! `ΔEᵀ·E` and `Eᵀ·ΔE` contract over the *edge-key* dimension, and a
+//! fresh batch shares no edge key with the prior incidence, so both
+//! cross products are structurally empty. What remains is the
+//! batch-local product this kernel computes — the caller then folds it
+//! into the cached adjacency with one union `⊕`-merge per lane
+//! ([`crate::elementwise::ewise_add_dyn`]).
+//!
+//! The kernel is a thin orchestration over the fused machinery —
+//! [`crate::symbolic::spgemm_symbolic`] once, then
+//! [`crate::spgemm_multi::spgemm_multi_numeric`] feeding every lane —
+//! so each lane's `ΔA` is bit-identical to a standalone
+//! `spgemm(ΔEoutᵀ, ΔEin, pair)`. Whether folding those deltas into a
+//! *cumulative* adjacency is exact is the caller's obligation: it
+//! re-associates the `⊕` reduction relative to a from-scratch rebuild
+//! and therefore requires `⊕` associative
+//! ([`aarray_algebra::AssociativePlus`] /
+//! [`aarray_algebra::dynpair::DynOpPair::plus_associative`]).
+//!
+//! Scratch specific to the delta path — the materialized `ΔEoutᵀ` and
+//! the batch symbolic pattern — is reported to
+//! [`MemRegion::DeltaScratch`]; the fused traversal's own accumulator
+//! block still lands in `MemRegion::FusedAccumulator` as usual.
+
+use crate::csr::Csr;
+use crate::spgemm_multi::{spgemm_multi_numeric, MultiAccumulator};
+use crate::symbolic::spgemm_symbolic;
+use aarray_algebra::dynpair::DynOpPair;
+use aarray_algebra::Value;
+use aarray_obs::{counters, memstats, Counter, MemRegion};
+
+/// All-lanes batch product `[ΔEoutᵀ ⊕_p.⊗_p ΔEin for p in pairs]`.
+///
+/// `delta_eout` and `delta_ein` are the batch's incidence blocks, both
+/// `Δedges × vertices` (the paper's orientation); the transpose of the
+/// out-block is materialized internally and accounted as delta scratch.
+/// Panics if the two blocks disagree on the edge-row count.
+///
+/// Returns one `Csr` per pair (vertices × vertices), in order, each
+/// bit-identical to the corresponding standalone sequential product of
+/// the same operands.
+pub fn spgemm_delta<V: Value>(
+    delta_eout: &Csr<V>,
+    delta_ein: &Csr<V>,
+    pairs: &[&dyn DynOpPair<V>],
+    acc: MultiAccumulator,
+) -> Vec<Csr<V>> {
+    assert_eq!(
+        delta_eout.nrows(),
+        delta_ein.nrows(),
+        "delta blocks must share the batch edge rows: ΔEout has {}, ΔEin has {}",
+        delta_eout.nrows(),
+        delta_ein.nrows()
+    );
+    counters().incr(Counter::DeltaTraversals);
+
+    let eout_t = delta_eout.transpose();
+    let mut scratch = memstats().track(MemRegion::DeltaScratch, eout_t.heap_bytes());
+    let sym = spgemm_symbolic(&eout_t, delta_ein);
+    scratch.grow_to(eout_t.heap_bytes() + sym.heap_bytes());
+    spgemm_multi_numeric(&sym, &eout_t, delta_ein, pairs, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::spgemm::{spgemm_with, Accumulator};
+    use aarray_algebra::pairs::{MaxMin, PlusTimes};
+    use aarray_algebra::values::nat::Nat;
+
+    fn pt() -> PlusTimes<Nat> {
+        PlusTimes::new()
+    }
+
+    fn batch() -> (Csr<Nat>, Csr<Nat>) {
+        // 3 batch edges over 4 vertices.
+        let mut out = Coo::new(3, 4);
+        out.push(0, 0, Nat(2));
+        out.push(1, 1, Nat(3));
+        out.push(2, 0, Nat(1));
+        out.push(2, 3, Nat(5));
+        let mut inn = Coo::new(3, 4);
+        inn.push(0, 1, Nat(7));
+        inn.push(1, 2, Nat(1));
+        inn.push(2, 2, Nat(4));
+        (out.into_csr(&pt()), inn.into_csr(&pt()))
+    }
+
+    #[test]
+    fn delta_product_matches_standalone_transpose_product() {
+        let (out, inn) = batch();
+        let pt = pt();
+        let mm = MaxMin::<Nat>::new();
+        let pairs: Vec<&dyn DynOpPair<Nat>> = vec![&pt, &mm];
+        for acc in [MultiAccumulator::Spa, MultiAccumulator::Hash] {
+            let deltas = spgemm_delta(&out, &inn, &pairs, acc);
+            let eout_t = out.transpose();
+            assert_eq!(deltas[0], spgemm_with(&eout_t, &inn, &pt, Accumulator::Spa));
+            assert_eq!(deltas[1], spgemm_with(&eout_t, &inn, &mm, Accumulator::Spa));
+        }
+    }
+
+    #[test]
+    fn delta_traversals_and_scratch_are_recorded() {
+        let (out, inn) = batch();
+        let pt = pt();
+        let pairs: Vec<&dyn DynOpPair<Nat>> = vec![&pt];
+        let before = aarray_obs::snapshot();
+        let _ = spgemm_delta(&out, &inn, &pairs, MultiAccumulator::Spa);
+        let delta = aarray_obs::snapshot().since(&before);
+        assert!(delta.get(Counter::DeltaTraversals) >= 1);
+        assert!(
+            memstats().peak(MemRegion::DeltaScratch) > 0,
+            "transpose + symbolic scratch must be accounted"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "batch edge rows")]
+    fn mismatched_batch_rows_panic() {
+        let (out, _) = batch();
+        let inn = Csr::<Nat>::empty(5, 4);
+        let pt = pt();
+        let pairs: Vec<&dyn DynOpPair<Nat>> = vec![&pt];
+        let _ = spgemm_delta(&out, &inn, &pairs, MultiAccumulator::Spa);
+    }
+}
