@@ -9,13 +9,17 @@
 //! 2. count the counter-registry updates it performed (one relaxed RMW
 //!    each — `add` is one RMW regardless of the amount, so
 //!    value-carrying counters like `flops.total` and `fused.lanes`
-//!    count once per update, not per unit) and the histogram records
-//!    (a few RMWs each: bucket + sum + watermarks);
-//! 3. microbenchmark one counter update and one histogram record;
+//!    count once per update, not per unit), the histogram records
+//!    (a few RMWs each: bucket + sum + watermarks), and the
+//!    flight-recorder journal records (one head claim, a timestamp
+//!    read, and five relaxed slot stores under the seqlock);
+//! 3. microbenchmark one counter update, one histogram record, and
+//!    one journal record;
 //! 4. bound total overhead as `(counter_updates × ns_per_update +
-//!    hist_records × ns_per_record) / workload_ns`, with a 2× safety
-//!    factor covering the non-registry instrumentation of the same
-//!    order (per-plan stage cells, gauges, memory-accounting adds, the
+//!    hist_records × ns_per_record + journal_records ×
+//!    ns_per_journal_record) / workload_ns`, with a 2× safety factor
+//!    covering the non-registry instrumentation of the same order
+//!    (per-plan stage cells, gauges, memory-accounting adds, the
 //!    numeric-pass mutex push, the per-row flop sums computed only for
 //!    histogram recording).
 //!
@@ -28,7 +32,7 @@ use aarray_algebra::values::tropical::{trop, Tropical};
 use aarray_algebra::DynOpPair;
 use aarray_bench::synthetic_e1_e2;
 use aarray_core::{adjacency_plan, AArray};
-use aarray_obs::{counters, histograms, snapshot, Counter, Hist};
+use aarray_obs::{counters, histograms, journal, snapshot, Counter, EventKind, Hist, Journal};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -69,6 +73,7 @@ fn main() {
     seven_pairs(&e1, &e2, &e1t, &e2t);
     let before = snapshot();
     let hists_before = histograms().snapshot_all();
+    let journal_cursor = journal().cursor();
     let start = Instant::now();
     for _ in 0..reps {
         seven_pairs(&e1, &e2, &e1t, &e2t);
@@ -81,6 +86,7 @@ fn main() {
         .zip(hists_before.iter())
         .map(|(a, b)| a.since(b).count())
         .sum();
+    let journal_records = journal().cursor() - journal_cursor;
 
     // Registry RMWs: every counter delta is one update per call except
     // the two value-carrying counters, updated once per traversal.
@@ -89,6 +95,7 @@ fn main() {
             + 2 * delta.get(Counter::FusedTraversals);
     let updates_per_rep = updates as f64 / reps as f64;
     let hist_records_per_rep = hist_records as f64 / reps as f64;
+    let journal_records_per_rep = journal_records as f64 / reps as f64;
 
     // Cost of one relaxed-atomic registry update.
     let iters = 2_000_000u64;
@@ -107,15 +114,28 @@ fn main() {
     }
     let ns_per_record = t.elapsed().as_nanos() as f64 / iters as f64;
 
+    // Cost of one flight-recorder journal record (head claim +
+    // monotonic timestamp + five relaxed stores), measured against a
+    // private ring so the drained global journal keeps its workload
+    // events; wraparound is the steady state being bounded.
+    let ring = Journal::with_capacity(1 << 14);
+    let t = Instant::now();
+    for i in 0..iters {
+        ring.record(EventKind::RowShape, black_box(i), black_box(i & 1023));
+    }
+    let ns_per_journal_record = t.elapsed().as_nanos() as f64 / iters as f64;
+
     // 2× safety factor: stage cells, gauges, memory-accounting adds,
     // and the per-execution mutex push are not counted above but cost
     // the same order.
-    let overhead_ns =
-        (updates_per_rep * ns_per_update + hist_records_per_rep * ns_per_record) * 2.0;
+    let overhead_ns = (updates_per_rep * ns_per_update
+        + hist_records_per_rep * ns_per_record
+        + journal_records_per_rep * ns_per_journal_record)
+        * 2.0;
     let overhead_pct = overhead_ns / workload_ns * 100.0;
 
     println!(
-        "obs_overhead: {} tracks, 7 pairs, {} reps\n  workload:        {:10.3} ms/rep\n  registry updates:{:10.1} /rep\n  ns/update:       {:10.3} ns\n  hist records:    {:10.1} /rep\n  ns/record:       {:10.3} ns\n  overhead bound:  {:10.5} % (limit 2%)",
+        "obs_overhead: {} tracks, 7 pairs, {} reps\n  workload:        {:10.3} ms/rep\n  registry updates:{:10.1} /rep\n  ns/update:       {:10.3} ns\n  hist records:    {:10.1} /rep\n  ns/record:       {:10.3} ns\n  journal records: {:10.1} /rep\n  ns/journal rec:  {:10.3} ns\n  overhead bound:  {:10.5} % (limit 2%)",
         tracks,
         reps,
         workload_ns / 1e6,
@@ -123,6 +143,8 @@ fn main() {
         ns_per_update,
         hist_records_per_rep,
         ns_per_record,
+        journal_records_per_rep,
+        ns_per_journal_record,
         overhead_pct
     );
 
@@ -132,7 +154,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"obs_overhead\",\n  \"workload\": {{\"tracks\": {}, \"pairs\": 7, \"e1_nnz\": {}, \"e2_nnz\": {}}},\n  \"reps\": {},\n  \"workload_ms\": {:.3},\n  \"registry_updates_per_rep\": {:.1},\n  \"ns_per_update\": {:.3},\n  \"hist_records_per_rep\": {:.1},\n  \"ns_per_hist_record\": {:.3},\n  \"overhead_pct\": {:.5},\n  \"overhead_limit_pct\": 2.0\n}}\n",
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"workload\": {{\"tracks\": {}, \"pairs\": 7, \"e1_nnz\": {}, \"e2_nnz\": {}}},\n  \"reps\": {},\n  \"workload_ms\": {:.3},\n  \"registry_updates_per_rep\": {:.1},\n  \"ns_per_update\": {:.3},\n  \"hist_records_per_rep\": {:.1},\n  \"ns_per_hist_record\": {:.3},\n  \"journal_records_per_rep\": {:.1},\n  \"ns_per_journal_record\": {:.3},\n  \"overhead_pct\": {:.5},\n  \"overhead_limit_pct\": 2.0\n}}\n",
         tracks,
         e1.nnz(),
         e2.nnz(),
@@ -142,6 +164,8 @@ fn main() {
         ns_per_update,
         hist_records_per_rep,
         ns_per_record,
+        journal_records_per_rep,
+        ns_per_journal_record,
         overhead_pct
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");

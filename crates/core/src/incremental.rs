@@ -59,7 +59,7 @@ use crate::incidence::adjacency_plan;
 use crate::keys::KeySet;
 use aarray_algebra::dynpair::DynOpPair;
 use aarray_algebra::Value;
-use aarray_obs::{counters, histograms, Counter, Hist};
+use aarray_obs::{counters, histograms, journal, trace_span, Counter, EventKind, Hist, Stage};
 use aarray_sparse::spgemm_delta::spgemm_delta;
 use aarray_sparse::spgemm_multi::MultiAccumulator;
 use aarray_sparse::Coo;
@@ -365,6 +365,12 @@ impl<'p, V: Value> AdjacencyView<'p, V> {
             return RefreshReport::default();
         }
         let mut report = RefreshReport::default();
+        let _span = trace_span!(
+            "incremental_refresh",
+            k_lanes = self.pairs.len(),
+            from_generation = self.generation,
+            to_generation = builder.generation()
+        );
 
         let deltas = builder.deltas_since(self.generation);
         let (inc_idx, reb_idx): (Vec<usize>, Vec<usize>) = match &deltas {
@@ -378,6 +384,7 @@ impl<'p, V: Value> AdjacencyView<'p, V> {
             let batches = deltas.as_ref().expect("checked above");
             let inc_pairs: Vec<&dyn DynOpPair<V>> =
                 inc_idx.iter().map(|&i| self.pairs[i]).collect();
+            journal().begin(Stage::DeltaApply, inc_idx.len() as u64);
             for (d_out, d_in) in batches {
                 let t0 = Instant::now();
                 let delta_csrs = spgemm_delta(d_out.csr(), d_in.csr(), &inc_pairs, self.acc);
@@ -392,11 +399,22 @@ impl<'p, V: Value> AdjacencyView<'p, V> {
                 histograms().record(Hist::DeltaApplyNs, t0.elapsed().as_nanos() as u64);
                 report.batches_applied += 1;
             }
+            journal().end(Stage::DeltaApply, inc_idx.len() as u64);
+            journal().record(
+                EventKind::DeltaApply,
+                inc_idx.len() as u64,
+                report.batches_applied as u64,
+            );
             counters().add(Counter::IncrementalApply, inc_idx.len() as u64);
             report.incremental_lanes = inc_idx.len();
         }
 
         if !reb_idx.is_empty() {
+            // Reason 0: a lane's ⊕ is non-associative, so deltas can't be
+            // replayed for it. Reason 1: a barrier batch forced everyone
+            // down the rebuild path regardless of associativity.
+            let reason = if deltas.is_none() { 1 } else { 0 };
+            journal().record(EventKind::IncrementalFallback, reb_idx.len() as u64, reason);
             let reb_pairs: Vec<&dyn DynOpPair<V>> =
                 reb_idx.iter().map(|&i| self.pairs[i]).collect();
             let rebuilt = rebuild_lanes(builder, &reb_pairs, self.acc);
@@ -420,12 +438,14 @@ fn rebuild_lanes<V: Value>(
     acc: MultiAccumulator,
 ) -> Vec<AArray<V>> {
     let t0 = Instant::now();
+    journal().begin(Stage::Rebuild, pairs.len() as u64);
     let plan = adjacency_plan(builder.eout(), builder.ein()).with_generation(builder.generation());
     debug_assert!(
         !plan.is_stale(builder.generation()),
         "plan stamped at build must match the builder generation"
     );
     let lanes = plan.execute_all_with(pairs, acc);
+    journal().end(Stage::Rebuild, pairs.len() as u64);
     histograms().record(Hist::RebuildNs, t0.elapsed().as_nanos() as u64);
     lanes
 }

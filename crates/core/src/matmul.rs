@@ -12,7 +12,7 @@
 use crate::array::AArray;
 use crate::profile::timed;
 use aarray_algebra::{BinaryOp, OpPair, Value};
-use aarray_obs::{counters, histograms, Counter, Gauge, Hist};
+use aarray_obs::{counters, histograms, journal, Counter, EventKind, Gauge, Hist};
 use aarray_sparse::{spgemm_flops, spgemm_parallel, spgemm_with, Accumulator};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -116,13 +116,17 @@ pub fn would_parallelize(flops: u64, threshold: u64, nthreads: usize) -> bool {
 /// drove it ([`Gauge::DispatchLastFlops`] / [`Gauge::DispatchThreshold`]).
 pub(crate) fn should_parallelize(flops: impl FnOnce() -> u64) -> bool {
     let threshold = parallel_flops_threshold();
+    let mut estimate = 0;
     let parallel = if rayon::current_num_threads() > 1 {
         let f = flops();
+        estimate = f;
         counters().store(Gauge::DispatchLastFlops, f);
         counters().store(Gauge::DispatchThreshold, threshold);
         histograms().record(Hist::DispatchFlops, f);
         f >= threshold
     } else {
+        // Single worker: always serial, estimate never computed —
+        // the journal record carries 0 flops for this fast path.
         false
     };
     counters().incr(if parallel {
@@ -130,6 +134,15 @@ pub(crate) fn should_parallelize(flops: impl FnOnce() -> u64) -> bool {
     } else {
         Counter::DispatchSerial
     });
+    journal().record(
+        if parallel {
+            EventKind::DispatchParallel
+        } else {
+            EventKind::DispatchSerial
+        },
+        estimate,
+        threshold,
+    );
     parallel
 }
 

@@ -50,7 +50,8 @@ use crate::matmul::should_parallelize;
 use crate::profile::{timed, NumericPass, StageProfile, StageReport};
 use aarray_algebra::{BinaryOp, DynOpPair, OpPair, Value};
 use aarray_obs::{
-    counters, histograms, memstats, trace_span, Counter, Hist, MemRegion, MemReservation,
+    counters, histograms, journal, memstats, trace_span, Counter, EventKind, Hist, MemRegion,
+    MemReservation, Stage,
 };
 use aarray_sparse::spgemm_multi::{
     spgemm_multi_numeric, spgemm_multi_numeric_parallel, MultiAccumulator,
@@ -120,6 +121,8 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
             aligned = (lhs_inner != other.row_keys())
         );
         let profile = StageProfile::default();
+        let nnz_in = lhs.nnz() as u64 + other.nnz() as u64;
+        journal().begin(Stage::Align, nnz_in);
         let ((lhs, rhs), align_time) = timed(|| {
             if lhs_inner == other.row_keys() {
                 (lhs, MaybeOwned::Borrowed(other.csr()))
@@ -131,6 +134,7 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
                 )
             }
         });
+        journal().end(Stage::Align, nnz_in);
         profile.record_align(align_time);
         let flops = spgemm_flops(&lhs, &rhs);
         // The dispatch estimate is always known here, even though the
@@ -203,6 +207,7 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
     pub fn symbolic(&self) -> &SymbolicProduct {
         if let Some(sym) = self.sym.get() {
             counters().incr(Counter::PlanSymbolicHit);
+            journal().record(EventKind::PlanCacheHit, self.flops, sym.nnz() as u64);
             return sym;
         }
         self.sym.get_or_init(|| {
@@ -213,7 +218,10 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
                 nnz_rhs = self.rhs.nnz(),
                 flops = self.flops
             );
+            journal().begin(Stage::Symbolic, self.flops);
             let (sym, symbolic_time) = timed(|| spgemm_symbolic(&self.lhs, &self.rhs));
+            journal().end(Stage::Symbolic, self.flops);
+            journal().record(EventKind::PlanCacheMiss, self.flops, sym.nnz() as u64);
             self.profile.record_symbolic(symbolic_time);
             histograms().record(
                 Hist::SymbolicPassNs,
@@ -288,6 +296,7 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
         if self.transposed {
             c.incr(Counter::PlanTransposeReused);
         }
+        journal().begin(Stage::Numeric, self.flops);
         let (data, numeric_time) = timed(|| {
             if parallel {
                 spgemm_multi_numeric_parallel(sym, &self.lhs, &self.rhs, pairs, acc)
@@ -295,6 +304,7 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
                 spgemm_multi_numeric(sym, &self.lhs, &self.rhs, pairs, acc)
             }
         });
+        journal().end(Stage::Numeric, self.flops);
         let numeric_ns = numeric_time.as_nanos().min(u64::MAX as u128) as u64;
         histograms().record(Hist::NumericPassNs, numeric_ns);
         self.profile.record_numeric(NumericPass {
@@ -335,7 +345,9 @@ impl<V: Value> AArray<V> {
     /// instead of materializing a transposed array per call.
     pub fn transpose_matmul_plan<'a>(&self, other: &'a AArray<V>) -> MatmulPlan<'a, V> {
         let (plan, build_time) = timed(|| {
+            journal().begin(Stage::Transpose, self.nnz() as u64);
             let (transposed, transpose_time) = timed(|| self.csr().transpose());
+            journal().end(Stage::Transpose, self.nnz() as u64);
             counters().incr(Counter::PlanTransposeBuilt);
             let transpose_mem = memstats().track(MemRegion::PlanTranspose, transposed.heap_bytes());
             let mut plan = MatmulPlan::new(

@@ -148,3 +148,72 @@ fn sequential_execute_emits_numeric_pass_span_with_pair_name() {
         "numeric_pass must carry the operator pair's name"
     );
 }
+
+#[test]
+fn incremental_refresh_emits_spans_for_both_maintenance_paths() {
+    use aarray_core::incremental::{AdjacencyView, IncidenceBuilder};
+
+    let pair = PlusTimes::<Nat>::new();
+    let chain = |lo: usize, hi: usize| {
+        let out: Vec<(String, String, Nat)> = (lo..hi)
+            .map(|i| (format!("e{:04}", i), format!("v{:04}", i), Nat(1)))
+            .collect();
+        let inn: Vec<(String, String, Nat)> = (lo..hi)
+            .map(|i| (format!("e{:04}", i), format!("v{:04}", i + 1), Nat(2)))
+            .collect();
+        (
+            AArray::from_triples(&pair, out),
+            AArray::from_triples(&pair, inn),
+        )
+    };
+
+    // Max.Min replays deltas (associative ⊕); +.× over Nat is also
+    // associative, so with a Max.Min-only view the refresh takes the
+    // delta path and must emit the spgemm_delta kernel span inside the
+    // incremental_refresh span.
+    let mm = MaxMin::<Nat>::new();
+    let (e0, i0) = chain(0, 6);
+    let mut builder = IncidenceBuilder::new(e0, i0).unwrap();
+    let mut view = AdjacencyView::new(&builder, vec![&mm]);
+    let (d_out, d_in) = chain(6, 9);
+    builder.append_batch(d_out, d_in).unwrap();
+
+    let cap = Arc::new(Capture::default());
+    subscriber::with_default(cap.clone(), || {
+        let report = view.refresh(&builder);
+        assert_eq!(report.incremental_lanes, 1);
+    });
+
+    let names = cap.names();
+    assert!(
+        names.contains(&"incremental_refresh".to_string()),
+        "refresh span missing: {:?}",
+        names
+    );
+    assert!(
+        names.contains(&"spgemm_delta".to_string()),
+        "delta kernel span missing: {:?}",
+        names
+    );
+    assert_eq!(
+        cap.field("incremental_refresh", "k_lanes").as_deref(),
+        Some("1")
+    );
+    assert_eq!(
+        cap.field("incremental_refresh", "from_generation")
+            .as_deref(),
+        Some("0")
+    );
+    assert_eq!(
+        cap.field("incremental_refresh", "to_generation").as_deref(),
+        Some("1")
+    );
+    assert_eq!(cap.field("spgemm_delta", "k_lanes").as_deref(), Some("1"));
+    // The batch carried 3 fresh edges.
+    assert_eq!(
+        cap.field("spgemm_delta", "batch_edges").as_deref(),
+        Some("3")
+    );
+    let exits = cap.exits.lock().unwrap();
+    assert_eq!(exits.len(), names.len(), "enter/exit imbalance");
+}

@@ -1,0 +1,439 @@
+//! Chrome-trace validation and flight-recorder summaries.
+//!
+//! `obsctl trace` exports the journal as Chrome Trace Event Format
+//! JSON ([`aarray_obs::JournalSnapshot::to_chrome_trace`]). Before
+//! writing the file — and again in CI against the written artifact —
+//! the document is validated here with the same hand-rolled [`crate::json`]
+//! parser the observatory uses: the shape Perfetto and
+//! `chrome://tracing` require (`name`/`ph`/`ts`/`pid`/`tid` fields,
+//! known phase letters, per-thread balanced `B`/`E` nesting) is
+//! checked structurally, not by eyeballing a viewer.
+//!
+//! The module also renders the human summaries `obsctl trace` prints:
+//! the per-stage timeline rollup and the decision audit table whose
+//! tallies are, by construction, the same figures the counter registry
+//! accumulates (asserted end-to-end by the `journal_audit` test in
+//! `aarray-core`).
+
+use crate::json::Value;
+use aarray_obs::journal::{accumulator_name, fallback_reason, STAGE_NAMES};
+use aarray_obs::{Event, EventKind, JournalSnapshot, Stage};
+use std::collections::BTreeMap;
+
+/// Figures extracted while validating a chrome-trace document.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total entries in `traceEvents`.
+    pub events: usize,
+    /// `ph: "B"` span-begin records.
+    pub begins: usize,
+    /// `ph: "E"` span-end records.
+    pub ends: usize,
+    /// `ph: "i"` instant (explain) records.
+    pub instants: usize,
+    /// `ph: "M"` metadata records (thread names).
+    pub meta: usize,
+    /// Distinct `tid` tracks carrying events.
+    pub threads: usize,
+}
+
+/// Validate one parsed chrome-trace document.
+///
+/// Requirements, per the Trace Event Format every Chrome-trace
+/// consumer expects:
+///
+/// * top level is an object with a `traceEvents` array;
+/// * every event is an object with a string `name`, a string `ph`
+///   drawn from `B`/`E`/`X`/`i`/`M`, and integer `pid`/`tid`;
+/// * every non-metadata event carries a numeric `ts`;
+/// * within each `tid`, `B`/`E` records nest: every `E` closes the
+///   most recent open `B` with the same name, and nothing stays open.
+pub fn validate(doc: &Value) -> Result<TraceStats, String> {
+    let events = doc
+        .get("traceEvents")
+        .ok_or("chrome trace: missing \"traceEvents\"")?
+        .as_arr()
+        .ok_or("chrome trace: \"traceEvents\" must be an array")?;
+
+    let mut stats = TraceStats {
+        events: events.len(),
+        ..TraceStats::default()
+    };
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut threads: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+
+    for (i, e) in events.iter().enumerate() {
+        let what = format!("traceEvents[{}]", i);
+        if e.as_obj().is_none() {
+            return Err(format!("{}: must be an object", what));
+        }
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{}: missing string \"name\"", what))?;
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{}: missing string \"ph\"", what))?;
+        let tid = e
+            .get("tid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{}: missing integer \"tid\"", what))?;
+        if e.get("pid").and_then(Value::as_u64).is_none() {
+            return Err(format!("{}: missing integer \"pid\"", what));
+        }
+        if ph != "M" {
+            e.get("ts")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{}: missing numeric \"ts\"", what))?;
+            threads.insert(tid);
+        }
+        match ph {
+            "B" => {
+                stats.begins += 1;
+                stacks.entry(tid).or_default().push(name.to_string());
+            }
+            "E" => {
+                stats.ends += 1;
+                match stacks.entry(tid).or_default().pop() {
+                    Some(open) if open == name => {}
+                    Some(open) => {
+                        return Err(format!(
+                            "{}: \"E\" for {:?} closes open span {:?} on tid {}",
+                            what, name, open, tid
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "{}: \"E\" for {:?} with no open span on tid {}",
+                            what, name, tid
+                        ));
+                    }
+                }
+            }
+            "X" => {}
+            "i" => stats.instants += 1,
+            "M" => stats.meta += 1,
+            other => {
+                return Err(format!("{}: unknown phase {:?}", what, other));
+            }
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "chrome trace: span {:?} on tid {} is never closed",
+                open, tid
+            ));
+        }
+    }
+    stats.threads = threads.len();
+    Ok(stats)
+}
+
+/// Per-stage rollup of matched begin/end pairs in one journal slice:
+/// how many spans each stage contributed and their summed duration.
+#[derive(Clone, Debug, Default)]
+pub struct TimelineSummary {
+    /// `(stage label, span count, total nanoseconds)` in stage order,
+    /// stages with no spans omitted.
+    pub stages: Vec<(&'static str, u64, u64)>,
+    /// Begin/end records that could not be paired (wraparound losses).
+    pub unpaired: u64,
+}
+
+/// Pair up `StageBegin`/`StageEnd` records per thread (same LIFO
+/// discipline as the chrome-trace exporter) and roll the matched spans
+/// up per stage.
+pub fn timeline_summary(events: &[Event]) -> TimelineSummary {
+    let mut stacks: BTreeMap<u64, Vec<&Event>> = BTreeMap::new();
+    let mut count = [0u64; STAGE_NAMES.len()];
+    let mut total_ns = [0u64; STAGE_NAMES.len()];
+    let mut unpaired = 0u64;
+    for e in events {
+        match e.kind {
+            EventKind::StageBegin => stacks.entry(e.tid).or_default().push(e),
+            EventKind::StageEnd => match stacks.entry(e.tid).or_default().pop() {
+                Some(b) if b.a == e.a => {
+                    if let Some(stage) = Stage::from_u64(e.a) {
+                        count[stage as usize] += 1;
+                        total_ns[stage as usize] += e.ts_ns.saturating_sub(b.ts_ns);
+                    }
+                }
+                Some(_) => unpaired += 2,
+                None => unpaired += 1,
+            },
+            _ => {}
+        }
+    }
+    unpaired += stacks.values().map(|s| s.len() as u64).sum::<u64>();
+    let stages = STAGE_NAMES
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| count[i] > 0)
+        .map(|(i, &(_, label))| (label, count[i], total_ns[i]))
+        .collect();
+    TimelineSummary { stages, unpaired }
+}
+
+impl TimelineSummary {
+    /// Render the rollup as the table `obsctl trace` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("stage timeline (matched spans):\n");
+        if self.stages.is_empty() {
+            out.push_str("  (no stage spans recorded)\n");
+        }
+        for &(label, count, ns) in &self.stages {
+            out.push_str(&format!(
+                "  {:<12} {:>6} span(s)  {:>12.3} ms total\n",
+                label,
+                count,
+                ns as f64 / 1e6
+            ));
+        }
+        if self.unpaired > 0 {
+            out.push_str(&format!(
+                "  ({} unpaired begin/end record(s) lost to wraparound)\n",
+                self.unpaired
+            ));
+        }
+        out
+    }
+}
+
+/// Decision tallies extracted from one journal slice. Each field
+/// corresponds one-to-one to a counter in the registry, so a capture
+/// that covers the same window must agree exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecisionTallies {
+    /// One-pair kernels by accumulator: `[spa, hash, esc]`.
+    pub kernel: [u64; 3],
+    /// Fused traversals by accumulator: `[spa, hash]`.
+    pub fused: [u64; 2],
+    /// Serial dispatch verdicts.
+    pub dispatch_serial: u64,
+    /// Parallel dispatch verdicts.
+    pub dispatch_parallel: u64,
+    /// Plan symbolic-cache hits.
+    pub plan_hits: u64,
+    /// Plan symbolic-cache misses.
+    pub plan_misses: u64,
+    /// Lanes brought current via delta apply (sum of `a` payloads).
+    pub delta_lanes: u64,
+    /// Batches folded by delta applies (sum of `b` payloads).
+    pub delta_batches: u64,
+    /// Lanes rebuilt by fallback, per reason: `[non-associative, barrier]`.
+    pub fallback_lanes: [u64; 2],
+}
+
+/// Tally every explain event in one journal slice.
+pub fn decision_tallies(events: &[Event]) -> DecisionTallies {
+    let mut t = DecisionTallies::default();
+    for e in events {
+        match e.kind {
+            EventKind::KernelChoice => {
+                if let Some(k) = t.kernel.get_mut(e.a as usize) {
+                    *k += 1;
+                }
+            }
+            EventKind::FusedChoice => {
+                if let Some(f) = t.fused.get_mut(e.a as usize) {
+                    *f += 1;
+                }
+            }
+            EventKind::DispatchSerial => t.dispatch_serial += 1,
+            EventKind::DispatchParallel => t.dispatch_parallel += 1,
+            EventKind::PlanCacheHit => t.plan_hits += 1,
+            EventKind::PlanCacheMiss => t.plan_misses += 1,
+            EventKind::DeltaApply => {
+                t.delta_lanes += e.a;
+                t.delta_batches += e.b;
+            }
+            EventKind::IncrementalFallback => {
+                if let Some(f) = t.fallback_lanes.get_mut(e.b as usize) {
+                    *f += e.a;
+                }
+            }
+            EventKind::StageBegin | EventKind::StageEnd | EventKind::RowShape => {}
+        }
+    }
+    t
+}
+
+impl DecisionTallies {
+    /// Render the decision audit table `obsctl trace` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("decision audit (explain events):\n");
+        for (code, &n) in self.kernel.iter().enumerate() {
+            if n > 0 {
+                out.push_str(&format!(
+                    "  kernel accumulator {:<24} {:>8}\n",
+                    accumulator_name(code as u64),
+                    n
+                ));
+            }
+        }
+        for (code, &n) in self.fused.iter().enumerate() {
+            if n > 0 {
+                out.push_str(&format!(
+                    "  fused accumulator {:<25} {:>8}\n",
+                    accumulator_name(code as u64),
+                    n
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "  dispatch serial / parallel          {:>8} / {}\n",
+            self.dispatch_serial, self.dispatch_parallel
+        ));
+        out.push_str(&format!(
+            "  plan cache hit / miss               {:>8} / {}\n",
+            self.plan_hits, self.plan_misses
+        ));
+        if self.delta_lanes > 0 {
+            out.push_str(&format!(
+                "  delta-applied lanes ({} batch(es))   {:>8}\n",
+                self.delta_batches, self.delta_lanes
+            ));
+        }
+        for (code, &n) in self.fallback_lanes.iter().enumerate() {
+            if n > 0 {
+                out.push_str(&format!(
+                    "  rebuilt lanes ({:<22}) {:>8}\n",
+                    fallback_reason(code as u64),
+                    n
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Validate the chrome-trace export of a snapshot end to end: render,
+/// reparse with [`crate::json::parse`], and structurally [`validate`].
+pub fn self_check(snapshot: &JournalSnapshot) -> Result<TraceStats, String> {
+    let text = snapshot.to_chrome_trace();
+    let doc = crate::json::parse(&text).map_err(|e| format!("export is not valid JSON: {}", e))?;
+    validate(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use aarray_obs::Journal;
+
+    fn sample_journal() -> Journal {
+        let j = Journal::with_capacity(256);
+        j.begin(Stage::Align, 10);
+        j.end(Stage::Align, 10);
+        j.begin(Stage::Numeric, 99);
+        j.record(EventKind::KernelChoice, 0, 0);
+        j.record(EventKind::FusedChoice, 0, (6 << 1) | 1);
+        j.record(EventKind::DispatchParallel, 200_000, 131_072);
+        j.record(EventKind::DispatchSerial, 0, 131_072);
+        j.record(EventKind::PlanCacheMiss, 42, 7);
+        j.record(EventKind::PlanCacheHit, 42, 7);
+        j.record(EventKind::DeltaApply, 5, 2);
+        j.record(EventKind::IncrementalFallback, 1, 0);
+        j.record(EventKind::IncrementalFallback, 2, 1);
+        j.end(Stage::Numeric, 99);
+        j
+    }
+
+    #[test]
+    fn exported_trace_validates() {
+        let j = sample_journal();
+        let snap = j.snapshot();
+        let stats = self_check(&snap).expect("export must validate");
+        assert_eq!(stats.begins, 2);
+        assert_eq!(stats.ends, 2);
+        assert_eq!(stats.instants, 9);
+        assert!(stats.meta >= 1);
+        assert_eq!(stats.threads, 1);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for (doc, needle) in [
+            (r#"{"foo": 1}"#, "missing \"traceEvents\""),
+            (r#"{"traceEvents": 3}"#, "must be an array"),
+            (
+                r#"{"traceEvents": [{"ph": "B"}]}"#,
+                "missing string \"name\"",
+            ),
+            (
+                r#"{"traceEvents": [{"name":"x","ph":"Q","ts":1,"pid":1,"tid":1}]}"#,
+                "unknown phase",
+            ),
+            (
+                r#"{"traceEvents": [{"name":"x","ph":"B","pid":1,"tid":1}]}"#,
+                "missing numeric \"ts\"",
+            ),
+            (
+                r#"{"traceEvents": [{"name":"x","ph":"B","ts":1,"pid":1,"tid":1}]}"#,
+                "never closed",
+            ),
+            (
+                r#"{"traceEvents": [{"name":"x","ph":"E","ts":1,"pid":1,"tid":1}]}"#,
+                "no open span",
+            ),
+            (
+                r#"{"traceEvents": [
+                    {"name":"a","ph":"B","ts":1,"pid":1,"tid":1},
+                    {"name":"b","ph":"E","ts":2,"pid":1,"tid":1}]}"#,
+                "closes open span",
+            ),
+        ] {
+            let err = validate(&parse(doc).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{:?} → {:?}", doc, err);
+        }
+    }
+
+    #[test]
+    fn validator_accepts_interleaved_threads() {
+        // Spans that would be unbalanced on one track are fine on two.
+        let doc = parse(
+            r#"{"traceEvents": [
+                {"name":"numeric","ph":"B","ts":1,"pid":1,"tid":1},
+                {"name":"numeric","ph":"B","ts":2,"pid":1,"tid":2},
+                {"name":"numeric","ph":"E","ts":3,"pid":1,"tid":1},
+                {"name":"numeric","ph":"E","ts":4,"pid":1,"tid":2},
+                {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"t1"}}]}"#,
+        )
+        .unwrap();
+        let stats = validate(&doc).unwrap();
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.meta, 1);
+    }
+
+    #[test]
+    fn timeline_pairs_spans_per_stage() {
+        let j = sample_journal();
+        let snap = j.snapshot();
+        let tl = timeline_summary(&snap.events);
+        assert_eq!(tl.unpaired, 0);
+        let labels: Vec<&str> = tl.stages.iter().map(|&(l, _, _)| l).collect();
+        assert_eq!(labels, ["align", "numeric"]);
+        assert!(tl.render().contains("align"));
+    }
+
+    #[test]
+    fn tallies_fold_every_explain_kind() {
+        let j = sample_journal();
+        let snap = j.snapshot();
+        let t = decision_tallies(&snap.events);
+        assert_eq!(t.kernel, [1, 0, 0]);
+        assert_eq!(t.fused, [1, 0]);
+        assert_eq!((t.dispatch_serial, t.dispatch_parallel), (1, 1));
+        assert_eq!((t.plan_hits, t.plan_misses), (1, 1));
+        assert_eq!((t.delta_lanes, t.delta_batches), (5, 2));
+        assert_eq!(t.fallback_lanes, [1, 2]);
+        let table = t.render();
+        assert!(table.contains("spa"));
+        assert!(table.contains("non-associative"));
+        assert!(table.contains("barrier"));
+    }
+}

@@ -9,6 +9,11 @@
 //! baselines (both the v3 observatory format and the legacy PR1/PR2
 //! single-figure files).
 //!
+//! `obsctl trace` additionally drains the always-on flight recorder
+//! ([`aarray_obs::journal`]) after one workload and exports it as a
+//! Chrome-trace/Perfetto timeline, validated structurally by
+//! [`chrome_trace`] before it is written.
+//!
 //! Everything here is dependency-free: the offline `serde_json` stub
 //! is empty, so [`json`] is a small hand-rolled parser scoped to the
 //! bench schemas.
@@ -16,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome_trace;
 pub mod compare;
 pub mod json;
 pub mod schema;

@@ -34,11 +34,14 @@
 //! "regressed" (1) so CI can choose its policy; `--allow-new`
 //! downgrades them to informational.
 
+use aarray_harness::chrome_trace;
 use aarray_harness::compare::{compare, CheckConfig};
 use aarray_harness::json::parse;
 use aarray_harness::schema::{classify, BenchKind};
-use aarray_harness::workloads::{bench_json, run_streaming, run_workload, Figure};
-use aarray_obs::ObsReport;
+use aarray_harness::workloads::{
+    bench_json, measure_journal_note, run_streaming, run_workload, Figure,
+};
+use aarray_obs::{journal, ObsReport};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -46,6 +49,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("--check") => cmd_check(&args[1..]),
         Some("--help" | "-h" | "help") => {
@@ -68,8 +72,10 @@ usage:
   obsctl run    [--out BENCH_pr3.json] [--scales 2000,8000,20000] [--reps 5]
                 [--prometheus <path>]
   obsctl stream [--out BENCH_pr4.json] [--scales 2000,8000,20000] [--reps 5]
+  obsctl trace  [fig3|fig5|stream] [--rows 2000] [--reps 1]
+                [--out <workload>.trace.json]
   obsctl check  [--current BENCH_pr3.json] [--against <file>]...
-                [--lat-tol 15] [--mem-tol 20] [--allow-new]
+                [--lat-tol 15] [--mem-tol 20] [--allow-new] [--json <path>]
   obsctl --check
 ";
 
@@ -139,8 +145,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     }
     let report = ObsReport::capture().since(&before);
+    let note = measure_journal_note(
+        &report,
+        runs.iter().map(|r| r.stages.wall_ns * r.reps as u64).sum(),
+    );
 
-    let doc = bench_json(&runs, &report, reps, hist_on);
+    let doc = bench_json(&runs, &report, reps, hist_on, Some(&note));
     // Self-check before writing: a run that emits an invalid file is a
     // bug here, not in the checker that trips over it later.
     match parse(&doc)
@@ -228,8 +238,16 @@ fn cmd_stream(args: &[String]) -> ExitCode {
         runs.push(rebuild);
     }
     let report = ObsReport::capture().since(&before);
+    let note = measure_journal_note(
+        &report,
+        runs.iter().map(|r| r.stages.wall_ns * r.reps as u64).sum(),
+    );
+    println!(
+        "journal: {} event(s), {} dropped, {:.1} ns/record, est overhead {:.3}%",
+        note.recorded, note.dropped, note.ns_per_record, note.est_overhead_pct
+    );
 
-    let doc = bench_json(&runs, &report, reps, hist_on);
+    let doc = bench_json(&runs, &report, reps, hist_on, Some(&note));
     match parse(&doc)
         .map_err(|e| e.to_string())
         .and_then(|v| classify(&v).map(|_| ()))
@@ -251,6 +269,150 @@ fn cmd_stream(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let mut workload = "fig3".to_string();
+    let mut out_path: Option<String> = None;
+    let mut rows = 2_000usize;
+    let mut reps = 1usize;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let r = match a.as_str() {
+            "fig3" | "fig5" | "stream" => {
+                workload = a.clone();
+                Ok(())
+            }
+            "--out" => take_value(&mut it, a).map(|v| out_path = Some(v)),
+            "--rows" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| rows = n)
+                    .map_err(|_| format!("--rows: bad count {:?}", v))
+            }),
+            "--reps" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| reps = n)
+                    .map_err(|_| format!("--reps: bad count {:?}", v))
+            }),
+            _ => Err(format!("unknown workload or flag {:?}", a)),
+        };
+        if let Err(e) = r {
+            eprintln!("obsctl trace: {}\n{}", e, USAGE);
+            return ExitCode::from(2);
+        }
+    }
+    if rows == 0 || reps == 0 {
+        eprintln!("obsctl trace: need at least one row and one rep");
+        return ExitCode::from(2);
+    }
+    let out_path = out_path.unwrap_or_else(|| format!("{}.trace.json", workload));
+
+    // Start the timeline clean: the journal survives from process start,
+    // and the trace should cover exactly this workload. The counter
+    // registry is left untouched — a drained journal must reproduce the
+    // same decision totals the counters accumulate over the window.
+    journal().reset();
+    let before = ObsReport::capture();
+    match workload.as_str() {
+        "fig3" => {
+            let run = run_workload(Figure::Fig3, rows, reps);
+            println!(
+                "fig3@{}: total {:.3} ms, product nnz {}",
+                rows,
+                run.stages.total_ns as f64 / 1e6,
+                run.product_nnz
+            );
+        }
+        "fig5" => {
+            let run = run_workload(Figure::Fig5, rows, reps);
+            println!(
+                "fig5@{}: total {:.3} ms, product nnz {}",
+                rows,
+                run.stages.total_ns as f64 / 1e6,
+                run.product_nnz
+            );
+        }
+        _ => {
+            let (incr, rebuild) = run_streaming(rows, reps);
+            println!(
+                "stream@{}: incremental {:.3} ms, rebuild {:.3} ms",
+                rows,
+                incr.stages.total_ns as f64 / 1e6,
+                rebuild.stages.total_ns as f64 / 1e6
+            );
+        }
+    }
+    let report = ObsReport::capture().since(&before);
+
+    let snap = journal().snapshot();
+    // Self-check before writing, like run/stream: an export the
+    // workspace's own validator rejects is a bug here.
+    let stats = match chrome_trace::self_check(&snap) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "obsctl trace: internal error: export fails validation: {}",
+                e
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = std::fs::write(&out_path, snap.to_chrome_trace()) {
+        eprintln!("obsctl trace: cannot write {:?}: {}", out_path, e);
+        return ExitCode::from(2);
+    }
+
+    println!();
+    print!("{}", chrome_trace::timeline_summary(&snap.events).render());
+    println!();
+    let tallies = chrome_trace::decision_tallies(&snap.events);
+    print!("{}", tallies.render());
+
+    // Journal explain events and the counter registry observe the same
+    // decisions; diverging totals mean an emit site is missing a side.
+    use aarray_obs::Counter;
+    let c = &report.counters;
+    let audit = [
+        ("kernel.spa", tallies.kernel[0], c.get(Counter::KernelSpa)),
+        ("kernel.hash", tallies.kernel[1], c.get(Counter::KernelHash)),
+        (
+            "dispatch.serial",
+            tallies.dispatch_serial,
+            c.get(Counter::DispatchSerial),
+        ),
+        (
+            "dispatch.parallel",
+            tallies.dispatch_parallel,
+            c.get(Counter::DispatchParallel),
+        ),
+        (
+            "plan.symbolic-hit",
+            tallies.plan_hits,
+            c.get(Counter::PlanSymbolicHit),
+        ),
+        (
+            "plan.symbolic-miss",
+            tallies.plan_misses,
+            c.get(Counter::PlanSymbolicMiss),
+        ),
+    ];
+    for (name, from_journal, from_counter) in audit {
+        if from_counter != from_journal && snap.dropped == 0 {
+            eprintln!(
+                "obsctl trace: warning: journal tallies {} for {} but the counter says {}",
+                from_journal, name, from_counter
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "trace written to {} ({} event(s) on {} thread track(s), {} span pair(s); \
+         {} recorded, {} dropped by wraparound)",
+        out_path, stats.events, stats.threads, stats.begins, snap.recorded, snap.dropped
+    );
+    ExitCode::SUCCESS
+}
+
 fn load_classified(path: &str) -> Result<(aarray_harness::json::Value, BenchKind), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {}", path, e))?;
     let doc = parse(&text).map_err(|e| format!("{}: {}", path, e))?;
@@ -263,12 +425,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let mut against: Vec<String> = Vec::new();
     let mut cfg = CheckConfig::default();
     let mut allow_new = false;
+    let mut json_path: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let r = match a.as_str() {
             "--current" => take_value(&mut it, a).map(|v| current_path = v),
             "--against" => take_value(&mut it, a).map(|v| against.push(v)),
+            "--json" => take_value(&mut it, a).map(|v| json_path = Some(v)),
             "--allow-new" => {
                 allow_new = true;
                 Ok(())
@@ -311,6 +475,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
 
     let mut regressions = 0usize;
     let mut new_metrics = 0usize;
+    let mut comparisons: Vec<(String, aarray_harness::compare::Verdict)> = Vec::new();
     for path in &against {
         let (doc, kind) = match load_classified(path) {
             Ok(v) => v,
@@ -348,6 +513,24 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
         regressions += verdict.regressions().count();
         new_metrics += verdict.new_metrics().count();
+        comparisons.push((path.clone(), verdict));
+    }
+
+    let exit_code: u8 = if regressions > 0 {
+        1
+    } else if new_metrics > 0 && !allow_new {
+        3
+    } else {
+        0
+    };
+
+    if let Some(p) = &json_path {
+        let doc = check_json(&current_path, &comparisons, allow_new, exit_code);
+        if let Err(e) = std::fs::write(p, doc) {
+            eprintln!("obsctl check: cannot write {:?}: {}", p, e);
+            return ExitCode::from(2);
+        }
+        println!("verdict written to {}", p);
     }
 
     if regressions > 0 {
@@ -373,4 +556,66 @@ fn cmd_check(args: &[String]) -> ExitCode {
         println!("perf observatory: no regressions beyond tolerance");
         ExitCode::SUCCESS
     }
+}
+
+/// Schema version stamped into `obsctl check --json` verdict files.
+const CHECK_SCHEMA_VERSION: u64 = 1;
+
+/// Render the machine-readable verdict document for `check --json`.
+/// Per finding: `status` is `"ok"`, `"regressed"`, or `"new"`; numeric
+/// fields mirror the human table. `exit_code` records the process
+/// verdict (0 ok, 1 regressed, 3 new metrics without `--allow-new`).
+fn check_json(
+    current_path: &str,
+    comparisons: &[(String, aarray_harness::compare::Verdict)],
+    allow_new: bool,
+    exit_code: u8,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"schema_version\": {},\n  \"tool\": \"obsctl-check\",\n  \"current\": \"{}\",\n  \"allow_new\": {},\n",
+        CHECK_SCHEMA_VERSION, current_path, allow_new
+    ));
+    out.push_str("  \"comparisons\": [");
+    for (i, (path, verdict)) in comparisons.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"against\": \"{}\",\n     \"findings\": [",
+            path
+        ));
+        for (j, f) in verdict.findings.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let status = if f.new_metric {
+                "new"
+            } else if f.regressed {
+                "regressed"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "\n      {{\"metric\": \"{}\", \"status\": \"{}\", \"baseline\": {}, \
+                 \"current\": {}, \"pct\": {:.2}, \"limit_pct\": {}}}",
+                f.metric, status, f.baseline, f.current, f.pct, f.limit_pct
+            ));
+        }
+        out.push_str("\n     ],\n     \"skipped\": [");
+        for (j, s) in verdict.skipped.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", s.replace('"', "'")));
+        }
+        out.push_str(&format!(
+            "],\n     \"regressions\": {}, \"new_metrics\": {}}}",
+            verdict.regressions().count(),
+            verdict.new_metrics().count()
+        ));
+    }
+    out.push_str(&format!("\n  ],\n  \"exit_code\": {}\n}}\n", exit_code));
+    out
 }

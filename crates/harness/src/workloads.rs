@@ -312,15 +312,62 @@ pub fn run_streaming(rows: usize, reps: usize) -> (WorkloadRun, WorkloadRun) {
     )
 }
 
+/// The flight recorder's cost figure for one observatory run: how many
+/// events the workloads journaled, what one record costs (measured
+/// in-process right after the workloads), and the resulting estimated
+/// overhead against the workloads' wall time. Recorded in the bench
+/// file (`"journal"` key) so the ≤ 2% always-on budget has a committed
+/// figure next to the numbers it protects.
+#[derive(Clone, Copy, Debug)]
+pub struct JournalNote {
+    /// Journal records appended during the measured workloads.
+    pub recorded: u64,
+    /// Records overwritten by ring wraparound in the same window.
+    pub dropped: u64,
+    /// Measured nanoseconds per [`aarray_obs::Journal::record`] call.
+    pub ns_per_record: f64,
+    /// `recorded × ns_per_record` against the workloads' summed wall
+    /// time, as a percentage.
+    pub est_overhead_pct: f64,
+}
+
+/// Microbenchmark one journal record and convert the run's journal
+/// delta into a [`JournalNote`]. `total_wall_ns` should be the summed
+/// wall time of every measured rep.
+pub fn measure_journal_note(report: &aarray_obs::ObsReport, total_wall_ns: u64) -> JournalNote {
+    use aarray_obs::{EventKind, Journal};
+    let scratch = Journal::with_capacity(1 << 14);
+    let n = 100_000u64;
+    let t0 = Instant::now();
+    for i in 0..n {
+        scratch.record(EventKind::RowShape, i, i);
+    }
+    let ns_per_record = t0.elapsed().as_nanos() as f64 / n as f64;
+    let recorded = report.journal.recorded;
+    JournalNote {
+        recorded,
+        dropped: report.journal.dropped,
+        ns_per_record,
+        est_overhead_pct: if total_wall_ns == 0 {
+            0.0
+        } else {
+            recorded as f64 * ns_per_record / total_wall_ns as f64 * 100.0
+        },
+    }
+}
+
 /// Emit the schema-versioned observatory document for one `obsctl run`.
 /// `report` should be the [`aarray_obs::ObsReport`] delta covering all
 /// the runs (counters/histograms since the first warmup; memory peaks
-/// are process-lifetime last-values).
+/// are process-lifetime last-values). `journal_note`, when present, is
+/// recorded as an informational `"journal"` block (v3 validators
+/// ignore unknown top-level keys).
 pub fn bench_json(
     runs: &[WorkloadRun],
     report: &aarray_obs::ObsReport,
     reps: usize,
     histograms_enabled: bool,
+    journal_note: Option<&JournalNote>,
 ) -> String {
     let mut out = String::with_capacity(8192);
     out.push_str("{\n");
@@ -359,6 +406,14 @@ pub fn bench_json(
     }
     out.push_str("\n  ],\n");
 
+    if let Some(n) = journal_note {
+        out.push_str(&format!(
+            "  \"journal\": {{\"recorded\": {}, \"dropped\": {}, \"ns_per_record\": {:.2}, \
+             \"est_overhead_pct\": {:.4}}},\n",
+            n.recorded, n.dropped, n.ns_per_record, n.est_overhead_pct
+        ));
+    }
+
     // Embed the ObsReport verbatim, re-indented two spaces.
     out.push_str("  \"report\": ");
     let report_json = report.to_json();
@@ -391,8 +446,20 @@ mod tests {
         assert!(runs[0].stages.wall_ns >= runs[0].stages.total_ns);
 
         let report = aarray_obs::ObsReport::capture();
-        let doc = bench_json(&runs, &report, 2, aarray_obs::histograms_enabled());
+        let note = measure_journal_note(&report, runs.iter().map(|r| r.stages.wall_ns).sum());
+        assert!(note.ns_per_record > 0.0);
+        let doc = bench_json(
+            &runs,
+            &report,
+            2,
+            aarray_obs::histograms_enabled(),
+            Some(&note),
+        );
         let parsed = parse(&doc).expect("bench_json must emit valid JSON");
+        let jn = parsed
+            .get("journal")
+            .expect("journal note must be embedded");
+        assert_eq!(jn.get("recorded").unwrap().as_u64(), Some(note.recorded));
         assert_eq!(classify(&parsed).unwrap(), BenchKind::V3);
         // Both figures present with their stage tables.
         let wl = parsed.get("workloads").unwrap().as_arr().unwrap();
@@ -419,6 +486,7 @@ mod tests {
             &report,
             2,
             aarray_obs::histograms_enabled(),
+            None,
         );
         let parsed = parse(&doc).expect("valid JSON");
         assert_eq!(classify(&parsed).unwrap(), BenchKind::V3);

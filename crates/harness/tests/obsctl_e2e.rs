@@ -386,3 +386,201 @@ fn cli_rejects_bad_invocations() {
     assert!(o.status.success());
     assert!(String::from_utf8_lossy(&o.stdout).contains("obsctl run"));
 }
+
+#[test]
+fn trace_writes_a_validated_chrome_trace() {
+    let dir = tmpdir("trace");
+    let out = dir.join("fig3.trace.json");
+    let o = obsctl()
+        .args(["trace", "fig3", "--rows", "400", "--out"])
+        .arg(&out)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&o.stdout);
+    let stderr = String::from_utf8_lossy(&o.stderr);
+    assert!(o.status.success(), "{}{}", stdout, stderr);
+    // The human summaries: timeline, decision audit, drop accounting.
+    assert!(stdout.contains("stage timeline"), "{}", stdout);
+    assert!(stdout.contains("decision audit"), "{}", stdout);
+    assert!(stdout.contains("dropped by wraparound"), "{}", stdout);
+    // No counter-parity warnings: the journal reproduced the registry.
+    assert!(
+        !stderr.contains("but the counter says"),
+        "audit mismatch:\n{}",
+        stderr
+    );
+
+    // The artifact parses with the workspace's own JSON parser and
+    // passes the structural chrome-trace validator: required fields,
+    // known phases, per-thread balanced B/E.
+    let text = std::fs::read_to_string(&out).unwrap();
+    let doc = aarray_harness::json::parse(&text).expect("trace must be valid JSON");
+    let stats = aarray_harness::chrome_trace::validate(&doc).expect("trace must validate");
+    assert!(stats.begins >= 4, "expected stage spans, got {:?}", stats);
+    assert_eq!(stats.begins, stats.ends);
+    assert!(stats.instants >= 1, "expected explain instants");
+    assert!(stats.threads >= 1);
+
+    // Explain payloads are decoded into args, and the drop accounting
+    // rides along in otherData.
+    assert!(text.contains("\"verdict\": \"serial\"") || text.contains("\"verdict\": \"parallel\""));
+    assert!(text.contains("\"accumulator\""));
+    assert!(doc.path(&["otherData", "recorded"]).is_some());
+    assert!(doc.path(&["otherData", "dropped"]).is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_covers_the_streaming_workload_too() {
+    let dir = tmpdir("trace-stream");
+    let out = dir.join("stream.trace.json");
+    let o = obsctl()
+        .args(["trace", "stream", "--rows", "400", "--out"])
+        .arg(&out)
+        .output()
+        .unwrap();
+    assert!(
+        o.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&o.stdout),
+        String::from_utf8_lossy(&o.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&o.stdout);
+    // The streaming run takes the delta path, so its timeline shows
+    // delta-apply spans and the audit shows delta-applied lanes.
+    assert!(stdout.contains("delta-apply"), "{}", stdout);
+    assert!(stdout.contains("delta-applied lanes"), "{}", stdout);
+    let doc = aarray_harness::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    aarray_harness::chrome_trace::validate(&doc).expect("stream trace must validate");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Bad invocations exit 2 without writing anything.
+    for args in [
+        &["trace", "fig9"][..],
+        &["trace", "--rows", "none"][..],
+        &["trace", "--reps", "0"][..],
+    ] {
+        let o = obsctl().args(args).output().unwrap();
+        assert_eq!(o.status.code(), Some(2), "args {:?}", args);
+    }
+}
+
+#[test]
+fn check_json_emits_schema_versioned_verdicts() {
+    let dir = tmpdir("check-json");
+    let current = run_observatory(&dir);
+    let text = std::fs::read_to_string(&current).unwrap();
+
+    // Passing verdict: self-comparison, exit 0, every finding "ok".
+    let verdict_path = dir.join("verdict-pass.json");
+    let o = obsctl()
+        .args(["check", "--current"])
+        .arg(&current)
+        .arg("--against")
+        .arg(&current)
+        .arg("--json")
+        .arg(&verdict_path)
+        .output()
+        .unwrap();
+    assert!(o.status.success());
+    let doc = aarray_harness::json::parse(&std::fs::read_to_string(&verdict_path).unwrap())
+        .expect("verdict must be valid JSON");
+    assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.get("tool").unwrap().as_str(), Some("obsctl-check"));
+    assert_eq!(doc.get("exit_code").unwrap().as_u64(), Some(0));
+    let comps = doc.get("comparisons").unwrap().as_arr().unwrap();
+    assert_eq!(comps.len(), 1);
+    let findings = comps[0].get("findings").unwrap().as_arr().unwrap();
+    assert!(!findings.is_empty());
+    for f in findings {
+        assert_eq!(f.get("status").unwrap().as_str(), Some("ok"), "{:?}", f);
+        assert!(f.get("metric").unwrap().as_str().is_some());
+        assert!(f.get("pct").unwrap().as_f64().is_some());
+    }
+
+    // Regressed verdict: halve every baseline median, exit 1, at least
+    // one finding flagged "regressed".
+    let mut regressed = String::with_capacity(text.len());
+    for piece in text.split("\"median_ns\": ") {
+        if regressed.is_empty() {
+            regressed.push_str(piece);
+            continue;
+        }
+        regressed.push_str("\"median_ns\": ");
+        let digits: String = piece.chars().take_while(char::is_ascii_digit).collect();
+        let rest = &piece[digits.len()..];
+        let halved: u64 = digits.parse::<u64>().unwrap() / 2;
+        regressed.push_str(&halved.to_string());
+        regressed.push_str(rest);
+    }
+    let baseline = dir.join("halved.json");
+    std::fs::write(&baseline, &regressed).unwrap();
+    let verdict_path = dir.join("verdict-regressed.json");
+    let o = obsctl()
+        .args(["check", "--current"])
+        .arg(&current)
+        .arg("--against")
+        .arg(&baseline)
+        .arg("--json")
+        .arg(&verdict_path)
+        .output()
+        .unwrap();
+    assert_eq!(o.status.code(), Some(1));
+    let doc =
+        aarray_harness::json::parse(&std::fs::read_to_string(&verdict_path).unwrap()).unwrap();
+    assert_eq!(doc.get("exit_code").unwrap().as_u64(), Some(1));
+    let comps = doc.get("comparisons").unwrap().as_arr().unwrap();
+    assert!(comps[0].get("regressions").unwrap().as_u64().unwrap() >= 1);
+    let findings = comps[0].get("findings").unwrap().as_arr().unwrap();
+    assert!(findings
+        .iter()
+        .any(|f| f.get("status").unwrap().as_str() == Some("regressed")));
+
+    // New-metric verdict: rename fig3 so the current run has workloads
+    // the baseline lacks — exit 3 and "new" findings; --allow-new
+    // downgrades to exit 0 while the findings stay marked "new".
+    let renamed = text.replace("\"name\": \"fig3\"", "\"name\": \"zzz3\"");
+    let baseline = dir.join("renamed.json");
+    std::fs::write(&baseline, &renamed).unwrap();
+    let verdict_path = dir.join("verdict-new.json");
+    let o = obsctl()
+        .args(["check", "--current"])
+        .arg(&current)
+        .arg("--against")
+        .arg(&baseline)
+        .arg("--json")
+        .arg(&verdict_path)
+        .output()
+        .unwrap();
+    assert_eq!(o.status.code(), Some(3));
+    let doc =
+        aarray_harness::json::parse(&std::fs::read_to_string(&verdict_path).unwrap()).unwrap();
+    assert_eq!(doc.get("exit_code").unwrap().as_u64(), Some(3));
+    let comps = doc.get("comparisons").unwrap().as_arr().unwrap();
+    assert!(comps[0].get("new_metrics").unwrap().as_u64().unwrap() >= 1);
+    let findings = comps[0].get("findings").unwrap().as_arr().unwrap();
+    assert!(findings
+        .iter()
+        .any(|f| f.get("status").unwrap().as_str() == Some("new")));
+
+    let verdict_path = dir.join("verdict-allow-new.json");
+    let o = obsctl()
+        .args(["check", "--current"])
+        .arg(&current)
+        .arg("--against")
+        .arg(&baseline)
+        .arg("--allow-new")
+        .arg("--json")
+        .arg(&verdict_path)
+        .output()
+        .unwrap();
+    assert!(o.status.success());
+    let doc =
+        aarray_harness::json::parse(&std::fs::read_to_string(&verdict_path).unwrap()).unwrap();
+    assert_eq!(doc.get("exit_code").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        doc.get("allow_new"),
+        Some(&aarray_harness::json::Value::Bool(true))
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -14,6 +14,17 @@
 //!   interned key sets), fed by explicit instrumentation at the
 //!   allocation sites;
 //!
+//! * an **always-on flight recorder** ([`journal`]) — a lock-free,
+//!   bounded ring-buffer journal of fixed-size structured events
+//!   (monotonic timestamp, thread id, kind, two payload slots) that
+//!   overwrites oldest entries when full and counts the drops. Hot
+//!   decision points append *explain events* (accumulator choice,
+//!   dispatch verdicts, plan-cache hits, incremental fallbacks) and
+//!   stage boundaries append begin/end pairs, so a drained journal
+//!   exports as a Chrome-trace/Perfetto timeline
+//!   ([`JournalSnapshot::to_chrome_trace`]). Ring capacity is tunable
+//!   via `AARRAY_OBS_EVENTS`;
+//!
 //! * **exporters** ([`ObsReport`]) — one capture of all layers with
 //!   stable JSON ([`ObsReport::to_json`]) and Prometheus text format
 //!   ([`ObsReport::to_prometheus`]) renderings;
@@ -45,6 +56,7 @@
 
 pub mod counters;
 pub mod histogram;
+pub mod journal;
 pub mod memstats;
 pub mod report;
 
@@ -52,6 +64,10 @@ pub use counters::{counters, env_parse_error, snapshot, Counter, Gauge, Snapshot
 pub use histogram::{
     histograms, histograms_enabled, set_histograms_enabled, Hist, Histogram, HistogramSnapshot,
     HISTOGRAMS_ENV,
+};
+pub use journal::{
+    journal, Event, EventKind, Journal, JournalSnapshot, JournalStats, Stage,
+    DEFAULT_JOURNAL_EVENTS, JOURNAL_EVENTS_ENV,
 };
 pub use memstats::{memstats, MemRegion, MemReservation, MemSnapshot, MemStats};
 pub use report::{ObsReport, REPORT_SCHEMA_VERSION};

@@ -19,6 +19,7 @@
 
 use crate::counters::{Snapshot, COUNTER_NAMES, GAUGE_NAMES};
 use crate::histogram::{bucket_upper, histograms, HistogramSnapshot, HIST_NAMES};
+use crate::journal::JournalStats;
 use crate::memstats::{memstats, MemSnapshot, MEM_REGION_NAMES};
 
 /// Schema version stamped into every JSON export; bumped whenever the
@@ -35,6 +36,8 @@ pub struct ObsReport {
     pub histograms: Vec<HistogramSnapshot>,
     /// Memory accounting snapshot.
     pub mem: MemSnapshot,
+    /// Flight-recorder summary (recorded/dropped/capacity).
+    pub journal: JournalStats,
 }
 
 impl ObsReport {
@@ -44,6 +47,7 @@ impl ObsReport {
             counters: crate::counters::snapshot(),
             histograms: histograms().snapshot_all(),
             mem: memstats().snapshot(),
+            journal: crate::journal::journal().stats(),
         }
     }
 
@@ -60,6 +64,14 @@ impl ObsReport {
                 .map(|(a, b)| a.since(b))
                 .collect(),
             mem: self.mem.clone(),
+            journal: JournalStats {
+                recorded: self
+                    .journal
+                    .recorded
+                    .saturating_sub(earlier.journal.recorded),
+                dropped: self.journal.dropped.saturating_sub(earlier.journal.dropped),
+                capacity: self.journal.capacity,
+            },
         }
     }
 
@@ -122,7 +134,12 @@ impl ObsReport {
                 name, cur, peak
             ));
         }
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  },\n");
+
+        out.push_str(&format!(
+            "  \"journal\": {{\"recorded\": {}, \"dropped\": {}, \"capacity\": {}}}\n}}\n",
+            self.journal.recorded, self.journal.dropped, self.journal.capacity
+        ));
         out
     }
 
@@ -176,6 +193,17 @@ impl ObsReport {
                 name, peak
             ));
         }
+
+        out.push_str("# TYPE aarray_journal_recorded_total counter\n");
+        out.push_str(&format!(
+            "aarray_journal_recorded_total {}\n",
+            self.journal.recorded
+        ));
+        out.push_str("# TYPE aarray_journal_dropped_total counter\n");
+        out.push_str(&format!(
+            "aarray_journal_dropped_total {}\n",
+            self.journal.dropped
+        ));
 
         let mut hists: Vec<(&str, &HistogramSnapshot)> = HIST_NAMES
             .iter()

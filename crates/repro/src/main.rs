@@ -4,6 +4,7 @@
 //! ```text
 //! repro [fig1|fig2|fig3|fig4|fig5|stats|theorem|taxonomy|wordsets|all]
 //!       [--save <dir>] [--profile] [--profile-json <path>] [--incremental]
+//!       [--trace-out <path>]
 //! ```
 //!
 //! Each figure command prints the paper-style grid(s) and a PASS/FAIL
@@ -17,8 +18,11 @@
 //! schema-versioned JSON document (machine twin of `--profile`; both
 //! flags compose). With `--incremental`, `fig3` (and `all`) also
 //! replay the figure through the streaming incremental-maintenance
-//! path and cross-check it against the batch rebuild. Exit status is
-//! nonzero if any verification fails.
+//! path and cross-check it against the batch rebuild. With
+//! `--trace-out <path>`, the run's flight-recorder journal is drained
+//! at exit and written as Chrome-trace/Perfetto JSON (the same export
+//! `obsctl trace` produces). Exit status is nonzero if any
+//! verification fails.
 
 use aarray_repro::figures;
 use std::process::ExitCode;
@@ -28,6 +32,7 @@ fn main() -> ExitCode {
     let mut arg = "all".to_string();
     let mut save_dir: Option<std::path::PathBuf> = None;
     let mut profile_json: Option<std::path::PathBuf> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut incremental = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -51,6 +56,14 @@ fn main() -> ExitCode {
                 }
                 None => {
                     eprintln!("--profile-json needs a file path");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if a == "--trace-out" {
+            match it.next() {
+                Some(p) => trace_out = Some(p.into()),
+                None => {
+                    eprintln!("--trace-out needs a file path");
                     return ExitCode::from(2);
                 }
             }
@@ -166,6 +179,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("profile JSON written to {}", path.display());
+    }
+
+    if let Some(path) = &trace_out {
+        let snap = aarray_obs::journal().snapshot();
+        if let Err(e) = std::fs::write(path, snap.to_chrome_trace()) {
+            eprintln!("cannot write {:?}: {}", path, e);
+            return ExitCode::from(2);
+        }
+        println!(
+            "chrome trace written to {} ({} event(s), {} dropped by wraparound)",
+            path.display(),
+            snap.events.len(),
+            snap.dropped
+        );
     }
 
     if failures == 0 {

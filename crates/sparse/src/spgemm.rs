@@ -23,7 +23,8 @@
 use crate::csr::Csr;
 use aarray_algebra::{BinaryOp, OpPair, Value};
 use aarray_obs::{
-    counters, histograms, histograms_enabled, memstats, Counter, Hist, MemRegion, MemReservation,
+    counters, histograms, histograms_enabled, journal, memstats, Counter, EventKind, Hist,
+    MemRegion, MemReservation,
 };
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -40,9 +41,21 @@ pub enum Accumulator {
     Esc,
 }
 
+impl Accumulator {
+    /// Stable numeric code used in journal explain-event payloads.
+    pub(crate) fn journal_code(self) -> u64 {
+        match self {
+            Accumulator::Spa => 0,
+            Accumulator::Hash => 1,
+            Accumulator::Esc => 2,
+        }
+    }
+}
+
 /// Record one one-shot kernel invocation in the global counter
 /// registry (which accumulator was selected, and whether the
-/// row-parallel driver ran).
+/// row-parallel driver ran), and append the matching explain event to
+/// the flight recorder.
 fn record_kernel(acc: Accumulator, parallel: bool) {
     let c = counters();
     c.incr(match acc {
@@ -53,6 +66,7 @@ fn record_kernel(acc: Accumulator, parallel: bool) {
     if parallel {
         c.incr(Counter::KernelParallel);
     }
+    journal().record(EventKind::KernelChoice, acc.journal_code(), parallel as u64);
 }
 
 /// Count the `⊗` operations `A ⊕.⊗ B` will perform:
@@ -221,6 +235,7 @@ fn multiply_row<V, A, M>(
         let (ks, _) = a.row(i);
         let flops: u64 = ks.iter().map(|&k| b.row_nnz(k as usize) as u64).sum();
         histograms().record(Hist::RowFlops, flops);
+        journal().record(EventKind::RowShape, i as u64, flops);
     }
     match acc {
         Accumulator::Spa => {

@@ -32,7 +32,7 @@ use crate::spgemm_multi::{spgemm_multi_numeric, MultiAccumulator};
 use crate::symbolic::spgemm_symbolic;
 use aarray_algebra::dynpair::DynOpPair;
 use aarray_algebra::Value;
-use aarray_obs::{counters, memstats, Counter, MemRegion};
+use aarray_obs::{counters, journal, memstats, trace_span, Counter, MemRegion, Stage};
 
 /// All-lanes batch product `[ΔEoutᵀ ⊕_p.⊗_p ΔEin for p in pairs]`.
 ///
@@ -58,12 +58,21 @@ pub fn spgemm_delta<V: Value>(
         delta_ein.nrows()
     );
     counters().incr(Counter::DeltaTraversals);
+    let _span = trace_span!(
+        "spgemm_delta",
+        k_lanes = pairs.len(),
+        batch_edges = delta_eout.nrows(),
+        nnz = delta_eout.nnz() + delta_ein.nnz()
+    );
+    journal().begin(Stage::DeltaApply, pairs.len() as u64);
 
     let eout_t = delta_eout.transpose();
     let mut scratch = memstats().track(MemRegion::DeltaScratch, eout_t.heap_bytes());
     let sym = spgemm_symbolic(&eout_t, delta_ein);
     scratch.grow_to(eout_t.heap_bytes() + sym.heap_bytes());
-    spgemm_multi_numeric(&sym, &eout_t, delta_ein, pairs, acc)
+    let outs = spgemm_multi_numeric(&sym, &eout_t, delta_ein, pairs, acc);
+    journal().end(Stage::DeltaApply, pairs.len() as u64);
+    outs
 }
 
 #[cfg(test)]

@@ -33,7 +33,8 @@ use crate::symbolic::{spgemm_symbolic, SymbolicProduct};
 use aarray_algebra::dynpair::DynOpPair;
 use aarray_algebra::Value;
 use aarray_obs::{
-    counters, histograms, histograms_enabled, memstats, Counter, Hist, MemRegion, MemReservation,
+    counters, histograms, histograms_enabled, journal, memstats, Counter, EventKind, Hist,
+    MemRegion, MemReservation,
 };
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -89,7 +90,8 @@ pub fn spgemm_multi_parallel<V: Value>(
 
 /// Record one fused numeric traversal in the global counter registry:
 /// the traversal itself, how many lanes it fed, the slot-lookup
-/// strategy, and whether the row-parallel driver ran.
+/// strategy, and whether the row-parallel driver ran — plus the
+/// matching explain event (payload `b` packs `lanes << 1 | parallel`).
 fn record_fused(nlanes: usize, acc: MultiAccumulator, parallel: bool) {
     let c = counters();
     c.incr(Counter::FusedTraversals);
@@ -101,6 +103,15 @@ fn record_fused(nlanes: usize, acc: MultiAccumulator, parallel: bool) {
     if parallel {
         c.incr(Counter::FusedParallel);
     }
+    let acc_code = match acc {
+        MultiAccumulator::Spa => 0,
+        MultiAccumulator::Hash => 1,
+    };
+    journal().record(
+        EventKind::FusedChoice,
+        acc_code,
+        ((nlanes as u64) << 1) | parallel as u64,
+    );
 }
 
 fn check_dims<V: Value>(sym: &SymbolicProduct, a: &Csr<V>, b: &Csr<V>) {
@@ -272,6 +283,7 @@ fn multiply_row_multi<V: Value>(
         // ⊗ applications actually performed: every term feeds K lanes.
         histograms().record(Hist::RowFlops, flops * npairs as u64);
         histograms().record(Hist::RowNnz, nslots as u64);
+        journal().record(EventKind::RowShape, i as u64, flops * npairs as u64);
     }
     let MultiScratch { slot_of, accs, .. } = scratch;
 
