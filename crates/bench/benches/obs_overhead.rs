@@ -25,14 +25,22 @@
 //!
 //! Asserts the total bound stays ≤ 2% and writes `BENCH_pr2.json` at
 //! the workspace root so CI can track it.
+//!
+//! A second phase repeats the measurement inside a forced 4-thread
+//! pool with the flops gate dropped to zero, so every numeric pass
+//! takes the row-parallel kernel and the registries are hammered from
+//! several threads at once: the ≤ 2% budget must hold under real
+//! contention too, and the journal's drop accounting (`recorded`,
+//! `dropped`, claimed slots) must stay exact with concurrent writers.
 
 use aarray_algebra::pairs::{MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, PlusTimes};
 use aarray_algebra::values::nn::NN;
 use aarray_algebra::values::tropical::{trop, Tropical};
 use aarray_algebra::DynOpPair;
 use aarray_bench::synthetic_e1_e2;
-use aarray_core::{adjacency_plan, AArray};
+use aarray_core::{adjacency_plan, parallel_flops_threshold, set_parallel_flops_threshold, AArray};
 use aarray_obs::{counters, histograms, journal, snapshot, Counter, EventKind, Hist, Journal};
+use rayon::prelude::*;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -153,8 +161,127 @@ fn main() {
         "total observability overhead bound {overhead_pct:.5}% exceeds the 2% budget"
     );
 
+    // ── Phase 2: the same bound under real multi-thread contention ──
+    //
+    // Force a 4-thread pool and drop the flops gate to zero so every
+    // numeric pass runs row-parallel: counters, histograms, and the
+    // journal now take concurrent relaxed RMWs from several workers.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("4-thread pool");
+    let saved_threshold = parallel_flops_threshold();
+    set_parallel_flops_threshold(Some(0));
+
+    pool.install(|| seven_pairs(&e1, &e2, &e1t, &e2t)); // warmup
+    let before = snapshot();
+    let hists_before = histograms().snapshot_all();
+    let journal_cursor = journal().cursor();
+    let start = Instant::now();
+    pool.install(|| {
+        for _ in 0..reps {
+            seven_pairs(&e1, &e2, &e1t, &e2t);
+        }
+    });
+    let workload_mt_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+    let delta = snapshot().since(&before);
+    let hist_records_mt: u64 = histograms()
+        .snapshot_all()
+        .iter()
+        .zip(hists_before.iter())
+        .map(|(a, b)| a.since(b).count())
+        .sum();
+    let journal_records_mt = journal().cursor() - journal_cursor;
+    // Same RMW accounting as phase 1, plus two more value-carrying
+    // counters: the pool task tallies are drained into the registry
+    // once per plan execution (≤ 2 RMWs each), not once per task, so
+    // subtract the task amounts; the handful of real drain RMWs is
+    // covered by the 2× safety factor like the gauges.
+    let updates_mt =
+        delta.total_events() - delta.get(Counter::FlopsTotal) - delta.get(Counter::FusedLanes)
+            + 2 * delta.get(Counter::FusedTraversals)
+            - delta.get(Counter::PoolTasksLocal)
+            - delta.get(Counter::PoolTasksStolen);
+
+    // Contended per-op costs: four workers hammering the same counter
+    // cell / histogram / ring. Wall time over total ops is the
+    // amortized cost a contended workload actually pays.
+    let t = Instant::now();
+    pool.install(|| {
+        (0..4u64).collect::<Vec<_>>().into_par_iter().for_each(|w| {
+            for i in 0..iters / 4 {
+                counters().add(Counter::FlopsTotal, black_box((i ^ w) & 1));
+            }
+        })
+    });
+    let ns_per_update_mt = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    let t = Instant::now();
+    pool.install(|| {
+        (0..4u64).collect::<Vec<_>>().into_par_iter().for_each(|_| {
+            for i in 0..iters / 4 {
+                histograms().record(Hist::DispatchFlops, black_box(i & 1023));
+            }
+        })
+    });
+    let ns_per_record_mt = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    // Journal contention doubles as the drop-accounting check: a
+    // private ring takes exactly `iters` records from four concurrent
+    // writers, so every claim must be accounted as either a live slot
+    // or a wraparound drop — nothing lost, nothing double-counted.
+    let ring = Journal::with_capacity(1 << 10);
+    let t = Instant::now();
+    pool.install(|| {
+        (0..4u64).collect::<Vec<_>>().into_par_iter().for_each(|w| {
+            for i in 0..iters / 4 {
+                ring.record(EventKind::RowShape, black_box(i), black_box(w));
+            }
+        })
+    });
+    let ns_per_journal_record_mt = t.elapsed().as_nanos() as f64 / iters as f64;
+    let snap = ring.snapshot();
+    assert_eq!(
+        snap.recorded,
+        (iters / 4) * 4,
+        "journal lost or double-counted a concurrent claim"
+    );
+    assert_eq!(
+        snap.dropped,
+        snap.recorded.saturating_sub(snap.capacity),
+        "journal drop accounting drifted under contention"
+    );
+    assert!(
+        snap.events.len() as u64 + snap.torn <= snap.capacity,
+        "journal surfaced more slots than the ring holds"
+    );
+
+    set_parallel_flops_threshold(Some(saved_threshold));
+
+    let overhead_mt_ns = ((updates_mt as f64 / reps as f64) * ns_per_update_mt
+        + (hist_records_mt as f64 / reps as f64) * ns_per_record_mt
+        + (journal_records_mt as f64 / reps as f64) * ns_per_journal_record_mt)
+        * 2.0;
+    let overhead_mt_pct = overhead_mt_ns / workload_mt_ns * 100.0;
+
+    println!(
+        "obs_overhead (4-thread pool, flops gate 0):\n  workload:        {:10.3} ms/rep\n  registry updates:{:10.1} /rep\n  ns/update:       {:10.3} ns\n  hist records:    {:10.1} /rep\n  ns/record:       {:10.3} ns\n  journal records: {:10.1} /rep\n  ns/journal rec:  {:10.3} ns\n  overhead bound:  {:10.5} % (limit 2%)",
+        workload_mt_ns / 1e6,
+        updates_mt as f64 / reps as f64,
+        ns_per_update_mt,
+        hist_records_mt as f64 / reps as f64,
+        ns_per_record_mt,
+        journal_records_mt as f64 / reps as f64,
+        ns_per_journal_record_mt,
+        overhead_mt_pct
+    );
+    assert!(
+        overhead_mt_pct <= 2.0,
+        "contended observability overhead bound {overhead_mt_pct:.5}% exceeds the 2% budget"
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"obs_overhead\",\n  \"workload\": {{\"tracks\": {}, \"pairs\": 7, \"e1_nnz\": {}, \"e2_nnz\": {}}},\n  \"reps\": {},\n  \"workload_ms\": {:.3},\n  \"registry_updates_per_rep\": {:.1},\n  \"ns_per_update\": {:.3},\n  \"hist_records_per_rep\": {:.1},\n  \"ns_per_hist_record\": {:.3},\n  \"journal_records_per_rep\": {:.1},\n  \"ns_per_journal_record\": {:.3},\n  \"overhead_pct\": {:.5},\n  \"overhead_limit_pct\": 2.0\n}}\n",
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"workload\": {{\"tracks\": {}, \"pairs\": 7, \"e1_nnz\": {}, \"e2_nnz\": {}}},\n  \"reps\": {},\n  \"workload_ms\": {:.3},\n  \"registry_updates_per_rep\": {:.1},\n  \"ns_per_update\": {:.3},\n  \"hist_records_per_rep\": {:.1},\n  \"ns_per_hist_record\": {:.3},\n  \"journal_records_per_rep\": {:.1},\n  \"ns_per_journal_record\": {:.3},\n  \"overhead_pct\": {:.5},\n  \"overhead_limit_pct\": 2.0,\n  \"contended\": {{\"pool_threads\": 4, \"workload_ms\": {:.3}, \"ns_per_update\": {:.3}, \"ns_per_hist_record\": {:.3}, \"ns_per_journal_record\": {:.3}, \"overhead_pct\": {:.5}}}\n}}\n",
         tracks,
         e1.nnz(),
         e2.nnz(),
@@ -166,7 +293,12 @@ fn main() {
         ns_per_record,
         journal_records_per_rep,
         ns_per_journal_record,
-        overhead_pct
+        overhead_pct,
+        workload_mt_ns / 1e6,
+        ns_per_update_mt,
+        ns_per_record_mt,
+        ns_per_journal_record_mt,
+        overhead_mt_pct
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
     std::fs::write(out, json).expect("write BENCH_pr2.json");

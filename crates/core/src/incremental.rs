@@ -400,6 +400,7 @@ impl<'p, V: Value> AdjacencyView<'p, V> {
                 report.batches_applied += 1;
             }
             journal().end(Stage::DeltaApply, inc_idx.len() as u64);
+            crate::matmul::record_pool_stats();
             journal().record(
                 EventKind::DeltaApply,
                 inc_idx.len() as u64,

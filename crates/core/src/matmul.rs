@@ -106,6 +106,25 @@ pub fn would_parallelize(flops: u64, threshold: u64, nthreads: usize) -> bool {
     nthreads > 1 && flops >= threshold
 }
 
+/// Fold the thread pool's task accounting into the obs registry: the
+/// pool size visible from this thread ([`Gauge::PoolThreads`]) and the
+/// chunks executed locally vs. stolen since the last drain
+/// ([`Counter::PoolTasksLocal`] / [`Counter::PoolTasksStolen`]). The
+/// stub's drain is an atomic swap, so concurrent callers partition the
+/// counts exactly — nothing is double-reported or lost. Called after
+/// every numeric pass that may have fanned out.
+pub(crate) fn record_pool_stats() {
+    let c = counters();
+    c.store(Gauge::PoolThreads, rayon::current_num_threads() as u64);
+    let (local, stolen) = rayon::take_task_stats();
+    if local > 0 {
+        c.add(Counter::PoolTasksLocal, local);
+    }
+    if stolen > 0 {
+        c.add(Counter::PoolTasksStolen, stolen);
+    }
+}
+
 /// Shared parallel-dispatch decision for [`AArray::matmul_with`] and
 /// [`crate::plan::MatmulPlan`]. Takes the flops estimate lazily so the
 /// `O(nnz)` estimate is never computed on single-threaded hosts, where
@@ -203,6 +222,7 @@ impl<V: Value> AArray<V> {
             Hist::NumericPassNs,
             numeric_time.as_nanos().min(u64::MAX as u128) as u64,
         );
+        record_pool_stats();
 
         AArray::from_parts(self.row_keys().clone(), other.col_keys().clone(), data)
     }

@@ -137,8 +137,9 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
         journal().end(Stage::Align, nnz_in);
         profile.record_align(align_time);
         let flops = spgemm_flops(&lhs, &rhs);
-        // The dispatch estimate is always known here, even though the
-        // sequential rayon stub never computes it lazily at dispatch.
+        // The dispatch estimate is always known here — plans compute it
+        // eagerly at build time, even on 1-thread pools where the
+        // dispatch fast path would never ask for it.
         histograms().record(Hist::DispatchFlops, flops);
         MatmulPlan {
             row_keys,
@@ -305,6 +306,7 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
             }
         });
         journal().end(Stage::Numeric, self.flops);
+        crate::matmul::record_pool_stats();
         let numeric_ns = numeric_time.as_nanos().min(u64::MAX as u128) as u64;
         histograms().record(Hist::NumericPassNs, numeric_ns);
         self.profile.record_numeric(NumericPass {

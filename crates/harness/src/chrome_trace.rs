@@ -311,6 +311,75 @@ impl DecisionTallies {
     }
 }
 
+/// Concurrency evidence extracted from the numeric spans of one
+/// journal slice.
+///
+/// With a real worker pool behind the rayon stub, a parallel numeric
+/// pass splits into per-chunk spans recorded from whichever thread ran
+/// each chunk. Genuine multi-core execution therefore shows up as
+/// **leaf** numeric spans (spans with no nested numeric span inside
+/// them on the same thread — chunk work, not the enclosing plan-level
+/// pass) on two or more threads whose `[start, end)` windows overlap
+/// in time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NumericOverlap {
+    /// Distinct threads carrying at least one leaf numeric span.
+    pub tracks: usize,
+    /// Leaf numeric spans found.
+    pub leaf_spans: usize,
+    /// Whether some pair of leaf spans on different threads overlapped
+    /// in time (strict: shared endpoints do not count).
+    pub overlap: bool,
+}
+
+/// Scan one journal slice for temporally overlapping leaf numeric
+/// spans on distinct threads (same per-thread LIFO pairing as the
+/// exporter).
+pub fn numeric_overlap(events: &[Event]) -> NumericOverlap {
+    struct Open {
+        start: u64,
+        has_child: bool,
+    }
+    let mut stacks: BTreeMap<u64, Vec<Open>> = BTreeMap::new();
+    let mut leaves: Vec<(u64, u64, u64)> = Vec::new(); // (tid, start, end)
+    for e in events {
+        match e.kind {
+            EventKind::StageBegin if e.a == Stage::Numeric as u64 => {
+                let stack = stacks.entry(e.tid).or_default();
+                if let Some(top) = stack.last_mut() {
+                    top.has_child = true;
+                }
+                stack.push(Open {
+                    start: e.ts_ns,
+                    has_child: false,
+                });
+            }
+            EventKind::StageEnd if e.a == Stage::Numeric as u64 => {
+                if let Some(open) = stacks.entry(e.tid).or_default().pop() {
+                    if !open.has_child {
+                        leaves.push((e.tid, open.start, e.ts_ns));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut tracks: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for &(tid, _, _) in &leaves {
+        tracks.insert(tid);
+    }
+    let overlap = leaves.iter().enumerate().any(|(i, &(ta, sa, ea))| {
+        leaves[i + 1..]
+            .iter()
+            .any(|&(tb, sb, eb)| ta != tb && sa < eb && sb < ea)
+    });
+    NumericOverlap {
+        tracks: tracks.len(),
+        leaf_spans: leaves.len(),
+        overlap,
+    }
+}
+
 /// Validate the chrome-trace export of a snapshot end to end: render,
 /// reparse with [`crate::json::parse`], and structurally [`validate`].
 pub fn self_check(snapshot: &JournalSnapshot) -> Result<TraceStats, String> {
@@ -418,6 +487,63 @@ mod tests {
         let labels: Vec<&str> = tl.stages.iter().map(|&(l, _, _)| l).collect();
         assert_eq!(labels, ["align", "numeric"]);
         assert!(tl.render().contains("align"));
+    }
+
+    fn ev(seq: u64, ts_ns: u64, tid: u64, kind: EventKind, a: u64) -> Event {
+        Event {
+            seq,
+            ts_ns,
+            tid,
+            kind,
+            a,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn numeric_overlap_requires_distinct_threads_in_time() {
+        use EventKind::{StageBegin, StageEnd};
+        let num = Stage::Numeric as u64;
+
+        // One thread, nested plan-level + chunk span: the chunk is the
+        // only leaf, and a single track can never overlap.
+        let nested = [
+            ev(0, 10, 1, StageBegin, num),
+            ev(1, 20, 1, StageBegin, num),
+            ev(2, 30, 1, StageEnd, num),
+            ev(3, 40, 1, StageEnd, num),
+        ];
+        let ov = numeric_overlap(&nested);
+        assert_eq!((ov.tracks, ov.leaf_spans, ov.overlap), (1, 1, false));
+
+        // Two threads, interleaved in time: [10,30) on tid 1 overlaps
+        // [20,40) on tid 2.
+        let overlapping = [
+            ev(0, 10, 1, StageBegin, num),
+            ev(1, 20, 2, StageBegin, num),
+            ev(2, 30, 1, StageEnd, num),
+            ev(3, 40, 2, StageEnd, num),
+        ];
+        let ov = numeric_overlap(&overlapping);
+        assert_eq!((ov.tracks, ov.leaf_spans, ov.overlap), (2, 2, true));
+
+        // Two threads but strictly sequential (shared endpoint): no
+        // temporal overlap.
+        let sequential = [
+            ev(0, 10, 1, StageBegin, num),
+            ev(1, 20, 1, StageEnd, num),
+            ev(2, 20, 2, StageBegin, num),
+            ev(3, 30, 2, StageEnd, num),
+        ];
+        let ov = numeric_overlap(&sequential);
+        assert_eq!((ov.tracks, ov.leaf_spans, ov.overlap), (2, 2, false));
+
+        // Non-numeric stages never count.
+        let align = [
+            ev(0, 10, 1, StageBegin, Stage::Align as u64),
+            ev(1, 20, 1, StageEnd, Stage::Align as u64),
+        ];
+        assert_eq!(numeric_overlap(&align), NumericOverlap::default());
     }
 
     #[test]

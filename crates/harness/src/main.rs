@@ -5,6 +5,8 @@
 //!               [--reps 5] [--prometheus <path>]
 //! obsctl stream [--out BENCH_pr4.json] [--scales 2000,8000,20000]
 //!               [--reps 5]
+//! obsctl parbench [--out BENCH_pr6.json] [--scales 2000,8000,20000]
+//!               [--reps 5] [--threads 1,2,4]
 //! obsctl check  [--current BENCH_pr3.json] [--against <file>]...
 //!               [--lat-tol 15] [--mem-tol 20] [--allow-new]
 //! obsctl --check          # check with the defaults above
@@ -22,6 +24,18 @@
 //! incrementally (delta SpGEMM) and by full rebuild, cross-checked
 //! bit-identical. The per-scale medians land in `BENCH_pr4.json` as
 //! `stream-incr` / `stream-rebuild` workload pairs.
+//!
+//! `parbench` sweeps the fig3/fig5/stream workloads across forced
+//! rayon pool sizes (the flops dispatch gate is dropped to zero above
+//! one thread so every numeric pass takes the row-parallel kernel),
+//! records per-cell medians, pool task tallies, and numeric-pass
+//! speedups against the 1-thread cell, and writes `BENCH_pr6.json`
+//! with the host's core count — the scaling numbers are only
+//! meaningful next to `host_threads`.
+//!
+//! `trace --expect-parallel` exits nonzero unless the exported
+//! timeline proves real concurrency: leaf numeric spans on two or
+//! more thread tracks with temporally overlapping windows.
 //!
 //! `check` validates every file's schema (exit 2 on a malformed or
 //! unknown-schema file), compares the current run against each
@@ -49,6 +63,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("parbench") => cmd_parbench(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("--check") => cmd_check(&args[1..]),
@@ -72,8 +87,10 @@ usage:
   obsctl run    [--out BENCH_pr3.json] [--scales 2000,8000,20000] [--reps 5]
                 [--prometheus <path>]
   obsctl stream [--out BENCH_pr4.json] [--scales 2000,8000,20000] [--reps 5]
+  obsctl parbench [--out BENCH_pr6.json] [--scales 2000,8000,20000] [--reps 5]
+                [--threads 1,2,4]
   obsctl trace  [fig3|fig5|stream] [--rows 2000] [--reps 1]
-                [--out <workload>.trace.json]
+                [--out <workload>.trace.json] [--expect-parallel]
   obsctl check  [--current BENCH_pr3.json] [--against <file>]...
                 [--lat-tol 15] [--mem-tol 20] [--allow-new] [--json <path>]
   obsctl --check
@@ -269,17 +286,243 @@ fn cmd_stream(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Schema version stamped into `obsctl parbench` scaling files.
+const PARBENCH_SCHEMA_VERSION: u64 = 1;
+
+fn cmd_parbench(args: &[String]) -> ExitCode {
+    let mut out_path = "BENCH_pr6.json".to_string();
+    let mut scales: Vec<usize> = vec![2_000, 8_000, 20_000];
+    let mut threads: Vec<usize> = vec![1, 2, 4];
+    let mut reps = 5usize;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let r = match a.as_str() {
+            "--out" => take_value(&mut it, a).map(|v| out_path = v),
+            "--reps" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| reps = n)
+                    .map_err(|_| format!("--reps: bad count {:?}", v))
+            }),
+            "--scales" => take_value(&mut it, a).and_then(|v| {
+                v.split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(|v| scales = v)
+                    .map_err(|_| format!("--scales: bad list {:?}", v))
+            }),
+            "--threads" => take_value(&mut it, a).and_then(|v| {
+                v.split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(|v| threads = v)
+                    .map_err(|_| format!("--threads: bad list {:?}", v))
+            }),
+            _ => Err(format!("unknown flag {:?}", a)),
+        };
+        if let Err(e) = r {
+            eprintln!("obsctl parbench: {}\n{}", e, USAGE);
+            return ExitCode::from(2);
+        }
+    }
+    if scales.is_empty() || threads.is_empty() || reps == 0 || threads.contains(&0) {
+        eprintln!("obsctl parbench: need nonzero scales, threads, and reps");
+        return ExitCode::from(2);
+    }
+
+    use aarray_core::{parallel_flops_threshold, set_parallel_flops_threshold};
+    use aarray_obs::{snapshot, Counter};
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let saved_threshold = parallel_flops_threshold();
+
+    struct Cell {
+        name: &'static str,
+        rows: usize,
+        threads: usize,
+        numeric_ns: u64,
+        total_ns: u64,
+        wall_ns: u64,
+        tasks_local: u64,
+        tasks_stolen: u64,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+
+    println!(
+        "parbench: host has {} hardware thread(s); sweeping pool sizes {:?}",
+        host_threads, threads
+    );
+    for &rows in &scales {
+        for &t in &threads {
+            let pool = match rayon::ThreadPoolBuilder::new().num_threads(t).build() {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("obsctl parbench: cannot build {}-thread pool: {}", t, e);
+                    set_parallel_flops_threshold(Some(saved_threshold));
+                    return ExitCode::from(2);
+                }
+            };
+            // Above one thread, drop the flops gate so every numeric
+            // pass takes the row-parallel kernel: this sweep measures
+            // the pool, not the dispatch heuristic. The 1-thread cells
+            // keep the production threshold and are the baseline.
+            set_parallel_flops_threshold(if t > 1 {
+                Some(0)
+            } else {
+                Some(saved_threshold)
+            });
+
+            let mut push =
+                |name: &'static str, n_ns: u64, t_ns: u64, w_ns: u64, d: &aarray_obs::Snapshot| {
+                    cells.push(Cell {
+                        name,
+                        rows,
+                        threads: t,
+                        numeric_ns: n_ns,
+                        total_ns: t_ns,
+                        wall_ns: w_ns,
+                        tasks_local: d.get(Counter::PoolTasksLocal),
+                        tasks_stolen: d.get(Counter::PoolTasksStolen),
+                    });
+                };
+            for figure in [Figure::Fig3, Figure::Fig5] {
+                let before = snapshot();
+                let run = pool.install(|| run_workload(figure, rows, reps));
+                let d = snapshot().since(&before);
+                println!(
+                    "{:>5}@{:<6} x{} thread(s)  numeric {:>9.3} ms  wall {:>9.3} ms  \
+                     tasks {}/{} local/stolen",
+                    run.name,
+                    rows,
+                    t,
+                    run.stages.numeric_ns as f64 / 1e6,
+                    run.stages.wall_ns as f64 / 1e6,
+                    d.get(Counter::PoolTasksLocal),
+                    d.get(Counter::PoolTasksStolen),
+                );
+                push(
+                    run.name,
+                    run.stages.numeric_ns,
+                    run.stages.total_ns,
+                    run.stages.wall_ns,
+                    &d,
+                );
+            }
+            let before = snapshot();
+            let (incr, rebuild) = pool.install(|| run_streaming(rows, reps));
+            let d = snapshot().since(&before);
+            println!(
+                "stream@{:<6} x{} thread(s)  refresh {:>9.3} ms  rebuild {:>9.3} ms  \
+                 tasks {}/{} local/stolen",
+                rows,
+                t,
+                incr.stages.numeric_ns as f64 / 1e6,
+                rebuild.stages.numeric_ns as f64 / 1e6,
+                d.get(Counter::PoolTasksLocal),
+                d.get(Counter::PoolTasksStolen),
+            );
+            push(
+                incr.name,
+                incr.stages.numeric_ns,
+                incr.stages.total_ns,
+                incr.stages.wall_ns,
+                &d,
+            );
+            push(
+                rebuild.name,
+                rebuild.stages.numeric_ns,
+                rebuild.stages.total_ns,
+                rebuild.stages.wall_ns,
+                &d,
+            );
+        }
+    }
+    set_parallel_flops_threshold(Some(saved_threshold));
+
+    // Numeric-pass speedups against the 1-thread cell of the same
+    // workload and scale (only emitted when that baseline was swept).
+    let speedup = |c: &Cell| -> Option<f64> {
+        cells
+            .iter()
+            .find(|b| b.threads == 1 && b.name == c.name && b.rows == c.rows)
+            .map(|b| b.numeric_ns as f64 / c.numeric_ns.max(1) as f64)
+    };
+    if let Some(&tmax) = threads.iter().max() {
+        if tmax > 1 && threads.contains(&1) {
+            println!();
+            for c in cells.iter().filter(|c| c.threads == tmax) {
+                if let Some(s) = speedup(c) {
+                    println!(
+                        "  {:>14}@{:<6} numeric speedup at {} thread(s): {:.2}x",
+                        c.name, c.rows, tmax, s
+                    );
+                }
+            }
+        }
+    }
+
+    let mut doc = String::with_capacity(4096);
+    doc.push_str(&format!(
+        "{{\n  \"schema_version\": {},\n  \"bench\": \"parbench\",\n  \"tool\": \"obsctl\",\n  \
+         \"host_threads\": {},\n  \"reps\": {},\n  \"pool_sizes\": {:?},\n  \
+         \"flops_gate_zeroed_above_one_thread\": true,\n  \"cells\": [",
+        PARBENCH_SCHEMA_VERSION, host_threads, reps, threads
+    ));
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"rows\": {}, \"threads\": {}, \"numeric_ns\": {}, \
+             \"total_ns\": {}, \"wall_ns\": {}, \"tasks_local\": {}, \"tasks_stolen\": {}",
+            c.name,
+            c.rows,
+            c.threads,
+            c.numeric_ns,
+            c.total_ns,
+            c.wall_ns,
+            c.tasks_local,
+            c.tasks_stolen
+        ));
+        match speedup(c) {
+            Some(s) if c.threads > 1 => doc.push_str(&format!(", \"numeric_speedup\": {:.4}}}", s)),
+            _ => doc.push('}'),
+        }
+    }
+    doc.push_str("\n  ]\n}\n");
+    if let Err(e) = parse(&doc) {
+        eprintln!(
+            "obsctl parbench: internal error: emitted document is not valid JSON: {}",
+            e
+        );
+        return ExitCode::from(2);
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("obsctl parbench: cannot write {:?}: {}", out_path, e);
+        return ExitCode::from(2);
+    }
+    println!("scaling file written to {}", out_path);
+    ExitCode::SUCCESS
+}
+
 fn cmd_trace(args: &[String]) -> ExitCode {
     let mut workload = "fig3".to_string();
     let mut out_path: Option<String> = None;
     let mut rows = 2_000usize;
     let mut reps = 1usize;
+    let mut expect_parallel = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let r = match a.as_str() {
             "fig3" | "fig5" | "stream" => {
                 workload = a.clone();
+                Ok(())
+            }
+            "--expect-parallel" => {
+                expect_parallel = true;
                 Ok(())
             }
             "--out" => take_value(&mut it, a).map(|v| out_path = Some(v)),
@@ -410,6 +653,27 @@ fn cmd_trace(args: &[String]) -> ExitCode {
          {} recorded, {} dropped by wraparound)",
         out_path, stats.events, stats.threads, stats.begins, snap.recorded, snap.dropped
     );
+
+    let ov = chrome_trace::numeric_overlap(&snap.events);
+    println!(
+        "numeric concurrency: {} leaf span(s) on {} track(s){}",
+        ov.leaf_spans,
+        ov.tracks,
+        if ov.overlap {
+            ", temporally overlapping"
+        } else {
+            ""
+        }
+    );
+    if expect_parallel && !(ov.tracks >= 2 && ov.overlap) {
+        eprintln!(
+            "obsctl trace: --expect-parallel: no overlapping numeric work on distinct threads \
+             (pool size {}; is AARRAY_NUM_THREADS >= 2 and AARRAY_PAR_FLOPS_THRESHOLD low \
+             enough for this workload?)",
+            rayon::current_num_threads()
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 

@@ -90,6 +90,13 @@ pub enum Counter {
     /// Delta SpGEMM traversals executed (one per refresh that took the
     /// incremental path, covering all fused lanes).
     DeltaTraversals,
+    /// Thread-pool chunks executed by the worker owning their deque
+    /// slot (or inline when no fan-out happened).
+    PoolTasksLocal,
+    /// Thread-pool chunks claimed by a different thread than the one
+    /// they were queued for (work-stealing, including the submitter
+    /// helping while it waits).
+    PoolTasksStolen,
 }
 
 /// Last-value gauges (stores, not sums).
@@ -101,10 +108,13 @@ pub enum Gauge {
     /// The parallel-dispatch flops threshold in effect at the most
     /// recent decision.
     DispatchThreshold,
+    /// Size of the rayon pool observed at the most recent parallel
+    /// kernel (threads, including the submitting one).
+    PoolThreads,
 }
 
-const N_COUNTERS: usize = Counter::DeltaTraversals as usize + 1;
-const N_GAUGES: usize = Gauge::DispatchThreshold as usize + 1;
+const N_COUNTERS: usize = Counter::PoolTasksStolen as usize + 1;
+const N_GAUGES: usize = Gauge::PoolThreads as usize + 1;
 
 /// Every counter with its report label, in display order.
 pub const COUNTER_NAMES: [(Counter, &str); N_COUNTERS] = [
@@ -134,12 +144,15 @@ pub const COUNTER_NAMES: [(Counter, &str); N_COUNTERS] = [
     (Counter::IncrementalBatches, "incremental.batches"),
     (Counter::IncrementalEdges, "incremental.edges"),
     (Counter::DeltaTraversals, "delta.traversals"),
+    (Counter::PoolTasksLocal, "pool.tasks-local"),
+    (Counter::PoolTasksStolen, "pool.tasks-stolen"),
 ];
 
 /// Every gauge with its report label, in display order.
 pub const GAUGE_NAMES: [(Gauge, &str); N_GAUGES] = [
     (Gauge::DispatchLastFlops, "dispatch.last-flops"),
     (Gauge::DispatchThreshold, "dispatch.threshold"),
+    (Gauge::PoolThreads, "pool.threads"),
 ];
 
 /// The process-wide counter table. Obtain via [`counters`].

@@ -24,11 +24,36 @@ use crate::csr::Csr;
 use aarray_algebra::{BinaryOp, OpPair, Value};
 use aarray_obs::{
     counters, histograms, histograms_enabled, journal, memstats, Counter, EventKind, Hist,
-    MemRegion, MemReservation,
+    MemRegion, MemReservation, Stage,
 };
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::mem::size_of;
+use std::ops::Range;
+
+/// Contiguous row ranges for the row-parallel drivers: ~4 chunks per
+/// pool thread (so uneven rows rebalance by stealing), one chunk when
+/// the pool cannot fan out. Each chunk is one unit of work-stealing
+/// *and* one `numeric` span on whichever thread executes it, which is
+/// what makes per-thread overlap visible in the Chrome trace.
+pub(crate) fn row_chunks(nrows: usize) -> Vec<Range<usize>> {
+    let threads = rayon::current_num_threads();
+    let nchunks = if threads <= 1 || nrows <= 1 {
+        1
+    } else {
+        (threads * 4).min(nrows)
+    };
+    let base = nrows / nchunks;
+    let extra = nrows % nchunks;
+    let mut ranges = Vec::with_capacity(nchunks);
+    let mut lo = 0;
+    for c in 0..nchunks {
+        let hi = lo + base + usize::from(c < extra);
+        ranges.push(lo..hi);
+        lo = hi;
+    }
+    ranges
+}
 
 /// Accumulator strategy for [`spgemm_with`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -164,23 +189,38 @@ where
     );
     record_kernel(acc, true);
 
-    let rows: Vec<Vec<(u32, V)>> = (0..a.nrows())
+    // Explicit contiguous chunks: each is claimed by one pool thread,
+    // reuses one scratch across its rows (the old `map_init` per-state
+    // semantics), and — when there is more than one chunk — brackets
+    // its rows in a `numeric` journal span recorded on the *executing*
+    // thread, so the flight recorder shows per-worker tracks.
+    let ranges = row_chunks(a.nrows());
+    let spans = ranges.len() > 1;
+    let chunks: Vec<Vec<Vec<(u32, V)>>> = ranges
         .into_par_iter()
-        .map_init(
-            || RowScratch::new(b.ncols()),
-            |scratch, i| {
+        .map(|range| {
+            if spans {
+                journal().begin(Stage::Numeric, range.len() as u64);
+            }
+            let mut scratch = RowScratch::new(b.ncols());
+            let mut rows = Vec::with_capacity(range.len());
+            for i in range.clone() {
                 let mut out = Vec::new();
-                multiply_row(a, b, pair, acc, i, scratch, &mut out);
-                out
-            },
-        )
+                multiply_row(a, b, pair, acc, i, &mut scratch, &mut out);
+                rows.push(out);
+            }
+            if spans {
+                journal().end(Stage::Numeric, range.len() as u64);
+            }
+            rows
+        })
         .collect();
 
-    let nnz: usize = rows.iter().map(Vec::len).sum();
+    let nnz: usize = chunks.iter().flatten().map(Vec::len).sum();
     let mut indptr = vec![0usize; a.nrows() + 1];
     let mut indices = Vec::with_capacity(nnz);
     let mut values = Vec::with_capacity(nnz);
-    for (i, row) in rows.into_iter().enumerate() {
+    for (i, row) in chunks.into_iter().flatten().enumerate() {
         for (j, v) in row {
             indices.push(j);
             values.push(v);

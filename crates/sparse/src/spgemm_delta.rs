@@ -28,7 +28,7 @@
 //! block still lands in `MemRegion::FusedAccumulator` as usual.
 
 use crate::csr::Csr;
-use crate::spgemm_multi::{spgemm_multi_numeric, MultiAccumulator};
+use crate::spgemm_multi::{spgemm_multi_numeric, spgemm_multi_numeric_parallel, MultiAccumulator};
 use crate::symbolic::spgemm_symbolic;
 use aarray_algebra::dynpair::DynOpPair;
 use aarray_algebra::Value;
@@ -70,7 +70,17 @@ pub fn spgemm_delta<V: Value>(
     let mut scratch = memstats().track(MemRegion::DeltaScratch, eout_t.heap_bytes());
     let sym = spgemm_symbolic(&eout_t, delta_ein);
     scratch.grow_to(eout_t.heap_bytes() + sym.heap_bytes());
-    let outs = spgemm_multi_numeric(&sym, &eout_t, delta_ein, pairs, acc);
+    // Batches are usually far below the flops dispatch threshold, so
+    // gate the row-parallel driver on the pool alone: it is
+    // bit-identical to the serial traversal, and on a 1-thread pool the
+    // parallel driver would only rename the call. No dispatch counters
+    // here — the dispatch audit covers the planner's gate, not this
+    // always-structural choice.
+    let outs = if rayon::current_num_threads() > 1 {
+        spgemm_multi_numeric_parallel(&sym, &eout_t, delta_ein, pairs, acc)
+    } else {
+        spgemm_multi_numeric(&sym, &eout_t, delta_ein, pairs, acc)
+    };
     journal().end(Stage::DeltaApply, pairs.len() as u64);
     outs
 }

@@ -29,12 +29,13 @@
 //! `tests/proptest_multi.rs`).
 
 use crate::csr::Csr;
+use crate::spgemm::row_chunks;
 use crate::symbolic::{spgemm_symbolic, SymbolicProduct};
 use aarray_algebra::dynpair::DynOpPair;
 use aarray_algebra::Value;
 use aarray_obs::{
     counters, histograms, histograms_enabled, journal, memstats, Counter, EventKind, Hist,
-    MemRegion, MemReservation,
+    MemRegion, MemReservation, Stage,
 };
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -173,21 +174,40 @@ pub fn spgemm_multi_numeric_parallel<V: Value>(
     record_fused(pairs.len(), acc, true);
     let npairs = pairs.len();
 
-    // Each row yields its K per-pair segments; reassembled per pair.
-    let rows: Vec<Vec<Vec<(u32, V)>>> = (0..a.nrows())
+    // Explicit contiguous row chunks: one scratch per chunk (the old
+    // `map_init` per-state semantics) and — when more than one chunk
+    // exists — a `numeric` journal span recorded on the executing
+    // thread per chunk, making multi-worker overlap visible in the
+    // Chrome trace. Each row yields its K per-pair segments, landing
+    // in row-indexed slots regardless of which thread claimed the
+    // chunk; reassembly below is in row order, so the output is
+    // bit-identical to the serial traversal.
+    // One row's K per-pair output segments.
+    type RowSegments<V> = Vec<Vec<(u32, V)>>;
+    let ranges = row_chunks(a.nrows());
+    let spans = ranges.len() > 1;
+    let chunks: Vec<Vec<RowSegments<V>>> = ranges
         .into_par_iter()
-        .map_init(
-            || MultiScratch::new(b.ncols()),
-            |scratch, i| {
+        .map(|range| {
+            if spans {
+                journal().begin(Stage::Numeric, range.len() as u64);
+            }
+            let mut scratch = MultiScratch::new(b.ncols());
+            let mut rows = Vec::with_capacity(range.len());
+            for i in range.clone() {
                 let mut row_out: Vec<Vec<(u32, V)>> = vec![Vec::new(); npairs];
-                multiply_row_multi(a, b, pairs, acc, i, sym.row(i), scratch, &mut row_out);
-                row_out
-            },
-        )
+                multiply_row_multi(a, b, pairs, acc, i, sym.row(i), &mut scratch, &mut row_out);
+                rows.push(row_out);
+            }
+            if spans {
+                journal().end(Stage::Numeric, range.len() as u64);
+            }
+            rows
+        })
         .collect();
 
     let mut outs: Vec<RowsOut<V>> = (0..npairs).map(|_| RowsOut::with_rows(a.nrows())).collect();
-    for (i, row) in rows.into_iter().enumerate() {
+    for (i, row) in chunks.into_iter().flatten().enumerate() {
         for (p, segment) in row.into_iter().enumerate() {
             outs[p].push_row(i, segment.into_iter());
         }

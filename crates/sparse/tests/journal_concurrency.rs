@@ -2,10 +2,11 @@
 //! journal through the row-parallel fused kernel must never surface a
 //! torn record, and drop accounting must stay exact.
 //!
-//! The offline rayon stub executes "parallel" kernels on the calling
-//! thread (inside `ThreadPool::install`, which makes the dispatch
-//! heuristics see the configured pool size), so real concurrency comes
-//! from `std::thread` workers each driving the parallel code path.
+//! The offline rayon stub now runs a real work-stealing pool, but its
+//! worker count tracks the host; to make contention deterministic this
+//! suite drives the parallel code path from its own `std::thread`
+//! workers, each installing a private pool, so journal writes always
+//! race regardless of how many cores the host exposes.
 
 use aarray_algebra::dynpair::DynOpPair;
 use aarray_algebra::pairs::{MaxMin, PlusTimes};

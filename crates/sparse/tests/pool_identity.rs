@@ -1,0 +1,118 @@
+//! Bit-identity of the row-parallel fused kernel under a **real**
+//! work-stealing pool, across all seven paper op pairs and several
+//! forced pool sizes.
+//!
+//! The paper's Figure 3 workload runs six `⊕.⊗` pairs over non-negative
+//! reals plus `max.+` over the tropical extension; the kernels promise
+//! every one of them the serial fold order per row regardless of which
+//! worker claims the row's chunk. This suite drives the promise through
+//! actual thread fan-out: pool sizes 1 (inline), 2, 4, and 8 (more
+//! workers than cores on most hosts, so chunks genuinely interleave),
+//! with random operands from a proptest strategy.
+//!
+//! NN's `+` is float addition — non-associative, so any fold-order
+//! deviation across chunk boundaries would change low bits and fail
+//! the exact equality below.
+
+use aarray_algebra::pairs::{MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, PlusTimes};
+use aarray_algebra::values::nn::{nn, NN};
+use aarray_algebra::values::tropical::{trop, Tropical};
+use aarray_algebra::DynOpPair;
+use aarray_sparse::spgemm_multi::{spgemm_multi, spgemm_multi_parallel, MultiAccumulator};
+use aarray_sparse::{spgemm_parallel, spgemm_with, Accumulator, Coo, Csr};
+use proptest::prelude::*;
+
+const POOL_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+/// A conforming pair of NN matrices with awkward float values (sums
+/// of these re-associate visibly).
+fn arb_nn_pair(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = (Csr<NN>, Csr<NN>)> {
+    let pt = PlusTimes::<NN>::new();
+    (2..=max_dim, 2..=max_dim, 2..=max_dim).prop_flat_map(move |(m, k, n)| {
+        let a =
+            prop::collection::vec((0..m, 0..k, 1u64..1000), 0..=max_nnz).prop_map(move |trips| {
+                let mut coo = Coo::new(m, k);
+                for (i, j, v) in trips {
+                    coo.push(i, j, nn(v as f64 * 0.1 + 0.003));
+                }
+                coo.into_csr(&pt)
+            });
+        let b =
+            prop::collection::vec((0..k, 0..n, 1u64..1000), 0..=max_nnz).prop_map(move |trips| {
+                let mut coo = Coo::new(k, n);
+                for (i, j, v) in trips {
+                    coo.push(i, j, nn(v as f64 * 0.07 + 0.001));
+                }
+                coo.into_csr(&pt)
+            });
+        (a, b)
+    })
+}
+
+/// The tropical views of the same pattern (the paper's seventh pair
+/// runs on `Tropical`, a different value set, so it gets its own
+/// single-lane product).
+fn tropicalize(a: &Csr<NN>) -> Csr<Tropical> {
+    let mp = MaxPlus::<Tropical>::new();
+    let mut coo = Coo::new(a.nrows(), a.ncols());
+    for (i, j, v) in a.iter() {
+        coo.push(i, j, trop(v.get()));
+    }
+    coo.into_csr(&mp)
+}
+
+proptest! {
+    #[test]
+    fn seven_paper_pairs_bit_identical_at_all_pool_sizes((a, b) in arb_nn_pair(12, 60)) {
+        let plus_times = PlusTimes::<NN>::new();
+        let max_times = MaxTimes::<NN>::new();
+        let min_times = MinTimes::<NN>::new();
+        let min_plus = MinPlus::<NN>::new();
+        let max_min = MaxMin::<NN>::new();
+        let min_max = MinMax::<NN>::new();
+        let nn_pairs: [&dyn DynOpPair<NN>; 6] = [
+            &plus_times, &max_times, &min_times, &min_plus, &max_min, &min_max,
+        ];
+        let mp = MaxPlus::<Tropical>::new();
+        let trop_pairs: [&dyn DynOpPair<Tropical>; 1] = [&mp];
+        let (at, bt) = (tropicalize(&a), tropicalize(&b));
+
+        for acc in [MultiAccumulator::Spa, MultiAccumulator::Hash] {
+            let serial = spgemm_multi(&a, &b, &nn_pairs, acc);
+            let serial_t = spgemm_multi(&at, &bt, &trop_pairs, acc);
+            for threads in POOL_SIZES {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let parallel = pool.install(|| spgemm_multi_parallel(&a, &b, &nn_pairs, acc));
+                prop_assert_eq!(&serial, &parallel, "NN lanes, {} threads, {:?}", threads, acc);
+                let parallel_t =
+                    pool.install(|| spgemm_multi_parallel(&at, &bt, &trop_pairs, acc));
+                prop_assert_eq!(
+                    &serial_t, &parallel_t,
+                    "tropical max.+ lane, {} threads, {:?}", threads, acc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_parallel_kernel_matches_serial_under_real_pools((a, b) in arb_nn_pair(10, 40)) {
+        // The one-pair row-parallel driver (matmul's dispatch target)
+        // under the same pool sizes — float ⊕ again makes fold order
+        // observable.
+        let plus_times = PlusTimes::<NN>::new();
+        for acc in [Accumulator::Spa, Accumulator::Hash, Accumulator::Esc] {
+            let serial = spgemm_with(&a, &b, &plus_times, acc);
+            for threads in POOL_SIZES {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let parallel = pool.install(|| spgemm_parallel(&a, &b, &plus_times, acc));
+                prop_assert_eq!(&serial, &parallel, "{} threads, {:?}", threads, acc);
+            }
+        }
+    }
+}
