@@ -12,12 +12,16 @@
 //!    count once per update, not per unit), the histogram records
 //!    (a few RMWs each: bucket + sum + watermarks), and the
 //!    flight-recorder journal records (one head claim, a timestamp
-//!    read, and five relaxed slot stores under the seqlock);
-//! 3. microbenchmark one counter update, one histogram record, and
-//!    one journal record;
+//!    read, and five relaxed slot stores under the seqlock), and the
+//!    op-ledger completions (token begin + finish: id allocation,
+//!    stage derivation over the op's journal window, one seqlocked
+//!    16-word record, tail-histogram and label-count RMWs);
+//! 3. microbenchmark one counter update, one histogram record, one
+//!    journal record, and one ledger completion;
 //! 4. bound total overhead as `(counter_updates × ns_per_update +
 //!    hist_records × ns_per_record + journal_records ×
-//!    ns_per_journal_record) / workload_ns`, with a 2× safety factor
+//!    ns_per_journal_record + ops × ns_per_op_record) / workload_ns`,
+//!    with a 2× safety factor
 //!    covering the non-registry instrumentation of the same order
 //!    (per-plan stage cells, gauges, memory-accounting adds, the
 //!    numeric-pass mutex push, the per-row flop sums computed only for
@@ -39,7 +43,10 @@ use aarray_algebra::values::tropical::{trop, Tropical};
 use aarray_algebra::DynOpPair;
 use aarray_bench::synthetic_e1_e2;
 use aarray_core::{adjacency_plan, parallel_flops_threshold, set_parallel_flops_threshold, AArray};
-use aarray_obs::{counters, histograms, journal, snapshot, Counter, EventKind, Hist, Journal};
+use aarray_obs::{
+    counters, histograms, journal, oplog, snapshot, Counter, EventKind, Hist, Journal, OpKind,
+    OpLog, OpToken,
+};
 use rayon::prelude::*;
 use std::hint::black_box;
 use std::time::Instant;
@@ -82,6 +89,7 @@ fn main() {
     let before = snapshot();
     let hists_before = histograms().snapshot_all();
     let journal_cursor = journal().cursor();
+    let ops_cursor = oplog().cursor();
     let start = Instant::now();
     for _ in 0..reps {
         seven_pairs(&e1, &e2, &e1t, &e2t);
@@ -95,6 +103,7 @@ fn main() {
         .map(|(a, b)| a.since(b).count())
         .sum();
     let journal_records = journal().cursor() - journal_cursor;
+    let op_records = oplog().cursor() - ops_cursor;
 
     // Registry RMWs: every counter delta is one update per call except
     // the two value-carrying counters, updated once per traversal.
@@ -104,6 +113,7 @@ fn main() {
     let updates_per_rep = updates as f64 / reps as f64;
     let hist_records_per_rep = hist_records as f64 / reps as f64;
     let journal_records_per_rep = journal_records as f64 / reps as f64;
+    let op_records_per_rep = op_records as f64 / reps as f64;
 
     // Cost of one relaxed-atomic registry update.
     let iters = 2_000_000u64;
@@ -133,17 +143,31 @@ fn main() {
     }
     let ns_per_journal_record = t.elapsed().as_nanos() as f64 / iters as f64;
 
+    // Cost of one full op-ledger completion: token begin (id claim,
+    // op-scope install, clock read) through finish into a private ring
+    // (stage derivation over the op's journal window, seqlocked
+    // 16-word record, tail histogram + label count). Ops are ~100×
+    // rarer than journal records, so fewer iterations suffice.
+    let op_iters = iters / 10;
+    let ring = OpLog::with_capacity(1 << 12);
+    let t = Instant::now();
+    for _ in 0..op_iters {
+        black_box(OpToken::begin(OpKind::Matmul).finish_into(&ring));
+    }
+    let ns_per_op_record = t.elapsed().as_nanos() as f64 / op_iters as f64;
+
     // 2× safety factor: stage cells, gauges, memory-accounting adds,
     // and the per-execution mutex push are not counted above but cost
     // the same order.
     let overhead_ns = (updates_per_rep * ns_per_update
         + hist_records_per_rep * ns_per_record
-        + journal_records_per_rep * ns_per_journal_record)
+        + journal_records_per_rep * ns_per_journal_record
+        + op_records_per_rep * ns_per_op_record)
         * 2.0;
     let overhead_pct = overhead_ns / workload_ns * 100.0;
 
     println!(
-        "obs_overhead: {} tracks, 7 pairs, {} reps\n  workload:        {:10.3} ms/rep\n  registry updates:{:10.1} /rep\n  ns/update:       {:10.3} ns\n  hist records:    {:10.1} /rep\n  ns/record:       {:10.3} ns\n  journal records: {:10.1} /rep\n  ns/journal rec:  {:10.3} ns\n  overhead bound:  {:10.5} % (limit 2%)",
+        "obs_overhead: {} tracks, 7 pairs, {} reps\n  workload:        {:10.3} ms/rep\n  registry updates:{:10.1} /rep\n  ns/update:       {:10.3} ns\n  hist records:    {:10.1} /rep\n  ns/record:       {:10.3} ns\n  journal records: {:10.1} /rep\n  ns/journal rec:  {:10.3} ns\n  ledger ops:      {:10.1} /rep\n  ns/op record:    {:10.3} ns\n  overhead bound:  {:10.5} % (limit 2%)",
         tracks,
         reps,
         workload_ns / 1e6,
@@ -153,6 +177,8 @@ fn main() {
         ns_per_record,
         journal_records_per_rep,
         ns_per_journal_record,
+        op_records_per_rep,
+        ns_per_op_record,
         overhead_pct
     );
 
@@ -177,6 +203,7 @@ fn main() {
     let before = snapshot();
     let hists_before = histograms().snapshot_all();
     let journal_cursor = journal().cursor();
+    let ops_cursor = oplog().cursor();
     let start = Instant::now();
     pool.install(|| {
         for _ in 0..reps {
@@ -192,6 +219,7 @@ fn main() {
         .map(|(a, b)| a.since(b).count())
         .sum();
     let journal_records_mt = journal().cursor() - journal_cursor;
+    let op_records_mt = oplog().cursor() - ops_cursor;
     // Same RMW accounting as phase 1, plus two more value-carrying
     // counters: the pool task tallies are drained into the registry
     // once per plan execution (≤ 2 RMWs each), not once per task, so
@@ -256,16 +284,43 @@ fn main() {
         "journal surfaced more slots than the ring holds"
     );
 
+    // Ledger contention: four workers completing ops into one private
+    // ring. Each completion claims a global id, installs/clears the op
+    // scope, and publishes a seqlocked record, so this is the full
+    // contended per-op price.
+    let ring = OpLog::with_capacity(1 << 10);
+    let t = Instant::now();
+    pool.install(|| {
+        (0..4u64).collect::<Vec<_>>().into_par_iter().for_each(|_| {
+            for _ in 0..op_iters / 4 {
+                black_box(OpToken::begin(OpKind::Matmul).finish_into(&ring));
+            }
+        })
+    });
+    let ns_per_op_record_mt = t.elapsed().as_nanos() as f64 / op_iters as f64;
+    let osnap = ring.snapshot();
+    assert_eq!(
+        osnap.recorded,
+        (op_iters / 4) * 4,
+        "op ledger lost or double-counted a concurrent completion"
+    );
+    assert_eq!(
+        osnap.dropped,
+        osnap.recorded.saturating_sub(osnap.capacity),
+        "op ledger drop accounting drifted under contention"
+    );
+
     set_parallel_flops_threshold(Some(saved_threshold));
 
     let overhead_mt_ns = ((updates_mt as f64 / reps as f64) * ns_per_update_mt
         + (hist_records_mt as f64 / reps as f64) * ns_per_record_mt
-        + (journal_records_mt as f64 / reps as f64) * ns_per_journal_record_mt)
+        + (journal_records_mt as f64 / reps as f64) * ns_per_journal_record_mt
+        + (op_records_mt as f64 / reps as f64) * ns_per_op_record_mt)
         * 2.0;
     let overhead_mt_pct = overhead_mt_ns / workload_mt_ns * 100.0;
 
     println!(
-        "obs_overhead (4-thread pool, flops gate 0):\n  workload:        {:10.3} ms/rep\n  registry updates:{:10.1} /rep\n  ns/update:       {:10.3} ns\n  hist records:    {:10.1} /rep\n  ns/record:       {:10.3} ns\n  journal records: {:10.1} /rep\n  ns/journal rec:  {:10.3} ns\n  overhead bound:  {:10.5} % (limit 2%)",
+        "obs_overhead (4-thread pool, flops gate 0):\n  workload:        {:10.3} ms/rep\n  registry updates:{:10.1} /rep\n  ns/update:       {:10.3} ns\n  hist records:    {:10.1} /rep\n  ns/record:       {:10.3} ns\n  journal records: {:10.1} /rep\n  ns/journal rec:  {:10.3} ns\n  ledger ops:      {:10.1} /rep\n  ns/op record:    {:10.3} ns\n  overhead bound:  {:10.5} % (limit 2%)",
         workload_mt_ns / 1e6,
         updates_mt as f64 / reps as f64,
         ns_per_update_mt,
@@ -273,6 +328,8 @@ fn main() {
         ns_per_record_mt,
         journal_records_mt as f64 / reps as f64,
         ns_per_journal_record_mt,
+        op_records_mt as f64 / reps as f64,
+        ns_per_op_record_mt,
         overhead_mt_pct
     );
     assert!(
@@ -281,7 +338,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"obs_overhead\",\n  \"workload\": {{\"tracks\": {}, \"pairs\": 7, \"e1_nnz\": {}, \"e2_nnz\": {}}},\n  \"reps\": {},\n  \"workload_ms\": {:.3},\n  \"registry_updates_per_rep\": {:.1},\n  \"ns_per_update\": {:.3},\n  \"hist_records_per_rep\": {:.1},\n  \"ns_per_hist_record\": {:.3},\n  \"journal_records_per_rep\": {:.1},\n  \"ns_per_journal_record\": {:.3},\n  \"overhead_pct\": {:.5},\n  \"overhead_limit_pct\": 2.0,\n  \"contended\": {{\"pool_threads\": 4, \"workload_ms\": {:.3}, \"ns_per_update\": {:.3}, \"ns_per_hist_record\": {:.3}, \"ns_per_journal_record\": {:.3}, \"overhead_pct\": {:.5}}}\n}}\n",
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"workload\": {{\"tracks\": {}, \"pairs\": 7, \"e1_nnz\": {}, \"e2_nnz\": {}}},\n  \"reps\": {},\n  \"workload_ms\": {:.3},\n  \"registry_updates_per_rep\": {:.1},\n  \"ns_per_update\": {:.3},\n  \"hist_records_per_rep\": {:.1},\n  \"ns_per_hist_record\": {:.3},\n  \"journal_records_per_rep\": {:.1},\n  \"ns_per_journal_record\": {:.3},\n  \"op_records_per_rep\": {:.1},\n  \"ns_per_op_record\": {:.3},\n  \"overhead_pct\": {:.5},\n  \"overhead_limit_pct\": 2.0,\n  \"contended\": {{\"pool_threads\": 4, \"workload_ms\": {:.3}, \"ns_per_update\": {:.3}, \"ns_per_hist_record\": {:.3}, \"ns_per_journal_record\": {:.3}, \"ns_per_op_record\": {:.3}, \"overhead_pct\": {:.5}}}\n}}\n",
         tracks,
         e1.nnz(),
         e2.nnz(),
@@ -293,11 +350,14 @@ fn main() {
         ns_per_record,
         journal_records_per_rep,
         ns_per_journal_record,
+        op_records_per_rep,
+        ns_per_op_record,
         overhead_pct,
         workload_mt_ns / 1e6,
         ns_per_update_mt,
         ns_per_record_mt,
         ns_per_journal_record_mt,
+        ns_per_op_record_mt,
         overhead_mt_pct
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");

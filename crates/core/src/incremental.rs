@@ -59,7 +59,9 @@ use crate::incidence::adjacency_plan;
 use crate::keys::KeySet;
 use aarray_algebra::dynpair::DynOpPair;
 use aarray_algebra::Value;
-use aarray_obs::{counters, histograms, journal, trace_span, Counter, EventKind, Hist, Stage};
+use aarray_obs::{
+    counters, histograms, journal, trace_span, Counter, EventKind, Hist, OpKind, OpToken, Stage,
+};
 use aarray_sparse::spgemm_delta::spgemm_delta;
 use aarray_sparse::spgemm_multi::MultiAccumulator;
 use aarray_sparse::Coo;
@@ -381,6 +383,7 @@ impl<'p, V: Value> AdjacencyView<'p, V> {
         };
 
         if !inc_idx.is_empty() {
+            let mut op = OpToken::begin_if_root(OpKind::DeltaApply);
             let batches = deltas.as_ref().expect("checked above");
             let inc_pairs: Vec<&dyn DynOpPair<V>> =
                 inc_idx.iter().map(|&i| self.pairs[i]).collect();
@@ -408,6 +411,13 @@ impl<'p, V: Value> AdjacencyView<'p, V> {
             );
             counters().add(Counter::IncrementalApply, inc_idx.len() as u64);
             report.incremental_lanes = inc_idx.len();
+            if let Some(t) = op.as_mut() {
+                t.set_lanes(inc_idx.len() as u64);
+                t.set_out_nnz(inc_idx.iter().map(|&i| self.lanes[i].nnz() as u64).sum());
+            }
+            if let Some(t) = op {
+                t.finish();
+            }
         }
 
         if !reb_idx.is_empty() {
@@ -415,6 +425,13 @@ impl<'p, V: Value> AdjacencyView<'p, V> {
             // replayed for it. Reason 1: a barrier batch forced everyone
             // down the rebuild path regardless of associativity.
             let reason = if deltas.is_none() { 1 } else { 0 };
+            // The ledger's fallback field reserves 0 for "none", so the
+            // journal reason codes shift up by one there.
+            let mut op = OpToken::begin_if_root(OpKind::Rebuild);
+            if let Some(t) = op.as_mut() {
+                t.set_lanes(reb_idx.len() as u64);
+                t.set_fallback(reason + 1);
+            }
             journal().record(EventKind::IncrementalFallback, reb_idx.len() as u64, reason);
             let reb_pairs: Vec<&dyn DynOpPair<V>> =
                 reb_idx.iter().map(|&i| self.pairs[i]).collect();
@@ -424,6 +441,12 @@ impl<'p, V: Value> AdjacencyView<'p, V> {
             }
             counters().add(Counter::IncrementalFallback, reb_idx.len() as u64);
             report.rebuilt_lanes = reb_idx.len();
+            if let Some(t) = op.as_mut() {
+                t.set_out_nnz(reb_idx.iter().map(|&i| self.lanes[i].nnz() as u64).sum());
+            }
+            if let Some(t) = op {
+                t.finish();
+            }
         }
 
         self.generation = builder.generation();

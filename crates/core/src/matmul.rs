@@ -12,7 +12,7 @@
 use crate::array::AArray;
 use crate::profile::timed;
 use aarray_algebra::{BinaryOp, OpPair, Value};
-use aarray_obs::{counters, histograms, journal, Counter, EventKind, Gauge, Hist};
+use aarray_obs::{counters, histograms, journal, Counter, EventKind, Gauge, Hist, OpKind, OpToken};
 use aarray_sparse::{spgemm_flops, spgemm_parallel, spgemm_with, Accumulator};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -193,6 +193,7 @@ impl<V: Value> AArray<V> {
         A: BinaryOp<V>,
         M: BinaryOp<V>,
     {
+        let mut op = OpToken::begin_if_root(OpKind::Matmul);
         // Fast path: identical inner key sets need no realignment.
         let (lhs, rhs);
         let aligned;
@@ -224,7 +225,21 @@ impl<V: Value> AArray<V> {
         );
         record_pool_stats();
 
-        AArray::from_parts(self.row_keys().clone(), other.col_keys().clone(), data)
+        if let Some(t) = op.as_mut() {
+            // The dispatch fast path may have skipped the estimate;
+            // the ledger recomputes it so the record always carries the
+            // op's real work figure (ledger ops are rare relative to
+            // the O(flops) kernel they describe).
+            t.set_flops(spgemm_flops(lhs, rhs));
+            t.set_out_nnz(data.nnz() as u64);
+            t.set_lanes(1);
+            t.set_dispatch(big, rayon::current_num_threads() as u64);
+        }
+        let result = AArray::from_parts(self.row_keys().clone(), other.col_keys().clone(), data);
+        if let Some(t) = op {
+            t.finish();
+        }
+        result
     }
 }
 

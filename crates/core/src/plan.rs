@@ -51,7 +51,7 @@ use crate::profile::{timed, NumericPass, StageProfile, StageReport};
 use aarray_algebra::{BinaryOp, DynOpPair, OpPair, Value};
 use aarray_obs::{
     counters, histograms, journal, memstats, trace_span, Counter, EventKind, Hist, MemRegion,
-    MemReservation, Stage,
+    MemReservation, OpKind, OpToken, Stage,
 };
 use aarray_sparse::spgemm_multi::{
     spgemm_multi_numeric, spgemm_multi_numeric_parallel, MultiAccumulator,
@@ -278,6 +278,9 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
         pairs: &[&dyn DynOpPair<V>],
         acc: MultiAccumulator,
     ) -> Vec<AArray<V>> {
+        // Open the ledger op before the symbolic pass so a cold plan's
+        // symbolic span lands inside the op's journal window.
+        let mut op = OpToken::begin_if_root(OpKind::PlanExecute);
         let sym = self.symbolic();
         let parallel = should_parallelize(|| self.flops);
         let acc_name = match acc {
@@ -316,9 +319,20 @@ impl<'a, V: Value> MatmulPlan<'a, V> {
             flops: self.flops,
             ns: numeric_ns,
         });
-        data.into_iter()
+        if let Some(t) = op.as_mut() {
+            t.set_flops(self.flops);
+            t.set_lanes(pairs.len() as u64);
+            t.set_out_nnz(data.iter().map(|c| c.nnz() as u64).sum());
+            t.set_dispatch(parallel, rayon::current_num_threads() as u64);
+        }
+        let results = data
+            .into_iter()
             .map(|csr| AArray::from_parts(self.row_keys.clone(), self.col_keys.clone(), csr))
-            .collect()
+            .collect();
+        if let Some(t) = op {
+            t.finish();
+        }
+        results
     }
 }
 
@@ -327,6 +341,7 @@ impl<V: Value> AArray<V> {
     /// runs now, the symbolic pattern on first execute; neither is
     /// redone per pair. See [`MatmulPlan`].
     pub fn matmul_plan<'a>(&'a self, other: &'a AArray<V>) -> MatmulPlan<'a, V> {
+        let mut op = OpToken::begin_if_root(OpKind::PlanBuild);
         let (plan, build_time) = timed(|| {
             MatmulPlan::new(
                 self.row_keys().clone(),
@@ -339,6 +354,12 @@ impl<V: Value> AArray<V> {
             Hist::PlanBuildNs,
             build_time.as_nanos().min(u64::MAX as u128) as u64,
         );
+        if let Some(t) = op.as_mut() {
+            t.set_flops(plan.flops);
+        }
+        if let Some(t) = op {
+            t.finish();
+        }
         plan
     }
 
@@ -346,6 +367,7 @@ impl<V: Value> AArray<V> {
     /// `Eᵀout ⊕.⊗ Ein` — transposing `self` **once** into the plan
     /// instead of materializing a transposed array per call.
     pub fn transpose_matmul_plan<'a>(&self, other: &'a AArray<V>) -> MatmulPlan<'a, V> {
+        let mut op = OpToken::begin_if_root(OpKind::PlanBuild);
         let (plan, build_time) = timed(|| {
             journal().begin(Stage::Transpose, self.nnz() as u64);
             let (transposed, transpose_time) = timed(|| self.csr().transpose());
@@ -367,6 +389,12 @@ impl<V: Value> AArray<V> {
             Hist::PlanBuildNs,
             build_time.as_nanos().min(u64::MAX as u128) as u64,
         );
+        if let Some(t) = op.as_mut() {
+            t.set_flops(plan.flops);
+        }
+        if let Some(t) = op {
+            t.finish();
+        }
         plan
     }
 }

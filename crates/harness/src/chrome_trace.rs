@@ -46,8 +46,11 @@ pub struct TraceStats {
 /// * every event is an object with a string `name`, a string `ph`
 ///   drawn from `B`/`E`/`X`/`i`/`M`, and integer `pid`/`tid`;
 /// * every non-metadata event carries a numeric `ts`;
-/// * within each `tid`, `B`/`E` records nest: every `E` closes the
-///   most recent open `B` with the same name, and nothing stays open.
+/// * within each `(pid, tid)` track, `B`/`E` records nest: every `E`
+///   closes the most recent open `B` with the same name, and nothing
+///   stays open. Tracks are keyed by the pid/tid *pair* because the
+///   op-grouped export reuses tids across per-op pids — one OS thread
+///   interleaving two ops is balanced per op-track, not per thread.
 pub fn validate(doc: &Value) -> Result<TraceStats, String> {
     let events = doc
         .get("traceEvents")
@@ -59,7 +62,7 @@ pub fn validate(doc: &Value) -> Result<TraceStats, String> {
         events: events.len(),
         ..TraceStats::default()
     };
-    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
     let mut threads: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
 
     for (i, e) in events.iter().enumerate() {
@@ -79,9 +82,10 @@ pub fn validate(doc: &Value) -> Result<TraceStats, String> {
             .get("tid")
             .and_then(Value::as_u64)
             .ok_or_else(|| format!("{}: missing integer \"tid\"", what))?;
-        if e.get("pid").and_then(Value::as_u64).is_none() {
-            return Err(format!("{}: missing integer \"pid\"", what));
-        }
+        let pid = e
+            .get("pid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{}: missing integer \"pid\"", what))?;
         if ph != "M" {
             e.get("ts")
                 .and_then(Value::as_f64)
@@ -91,22 +95,22 @@ pub fn validate(doc: &Value) -> Result<TraceStats, String> {
         match ph {
             "B" => {
                 stats.begins += 1;
-                stacks.entry(tid).or_default().push(name.to_string());
+                stacks.entry((pid, tid)).or_default().push(name.to_string());
             }
             "E" => {
                 stats.ends += 1;
-                match stacks.entry(tid).or_default().pop() {
+                match stacks.entry((pid, tid)).or_default().pop() {
                     Some(open) if open == name => {}
                     Some(open) => {
                         return Err(format!(
-                            "{}: \"E\" for {:?} closes open span {:?} on tid {}",
-                            what, name, open, tid
+                            "{}: \"E\" for {:?} closes open span {:?} on pid {} tid {}",
+                            what, name, open, pid, tid
                         ));
                     }
                     None => {
                         return Err(format!(
-                            "{}: \"E\" for {:?} with no open span on tid {}",
-                            what, name, tid
+                            "{}: \"E\" for {:?} with no open span on pid {} tid {}",
+                            what, name, pid, tid
                         ));
                     }
                 }
@@ -119,11 +123,11 @@ pub fn validate(doc: &Value) -> Result<TraceStats, String> {
             }
         }
     }
-    for (tid, stack) in &stacks {
+    for ((pid, tid), stack) in &stacks {
         if let Some(open) = stack.last() {
             return Err(format!(
-                "chrome trace: span {:?} on tid {} is never closed",
-                open, tid
+                "chrome trace: span {:?} on pid {} tid {} is never closed",
+                open, pid, tid
             ));
         }
     }
@@ -497,6 +501,7 @@ mod tests {
             kind,
             a,
             b: 0,
+            op: 0,
         }
     }
 
@@ -544,6 +549,91 @@ mod tests {
             ev(1, 20, 1, StageEnd, Stage::Align as u64),
         ];
         assert_eq!(numeric_overlap(&align), NumericOverlap::default());
+    }
+
+    fn evo(seq: u64, ts_ns: u64, tid: u64, kind: EventKind, a: u64, op: u64) -> Event {
+        Event {
+            seq,
+            ts_ns,
+            tid,
+            kind,
+            a,
+            b: 0,
+            op,
+        }
+    }
+
+    fn snap_of(events: Vec<Event>) -> JournalSnapshot {
+        JournalSnapshot {
+            recorded: events.len() as u64,
+            dropped: 0,
+            capacity: 256,
+            torn: 0,
+            events,
+        }
+    }
+
+    #[test]
+    fn ring_wrap_truncated_span_still_exports_balanced_trace() {
+        // A begin recorded long ago is overwritten by ring wraparound;
+        // its end survives. The exporter must drop the orphan half
+        // (counted in otherData) and still emit a validating document.
+        let j = Journal::with_capacity(8);
+        j.begin(Stage::Numeric, 7);
+        for i in 0..9 {
+            j.record(EventKind::RowShape, i, 1);
+        }
+        j.end(Stage::Numeric, 7);
+        let snap = j.snapshot();
+        assert!(snap.dropped > 0, "wraparound must have dropped events");
+        let stats = self_check(&snap).expect("truncated export must validate");
+        assert_eq!((stats.begins, stats.ends), (0, 0), "orphan E dropped");
+        assert!(j
+            .snapshot()
+            .to_chrome_trace()
+            .contains("\"truncated_spans\": 1"));
+    }
+
+    #[test]
+    fn op_grouped_export_untangles_interleaved_ops_on_one_tid() {
+        use EventKind::{StageBegin, StageEnd};
+        let sym = Stage::Symbolic as u64;
+        let num = Stage::Numeric as u64;
+        // One OS thread interleaves two ops non-LIFO: op 1's symbolic
+        // span closes while op 2's numeric span is still open.
+        let snap = snap_of(vec![
+            evo(0, 10, 5, StageBegin, sym, 1),
+            evo(1, 20, 5, StageBegin, num, 2),
+            evo(2, 30, 5, StageEnd, sym, 1),
+            evo(3, 40, 5, StageEnd, num, 2),
+        ]);
+
+        // The flat export cannot pair across the interleave: all four
+        // halves are truncated, but the document still validates.
+        let flat = snap.to_chrome_trace();
+        assert!(flat.contains("\"truncated_spans\": 4"), "{}", flat);
+        let stats = validate(&parse(&flat).unwrap()).unwrap();
+        assert_eq!((stats.begins, stats.ends), (0, 0));
+
+        // The op-grouped export separates the ops onto pid 1 and pid 2
+        // tracks where both spans pair cleanly.
+        let by_op = snap.to_chrome_trace_by_op();
+        assert!(by_op.contains("\"truncated_spans\": 0"), "{}", by_op);
+        let stats = validate(&parse(&by_op).unwrap()).unwrap();
+        assert_eq!((stats.begins, stats.ends), (2, 2));
+        assert!(by_op.contains("\"name\": \"op-1\""));
+        assert!(by_op.contains("\"name\": \"op-2\""));
+    }
+
+    #[test]
+    fn empty_journal_exports_validate() {
+        let snap = Journal::with_capacity(8).snapshot();
+        assert!(snap.events.is_empty());
+        for text in [snap.to_chrome_trace(), snap.to_chrome_trace_by_op()] {
+            let stats = validate(&parse(&text).expect("empty export parses")).unwrap();
+            assert_eq!(stats.events, 0);
+            assert!(text.contains("\"truncated_spans\": 0"));
+        }
     }
 
     #[test]

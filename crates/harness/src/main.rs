@@ -37,6 +37,15 @@
 //! timeline proves real concurrency: leaf numeric spans on two or
 //! more thread tracks with temporally overlapping windows.
 //!
+//! `ops` replays one workload against a reset op ledger and prints the
+//! per-op-kind tail table (count / p50 / p95 / p99 wall ns), the
+//! slowest-N exemplar records with their per-stage breakdown, and cuts
+//! the slowest op's journal window into a per-op Chrome trace.
+//!
+//! `top` runs one workload on a background thread and prints a live
+//! snapshot/diff line per sampling interval — ops completed per kind
+//! with interval p95s, plus journal growth — then a final tail table.
+//!
 //! `check` validates every file's schema (exit 2 on a malformed or
 //! unknown-schema file), compares the current run against each
 //! baseline — v3 files stage-by-stage and region-by-region, legacy
@@ -65,6 +74,8 @@ fn main() -> ExitCode {
         Some("stream") => cmd_stream(&args[1..]),
         Some("parbench") => cmd_parbench(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("ops") => cmd_ops(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("--check") => cmd_check(&args[1..]),
         Some("--help" | "-h" | "help") => {
@@ -91,6 +102,10 @@ usage:
                 [--threads 1,2,4]
   obsctl trace  [fig3|fig5|stream] [--rows 2000] [--reps 1]
                 [--out <workload>.trace.json] [--expect-parallel]
+  obsctl ops    [fig3|fig5|stream] [--rows 2000] [--reps 3] [--slowest 5]
+                [--trace-out <workload>.optrace.json]
+  obsctl top    [fig3|fig5|stream] [--rows 4000] [--reps 20]
+                [--interval-ms 200]
   obsctl check  [--current BENCH_pr3.json] [--against <file>]...
                 [--lat-tol 15] [--mem-tol 20] [--allow-new] [--json <path>]
   obsctl --check
@@ -587,6 +602,17 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     let report = ObsReport::capture().since(&before);
 
     let snap = journal().snapshot();
+    if snap.dropped > 0 {
+        eprintln!(
+            "obsctl trace: WARNING: ring wraparound dropped {} of {} journal event(s) \
+             (capacity {}) — the exported timeline is missing its earliest spans; \
+             raise {} to capture the full run",
+            snap.dropped,
+            snap.recorded,
+            snap.capacity,
+            aarray_obs::JOURNAL_EVENTS_ENV
+        );
+    }
     // Self-check before writing, like run/stream: an export the
     // workspace's own validator rejects is a bug here.
     let stats = match chrome_trace::self_check(&snap) {
@@ -677,6 +703,304 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Render the per-kind tail table shared by `ops` and `top`: one row
+/// per op kind that completed at least once, with wall-time p50/p95/p99
+/// from the ledger's log2 histograms.
+fn ops_table(ops: &aarray_obs::OpsReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:<14} {:>7} {:>14} {:>14} {:>14}\n",
+        "kind", "count", "p50_ns", "p95_ns", "p99_ns"
+    ));
+    let mut any = false;
+    for (i, &(_, name)) in aarray_obs::OP_KIND_NAMES.iter().enumerate() {
+        let t = &ops.tails[i];
+        if t.count() == 0 {
+            continue;
+        }
+        any = true;
+        out.push_str(&format!(
+            "  {:<14} {:>7} {:>14} {:>14} {:>14}\n",
+            name,
+            t.count(),
+            t.quantile(0.5),
+            t.quantile(0.95),
+            t.quantile(0.99)
+        ));
+    }
+    if !any {
+        out.push_str("  (no operations recorded)\n");
+    }
+    out
+}
+
+fn run_named_workload(workload: &str, rows: usize, reps: usize) {
+    match workload {
+        "fig3" => {
+            run_workload(Figure::Fig3, rows, reps);
+        }
+        "fig5" => {
+            run_workload(Figure::Fig5, rows, reps);
+        }
+        _ => {
+            run_streaming(rows, reps);
+        }
+    }
+}
+
+fn cmd_ops(args: &[String]) -> ExitCode {
+    let mut workload = "fig3".to_string();
+    let mut rows = 2_000usize;
+    let mut reps = 3usize;
+    let mut slowest_n = 5usize;
+    let mut trace_out: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let r = match a.as_str() {
+            "fig3" | "fig5" | "stream" => {
+                workload = a.clone();
+                Ok(())
+            }
+            "--trace-out" => take_value(&mut it, a).map(|v| trace_out = Some(v)),
+            "--rows" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| rows = n)
+                    .map_err(|_| format!("--rows: bad count {:?}", v))
+            }),
+            "--reps" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| reps = n)
+                    .map_err(|_| format!("--reps: bad count {:?}", v))
+            }),
+            "--slowest" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| slowest_n = n)
+                    .map_err(|_| format!("--slowest: bad count {:?}", v))
+            }),
+            _ => Err(format!("unknown workload or flag {:?}", a)),
+        };
+        if let Err(e) = r {
+            eprintln!("obsctl ops: {}\n{}", e, USAGE);
+            return ExitCode::from(2);
+        }
+    }
+    if rows == 0 || reps == 0 || slowest_n == 0 {
+        eprintln!("obsctl ops: need nonzero rows, reps, and --slowest");
+        return ExitCode::from(2);
+    }
+    let trace_out = trace_out.unwrap_or_else(|| format!("{}.optrace.json", workload));
+
+    // Reset both rings so op seq windows and exemplars cover exactly
+    // this run (cursor 0 below relies on this).
+    journal().reset();
+    aarray_obs::oplog().reset();
+    let before = ObsReport::capture();
+    run_named_workload(&workload, rows, reps);
+    let report = ObsReport::capture().since(&before);
+
+    if report.journal.dropped > 0 {
+        eprintln!(
+            "obsctl ops: WARNING: ring wraparound dropped {} journal event(s) (capacity {}) — \
+             stage breakdowns of early ops may undercount; raise {}",
+            report.journal.dropped,
+            report.journal.capacity,
+            aarray_obs::JOURNAL_EVENTS_ENV
+        );
+    }
+
+    println!(
+        "op ledger for {}@{} x{} rep(s): {} op(s) recorded, {} dropped (capacity {})",
+        workload, rows, reps, report.ops.recorded, report.ops.dropped, report.ops.capacity
+    );
+    print!("{}", ops_table(&report.ops));
+
+    let snap = aarray_obs::oplog().snapshot();
+    let slow = snap.slowest(slowest_n, 0);
+    if slow.is_empty() {
+        eprintln!("obsctl ops: internal error: workload completed without recording any op");
+        return ExitCode::from(2);
+    }
+    println!();
+    println!("slowest {} op(s):", slow.len());
+    for r in &slow {
+        let sum = r.stage_sum_ns();
+        let pct = if r.wall_ns == 0 {
+            0.0
+        } else {
+            sum as f64 * 100.0 / r.wall_ns as f64
+        };
+        let label = snap.label_name(r.label);
+        println!(
+            "  op {:<5} {:<13} label {:<8} wall {:>10.3} ms  {}  lanes {}  flops {}  \
+             out_nnz {}  fallback {}  scratch {} B",
+            r.id,
+            r.kind.name(),
+            if label.is_empty() { "-" } else { label },
+            r.wall_ns as f64 / 1e6,
+            if r.parallel {
+                format!("parallel x{}", r.pool_threads)
+            } else {
+                "serial".to_string()
+            },
+            r.lanes,
+            r.flops,
+            r.out_nnz,
+            r.fallback_name(),
+            r.scratch_peak
+        );
+        println!(
+            "    stages: align {} + transpose {} + symbolic {} + numeric {} + delta-apply {} \
+             = {} ns ({:.1}% of wall); journal window [{}, {})",
+            r.align_ns,
+            r.transpose_ns,
+            r.symbolic_ns,
+            r.numeric_ns,
+            r.delta_ns,
+            sum,
+            pct,
+            r.seq_start,
+            r.seq_end
+        );
+    }
+
+    // Cut the slowest op's journal window into its own Chrome trace so
+    // the one bad operation can be inspected on a timeline.
+    let top = slow[0];
+    let cut = journal()
+        .snapshot()
+        .cut_op(top.id, top.seq_start, top.seq_end);
+    let text = cut.to_chrome_trace_by_op();
+    let valid = parse(&text)
+        .map_err(|e| e.to_string())
+        .and_then(|d| chrome_trace::validate(&d));
+    if let Err(e) = valid {
+        eprintln!(
+            "obsctl ops: internal error: per-op export fails validation: {}",
+            e
+        );
+        return ExitCode::from(2);
+    }
+    if let Err(e) = std::fs::write(&trace_out, &text) {
+        eprintln!("obsctl ops: cannot write {:?}: {}", trace_out, e);
+        return ExitCode::from(2);
+    }
+    println!();
+    println!(
+        "per-op trace of op {} ({} journal event(s)) written to {}",
+        top.id,
+        cut.events.len(),
+        trace_out
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_top(args: &[String]) -> ExitCode {
+    let mut workload = "fig3".to_string();
+    let mut rows = 4_000usize;
+    let mut reps = 20usize;
+    let mut interval_ms = 200u64;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let r = match a.as_str() {
+            "fig3" | "fig5" | "stream" => {
+                workload = a.clone();
+                Ok(())
+            }
+            "--rows" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| rows = n)
+                    .map_err(|_| format!("--rows: bad count {:?}", v))
+            }),
+            "--reps" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| reps = n)
+                    .map_err(|_| format!("--reps: bad count {:?}", v))
+            }),
+            "--interval-ms" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| interval_ms = n)
+                    .map_err(|_| format!("--interval-ms: bad count {:?}", v))
+            }),
+            _ => Err(format!("unknown workload or flag {:?}", a)),
+        };
+        if let Err(e) = r {
+            eprintln!("obsctl top: {}\n{}", e, USAGE);
+            return ExitCode::from(2);
+        }
+    }
+    if rows == 0 || reps == 0 || interval_ms == 0 {
+        eprintln!("obsctl top: need nonzero rows, reps, and interval");
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "obsctl top: sampling every {} ms while {}@{} x{} rep(s) runs",
+        interval_ms, workload, rows, reps
+    );
+    let start = ObsReport::capture();
+    let wl = workload.clone();
+    let handle = std::thread::spawn(move || run_named_workload(&wl, rows, reps));
+
+    let mut last = start.clone();
+    let mut tick = 0u64;
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        let now = ObsReport::capture();
+        let d = now.since(&last);
+        tick += 1;
+        let mut parts = Vec::new();
+        for (i, &(_, name)) in aarray_obs::OP_KIND_NAMES.iter().enumerate() {
+            let t = &d.ops.tails[i];
+            if t.count() > 0 {
+                parts.push(format!(
+                    "{} +{} p95 {} ns",
+                    name,
+                    t.count(),
+                    t.quantile(0.95)
+                ));
+            }
+        }
+        println!(
+            "tick {:>3}: ops +{}{}  journal +{} event(s){}",
+            tick,
+            d.ops.recorded,
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("  [{}]", parts.join(", "))
+            },
+            d.journal.recorded,
+            if d.ops.dropped > 0 || d.journal.dropped > 0 {
+                format!(
+                    "  ({} op / {} journal record(s) dropped)",
+                    d.ops.dropped, d.journal.dropped
+                )
+            } else {
+                String::new()
+            }
+        );
+        last = now;
+        if handle.is_finished() {
+            break;
+        }
+    }
+    if handle.join().is_err() {
+        eprintln!("obsctl top: workload thread panicked");
+        return ExitCode::from(2);
+    }
+
+    let total = ObsReport::capture().since(&start);
+    println!();
+    println!(
+        "workload finished after {} tick(s): {} op(s) recorded, {} dropped",
+        tick, total.ops.recorded, total.ops.dropped
+    );
+    print!("{}", ops_table(&total.ops));
+    ExitCode::SUCCESS
+}
+
 fn load_classified(path: &str) -> Result<(aarray_harness::json::Value, BenchKind), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {}", path, e))?;
     let doc = parse(&text).map_err(|e| format!("{}: {}", path, e))?;
@@ -737,6 +1061,23 @@ fn cmd_check(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
 
+    // A run that dropped journal events may have mis-attributed stage
+    // time, so its numbers deserve suspicion even when they pass.
+    let journal_dropped = current
+        .get("report")
+        .and_then(|r| r.get("journal"))
+        .and_then(|j| j.get("dropped"))
+        .and_then(|d| d.as_u64())
+        .unwrap_or(0);
+    if journal_dropped > 0 {
+        eprintln!(
+            "obsctl check: WARNING: current run dropped {} journal event(s) to ring \
+             wraparound; its stage attribution may undercount (raise {})",
+            journal_dropped,
+            aarray_obs::JOURNAL_EVENTS_ENV
+        );
+    }
+
     let mut regressions = 0usize;
     let mut new_metrics = 0usize;
     let mut comparisons: Vec<(String, aarray_harness::compare::Verdict)> = Vec::new();
@@ -789,7 +1130,13 @@ fn cmd_check(args: &[String]) -> ExitCode {
     };
 
     if let Some(p) = &json_path {
-        let doc = check_json(&current_path, &comparisons, allow_new, exit_code);
+        let doc = check_json(
+            &current_path,
+            &comparisons,
+            allow_new,
+            journal_dropped,
+            exit_code,
+        );
         if let Err(e) = std::fs::write(p, doc) {
             eprintln!("obsctl check: cannot write {:?}: {}", p, e);
             return ExitCode::from(2);
@@ -827,19 +1174,22 @@ const CHECK_SCHEMA_VERSION: u64 = 1;
 
 /// Render the machine-readable verdict document for `check --json`.
 /// Per finding: `status` is `"ok"`, `"regressed"`, or `"new"`; numeric
-/// fields mirror the human table. `exit_code` records the process
-/// verdict (0 ok, 1 regressed, 3 new metrics without `--allow-new`).
+/// fields mirror the human table. `journal_dropped` surfaces ring
+/// wraparound in the current run (0 when its report recorded no
+/// drops). `exit_code` records the process verdict (0 ok, 1 regressed,
+/// 3 new metrics without `--allow-new`).
 fn check_json(
     current_path: &str,
     comparisons: &[(String, aarray_harness::compare::Verdict)],
     allow_new: bool,
+    journal_dropped: u64,
     exit_code: u8,
 ) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
     out.push_str(&format!(
-        "  \"schema_version\": {},\n  \"tool\": \"obsctl-check\",\n  \"current\": \"{}\",\n  \"allow_new\": {},\n",
-        CHECK_SCHEMA_VERSION, current_path, allow_new
+        "  \"schema_version\": {},\n  \"tool\": \"obsctl-check\",\n  \"current\": \"{}\",\n  \"allow_new\": {},\n  \"journal_dropped\": {},\n",
+        CHECK_SCHEMA_VERSION, current_path, allow_new, journal_dropped
     ));
     out.push_str("  \"comparisons\": [");
     for (i, (path, verdict)) in comparisons.iter().enumerate() {

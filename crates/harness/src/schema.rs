@@ -3,9 +3,10 @@
 //! The observatory compares the current run against every committed
 //! `BENCH_*.json` at the workspace root. Three shapes are recognised:
 //!
-//! * **v3 observatory files** (`BENCH_pr3.json` and later) — stamped
-//!   `"schema_version": 3`, with per-workload stage medians and an
-//!   embedded [`aarray_obs::ObsReport`] JSON object;
+//! * **versioned observatory files** (`BENCH_pr3.json` and later) —
+//!   stamped `"schema_version": 3` or `4`, with per-workload stage
+//!   medians and an embedded [`aarray_obs::ObsReport`] JSON object
+//!   (v4 reports additionally carry the op-ledger `ops` section);
 //! * **legacy PR1** (`fused_vs_sequential`) — a single `fused_ms`
 //!   figure for the 6-lane fused traversal at bench scale;
 //! * **legacy PR2** (`obs_overhead`) — a single `workload_ms` figure
@@ -21,7 +22,14 @@ use crate::json::Value;
 /// The schema stamped into files `obsctl run` writes. Matches
 /// [`aarray_obs::REPORT_SCHEMA_VERSION`] by construction (asserted in
 /// tests) so one bump covers both layers.
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
+
+/// The oldest versioned schema `obsctl check` still accepts as a
+/// baseline. v3 files predate the op ledger (no `ops` section in the
+/// embedded report) but their stage medians and regions are still
+/// comparable, so committed v3 baselines keep working after the v4
+/// bump.
+pub const MIN_BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// The stage keys every v3 workload entry must carry medians for.
 pub const STAGE_KEYS: [&str; 6] = ["align", "transpose", "symbolic", "numeric", "total", "wall"];
@@ -76,10 +84,10 @@ pub fn classify(doc: &Value) -> Result<BenchKind, String> {
         let sv = sv
             .as_u64()
             .ok_or("bench file: schema_version must be an integer")?;
-        if sv != BENCH_SCHEMA_VERSION {
+        if !(MIN_BENCH_SCHEMA_VERSION..=BENCH_SCHEMA_VERSION).contains(&sv) {
             return Err(format!(
-                "bench file: unsupported schema_version {} (this obsctl understands {})",
-                sv, BENCH_SCHEMA_VERSION
+                "bench file: unsupported schema_version {} (this obsctl understands {}..={})",
+                sv, MIN_BENCH_SCHEMA_VERSION, BENCH_SCHEMA_VERSION
             ));
         }
         validate_v3(doc)?;
@@ -142,10 +150,13 @@ pub fn validate_v3(doc: &Value) -> Result<(), String> {
 
     let report = require(doc, "report", "v3 file")?;
     let rsv = require_u64(report, "schema_version", "v3 report")?;
-    if rsv != BENCH_SCHEMA_VERSION {
+    // Per-file agreement: the embedded ObsReport must carry the same
+    // version the file claims (a v3 baseline embeds a v3 report).
+    let sv = require_u64(doc, "schema_version", "v3 file")?;
+    if rsv != sv {
         return Err(format!(
             "v3 report: embedded schema_version {} disagrees with file version {}",
-            rsv, BENCH_SCHEMA_VERSION
+            rsv, sv
         ));
     }
     let hists = require(report, "histograms", "v3 report")?
@@ -230,6 +241,30 @@ mod tests {
             let err = classify(&parse(doc).unwrap()).unwrap_err();
             assert!(err.contains(needle), "{:?} → {:?}", doc, err);
         }
+    }
+
+    #[test]
+    fn v4_files_classify_and_embedded_version_must_agree_per_file() {
+        let v4 = r#"{
+          "schema_version": 4, "bench": "perf-observatory", "reps": 2,
+          "histograms_enabled": true,
+          "workloads": [{"name":"fig3","rows":100,"product_nnz":5,"stages":{
+            "align":{"median_ns":1},"transpose":{"median_ns":1},
+            "symbolic":{"median_ns":1},"numeric":{"median_ns":1},
+            "total":{"median_ns":4},"wall":{"median_ns":5}}}],
+          "report": {"schema_version": 4,
+            "counters": {"a": 1},
+            "histograms": {"h1":{"count":1},"h2":{"count":1},"h3":{"count":2},"h4":{"count":9}},
+            "mem": {"r":{"current":0,"peak":10}}}
+        }"#;
+        assert_eq!(classify(&parse(v4).unwrap()).unwrap(), BenchKind::V3);
+        // A v4 file embedding a v3 report is torn, and vice versa.
+        let torn = v4.replace(
+            r#""report": {"schema_version": 4"#,
+            r#""report": {"schema_version": 3"#,
+        );
+        let err = classify(&parse(&torn).unwrap()).unwrap_err();
+        assert!(err.contains("disagrees"), "{}", err);
     }
 
     #[test]

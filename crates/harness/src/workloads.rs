@@ -90,6 +90,9 @@ fn median(mut xs: Vec<u64>) -> u64 {
 /// one warmup. Each rep rebuilds both plans so plan construction
 /// (transpose, symbolic) is measured, not amortised away.
 pub fn run_workload(figure: Figure, rows: usize, reps: usize) -> WorkloadRun {
+    // Every op the reps record carries this workload label in the
+    // ledger, so `obsctl ops` can attribute tails per workload.
+    let _label = aarray_obs::workload_label(figure.name());
     let (e1_raw, e2) = synthetic_e1_e2(rows, 8, 100, 7);
     let e1 = match figure {
         Figure::Fig3 => e1_raw,
@@ -191,6 +194,7 @@ pub fn run_workload(figure: Figure, rows: usize, reps: usize) -> WorkloadRun {
 /// **bit-identical** to the rebuilt ones — the latency comparison is
 /// only meaningful because the results agree exactly.
 pub fn run_streaming(rows: usize, reps: usize) -> (WorkloadRun, WorkloadRun) {
+    let _label = aarray_obs::workload_label("stream");
     let pair = PlusTimes::<NN>::new();
     let (e1, e2) = synthetic_e1_e2(rows, 8, 100, 7);
     let n = e1.row_keys().len();

@@ -488,6 +488,8 @@ fn check_json_emits_schema_versioned_verdicts() {
     assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(1));
     assert_eq!(doc.get("tool").unwrap().as_str(), Some("obsctl-check"));
     assert_eq!(doc.get("exit_code").unwrap().as_u64(), Some(0));
+    // A clean run carries its drop accounting into the verdict.
+    assert_eq!(doc.get("journal_dropped").unwrap().as_u64(), Some(0));
     let comps = doc.get("comparisons").unwrap().as_arr().unwrap();
     assert_eq!(comps.len(), 1);
     let findings = comps[0].get("findings").unwrap().as_arr().unwrap();
@@ -583,4 +585,126 @@ fn check_json_emits_schema_versioned_verdicts() {
         Some(&aarray_harness::json::Value::Bool(true))
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ops_shows_tails_and_writes_a_per_op_trace() {
+    let dir = tmpdir("ops");
+    let trace_out = dir.join("stream.optrace.json");
+    let o = obsctl()
+        .args([
+            "ops",
+            "stream",
+            "--rows",
+            "400",
+            "--reps",
+            "2",
+            "--slowest",
+            "3",
+            "--trace-out",
+        ])
+        .arg(&trace_out)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&o.stdout);
+    let stderr = String::from_utf8_lossy(&o.stderr);
+    assert!(o.status.success(), "{}{}", stdout, stderr);
+
+    // Per-kind tail table with the quantile columns, covering at least
+    // the plan and delta kinds the streaming workload exercises.
+    for needle in ["p50_ns", "p95_ns", "p99_ns", "plan-execute", "delta-apply"] {
+        assert!(
+            stdout.contains(needle),
+            "missing {:?} in:\n{}",
+            needle,
+            stdout
+        );
+    }
+    assert!(stdout.contains("slowest"), "{}", stdout);
+    assert!(stdout.contains("label stream"), "{}", stdout);
+
+    // At least one exemplar's stage breakdown accounts for its wall
+    // time to within 10% — the attribution acceptance bar.
+    let pcts: Vec<f64> = stdout
+        .lines()
+        .filter_map(|l| {
+            let head = l.split("% of wall").next()?;
+            if head.len() == l.len() {
+                return None;
+            }
+            head.rsplit('(').next()?.parse().ok()
+        })
+        .collect();
+    assert!(!pcts.is_empty(), "no stage-sum lines in:\n{}", stdout);
+    assert!(
+        pcts.iter().any(|&p| (90.0..=110.0).contains(&p)),
+        "no exemplar within 10% of wall: {:?}\n{}",
+        pcts,
+        stdout
+    );
+
+    // The slowest op's journal window cuts into a non-empty, validated
+    // per-op Chrome trace grouped by operation.
+    let text = std::fs::read_to_string(&trace_out).unwrap();
+    let doc = aarray_harness::json::parse(&text).expect("per-op trace must parse");
+    let stats = aarray_harness::chrome_trace::validate(&doc).expect("per-op trace must validate");
+    assert!(
+        stats.begins + stats.instants >= 1,
+        "per-op trace is empty: {:?}",
+        stats
+    );
+    assert_eq!(stats.begins, stats.ends);
+    assert!(
+        text.contains("\"op-"),
+        "missing op process track:\n{}",
+        text
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Bad invocations exit 2.
+    for args in [
+        &["ops", "fig9"][..],
+        &["ops", "--slowest", "0"][..],
+        &["ops", "--rows", "many"][..],
+    ] {
+        let o = obsctl().args(args).output().unwrap();
+        assert_eq!(o.status.code(), Some(2), "args {:?}", args);
+    }
+}
+
+#[test]
+fn top_ticks_while_the_workload_runs_and_prints_a_final_table() {
+    let o = obsctl()
+        .args([
+            "top",
+            "fig3",
+            "--rows",
+            "600",
+            "--reps",
+            "6",
+            "--interval-ms",
+            "25",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&o.stdout);
+    let stderr = String::from_utf8_lossy(&o.stderr);
+    assert!(o.status.success(), "{}{}", stdout, stderr);
+    assert!(stdout.contains("tick"), "{}", stdout);
+    assert!(stdout.contains("workload finished"), "{}", stdout);
+    // Final table aggregates the whole run per kind.
+    for needle in ["p50_ns", "p95_ns", "p99_ns", "plan-execute"] {
+        assert!(
+            stdout.contains(needle),
+            "missing {:?} in:\n{}",
+            needle,
+            stdout
+        );
+    }
+
+    let o = obsctl()
+        .args(["top", "--interval-ms", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(o.status.code(), Some(2));
 }

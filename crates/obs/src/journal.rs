@@ -193,6 +193,9 @@ pub struct Event {
     pub a: u64,
     /// Second payload slot; meaning depends on `kind`.
     pub b: u64,
+    /// The [`crate::oplog`] operation this record belongs to (the
+    /// recording thread's current op at write time; 0 = unattributed).
+    pub op: u64,
 }
 
 struct Slot {
@@ -205,6 +208,8 @@ struct Slot {
     tid_kind: AtomicU64,
     a: AtomicU64,
     b: AtomicU64,
+    /// Originating operation id (0 = none).
+    op: AtomicU64,
 }
 
 impl Slot {
@@ -215,6 +220,7 @@ impl Slot {
             tid_kind: AtomicU64::new(0),
             a: AtomicU64::new(0),
             b: AtomicU64::new(0),
+            op: AtomicU64::new(0),
         }
     }
 }
@@ -350,6 +356,7 @@ impl Journal {
             .store((thread_id() << 32) | kind as u64, Ordering::Relaxed);
         slot.a.store(a, Ordering::Relaxed);
         slot.b.store(b, Ordering::Relaxed);
+        slot.op.store(crate::oplog::current_op(), Ordering::Relaxed);
         slot.seq.store(2 * claim + 2, Ordering::Release);
     }
 
@@ -387,6 +394,7 @@ impl Journal {
             let tid_kind = slot.tid_kind.load(Ordering::Relaxed);
             let a = slot.a.load(Ordering::Relaxed);
             let b = slot.b.load(Ordering::Relaxed);
+            let op = slot.op.load(Ordering::Relaxed);
             fence(Ordering::Acquire);
             let s2 = slot.seq.load(Ordering::Relaxed);
             if s2 != s1 {
@@ -404,6 +412,7 @@ impl Journal {
                 kind,
                 a,
                 b,
+                op,
             });
         }
         events.sort_by_key(|e| e.seq);
@@ -414,6 +423,51 @@ impl Journal {
             capacity: ring.len() as u64,
             torn,
         }
+    }
+
+    /// Decode the surviving records whose claims fall in
+    /// `[from, to)` — at most the newest `capacity` of them — without
+    /// walking the whole ring. Records overwritten by wraparound or
+    /// caught mid-write are silently skipped, so the result can be
+    /// shorter than the window; callers needing drop accounting use
+    /// [`Journal::snapshot`]. This is the op-ledger's stage-extraction
+    /// primitive: an [`crate::oplog::OpToken`] brackets its journal
+    /// window with two [`Journal::cursor`] reads and scans only that
+    /// slice on completion.
+    pub fn scan_window(&self, from: u64, to: u64) -> Vec<Event> {
+        let ring = self.ring();
+        let cap = ring.len() as u64;
+        let lo = from.max(to.saturating_sub(cap));
+        let mut events = Vec::with_capacity((to.saturating_sub(lo)) as usize);
+        for claim in lo..to {
+            let slot = &ring[(claim % cap) as usize];
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 != 2 * claim + 2 {
+                continue; // overwritten, in-flight, or never written
+            }
+            let ts = slot.ts.load(Ordering::Relaxed);
+            let tid_kind = slot.tid_kind.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            let op = slot.op.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != s1 {
+                continue; // overwritten while reading
+            }
+            let Some(kind) = EventKind::from_u32((tid_kind & 0xFFFF_FFFF) as u32) else {
+                continue;
+            };
+            events.push(Event {
+                seq: claim,
+                ts_ns: ts,
+                tid: tid_kind >> 32,
+                kind,
+                a,
+                b,
+                op,
+            });
+        }
+        events
     }
 
     /// Report-level summary without copying the ring.
@@ -478,6 +532,27 @@ impl JournalSnapshot {
         self.events.iter().filter(|e| e.kind == kind).count() as u64
     }
 
+    /// Cut the per-operation view: only events stamped with `op`
+    /// inside the journal window `[seq_start, seq_end)` — the window a
+    /// ledger record carries. Drop/torn accounting is zeroed (the cut
+    /// is a derived view, not a drain), so trace exports of a cut
+    /// never report ring-level drops that predate the op.
+    pub fn cut_op(&self, op: u64, seq_start: u64, seq_end: u64) -> JournalSnapshot {
+        let events: Vec<Event> = self
+            .events
+            .iter()
+            .filter(|e| e.op == op && e.seq >= seq_start && e.seq < seq_end)
+            .copied()
+            .collect();
+        JournalSnapshot {
+            recorded: events.len() as u64,
+            dropped: 0,
+            capacity: self.capacity,
+            torn: 0,
+            events,
+        }
+    }
+
     /// Export as Chrome Trace Event Format JSON (Perfetto /
     /// `chrome://tracing` loadable).
     ///
@@ -489,16 +564,35 @@ impl JournalSnapshot {
     /// half-pairs dropped that way is reported under
     /// `otherData.truncated_spans`.
     pub fn to_chrome_trace(&self) -> String {
-        // First pass: per-thread stage stacks pair up B/E indices.
-        let mut stacks: std::collections::BTreeMap<u64, Vec<usize>> =
+        self.render_trace(false)
+    }
+
+    /// Export as Chrome Trace JSON grouped by operation: each
+    /// [`Event::op`] becomes its own process track (`pid` = op id,
+    /// named `op-N`), so interleaved operations sharing a worker
+    /// thread separate into per-op lanes. Span pairing runs per
+    /// `(op, tid)`, keeping the output balanced even when two ops'
+    /// spans interleave on one thread. Unattributed events stay on
+    /// `pid` 0.
+    pub fn to_chrome_trace_by_op(&self) -> String {
+        self.render_trace(true)
+    }
+
+    fn render_trace(&self, by_op: bool) -> String {
+        // First pass: stage stacks pair up B/E indices, keyed per
+        // thread (and per op when grouping by op, so interleaved ops on
+        // one tid cannot cross-match).
+        let mut stacks: std::collections::BTreeMap<(u64, u64), Vec<usize>> =
             std::collections::BTreeMap::new();
+        let pid_of = |e: &Event| if by_op { e.op } else { 1 };
         let mut matched = vec![false; self.events.len()];
         let mut truncated = 0u64;
         for (i, e) in self.events.iter().enumerate() {
+            let key = (pid_of(e), e.tid);
             match e.kind {
-                EventKind::StageBegin => stacks.entry(e.tid).or_default().push(i),
+                EventKind::StageBegin => stacks.entry(key).or_default().push(i),
                 EventKind::StageEnd => {
-                    let stack = stacks.entry(e.tid).or_default();
+                    let stack = stacks.entry(key).or_default();
                     match stack.pop() {
                         Some(j) if self.events[j].a == e.a => {
                             matched[i] = true;
@@ -521,7 +615,7 @@ impl JournalSnapshot {
         let mut out = String::with_capacity(256 + self.events.len() * 96);
         out.push_str("{\"traceEvents\": [\n");
         let mut first = true;
-        let mut threads: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut tracks: std::collections::BTreeSet<(u64, u64)> = std::collections::BTreeSet::new();
         for (i, e) in self.events.iter().enumerate() {
             let body = match e.kind {
                 EventKind::StageBegin | EventKind::StageEnd => {
@@ -535,38 +629,54 @@ impl JournalSnapshot {
                         "E"
                     };
                     format!(
-                        "\"name\": \"{}\", \"ph\": \"{}\", \"args\": {{\"extra\": {}}}",
-                        stage, ph, e.b
+                        "\"name\": \"{}\", \"ph\": \"{}\", \"args\": {{\"extra\": {}, \"op\": {}}}",
+                        stage, ph, e.b, e.op
                     )
                 }
                 _ => format!(
-                    "\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"args\": {{{}}}",
+                    "\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"args\": {{{}, \"op\": {}}}",
                     e.kind.name(),
-                    explain_args(e)
+                    explain_args(e),
+                    e.op
                 ),
             };
             if !first {
                 out.push_str(",\n");
             }
             first = false;
-            threads.insert(e.tid);
+            tracks.insert((pid_of(e), e.tid));
             out.push_str(&format!(
-                "  {{{}, \"ts\": {}.{:03}, \"pid\": 1, \"tid\": {}}}",
+                "  {{{}, \"ts\": {}.{:03}, \"pid\": {}, \"tid\": {}}}",
                 body,
                 e.ts_ns / 1_000,
                 e.ts_ns % 1_000,
+                pid_of(e),
                 e.tid
             ));
         }
-        for t in threads {
+        if by_op {
+            let pids: std::collections::BTreeSet<u64> = tracks.iter().map(|&(p, _)| p).collect();
+            for p in pids {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                out.push_str(&format!(
+                    "  {{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {}, \"tid\": 0, \
+                     \"args\": {{\"name\": \"op-{}\"}}}}",
+                    p, p
+                ));
+            }
+        }
+        for (p, t) in tracks {
             if !first {
                 out.push_str(",\n");
             }
             first = false;
             out.push_str(&format!(
-                "  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \
+                "  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {}, \"tid\": {}, \
                  \"args\": {{\"name\": \"aarray-{}\"}}}}",
-                t, t
+                p, t, t
             ));
         }
         out.push_str(&format!(
@@ -732,6 +842,66 @@ mod tests {
             assert_eq!(Stage::from_u64(i as u64), Some(s));
         }
         assert_eq!(EventKind::from_u32(N_KINDS as u32), None);
+    }
+
+    #[test]
+    fn scan_window_decodes_only_the_claim_range() {
+        let j = Journal::with_capacity(8);
+        for i in 0..6 {
+            j.record(EventKind::RowShape, i, i);
+        }
+        let mid = j.scan_window(2, 5);
+        assert_eq!(mid.iter().map(|e| e.a).collect::<Vec<u64>>(), vec![2, 3, 4]);
+        assert_eq!(
+            mid.iter().map(|e| e.seq).collect::<Vec<u64>>(),
+            vec![2, 3, 4]
+        );
+        // Wrap the ring: claims older than head − capacity are gone and
+        // the scan skips them instead of surfacing stale slots.
+        for i in 6..20 {
+            j.record(EventKind::RowShape, i, i);
+        }
+        let survivors = j.scan_window(0, j.cursor());
+        assert_eq!(
+            survivors.iter().map(|e| e.a).collect::<Vec<u64>>(),
+            (12..20).collect::<Vec<u64>>()
+        );
+        assert!(j.scan_window(0, 4).is_empty());
+    }
+
+    #[test]
+    fn op_stamp_cut_and_by_op_export() {
+        let j = Journal::with_capacity(64);
+        j.record(EventKind::PlanCacheMiss, 1, 1); // unattributed
+        {
+            let _op = crate::oplog::enter_op(41);
+            j.begin(Stage::Numeric, 7);
+            {
+                let _inner = crate::oplog::enter_op(42);
+                j.begin(Stage::Numeric, 8);
+                j.end(Stage::Numeric, 8);
+            }
+            j.end(Stage::Numeric, 7);
+        }
+        let snap = j.snapshot();
+        assert_eq!(snap.events[0].op, 0);
+        assert_eq!(snap.events[1].op, 41);
+        assert_eq!(snap.events[2].op, 42);
+        // The cut keeps only op-42 events inside the window.
+        let cut = snap.cut_op(42, 0, j.cursor());
+        assert_eq!(cut.events.len(), 2);
+        assert!(cut.events.iter().all(|e| e.op == 42));
+        assert_eq!(cut.dropped, 0);
+        // By-op grouping: each op becomes its own pid track, spans stay
+        // balanced even though both ops share one tid.
+        let trace = snap.to_chrome_trace_by_op();
+        assert_eq!(trace.matches("\"ph\": \"B\"").count(), 2);
+        assert_eq!(trace.matches("\"ph\": \"E\"").count(), 2);
+        assert!(trace.contains("\"name\": \"op-41\""));
+        assert!(trace.contains("\"name\": \"op-42\""));
+        assert!(trace.contains("\"pid\": 41"));
+        assert!(trace.contains("\"truncated_spans\": 0"));
+        assert_eq!(trace.matches('{').count(), trace.matches('}').count());
     }
 
     #[test]

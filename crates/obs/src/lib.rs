@@ -25,6 +25,16 @@
 //!   ([`JournalSnapshot::to_chrome_trace`]). Ring capacity is tunable
 //!   via `AARRAY_OBS_EVENTS`;
 //!
+//! * a **per-operation ledger** ([`oplog`]) — every root operation
+//!   (plan build/execute, one-shot matmul or kernel, incremental
+//!   delta-apply or rebuild) allocates an `OpId` that journal records
+//!   carry in a payload slot, and completion publishes one fixed-size
+//!   record (kind, workload label, per-stage ns breakdown, flops,
+//!   output nnz, lanes, dispatch decision, fallback reason, scratch
+//!   peak, journal seq window) into a lock-free bounded ring with
+//!   per-kind wall-time tail histograms on top. Ring capacity is
+//!   tunable via `AARRAY_OBS_OPS`;
+//!
 //! * **exporters** ([`ObsReport`]) — one capture of all layers with
 //!   stable JSON ([`ObsReport::to_json`]) and Prometheus text format
 //!   ([`ObsReport::to_prometheus`]) renderings;
@@ -58,6 +68,7 @@ pub mod counters;
 pub mod histogram;
 pub mod journal;
 pub mod memstats;
+pub mod oplog;
 pub mod report;
 
 pub use counters::{counters, env_parse_error, snapshot, Counter, Gauge, Snapshot, SnapshotDiff};
@@ -70,6 +81,10 @@ pub use journal::{
     DEFAULT_JOURNAL_EVENTS, JOURNAL_EVENTS_ENV,
 };
 pub use memstats::{memstats, MemRegion, MemReservation, MemSnapshot, MemStats};
+pub use oplog::{
+    current_op, enter_op, oplog, workload_label, OpId, OpKind, OpLog, OpLogSnapshot, OpLogStats,
+    OpRecord, OpToken, OpsReport, DEFAULT_OP_RECORDS, OPS_ENV, OP_KIND_NAMES,
+};
 pub use report::{ObsReport, REPORT_SCHEMA_VERSION};
 
 /// Re-export of the `tracing` facade for [`trace_span!`] expansion.

@@ -21,10 +21,12 @@ use crate::counters::{Snapshot, COUNTER_NAMES, GAUGE_NAMES};
 use crate::histogram::{bucket_upper, histograms, HistogramSnapshot, HIST_NAMES};
 use crate::journal::JournalStats;
 use crate::memstats::{memstats, MemSnapshot, MEM_REGION_NAMES};
+use crate::oplog::{OpsReport, OP_KIND_NAMES};
 
 /// Schema version stamped into every JSON export; bumped whenever the
-/// shape of the report changes incompatibly.
-pub const REPORT_SCHEMA_VERSION: u64 = 3;
+/// shape of the report changes incompatibly. v4 added the `ops`
+/// section (per-operation ledger summary + per-kind tail percentiles).
+pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// A point-in-time capture of counters, gauges, histograms, and memory
 /// accounting. See the [module docs](self).
@@ -38,6 +40,9 @@ pub struct ObsReport {
     pub mem: MemSnapshot,
     /// Flight-recorder summary (recorded/dropped/capacity).
     pub journal: JournalStats,
+    /// Operation-ledger summary (per-kind wall-time tails and
+    /// per-label completion counts).
+    pub ops: OpsReport,
 }
 
 impl ObsReport {
@@ -48,12 +53,14 @@ impl ObsReport {
             histograms: histograms().snapshot_all(),
             mem: memstats().snapshot(),
             journal: crate::journal::journal().stats(),
+            ops: crate::oplog::oplog().report(),
         }
     }
 
     /// Report containing the *difference* since an earlier capture:
-    /// counters and histogram buckets diff; gauges, watermarks, and
-    /// memory figures carry over from `self` (they are last-values).
+    /// counters, histogram buckets, and ledger tails diff; gauges,
+    /// watermarks, and memory figures carry over from `self` (they are
+    /// last-values).
     pub fn since(&self, earlier: &ObsReport) -> ObsReport {
         ObsReport {
             counters: self.counters.since(&earlier.counters),
@@ -72,6 +79,7 @@ impl ObsReport {
                 dropped: self.journal.dropped.saturating_sub(earlier.journal.dropped),
                 capacity: self.journal.capacity,
             },
+            ops: self.ops.since(&earlier.ops),
         }
     }
 
@@ -137,6 +145,31 @@ impl ObsReport {
         out.push_str("\n  },\n");
 
         out.push_str(&format!(
+            "  \"ops\": {{\"recorded\": {}, \"dropped\": {}, \"capacity\": {}, \"kinds\": {{",
+            self.ops.recorded, self.ops.dropped, self.ops.capacity
+        ));
+        let mut kinds: Vec<(&str, &HistogramSnapshot)> = OP_KIND_NAMES
+            .iter()
+            .zip(self.ops.tails.iter())
+            .map(|(&(_, name), s)| (name, s))
+            .collect();
+        kinds.sort_by_key(|&(name, _)| name);
+        for (i, (name, s)) in kinds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+                name,
+                s.count(),
+                s.median(),
+                s.quantile(0.95),
+                s.quantile(0.99)
+            ));
+        }
+        out.push_str("\n  }},\n");
+
+        out.push_str(&format!(
             "  \"journal\": {{\"recorded\": {}, \"dropped\": {}, \"capacity\": {}}}\n}}\n",
             self.journal.recorded, self.journal.dropped, self.journal.capacity
         ));
@@ -159,7 +192,8 @@ impl ObsReport {
         for (name, v) in counters {
             out.push_str(&format!(
                 "aarray_events_total{{event=\"{}\"}} {}\n",
-                name, v
+                escape_label_value(name),
+                v
             ));
         }
 
@@ -183,14 +217,16 @@ impl ObsReport {
         for &(name, cur, _) in &regions {
             out.push_str(&format!(
                 "aarray_mem_current_bytes{{region=\"{}\"}} {}\n",
-                name, cur
+                escape_label_value(name),
+                cur
             ));
         }
         out.push_str("# TYPE aarray_mem_peak_bytes gauge\n");
         for &(name, _, peak) in &regions {
             out.push_str(&format!(
                 "aarray_mem_peak_bytes{{region=\"{}\"}} {}\n",
-                name, peak
+                escape_label_value(name),
+                peak
             ));
         }
 
@@ -204,6 +240,71 @@ impl ObsReport {
             "aarray_journal_dropped_total {}\n",
             self.journal.dropped
         ));
+
+        out.push_str("# TYPE aarray_ops_recorded_total counter\n");
+        out.push_str(&format!(
+            "aarray_ops_recorded_total {}\n",
+            self.ops.recorded
+        ));
+        out.push_str("# TYPE aarray_ops_dropped_total counter\n");
+        out.push_str(&format!("aarray_ops_dropped_total {}\n", self.ops.dropped));
+
+        // Per-(kind, label) completion counts. Workload labels are
+        // user-influenced strings and must be escaped per the
+        // exposition format; kind names are static but go through the
+        // same escaper so the invariant holds by construction.
+        let mut cells: Vec<(&str, &str, u64)> = Vec::new();
+        for (k, &(_, kname)) in OP_KIND_NAMES.iter().enumerate() {
+            if let Some(row) = self.ops.label_counts.get(k) {
+                for (l, &v) in row.iter().enumerate() {
+                    if v == 0 {
+                        continue;
+                    }
+                    cells.push((kname, self.ops.labels.get(l).map_or("", String::as_str), v));
+                }
+            }
+        }
+        cells.sort();
+        out.push_str("# TYPE aarray_ops_total counter\n");
+        for (kname, label, v) in cells {
+            out.push_str(&format!(
+                "aarray_ops_total{{kind=\"{}\",label=\"{}\"}} {}\n",
+                escape_label_value(kname),
+                escape_label_value(label),
+                v
+            ));
+        }
+
+        // Per-kind wall-time tails. Each kind gets its own metric name
+        // (rather than a shared name with a `kind` label) because the
+        // cumulative bucket series would restart at each kind boundary
+        // under one name.
+        let mut kinds: Vec<(&str, &HistogramSnapshot)> = OP_KIND_NAMES
+            .iter()
+            .zip(self.ops.tails.iter())
+            .map(|(&(_, name), s)| (name, s))
+            .collect();
+        kinds.sort_by_key(|&(name, _)| name);
+        for (name, s) in kinds {
+            let pname = format!("aarray_ops_wall_ns_{}", prom_name(name));
+            out.push_str(&format!("# TYPE {} histogram\n", pname));
+            let mut cumulative = 0u64;
+            for (i, &c) in s.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                out.push_str(&format!(
+                    "{}_bucket{{le=\"{}\"}} {}\n",
+                    pname,
+                    bucket_upper(i),
+                    cumulative
+                ));
+            }
+            out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", pname, cumulative));
+            out.push_str(&format!("{}_sum {}\n", pname, s.sum));
+            out.push_str(&format!("{}_count {}\n", pname, cumulative));
+        }
 
         let mut hists: Vec<(&str, &HistogramSnapshot)> = HIST_NAMES
             .iter()
@@ -233,6 +334,24 @@ impl ObsReport {
         }
         out
     }
+}
+
+/// Escape a label *value* per the Prometheus text exposition format:
+/// backslash, double-quote, and newline must be written as `\\`, `\"`,
+/// and `\n`. Everything that lands between `label="…"` quotes —
+/// user-influenced workload labels in particular — must pass through
+/// here.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// `latency.plan-build-ns` → `latency_plan_build_ns`.
@@ -302,7 +421,14 @@ mod tests {
     #[test]
     fn json_is_sorted_and_parsable_shape() {
         let j = sample_report().to_json();
-        assert!(j.contains("\"schema_version\": 3"));
+        assert!(j.contains("\"schema_version\": 4"));
+        // The ops section precedes the journal section and carries a
+        // percentile entry per op kind.
+        let ops = j.find("\"ops\"").unwrap();
+        let journal = j.find("\"journal\"").unwrap();
+        assert!(ops < journal, "ops section must precede journal");
+        assert!(j.contains("\"plan-execute\": {\"count\": "));
+        assert!(j.contains("\"p95_ns\": "));
         // Sorted counters: dispatch.parallel before dispatch.serial,
         // both before fused.*.
         let dp = j.find("\"dispatch.parallel\"").unwrap();
@@ -379,6 +505,52 @@ mod tests {
             inf.rsplit_once(' ').unwrap().1,
             count.rsplit_once(' ').unwrap().1
         );
+    }
+
+    #[test]
+    fn prometheus_escapes_user_influenced_labels_round_trip() {
+        // A workload label exercising every escapable character the
+        // exposition format defines (no spaces, so the line-shape
+        // invariant test stays valid even though this label lands in
+        // the process-global table).
+        let nasty = "evil\"label\\with\nnewline";
+        assert_eq!(escape_label_value(nasty), "evil\\\"label\\\\with\\nnewline");
+        // Round trip through an exposition-format unescape.
+        fn unescape(v: &str) -> String {
+            let mut out = String::new();
+            let mut it = v.chars();
+            while let Some(c) = it.next() {
+                if c != '\\' {
+                    out.push(c);
+                    continue;
+                }
+                match it.next() {
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some('n') => out.push('\n'),
+                    other => panic!("invalid escape \\{:?}", other),
+                }
+            }
+            out
+        }
+        assert_eq!(unescape(&escape_label_value(nasty)), nasty);
+
+        // End to end: a ledger record under that label renders as one
+        // well-formed, parseable sample line.
+        let id = crate::oplog::intern_label(nasty);
+        let mut d = crate::oplog::OpDraft::new(crate::oplog::OpKind::Matmul);
+        d.label = id;
+        d.wall_ns = 10;
+        crate::oplog::oplog().record(&d);
+        let p = ObsReport::capture().to_prometheus();
+        let line = p
+            .lines()
+            .find(|l| l.starts_with("aarray_ops_total{kind=\"matmul\"") && l.contains("evil"))
+            .expect("escaped ops sample present");
+        let (metric, value) = line.rsplit_once(' ').unwrap();
+        assert!(value.parse::<u64>().is_ok());
+        assert!(metric.contains("label=\"evil\\\"label\\\\with\\nnewline\""));
+        assert!(!line.contains('\n'));
     }
 
     #[test]

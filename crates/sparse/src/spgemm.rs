@@ -23,8 +23,8 @@
 use crate::csr::Csr;
 use aarray_algebra::{BinaryOp, OpPair, Value};
 use aarray_obs::{
-    counters, histograms, histograms_enabled, journal, memstats, Counter, EventKind, Hist,
-    MemRegion, MemReservation, Stage,
+    counters, current_op, enter_op, histograms, histograms_enabled, journal, memstats, Counter,
+    EventKind, Hist, MemRegion, MemReservation, OpKind, OpToken, Stage,
 };
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -140,6 +140,12 @@ where
         b.nrows(),
         b.ncols()
     );
+    let mut op = OpToken::begin_if_root(OpKind::Kernel);
+    if let Some(t) = op.as_mut() {
+        t.set_flops(spgemm_flops(a, b));
+        t.set_lanes(1);
+        t.set_dispatch(false, 1);
+    }
     record_kernel(acc, false);
 
     let mut indptr = vec![0usize; a.nrows() + 1];
@@ -158,6 +164,10 @@ where
         indptr[i + 1] = indices.len();
     }
 
+    if let Some(mut t) = op {
+        t.set_out_nnz(values.len() as u64);
+        t.finish();
+    }
     Csr::from_parts(a.nrows(), b.ncols(), indptr, indices, values)
 }
 
@@ -187,6 +197,12 @@ where
         b.nrows(),
         b.ncols()
     );
+    let mut op = OpToken::begin_if_root(OpKind::Kernel);
+    if let Some(t) = op.as_mut() {
+        t.set_flops(spgemm_flops(a, b));
+        t.set_lanes(1);
+        t.set_dispatch(true, rayon::current_num_threads() as u64);
+    }
     record_kernel(acc, true);
 
     // Explicit contiguous chunks: each is claimed by one pool thread,
@@ -196,9 +212,14 @@ where
     // thread, so the flight recorder shows per-worker tracks.
     let ranges = row_chunks(a.nrows());
     let spans = ranges.len() > 1;
+    // Pool workers have their own (op-less) thread-local context, so
+    // the submitting thread's op must travel into the closures for the
+    // chunk spans to attribute to it.
+    let cur = current_op();
     let chunks: Vec<Vec<Vec<(u32, V)>>> = ranges
         .into_par_iter()
         .map(|range| {
+            let _op = enter_op(cur);
             if spans {
                 journal().begin(Stage::Numeric, range.len() as u64);
             }
@@ -226,6 +247,10 @@ where
             values.push(v);
         }
         indptr[i + 1] = indices.len();
+    }
+    if let Some(mut t) = op {
+        t.set_out_nnz(values.len() as u64);
+        t.finish();
     }
     Csr::from_parts(a.nrows(), b.ncols(), indptr, indices, values)
 }

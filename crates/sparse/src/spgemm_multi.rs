@@ -29,13 +29,13 @@
 //! `tests/proptest_multi.rs`).
 
 use crate::csr::Csr;
-use crate::spgemm::row_chunks;
+use crate::spgemm::{row_chunks, spgemm_flops};
 use crate::symbolic::{spgemm_symbolic, SymbolicProduct};
 use aarray_algebra::dynpair::DynOpPair;
 use aarray_algebra::Value;
 use aarray_obs::{
-    counters, histograms, histograms_enabled, journal, memstats, Counter, EventKind, Hist,
-    MemRegion, MemReservation, Stage,
+    counters, current_op, enter_op, histograms, histograms_enabled, journal, memstats, Counter,
+    EventKind, Hist, MemRegion, MemReservation, OpKind, OpToken, Stage,
 };
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -70,8 +70,21 @@ pub fn spgemm_multi<V: Value>(
     pairs: &[&dyn DynOpPair<V>],
     acc: MultiAccumulator,
 ) -> Vec<Csr<V>> {
+    // Token opens before the symbolic pass so its span lands inside
+    // the op's journal window.
+    let mut op = OpToken::begin_if_root(OpKind::Kernel);
+    if let Some(t) = op.as_mut() {
+        t.set_flops(spgemm_flops(a, b) * pairs.len() as u64);
+        t.set_lanes(pairs.len() as u64);
+        t.set_dispatch(false, 1);
+    }
     let sym = spgemm_symbolic(a, b);
-    spgemm_multi_numeric(&sym, a, b, pairs, acc)
+    let outs = spgemm_multi_numeric(&sym, a, b, pairs, acc);
+    if let Some(mut t) = op {
+        t.set_out_nnz(outs.iter().map(|c| c.nnz() as u64).sum());
+        t.finish();
+    }
+    outs
 }
 
 /// Row-parallel fused `K`-pair product.
@@ -85,8 +98,19 @@ pub fn spgemm_multi_parallel<V: Value>(
     pairs: &[&dyn DynOpPair<V>],
     acc: MultiAccumulator,
 ) -> Vec<Csr<V>> {
+    let mut op = OpToken::begin_if_root(OpKind::Kernel);
+    if let Some(t) = op.as_mut() {
+        t.set_flops(spgemm_flops(a, b) * pairs.len() as u64);
+        t.set_lanes(pairs.len() as u64);
+        t.set_dispatch(true, rayon::current_num_threads() as u64);
+    }
     let sym = spgemm_symbolic(a, b);
-    spgemm_multi_numeric_parallel(&sym, a, b, pairs, acc)
+    let outs = spgemm_multi_numeric_parallel(&sym, a, b, pairs, acc);
+    if let Some(mut t) = op {
+        t.set_out_nnz(outs.iter().map(|c| c.nnz() as u64).sum());
+        t.finish();
+    }
+    outs
 }
 
 /// Record one fused numeric traversal in the global counter registry:
@@ -186,9 +210,14 @@ pub fn spgemm_multi_numeric_parallel<V: Value>(
     type RowSegments<V> = Vec<Vec<(u32, V)>>;
     let ranges = row_chunks(a.nrows());
     let spans = ranges.len() > 1;
+    // Pool workers carry no op context of their own: thread the
+    // submitting thread's op into each chunk so its numeric spans
+    // attribute to the operation that dispatched here.
+    let cur = current_op();
     let chunks: Vec<Vec<RowSegments<V>>> = ranges
         .into_par_iter()
         .map(|range| {
+            let _op = enter_op(cur);
             if spans {
                 journal().begin(Stage::Numeric, range.len() as u64);
             }
