@@ -229,7 +229,8 @@ fn main() {
         delta.total_events() - delta.get(Counter::FlopsTotal) - delta.get(Counter::FusedLanes)
             + 2 * delta.get(Counter::FusedTraversals)
             - delta.get(Counter::PoolTasksLocal)
-            - delta.get(Counter::PoolTasksStolen);
+            - delta.get(Counter::PoolTasksStolen)
+            - delta.get(Counter::PoolTasksInline);
 
     // Contended per-op costs: four workers hammering the same counter
     // cell / histogram / ring. Wall time over total ops is the

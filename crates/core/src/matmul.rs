@@ -108,20 +108,24 @@ pub fn would_parallelize(flops: u64, threshold: u64, nthreads: usize) -> bool {
 
 /// Fold the thread pool's task accounting into the obs registry: the
 /// pool size visible from this thread ([`Gauge::PoolThreads`]) and the
-/// chunks executed locally vs. stolen since the last drain
-/// ([`Counter::PoolTasksLocal`] / [`Counter::PoolTasksStolen`]). The
-/// stub's drain is an atomic swap, so concurrent callers partition the
-/// counts exactly — nothing is double-reported or lost. Called after
-/// every numeric pass that may have fanned out.
+/// chunks executed locally vs. stolen vs. inline since the last drain
+/// ([`Counter::PoolTasksLocal`] / [`Counter::PoolTasksStolen`] /
+/// [`Counter::PoolTasksInline`]). The stub's drain is an atomic swap,
+/// so concurrent callers partition the counts exactly — nothing is
+/// double-reported or lost. Called after every numeric pass that may
+/// have fanned out.
 pub(crate) fn record_pool_stats() {
     let c = counters();
     c.store(Gauge::PoolThreads, rayon::current_num_threads() as u64);
-    let (local, stolen) = rayon::take_task_stats();
+    let (local, stolen, inline) = rayon::take_task_stats();
     if local > 0 {
         c.add(Counter::PoolTasksLocal, local);
     }
     if stolen > 0 {
         c.add(Counter::PoolTasksStolen, stolen);
+    }
+    if inline > 0 {
+        c.add(Counter::PoolTasksInline, inline);
     }
 }
 

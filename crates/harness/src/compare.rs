@@ -502,6 +502,117 @@ mod tests {
     }
 
     #[test]
+    fn tolerance_boundaries_are_exclusive() {
+        let cfg = CheckConfig::default();
+        let base = v3_doc(2_000_000, 5_000_000, 10 << 20);
+
+        // Exactly +15% latency: `pct > limit_pct` is strict, so this
+        // is the last passing value.
+        let at = compare(
+            &v3_doc(2_300_000, 5_000_000, 10 << 20),
+            &base,
+            &BenchKind::V3,
+            &cfg,
+        );
+        let total = at
+            .findings
+            .iter()
+            .find(|f| f.metric == "fig3@20000/total")
+            .unwrap();
+        assert_eq!(total.pct, 15.0);
+        assert!(!total.regressed);
+
+        // One nanosecond past the boundary regresses.
+        let over = compare(
+            &v3_doc(2_300_001, 5_000_000, 10 << 20),
+            &base,
+            &BenchKind::V3,
+            &cfg,
+        );
+        assert!(over.regressions().any(|f| f.metric == "fig3@20000/total"));
+
+        // Exactly +20% memory passes; one byte past regresses.
+        let mem_at = compare(
+            &v3_doc(2_000_000, 5_000_000, 12 << 20),
+            &base,
+            &BenchKind::V3,
+            &cfg,
+        );
+        let spa = mem_at
+            .findings
+            .iter()
+            .find(|f| f.metric == "mem/spa-scratch")
+            .unwrap();
+        assert_eq!(spa.pct, 20.0);
+        assert!(mem_at.pass(), "{:?}", mem_at.findings);
+        let mem_over = compare(
+            &v3_doc(2_000_000, 5_000_000, (12 << 20) + 1),
+            &base,
+            &BenchKind::V3,
+            &cfg,
+        );
+        assert!(mem_over
+            .regressions()
+            .any(|f| f.metric == "mem/spa-scratch"));
+    }
+
+    #[test]
+    fn noise_floors_are_inclusive_at_the_boundary() {
+        let cfg = CheckConfig::default();
+
+        // A baseline total exactly at the 50 µs floor IS compared
+        // (skip condition is `base < floor`): doubled, it regresses.
+        let base = v3_doc(50_000, 5_000_000, 1 << 20);
+        let v = compare(
+            &v3_doc(100_000, 5_000_000, 1 << 20),
+            &base,
+            &BenchKind::V3,
+            &cfg,
+        );
+        assert!(v.regressions().any(|f| f.metric == "fig3@20000/total"));
+        // A peak exactly at the 1 MiB floor is likewise compared.
+        assert!(
+            v.findings.iter().any(|f| f.metric == "mem/spa-scratch"),
+            "{:?}",
+            v.findings
+        );
+
+        // One unit below either floor: skipped with a visible reason,
+        // never compared, even against an egregious current value.
+        let below = v3_doc(49_999, 5_000_000, (1 << 20) - 1);
+        let v = compare(
+            &v3_doc(5_000_000, 5_000_000, 100 << 20),
+            &below,
+            &BenchKind::V3,
+            &cfg,
+        );
+        assert!(v.pass(), "{:?}", v.findings);
+        assert!(!v.findings.iter().any(|f| f.metric == "fig3@20000/total"));
+        assert!(!v.findings.iter().any(|f| f.metric == "mem/spa-scratch"));
+        assert!(v.skipped.iter().any(|s| s.contains("fig3@20000/total")));
+        assert!(v.skipped.iter().any(|s| s.contains("mem/spa-scratch")));
+
+        // The floor also gates NEW classification: a zero-baseline
+        // metric needs current signal at or above the floor to count.
+        let zero = v3_doc(0, 5_000_000, 1 << 20);
+        let v = compare(
+            &v3_doc(50_000, 5_000_000, 1 << 20),
+            &zero,
+            &BenchKind::V3,
+            &cfg,
+        );
+        assert!(v.new_metrics().any(|f| f.metric == "fig3@20000/total"));
+        let v = compare(
+            &v3_doc(49_999, 5_000_000, 1 << 20),
+            &zero,
+            &BenchKind::V3,
+            &cfg,
+        );
+        assert!(!v.new_metrics().any(|f| f.metric == "fig3@20000/total"));
+        assert!(v.skipped.iter().any(|s| s.contains("fig3@20000/total")));
+    }
+
+    #[test]
     fn legacy_baselines_map_to_fig3_stages() {
         let cfg = CheckConfig::default();
         let cur = v3_doc(4_000_000, 5_000_000, 8 << 20);

@@ -9,6 +9,12 @@
 //! baselines (both the v3 observatory format and the legacy PR1/PR2
 //! single-figure files).
 //!
+//! `obsctl diff` attributes the wall-time delta between two captured
+//! runs ([`diff`]) to ranked stage contributors and decision flips;
+//! `obsctl run/stream --profile-out` writes the rich per-run documents
+//! ([`profile`]) it consumes, and `obsctl history` trends every
+//! committed baseline lineage shape ([`history`]).
+//!
 //! `obsctl trace` additionally drains the always-on flight recorder
 //! ([`aarray_obs::journal`]) after one workload and exports it as a
 //! Chrome-trace/Perfetto timeline, validated structurally by
@@ -23,6 +29,9 @@
 
 pub mod chrome_trace;
 pub mod compare;
+pub mod diff;
+pub mod history;
 pub mod json;
+pub mod profile;
 pub mod schema;
 pub mod workloads;

@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! obsctl run    [--out BENCH_pr3.json] [--scales 2000,8000,20000]
-//!               [--reps 5] [--prometheus <path>]
+//!               [--reps 5] [--prometheus <path>] [--profile-out <path>]
 //! obsctl stream [--out BENCH_pr4.json] [--scales 2000,8000,20000]
-//!               [--reps 5]
+//!               [--reps 5] [--profile-out <path>]
 //! obsctl parbench [--out BENCH_pr6.json] [--scales 2000,8000,20000]
 //!               [--reps 5] [--threads 1,2,4]
 //! obsctl check  [--current BENCH_pr3.json] [--against <file>]...
@@ -55,7 +55,21 @@
 //! Metrics with no (nonzero) baseline but real current signal are
 //! reported as **NEW** and exit 3 — distinct from both "ok" (0) and
 //! "regressed" (1) so CI can choose its policy; `--allow-new`
-//! downgrades them to informational.
+//! downgrades them to informational. With `--json`, each regressed
+//! metric additionally carries an `attribution` field naming the top
+//! same-workload stage deltas between the two documents.
+//!
+//! `diff` normalizes two run documents — `--profile-out` profiles,
+//! v3/v4 observatory files, or legacy single-figure baselines — and
+//! attributes their wall-time delta to ranked per-stage contributors
+//! (until ≥ 90% is explained) annotated with decision flips
+//! (serial↔parallel dispatch, plan-cache hit rates, Spa↔Hash
+//! accumulator selection, delta-apply↔rebuild fallback).
+//!
+//! `history` ingests every committed `BENCH_pr*.json` lineage shape —
+//! legacy PR1/PR2, v3/v4 observatory, the parbench matrix (1-thread
+//! cells) — and prints a metric×file trend table with noise-floored
+//! slope flags.
 
 use aarray_harness::chrome_trace;
 use aarray_harness::compare::{compare, CheckConfig};
@@ -76,6 +90,8 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("ops") => cmd_ops(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("history") => cmd_history(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("--check") => cmd_check(&args[1..]),
         Some("--help" | "-h" | "help") => {
@@ -108,6 +124,8 @@ usage:
                 [--interval-ms 200]
   obsctl check  [--current BENCH_pr3.json] [--against <file>]...
                 [--lat-tol 15] [--mem-tol 20] [--allow-new] [--json <path>]
+  obsctl diff   <A.json> <B.json> [--json <path>]
+  obsctl history <BENCH_*.json>... [--out <path>]
   obsctl --check
 ";
 
@@ -120,6 +138,7 @@ fn take_value(it: &mut std::slice::Iter<String>, flag: &str) -> Result<String, S
 fn cmd_run(args: &[String]) -> ExitCode {
     let mut out_path = "BENCH_pr3.json".to_string();
     let mut prom_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut scales: Vec<usize> = vec![2_000, 8_000, 20_000];
     let mut reps = 5usize;
 
@@ -128,6 +147,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         let r = match a.as_str() {
             "--out" => take_value(&mut it, a).map(|v| out_path = v),
             "--prometheus" => take_value(&mut it, a).map(|v| prom_path = Some(v)),
+            "--profile-out" => take_value(&mut it, a).map(|v| profile_path = Some(v)),
             "--reps" => take_value(&mut it, a).and_then(|v| {
                 v.parse()
                     .map(|n| reps = n)
@@ -161,6 +181,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
 
     let before = ObsReport::capture();
+    let ops_cursor = aarray_obs::oplog().cursor();
     let mut runs = Vec::new();
     for &rows in &scales {
         for figure in [Figure::Fig3, Figure::Fig5] {
@@ -211,11 +232,43 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
         println!("prometheus metrics written to {}", p);
     }
+    if let Some(p) = profile_path {
+        if let Err(code) = write_profile("run", &p, &runs, &report, ops_cursor) {
+            return code;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Emit a `--profile-out` document covering the op-ledger window that
+/// opened at `ops_cursor`; shared by `run` and `stream`.
+fn write_profile(
+    cmd: &str,
+    path: &str,
+    runs: &[aarray_harness::workloads::WorkloadRun],
+    report: &ObsReport,
+    ops_cursor: u64,
+) -> Result<(), ExitCode> {
+    let totals = aarray_obs::oplog().snapshot().stage_totals(ops_cursor);
+    let doc = aarray_harness::profile::profile_json(runs, report, &totals);
+    if let Err(e) = parse(&doc) {
+        eprintln!(
+            "obsctl {}: internal error: emitted profile is not valid JSON: {}",
+            cmd, e
+        );
+        return Err(ExitCode::from(2));
+    }
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("obsctl {}: cannot write {:?}: {}", cmd, path, e);
+        return Err(ExitCode::from(2));
+    }
+    println!("profile written to {}", path);
+    Ok(())
 }
 
 fn cmd_stream(args: &[String]) -> ExitCode {
     let mut out_path = "BENCH_pr4.json".to_string();
+    let mut profile_path: Option<String> = None;
     let mut scales: Vec<usize> = vec![2_000, 8_000, 20_000];
     let mut reps = 5usize;
 
@@ -223,6 +276,7 @@ fn cmd_stream(args: &[String]) -> ExitCode {
     while let Some(a) = it.next() {
         let r = match a.as_str() {
             "--out" => take_value(&mut it, a).map(|v| out_path = v),
+            "--profile-out" => take_value(&mut it, a).map(|v| profile_path = Some(v)),
             "--reps" => take_value(&mut it, a).and_then(|v| {
                 v.parse()
                     .map(|n| reps = n)
@@ -255,6 +309,7 @@ fn cmd_stream(args: &[String]) -> ExitCode {
     }
 
     let before = ObsReport::capture();
+    let ops_cursor = aarray_obs::oplog().cursor();
     let mut runs = Vec::new();
     for &rows in &scales {
         let (incr, rebuild) = run_streaming(rows, reps);
@@ -298,6 +353,11 @@ fn cmd_stream(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
     println!("streaming observatory file written to {}", out_path);
+    if let Some(p) = profile_path {
+        if let Err(code) = write_profile("stream", &p, &runs, &report, ops_cursor) {
+            return code;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -362,6 +422,7 @@ fn cmd_parbench(args: &[String]) -> ExitCode {
         wall_ns: u64,
         tasks_local: u64,
         tasks_stolen: u64,
+        tasks_inline: u64,
     }
     let mut cells: Vec<Cell> = Vec::new();
 
@@ -400,6 +461,7 @@ fn cmd_parbench(args: &[String]) -> ExitCode {
                         wall_ns: w_ns,
                         tasks_local: d.get(Counter::PoolTasksLocal),
                         tasks_stolen: d.get(Counter::PoolTasksStolen),
+                        tasks_inline: d.get(Counter::PoolTasksInline),
                     });
                 };
             for figure in [Figure::Fig3, Figure::Fig5] {
@@ -408,7 +470,7 @@ fn cmd_parbench(args: &[String]) -> ExitCode {
                 let d = snapshot().since(&before);
                 println!(
                     "{:>5}@{:<6} x{} thread(s)  numeric {:>9.3} ms  wall {:>9.3} ms  \
-                     tasks {}/{} local/stolen",
+                     tasks {}/{}/{} local/stolen/inline",
                     run.name,
                     rows,
                     t,
@@ -416,6 +478,7 @@ fn cmd_parbench(args: &[String]) -> ExitCode {
                     run.stages.wall_ns as f64 / 1e6,
                     d.get(Counter::PoolTasksLocal),
                     d.get(Counter::PoolTasksStolen),
+                    d.get(Counter::PoolTasksInline),
                 );
                 push(
                     run.name,
@@ -430,13 +493,14 @@ fn cmd_parbench(args: &[String]) -> ExitCode {
             let d = snapshot().since(&before);
             println!(
                 "stream@{:<6} x{} thread(s)  refresh {:>9.3} ms  rebuild {:>9.3} ms  \
-                 tasks {}/{} local/stolen",
+                 tasks {}/{}/{} local/stolen/inline",
                 rows,
                 t,
                 incr.stages.numeric_ns as f64 / 1e6,
                 rebuild.stages.numeric_ns as f64 / 1e6,
                 d.get(Counter::PoolTasksLocal),
                 d.get(Counter::PoolTasksStolen),
+                d.get(Counter::PoolTasksInline),
             );
             push(
                 incr.name,
@@ -491,7 +555,8 @@ fn cmd_parbench(args: &[String]) -> ExitCode {
         }
         doc.push_str(&format!(
             "\n    {{\"name\": \"{}\", \"rows\": {}, \"threads\": {}, \"numeric_ns\": {}, \
-             \"total_ns\": {}, \"wall_ns\": {}, \"tasks_local\": {}, \"tasks_stolen\": {}",
+             \"total_ns\": {}, \"wall_ns\": {}, \"tasks_local\": {}, \"tasks_stolen\": {}, \
+             \"tasks_inline\": {}",
             c.name,
             c.rows,
             c.threads,
@@ -499,7 +564,8 @@ fn cmd_parbench(args: &[String]) -> ExitCode {
             c.total_ns,
             c.wall_ns,
             c.tasks_local,
-            c.tasks_stolen
+            c.tasks_stolen,
+            c.tasks_inline
         ));
         match speedup(c) {
             Some(s) if c.threads > 1 => doc.push_str(&format!(", \"numeric_speedup\": {:.4}}}", s)),
@@ -1080,7 +1146,11 @@ fn cmd_check(args: &[String]) -> ExitCode {
 
     let mut regressions = 0usize;
     let mut new_metrics = 0usize;
-    let mut comparisons: Vec<(String, aarray_harness::compare::Verdict)> = Vec::new();
+    // Current-run summary for per-regression attribution in the JSON
+    // verdict (the current doc is already validated v3, so this
+    // normalization cannot fail).
+    let cur_summary = aarray_harness::diff::summarize(&current).ok();
+    let mut comparisons: Vec<Comparison> = Vec::new();
     for path in &against {
         let (doc, kind) = match load_classified(path) {
             Ok(v) => v,
@@ -1118,7 +1188,23 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
         regressions += verdict.regressions().count();
         new_metrics += verdict.new_metrics().count();
-        comparisons.push((path.clone(), verdict));
+        // Satellite attribution: for each regressed metric, the top
+        // same-workload stage deltas between this baseline pair (empty
+        // for legacy baselines, which carry no stage breakdown).
+        let mut attribution: Vec<(String, Vec<aarray_harness::diff::Contributor>)> = Vec::new();
+        if let (Some(cs), Ok(bs)) = (&cur_summary, aarray_harness::diff::summarize(&doc)) {
+            for f in verdict.regressions() {
+                attribution.push((
+                    f.metric.clone(),
+                    aarray_harness::diff::attribute_metric(&f.metric, &bs, cs, 3),
+                ));
+            }
+        }
+        comparisons.push(Comparison {
+            against: path.clone(),
+            verdict,
+            attribution,
+        });
     }
 
     let exit_code: u8 = if regressions > 0 {
@@ -1172,6 +1258,15 @@ fn cmd_check(args: &[String]) -> ExitCode {
 /// Schema version stamped into `obsctl check --json` verdict files.
 const CHECK_SCHEMA_VERSION: u64 = 1;
 
+/// One baseline's verdict plus the attribution of its regressions,
+/// carried from the comparison loop into the JSON rendering.
+struct Comparison {
+    against: String,
+    verdict: aarray_harness::compare::Verdict,
+    /// `(regressed metric, top same-workload stage contributors)`.
+    attribution: Vec<(String, Vec<aarray_harness::diff::Contributor>)>,
+}
+
 /// Render the machine-readable verdict document for `check --json`.
 /// Per finding: `status` is `"ok"`, `"regressed"`, or `"new"`; numeric
 /// fields mirror the human table. `journal_dropped` surfaces ring
@@ -1180,7 +1275,7 @@ const CHECK_SCHEMA_VERSION: u64 = 1;
 /// 3 new metrics without `--allow-new`).
 fn check_json(
     current_path: &str,
-    comparisons: &[(String, aarray_harness::compare::Verdict)],
+    comparisons: &[Comparison],
     allow_new: bool,
     journal_dropped: u64,
     exit_code: u8,
@@ -1192,7 +1287,8 @@ fn check_json(
         CHECK_SCHEMA_VERSION, current_path, allow_new, journal_dropped
     ));
     out.push_str("  \"comparisons\": [");
-    for (i, (path, verdict)) in comparisons.iter().enumerate() {
+    for (i, cmp) in comparisons.iter().enumerate() {
+        let (path, verdict) = (&cmp.against, &cmp.verdict);
         if i > 0 {
             out.push(',');
         }
@@ -1224,12 +1320,160 @@ fn check_json(
             }
             out.push_str(&format!("\"{}\"", s.replace('"', "'")));
         }
+        out.push_str("],\n     \"attribution\": {");
+        for (j, (metric, contributors)) in cmp.attribution.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n      \"{}\": [", metric));
+            for (k, c) in contributors.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"metric\": \"{}\", \"delta_ns\": {}, \"share_pct\": {:.2}}}",
+                    c.metric, c.delta_ns, c.share_pct
+                ));
+            }
+            out.push(']');
+        }
+        if !cmp.attribution.is_empty() {
+            out.push_str("\n     ");
+        }
         out.push_str(&format!(
-            "],\n     \"regressions\": {}, \"new_metrics\": {}}}",
+            "}},\n     \"regressions\": {}, \"new_metrics\": {}}}",
             verdict.regressions().count(),
             verdict.new_metrics().count()
         ));
     }
     out.push_str(&format!("\n  ],\n  \"exit_code\": {}\n}}\n", exit_code));
     out
+}
+
+fn load_doc(path: &str) -> Result<aarray_harness::json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {}", path, e))?;
+    parse(&text).map_err(|e| format!("{}: {}", path, e))
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let r = match a.as_str() {
+            "--json" => take_value(&mut it, a).map(|v| json_path = Some(v)),
+            _ if a.starts_with('-') => Err(format!("unknown flag {:?}", a)),
+            _ => {
+                files.push(a.clone());
+                Ok(())
+            }
+        };
+        if let Err(e) = r {
+            eprintln!("obsctl diff: {}\n{}", e, USAGE);
+            return ExitCode::from(2);
+        }
+    }
+    if files.len() != 2 {
+        eprintln!(
+            "obsctl diff: need exactly two run documents (profile or bench files), got {}\n{}",
+            files.len(),
+            USAGE
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut summaries = Vec::new();
+    for path in &files {
+        let summary = load_doc(path).and_then(|doc| {
+            aarray_harness::diff::summarize(&doc).map_err(|e| format!("{}: {}", path, e))
+        });
+        match summary {
+            Ok(s) => summaries.push(s),
+            Err(e) => {
+                eprintln!("obsctl diff: {}", e);
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = aarray_harness::diff::diff(&summaries[0], &summaries[1]);
+    print!(
+        "{}",
+        aarray_harness::diff::render_text(&files[0], &files[1], &report)
+    );
+    if let Some(p) = json_path {
+        let doc = aarray_harness::diff::render_json(&files[0], &files[1], &report);
+        if let Err(e) = parse(&doc) {
+            eprintln!(
+                "obsctl diff: internal error: emitted verdict is not valid JSON: {}",
+                e
+            );
+            return ExitCode::from(2);
+        }
+        if let Err(e) = std::fs::write(&p, &doc) {
+            eprintln!("obsctl diff: cannot write {:?}: {}", p, e);
+            return ExitCode::from(2);
+        }
+        println!("diff verdict written to {}", p);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_history(args: &[String]) -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let r = match a.as_str() {
+            "--out" => take_value(&mut it, a).map(|v| out_path = Some(v)),
+            _ if a.starts_with('-') => Err(format!("unknown flag {:?}", a)),
+            _ => {
+                files.push(a.clone());
+                Ok(())
+            }
+        };
+        if let Err(e) = r {
+            eprintln!("obsctl history: {}\n{}", e, USAGE);
+            return ExitCode::from(2);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("obsctl history: need at least one baseline file\n{}", USAGE);
+        return ExitCode::from(2);
+    }
+
+    let mut entries = Vec::new();
+    for path in &files {
+        let label = path.rsplit('/').next().unwrap_or(path).to_string();
+        let entry = load_doc(path).and_then(|doc| aarray_harness::history::ingest(&label, &doc));
+        match entry {
+            Ok(e) => entries.push(e),
+            Err(e) => {
+                eprintln!("obsctl history: {}", e);
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = CheckConfig::default();
+    let rows = aarray_harness::history::trends(&entries, &cfg);
+    print!("{}", aarray_harness::history::render_text(&entries, &rows));
+    if let Some(p) = out_path {
+        let doc = aarray_harness::history::render_json(&entries, &rows);
+        if let Err(e) = parse(&doc) {
+            eprintln!(
+                "obsctl history: internal error: emitted trend table is not valid JSON: {}",
+                e
+            );
+            return ExitCode::from(2);
+        }
+        if let Err(e) = std::fs::write(&p, &doc) {
+            eprintln!("obsctl history: cannot write {:?}: {}", p, e);
+            return ExitCode::from(2);
+        }
+        println!("trend table written to {}", p);
+    }
+    ExitCode::SUCCESS
 }

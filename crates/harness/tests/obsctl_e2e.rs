@@ -708,3 +708,296 @@ fn top_ticks_while_the_workload_runs_and_prints_a_final_table() {
         .unwrap();
     assert_eq!(o.status.code(), Some(2));
 }
+
+/// Hand-crafted v3 document whose four component stages sum exactly to
+/// its wall figure, so diff attribution over it is deterministic.
+fn synthetic_v3(dir: &Path, file: &str, numeric_ns: u64, serial: u64, parallel: u64) -> PathBuf {
+    let wall = 100_000 + 300_000 + 600_000 + numeric_ns;
+    let doc = format!(
+        r#"{{
+          "schema_version": 3, "bench": "perf-observatory", "reps": 3,
+          "histograms_enabled": false,
+          "workloads": [{{"name":"fig3","rows":20000,"product_nnz":7,"stages":{{
+            "align":{{"median_ns":100000}},"transpose":{{"median_ns":300000}},
+            "symbolic":{{"median_ns":600000}},"numeric":{{"median_ns":{numeric}}},
+            "total":{{"median_ns":{wall}}},"wall":{{"median_ns":{wall}}}}}}}],
+          "report": {{"schema_version": 3,
+            "counters": {{"dispatch.serial": {serial}, "dispatch.parallel": {parallel}}},
+            "histograms": {{}},
+            "mem": {{"spa-scratch":{{"current":0,"peak":2097152}}}}}}
+        }}"#,
+        numeric = numeric_ns,
+        wall = wall,
+        serial = serial,
+        parallel = parallel,
+    );
+    let path = dir.join(file);
+    std::fs::write(&path, doc).unwrap();
+    path
+}
+
+#[test]
+fn diff_attributes_synthetic_regression_above_ninety_percent() {
+    let dir = tmpdir("diff");
+    // B's numeric doubles (+2 ms on a 3 ms wall) and its dispatch goes
+    // all-serial → all-parallel; every other stage is flat.
+    let a = synthetic_v3(&dir, "a.json", 2_000_000, 12, 0);
+    let b = synthetic_v3(&dir, "b.json", 4_000_000, 0, 12);
+    let verdict = dir.join("diff.json");
+
+    let o = obsctl()
+        .arg("diff")
+        .arg(&a)
+        .arg(&b)
+        .arg("--json")
+        .arg(&verdict)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&o.stdout);
+    assert!(
+        o.status.success(),
+        "{}{}",
+        stdout,
+        String::from_utf8_lossy(&o.stderr)
+    );
+    assert!(stdout.contains("wall delta"), "{}", stdout);
+    assert!(stdout.contains("fig3@20000/numeric"), "{}", stdout);
+    assert!(stdout.contains("dispatch serial↔parallel"), "{}", stdout);
+
+    let doc = aarray_harness::json::parse(&std::fs::read_to_string(&verdict).unwrap())
+        .expect("diff verdict must parse");
+    assert_eq!(doc.get("tool").unwrap().as_str(), Some("obsctl-diff"));
+    assert_eq!(doc.get("wall_delta_ns").unwrap().as_u64(), Some(2_000_000));
+    // The attribution acceptance bar: ≥ 90% of the delta explained.
+    let explained = doc.get("explained_pct").unwrap().as_f64().unwrap();
+    assert!(explained >= 90.0, "explained only {:.1}%", explained);
+    let contributors = doc.get("contributors").unwrap().as_arr().unwrap();
+    let top = &contributors[0];
+    assert_eq!(
+        top.get("metric").unwrap().as_str(),
+        Some("fig3@20000/numeric")
+    );
+    assert_eq!(
+        top.get("included").unwrap(),
+        &aarray_harness::json::Value::Bool(true)
+    );
+    let flips = doc.get("flips").unwrap().as_arr().unwrap();
+    assert_eq!(flips.len(), 1, "one dispatch flip expected");
+    assert_eq!(flips[0].get("stage").unwrap().as_str(), Some("numeric"));
+
+    // Identical inputs: zero delta, nothing included, clean exit.
+    let o = obsctl().arg("diff").arg(&a).arg(&a).output().unwrap();
+    assert!(o.status.success());
+    assert!(
+        String::from_utf8_lossy(&o.stdout).contains("wall delta +0 ns"),
+        "{}",
+        String::from_utf8_lossy(&o.stdout)
+    );
+
+    // Bad invocations exit 2: wrong arity, unreadable file.
+    let o = obsctl().arg("diff").arg(&a).output().unwrap();
+    assert_eq!(o.status.code(), Some(2));
+    let o = obsctl()
+        .args(["diff", "no-such-a.json", "no-such-b.json"])
+        .output()
+        .unwrap();
+    assert_eq!(o.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn history_ingests_every_committed_baseline_lineage() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files: Vec<PathBuf> = (1..=6)
+        .map(|i| root.join(format!("BENCH_pr{}.json", i)))
+        .collect();
+    files.retain(|f| f.exists());
+    assert!(
+        files.len() >= 6,
+        "expected the six committed baselines, found {:?}",
+        files
+    );
+
+    let dir = tmpdir("history");
+    let out = dir.join("history.json");
+    let mut cmd = obsctl();
+    cmd.arg("history");
+    for f in &files {
+        cmd.arg(f);
+    }
+    let o = cmd.arg("--out").arg(&out).output().unwrap();
+    let stdout = String::from_utf8_lossy(&o.stdout);
+    assert!(
+        o.status.success(),
+        "{}{}",
+        stdout,
+        String::from_utf8_lossy(&o.stderr)
+    );
+    // Every lineage shape lands in one table: the legacy fused figure,
+    // the v3/v4 stage medians, and the parbench 1-thread cells share
+    // the fig3@20000 / stream-incr metric space.
+    assert!(stdout.contains("fig3@20000/total"), "{}", stdout);
+    assert!(stdout.contains("stream-incr@"), "{}", stdout);
+    assert!(stdout.contains("slope"), "{}", stdout);
+
+    // The machine document round-trips through the hand-rolled parser.
+    let doc = aarray_harness::json::parse(&std::fs::read_to_string(&out).unwrap())
+        .expect("history output must round-trip");
+    assert_eq!(doc.get("tool").unwrap().as_str(), Some("obsctl-history"));
+    let listed = doc.get("files").unwrap().as_arr().unwrap();
+    assert_eq!(listed.len(), files.len());
+    let trends = doc.get("trends").unwrap().as_arr().unwrap();
+    assert!(!trends.is_empty());
+    // fig3@20000/total spans the PR1 legacy figure and the PR3
+    // observatory file: at least two present points in its row.
+    let fig3_total = trends
+        .iter()
+        .find(|t| t.get("metric").unwrap().as_str() == Some("fig3@20000/total"))
+        .expect("fig3@20000/total must be trended");
+    let present = fig3_total
+        .get("values")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter(|v| v.as_u64().is_some())
+        .count();
+    assert!(present >= 2, "fig3@20000/total spans {} file(s)", present);
+
+    // A malformed file poisons the run with exit 2, never silence.
+    let junk = dir.join("junk.json");
+    std::fs::write(&junk, "{\"bench\": \"mystery\"}").unwrap();
+    let o = obsctl().arg("history").arg(&junk).output().unwrap();
+    assert_eq!(o.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_out_captures_decisions_and_diffs_against_bench_files() {
+    let dir = tmpdir("profile");
+    let bench = dir.join("BENCH_pr3.json");
+    let profile = dir.join("profile.json");
+    let o = obsctl()
+        .args(["run", "--scales", "400", "--reps", "2", "--out"])
+        .arg(&bench)
+        .arg("--profile-out")
+        .arg(&profile)
+        .output()
+        .unwrap();
+    assert!(
+        o.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&o.stdout),
+        String::from_utf8_lossy(&o.stderr)
+    );
+
+    let doc = aarray_harness::json::parse(&std::fs::read_to_string(&profile).unwrap())
+        .expect("profile must parse");
+    assert_eq!(doc.get("tool").unwrap().as_str(), Some("obsctl-profile"));
+    // The run's decisions are tallied with their stage assignment, the
+    // pool section reflects the host, and the op-kind stage totals
+    // cover the plan executions the workloads performed.
+    let serial = doc
+        .path(&["decisions", "dispatch.serial", "count"])
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let parallel = doc
+        .path(&["decisions", "dispatch.parallel", "count"])
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(serial + parallel >= 1, "no dispatch decisions recorded");
+    assert!(doc.get("pool").is_some());
+    let kinds = doc.get("op_kinds").unwrap().as_obj().unwrap();
+    assert!(
+        kinds.contains_key("plan-execute"),
+        "op kinds: {:?}",
+        kinds.keys().collect::<Vec<_>>()
+    );
+
+    // A profile diffs cleanly against itself and against the bench
+    // file written by the same run (both normalize to the same stage
+    // space; identical numbers → zero delta for the self-pair).
+    let o = obsctl()
+        .arg("diff")
+        .arg(&profile)
+        .arg(&profile)
+        .output()
+        .unwrap();
+    assert!(o.status.success());
+    assert!(
+        String::from_utf8_lossy(&o.stdout).contains("wall delta +0 ns"),
+        "{}",
+        String::from_utf8_lossy(&o.stdout)
+    );
+    let o = obsctl()
+        .arg("diff")
+        .arg(&profile)
+        .arg(&bench)
+        .output()
+        .unwrap();
+    assert!(
+        o.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&o.stdout),
+        String::from_utf8_lossy(&o.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_json_attribution_names_stage_contributors() {
+    let dir = tmpdir("check-attr");
+    // A synthetic pair in the same stage space: the "current" run's
+    // numeric stage doubled against the baseline, so checking current
+    // against baseline regresses and the attribution must say why.
+    let baseline = synthetic_v3(&dir, "baseline.json", 2_000_000, 6, 6);
+    let current = synthetic_v3(&dir, "current.json", 4_000_000, 6, 6);
+    let verdict = dir.join("check.json");
+
+    let o = obsctl()
+        .args(["check", "--current"])
+        .arg(&current)
+        .arg("--against")
+        .arg(&baseline)
+        .arg("--json")
+        .arg(&verdict)
+        .output()
+        .unwrap();
+    assert_eq!(
+        o.status.code(),
+        Some(1),
+        "doubled numeric must regress:\n{}",
+        String::from_utf8_lossy(&o.stdout)
+    );
+
+    let doc = aarray_harness::json::parse(&std::fs::read_to_string(&verdict).unwrap())
+        .expect("check verdict must parse");
+    let comparisons = doc.get("comparisons").unwrap().as_arr().unwrap();
+    let attribution = comparisons[0]
+        .get("attribution")
+        .expect("attribution field must exist")
+        .as_obj()
+        .unwrap();
+    assert!(!attribution.is_empty(), "no attribution for regressions");
+    for (metric, top) in attribution {
+        let top = top.as_arr().unwrap();
+        assert!(
+            top.len() <= 3,
+            "{}: top-3 cap violated ({} entries)",
+            metric,
+            top.len()
+        );
+        assert!(!top.is_empty(), "{}: empty attribution", metric);
+        // The dominant contributor to every regressed fig3 metric is
+        // the numeric stage — that is where the synthetic delta lives.
+        assert_eq!(
+            top[0].get("metric").unwrap().as_str(),
+            Some("fig3@20000/numeric"),
+            "{}",
+            metric
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -97,6 +97,13 @@ pub enum Counter {
     /// they were queued for (work-stealing, including the submitter
     /// helping while it waits).
     PoolTasksStolen,
+    /// Work executed inline on the submitting thread without the pool:
+    /// parallel regions that degraded to a loop (pool size ≤ 1, nested
+    /// fan-out on a worker) plus serial kernel/fused traversals that
+    /// never consulted the pool at all. Nonzero here is the proof that
+    /// single-thread runs did real work even when `pool.tasks-local`
+    /// stays 0.
+    PoolTasksInline,
 }
 
 /// Last-value gauges (stores, not sums).
@@ -113,7 +120,7 @@ pub enum Gauge {
     PoolThreads,
 }
 
-const N_COUNTERS: usize = Counter::PoolTasksStolen as usize + 1;
+const N_COUNTERS: usize = Counter::PoolTasksInline as usize + 1;
 const N_GAUGES: usize = Gauge::PoolThreads as usize + 1;
 
 /// Every counter with its report label, in display order.
@@ -146,6 +153,7 @@ pub const COUNTER_NAMES: [(Counter, &str); N_COUNTERS] = [
     (Counter::DeltaTraversals, "delta.traversals"),
     (Counter::PoolTasksLocal, "pool.tasks-local"),
     (Counter::PoolTasksStolen, "pool.tasks-stolen"),
+    (Counter::PoolTasksInline, "pool.tasks-inline"),
 ];
 
 /// Every gauge with its report label, in display order.

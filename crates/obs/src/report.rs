@@ -17,7 +17,7 @@
 //! the offline `serde_json` stub is empty, and hand-emission keeps the
 //! obs crate dependency-free.
 
-use crate::counters::{Snapshot, COUNTER_NAMES, GAUGE_NAMES};
+use crate::counters::{Counter, Gauge, Snapshot, COUNTER_NAMES, GAUGE_NAMES};
 use crate::histogram::{bucket_upper, histograms, HistogramSnapshot, HIST_NAMES};
 use crate::journal::JournalStats;
 use crate::memstats::{memstats, MemSnapshot, MEM_REGION_NAMES};
@@ -145,8 +145,16 @@ impl ObsReport {
         out.push_str("\n  },\n");
 
         out.push_str(&format!(
-            "  \"ops\": {{\"recorded\": {}, \"dropped\": {}, \"capacity\": {}, \"kinds\": {{",
-            self.ops.recorded, self.ops.dropped, self.ops.capacity
+            "  \"ops\": {{\"recorded\": {}, \"dropped\": {}, \"capacity\": {},\n    \
+             \"pool\": {{\"tasks_local\": {}, \"tasks_stolen\": {}, \"tasks_inline\": {}, \
+             \"threads\": {}}},\n    \"kinds\": {{",
+            self.ops.recorded,
+            self.ops.dropped,
+            self.ops.capacity,
+            self.counters.get(Counter::PoolTasksLocal),
+            self.counters.get(Counter::PoolTasksStolen),
+            self.counters.get(Counter::PoolTasksInline),
+            self.counters.gauge(Gauge::PoolThreads)
         ));
         let mut kinds: Vec<(&str, &HistogramSnapshot)> = OP_KIND_NAMES
             .iter()

@@ -90,6 +90,10 @@ fn record_kernel(acc: Accumulator, parallel: bool) {
     });
     if parallel {
         c.incr(Counter::KernelParallel);
+    } else {
+        // Serial one-pair kernels never touch the pool; see the fused
+        // path's identical accounting in `spgemm_multi::record_fused`.
+        c.incr(Counter::PoolTasksInline);
     }
     journal().record(EventKind::KernelChoice, acc.journal_code(), parallel as u64);
 }

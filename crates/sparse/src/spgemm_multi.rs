@@ -127,6 +127,11 @@ fn record_fused(nlanes: usize, acc: MultiAccumulator, parallel: bool) {
     });
     if parallel {
         c.incr(Counter::FusedParallel);
+    } else {
+        // A serial traversal bypasses the pool entirely; count it as
+        // one inline task so 1-thread runs don't read as "no work ran"
+        // next to a zero `pool.tasks-local`.
+        c.incr(Counter::PoolTasksInline);
     }
     let acc_code = match acc {
         MultiAccumulator::Spa => 0,

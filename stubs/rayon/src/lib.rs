@@ -57,21 +57,27 @@ thread_local! {
     static WORKER_THREADS: Cell<usize> = const { Cell::new(0) };
 }
 
-/// Chunks executed by the worker that owned their deque slot (or
-/// inline, when no fan-out happened) vs. chunks taken by a different
-/// thread. Drained by [`take_task_stats`].
+/// Chunks executed by the worker that owned their deque slot vs.
+/// chunks taken by a different thread vs. chunks run inline on the
+/// submitting thread because no pool could help (size ≤ 1, or a nested
+/// region on a worker thread). Drained by [`take_task_stats`].
 static TASKS_LOCAL: AtomicU64 = AtomicU64::new(0);
 static TASKS_STOLEN: AtomicU64 = AtomicU64::new(0);
+static TASKS_INLINE: AtomicU64 = AtomicU64::new(0);
 
-/// Drain the `(executed-locally, stolen)` chunk counters accumulated
-/// since the last call (atomic swap-to-zero, so concurrent drains never
-/// double-count). **Stub extension** — not part of real rayon's API;
-/// the workspace's obs bridge is the only caller and is documented in
-/// `stubs/README.md` for the swap-back procedure.
-pub fn take_task_stats() -> (u64, u64) {
+/// Drain the `(executed-locally, stolen, inline)` chunk counters
+/// accumulated since the last call (atomic swap-to-zero, so concurrent
+/// drains never double-count). Inline chunks ran on the submitting
+/// thread without ever entering a deque — distinct from `local`, which
+/// counts chunks a pool worker executed from its own slot. **Stub
+/// extension** — not part of real rayon's API; the workspace's obs
+/// bridge is the only caller and is documented in `stubs/README.md`
+/// for the swap-back procedure.
+pub fn take_task_stats() -> (u64, u64, u64) {
     (
         TASKS_LOCAL.swap(0, Ordering::Relaxed),
         TASKS_STOLEN.swap(0, Ordering::Relaxed),
+        TASKS_INLINE.swap(0, Ordering::Relaxed),
     )
 }
 
@@ -393,7 +399,7 @@ fn run_region(total: usize, f: &(dyn Fn(usize) + Sync)) {
             for chunk in 0..total {
                 f(chunk);
             }
-            TASKS_LOCAL.fetch_add(total as u64, Ordering::Relaxed);
+            TASKS_INLINE.fetch_add(total as u64, Ordering::Relaxed);
         }
     }
 }
@@ -430,6 +436,11 @@ where
     let n = items.len();
     let k = chunk_count(n);
     if k <= 1 {
+        // The single chunk runs right here on the submitting thread;
+        // it never enters a deque, so it counts as inline work.
+        if n > 0 {
+            TASKS_INLINE.fetch_add(1, Ordering::Relaxed);
+        }
         let mut state = init();
         return items.into_iter().map(|x| f(&mut state, x)).collect();
     }
@@ -684,6 +695,9 @@ pub mod iter {
         {
             let k = chunk_count(self.items.len());
             if k <= 1 {
+                if !self.items.is_empty() {
+                    super::TASKS_INLINE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
                 return self.items.into_iter().reduce(f);
             }
             let partials = par_transform(
@@ -702,6 +716,9 @@ pub mod iter {
         {
             let k = chunk_count(self.items.len());
             if k <= 1 {
+                if !self.items.is_empty() {
+                    super::TASKS_INLINE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
                 return self.items.into_iter().fold(identity(), &f);
             }
             let partials = par_transform(
@@ -939,10 +956,24 @@ mod tests {
         let p = pool(4);
         let v: Vec<usize> = p.install(|| (0..100usize).into_par_iter().map(|x| x).collect());
         assert_eq!(v.len(), 100);
-        let (local, stolen) = super::take_task_stats();
+        let (local, stolen, _inline) = super::take_task_stats();
         // 100 items in a 4-thread pool ⇒ 16 chunks, each counted
         // exactly once somewhere (other tests may add, never subtract).
         assert!(local + stolen >= 16, "local={local} stolen={stolen}");
+    }
+
+    #[test]
+    fn task_stats_count_inline_chunks_separately() {
+        let _ = super::take_task_stats();
+        let p = pool(1);
+        let v: Vec<usize> = p.install(|| (0..10usize).into_par_iter().map(|x| x).collect());
+        assert_eq!(v.len(), 10);
+        let (_, stolen, inline) = super::take_task_stats();
+        // A 1-thread pool never fans out: every chunk runs inline on
+        // the submitting thread and nothing can be stolen from it. A
+        // concurrent test's 4-thread pool may add local/stolen counts,
+        // but inline work is what this region must have produced.
+        assert!(inline >= 1, "inline={inline} stolen={stolen}");
     }
 
     #[test]
