@@ -37,12 +37,28 @@ impl<V: Value> AArray<V> {
             .collect();
         let row_keys = KeySet::from_iter(triples.iter().map(|(r, _, _)| r.clone()));
         let col_keys = KeySet::from_iter(triples.iter().map(|(_, c, _)| c.clone()));
+        // Precomputed position maps: one hash probe per entry instead
+        // of a per-entry binary search over the key sets.
+        let rpos: std::collections::HashMap<&str, usize> = row_keys
+            .keys()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.as_str(), i))
+            .collect();
+        let cpos: std::collections::HashMap<&str, usize> = col_keys
+            .keys()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.as_str(), i))
+            .collect();
         let mut coo = Coo::with_capacity(row_keys.len(), col_keys.len(), triples.len());
         for (r, c, v) in triples {
-            let ri = row_keys.index_of(&r).expect("row key interned");
-            let ci = col_keys.index_of(&c).expect("col key interned");
+            let ri = *rpos.get(r.as_str()).expect("row key interned");
+            let ci = *cpos.get(c.as_str()).expect("col key interned");
             coo.push(ri, ci, v);
         }
+        drop(rpos);
+        drop(cpos);
         AArray {
             row_keys,
             col_keys,
@@ -63,16 +79,31 @@ impl<V: Value> AArray<V> {
         A: BinaryOp<V>,
         M: BinaryOp<V>,
     {
+        // Precomputed position maps instead of per-entry binary search.
+        let rpos: std::collections::HashMap<&str, usize> = row_keys
+            .keys()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.as_str(), i))
+            .collect();
+        let cpos: std::collections::HashMap<&str, usize> = col_keys
+            .keys()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.as_str(), i))
+            .collect();
         let mut coo = Coo::new(row_keys.len(), col_keys.len());
         for (r, c, v) in triples {
-            let ri = row_keys
-                .index_of(&r)
+            let ri = *rpos
+                .get(r.as_str())
                 .unwrap_or_else(|| panic!("unknown row key {:?}", r));
-            let ci = col_keys
-                .index_of(&c)
+            let ci = *cpos
+                .get(c.as_str())
                 .unwrap_or_else(|| panic!("unknown col key {:?}", c));
             coo.push(ri, ci, v);
         }
+        drop(rpos);
+        drop(cpos);
         AArray {
             row_keys,
             col_keys,

@@ -10,53 +10,34 @@ use crate::keys::KeySet;
 use aarray_algebra::dynpair::DynOpPair;
 use aarray_algebra::{BinaryOp, OpPair, Value};
 use aarray_sparse::elementwise::{ewise_add, ewise_add_dyn, ewise_mul};
-use aarray_sparse::{Coo, Csr};
+use aarray_sparse::Csr;
 
-/// Re-index an array's entries into larger (union) key sets. Source
-/// entries are unique, so no ⊕-combination is needed — just a sort.
+/// Re-index an array's entries into larger (union) key sets.
+///
+/// The position maps from subset key sets into their union are
+/// strictly increasing (both sides are sorted), so the destination CSR
+/// can be built directly — source rows visit destination rows in
+/// ascending order and per-row column indices stay sorted after
+/// remapping. No COO staging, no sort.
 pub(crate) fn align<V: Value>(a: &AArray<V>, rows: &KeySet, cols: &KeySet) -> Csr<V> {
-    // One `index_of` per distinct key rather than per entry: the
-    // string binary searches dominate alignment otherwise.
-    let row_map: Vec<usize> = a
-        .row_keys()
-        .keys()
-        .iter()
-        .map(|k| rows.index_of(k).expect("union contains key"))
-        .collect();
-    let col_map: Vec<usize> = a
-        .col_keys()
-        .keys()
-        .iter()
-        .map(|k| cols.index_of(k).expect("union contains key"))
-        .collect();
-    let mut coo = Coo::with_capacity(rows.len(), cols.len(), a.nnz());
-    for (ri, ci, v) in a.csr().iter() {
-        coo.push(row_map[ri], col_map[ci], v.clone());
+    let row_map = rows.positions_of(a.row_keys());
+    let col_map = cols.positions_of(a.col_keys());
+    let src = a.csr();
+    let mut indptr = vec![0usize; rows.len() + 1];
+    for (r, &dest) in row_map.iter().enumerate() {
+        indptr[dest + 1] = src.row(r).0.len();
     }
-    csr_from_unique_coo(coo)
-}
-
-/// Build a CSR from a duplicate-free COO without needing an `OpPair`.
-pub(crate) fn csr_from_unique_coo<V: Value>(coo: Coo<V>) -> Csr<V> {
-    let nrows = coo.nrows();
-    let ncols = coo.ncols();
-    let mut triplets: Vec<(u32, u32, V)> = coo.triplets().to_vec();
-    triplets.sort_by_key(|&(r, c, _)| (r, c));
-    let mut indptr = vec![0usize; nrows + 1];
-    let mut indices = Vec::with_capacity(triplets.len());
-    let mut values = Vec::with_capacity(triplets.len());
-    let mut counts = vec![0usize; nrows];
-    for &(r, _, _) in &triplets {
-        counts[r as usize] += 1;
+    for i in 0..rows.len() {
+        indptr[i + 1] += indptr[i];
     }
-    for i in 0..nrows {
-        indptr[i + 1] = indptr[i] + counts[i];
+    let mut indices = Vec::with_capacity(src.nnz());
+    let mut values = Vec::with_capacity(src.nnz());
+    for r in 0..src.nrows() {
+        let (ci, vals) = src.row(r);
+        indices.extend(ci.iter().map(|&c| col_map[c as usize] as u32));
+        values.extend(vals.iter().cloned());
     }
-    for (_, c, v) in triplets {
-        indices.push(c);
-        values.push(v);
-    }
-    Csr::from_parts(nrows, ncols, indptr, indices, values)
+    Csr::from_parts(rows.len(), cols.len(), indptr, indices, values)
 }
 
 impl<V: Value> AArray<V> {

@@ -54,7 +54,6 @@
 //! ```
 
 use crate::array::AArray;
-use crate::elementwise::csr_from_unique_coo;
 use crate::incidence::adjacency_plan;
 use crate::keys::KeySet;
 use aarray_algebra::dynpair::DynOpPair;
@@ -64,7 +63,7 @@ use aarray_obs::{
 };
 use aarray_sparse::spgemm_delta::spgemm_delta;
 use aarray_sparse::spgemm_multi::MultiAccumulator;
-use aarray_sparse::Coo;
+use aarray_sparse::Csr;
 use std::fmt;
 use std::time::Instant;
 
@@ -198,14 +197,17 @@ impl<V: Value> IncidenceBuilder<V> {
         }
         let old_keys = self.eout.row_keys();
         let batch_keys = d_out.row_keys();
-        let ordered = old_keys.is_empty()
-            || batch_keys.keys().first().unwrap() > old_keys.keys().last().unwrap();
+        // Integer-space ordering check: no string materialization.
+        let ordered = batch_keys.all_after(old_keys);
         if !ordered {
-            // Only the interleaved case can collide with existing keys.
-            for k in batch_keys.keys() {
-                if old_keys.contains(k) {
-                    return Err(BatchError::DuplicateEdgeKey(k.clone()));
-                }
+            // Only the interleaved case can collide with existing keys:
+            // one linear index-map walk finds any collision.
+            if let Some(j) = old_keys
+                .index_map(batch_keys)
+                .iter()
+                .position(|p| p.is_some())
+            {
+                return Err(BatchError::DuplicateEdgeKey(batch_keys.key(j).to_string()));
             }
         }
 
@@ -253,29 +255,42 @@ impl<V: Value> IncidenceBuilder<V> {
 /// so the combined coordinate set is duplicate-free and no `⊕` is
 /// needed — this is pure re-indexing.
 fn extend_into<V: Value>(a: &AArray<V>, b: &AArray<V>, rows: &KeySet, cols: &KeySet) -> AArray<V> {
-    let mut coo = Coo::with_capacity(rows.len(), cols.len(), a.nnz() + b.nnz());
-    for arr in [a, b] {
-        // One `index_of` per distinct key, not per entry: the
-        // cumulative side dominates nnz, and per-entry binary searches
-        // over the union would make every append O(nnz·log n) in
-        // string comparisons.
-        let row_map: Vec<usize> = arr
-            .row_keys()
-            .keys()
-            .iter()
-            .map(|k| rows.index_of(k).expect("union contains key"))
-            .collect();
-        let col_map: Vec<usize> = arr
-            .col_keys()
-            .keys()
-            .iter()
-            .map(|k| cols.index_of(k).expect("union contains key"))
-            .collect();
-        for (ri, ci, v) in arr.csr().iter() {
-            coo.push(row_map[ri], col_map[ci], v.clone());
-        }
+    // Position maps from each operand's key sets into the union are
+    // strictly increasing, and the operands occupy disjoint rows, so
+    // every destination row is one (possibly empty) source row with its
+    // columns remapped — the union CSR is assembled directly, with no
+    // COO staging and no sort.
+    let row_map_a = rows.positions_of(a.row_keys());
+    let row_map_b = rows.positions_of(b.row_keys());
+    let col_map_a = cols.positions_of(a.col_keys());
+    let col_map_b = cols.positions_of(b.col_keys());
+    let mut src: Vec<Option<(bool, usize)>> = vec![None; rows.len()];
+    for (i, &d) in row_map_a.iter().enumerate() {
+        src[d] = Some((false, i));
     }
-    AArray::from_parts(rows.clone(), cols.clone(), csr_from_unique_coo(coo))
+    for (i, &d) in row_map_b.iter().enumerate() {
+        src[d] = Some((true, i));
+    }
+    let nnz = a.nnz() + b.nnz();
+    let mut indptr = Vec::with_capacity(rows.len() + 1);
+    indptr.push(0usize);
+    let mut indices = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    for slot in &src {
+        if let Some((from_b, r)) = *slot {
+            let (csr, col_map) = if from_b {
+                (b.csr(), &col_map_b)
+            } else {
+                (a.csr(), &col_map_a)
+            };
+            let (ci, vals) = csr.row(r);
+            indices.extend(ci.iter().map(|&c| col_map[c as usize] as u32));
+            values.extend(vals.iter().cloned());
+        }
+        indptr.push(indices.len());
+    }
+    let data = Csr::from_parts(rows.len(), cols.len(), indptr, indices, values);
+    AArray::from_parts(rows.clone(), cols.clone(), data)
 }
 
 /// How one [`AdjacencyView::refresh`] brought the view current.

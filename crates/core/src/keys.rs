@@ -1,52 +1,324 @@
-//! Totally-ordered key sets and D4M-style key selection.
+//! Totally-ordered key sets, dictionary-encoded to dense integer ids,
+//! and D4M-style key selection.
 //!
-//! The paper requires key sets to be "finite and totally-ordered"; here
-//! they are sorted, deduplicated string vectors with `O(log n)` lookup.
+//! The paper requires key sets to be "finite and totally-ordered". Here
+//! every key string is interned once into a [`KeyDict`] — by default
+//! the process-global dictionary — and a [`KeySet`] is a sorted slice
+//! of dense `u32` ids into that dictionary. All hot-path set algebra
+//! (intersection, union, alignment maps, membership) runs on integer
+//! ids and the dictionary's rank table with **zero string
+//! comparisons**; strings are materialized lazily, only at
+//! display/export/[`KeySelect`] boundaries.
+//!
+//! Id-space validity rests on one invariant: interning new keys may
+//! shift the *rank values* of existing ids, but never the relative
+//! rank order of two ids already interned (rank order ≡ string order,
+//! and strings are immutable). Any rank snapshot taken after an id was
+//! interned therefore orders it correctly against every other id it is
+//! compared with.
 
-use aarray_obs::{counters, memstats, Counter, MemRegion};
+use aarray_obs::{counters, memstats, Counter, Gauge, MemRegion};
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// A finite, totally-ordered set of string keys.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct KeySet {
-    keys: Arc<[String]>,
-}
-
-/// Heap payload of an interned key buffer: the string headers in the
-/// `Arc` slice plus each string's character storage.
+/// Heap payload of a materialized string buffer: the string headers in
+/// the `Arc` slice plus each string's character storage.
 fn keys_heap_bytes(keys: &[String]) -> u64 {
     keys.iter()
         .map(|s| std::mem::size_of::<String>() + s.capacity())
         .sum::<usize>() as u64
 }
 
-impl Drop for KeySet {
-    fn drop(&mut self) {
-        // Accounting is per shared buffer, not per handle: only the
-        // last handle releases the bytes. (Concurrent last-drops can
-        // both observe count > 1 and skip the free — the accounting is
-        // deliberately approximate, see `aarray_obs::memstats`.)
-        if Arc::strong_count(&self.keys) == 1 {
-            memstats().free(MemRegion::KeySetInterned, keys_heap_bytes(&self.keys));
+/// Approximate heap cost of one dictionary entry: character payload
+/// plus the `Arc<str>` header, the two `Arc` handles (hash-map key and
+/// id table), the map value, and one `u32` slot in each of the three
+/// id tables. Deliberately approximate, like all memstats accounting.
+fn dict_entry_bytes(s: &str) -> u64 {
+    s.len() as u64 + 16 + 2 * 16 + 4 + 3 * 4
+}
+
+/// Mutex-protected state of a [`KeyDict`].
+struct DictInner {
+    /// Interned string → id.
+    map: HashMap<Arc<str>, u32>,
+    /// id → interned string (dense: id `i` lives at index `i`).
+    strings: Vec<Arc<str>>,
+    /// All ids in lexicographic string order.
+    sorted: Vec<u32>,
+    /// id → rank (position in `sorted`). Shared snapshot: replaced
+    /// wholesale on growth so readers never see a half-updated table.
+    ranks: Arc<[u32]>,
+    /// Approximate heap bytes held by the dictionary.
+    bytes: u64,
+}
+
+/// A string-interning dictionary mapping keys to dense `u32` ids.
+///
+/// Ids are assigned in first-intern order and never change or get
+/// recycled; the dictionary only grows. Alongside the id assignment it
+/// maintains a *rank table* (`id → lexicographic position`), which is
+/// what lets [`KeySet`] run ordered merges entirely in integer space.
+///
+/// Most code uses the process-global dictionary implicitly through
+/// [`KeySet::from_iter`]; private dictionaries ([`KeyDict::new`]) exist
+/// for tests and for isolating id spaces.
+pub struct KeyDict {
+    inner: Mutex<DictInner>,
+    /// Whether growth publishes [`Gauge::InternDictBytes`] (only the
+    /// process-global dictionary does, so private test dicts don't
+    /// clobber the gauge).
+    publish_bytes: bool,
+}
+
+impl KeyDict {
+    fn with_publish(publish_bytes: bool) -> KeyDict {
+        KeyDict {
+            inner: Mutex::new(DictInner {
+                map: HashMap::new(),
+                strings: Vec::new(),
+                sorted: Vec::new(),
+                ranks: Arc::from(Vec::new()),
+                bytes: 0,
+            }),
+            publish_bytes,
+        }
+    }
+
+    /// A fresh private dictionary with its own id space.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> Arc<KeyDict> {
+        Arc::new(KeyDict::with_publish(false))
+    }
+
+    /// The process-global dictionary every default-constructed
+    /// [`KeySet`] interns into.
+    pub fn global() -> &'static Arc<KeyDict> {
+        static GLOBAL: OnceLock<Arc<KeyDict>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(KeyDict::with_publish(true)))
+    }
+
+    /// Intern a sorted, deduplicated batch of keys, returning their ids
+    /// (in input order, i.e. lexicographic order). Records
+    /// [`Counter::InternHit`] / [`Counter::InternMiss`] per key and, on
+    /// growth, rebuilds the rank snapshot and (for the global dict)
+    /// publishes [`Gauge::InternDictBytes`].
+    fn intern_sorted(&self, keys: &[String]) -> Vec<u32> {
+        let mut inner = self.inner.lock().unwrap();
+        let mut ids = Vec::with_capacity(keys.len());
+        let mut fresh: Vec<u32> = Vec::new();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for k in keys {
+            if let Some(&id) = inner.map.get(k.as_str()) {
+                hits += 1;
+                ids.push(id);
+            } else {
+                misses += 1;
+                let id = inner.strings.len() as u32;
+                let s: Arc<str> = Arc::from(k.as_str());
+                inner.bytes += dict_entry_bytes(k);
+                inner.strings.push(s.clone());
+                inner.map.insert(s, id);
+                ids.push(id);
+                fresh.push(id);
+            }
+        }
+        if hits > 0 {
+            counters().add(Counter::InternHit, hits);
+        }
+        if misses > 0 {
+            counters().add(Counter::InternMiss, misses);
+        }
+        if !fresh.is_empty() {
+            // Splice the fresh ids into the lex-ordered table: binary
+            // search each insertion point (O(B log D) string compares),
+            // then rebuild in one integer pass. `fresh` is itself in
+            // string order because the input batch was sorted.
+            let inner = &mut *inner;
+            let ins: Vec<(usize, u32)> = fresh
+                .iter()
+                .map(|&id| {
+                    let s = &inner.strings[id as usize];
+                    let pos = inner
+                        .sorted
+                        .binary_search_by(|&sid| inner.strings[sid as usize].cmp(s))
+                        .unwrap_err();
+                    (pos, id)
+                })
+                .collect();
+            let mut new_sorted = Vec::with_capacity(inner.sorted.len() + ins.len());
+            let mut prev = 0usize;
+            for (pos, id) in ins {
+                new_sorted.extend_from_slice(&inner.sorted[prev..pos]);
+                new_sorted.push(id);
+                prev = pos;
+            }
+            new_sorted.extend_from_slice(&inner.sorted[prev..]);
+            let mut ranks = vec![0u32; inner.strings.len()];
+            for (r, &id) in new_sorted.iter().enumerate() {
+                ranks[id as usize] = r as u32;
+            }
+            inner.sorted = new_sorted;
+            inner.ranks = ranks.into();
+            if self.publish_bytes {
+                counters().store(Gauge::InternDictBytes, inner.bytes);
+            }
+        }
+        ids
+    }
+
+    /// Current rank snapshot (`id → lexicographic position`). Valid for
+    /// every id interned before the call; relative order of existing
+    /// ids never changes as the dictionary grows.
+    fn ranks(&self) -> Arc<[u32]> {
+        self.inner.lock().unwrap().ranks.clone()
+    }
+
+    /// Id of `key`, if interned.
+    pub fn lookup(&self, key: &str) -> Option<u32> {
+        self.inner.lock().unwrap().map.get(key).copied()
+    }
+
+    /// Materialize `ids` back to owned strings.
+    pub fn resolve(&self, ids: &[u32]) -> Vec<String> {
+        let inner = self.inner.lock().unwrap();
+        ids.iter()
+            .map(|&id| inner.strings[id as usize].to_string())
+            .collect()
+    }
+
+    /// Number of interned keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().strings.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate heap bytes held by the dictionary.
+    pub fn heap_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().bytes
+    }
+}
+
+impl fmt::Debug for KeyDict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KeyDict").field("len", &self.len()).finish()
+    }
+}
+
+/// A finite, totally-ordered set of string keys, stored as dense
+/// integer ids into a [`KeyDict`].
+///
+/// `ids` is sorted by the dictionary's lexicographic rank, so position
+/// `i` in the set corresponds to the `i`-th smallest key — exactly the
+/// index that sparse-matrix rows and columns use. Strings are
+/// materialized lazily by [`KeySet::keys`] and cached.
+pub struct KeySet {
+    dict: Arc<KeyDict>,
+    /// Member ids, ascending by dictionary rank.
+    ids: Arc<[u32]>,
+    /// Lazily-materialized strings, ascending (same order as `ids`).
+    strings: OnceLock<Arc<[String]>>,
+}
+
+/// Alias naming the post-interning representation explicitly, for call
+/// sites that want to document they rely on integer-id semantics.
+pub type InternedKeySet = KeySet;
+
+impl Clone for KeySet {
+    fn clone(&self) -> Self {
+        KeySet {
+            dict: self.dict.clone(),
+            ids: self.ids.clone(),
+            strings: self.strings.clone(),
         }
     }
 }
 
-impl KeySet {
-    /// Wrap a freshly-built buffer, reporting its heap payload to the
-    /// [`MemRegion::KeySetInterned`] accounting region. Every
-    /// constructor that allocates new storage funnels through here;
-    /// clones and fast paths that share an existing `Arc` do not.
-    fn intern(keys: Arc<[String]>) -> Self {
-        memstats().alloc(MemRegion::KeySetInterned, keys_heap_bytes(&keys));
-        KeySet { keys }
+impl Drop for KeySet {
+    fn drop(&mut self) {
+        // Accounting is per materialized buffer, not per handle: only
+        // the last handle sharing a string cache releases its bytes.
+        // (Concurrent last-drops can both observe count > 1 and skip
+        // the free — the accounting is deliberately approximate, see
+        // `aarray_obs::memstats`.)
+        if let Some(cache) = self.strings.get() {
+            if Arc::strong_count(cache) == 1 {
+                memstats().free(MemRegion::KeySetInterned, keys_heap_bytes(cache));
+            }
+        }
     }
-    /// Build from any iterator of keys: sorted and deduplicated.
-    /// (Deliberately named like `FromIterator::from_iter`; a blanket
-    /// `FromIterator` impl is also provided for `collect()`.)
+}
+
+impl PartialEq for KeySet {
+    fn eq(&self, other: &Self) -> bool {
+        if Arc::ptr_eq(&self.dict, &other.dict) {
+            // Same id space: compare ids (O(1) when storage is shared,
+            // an integer memcmp otherwise — never a string walk).
+            Arc::ptr_eq(&self.ids, &other.ids) || self.ids == other.ids
+        } else {
+            self.keys() == other.keys()
+        }
+    }
+}
+
+impl Eq for KeySet {}
+
+impl fmt::Debug for KeySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeySet({:?})", self.keys())
+    }
+}
+
+impl KeySet {
+    /// Wrap freshly-interned ids together with the string buffer they
+    /// came from, pre-seeding the cache (and its
+    /// [`MemRegion::KeySetInterned`] accounting) so construction-time
+    /// callers keep free access to the strings they just supplied.
+    fn from_vec(dict: Arc<KeyDict>, keys: Vec<String>) -> Self {
+        let ids = dict.intern_sorted(&keys);
+        memstats().alloc(MemRegion::KeySetInterned, keys_heap_bytes(&keys));
+        let strings = OnceLock::new();
+        let _ = strings.set(Arc::from(keys));
+        KeySet {
+            dict,
+            ids: ids.into(),
+            strings,
+        }
+    }
+
+    /// Wrap ids already known to be rank-sorted members of `dict`,
+    /// without materializing strings. This is what keeps set-algebra
+    /// results (intersections, unions) string-free on the hot path.
+    fn from_ids(dict: Arc<KeyDict>, ids: Vec<u32>) -> Self {
+        KeySet {
+            dict,
+            ids: ids.into(),
+            strings: OnceLock::new(),
+        }
+    }
+
+    /// Build from any iterator of keys: sorted, deduplicated, and
+    /// interned into the process-global [`KeyDict`]. (Deliberately
+    /// named like `FromIterator::from_iter`; a blanket `FromIterator`
+    /// impl is also provided for `collect()`.)
     #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I, S>(keys: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        KeySet::from_iter_with_dict(KeyDict::global(), keys)
+    }
+
+    /// Like [`KeySet::from_iter`], but interning into a caller-supplied
+    /// dictionary (its own id space). Sets from different dictionaries
+    /// interoperate through the string fall-back paths.
+    pub fn from_iter_with_dict<I, S>(dict: &Arc<KeyDict>, keys: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
@@ -54,50 +326,87 @@ impl KeySet {
         let mut v: Vec<String> = keys.into_iter().map(Into::into).collect();
         v.sort();
         v.dedup();
-        KeySet::intern(v.into())
+        KeySet::from_vec(dict.clone(), v)
     }
 
-    /// Build from a vector already known to be sorted and unique
-    /// (debug-asserted).
-    pub fn from_sorted_unique(keys: Vec<String>) -> Self {
-        debug_assert!(
-            keys.windows(2).all(|w| w[0] < w[1]),
-            "keys must be sorted unique"
-        );
-        KeySet::intern(keys.into())
+    /// Build from a vector already known to be sorted and unique.
+    ///
+    /// The contract is debug-asserted, and additionally guarded by an
+    /// always-on cheap sortedness check: a malformed caller in release
+    /// builds gets its input repaired (sort + dedup) rather than being
+    /// allowed to corrupt id-space invariants, with the violation
+    /// recorded in [`Counter::KeysSortRepair`] and warned once on
+    /// stderr.
+    pub fn from_sorted_unique(mut keys: Vec<String>) -> Self {
+        let sorted = keys.windows(2).all(|w| w[0] < w[1]);
+        debug_assert!(sorted, "keys must be sorted unique");
+        if !sorted {
+            counters().incr(Counter::KeysSortRepair);
+            static WARNED: AtomicBool = AtomicBool::new(false);
+            if !WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "aarray: warning: KeySet::from_sorted_unique received keys that \
+                     were not sorted unique; repaired (caller bug)"
+                );
+            }
+            keys.sort();
+            keys.dedup();
+        }
+        KeySet::from_vec(KeyDict::global().clone(), keys)
     }
 
     /// The empty key set.
     pub fn empty() -> Self {
-        // Zero heap payload: nothing to report.
-        KeySet {
-            keys: Arc::from(Vec::new()),
-        }
+        // Zero heap payload: nothing to intern or report.
+        KeySet::from_ids(KeyDict::global().clone(), Vec::new())
     }
 
     /// Number of keys.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.ids.len()
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.ids.is_empty()
     }
 
-    /// The keys, ascending.
+    /// The dictionary ids of the member keys, ascending by rank.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The dictionary this set's ids live in.
+    pub fn dict(&self) -> &Arc<KeyDict> {
+        &self.dict
+    }
+
+    /// The keys, ascending. Materializes (and caches) the strings on
+    /// first call — display/export boundaries pay this once; integer
+    /// set algebra never does.
     pub fn keys(&self) -> &[String] {
-        &self.keys
+        self.strings.get_or_init(|| {
+            let v = self.dict.resolve(&self.ids);
+            memstats().alloc(MemRegion::KeySetInterned, keys_heap_bytes(&v));
+            Arc::from(v)
+        })
     }
 
     /// Key at position `i`.
     pub fn key(&self, i: usize) -> &str {
-        &self.keys[i]
+        &self.keys()[i]
     }
 
-    /// Position of `key`, if present.
+    /// Position of `key`, if present: one dictionary hash lookup plus
+    /// an integer binary search over ranks — no string comparisons
+    /// against the members.
     pub fn index_of(&self, key: &str) -> Option<usize> {
-        self.keys.binary_search_by(|k| k.as_str().cmp(key)).ok()
+        let id = self.dict.lookup(key)?;
+        let ranks = self.dict.ranks();
+        let target = ranks[id as usize];
+        self.ids
+            .binary_search_by_key(&target, |&m| ranks[m as usize])
+            .ok()
     }
 
     /// Whether `key` is present.
@@ -110,57 +419,90 @@ impl KeySet {
     /// multiplication needs.
     ///
     /// Fast paths (all exercised constantly by multiplication, which
-    /// intersects inner key sets on every call): shared or equal
-    /// storage, one set a contiguous prefix of the other, and disjoint
-    /// key ranges all skip the merge walk — the common cases return
-    /// identity index maps and share the existing key storage instead
-    /// of cloning every string.
+    /// intersects inner key sets on every call): shared id storage, one
+    /// set a contiguous prefix of the other, and disjoint rank ranges
+    /// all skip the merge walk; the general same-dictionary case is an
+    /// integer rank-merge with zero string comparisons. Only sets from
+    /// *different* dictionaries fall back to the string merge walk.
     ///
-    /// Every call records which path served it in the
-    /// [`aarray_obs`] counter registry
-    /// ([`Counter::IntersectArcIdentity`] / [`Counter::IntersectPrefix`]
-    /// / [`Counter::IntersectDisjointRange`] /
-    /// [`Counter::IntersectMerge`]), so fast-path coverage is
-    /// observable on real workloads.
+    /// Every call records which path served it in the [`aarray_obs`]
+    /// counter registry ([`Counter::IntersectArcIdentity`] /
+    /// [`Counter::IntersectPrefix`] / [`Counter::IntersectDisjointRange`]
+    /// / [`Counter::IntersectIdSpace`] / [`Counter::IntersectMerge`]),
+    /// so fast-path coverage is observable on real workloads.
     pub fn intersect(&self, other: &KeySet) -> (KeySet, Vec<usize>, Vec<usize>) {
-        // Same storage, or one is a contiguous prefix of the other
-        // (which subsumes equality and the empty set): the common keys
-        // are exactly the shorter set, and both index maps are the
-        // identity. The prefix comparison bails on the first mismatch,
-        // so a failed probe costs no more than starting the merge walk.
         let (short, long) = if self.len() <= other.len() {
             (self, other)
         } else {
             (other, self)
         };
-        if Arc::ptr_eq(&self.keys, &other.keys) {
-            counters().incr(Counter::IntersectArcIdentity);
-            let idx: Vec<usize> = (0..short.len()).collect();
-            return (short.clone(), idx.clone(), idx);
+        let same_dict = Arc::ptr_eq(&self.dict, &other.dict);
+        if same_dict {
+            // Shared storage: the common keys are exactly the (either)
+            // set, and both index maps are the identity.
+            if Arc::ptr_eq(&self.ids, &other.ids) {
+                counters().incr(Counter::IntersectArcIdentity);
+                let idx: Vec<usize> = (0..short.len()).collect();
+                return (short.clone(), idx.clone(), idx);
+            }
+            // One set a contiguous prefix of the other (subsumes
+            // equal-but-distinct storage and the empty set): identity
+            // maps. An integer memcmp, so a failed probe costs less
+            // than starting the merge walk.
+            if short.ids[..] == long.ids[..short.len()] {
+                counters().incr(Counter::IntersectPrefix);
+                let idx: Vec<usize> = (0..short.len()).collect();
+                return (short.clone(), idx.clone(), idx);
+            }
+            let ranks = self.dict.ranks();
+            let rank = |id: u32| ranks[id as usize];
+            // Disjoint rank ranges (frequent when aligning arrays over
+            // unrelated attribute families): nothing can match. Both
+            // sets are non-empty here — empty hit the prefix path.
+            if rank(self.ids[self.len() - 1]) < rank(other.ids[0])
+                || rank(other.ids[other.len() - 1]) < rank(self.ids[0])
+            {
+                counters().incr(Counter::IntersectDisjointRange);
+                return (KeySet::empty(), Vec::new(), Vec::new());
+            }
+            // General case: merge walk on integer ranks.
+            counters().incr(Counter::IntersectIdSpace);
+            let mut ids = Vec::new();
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < self.len() && j < other.len() {
+                let (a, b) = (self.ids[i], other.ids[j]);
+                if a == b {
+                    ids.push(a);
+                    left.push(i);
+                    right.push(j);
+                    i += 1;
+                    j += 1;
+                } else if rank(a) < rank(b) {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            return (KeySet::from_ids(self.dict.clone(), ids), left, right);
         }
-        if short.keys[..] == long.keys[..short.len()] {
-            counters().incr(Counter::IntersectPrefix);
-            let idx: Vec<usize> = (0..short.len()).collect();
-            return (short.clone(), idx.clone(), idx);
-        }
-        // Disjoint key ranges (frequent when aligning arrays over
-        // unrelated attribute families): nothing can match.
-        if self.keys[self.len() - 1] < other.keys[0] || other.keys[other.len() - 1] < self.keys[0] {
-            counters().incr(Counter::IntersectDisjointRange);
-            return (KeySet::empty(), Vec::new(), Vec::new());
-        }
-        counters().incr(Counter::IntersectMerge);
 
-        let mut keys = Vec::new();
+        // Cross-dictionary: ids are incomparable, fall back to the
+        // string merge walk. The result keeps `self`'s dictionary and
+        // reuses `self`'s ids for the matched keys.
+        counters().incr(Counter::IntersectMerge);
+        let (a, b) = (self.keys(), other.keys());
+        let mut ids = Vec::new();
         let mut left = Vec::new();
         let mut right = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);
-        while i < self.len() && j < other.len() {
-            match self.keys[i].cmp(&other.keys[j]) {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    keys.push(self.keys[i].clone());
+                    ids.push(self.ids[i]);
                     left.push(i);
                     right.push(j);
                     i += 1;
@@ -168,41 +510,176 @@ impl KeySet {
                 }
             }
         }
-        (KeySet::from_sorted_unique(keys), left, right)
+        (KeySet::from_ids(self.dict.clone(), ids), left, right)
     }
 
     /// Union with another key set.
+    ///
+    /// Same-dictionary unions run as integer rank merges, and when one
+    /// side already contains the other the *original handle* is
+    /// returned (`Arc`-identity preserved) — which is what lets
+    /// repeatedly-grown incidence arrays keep sharing one edge key set
+    /// and their multiplication plans align in O(1).
     pub fn union(&self, other: &KeySet) -> KeySet {
-        let mut keys = Vec::with_capacity(self.len() + other.len());
+        if Arc::ptr_eq(&self.dict, &other.dict) {
+            if Arc::ptr_eq(&self.ids, &other.ids) {
+                return self.clone();
+            }
+            let ranks = self.dict.ranks();
+            let rank = |id: u32| ranks[id as usize];
+            let mut ids = Vec::with_capacity(self.len() + other.len());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < self.len() || j < other.len() {
+                if j >= other.len() {
+                    ids.push(self.ids[i]);
+                    i += 1;
+                } else if i >= self.len() {
+                    ids.push(other.ids[j]);
+                    j += 1;
+                } else {
+                    let (a, b) = (self.ids[i], other.ids[j]);
+                    if a == b {
+                        ids.push(a);
+                        i += 1;
+                        j += 1;
+                    } else if rank(a) < rank(b) {
+                        ids.push(a);
+                        i += 1;
+                    } else {
+                        ids.push(b);
+                        j += 1;
+                    }
+                }
+            }
+            // Subset unions return the superset handle itself so `Arc`
+            // identity (and every downstream identity fast path)
+            // survives.
+            if ids.len() == self.len() {
+                return self.clone();
+            }
+            if ids.len() == other.len() {
+                return other.clone();
+            }
+            return KeySet::from_ids(self.dict.clone(), ids);
+        }
+        // Cross-dictionary: merge strings, interning the result into
+        // `self`'s dictionary.
+        let (a, b) = (self.keys(), other.keys());
+        let mut keys = Vec::with_capacity(a.len() + b.len());
         let (mut i, mut j) = (0usize, 0usize);
-        while i < self.len() || j < other.len() {
-            if j >= other.len() || (i < self.len() && self.keys[i] < other.keys[j]) {
-                keys.push(self.keys[i].clone());
+        while i < a.len() || j < b.len() {
+            if j >= b.len() || (i < a.len() && a[i] < b[j]) {
+                keys.push(a[i].clone());
                 i += 1;
-            } else if i >= self.len() || other.keys[j] < self.keys[i] {
-                keys.push(other.keys[j].clone());
+            } else if i >= a.len() || b[j] < a[i] {
+                keys.push(b[j].clone());
                 j += 1;
             } else {
-                keys.push(self.keys[i].clone());
+                keys.push(a[i].clone());
                 i += 1;
                 j += 1;
             }
         }
-        KeySet::from_sorted_unique(keys)
+        KeySet::from_vec(self.dict.clone(), keys)
+    }
+
+    /// For every position in `from`, the position of the same key in
+    /// `self` (or `None`). One linear integer walk for same-dictionary
+    /// sets; the precomputed map replaces per-entry
+    /// [`KeySet::index_of`] binary searches in alignment paths.
+    pub fn index_map(&self, from: &KeySet) -> Vec<Option<usize>> {
+        let mut out = vec![None; from.len()];
+        if Arc::ptr_eq(&self.dict, &from.dict) {
+            let ranks = self.dict.ranks();
+            let rank = |id: u32| ranks[id as usize];
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < self.len() && j < from.len() {
+                let (a, b) = (self.ids[i], from.ids[j]);
+                if a == b {
+                    out[j] = Some(i);
+                    i += 1;
+                    j += 1;
+                } else if rank(a) < rank(b) {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+        } else {
+            let (a, b) = (self.keys(), from.keys());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        out[j] = Some(i);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Positions in `self` of every key of `subset`, which must be a
+    /// subset of `self` (panics otherwise). The returned map is
+    /// strictly increasing — both sets are rank-sorted — which is what
+    /// lets CSR rebuilds copy rows directly instead of re-sorting.
+    pub fn positions_of(&self, subset: &KeySet) -> Vec<usize> {
+        self.index_map(subset)
+            .into_iter()
+            .map(|p| p.expect("positions_of: superset must contain every subset key"))
+            .collect()
+    }
+
+    /// Whether every key in `self` sorts strictly after every key in
+    /// `other` (vacuously true when either is empty) — the append-only
+    /// contract check for incremental batches, in integer space.
+    pub fn all_after(&self, other: &KeySet) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return true;
+        }
+        if Arc::ptr_eq(&self.dict, &other.dict) {
+            let ranks = self.dict.ranks();
+            ranks[self.ids[0] as usize] > ranks[other.ids[other.len() - 1] as usize]
+        } else {
+            self.key(0) > other.key(other.len() - 1)
+        }
     }
 
     /// Indices of keys matched by a selection, ascending.
+    ///
+    /// Range semantics: bounds are inclusive; an **empty** `lo` or `hi`
+    /// is unbounded on that side; reversed bounds (`lo > hi`, both
+    /// non-empty) select nothing.
     pub fn select(&self, sel: &KeySelect) -> Vec<usize> {
         match sel {
             KeySelect::All => (0..self.len()).collect(),
             KeySelect::Range { lo, hi } => {
-                let start = self.keys.partition_point(|k| k.as_str() < lo.as_str());
-                let end = self.keys.partition_point(|k| k.as_str() <= hi.as_str());
+                if !lo.is_empty() && !hi.is_empty() && lo > hi {
+                    return Vec::new();
+                }
+                let keys = self.keys();
+                let start = if lo.is_empty() {
+                    0
+                } else {
+                    keys.partition_point(|k| k.as_str() < lo.as_str())
+                };
+                let end = if hi.is_empty() {
+                    keys.len()
+                } else {
+                    keys.partition_point(|k| k.as_str() <= hi.as_str())
+                };
                 (start..end).collect()
             }
-            KeySelect::Prefix(p) => (0..self.len())
-                .filter(|&i| self.keys[i].starts_with(p.as_str()))
-                .collect(),
+            KeySelect::Prefix(p) => {
+                let keys = self.keys();
+                (0..self.len())
+                    .filter(|&i| keys[i].starts_with(p.as_str()))
+                    .collect()
+            }
             KeySelect::List(list) => {
                 let mut idx: Vec<usize> = list.iter().filter_map(|k| self.index_of(k)).collect();
                 idx.sort_unstable();
@@ -222,7 +699,7 @@ impl<S: Into<String>> FromIterator<S> for KeySet {
 
 impl fmt::Display for KeySet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{{{}}}", self.keys.join(", "))
+        write!(f, "{{{}}}", self.keys().join(", "))
     }
 }
 
@@ -232,11 +709,12 @@ pub enum KeySelect {
     /// `:` — every key.
     All,
     /// `lo : hi` — the inclusive lexicographic range, as in the paper's
-    /// `E(:, 'Genre|A : Genre|Z')`.
+    /// `E(:, 'Genre|A : Genre|Z')`. An empty bound is unbounded on that
+    /// side; reversed non-empty bounds select nothing.
     Range {
-        /// Lower bound (inclusive).
+        /// Lower bound (inclusive); empty = unbounded below.
         lo: String,
-        /// Upper bound (inclusive).
+        /// Upper bound (inclusive); empty = unbounded above.
         hi: String,
     },
     /// `prefix|*` — every key starting with `prefix|`.
@@ -250,7 +728,8 @@ impl KeySelect {
     ///
     /// * `":"` → [`KeySelect::All`]
     /// * `"a : b"` (spaces around `:` required, so keys containing `:`
-    ///   still parse) → inclusive [`KeySelect::Range`]
+    ///   still parse) → inclusive [`KeySelect::Range`]; either side may
+    ///   be empty for a half-open range (`" : b"`, `"a : "`)
     /// * `"pre*"` → [`KeySelect::Prefix`] `"pre"`
     /// * anything else → singleton [`KeySelect::List`]
     ///
@@ -261,6 +740,10 @@ impl KeySelect {
     ///     KeySelect::parse("Genre|A : Genre|Z"),
     ///     KeySelect::Range { lo: "Genre|A".into(), hi: "Genre|Z".into() }
     /// );
+    /// assert_eq!(
+    ///     KeySelect::parse(" : Genre|Z"),
+    ///     KeySelect::Range { lo: "".into(), hi: "Genre|Z".into() }
+    /// );
     /// assert_eq!(KeySelect::parse("Writer|*"), KeySelect::Prefix("Writer|".into()));
     /// ```
     pub fn parse(s: &str) -> KeySelect {
@@ -268,7 +751,9 @@ impl KeySelect {
         if t == ":" {
             return KeySelect::All;
         }
-        if let Some((lo, hi)) = t.split_once(" : ") {
+        // Split the *raw* string so an empty bound (`" : hi"`) is not
+        // trimmed away before the separator is found.
+        if let Some((lo, hi)) = s.split_once(" : ") {
             return KeySelect::Range {
                 lo: lo.trim().to_string(),
                 hi: hi.trim().to_string(),
@@ -296,6 +781,18 @@ mod tests {
     }
 
     #[test]
+    fn ids_are_rank_sorted_and_resolve_back() {
+        let ks = KeySet::from_iter(["delta", "alpha", "mike"]);
+        assert_eq!(ks.ids().len(), 3);
+        let resolved = ks.dict().resolve(ks.ids());
+        assert_eq!(resolved, vec!["alpha", "delta", "mike"]);
+        // Re-interning the same keys yields the identical ids.
+        let again = KeySet::from_iter(["alpha", "delta", "mike"]);
+        assert_eq!(ks.ids(), again.ids());
+        assert_eq!(ks, again);
+    }
+
+    #[test]
     fn intersect_alignment() {
         let a = KeySet::from_iter(["a", "b", "d", "e"]);
         let b = KeySet::from_iter(["b", "c", "d"]);
@@ -310,7 +807,7 @@ mod tests {
         let a = KeySet::from_iter(["a", "b", "c"]);
         let b = a.clone(); // same Arc
         let (common, ia, ib) = a.intersect(&b);
-        assert!(Arc::ptr_eq(&common.keys, &a.keys), "no new allocation");
+        assert!(Arc::ptr_eq(&common.ids, &a.ids), "no new allocation");
         assert_eq!(ia, vec![0, 1, 2]);
         assert_eq!(ib, vec![0, 1, 2]);
     }
@@ -322,7 +819,7 @@ mod tests {
         let (common, ia, ib) = a.intersect(&b);
         assert_eq!(common.keys(), a.keys());
         assert!(
-            Arc::ptr_eq(&common.keys, &a.keys) || Arc::ptr_eq(&common.keys, &b.keys),
+            Arc::ptr_eq(&common.ids, &a.ids) || Arc::ptr_eq(&common.ids, &b.ids),
             "equality fast path must reuse one side's storage"
         );
         assert_eq!(ia, vec![0, 1]);
@@ -346,18 +843,18 @@ mod tests {
         let sup = KeySet::from_iter(["a", "b", "c", "d"]);
         // subset ⊂ superset as a contiguous prefix: identity maps.
         let (common, ia, ib) = sub.intersect(&sup);
-        assert!(Arc::ptr_eq(&common.keys, &sub.keys));
+        assert!(Arc::ptr_eq(&common.ids, &sub.ids));
         assert_eq!(ia, vec![0, 1]);
         assert_eq!(ib, vec![0, 1]);
         // And the mirrored superset.intersect(subset).
         let (common, ia, ib) = sup.intersect(&sub);
-        assert!(Arc::ptr_eq(&common.keys, &sub.keys));
+        assert!(Arc::ptr_eq(&common.ids, &sub.ids));
         assert_eq!(ia, vec![0, 1]);
         assert_eq!(ib, vec![0, 1]);
     }
 
     #[test]
-    fn intersect_non_prefix_subset_takes_merge_walk() {
+    fn intersect_non_prefix_subset_takes_id_walk() {
         // A subset that is not a contiguous prefix must fall through to
         // the general walk and still produce correct (non-identity) maps.
         let sub = KeySet::from_iter(["b", "d"]);
@@ -385,10 +882,10 @@ mod tests {
     }
 
     /// Run `f` and return the per-variant intersect counter deltas
-    /// `(arc, prefix, disjoint, merge)`. Asserted with `>=` because the
-    /// registry is process-global and other tests in this binary also
-    /// intersect key sets concurrently.
-    fn intersect_deltas(f: impl FnOnce()) -> (u64, u64, u64, u64) {
+    /// `(arc, prefix, disjoint, id_space, merge)`. Asserted with `>=`
+    /// because the registry is process-global and other tests in this
+    /// binary also intersect key sets concurrently.
+    fn intersect_deltas(f: impl FnOnce()) -> (u64, u64, u64, u64, u64) {
         let before = aarray_obs::snapshot();
         f();
         let d = aarray_obs::snapshot().since(&before);
@@ -396,6 +893,7 @@ mod tests {
             d.get(aarray_obs::Counter::IntersectArcIdentity),
             d.get(aarray_obs::Counter::IntersectPrefix),
             d.get(aarray_obs::Counter::IntersectDisjointRange),
+            d.get(aarray_obs::Counter::IntersectIdSpace),
             d.get(aarray_obs::Counter::IntersectMerge),
         )
     }
@@ -425,21 +923,60 @@ mod tests {
     fn counters_see_disjoint_range_path() {
         let lo = KeySet::from_iter(["a", "b"]);
         let hi = KeySet::from_iter(["x", "y"]);
-        let (_, _, disjoint, _) = intersect_deltas(|| {
+        let (_, _, disjoint, ..) = intersect_deltas(|| {
             let _ = lo.intersect(&hi);
         });
         assert!(disjoint >= 1, "disjoint-range path must fire");
     }
 
     #[test]
-    fn counters_see_merge_walk_for_interleaved_sets() {
-        // Interleaved-but-overlapping: no fast path applies.
+    fn counters_see_id_space_walk_for_interleaved_sets() {
+        // Interleaved-but-overlapping, same dictionary: the integer
+        // rank walk serves it — never the string merge.
         let odd = KeySet::from_iter(["a", "c", "e"]);
         let mix = KeySet::from_iter(["b", "c", "f"]);
-        let (_, _, _, merge) = intersect_deltas(|| {
+        let (_, _, _, id_space, merge) = intersect_deltas(|| {
             let _ = odd.intersect(&mix);
         });
-        assert!(merge >= 1, "general merge walk must fire");
+        assert!(id_space >= 1, "id-space rank walk must fire");
+        assert_eq!(merge, 0, "same-dict sets must never string-merge");
+    }
+
+    #[test]
+    fn counters_see_string_merge_for_cross_dict_sets() {
+        let private = KeyDict::new();
+        let a = KeySet::from_iter(["a", "c", "e"]);
+        let b = KeySet::from_iter_with_dict(&private, ["b", "c", "e"]);
+        let (_, _, _, _, merge) = intersect_deltas(|| {
+            let (common, ia, ib) = a.intersect(&b);
+            assert_eq!(common.keys(), &["c", "e"]);
+            assert_eq!(ia, vec![1, 2]);
+            assert_eq!(ib, vec![1, 2]);
+        });
+        assert!(merge >= 1, "cross-dict sets must take the string merge");
+    }
+
+    #[test]
+    fn intern_counters_fire() {
+        let before = aarray_obs::snapshot();
+        let private = KeyDict::new();
+        let _a = KeySet::from_iter_with_dict(&private, ["p", "q"]);
+        let _b = KeySet::from_iter_with_dict(&private, ["p", "q", "r"]);
+        let d = aarray_obs::snapshot().since(&before);
+        assert!(d.get(Counter::InternMiss) >= 3, "3 distinct keys interned");
+        assert!(d.get(Counter::InternHit) >= 2, "p and q re-interned");
+        assert_eq!(private.len(), 3);
+        assert!(private.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn global_dict_publishes_bytes_gauge() {
+        let _ks = KeySet::from_iter(["gauge-probe-key"]);
+        let snap = aarray_obs::snapshot();
+        assert!(
+            snap.gauge(Gauge::InternDictBytes) >= KeyDict::global().heap_bytes().min(1),
+            "global dict growth must publish the bytes gauge"
+        );
     }
 
     #[test]
@@ -470,6 +1007,84 @@ mod tests {
     }
 
     #[test]
+    fn union_with_subset_preserves_arc_identity() {
+        let sup = KeySet::from_iter(["a", "b", "c"]);
+        let sub = KeySet::from_iter(["b"]);
+        let u = sup.union(&sub);
+        assert!(
+            Arc::ptr_eq(&u.ids, &sup.ids),
+            "superset union must return the original handle"
+        );
+        let u2 = sub.union(&sup);
+        assert!(Arc::ptr_eq(&u2.ids, &sup.ids));
+    }
+
+    #[test]
+    fn union_cross_dict_interns_into_left_dictionary() {
+        let private = KeyDict::new();
+        let a = KeySet::from_iter(["a", "c"]);
+        let b = KeySet::from_iter_with_dict(&private, ["b", "c"]);
+        let u = a.union(&b);
+        assert_eq!(u.keys(), &["a", "b", "c"]);
+        assert!(Arc::ptr_eq(u.dict(), a.dict()));
+    }
+
+    #[test]
+    fn index_map_and_positions_of() {
+        let sup = KeySet::from_iter(["a", "b", "c", "d"]);
+        let sub = KeySet::from_iter(["b", "d"]);
+        assert_eq!(sup.index_map(&sub), vec![Some(1), Some(3)]);
+        assert_eq!(sup.positions_of(&sub), vec![1, 3]);
+        let other = KeySet::from_iter(["b", "x"]);
+        assert_eq!(sup.index_map(&other), vec![Some(1), None]);
+        // Cross-dict falls back to the string walk, same answers.
+        let private = KeyDict::new();
+        let foreign = KeySet::from_iter_with_dict(&private, ["b", "d"]);
+        assert_eq!(sup.index_map(&foreign), vec![Some(1), Some(3)]);
+        assert_eq!(sup.positions_of(&foreign), vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "superset must contain")]
+    fn positions_of_panics_on_non_subset() {
+        let sup = KeySet::from_iter(["a", "b"]);
+        let not_sub = KeySet::from_iter(["b", "z"]);
+        let _ = sup.positions_of(&not_sub);
+    }
+
+    #[test]
+    fn all_after_orders_batches() {
+        let old = KeySet::from_iter(["e1", "e2"]);
+        let next = KeySet::from_iter(["e3", "e4"]);
+        assert!(next.all_after(&old));
+        assert!(!old.all_after(&next));
+        assert!(!next.all_after(&next));
+        assert!(KeySet::empty().all_after(&old));
+        assert!(next.all_after(&KeySet::empty()));
+        // Cross-dict comparison falls back to strings.
+        let private = KeyDict::new();
+        let foreign = KeySet::from_iter_with_dict(&private, ["e9"]);
+        assert!(foreign.all_after(&old));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "sorted unique")]
+    fn from_sorted_unique_asserts_in_debug() {
+        let _ = KeySet::from_sorted_unique(vec!["b".into(), "a".into()]);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn from_sorted_unique_repairs_in_release() {
+        let before = aarray_obs::snapshot();
+        let ks = KeySet::from_sorted_unique(vec!["b".into(), "a".into(), "b".into()]);
+        assert_eq!(ks.keys(), &["a", "b"]);
+        let d = aarray_obs::snapshot().since(&before);
+        assert!(d.get(Counter::KeysSortRepair) >= 1);
+    }
+
+    #[test]
     fn parse_selections() {
         assert_eq!(KeySelect::parse(":"), KeySelect::All);
         assert_eq!(
@@ -490,11 +1105,53 @@ mod tests {
     }
 
     #[test]
+    fn parse_half_open_ranges() {
+        assert_eq!(
+            KeySelect::parse(" : Genre|Z"),
+            KeySelect::Range {
+                lo: "".into(),
+                hi: "Genre|Z".into()
+            }
+        );
+        assert_eq!(
+            KeySelect::parse("Genre|A : "),
+            KeySelect::Range {
+                lo: "Genre|A".into(),
+                hi: "".into()
+            }
+        );
+    }
+
+    #[test]
     fn range_selection_is_inclusive_lexicographic() {
         let ks = KeySet::from_iter(["Genre|Electronic", "Genre|Pop", "Genre|Rock", "Label|Free"]);
         let sel = KeySelect::parse("Genre|A : Genre|Z");
         let idx = ks.select(&sel);
         assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn range_selection_empty_bounds_are_unbounded() {
+        let ks = KeySet::from_iter(["a", "b", "c", "d"]);
+        let below = ks.select(&KeySelect::parse(" : b"));
+        assert_eq!(below, vec![0, 1]);
+        let above = ks.select(&KeySelect::parse("c : "));
+        assert_eq!(above, vec![2, 3]);
+        let all = ks.select(&KeySelect::Range {
+            lo: "".into(),
+            hi: "".into(),
+        });
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn range_selection_reversed_bounds_select_nothing() {
+        let ks = KeySet::from_iter(["a", "b", "c"]);
+        let idx = ks.select(&KeySelect::Range {
+            lo: "c".into(),
+            hi: "a".into(),
+        });
+        assert!(idx.is_empty());
     }
 
     #[test]

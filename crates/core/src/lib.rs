@@ -68,7 +68,7 @@ pub use incidence::{
     adjacency_arrays_multi, adjacency_plan, reverse_adjacency_array, ComplianceError, PatternError,
 };
 pub use incremental::{AdjacencyView, BatchError, BatchKind, IncidenceBuilder, RefreshReport};
-pub use keys::{KeySelect, KeySet};
+pub use keys::{InternedKeySet, KeyDict, KeySelect, KeySet};
 pub use matmul::{
     parallel_flops_threshold, set_parallel_flops_threshold, would_parallelize,
     DEFAULT_PARALLEL_FLOPS_THRESHOLD, PAR_FLOPS_THRESHOLD_ENV,
@@ -85,7 +85,7 @@ pub mod prelude {
         adjacency_array_verified, adjacency_arrays_multi, adjacency_plan, reverse_adjacency_array,
     };
     pub use crate::incremental::{AdjacencyView, IncidenceBuilder};
-    pub use crate::keys::{KeySelect, KeySet};
+    pub use crate::keys::{KeyDict, KeySelect, KeySet};
     pub use crate::plan::MatmulPlan;
     pub use crate::theorem::{pattern_diff, PatternDiff};
     pub use aarray_algebra::prelude::*;

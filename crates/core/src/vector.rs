@@ -29,10 +29,17 @@ impl<V: Value> AVector<V> {
         A: BinaryOp<V>,
         M: BinaryOp<V>,
     {
+        // Precomputed position map instead of per-entry binary search.
+        let pos: std::collections::HashMap<&str, usize> = keys
+            .keys()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.as_str(), i))
+            .collect();
         let mut data: Vec<Option<V>> = vec![None; keys.len()];
         for (k, v) in entries {
-            let i = keys
-                .index_of(&k)
+            let i = *pos
+                .get(k.as_str())
                 .unwrap_or_else(|| panic!("unknown key {:?}", k));
             data[i] = Some(match data[i].take() {
                 None => v,
@@ -89,16 +96,16 @@ impl<V: Value> AVector<V> {
         A: BinaryOp<V>,
         M: BinaryOp<V>,
     {
-        // Fast path: identical key sets.
+        // Fast path: identical key sets (an id comparison after
+        // interning). Otherwise one linear index-map walk replaces the
+        // old per-column binary search.
         let aligned_x: Vec<Option<V>> = if array.col_keys() == &self.keys {
             self.data.clone()
         } else {
-            (0..array.col_keys().len())
-                .map(|c| {
-                    self.keys
-                        .index_of(array.col_keys().key(c))
-                        .and_then(|i| self.data[i].clone())
-                })
+            self.keys
+                .index_map(array.col_keys())
+                .into_iter()
+                .map(|slot| slot.and_then(|i| self.data[i].clone()))
                 .collect()
         };
         let y = spmv(array.csr(), &aligned_x, pair);

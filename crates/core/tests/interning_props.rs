@@ -1,0 +1,176 @@
+//! Property tests for the key-interning layer.
+//!
+//! Three families: dictionary round-trips (intern → resolve is the
+//! identity, ids are dense and stable under re-interning), cross-dict
+//! set algebra (the string fall-back paths agree exactly with the
+//! same-dict integer paths), and seven-pair bit-identity of adjacency
+//! construction through interned key sets versus a string-keyed
+//! reference (cross-dict operands force string alignment) at forced
+//! pool sizes 1 and 4.
+
+use aarray_algebra::pairs::{MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, PlusTimes};
+use aarray_algebra::values::nn::{nn, NN};
+use aarray_algebra::values::tropical::{trop, Tropical};
+use aarray_algebra::DynOpPair;
+use aarray_core::incidence::adjacency_arrays_multi;
+use aarray_core::{AArray, KeyDict, KeySet};
+use proptest::prelude::*;
+
+fn arb_keys(max: usize) -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-e]{1,6}", 0..max)
+}
+
+proptest! {
+    #[test]
+    fn intern_resolve_is_identity_and_first_batch_ids_are_dense(keys in arb_keys(40)) {
+        let dict = KeyDict::new();
+        let ks = KeySet::from_iter_with_dict(&dict, keys.clone());
+        let mut expect = keys;
+        expect.sort();
+        expect.dedup();
+        prop_assert_eq!(ks.keys(), &expect[..]);
+        prop_assert_eq!(dict.resolve(ks.ids()), expect.clone());
+        // The first batch into a fresh dictionary gets exactly the ids
+        // 0..n (dense, no gaps, no reuse).
+        let mut ids: Vec<u32> = ks.ids().to_vec();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..expect.len() as u32).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn ids_are_stable_under_reintern(a in arb_keys(25), b in arb_keys(25)) {
+        let dict = KeyDict::new();
+        let ka = KeySet::from_iter_with_dict(&dict, a.clone());
+        // Growing the dictionary with unrelated keys...
+        let _kb = KeySet::from_iter_with_dict(&dict, b.clone());
+        // ...must not move the ids already handed out.
+        let ka2 = KeySet::from_iter_with_dict(&dict, a.clone());
+        prop_assert_eq!(ka.ids(), ka2.ids());
+        prop_assert_eq!(&ka, &ka2);
+        // And the dictionary stays dense: one id per distinct key ever
+        // interned, re-interning adds nothing.
+        let mut all = a;
+        all.extend(b);
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(dict.len(), all.len());
+    }
+
+    #[test]
+    fn cross_dict_algebra_matches_same_dict_algebra(a in arb_keys(30), b in arb_keys(30)) {
+        // Same key contents, two private dictionaries: every operation
+        // must fall back to strings and agree exactly with the
+        // integer-space result for global-dict equivalents.
+        let da = KeyDict::new();
+        let db = KeyDict::new();
+        let ka = KeySet::from_iter_with_dict(&da, a.clone());
+        let kb = KeySet::from_iter_with_dict(&db, b.clone());
+        let ga = KeySet::from_iter(a.clone());
+        let gb = KeySet::from_iter(b.clone());
+
+        let (xc, xia, xib) = ka.intersect(&kb);
+        let (gc, gia, gib) = ga.intersect(&gb);
+        prop_assert_eq!(xc.keys(), gc.keys());
+        prop_assert_eq!(xia, gia);
+        prop_assert_eq!(xib, gib);
+
+        let (xu, gu) = (ka.union(&kb), ga.union(&gb));
+        prop_assert_eq!(xu.keys(), gu.keys());
+        prop_assert_eq!(ka.index_map(&kb), ga.index_map(&gb));
+        prop_assert_eq!(ka.all_after(&kb), ga.all_after(&gb));
+        for k in kb.keys() {
+            prop_assert_eq!(ka.index_of(k), ga.index_of(k));
+        }
+    }
+}
+
+type Triples = Vec<(String, String, NN)>;
+
+/// Random incidence triples: `n` edges with zero-padded edge keys and
+/// out/in vertices drawn from a small pool (collisions intended).
+fn arb_incidence(max_edges: usize) -> impl Strategy<Value = (Triples, Triples)> {
+    prop::collection::vec((0usize..10, 0usize..10, 1u64..1000), 1..=max_edges).prop_map(|edges| {
+        let mut out = Vec::with_capacity(edges.len());
+        let mut inn = Vec::with_capacity(edges.len());
+        for (i, (u, w, v)) in edges.into_iter().enumerate() {
+            out.push((
+                format!("e{:03}", i),
+                format!("v{:02}", u),
+                nn(v as f64 * 0.1 + 0.003),
+            ));
+            inn.push((
+                format!("e{:03}", i),
+                format!("v{:02}", w),
+                nn(v as f64 * 0.07 + 0.001),
+            ));
+        }
+        (out, inn)
+    })
+}
+
+/// The same array with its row (edge) key set re-interned into a
+/// private dictionary — alignment against a global-dict operand is
+/// then forced down the cross-dict string paths.
+fn with_private_row_dict(a: &AArray<NN>) -> AArray<NN> {
+    let pt = PlusTimes::<NN>::new();
+    let rows = KeySet::from_iter_with_dict(&KeyDict::new(), a.row_keys().keys().to_vec());
+    let cols = a.col_keys().clone();
+    let triples: Vec<(String, String, NN)> = a
+        .iter()
+        .map(|(r, c, v)| (r.to_string(), c.to_string(), *v))
+        .collect();
+    AArray::from_triples_with_keys(&pt, rows, cols, triples)
+}
+
+fn tropicalize(a: &AArray<NN>) -> AArray<Tropical> {
+    a.map(|v| trop(v.get()))
+}
+
+proptest! {
+    #[test]
+    fn seven_pairs_bit_identical_interned_vs_string_keyed((out, inn) in arb_incidence(40)) {
+        let pt = PlusTimes::<NN>::new();
+        let eout = AArray::from_triples(&pt, out);
+        let ein = AArray::from_triples(&pt, inn);
+        // String-keyed reference operand: same contents, edge keys in a
+        // private dictionary, so the plan's inner-key alignment cannot
+        // use any same-dict integer path.
+        let ein_foreign = with_private_row_dict(&ein);
+
+        let plus_times = PlusTimes::<NN>::new();
+        let max_times = MaxTimes::<NN>::new();
+        let min_times = MinTimes::<NN>::new();
+        let min_plus = MinPlus::<NN>::new();
+        let max_min = MaxMin::<NN>::new();
+        let min_max = MinMax::<NN>::new();
+        let nn_pairs: [&dyn DynOpPair<NN>; 6] = [
+            &plus_times, &max_times, &min_times, &min_plus, &max_min, &min_max,
+        ];
+        let mp = MaxPlus::<Tropical>::new();
+        let trop_pairs: [&dyn DynOpPair<Tropical>; 1] = [&mp];
+        let (eout_t, ein_t) = (tropicalize(&eout), tropicalize(&ein));
+        let ein_t_foreign = with_private_row_dict(&ein).map(|v| trop(v.get()));
+
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (interned, string_keyed, interned_t, string_keyed_t) = pool.install(|| {
+                (
+                    adjacency_arrays_multi(&eout, &ein, &nn_pairs),
+                    adjacency_arrays_multi(&eout, &ein_foreign, &nn_pairs),
+                    adjacency_arrays_multi(&eout_t, &ein_t, &trop_pairs),
+                    adjacency_arrays_multi(&eout_t, &ein_t_foreign, &trop_pairs),
+                )
+            });
+            for (lane, (a, b)) in interned.iter().zip(&string_keyed).enumerate() {
+                prop_assert_eq!(a, b, "NN lane {} diverged at {} threads", lane, threads);
+            }
+            prop_assert_eq!(
+                &interned_t[0], &string_keyed_t[0],
+                "tropical max.+ lane diverged at {} threads", threads
+            );
+        }
+    }
+}

@@ -27,6 +27,13 @@ pub struct CheckConfig {
     pub lat_floor_ns: u64,
     /// Regions with a baseline peak below this are not compared.
     pub mem_floor_bytes: u64,
+    /// Mask over [`STAGE_KEYS`]: which stage medians are compared.
+    /// Defaults to all six. `obsctl check --stages` narrows it when a
+    /// baseline predates a stage's measurement semantics — e.g. stream
+    /// `wall` covered only the refresh before the op-ledger PR widened
+    /// it to append + refresh, so pre-ledger baselines compare every
+    /// stage except `wall`.
+    pub stage_mask: [bool; STAGE_KEYS.len()],
 }
 
 impl Default for CheckConfig {
@@ -36,7 +43,37 @@ impl Default for CheckConfig {
             mem_tol_pct: 20.0,
             lat_floor_ns: 50_000,
             mem_floor_bytes: 1 << 20,
+            stage_mask: [true; STAGE_KEYS.len()],
         }
+    }
+}
+
+impl CheckConfig {
+    /// True when `stage` survives the `--stages` mask. Unknown stage
+    /// names are compared (the mask only ever narrows known keys).
+    pub fn stage_enabled(&self, stage: &str) -> bool {
+        STAGE_KEYS
+            .iter()
+            .position(|&k| k == stage)
+            .is_none_or(|i| self.stage_mask[i])
+    }
+
+    /// Parse a `--stages` comma list (e.g. `align,numeric,total`) into
+    /// a mask over [`STAGE_KEYS`]. Rejects unknown names and an empty
+    /// selection rather than silently comparing nothing.
+    pub fn parse_stage_mask(list: &str) -> Result<[bool; STAGE_KEYS.len()], String> {
+        let mut mask = [false; STAGE_KEYS.len()];
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let i = STAGE_KEYS
+                .iter()
+                .position(|&k| k == name)
+                .ok_or_else(|| format!("--stages: unknown stage {:?}", name))?;
+            mask[i] = true;
+        }
+        if mask.iter().all(|&m| !m) {
+            return Err("--stages: empty selection".into());
+        }
+        Ok(mask)
     }
 }
 
@@ -190,6 +227,10 @@ pub fn compare(
                         continue;
                     };
                     let metric = format!("{}@{}/{}", name, rows, stage);
+                    if !cfg.stage_enabled(stage) {
+                        v.skipped.push(format!("{}: excluded by --stages", metric));
+                        continue;
+                    }
                     if base == 0 {
                         // Stored-as-zero baseline: percentage growth is
                         // undefined. If the current run has real signal
@@ -235,6 +276,10 @@ pub fn compare(
                         continue;
                     };
                     let metric = format!("{}@{}/{}", name, rows, stage);
+                    if !cfg.stage_enabled(stage) {
+                        v.skipped.push(format!("{}: excluded by --stages", metric));
+                        continue;
+                    }
                     if cur >= cfg.lat_floor_ns {
                         v.findings
                             .push(Finding::new_metric(metric, cur as f64, cfg.lat_tol_pct));
@@ -499,6 +544,41 @@ mod tests {
         );
         assert!(v.new_metrics().any(|f| f.metric == "fig3@20000/total"));
         assert!(v.pass());
+    }
+
+    #[test]
+    fn stage_mask_excludes_stages_visibly() {
+        let cfg = CheckConfig {
+            stage_mask: CheckConfig::parse_stage_mask("align, transpose,symbolic,numeric,total")
+                .unwrap(),
+            ..CheckConfig::default()
+        };
+        assert!(cfg.stage_enabled("align") && !cfg.stage_enabled("wall"));
+
+        // Wall doubles — a clear regression — but the mask excludes it
+        // with a visible skip line instead of comparing.
+        let base = v3_doc(4_000_000, 5_000_000, 8 << 20);
+        let v = compare(
+            &v3_doc(4_000_000, 10_000_000, 8 << 20),
+            &base,
+            &BenchKind::V3,
+            &cfg,
+        );
+        assert!(v.pass(), "{:?}", v.findings);
+        assert!(!v.findings.iter().any(|f| f.metric.ends_with("/wall")));
+        assert!(
+            v.skipped
+                .iter()
+                .any(|s| s.contains("/wall") && s.contains("--stages")),
+            "{:?}",
+            v.skipped
+        );
+        // Unmasked stages are still compared.
+        assert!(v.findings.iter().any(|f| f.metric.ends_with("/total")));
+
+        // Unknown names and empty selections are rejected.
+        assert!(CheckConfig::parse_stage_mask("align,bogus").is_err());
+        assert!(CheckConfig::parse_stage_mask(" , ").is_err());
     }
 
     #[test]

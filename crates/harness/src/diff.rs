@@ -220,7 +220,7 @@ pub struct DiffReport {
 /// The decision pairs flip detection inspects: first member, second
 /// member, human label. Stage attribution comes from
 /// [`DECISION_COUNTERS`].
-const FLIP_PAIRS: [(&str, &str, &str); 5] = [
+const FLIP_PAIRS: [(&str, &str, &str); 6] = [
     (
         "dispatch.serial",
         "dispatch.parallel",
@@ -242,6 +242,7 @@ const FLIP_PAIRS: [(&str, &str, &str); 5] = [
         "incremental.fallback",
         "incremental delta-apply↔rebuild",
     ),
+    ("intern.hits", "intern.misses", "key-dict intern hit-rate"),
 ];
 
 fn pair_stage(first: &str) -> &'static str {

@@ -9,6 +9,7 @@
 //!               [--reps 5] [--threads 1,2,4]
 //! obsctl check  [--current BENCH_pr3.json] [--against <file>]...
 //!               [--lat-tol 15] [--mem-tol 20] [--allow-new]
+//!               [--stages align,numeric,total]
 //! obsctl --check          # check with the defaults above
 //! ```
 //!
@@ -124,6 +125,7 @@ usage:
                 [--interval-ms 200]
   obsctl check  [--current BENCH_pr3.json] [--against <file>]...
                 [--lat-tol 15] [--mem-tol 20] [--allow-new] [--json <path>]
+                [--stages align,numeric,total]
   obsctl diff   <A.json> <B.json> [--json <path>]
   obsctl history <BENCH_*.json>... [--out <path>]
   obsctl --check
@@ -1101,6 +1103,8 @@ fn cmd_check(args: &[String]) -> ExitCode {
                     .map(|n| cfg.mem_tol_pct = n)
                     .map_err(|_| format!("--mem-tol: bad percent {:?}", v))
             }),
+            "--stages" => take_value(&mut it, a)
+                .and_then(|v| CheckConfig::parse_stage_mask(&v).map(|m| cfg.stage_mask = m)),
             _ => Err(format!("unknown flag {:?}", a)),
         };
         if let Err(e) = r {

@@ -18,7 +18,7 @@ pub const PROFILE_SCHEMA_VERSION: u64 = 1;
 /// The decision counters differential profiling attributes flips to,
 /// with the stage each decision's cost lands in. Order is emission
 /// order in the profile's `"decisions"` object.
-pub const DECISION_COUNTERS: [(Counter, &str, &str); 13] = [
+pub const DECISION_COUNTERS: [(Counter, &str, &str); 16] = [
     (Counter::DispatchSerial, "dispatch.serial", "numeric"),
     (Counter::DispatchParallel, "dispatch.parallel", "numeric"),
     (Counter::PlanSymbolicHit, "plan.symbolic-hit", "symbolic"),
@@ -44,6 +44,9 @@ pub const DECISION_COUNTERS: [(Counter, &str, &str); 13] = [
     (Counter::PoolTasksLocal, "pool.tasks-local", "numeric"),
     (Counter::PoolTasksStolen, "pool.tasks-stolen", "numeric"),
     (Counter::PoolTasksInline, "pool.tasks-inline", "numeric"),
+    (Counter::InternHit, "intern.hits", "align"),
+    (Counter::InternMiss, "intern.misses", "align"),
+    (Counter::IntersectIdSpace, "intersect.id-space", "align"),
 ];
 
 /// Emit the profile document for one captured run.

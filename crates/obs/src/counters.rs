@@ -104,6 +104,18 @@ pub enum Counter {
     /// single-thread runs did real work even when `pool.tasks-local`
     /// stays 0.
     PoolTasksInline,
+    /// `KeyDict::intern_sorted` resolved a key already in the
+    /// dictionary.
+    InternHit,
+    /// `KeyDict::intern_sorted` assigned a fresh id (dictionary grew).
+    InternMiss,
+    /// `KeySet::intersect` ran the integer rank-merge walk (same
+    /// dictionary, zero string comparisons).
+    IntersectIdSpace,
+    /// `KeySet::from_sorted_unique` received keys that were not sorted
+    /// and deduplicated, and repaired them (contract violation by the
+    /// caller; warned once on stderr).
+    KeysSortRepair,
 }
 
 /// Last-value gauges (stores, not sums).
@@ -118,10 +130,13 @@ pub enum Gauge {
     /// Size of the rayon pool observed at the most recent parallel
     /// kernel (threads, including the submitting one).
     PoolThreads,
+    /// Heap bytes held by the process-global key dictionary (interned
+    /// strings plus id tables), published after each growth.
+    InternDictBytes,
 }
 
-const N_COUNTERS: usize = Counter::PoolTasksInline as usize + 1;
-const N_GAUGES: usize = Gauge::PoolThreads as usize + 1;
+const N_COUNTERS: usize = Counter::KeysSortRepair as usize + 1;
+const N_GAUGES: usize = Gauge::InternDictBytes as usize + 1;
 
 /// Every counter with its report label, in display order.
 pub const COUNTER_NAMES: [(Counter, &str); N_COUNTERS] = [
@@ -154,6 +169,10 @@ pub const COUNTER_NAMES: [(Counter, &str); N_COUNTERS] = [
     (Counter::PoolTasksLocal, "pool.tasks-local"),
     (Counter::PoolTasksStolen, "pool.tasks-stolen"),
     (Counter::PoolTasksInline, "pool.tasks-inline"),
+    (Counter::InternHit, "intern.hits"),
+    (Counter::InternMiss, "intern.misses"),
+    (Counter::IntersectIdSpace, "intersect.id-space"),
+    (Counter::KeysSortRepair, "keys.sort-repair"),
 ];
 
 /// Every gauge with its report label, in display order.
@@ -161,6 +180,7 @@ pub const GAUGE_NAMES: [(Gauge, &str); N_GAUGES] = [
     (Gauge::DispatchLastFlops, "dispatch.last-flops"),
     (Gauge::DispatchThreshold, "dispatch.threshold"),
     (Gauge::PoolThreads, "pool.threads"),
+    (Gauge::InternDictBytes, "intern.dict-bytes"),
 ];
 
 /// The process-wide counter table. Obtain via [`counters`].
@@ -268,10 +288,21 @@ pub fn snapshot() -> Snapshot {
 
 /// A point-in-time copy of the registry — also the *diff* type
 /// ([`Snapshot::since`]) and the report type (`Display`).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Snapshot {
     counters: [u64; N_COUNTERS],
     gauges: [u64; N_GAUGES],
+}
+
+// Manual: `[u64; N]` only derives `Default` up to N = 32 on this
+// toolchain, and the counter table has outgrown that.
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot {
+            counters: [0; N_COUNTERS],
+            gauges: [0; N_GAUGES],
+        }
+    }
 }
 
 impl Snapshot {
