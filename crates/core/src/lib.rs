@@ -70,7 +70,7 @@ pub use incidence::{
 pub use incremental::{AdjacencyView, BatchError, BatchKind, IncidenceBuilder, RefreshReport};
 pub use keys::{InternedKeySet, KeyDict, KeySelect, KeySet};
 pub use matmul::{
-    parallel_flops_threshold, set_parallel_flops_threshold, would_parallelize,
+    parallel_flops_threshold, publish_pool_stats, set_parallel_flops_threshold, would_parallelize,
     DEFAULT_PARALLEL_FLOPS_THRESHOLD, PAR_FLOPS_THRESHOLD_ENV,
 };
 pub use plan::MatmulPlan;

@@ -1,0 +1,405 @@
+//! A hand-rolled `std::net` HTTP/1.0 server — the scrape endpoint for
+//! `obsctl watch`, built with zero new dependencies (same offline
+//! discipline as the `serde_json`/`rayon` stubs).
+//!
+//! Scope is deliberately narrow: `GET` over HTTP/1.0 semantics
+//! (`Connection: close`, one request per connection), a routing
+//! closure mapping paths to responses, and a clean shutdown handle.
+//! The accept loop runs on one background thread with a nonblocking
+//! listener polled every 20 ms so the stop flag is observed promptly;
+//! connections are handled sequentially — a metrics scrape is a few
+//! KiB every few hundred ms, not a web workload. Malformed request
+//! lines get `400 Bad Request`; an error on one connection never
+//! takes down the accept loop.
+//!
+//! [`http_get`] is the matching client helper used by the e2e tests
+//! and the CI smoke job (`obsctl fetch`), so the pipeline needs no
+//! `curl` either.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A response from a [`Httpd`] handler: status code plus body, with
+/// the content type picked per route.
+pub struct Response {
+    /// HTTP status code (200, 400, 404, ...).
+    pub status: u16,
+    /// Media type for the `Content-Type` header.
+    pub content_type: &'static str,
+    /// Response body, written verbatim.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` with the given content type.
+    pub fn ok(content_type: &'static str, body: String) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    /// A `404 Not Found` naming the missing path.
+    pub fn not_found(path: &str) -> Response {
+        Response {
+            status: 404,
+            content_type: "text/plain",
+            body: format!("no such endpoint: {}\n", path),
+        }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// The `obsctl watch` route table, shared between the binary and the
+/// e2e tests: `/metrics` (Prometheus exposition rendered from the
+/// **latest frame**, so a scrape never touches the live registries),
+/// `/report.json` (the latest frame's full schema-versioned report),
+/// `/series.json` (the whole ring as timestamp + metric columns), and
+/// `/healthz` (sampler liveness plus every layer's drop counters).
+pub fn telemetry_handler(
+    ring: Arc<aarray_obs::TimeSeriesRing>,
+    probe: aarray_obs::CollectorProbe,
+) -> impl Fn(&str) -> Response + Send + 'static {
+    move |path| match path {
+        "/metrics" => match ring.latest() {
+            Some(f) => Response::ok("text/plain; version=0.0.4", f.report.to_prometheus()),
+            None => no_frame_yet(),
+        },
+        "/report.json" => match ring.latest() {
+            Some(f) => Response::ok("application/json", f.report.to_json()),
+            None => no_frame_yet(),
+        },
+        "/series.json" => Response::ok("application/json", ring.snapshot().to_json()),
+        "/healthz" => {
+            let stats = ring.stats();
+            let (journal_dropped, ops_dropped) = ring
+                .latest()
+                .map(|f| (f.report.journal.dropped, f.report.ops.dropped))
+                .unwrap_or((0, 0));
+            let alive = probe.is_alive();
+            let body = format!(
+                "{{\"status\": \"{}\", \"interval_ms\": {}, \"last_sample_age_ms\": {}, \
+                 \"frames\": {{\"recorded\": {}, \"dropped\": {}, \"capacity\": {}}}, \
+                 \"journal_dropped\": {}, \"ops_dropped\": {}}}\n",
+                if alive { "ok" } else { "stalled" },
+                probe.interval_ms(),
+                probe.last_sample_age_ms(),
+                stats.recorded,
+                stats.dropped,
+                stats.capacity,
+                journal_dropped,
+                ops_dropped
+            );
+            Response {
+                status: if alive { 200 } else { 503 },
+                content_type: "application/json",
+                body,
+            }
+        }
+        p => Response::not_found(p),
+    }
+}
+
+/// 503 until the sampler's first frame lands (it samples immediately
+/// at start, so this window is one thread-scheduling quantum wide).
+fn no_frame_yet() -> Response {
+    Response {
+        status: 503,
+        content_type: "text/plain",
+        body: "no frame sampled yet\n".into(),
+    }
+}
+
+/// Handle to a running server; dropping it stops the accept loop and
+/// joins the thread.
+pub struct Httpd {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Httpd {
+    /// Bind `addr` (use port 0 for an OS-assigned port, then read
+    /// [`Httpd::addr`]) and serve `handler(path)` for every well-formed
+    /// `GET`. The handler runs on the server thread, so it must be
+    /// `Send` and should return quickly.
+    pub fn serve<F>(addr: &str, handler: F) -> std::io::Result<Httpd>
+    where
+        F: Fn(&str) -> Response + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let t_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("aarray-httpd".into())
+            .spawn(move || {
+                while !t_stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            // Per-connection failures (reset mid-write,
+                            // unreadable request) must not kill the
+                            // accept loop.
+                            let _ = handle_connection(stream, &handler);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => {
+                            // Transient accept error; back off briefly.
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                    }
+                }
+            })?;
+        Ok(Httpd {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread (Drop does the
+    /// same).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Httpd {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Read one request, route it, write one response, close. Any I/O
+/// error is returned (and ignored by the accept loop).
+fn handle_connection<F>(mut stream: TcpStream, handler: &F) -> std::io::Result<()>
+where
+    F: Fn(&str) -> Response,
+{
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+
+    // Read until the end of the request head (blank line) or a size
+    // cap; we never need a body for GET.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n")
+                    || buf.windows(2).any(|w| w == b"\n\n")
+                    || buf.len() > 8192
+                {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let response = route_request_line(request_line, handler);
+    write_response(&mut stream, &response)
+}
+
+/// Parse `GET /path HTTP/1.x` and dispatch. Split out of the
+/// connection handler so malformed-request behavior is unit-testable
+/// without sockets.
+pub fn route_request_line<F>(request_line: &str, handler: &F) -> Response
+where
+    F: Fn(&str) -> Response,
+{
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if parts.next().is_none() => (m, p, v),
+        _ => {
+            return Response {
+                status: 400,
+                content_type: "text/plain",
+                body: "malformed request line\n".into(),
+            }
+        }
+    };
+    if !version.starts_with("HTTP/") || !path.starts_with('/') {
+        return Response {
+            status: 400,
+            content_type: "text/plain",
+            body: "malformed request line\n".into(),
+        };
+    }
+    if method != "GET" {
+        return Response {
+            status: 405,
+            content_type: "text/plain",
+            body: "only GET is served here\n".into(),
+        };
+    }
+    // Ignore any query string; routes are bare paths.
+    let path = path.split('?').next().unwrap_or(path);
+    handler(path)
+}
+
+fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        r.status,
+        status_text(r.status),
+        r.content_type,
+        r.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(r.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal HTTP GET client for tests and `obsctl fetch`: one request,
+/// read to EOF (the server closes), return `(status, body)`.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> std::io::Result<(u16, String)> {
+    let deadline = Instant::now() + timeout;
+    let sock_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "unresolvable addr")
+    })?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(format!("GET {} HTTP/1.0\r\nHost: {}\r\n\r\n", path, addr).as_bytes())?;
+
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if Instant::now() > deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "response did not complete in time",
+            ));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let (head, body) = match text.find("\r\n\r\n") {
+        Some(i) => (&text[..i], &text[i + 4..]),
+        None => match text.find("\n\n") {
+            Some(i) => (&text[..i], &text[i + 2..]),
+            None => (text.as_str(), ""),
+        },
+    };
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "unparsable status line")
+        })?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_handler(path: &str) -> Response {
+        match path {
+            "/hello" => Response::ok("text/plain", "world\n".into()),
+            p => Response::not_found(p),
+        }
+    }
+
+    #[test]
+    fn serves_and_stops_cleanly() {
+        let server = Httpd::serve("127.0.0.1:0", echo_handler).unwrap();
+        let addr = server.addr().to_string();
+        let (status, body) = http_get(&addr, "/hello", Duration::from_secs(5)).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "world\n");
+        let (status, _) = http_get(&addr, "/nope", Duration::from_secs(5)).unwrap();
+        assert_eq!(status, 404);
+        server.stop();
+        // The port is released once the handle is gone.
+        assert!(
+            TcpStream::connect_timeout(&addr.parse().unwrap(), Duration::from_millis(200)).is_err()
+        );
+    }
+
+    #[test]
+    fn query_strings_are_ignored_for_routing() {
+        let r = route_request_line("GET /hello?window=5 HTTP/1.0", &echo_handler);
+        assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn malformed_request_lines_get_400() {
+        for line in [
+            "",
+            "GET",
+            "GET /hello",
+            "garbage with too many words entirely HTTP/1.0",
+            "GET hello HTTP/1.0",
+            "GET /hello FTP/1.0",
+        ] {
+            let r = route_request_line(line, &echo_handler);
+            assert_eq!(r.status, 400, "line {:?} should be rejected", line);
+        }
+        let r = route_request_line("POST /hello HTTP/1.0", &echo_handler);
+        assert_eq!(r.status, 405);
+    }
+
+    #[test]
+    fn malformed_request_does_not_kill_the_server() {
+        let server = Httpd::serve("127.0.0.1:0", echo_handler).unwrap();
+        let addr = server.addr();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.0 400"), "got: {}", out);
+        drop(s);
+        // Server still answers afterwards.
+        let (status, body) = http_get(&addr.to_string(), "/hello", Duration::from_secs(5)).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "world\n");
+    }
+}

@@ -20,6 +20,12 @@
 //! Chrome-trace/Perfetto timeline, validated structurally by
 //! [`chrome_trace`] before it is written.
 //!
+//! `obsctl watch` runs a workload while a background
+//! [`aarray_obs::Collector`] samples frames and an embedded
+//! hand-rolled HTTP/1.0 server ([`httpd`], `std::net` only) serves
+//! `/metrics`, `/report.json`, `/series.json`, and `/healthz` — the
+//! live half of the observatory.
+//!
 //! Everything here is dependency-free: the offline `serde_json` stub
 //! is empty, so [`json`] is a small hand-rolled parser scoped to the
 //! bench schemas.
@@ -31,6 +37,7 @@ pub mod chrome_trace;
 pub mod compare;
 pub mod diff;
 pub mod history;
+pub mod httpd;
 pub mod json;
 pub mod profile;
 pub mod schema;

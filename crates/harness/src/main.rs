@@ -47,6 +47,16 @@
 //! snapshot/diff line per sampling interval — ops completed per kind
 //! with interval p95s, plus journal growth — then a final tail table.
 //!
+//! `watch` is the live half of the observatory: it runs one workload
+//! while a background [`aarray_obs::Collector`] samples full reports
+//! into a bounded frame ring. With `--listen` an embedded `std::net`
+//! HTTP/1.0 server serves `GET /metrics` (Prometheus exposition from
+//! the latest frame), `/report.json`, `/series.json` (the ring as
+//! sparkline columns), and `/healthz` (sampler liveness + drop
+//! counts); without it, the terminal shows `top`-style interval diffs
+//! derived from frame pairs. `fetch` is the matching dependency-free
+//! HTTP client so CI needs no `curl`.
+//!
 //! `check` validates every file's schema (exit 2 on a malformed or
 //! unknown-schema file), compares the current run against each
 //! baseline — v3 files stage-by-stage and region-by-region, legacy
@@ -74,6 +84,7 @@
 
 use aarray_harness::chrome_trace;
 use aarray_harness::compare::{compare, CheckConfig};
+use aarray_harness::httpd::{http_get, telemetry_handler, Httpd};
 use aarray_harness::json::parse;
 use aarray_harness::schema::{classify, BenchKind};
 use aarray_harness::workloads::{
@@ -91,6 +102,8 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("ops") => cmd_ops(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
+        Some("fetch") => cmd_fetch(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("history") => cmd_history(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
@@ -123,6 +136,10 @@ usage:
                 [--trace-out <workload>.optrace.json]
   obsctl top    [fig3|fig5|stream] [--rows 4000] [--reps 20]
                 [--interval-ms 200]
+  obsctl watch  [fig3|fig5|stream] [--rows 4000] [--reps 20]
+                [--interval-ms <AARRAY_OBS_SAMPLE_MS>] [--listen 127.0.0.1:PORT]
+                [--port-file <path>]
+  obsctl fetch  <http://host:port/path> [--out <path>] [--timeout-ms 5000]
   obsctl check  [--current BENCH_pr3.json] [--against <file>]...
                 [--lat-tol 15] [--mem-tol 20] [--allow-new] [--json <path>]
                 [--stages align,numeric,total]
@@ -1067,6 +1084,240 @@ fn cmd_top(args: &[String]) -> ExitCode {
     );
     print!("{}", ops_table(&total.ops));
     ExitCode::SUCCESS
+}
+
+fn cmd_watch(args: &[String]) -> ExitCode {
+    let mut workload = "fig3".to_string();
+    let mut rows = 4_000usize;
+    let mut reps = 20usize;
+    let mut interval_ms: Option<u64> = None;
+    let mut listen: Option<String> = None;
+    let mut port_file: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let r = match a.as_str() {
+            "fig3" | "fig5" | "stream" => {
+                workload = a.clone();
+                Ok(())
+            }
+            "--listen" => take_value(&mut it, a).map(|v| listen = Some(v)),
+            "--port-file" => take_value(&mut it, a).map(|v| port_file = Some(v)),
+            "--rows" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| rows = n)
+                    .map_err(|_| format!("--rows: bad count {:?}", v))
+            }),
+            "--reps" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| reps = n)
+                    .map_err(|_| format!("--reps: bad count {:?}", v))
+            }),
+            "--interval-ms" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| interval_ms = Some(n))
+                    .map_err(|_| format!("--interval-ms: bad count {:?}", v))
+            }),
+            _ => Err(format!("unknown workload or flag {:?}", a)),
+        };
+        if let Err(e) = r {
+            eprintln!("obsctl watch: {}\n{}", e, USAGE);
+            return ExitCode::from(2);
+        }
+    }
+    if rows == 0 || reps == 0 || interval_ms == Some(0) {
+        eprintln!("obsctl watch: need nonzero rows, reps, and interval");
+        return ExitCode::from(2);
+    }
+    if port_file.is_some() && listen.is_none() {
+        eprintln!("obsctl watch: --port-file only makes sense with --listen");
+        return ExitCode::from(2);
+    }
+
+    let start = ObsReport::capture();
+    // The pre-sample hook bridges pending thread-pool tallies into the
+    // shared registry so every frame sees pool.tasks-* mid-workload.
+    let collector = aarray_obs::Collector::start_with(aarray_obs::CollectorConfig {
+        interval_ms,
+        capacity: None,
+        pre_sample: Some(Box::new(aarray_core::publish_pool_stats)),
+    });
+    let ring = std::sync::Arc::clone(collector.ring());
+    let tick_ms = collector.interval_ms();
+
+    let server = match &listen {
+        Some(addr) => {
+            let handler = telemetry_handler(std::sync::Arc::clone(&ring), collector.probe());
+            match Httpd::serve(addr, handler) {
+                Ok(s) => {
+                    println!(
+                        "obsctl watch: serving /metrics /report.json /series.json /healthz \
+                         on http://{}",
+                        s.addr()
+                    );
+                    if let Some(pf) = &port_file {
+                        // Write-then-rename so a poller never reads a
+                        // truncated address.
+                        let tmp = format!("{}.tmp", pf);
+                        let w = std::fs::write(&tmp, format!("{}\n", s.addr()))
+                            .and_then(|()| std::fs::rename(&tmp, pf));
+                        if let Err(e) = w {
+                            eprintln!("obsctl watch: cannot write {:?}: {}", pf, e);
+                            return ExitCode::from(2);
+                        }
+                    }
+                    Some(s)
+                }
+                Err(e) => {
+                    eprintln!("obsctl watch: cannot bind {:?}: {}", addr, e);
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+
+    println!(
+        "obsctl watch: sampling every {} ms while {}@{} x{} rep(s) runs",
+        tick_ms, workload, rows, reps
+    );
+    let wl = workload.clone();
+    let handle = std::thread::spawn(move || run_named_workload(&wl, rows, reps));
+
+    // Tick loop: with a server the frames speak for themselves; without
+    // one, render top-style interval diffs derived from frame *pairs*
+    // (never by mutating the live registries).
+    let mut prev: Option<aarray_obs::Frame> = None;
+    let mut tick = 0u64;
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(tick_ms));
+        if server.is_none() {
+            if let Some(cur) = ring.latest() {
+                if prev.as_ref().is_none_or(|p| p.seq != cur.seq) {
+                    tick += 1;
+                    let d = match &prev {
+                        Some(p) => cur.delta(p),
+                        None => cur.report.since(&start),
+                    };
+                    let mut parts = Vec::new();
+                    for (i, &(_, name)) in aarray_obs::OP_KIND_NAMES.iter().enumerate() {
+                        let t = &d.ops.tails[i];
+                        if t.count() > 0 {
+                            parts.push(format!(
+                                "{} +{} p95 {} ns",
+                                name,
+                                t.count(),
+                                t.quantile(0.95)
+                            ));
+                        }
+                    }
+                    println!(
+                        "frame {:>3}: ops +{}{}  journal +{} event(s)",
+                        cur.seq,
+                        d.ops.recorded,
+                        if parts.is_empty() {
+                            String::new()
+                        } else {
+                            format!("  [{}]", parts.join(", "))
+                        },
+                        d.journal.recorded
+                    );
+                    prev = Some(cur);
+                }
+            }
+        }
+        if handle.is_finished() {
+            break;
+        }
+    }
+    let panicked = handle.join().is_err();
+    // One last frame so the series covers the workload's end.
+    ring.sample_now();
+    let stats = ring.stats();
+    if let Some(s) = server {
+        s.stop();
+    }
+    collector.stop();
+    if panicked {
+        eprintln!("obsctl watch: workload thread panicked");
+        return ExitCode::from(2);
+    }
+
+    let total = ObsReport::capture().since(&start);
+    println!();
+    println!(
+        "workload finished after {} rendered tick(s): {} frame(s) sampled ({} dropped, \
+         capacity {}), {} op(s) recorded",
+        tick, stats.recorded, stats.dropped, stats.capacity, total.ops.recorded
+    );
+    print!("{}", ops_table(&total.ops));
+    ExitCode::SUCCESS
+}
+
+fn cmd_fetch(args: &[String]) -> ExitCode {
+    let mut url: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut timeout_ms = 5_000u64;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let r = match a.as_str() {
+            "--out" => take_value(&mut it, a).map(|v| out = Some(v)),
+            "--timeout-ms" => take_value(&mut it, a).and_then(|v| {
+                v.parse()
+                    .map(|n| timeout_ms = n)
+                    .map_err(|_| format!("--timeout-ms: bad count {:?}", v))
+            }),
+            _ if !a.starts_with("--") && url.is_none() => {
+                url = Some(a.clone());
+                Ok(())
+            }
+            _ => Err(format!("unknown flag {:?}", a)),
+        };
+        if let Err(e) = r {
+            eprintln!("obsctl fetch: {}\n{}", e, USAGE);
+            return ExitCode::from(2);
+        }
+    }
+    let url = match url {
+        Some(u) => u,
+        None => {
+            eprintln!("obsctl fetch: need a URL\n{}", USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    if timeout_ms == 0 {
+        eprintln!("obsctl fetch: need a nonzero timeout");
+        return ExitCode::from(2);
+    }
+    let rest = url.strip_prefix("http://").unwrap_or(&url);
+    let (addr, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+
+    match http_get(addr, path, std::time::Duration::from_millis(timeout_ms)) {
+        Ok((status, body)) => {
+            if let Some(p) = &out {
+                if let Err(e) = std::fs::write(p, &body) {
+                    eprintln!("obsctl fetch: cannot write {:?}: {}", p, e);
+                    return ExitCode::from(2);
+                }
+            } else {
+                print!("{}", body);
+            }
+            if status == 200 {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("obsctl fetch: {} answered HTTP {}", url, status);
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("obsctl fetch: {}: {}", url, e);
+            ExitCode::from(1)
+        }
+    }
 }
 
 fn load_classified(path: &str) -> Result<(aarray_harness::json::Value, BenchKind), String> {

@@ -1,0 +1,91 @@
+//! Regression pins for `obsctl history` over the *committed* baseline
+//! lineage. PR9's key-interning work collapsed the align stage at
+//! scale (stream-incr@20000 went from ~12.8 ms to ~0.78 ms); the trend
+//! table must flag that step-change as a sustained improvement (`↓`),
+//! not wave it off as noise (`~`). These tests read the real
+//! `BENCH_pr*.json` files from the repo root, so the verdict is pinned
+//! against exactly what future sessions will see.
+
+use aarray_harness::compare::CheckConfig;
+use aarray_harness::history::{ingest, trends, HistoryEntry, Slope};
+use aarray_harness::json::parse;
+
+fn load(name: &str) -> HistoryEntry {
+    let path = format!("{}/../../{}", env!("CARGO_MANIFEST_DIR"), name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read committed baseline {}: {}", path, e));
+    let doc = parse(&text).unwrap_or_else(|e| panic!("{} must parse: {}", name, e));
+    ingest(name, &doc).unwrap_or_else(|e| panic!("{} must ingest: {}", name, e))
+}
+
+fn lineage() -> Vec<HistoryEntry> {
+    // File order is lineage order; pr9 is the newest streaming capture.
+    vec![
+        load("BENCH_pr4.json"),
+        load("BENCH_pr5.json"),
+        load("BENCH_pr9.json"),
+    ]
+}
+
+fn slope_of(rows: &[aarray_harness::history::Trend], metric: &str) -> Slope {
+    rows.iter()
+        .find(|t| t.metric == metric)
+        .unwrap_or_else(|| panic!("metric {} missing from trend table", metric))
+        .slope
+}
+
+#[test]
+fn pr9_align_step_change_is_flagged_down_not_noise() {
+    let entries = lineage();
+    let rows = trends(&entries, &CheckConfig::default());
+
+    // The tentpole verdict: at 20000 rows the incremental align stage
+    // collapsed by ~16× in PR9. Well above the 50 µs noise floor on
+    // both ends, so this must be ↓.
+    assert_eq!(
+        slope_of(&rows, "stream-incr@20000/align"),
+        Slope::Down,
+        "PR9 align step-change at 20000 rows must be flagged ↓"
+    );
+    // The same improvement is visible one scale down.
+    assert_eq!(slope_of(&rows, "stream-incr@8000/align"), Slope::Down);
+
+    // Counter-pin: the rebuild path realigns from scratch either way;
+    // its align samples sit below the latency noise floor, so the
+    // verdict there stays ~ (noise), proving Down above is a real
+    // signal and not a floor artifact.
+    assert_eq!(slope_of(&rows, "stream-rebuild@2000/align"), Slope::Noise);
+}
+
+#[test]
+fn pr9_values_land_in_the_trend_row_in_file_order() {
+    let entries = lineage();
+    let rows = trends(&entries, &CheckConfig::default());
+    let row = rows
+        .iter()
+        .find(|t| t.metric == "stream-incr@20000/align")
+        .expect("row present");
+    assert_eq!(row.values.len(), 3, "one column per ingested file");
+    let vals: Vec<u64> = row.values.iter().map(|v| v.expect("present")).collect();
+    // First and last straddle the step: pr4/pr5 in the milliseconds,
+    // pr9 under a millisecond.
+    assert!(
+        vals[0] > 5_000_000,
+        "pr4 align should be ms-scale: {}",
+        vals[0]
+    );
+    assert!(
+        vals[1] > 5_000_000,
+        "pr5 align should be ms-scale: {}",
+        vals[1]
+    );
+    assert!(
+        vals[2] < 2_000_000,
+        "pr9 align should be sub-2ms: {}",
+        vals[2]
+    );
+    assert!(
+        vals[2] * 5 < vals[0],
+        "step change must exceed the 1.15 slope tolerance by a wide margin"
+    );
+}

@@ -1,0 +1,321 @@
+//! Background sampler feeding the time-series ring.
+//!
+//! [`Collector::start`] spawns one thread that captures a
+//! [`crate::timeseries::Frame`] into a bounded [`TimeSeriesRing`]
+//! every interval. The interval comes from `AARRAY_OBS_SAMPLE_MS`
+//! (default 250 ms) with the shared warn-once parse-failure contract;
+//! the ring capacity from `AARRAY_OBS_FRAMES`.
+//!
+//! Ordering guarantees, in sampler-loop order:
+//!
+//! 1. the optional **pre-sample hook** runs (the harness uses it to
+//!    fold pending thread-pool task tallies into the shared counter
+//!    registry via `aarray_core::publish_pool_stats`, so frames see
+//!    `pool.tasks-*` mid-workload without stealing the workload's own
+//!    post-mortem counts — the registry is cumulative and shared, so
+//!    publishing early loses nothing);
+//! 2. one [`crate::ObsReport::capture`] is taken and pushed as a frame
+//!    (a frame is therefore internally consistent to within one
+//!    capture, and frames are strictly ordered by sequence number);
+//! 3. the thread sleeps on a condvar until the next tick or shutdown.
+//!
+//! Shutdown is a clean handle: dropping (or explicitly
+//! [`Collector::stop`]-ping) the collector flips the stop flag, wakes
+//! the condvar, and **joins** the sampler thread, so no sample can
+//! land after the handle is gone. The first frame is captured
+//! immediately at start, so `/metrics` has data before the first
+//! interval elapses.
+
+use crate::timeseries::TimeSeriesRing;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Name of the environment variable setting the sampling interval in
+/// milliseconds. Unset means [`DEFAULT_SAMPLE_MS`]; anything that does
+/// not parse as a positive integer is an env-parse error (warn once,
+/// keep the default).
+pub const SAMPLE_MS_ENV: &str = "AARRAY_OBS_SAMPLE_MS";
+
+/// Default sampling interval when `AARRAY_OBS_SAMPLE_MS` is unset.
+pub const DEFAULT_SAMPLE_MS: u64 = 250;
+
+/// Parse the interval knob. `Ok` for unset (default) or a positive
+/// integer; `Err` for anything else, including `0` — a sampler that
+/// spins as fast as it can is a misconfiguration, not a mode.
+pub(crate) fn parse_sample_ms(raw: Option<&str>) -> Result<u64, ()> {
+    match raw.map(str::trim) {
+        None => Ok(DEFAULT_SAMPLE_MS),
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) if n > 0 => Ok(n.min(3_600_000)),
+            _ => Err(()),
+        },
+    }
+}
+
+/// Resolve `AARRAY_OBS_SAMPLE_MS` with the shared warn-once contract.
+pub fn sample_ms_from_env() -> u64 {
+    let raw = std::env::var(SAMPLE_MS_ENV).ok();
+    parse_sample_ms(raw.as_deref()).unwrap_or_else(|()| {
+        static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        crate::counters::env_parse_error(
+            &WARNED,
+            SAMPLE_MS_ENV,
+            raw.as_deref().unwrap_or(""),
+            "the default interval",
+        );
+        DEFAULT_SAMPLE_MS
+    })
+}
+
+/// Configuration for [`Collector::start_with`]; [`Collector::start`]
+/// resolves everything from the environment.
+#[derive(Default)]
+pub struct CollectorConfig {
+    /// Sampling interval in ms; `None` resolves `AARRAY_OBS_SAMPLE_MS`.
+    pub interval_ms: Option<u64>,
+    /// Ring capacity in frames; `None` resolves `AARRAY_OBS_FRAMES`.
+    pub capacity: Option<usize>,
+    /// Hook run immediately before each capture (see module docs).
+    pub pre_sample: Option<Box<dyn Fn() + Send + 'static>>,
+}
+
+/// Shared between the handle, the sampler thread, and any liveness
+/// probes handed to an HTTP endpoint.
+struct Inner {
+    stop: Mutex<bool>,
+    cv: Condvar,
+    /// Monotonic ns (since collector start) of the most recent sample;
+    /// updated by the sampler after each push.
+    last_tick_ns: AtomicU64,
+}
+
+/// A cheap, clonable liveness view of a running collector, safe to
+/// hand to server threads that outlive no one.
+#[derive(Clone)]
+pub struct CollectorProbe {
+    inner: Arc<Inner>,
+    base: Instant,
+    interval_ms: u64,
+}
+
+impl CollectorProbe {
+    /// The configured sampling interval.
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// Milliseconds since the last completed sample.
+    pub fn last_sample_age_ms(&self) -> u64 {
+        let now = self.base.elapsed().as_nanos() as u64;
+        now.saturating_sub(self.inner.last_tick_ns.load(Ordering::Acquire)) / 1_000_000
+    }
+
+    /// `true` while the sampler is keeping pace: not stopped, and the
+    /// newest sample is younger than four intervals (with a 1 s grace
+    /// so tiny test intervals do not flap).
+    pub fn is_alive(&self) -> bool {
+        if *self.inner.stop.lock().unwrap_or_else(|e| e.into_inner()) {
+            return false;
+        }
+        self.last_sample_age_ms() <= (self.interval_ms * 4).max(1_000)
+    }
+}
+
+/// Handle to the background sampler. See the module docs; dropping it
+/// stops and joins the thread.
+pub struct Collector {
+    ring: Arc<TimeSeriesRing>,
+    inner: Arc<Inner>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    base: Instant,
+    interval_ms: u64,
+}
+
+impl Collector {
+    /// Start sampling with everything resolved from the environment
+    /// (`AARRAY_OBS_SAMPLE_MS`, `AARRAY_OBS_FRAMES`) and no hook.
+    pub fn start() -> Collector {
+        Collector::start_with(CollectorConfig::default())
+    }
+
+    /// Start sampling with explicit overrides.
+    pub fn start_with(cfg: CollectorConfig) -> Collector {
+        let interval_ms = cfg.interval_ms.unwrap_or_else(sample_ms_from_env);
+        let capacity = cfg
+            .capacity
+            .unwrap_or_else(crate::timeseries::frames_from_env);
+        let ring = Arc::new(TimeSeriesRing::with_capacity(capacity));
+        let inner = Arc::new(Inner {
+            stop: Mutex::new(false),
+            cv: Condvar::new(),
+            last_tick_ns: AtomicU64::new(0),
+        });
+        let base = Instant::now();
+
+        let t_ring = Arc::clone(&ring);
+        let t_inner = Arc::clone(&inner);
+        let interval = Duration::from_millis(interval_ms);
+        let pre = cfg.pre_sample;
+        let thread = std::thread::Builder::new()
+            .name("aarray-collector".into())
+            .spawn(move || loop {
+                if let Some(hook) = &pre {
+                    hook();
+                }
+                t_ring.sample_now();
+                t_inner
+                    .last_tick_ns
+                    .store(base.elapsed().as_nanos() as u64, Ordering::Release);
+
+                let mut stop = t_inner.stop.lock().unwrap_or_else(|e| e.into_inner());
+                let deadline = Instant::now() + interval;
+                while !*stop {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (g, _timeout) = t_inner
+                        .cv
+                        .wait_timeout(stop, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    stop = g;
+                }
+                if *stop {
+                    return;
+                }
+            })
+            .expect("spawn collector thread");
+
+        Collector {
+            ring,
+            inner,
+            thread: Some(thread),
+            base,
+            interval_ms,
+        }
+    }
+
+    /// The ring this collector feeds (clone the `Arc` to share with a
+    /// server thread).
+    pub fn ring(&self) -> &Arc<TimeSeriesRing> {
+        &self.ring
+    }
+
+    /// The configured sampling interval.
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// A clonable liveness probe for health endpoints.
+    pub fn probe(&self) -> CollectorProbe {
+        CollectorProbe {
+            inner: Arc::clone(&self.inner),
+            base: self.base,
+            interval_ms: self.interval_ms,
+        }
+    }
+
+    /// Stop and join the sampler explicitly (Drop does the same).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        {
+            let mut stop = self.inner.stop.lock().unwrap_or_else(|e| e.into_inner());
+            *stop = true;
+        }
+        self.inner.cv.notify_all();
+        if let Some(t) = self.thread.take() {
+            // A panicked sampler already printed its message; the
+            // handle's job is only to guarantee it is gone.
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_sample_ms_accepts_positive_and_defaults_unset() {
+        assert_eq!(parse_sample_ms(None), Ok(DEFAULT_SAMPLE_MS));
+        assert_eq!(parse_sample_ms(Some("25")), Ok(25));
+        assert_eq!(parse_sample_ms(Some(" 1000 ")), Ok(1000));
+        assert_eq!(parse_sample_ms(Some("99999999999")), Ok(3_600_000));
+    }
+
+    #[test]
+    fn parse_sample_ms_rejects_zero_junk_and_negatives() {
+        assert_eq!(parse_sample_ms(Some("0")), Err(()));
+        assert_eq!(parse_sample_ms(Some("-1")), Err(()));
+        assert_eq!(parse_sample_ms(Some("fast")), Err(()));
+        assert_eq!(parse_sample_ms(Some("")), Err(()));
+    }
+
+    #[test]
+    fn env_fallback_counts_a_parse_error() {
+        let before = crate::counters().get(crate::Counter::EnvParseError);
+        static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        let ms = parse_sample_ms(Some("soon")).unwrap_or_else(|()| {
+            crate::counters::env_parse_error(&WARNED, SAMPLE_MS_ENV, "soon", "the default");
+            DEFAULT_SAMPLE_MS
+        });
+        assert_eq!(ms, DEFAULT_SAMPLE_MS);
+        assert!(crate::counters().get(crate::Counter::EnvParseError) > before);
+    }
+
+    #[test]
+    fn sampler_fills_the_ring_and_joins_on_drop() {
+        let c = Collector::start_with(CollectorConfig {
+            interval_ms: Some(5),
+            capacity: Some(64),
+            pre_sample: None,
+        });
+        let ring = Arc::clone(c.ring());
+        let probe = c.probe();
+        // First frame is captured immediately; more follow.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ring.recorded() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(ring.recorded() >= 3, "sampler produced no frames");
+        assert!(probe.is_alive());
+        drop(c);
+        // Join-on-drop: no frame can land after the handle is gone.
+        let after = ring.recorded();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(ring.recorded(), after, "sampler survived its handle");
+        assert!(!probe.is_alive());
+    }
+
+    #[test]
+    fn pre_sample_hook_runs_before_every_capture() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let c = Collector::start_with(CollectorConfig {
+            interval_ms: Some(5),
+            capacity: Some(64),
+            pre_sample: Some(Box::new(move || {
+                h.fetch_add(1, Ordering::Relaxed);
+            })),
+        });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while c.ring().recorded() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let frames = c.ring().recorded();
+        c.stop();
+        assert!(frames >= 2);
+        // Every capture was preceded by one hook call.
+        assert!(hits.load(Ordering::Relaxed) >= frames);
+    }
+}

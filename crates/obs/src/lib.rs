@@ -39,6 +39,16 @@
 //!   stable JSON ([`ObsReport::to_json`]) and Prometheus text format
 //!   ([`ObsReport::to_prometheus`]) renderings;
 //!
+//! * a **live telemetry layer** ([`timeseries`] + [`collector`]) — a
+//!   background sampler thread ([`Collector::start`], interval via
+//!   `AARRAY_OBS_SAMPLE_MS`, join-on-drop shutdown) captures one full
+//!   report per tick into a bounded frame ring ([`TimeSeriesRing`],
+//!   capacity via `AARRAY_OBS_FRAMES`, exact drop accounting like the
+//!   journal); windowed rates and deltas are derived read-side from
+//!   frame pairs, never by mutating the live registries. This is what
+//!   a `/metrics`-style endpoint or terminal live view reads while a
+//!   workload runs;
+//!
 //! * an **always-on counter registry** ([`counters`]) — one process-wide
 //!   set of relaxed atomic counters recording every kernel decision the
 //!   plan/SpGEMM execution layer makes: which `KeySet::intersect` fast
@@ -64,12 +74,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod collector;
 pub mod counters;
 pub mod histogram;
 pub mod journal;
 pub mod memstats;
 pub mod oplog;
 pub mod report;
+pub mod timeseries;
+
+pub use collector::{
+    sample_ms_from_env, Collector, CollectorConfig, CollectorProbe, DEFAULT_SAMPLE_MS,
+    SAMPLE_MS_ENV,
+};
 
 pub use counters::{counters, env_parse_error, snapshot, Counter, Gauge, Snapshot, SnapshotDiff};
 pub use histogram::{
@@ -87,6 +104,10 @@ pub use oplog::{
     OP_KIND_NAMES,
 };
 pub use report::{ObsReport, REPORT_SCHEMA_VERSION};
+pub use timeseries::{
+    frames_from_env, Frame, SeriesStats, TimeSeriesRing, TimeSeriesSnapshot, DEFAULT_FRAMES,
+    FRAMES_ENV,
+};
 
 /// Re-export of the `tracing` facade for [`trace_span!`] expansion.
 #[cfg(feature = "trace")]

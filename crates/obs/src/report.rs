@@ -187,7 +187,8 @@ impl ObsReport {
     /// Prometheus text exposition format. Metric names are the report
     /// labels with `.`/`-` mapped to `_` and an `aarray_` prefix;
     /// histogram series are cumulative with a `+Inf` bucket, as the
-    /// format requires.
+    /// format requires. Every metric family is announced by exactly
+    /// one `# HELP` + `# TYPE` pair before its first sample.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(4096);
 
@@ -196,7 +197,12 @@ impl ObsReport {
             .map(|&(c, name)| (name, self.counters.get(c)))
             .collect();
         counters.sort_by_key(|&(name, _)| name);
-        out.push_str("# TYPE aarray_events_total counter\n");
+        family(
+            &mut out,
+            "aarray_events_total",
+            "Monotone kernel-decision event counters, one series per event kind.",
+            "counter",
+        );
         for (name, v) in counters {
             out.push_str(&format!(
                 "aarray_events_total{{event=\"{}\"}} {}\n",
@@ -211,9 +217,14 @@ impl ObsReport {
             .collect();
         gauges.sort_by_key(|&(name, _)| name);
         for (name, v) in gauges {
-            let pname = prom_name(name);
-            out.push_str(&format!("# TYPE aarray_{} gauge\n", pname));
-            out.push_str(&format!("aarray_{} {}\n", pname, v));
+            let pname = format!("aarray_{}", prom_name(name));
+            family(
+                &mut out,
+                &pname,
+                &format!("Last-value gauge `{}`.", name),
+                "gauge",
+            );
+            out.push_str(&format!("{} {}\n", pname, v));
         }
 
         let mut regions: Vec<(&str, u64, u64)> = MEM_REGION_NAMES
@@ -221,7 +232,12 @@ impl ObsReport {
             .map(|&(r, name)| (name, self.mem.current(r), self.mem.peak(r)))
             .collect();
         regions.sort_by_key(|&(name, _, _)| name);
-        out.push_str("# TYPE aarray_mem_current_bytes gauge\n");
+        family(
+            &mut out,
+            "aarray_mem_current_bytes",
+            "Currently accounted bytes per working-set region.",
+            "gauge",
+        );
         for &(name, cur, _) in &regions {
             out.push_str(&format!(
                 "aarray_mem_current_bytes{{region=\"{}\"}} {}\n",
@@ -229,7 +245,12 @@ impl ObsReport {
                 cur
             ));
         }
-        out.push_str("# TYPE aarray_mem_peak_bytes gauge\n");
+        family(
+            &mut out,
+            "aarray_mem_peak_bytes",
+            "Peak accounted bytes per working-set region.",
+            "gauge",
+        );
         for &(name, _, peak) in &regions {
             out.push_str(&format!(
                 "aarray_mem_peak_bytes{{region=\"{}\"}} {}\n",
@@ -238,23 +259,43 @@ impl ObsReport {
             ));
         }
 
-        out.push_str("# TYPE aarray_journal_recorded_total counter\n");
+        family(
+            &mut out,
+            "aarray_journal_recorded_total",
+            "Flight-recorder events ever recorded (including overwritten ones).",
+            "counter",
+        );
         out.push_str(&format!(
             "aarray_journal_recorded_total {}\n",
             self.journal.recorded
         ));
-        out.push_str("# TYPE aarray_journal_dropped_total counter\n");
+        family(
+            &mut out,
+            "aarray_journal_dropped_total",
+            "Flight-recorder events overwritten by ring wraparound.",
+            "counter",
+        );
         out.push_str(&format!(
             "aarray_journal_dropped_total {}\n",
             self.journal.dropped
         ));
 
-        out.push_str("# TYPE aarray_ops_recorded_total counter\n");
+        family(
+            &mut out,
+            "aarray_ops_recorded_total",
+            "Operations ever completed into the per-operation ledger.",
+            "counter",
+        );
         out.push_str(&format!(
             "aarray_ops_recorded_total {}\n",
             self.ops.recorded
         ));
-        out.push_str("# TYPE aarray_ops_dropped_total counter\n");
+        family(
+            &mut out,
+            "aarray_ops_dropped_total",
+            "Ledger records overwritten by ring wraparound.",
+            "counter",
+        );
         out.push_str(&format!("aarray_ops_dropped_total {}\n", self.ops.dropped));
 
         // Per-(kind, label) completion counts. Workload labels are
@@ -273,7 +314,12 @@ impl ObsReport {
             }
         }
         cells.sort();
-        out.push_str("# TYPE aarray_ops_total counter\n");
+        family(
+            &mut out,
+            "aarray_ops_total",
+            "Completed root operations, one series per (kind, workload label).",
+            "counter",
+        );
         for (kname, label, v) in cells {
             out.push_str(&format!(
                 "aarray_ops_total{{kind=\"{}\",label=\"{}\"}} {}\n",
@@ -295,7 +341,12 @@ impl ObsReport {
         kinds.sort_by_key(|&(name, _)| name);
         for (name, s) in kinds {
             let pname = format!("aarray_ops_wall_ns_{}", prom_name(name));
-            out.push_str(&format!("# TYPE {} histogram\n", pname));
+            family(
+                &mut out,
+                &pname,
+                &format!("Wall-clock ns distribution for `{}` operations.", name),
+                "histogram",
+            );
             let mut cumulative = 0u64;
             for (i, &c) in s.buckets.iter().enumerate() {
                 if c == 0 {
@@ -322,7 +373,12 @@ impl ObsReport {
         hists.sort_by_key(|&(name, _)| name);
         for (name, s) in hists {
             let pname = format!("aarray_{}", prom_name(name));
-            out.push_str(&format!("# TYPE {} histogram\n", pname));
+            family(
+                &mut out,
+                &pname,
+                &format!("Log2-bucketed distribution `{}`.", name),
+                "histogram",
+            );
             let mut cumulative = 0u64;
             for (i, &c) in s.buckets.iter().enumerate() {
                 if c == 0 {
@@ -360,6 +416,23 @@ pub fn escape_label_value(v: &str) -> String {
         }
     }
     out
+}
+
+/// Announce one metric family: `# HELP` then `# TYPE`, in that order,
+/// exactly once per family (callers emit each family in one place).
+/// HELP text follows the exposition-format escaping rule for comments:
+/// backslash and newline only.
+fn family(out: &mut String, name: &str, help: &str, ty: &str) {
+    let mut escaped = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            _ => escaped.push(c),
+        }
+    }
+    out.push_str(&format!("# HELP {} {}\n", name, escaped));
+    out.push_str(&format!("# TYPE {} {}\n", name, ty));
 }
 
 /// `latency.plan-build-ns` → `latency_plan_build_ns`.
@@ -475,14 +548,32 @@ mod tests {
         let p = sample_report().to_prometheus();
         let mut last_cumulative: Option<u64> = None;
         let mut in_hist = false;
+        let mut pending_help: Option<String> = None;
         for line in p.lines() {
             assert!(!line.is_empty());
             if line.starts_with('#') {
-                assert!(line.starts_with("# TYPE "), "bad comment: {}", line);
-                in_hist = line.ends_with(" histogram");
-                last_cumulative = None;
+                if let Some(rest) = line.strip_prefix("# HELP ") {
+                    // HELP opens a family; the matching TYPE must come
+                    // next, before any sample.
+                    assert!(pending_help.is_none(), "HELP without TYPE before {}", line);
+                    let name = rest.split(' ').next().unwrap().to_string();
+                    pending_help = Some(name);
+                } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                    let name = rest.split(' ').next().unwrap();
+                    assert_eq!(
+                        pending_help.take().as_deref(),
+                        Some(name),
+                        "TYPE not preceded by its HELP: {}",
+                        line
+                    );
+                    in_hist = line.ends_with(" histogram");
+                    last_cumulative = None;
+                } else {
+                    panic!("bad comment: {}", line);
+                }
                 continue;
             }
+            assert!(pending_help.is_none(), "sample between HELP and TYPE");
             // Every sample line is `name{labels} value` or `name value`.
             let (metric, value) = line.rsplit_once(' ').expect(line);
             assert!(
@@ -513,6 +604,102 @@ mod tests {
             inf.rsplit_once(' ').unwrap().1,
             count.rsplit_once(' ').unwrap().1
         );
+    }
+
+    #[test]
+    fn prometheus_every_family_has_help_and_type_exactly_once() {
+        // Round trip over a full v4 report: collect the declared
+        // families, then check every sample line resolves to exactly
+        // one declared family with the right type class.
+        let p = sample_report().to_prometheus();
+        let mut help_counts: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        let mut types: std::collections::HashMap<String, &str> = std::collections::HashMap::new();
+        let mut type_counts: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for line in p.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap().to_string();
+                *help_counts.entry(name).or_insert(0) += 1;
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let name = it.next().unwrap().to_string();
+                let ty = it.next().expect("TYPE line has a type");
+                assert!(
+                    matches!(ty, "counter" | "gauge" | "histogram"),
+                    "unknown type: {}",
+                    line
+                );
+                *type_counts.entry(name.clone()).or_insert(0) += 1;
+                types.insert(
+                    name,
+                    match ty {
+                        "counter" => "counter",
+                        "gauge" => "gauge",
+                        _ => "histogram",
+                    },
+                );
+            }
+        }
+        for (name, n) in &help_counts {
+            assert_eq!(*n, 1, "family {} declared HELP {} times", name, n);
+        }
+        for (name, n) in &type_counts {
+            assert_eq!(*n, 1, "family {} declared TYPE {} times", name, n);
+            assert!(
+                help_counts.contains_key(name),
+                "{} has TYPE but no HELP",
+                name
+            );
+        }
+        assert_eq!(help_counts.len(), types.len(), "HELP/TYPE sets differ");
+        // Counters are monotone `_total` families; gauges never are.
+        for (name, ty) in &types {
+            match *ty {
+                "counter" => assert!(
+                    name.ends_with("_total"),
+                    "counter family {} must end in _total",
+                    name
+                ),
+                "gauge" => assert!(
+                    !name.ends_with("_total"),
+                    "gauge family {} must not end in _total",
+                    name
+                ),
+                _ => {}
+            }
+        }
+        // Every sample belongs to a declared family: either its bare
+        // name, or — for histogram series — the name minus the
+        // `_bucket`/`_sum`/`_count` suffix.
+        for line in p.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (metric, _) = line.rsplit_once(' ').unwrap();
+            let name = metric.split('{').next().unwrap();
+            let fam = if types.contains_key(name) {
+                name.to_string()
+            } else {
+                let base = name
+                    .strip_suffix("_bucket")
+                    .or_else(|| name.strip_suffix("_sum"))
+                    .or_else(|| name.strip_suffix("_count"))
+                    .unwrap_or(name);
+                assert!(
+                    types.contains_key(base),
+                    "sample {} has no declared family",
+                    line
+                );
+                assert_eq!(
+                    types[base], "histogram",
+                    "suffixed sample {} under non-histogram family",
+                    line
+                );
+                base.to_string()
+            };
+            let _ = fam;
+        }
     }
 
     #[test]

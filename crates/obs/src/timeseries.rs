@@ -1,0 +1,512 @@
+//! Bounded time-series ring of observability frames.
+//!
+//! The post-mortem layers (counters, histograms, journal, op ledger)
+//! answer "what happened" after a workload exits. The time-series ring
+//! is the live half: a background sampler ([`crate::collector`])
+//! captures one [`Frame`] — a timestamped [`ObsReport`] covering
+//! counters, gauges, memstats, histogram tails, pool stats, and the
+//! op-ledger per-kind figures — every interval and pushes it here, so
+//! an HTTP endpoint or terminal view can read p50/p99 and pool
+//! behavior *while the workload runs*.
+//!
+//! Design notes, and where this deliberately differs from the
+//! journal's seqlock ring:
+//!
+//! * **Bounded ring, overwrite-oldest, exact drop accounting.** Like
+//!   the journal, the ring keeps the newest `capacity` frames and
+//!   counts what wraparound evicted: `dropped = recorded − capacity`
+//!   when positive, exactly. Capacity comes from `AARRAY_OBS_FRAMES`
+//!   (default 1024 ≈ a few MiB of frames), with the shared warn-once
+//!   parse-failure contract (`Counter::EnvParseError` + one stderr
+//!   warning, keep the default).
+//!
+//! * **Mutex'd slots, not a seqlock.** Journal records are five words
+//!   written on ns-scale hot paths — they need the lock-free seqlock.
+//!   A frame is a heap-carrying [`ObsReport`] (full histogram bucket
+//!   arrays, so `/metrics` served from the latest frame loses no
+//!   fidelity) written by exactly **one** sampler thread at a few Hz;
+//!   a per-ring mutex is simpler, safe under `forbid(unsafe_code)`,
+//!   and can never contend meaningfully. Nothing on a workload path
+//!   ever touches this lock.
+//!
+//! * **Rates are derived read-side.** A frame stores only cumulative
+//!   figures. Windowed `delta()`/`rate_per_sec()` come from *pairs* of
+//!   frames at read time ([`Frame::delta`], [`TimeSeriesSnapshot`]) —
+//!   the live registries are never reset or otherwise mutated to
+//!   manufacture a rate, so the sampler cannot skew the workload's own
+//!   post-mortem capture.
+
+use crate::counters::Counter;
+use crate::oplog::OpKind;
+use crate::report::ObsReport;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Name of the environment variable setting the frame-ring capacity.
+/// Unset means [`DEFAULT_FRAMES`]; anything that does not parse as a
+/// positive integer is an env-parse error (warn once, keep the
+/// default).
+pub const FRAMES_ENV: &str = "AARRAY_OBS_FRAMES";
+
+/// Default ring capacity in frames when `AARRAY_OBS_FRAMES` is unset.
+pub const DEFAULT_FRAMES: usize = 1024;
+
+/// Parse the capacity knob. `Ok` for unset (default) or a positive
+/// integer; `Err` for anything else, including `0` — a ring that can
+/// hold nothing is a misconfiguration, not a mode. Frames are heavier
+/// than journal records, so the cap is correspondingly lower.
+pub(crate) fn parse_capacity(raw: Option<&str>) -> Result<usize, ()> {
+    match raw.map(str::trim) {
+        None => Ok(DEFAULT_FRAMES),
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) if n > 0 => Ok(n.min(1 << 20) as usize),
+            _ => Err(()),
+        },
+    }
+}
+
+/// Resolve `AARRAY_OBS_FRAMES` with the shared warn-once contract.
+pub fn frames_from_env() -> usize {
+    let raw = std::env::var(FRAMES_ENV).ok();
+    parse_capacity(raw.as_deref()).unwrap_or_else(|()| {
+        static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        crate::counters::env_parse_error(
+            &WARNED,
+            FRAMES_ENV,
+            raw.as_deref().unwrap_or(""),
+            "the default capacity",
+        );
+        DEFAULT_FRAMES
+    })
+}
+
+/// One sample: a full [`ObsReport`] capture with its position in the
+/// series. Everything derivable (histogram p50/p95/p99 tails, per-kind
+/// op rates, pool task deltas) is computed from frames at read time.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Global sample number (claim order; survives eviction gaps).
+    pub seq: u64,
+    /// Nanoseconds since the ring was created (monotonic).
+    pub ts_ns: u64,
+    /// The capture itself — cumulative counters/gauges, full histogram
+    /// snapshots, memstats, journal and op-ledger figures.
+    pub report: ObsReport,
+}
+
+impl Frame {
+    /// Report-shaped difference since an `earlier` frame (counters,
+    /// histogram buckets, and ledger tails diff; gauges and memory
+    /// figures carry over as last-values).
+    pub fn delta(&self, earlier: &Frame) -> ObsReport {
+        self.report.since(&earlier.report)
+    }
+
+    /// Window length against an earlier frame, in seconds.
+    pub fn window_secs(&self, earlier: &Frame) -> f64 {
+        self.ts_ns.saturating_sub(earlier.ts_ns) as f64 / 1e9
+    }
+
+    /// Windowed per-second rate of one counter, derived from the frame
+    /// pair (0.0 when the window is empty or degenerate).
+    pub fn rate_per_sec(&self, earlier: &Frame, c: Counter) -> f64 {
+        let dt = self.window_secs(earlier);
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        self.report
+            .counters
+            .get(c)
+            .saturating_sub(earlier.report.counters.get(c)) as f64
+            / dt
+    }
+
+    /// Windowed per-second completion rate of one op kind.
+    pub fn ops_rate_per_sec(&self, earlier: &Frame, kind: OpKind) -> f64 {
+        let dt = self.window_secs(earlier);
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        let later = self.report.ops.tails[kind as usize].count();
+        let before = earlier.report.ops.tails[kind as usize].count();
+        later.saturating_sub(before) as f64 / dt
+    }
+}
+
+/// Summary figures of the ring, mirroring [`crate::JournalStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SeriesStats {
+    /// Frames ever pushed (including evicted ones).
+    pub recorded: u64,
+    /// Frames evicted by ring wraparound.
+    pub dropped: u64,
+    /// Ring capacity in frames.
+    pub capacity: u64,
+}
+
+/// The bounded frame ring. One instance per [`crate::Collector`];
+/// tests can build private rings with [`TimeSeriesRing::with_capacity`].
+pub struct TimeSeriesRing {
+    frames: Mutex<VecDeque<Frame>>,
+    capacity: usize,
+    /// Frames ever pushed; also readable lock-free for liveness checks.
+    recorded: AtomicU64,
+    base: Instant,
+}
+
+impl TimeSeriesRing {
+    /// A ring sized from `AARRAY_OBS_FRAMES` (warn-once default 1024).
+    pub fn from_env() -> TimeSeriesRing {
+        TimeSeriesRing::with_capacity(frames_from_env())
+    }
+
+    /// A private ring with an explicit capacity (tests, embedders).
+    pub fn with_capacity(capacity: usize) -> TimeSeriesRing {
+        let capacity = capacity.max(1);
+        TimeSeriesRing {
+            frames: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            recorded: AtomicU64::new(0),
+            base: Instant::now(),
+        }
+    }
+
+    /// Ring capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Frames ever pushed.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Acquire)
+    }
+
+    /// Frames evicted by wraparound so far — always exactly
+    /// `recorded − capacity` when positive.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.capacity as u64)
+    }
+
+    /// Capture the current state of every obs layer and push it as the
+    /// newest frame, evicting the oldest when full. Returns the
+    /// frame's sequence number. Intended for a **single** sampler
+    /// writer; concurrent pushes stay correct (the mutex serializes
+    /// them), they just interleave claim order.
+    pub fn sample_now(&self) -> u64 {
+        self.push_report(ObsReport::capture())
+    }
+
+    /// Push an already-captured report (the bench uses this to time
+    /// capture and push separately).
+    pub fn push_report(&self, report: ObsReport) -> u64 {
+        let ts_ns = self.base.elapsed().as_nanos() as u64;
+        let mut frames = self.frames.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = self.recorded.fetch_add(1, Ordering::AcqRel);
+        if frames.len() == self.capacity {
+            frames.pop_front();
+        }
+        frames.push_back(Frame { seq, ts_ns, report });
+        seq
+    }
+
+    /// Summary figures without copying frames.
+    pub fn stats(&self) -> SeriesStats {
+        SeriesStats {
+            recorded: self.recorded(),
+            dropped: self.dropped(),
+            capacity: self.capacity as u64,
+        }
+    }
+
+    /// Copy out the surviving frames, oldest first, with the drop
+    /// accounting that makes eviction visible to readers.
+    pub fn snapshot(&self) -> TimeSeriesSnapshot {
+        let frames: Vec<Frame> = {
+            let g = self.frames.lock().unwrap_or_else(|e| e.into_inner());
+            g.iter().cloned().collect()
+        };
+        TimeSeriesSnapshot {
+            stats: self.stats(),
+            frames,
+        }
+    }
+
+    /// The newest frame, if any was ever pushed.
+    pub fn latest(&self) -> Option<Frame> {
+        let g = self.frames.lock().unwrap_or_else(|e| e.into_inner());
+        g.back().cloned()
+    }
+}
+
+/// A drained copy of the ring: surviving frames oldest-first plus drop
+/// accounting.
+#[derive(Clone, Debug)]
+pub struct TimeSeriesSnapshot {
+    /// Recorded/dropped/capacity at snapshot time.
+    pub stats: SeriesStats,
+    /// Surviving frames, oldest first.
+    pub frames: Vec<Frame>,
+}
+
+impl TimeSeriesSnapshot {
+    /// Render the series as a stable JSON document for `/series.json`:
+    /// drop accounting, one timestamp per frame, and windowed metric
+    /// columns (each value at index `i` is derived from the frame pair
+    /// `(i−1, i)`; index 0 is 0). Sparkline-ready: every column has
+    /// exactly `frames.len()` entries.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema_version\": 1,\n  \"tool\": \"aarray-series\",\n");
+        out.push_str(&format!(
+            "  \"frames\": {{\"recorded\": {}, \"dropped\": {}, \"capacity\": {}}},\n",
+            self.stats.recorded, self.stats.dropped, self.stats.capacity
+        ));
+
+        out.push_str("  \"t_ms\": [");
+        for (i, f) in self.frames.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{:.3}", f.ts_ns as f64 / 1e6));
+        }
+        out.push_str("],\n  \"series\": {");
+
+        let mut first_col = true;
+        let mut column = |name: &str, values: Vec<String>| {
+            if !first_col {
+                out.push(',');
+            }
+            first_col = false;
+            out.push_str(&format!("\n    \"{}\": [{}]", name, values.join(", ")));
+        };
+
+        // Windowed rates from frame pairs — never from the registry.
+        let pair_rate = |f: &dyn Fn(&Frame, &Frame) -> f64| -> Vec<String> {
+            self.frames
+                .iter()
+                .enumerate()
+                .map(|(i, later)| {
+                    if i == 0 {
+                        "0".to_string()
+                    } else {
+                        format!("{:.3}", f(later, &self.frames[i - 1]))
+                    }
+                })
+                .collect()
+        };
+        let counter_rate = |c: Counter| pair_rate(&|l: &Frame, e: &Frame| l.rate_per_sec(e, c));
+
+        column(
+            "ops.rate_per_s",
+            pair_rate(&|l: &Frame, e: &Frame| {
+                let dt = l.window_secs(e);
+                if dt <= 0.0 {
+                    0.0
+                } else {
+                    l.report.ops.recorded.saturating_sub(e.report.ops.recorded) as f64 / dt
+                }
+            }),
+        );
+        for &(kind, name) in crate::oplog::OP_KIND_NAMES.iter() {
+            // Only kinds that ever completed get columns, so idle
+            // workloads stay compact.
+            let total = self
+                .frames
+                .last()
+                .map_or(0, |f| f.report.ops.tails[kind as usize].count());
+            if total == 0 {
+                continue;
+            }
+            column(
+                &format!("ops.{}.rate_per_s", name),
+                pair_rate(&|l: &Frame, e: &Frame| l.ops_rate_per_sec(e, kind)),
+            );
+            column(
+                &format!("ops.{}.p95_ns", name),
+                self.frames
+                    .iter()
+                    .enumerate()
+                    .map(|(i, later)| {
+                        if i == 0 {
+                            "0".to_string()
+                        } else {
+                            let w = later.report.ops.tails[kind as usize]
+                                .since(&self.frames[i - 1].report.ops.tails[kind as usize]);
+                            w.quantile(0.95).to_string()
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        column(
+            "journal.rate_per_s",
+            pair_rate(&|l: &Frame, e: &Frame| {
+                let dt = l.window_secs(e);
+                if dt <= 0.0 {
+                    0.0
+                } else {
+                    l.report
+                        .journal
+                        .recorded
+                        .saturating_sub(e.report.journal.recorded) as f64
+                        / dt
+                }
+            }),
+        );
+        column("flops.rate_per_s", counter_rate(Counter::FlopsTotal));
+        column(
+            "pool.tasks.rate_per_s",
+            pair_rate(&|l: &Frame, e: &Frame| {
+                l.rate_per_sec(e, Counter::PoolTasksLocal)
+                    + l.rate_per_sec(e, Counter::PoolTasksStolen)
+                    + l.rate_per_sec(e, Counter::PoolTasksInline)
+            }),
+        );
+        column(
+            "pool.threads",
+            self.frames
+                .iter()
+                .map(|f| {
+                    f.report
+                        .counters
+                        .gauge(crate::counters::Gauge::PoolThreads)
+                        .to_string()
+                })
+                .collect(),
+        );
+        column(
+            "mem.current_bytes",
+            self.frames
+                .iter()
+                .map(|f| {
+                    crate::memstats::MEM_REGION_NAMES
+                        .iter()
+                        .map(|&(r, _)| f.report.mem.current(r))
+                        .sum::<u64>()
+                        .to_string()
+                })
+                .collect(),
+        );
+
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::counters;
+
+    #[test]
+    fn parse_capacity_accepts_positive_and_defaults_unset() {
+        assert_eq!(parse_capacity(None), Ok(DEFAULT_FRAMES));
+        assert_eq!(parse_capacity(Some("16")), Ok(16));
+        assert_eq!(parse_capacity(Some(" 64 ")), Ok(64));
+        // The cap protects against absurd frame allocations.
+        assert_eq!(parse_capacity(Some("99999999999")), Ok(1 << 20));
+    }
+
+    #[test]
+    fn parse_capacity_rejects_zero_junk_and_negatives() {
+        assert_eq!(parse_capacity(Some("0")), Err(()));
+        assert_eq!(parse_capacity(Some("-5")), Err(()));
+        assert_eq!(parse_capacity(Some("lots")), Err(()));
+        assert_eq!(parse_capacity(Some("")), Err(()));
+    }
+
+    #[test]
+    fn env_fallback_counts_a_parse_error() {
+        // Both branches of the warn-once contract: a bad value falls
+        // back to the default and bumps `Counter::EnvParseError`. The
+        // env var itself cannot be set process-wide from a parallel
+        // test, so exercise the fallback path directly.
+        let before = counters().get(Counter::EnvParseError);
+        static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        let cap = parse_capacity(Some("not-a-number")).unwrap_or_else(|()| {
+            crate::counters::env_parse_error(&WARNED, FRAMES_ENV, "not-a-number", "the default");
+            DEFAULT_FRAMES
+        });
+        assert_eq!(cap, DEFAULT_FRAMES);
+        assert!(counters().get(Counter::EnvParseError) > before);
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_accounts_drops_exactly() {
+        let ring = TimeSeriesRing::with_capacity(4);
+        for _ in 0..10 {
+            ring.sample_now();
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.stats.recorded, 10);
+        assert_eq!(snap.stats.capacity, 4);
+        // Exact accounting, like the journal: dropped = recorded − capacity.
+        assert_eq!(snap.stats.dropped, 6);
+        assert_eq!(snap.frames.len(), 4);
+        // Survivors are the newest, in order.
+        let seqs: Vec<u64> = snap.frames.iter().map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert!(snap.frames.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn no_drops_before_wraparound() {
+        let ring = TimeSeriesRing::with_capacity(8);
+        for _ in 0..8 {
+            ring.sample_now();
+        }
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.recorded(), 8);
+    }
+
+    #[test]
+    fn rates_are_derived_from_frame_pairs_not_the_registry() {
+        let ring = TimeSeriesRing::with_capacity(8);
+        ring.sample_now();
+        let registry_before = counters().get(Counter::IntersectMerge);
+        counters().add(Counter::IntersectMerge, 5);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        ring.sample_now();
+        let snap = ring.snapshot();
+        let (a, b) = (&snap.frames[0], &snap.frames[1]);
+        let d = b.delta(a);
+        assert!(d.counters.get(Counter::IntersectMerge) >= 5);
+        assert!(b.rate_per_sec(a, Counter::IntersectMerge) > 0.0);
+        // Deriving the rate did not mutate the live registry.
+        assert!(counters().get(Counter::IntersectMerge) >= registry_before + 5);
+        // Degenerate window: rate against itself is 0, not NaN/inf.
+        assert_eq!(b.rate_per_sec(b, Counter::IntersectMerge), 0.0);
+    }
+
+    #[test]
+    fn series_json_is_balanced_and_column_lengths_match() {
+        let ring = TimeSeriesRing::with_capacity(8);
+        for _ in 0..3 {
+            counters().incr(Counter::IntersectMerge);
+            ring.sample_now();
+        }
+        let j = ring.snapshot().to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{}", j);
+        assert_eq!(j.matches('[').count(), j.matches(']').count(), "{}", j);
+        assert!(j.contains("\"recorded\": 3"));
+        assert!(j.contains("\"journal.rate_per_s\""));
+        assert!(j.contains("\"mem.current_bytes\""));
+        // Every column carries exactly one value per frame.
+        for line in j.lines().filter(|l| l.contains("rate_per_s\": [")) {
+            let vals = line.split('[').nth(1).unwrap().split(']').next().unwrap();
+            assert_eq!(vals.split(", ").count(), 3, "{}", line);
+        }
+    }
+
+    #[test]
+    fn latest_returns_newest_frame() {
+        let ring = TimeSeriesRing::with_capacity(2);
+        assert!(ring.latest().is_none());
+        ring.sample_now();
+        ring.sample_now();
+        ring.sample_now();
+        assert_eq!(ring.latest().unwrap().seq, 2);
+    }
+}
